@@ -1,0 +1,218 @@
+//! Every bound of the paper's Table 1 (and the classical bounds they
+//! build on), as explicit functions of the power exponent `α`.
+//!
+//! These are the reference values the experiment harness prints next to
+//! measured ratios, and the ceilings the property tests assert measured
+//! ratios against.
+
+use std::f64::consts::E;
+
+/// The golden ratio `φ = (1 + √5)/2`.
+pub const PHI: f64 = 1.618_033_988_749_895;
+
+// ---------------------------------------------------------------------
+// Classical substrate bounds (Yao et al.; Bansal et al.; Albers et al.)
+// ---------------------------------------------------------------------
+
+/// AVR's energy competitive ratio `2^{α−1} α^α`.
+pub fn avr_energy(alpha: f64) -> f64 {
+    2.0f64.powf(alpha - 1.0) * alpha.powf(alpha)
+}
+
+/// OA's energy competitive ratio `α^α`.
+pub fn oa_energy(alpha: f64) -> f64 {
+    alpha.powf(alpha)
+}
+
+/// BKP's energy competitive ratio `2 (α/(α−1))^α e^α`.
+pub fn bkp_energy(alpha: f64) -> f64 {
+    assert!(alpha > 1.0);
+    2.0 * (alpha / (alpha - 1.0)).powf(alpha) * E.powf(alpha)
+}
+
+/// BKP's maximum-speed competitive ratio `e`.
+pub fn bkp_speed() -> f64 {
+    E
+}
+
+/// AVR(m)'s energy competitive ratio `2^{α−1} α^α + 1`.
+pub fn avr_m_energy(alpha: f64) -> f64 {
+    avr_energy(alpha) + 1.0
+}
+
+// ---------------------------------------------------------------------
+// QBSS offline bounds (Table 1, top half)
+// ---------------------------------------------------------------------
+
+/// Oracle-model lower bound for energy: `φ^α` (Lemma 4.2).
+pub fn oracle_energy_lb(alpha: f64) -> f64 {
+    PHI.powf(alpha)
+}
+
+/// Oracle-model lower bound for maximum speed: `φ` (Lemma 4.2).
+pub fn oracle_speed_lb() -> f64 {
+    PHI
+}
+
+/// Deterministic offline lower bound for energy:
+/// `max{φ^α, 2^{α−1}}` (Lemmas 4.2 + 4.3).
+pub fn offline_energy_lb(alpha: f64) -> f64 {
+    oracle_energy_lb(alpha).max(2.0f64.powf(alpha - 1.0))
+}
+
+/// Deterministic offline lower bound for maximum speed: 2 (Lemma 4.3).
+pub fn offline_speed_lb() -> f64 {
+    2.0
+}
+
+/// Randomized lower bound for maximum speed: `4/3` (Lemma 4.4).
+pub fn randomized_speed_lb() -> f64 {
+    4.0 / 3.0
+}
+
+/// Randomized lower bound for energy: `(1 + φ^α)/2` (Lemma 4.4).
+pub fn randomized_energy_lb(alpha: f64) -> f64 {
+    0.5 * (1.0 + PHI.powf(alpha))
+}
+
+/// Equal-window lower bound for maximum speed: 3 (Lemma 4.5).
+pub fn equal_window_speed_lb() -> f64 {
+    3.0
+}
+
+/// Equal-window lower bound for energy: `3^{α−1}` (Lemma 4.5).
+pub fn equal_window_energy_lb(alpha: f64) -> f64 {
+    3.0f64.powf(alpha - 1.0)
+}
+
+/// CRCD's maximum-speed approximation ratio: 2 (Theorem 4.6).
+pub fn crcd_speed_ub() -> f64 {
+    2.0
+}
+
+/// CRCD's energy approximation ratio
+/// `min{2^{α−1} φ^α, 2^α}` (Theorem 4.6).
+pub fn crcd_energy_ub(alpha: f64) -> f64 {
+    (2.0f64.powf(alpha - 1.0) * PHI.powf(alpha)).min(2.0f64.powf(alpha))
+}
+
+/// CRP2D's energy approximation ratio `(4φ)^α` (Theorem 4.13).
+pub fn crp2d_energy_ub(alpha: f64) -> f64 {
+    (4.0 * PHI).powf(alpha)
+}
+
+/// CRAD's energy approximation ratio `(8φ)^α` (Corollary 4.15).
+pub fn crad_energy_ub(alpha: f64) -> f64 {
+    (8.0 * PHI).powf(alpha)
+}
+
+// ---------------------------------------------------------------------
+// QBSS online bounds (Table 1, bottom half)
+// ---------------------------------------------------------------------
+
+/// AVRQ's energy lower bound `(2α)^α` (Lemma 5.1).
+pub fn avrq_energy_lb(alpha: f64) -> f64 {
+    (2.0 * alpha).powf(alpha)
+}
+
+/// AVRQ's energy upper bound `2^α · 2^{α−1} α^α = 2^{2α−1} α^α`
+/// (Corollary 5.3).
+pub fn avrq_energy_ub(alpha: f64) -> f64 {
+    2.0f64.powf(alpha) * avr_energy(alpha)
+}
+
+/// BKPQ's energy lower bound `3^{α−1}` (Table 1).
+pub fn bkpq_energy_lb(alpha: f64) -> f64 {
+    3.0f64.powf(alpha - 1.0)
+}
+
+/// BKPQ's energy upper bound `(2+φ)^α · 2(α/(α−1))^α e^α`
+/// (Corollary 5.5).
+pub fn bkpq_energy_ub(alpha: f64) -> f64 {
+    (2.0 + PHI).powf(alpha) * bkp_energy(alpha)
+}
+
+/// BKPQ's maximum-speed upper bound `(2+φ) e` (Corollary 5.5).
+pub fn bkpq_speed_ub() -> f64 {
+    (2.0 + PHI) * E
+}
+
+/// AVRQ(m)'s energy upper bound `2^α (2^{α−1} α^α + 1)`
+/// (Corollary 6.4).
+pub fn avrq_m_energy_ub(alpha: f64) -> f64 {
+    2.0f64.powf(alpha) * avr_m_energy(alpha)
+}
+
+/// AVRQ(m)'s energy lower bound `(2α)^α` (Table 1).
+pub fn avrq_m_energy_lb(alpha: f64) -> f64 {
+    avrq_energy_lb(alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_is_the_golden_ratio() {
+        assert!((PHI - (1.0 + 5.0f64.sqrt()) / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn table1_values_at_alpha_3() {
+        // Cube-law CMOS, the paper's canonical exponent.
+        let a = 3.0;
+        assert!((oracle_energy_lb(a) - PHI.powi(3)).abs() < 1e-12);
+        assert!((offline_energy_lb(a) - PHI.powi(3)).abs() < 1e-12); // φ³ ≈ 4.24 > 4
+        assert!((crcd_energy_ub(a) - 8.0).abs() < 1e-12); // min(4φ³ ≈ 16.9, 8)
+        assert!((crp2d_energy_ub(a) - (4.0 * PHI).powi(3)).abs() < 1e-9);
+        assert!((crad_energy_ub(a) - (8.0 * PHI).powi(3)).abs() < 1e-6);
+        assert!((avrq_energy_lb(a) - 216.0).abs() < 1e-9); // 6³
+        assert!((avrq_energy_ub(a) - 2.0f64.powi(5) * 27.0).abs() < 1e-9); // 2^5·3^3 = 864
+        assert!((bkpq_energy_lb(a) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offline_lb_switches_at_small_alpha() {
+        // 2^{α−1} overtakes φ^α only for large α: φ^α/2^{α-1} = 2(φ/2)^α
+        // → 0, crossing at α = ln2/ln(2/φ) ≈ 3.27.
+        assert!((offline_energy_lb(3.0) - oracle_energy_lb(3.0)).abs() < 1e-12);
+        assert!((offline_energy_lb(4.0) - 2.0f64.powf(3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bounds_dominate_lower_bounds() {
+        for &a in &[1.1, 1.5, 2.0, 2.5, 3.0, 4.0] {
+            assert!(crcd_energy_ub(a) >= offline_energy_lb(a), "CRCD at α={a}");
+            assert!(crp2d_energy_ub(a) >= offline_energy_lb(a), "CRP2D at α={a}");
+            assert!(crad_energy_ub(a) >= crp2d_energy_ub(a), "CRAD ≥ CRP2D at α={a}");
+            assert!(avrq_energy_ub(a) >= avrq_energy_lb(a), "AVRQ at α={a}");
+            assert!(bkpq_energy_ub(a) >= bkpq_energy_lb(a), "BKPQ at α={a}");
+            assert!(avrq_m_energy_ub(a) >= avrq_energy_ub(a) / 2.0, "AVRQ(m) at α={a}");
+        }
+    }
+
+    #[test]
+    fn qbss_bounds_are_query_penalties_over_classical() {
+        // The QBSS online bounds are the classical ones times an
+        // explicit query penalty: 2^α for AVRQ, (2+φ)^α for BKPQ.
+        for &a in &[1.5, 2.0, 3.0] {
+            assert!((avrq_energy_ub(a) / avr_energy(a) - 2.0f64.powf(a)).abs() < 1e-9);
+            assert!((bkpq_energy_ub(a) / bkp_energy(a) - (2.0 + PHI).powf(a)).abs() < 1e-9);
+            assert!((avrq_m_energy_ub(a) / avr_m_energy(a) - 2.0f64.powf(a)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn randomized_below_deterministic() {
+        for &a in &[1.5, 2.0, 3.0] {
+            assert!(randomized_energy_lb(a) <= offline_energy_lb(a));
+        }
+        assert!(randomized_speed_lb() <= offline_speed_lb());
+    }
+
+    #[test]
+    fn bkpq_speed_value() {
+        assert!((bkpq_speed_ub() - (2.0 + PHI) * std::f64::consts::E).abs() < 1e-12);
+        assert!(bkpq_speed_ub() > equal_window_speed_lb());
+    }
+}

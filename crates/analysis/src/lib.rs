@@ -1,0 +1,27 @@
+//! # qbss-analysis — theoretical bounds and measurement statistics
+//!
+//! The numeric side of the reproduction:
+//!
+//! * [`bounds`] — every entry of the paper's Table 1 (and the classical
+//!   bounds underneath) as functions of `α`;
+//! * [`rho`] — Theorem 4.8's refined CRCD analysis and the §4.2
+//!   ρ-comparison table (`ρ3(α) = max_r min{f1, f2}` by bisection on
+//!   the crossing);
+//! * [`numeric`] — golden-section search, bisection and
+//!   grid-then-polish maximization for the adversary-parameter
+//!   searches;
+//! * [`stats`] — ensemble digests (`max` is the empirical competitive
+//!   ratio) for the experiment reports.
+//!
+//! This crate is deliberately dependency-light (serde only) so the
+//! bound formulas can be unit-checked in isolation from the simulator.
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod numeric;
+pub mod rho;
+pub mod stats;
+
+pub use bounds::PHI;
+pub use stats::Summary;

@@ -1,0 +1,141 @@
+//! Small numeric-optimization toolbox: golden-section search and
+//! bisection, used by the ρ-table computation (Theorem 4.8) and by the
+//! adversary-parameter searches in the experiment harness.
+
+/// Golden-section minimization of a unimodal `f` on `[lo, hi]`.
+/// Returns `(argmin, min)` after `iters` contractions (each shrinks the
+/// bracket by `1/φ ≈ 0.618`; 100 iterations ≈ 2e-21 relative bracket).
+pub fn golden_min(mut lo: f64, mut hi: f64, iters: usize, f: impl Fn(f64) -> f64) -> (f64, f64) {
+    assert!(lo < hi, "bad bracket [{lo}, {hi}]");
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut x1 = hi - (hi - lo) * INV_PHI;
+    let mut x2 = lo + (hi - lo) * INV_PHI;
+    let (mut f1, mut f2) = (f(x1), f(x2));
+    for _ in 0..iters {
+        if f1 <= f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - (hi - lo) * INV_PHI;
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + (hi - lo) * INV_PHI;
+            f2 = f(x2);
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    (x, f(x))
+}
+
+/// Golden-section maximization of a unimodal `f` on `[lo, hi]`.
+pub fn golden_max(lo: f64, hi: f64, iters: usize, f: impl Fn(f64) -> f64) -> (f64, f64) {
+    let (x, neg) = golden_min(lo, hi, iters, |x| -f(x));
+    (x, -neg)
+}
+
+/// Bisection root of a continuous `f` with `f(lo)` and `f(hi)` of
+/// opposite signs. Returns the midpoint after `iters` halvings.
+pub fn bisect(mut lo: f64, mut hi: f64, iters: usize, f: impl Fn(f64) -> f64) -> f64 {
+    let (flo, fhi) = (f(lo), f(hi));
+    assert!(
+        flo == 0.0 || fhi == 0.0 || (flo < 0.0) != (fhi < 0.0),
+        "bisect needs a sign change: f({lo}) = {flo}, f({hi}) = {fhi}"
+    );
+    if flo == 0.0 {
+        return lo;
+    }
+    if fhi == 0.0 {
+        return hi;
+    }
+    let lo_negative = flo < 0.0;
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 {
+            return mid;
+        }
+        if (fm < 0.0) == lo_negative {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Maximizes `f` over a uniform grid of `points + 1` samples on
+/// `[lo, hi]` and polishes the best sample with golden-section search on
+/// its neighborhood. Robust for the multi-modal ratio landscapes of the
+/// adversary searches.
+pub fn grid_then_golden_max(
+    lo: f64,
+    hi: f64,
+    points: usize,
+    f: impl Fn(f64) -> f64,
+) -> (f64, f64) {
+    assert!(points >= 2 && lo < hi);
+    let step = (hi - lo) / points as f64;
+    let mut best_i = 0usize;
+    let mut best_v = f64::NEG_INFINITY;
+    for i in 0..=points {
+        let v = f(lo + step * i as f64);
+        if v > best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    let a = lo + step * best_i.saturating_sub(1) as f64;
+    let b = (lo + step * (best_i + 1) as f64).min(hi);
+    golden_max(a, b.max(a + 1e-12), 80, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_min_quadratic() {
+        // Near a quadratic optimum, function differences fall below
+        // machine epsilon once |x − x*| ~ √ε, so that is the achievable
+        // argmin accuracy; the value converges quadratically better.
+        let (x, v) = golden_min(-10.0, 10.0, 100, |x| (x - 3.0) * (x - 3.0) + 1.0);
+        assert!((x - 3.0).abs() < 1e-6);
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_max_concave() {
+        let (x, v) = golden_max(0.0, 2.0, 100, |x| x * (2.0 - x));
+        assert!((x - 1.0).abs() < 1e-6);
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_linear() {
+        let r = bisect(0.0, 10.0, 100, |x| x - 7.25);
+        assert!((r - 7.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_decreasing_function() {
+        let r = bisect(0.0, 10.0, 100, |x| 5.0 - x);
+        assert!((r - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sign change")]
+    fn bisect_rejects_same_sign() {
+        let _ = bisect(0.0, 1.0, 10, |x| x + 1.0);
+    }
+
+    #[test]
+    fn grid_then_golden_finds_global_on_bimodal() {
+        // Two humps; the right one is higher.
+        let f = |x: f64| (-(x - 1.0).powi(2)).exp() + 1.5 * (-(x - 4.0).powi(2)).exp();
+        let (x, _) = grid_then_golden_max(0.0, 5.0, 100, f);
+        assert!((x - 4.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Ensemble statistics for measured ratios.
+//!
+//! Experiments run each algorithm over hundreds of random instances and
+//! report the distribution of `ALG/OPT`; [`Summary`] is the common
+//! digest (max is the headline number — a competitive ratio is a
+//! worst case — with mean/percentiles as shape evidence).
+
+use serde::Serialize;
+
+/// Distribution digest of a sample of non-negative ratios.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum — the empirical competitive ratio of the ensemble.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl Summary {
+    /// Digests a sample. Panics on an empty or non-finite sample —
+    /// experiments must not silently summarize garbage.
+    pub fn of(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty(), "empty sample");
+        assert!(
+            sample.iter().all(|v| v.is_finite()),
+            "non-finite ratio in sample"
+        );
+        let n = sample.len();
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        Self {
+            n,
+            min: sorted[0],
+            mean,
+            median: percentile_sorted(&sorted, 0.5),
+            p95: percentile_sorted(&sorted, 0.95),
+            max: sorted[n - 1],
+            std: var.sqrt(),
+        }
+    }
+}
+
+/// Linear-interpolation percentile of an ascending-sorted slice,
+/// `q ∈ [0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty() && (0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    if i + 1 >= sorted.len() {
+        sorted[sorted.len() - 1]
+    } else {
+        sorted[i] * (1.0 - frac) + sorted[i + 1] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.std - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert!((percentile_sorted(&sorted, 0.25) - 2.5).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 1.0) - 10.0).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 0.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_rejected() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_rejected() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Supplementary artifact: every Table 1 bound as a *curve* over α,
+//! emitted as CSV — the series behind any bounds-vs-α figure (log-scale
+//! recommended; the regime crossings at α ≈ 1.44 and α ≈ 3.27 are the
+//! interesting landmarks, printed at the end).
+
+use qbss_analysis::bounds as b;
+use qbss_analysis::rho::{offline_lb_crossover, rho1_rho2_crossover, rho3};
+
+fn main() {
+    println!(
+        "alpha,oracle_lb,offline_lb,randomized_lb,crcd_ub,crcd_refined,crp2d_ub,crad_ub,\
+         avrq_lb,avrq_ub,bkpq_lb,bkpq_ub,avrqm_ub,avr,oa,bkp"
+    );
+    let mut alpha = 1.05;
+    while alpha <= 4.0 + 1e-9 {
+        let refined = rho3(alpha).map_or(f64::NAN, |v| v.min(b::crcd_energy_ub(alpha)));
+        println!(
+            "{alpha:.2},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            b::oracle_energy_lb(alpha),
+            b::offline_energy_lb(alpha),
+            b::randomized_energy_lb(alpha),
+            b::crcd_energy_ub(alpha),
+            refined,
+            b::crp2d_energy_ub(alpha),
+            b::crad_energy_ub(alpha),
+            b::avrq_energy_lb(alpha),
+            b::avrq_energy_ub(alpha),
+            b::bkpq_energy_lb(alpha),
+            b::bkpq_energy_ub(alpha),
+            b::avrq_m_energy_ub(alpha),
+            b::avr_energy(alpha),
+            b::oa_energy(alpha),
+            b::bkp_energy(alpha),
+        );
+        alpha += 0.05;
+    }
+    eprintln!("# regime landmarks:");
+    eprintln!("#   rho1 = rho2 (CRCD analyses cross) at alpha = {:.4}", rho1_rho2_crossover());
+    eprintln!(
+        "#   phi^a = 2^(a-1) (offline LB switches)  at alpha = {:.4}",
+        offline_lb_crossover()
+    );
+}

@@ -1,0 +1,208 @@
+//! E9 — Figure 1 of the paper: the analysis instances `I*`, `I'`,
+//! `I'_{1/2}` behind CRP2D's proof, rendered as interval diagrams for a
+//! concrete instance, plus an empirical verification of the proof chain
+//!
+//!   `E' ≤ φ^α E*`  (Lemma 4.9),
+//!   `E'_{1/2} ≤ 2^α E'`  (Lemma 4.10),
+//!   `E(CRP2D) ≤ 2^α E'_{1/2}`  (Corollary 4.12),
+//!   and hence `E(CRP2D) ≤ (4φ)^α E*`  (Theorem 4.13),
+//!
+//! over random power-of-two ensembles.
+
+use qbss_bench::table::{fmt, Table};
+use qbss_core::model::{QJob, QbssInstance};
+use qbss_core::offline::{crp2d, energy_chain, in_query_set};
+use qbss_core::PHI;
+use qbss_instances::gen::{generate, Compressibility, GenConfig, QueryModel, TimeModel};
+use rayon::prelude::*;
+
+/// The concrete 4-deadline example the diagram renders (matching the
+/// figure's geometry: deadlines 1, 2, 4, 8; a mix of A and B jobs).
+fn figure_instance() -> QbssInstance {
+    QbssInstance::new(vec![
+        QJob::new(0, 0.0, 1.0, 0.2, 1.0, 0.3),  // B
+        QJob::new(1, 0.0, 2.0, 0.5, 1.5, 0.8),  // B
+        QJob::new(2, 0.0, 4.0, 3.5, 4.0, 2.0),  // A (3.5φ > 4)
+        QJob::new(3, 0.0, 8.0, 1.0, 6.0, 0.5),  // B
+    ])
+}
+
+/// Renders one job's interval layout as an ASCII bar over (0, horizon].
+fn bar(start: f64, end: f64, horizon: f64, ch: char) -> String {
+    const COLS: usize = 64;
+    let mut s: Vec<char> = vec!['.'; COLS];
+    let a = ((start / horizon) * COLS as f64).round() as usize;
+    let b = (((end / horizon) * COLS as f64).round() as usize).min(COLS);
+    for c in s.iter_mut().take(b).skip(a.min(b)) {
+        *c = ch;
+    }
+    s.into_iter().collect()
+}
+
+fn main() {
+    let inst = figure_instance();
+    let horizon = inst.max_deadline();
+
+    println!("E9: Figure 1 — the three analysis instances for CRP2D's proof");
+    println!("(jobs released at 0; deadlines 1, 2, 4, 8; Q = query, W = exact/upper work)\n");
+
+    println!("I*  (clairvoyant: p* over the full window)");
+    for j in &inst.jobs {
+        println!(
+            "  job {} [{}]  (0, {}]  p* = {}",
+            j.id,
+            bar(0.0, j.deadline, horizon, 'W'),
+            j.deadline,
+            fmt(j.p_star()),
+        );
+    }
+
+    println!("\nI'  (relaxed: query and exact load may use the whole window)");
+    for j in &inst.jobs {
+        if in_query_set(j) {
+            println!(
+                "  job {} [{}]  (0, {}]  c  = {}",
+                j.id,
+                bar(0.0, j.deadline, horizon, 'Q'),
+                j.deadline,
+                fmt(j.query_load),
+            );
+            println!(
+                "  job {} [{}]  (0, {}]  w* = {}",
+                j.id,
+                bar(0.0, j.deadline, horizon, 'W'),
+                j.deadline,
+                fmt(j.reveal_exact()),
+            );
+        } else {
+            println!(
+                "  job {} [{}]  (0, {}]  w  = {}",
+                j.id,
+                bar(0.0, j.deadline, horizon, 'W'),
+                j.deadline,
+                fmt(j.upper_bound),
+            );
+        }
+    }
+
+    println!("\nI'_1/2  (committed: query in the first half, exact load in the second)");
+    for j in &inst.jobs {
+        if in_query_set(j) {
+            let mid = 0.5 * j.deadline;
+            println!(
+                "  job {} [{}]  (0, {}]  c  = {}",
+                j.id,
+                bar(0.0, mid, horizon, 'Q'),
+                mid,
+                fmt(j.query_load),
+            );
+            println!(
+                "  job {} [{}]  ({}, {}]  w* = {}",
+                j.id,
+                bar(mid, j.deadline, horizon, 'W'),
+                mid,
+                j.deadline,
+                fmt(j.reveal_exact()),
+            );
+        } else {
+            println!(
+                "  job {} [{}]  (0, {}]  w  = {}",
+                j.id,
+                bar(0.0, j.deadline, horizon, 'W'),
+                j.deadline,
+                fmt(j.upper_bound),
+            );
+        }
+    }
+
+    // The energy chain on the figure instance.
+    println!("\nEnergy chain on the figure instance (alpha = 3):");
+    let alpha = 3.0;
+    let (e_star, e_prime, e_half) = energy_chain(&inst, alpha);
+    let out = crp2d(&inst);
+    out.validate(&inst).expect("CRP2D outcome valid");
+    let e_alg = out.energy(alpha);
+    let mut t = Table::new(vec!["quantity", "value", "chain bound", "bound value", "holds"]);
+    t.row(vec!["E*".to_string(), fmt(e_star), "-".into(), "-".into(), "-".into()]);
+    t.row(vec![
+        "E'".to_string(),
+        fmt(e_prime),
+        "phi^a E*".into(),
+        fmt(PHI.powf(alpha) * e_star),
+        (e_prime <= PHI.powf(alpha) * e_star * (1.0 + 1e-9)).to_string(),
+    ]);
+    t.row(vec![
+        "E'_1/2".to_string(),
+        fmt(e_half),
+        "2^a E'".into(),
+        fmt(2.0f64.powf(alpha) * e_prime),
+        (e_half <= 2.0f64.powf(alpha) * e_prime * (1.0 + 1e-9)).to_string(),
+    ]);
+    t.row(vec![
+        "E(CRP2D)".to_string(),
+        fmt(e_alg),
+        "(4phi)^a E*".into(),
+        fmt((4.0 * PHI).powf(alpha) * e_star),
+        (e_alg <= (4.0 * PHI).powf(alpha) * e_star * (1.0 + 1e-9)).to_string(),
+    ]);
+    t.print();
+
+    // The chain over a random power-of-two ensemble.
+    println!("\nChain over 300 random power-of-2 instances, worst factors observed:");
+    let mut violations = 0usize;
+    let mut t = Table::new(vec![
+        "alpha",
+        "max E'/E*",
+        "phi^a",
+        "max E'_1/2 / E'",
+        "2^a",
+        "max E(alg)/E*",
+        "(4phi)^a",
+    ]);
+    for &alpha in &[1.5, 2.0, 2.5, 3.0] {
+        let rows: Vec<(f64, f64, f64)> = (0..300u64)
+            .into_par_iter()
+            .map(|seed| {
+                let cfg = GenConfig {
+                    n: 30,
+                    seed,
+                    time: TimeModel::PowersOfTwo { min_exp: 0, max_exp: 5 },
+                    min_w: 0.5,
+                    max_w: 4.0,
+                    query: QueryModel::UniformFraction { lo: 0.05, hi: 0.95 },
+                    compress: Compressibility::Uniform,
+                };
+                let inst = generate(&cfg);
+                let (e_star, e_prime, e_half) = energy_chain(&inst, alpha);
+                let out = crp2d(&inst);
+                (e_prime / e_star, e_half / e_prime, out.energy(alpha) / e_star)
+            })
+            .collect();
+        let m1 = rows.iter().map(|r| r.0).fold(0.0, f64::max);
+        let m2 = rows.iter().map(|r| r.1).fold(0.0, f64::max);
+        let m3 = rows.iter().map(|r| r.2).fold(0.0, f64::max);
+        if m1 > PHI.powf(alpha) * (1.0 + 1e-6)
+            || m2 > 2.0f64.powf(alpha) * (1.0 + 1e-6)
+            || m3 > (4.0 * PHI).powf(alpha) * (1.0 + 1e-6)
+        {
+            violations += 1;
+            eprintln!("CHAIN VIOLATION at alpha = {alpha}: {m1} {m2} {m3}");
+        }
+        t.row(vec![
+            format!("{alpha}"),
+            fmt(m1),
+            fmt(PHI.powf(alpha)),
+            fmt(m2),
+            fmt(2.0f64.powf(alpha)),
+            fmt(m3),
+            fmt((4.0 * PHI).powf(alpha)),
+        ]);
+    }
+    t.print();
+
+    if violations == 0 {
+        println!("\nOK: Lemma 4.9 / Lemma 4.10 / Theorem 4.13 chain holds everywhere.");
+    } else {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,93 @@
+//! E0 — **Table 1 itself**: the paper's summary-of-results table,
+//! regenerated from the closed-form bound formulas in `qbss-analysis`.
+//!
+//! Table 1 is a table of *formulas*; this binary prints it in the
+//! paper's layout with each cell evaluated on an α grid, and asserts
+//! the internal consistency every theory table must satisfy (LB ≤ UB
+//! per row, monotone growth in α, the advertised factorizations).
+
+use qbss_analysis::bounds as b;
+use qbss_bench::table::{fmt, Table};
+
+const ALPHAS: [f64; 4] = [1.5, 2.0, 2.5, 3.0];
+
+/// One Table 1 row: setting, label, formula text, bound function.
+type BoundRow = (&'static str, &'static str, &'static str, fn(f64) -> f64);
+
+fn main() {
+    println!("E0: Table 1 of the paper — 'Summary of our results' (energy objective)\n");
+    println!("Rows as printed in the paper; cells evaluated at alpha = 1.5, 2, 2.5, 3.\n");
+
+    let mut t = Table::new(vec![
+        "setting", "row", "formula", "a=1.5", "a=2", "a=2.5", "a=3",
+    ]);
+    let rows: Vec<BoundRow> = vec![
+        ("offline", "Oracle LB", "phi^a", b::oracle_energy_lb),
+        ("offline", "LB (det.)", "max(phi^a, 2^(a-1))", b::offline_energy_lb),
+        ("offline", "CRCD UB", "min(2^(a-1) phi^a, 2^a)", b::crcd_energy_ub),
+        ("offline", "CRP2D UB", "(4 phi)^a", b::crp2d_energy_ub),
+        ("offline", "CRAD UB", "(8 phi)^a", b::crad_energy_ub),
+        ("online", "AVRQ LB", "(2a)^a", b::avrq_energy_lb),
+        ("online", "AVRQ UB", "2^a 2^(a-1) a^a", b::avrq_energy_ub),
+        ("online", "BKPQ LB", "3^(a-1)", b::bkpq_energy_lb),
+        ("online", "BKPQ UB", "(2+phi)^a 2(a/(a-1))^a e^a", b::bkpq_energy_ub),
+        ("online", "AVRQ(m) LB", "(2a)^a", b::avrq_m_energy_lb),
+        ("online", "AVRQ(m) UB", "2^a (2^(a-1) a^a + 1)", b::avrq_m_energy_ub),
+    ];
+    for (setting, row, formula, f) in &rows {
+        t.row(vec![
+            setting.to_string(),
+            row.to_string(),
+            formula.to_string(),
+            fmt(f(ALPHAS[0])),
+            fmt(f(ALPHAS[1])),
+            fmt(f(ALPHAS[2])),
+            fmt(f(ALPHAS[3])),
+        ]);
+    }
+    t.print();
+
+    println!("\nMax-speed column of Table 1 (alpha-independent):");
+    let mut t = Table::new(vec!["row", "value"]);
+    t.row(vec!["Oracle LB".to_string(), fmt(b::oracle_speed_lb())]);
+    t.row(vec!["LB (det.)".to_string(), fmt(b::offline_speed_lb())]);
+    t.row(vec!["LB (rand.)".to_string(), fmt(b::randomized_speed_lb())]);
+    t.row(vec!["CRCD UB".to_string(), fmt(b::crcd_speed_ub())]);
+    t.row(vec!["BKPQ UB (2+phi)e".to_string(), fmt(b::bkpq_speed_ub())]);
+    t.print();
+
+    // Consistency assertions.
+    let mut bad = 0usize;
+    for &a in &ALPHAS {
+        let checks = [
+            ("oracle LB <= det LB", b::oracle_energy_lb(a) <= b::offline_energy_lb(a) + 1e-12),
+            ("det LB <= CRCD UB", b::offline_energy_lb(a) <= b::crcd_energy_ub(a) + 1e-12),
+            ("CRCD <= CRP2D", b::crcd_energy_ub(a) <= b::crp2d_energy_ub(a) + 1e-12),
+            ("CRP2D <= CRAD", b::crp2d_energy_ub(a) <= b::crad_energy_ub(a) + 1e-12),
+            ("AVRQ LB <= UB", b::avrq_energy_lb(a) <= b::avrq_energy_ub(a) + 1e-12),
+            ("BKPQ LB <= UB", b::bkpq_energy_lb(a) <= b::bkpq_energy_ub(a) + 1e-12),
+            ("AVRQ(m) LB <= UB", b::avrq_m_energy_lb(a) <= b::avrq_m_energy_ub(a) + 1e-12),
+            (
+                "AVRQ UB = 2^a * AVR",
+                (b::avrq_energy_ub(a) - 2.0f64.powf(a) * b::avr_energy(a)).abs() < 1e-9,
+            ),
+            (
+                "BKPQ UB = (2+phi)^a * BKP",
+                (b::bkpq_energy_ub(a) - (2.0 + b::PHI).powf(a) * b::bkp_energy(a)).abs()
+                    < 1e-6 * b::bkpq_energy_ub(a),
+            ),
+        ];
+        for (name, ok) in checks {
+            if !ok {
+                eprintln!("INCONSISTENT at alpha = {a}: {name}");
+                bad += 1;
+            }
+        }
+    }
+    if bad == 0 {
+        println!("\nOK: all Table 1 rows internally consistent (LB <= UB, orderings,");
+        println!("    and the advertised query-penalty factorizations).");
+    } else {
+        std::process::exit(1);
+    }
+}

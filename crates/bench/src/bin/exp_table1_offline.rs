@@ -1,0 +1,150 @@
+//! E2–E4 — Table 1, offline rows: measured approximation ratios of
+//! CRCD, CRP2D and CRAD against the clairvoyant YDS optimum, next to
+//! the proven bounds, across the α grid and several instance families.
+//!
+//! What the paper's theory predicts (and this harness checks):
+//! * every measured ratio ≤ the proven bound (hard assertion);
+//! * CRCD additionally is ≤ 2 on maximum speed;
+//! * the ordering CRCD ≤ CRP2D ≤ CRAD of worst cases by construction
+//!   generality (more general deadlines → looser bound).
+
+use qbss_analysis::bounds;
+use qbss_bench::ensemble::{check_bound, measure_ensemble};
+use qbss_bench::table::{fmt, Table};
+use qbss_core::offline::{crad, crcd, crp2d};
+use qbss_instances::gen::{generate, Compressibility, GenConfig, QueryModel, TimeModel};
+
+const SEEDS: std::ops::Range<u64> = 0..300;
+const ALPHAS: [f64; 4] = [1.5, 2.0, 2.5, 3.0];
+
+fn families(n: usize, time: TimeModel) -> Vec<(&'static str, GenConfig)> {
+    let base = GenConfig {
+        n,
+        seed: 0,
+        time,
+        min_w: 0.5,
+        max_w: 4.0,
+        query: QueryModel::UniformFraction { lo: 0.05, hi: 0.95 },
+        compress: Compressibility::Uniform,
+    };
+    vec![
+        ("uniform", base),
+        ("bimodal", GenConfig { compress: Compressibility::Bimodal { p_compressible: 0.5 }, ..base }),
+        ("heavy-tail", GenConfig { compress: Compressibility::HeavyTail, ..base }),
+        ("incompress", GenConfig { compress: Compressibility::Incompressible, ..base }),
+        ("fully-compress", GenConfig { compress: Compressibility::FullyCompressible, ..base }),
+    ]
+}
+
+fn main() {
+    let mut violations: Vec<String> = Vec::new();
+
+    // ---------------- E2: CRCD ----------------
+    println!("E2: CRCD (common release, common deadline) — Theorem 4.6");
+    println!("bound(energy) = min(2^(a-1)*phi^a, 2^a); bound(speed) = 2\n");
+    let mut t = Table::new(vec![
+        "alpha", "family", "max E-ratio", "mean E-ratio", "bound", "max s-ratio", "s-bound",
+    ]);
+    for &alpha in &ALPHAS {
+        for (name, cfg) in families(40, TimeModel::CommonDeadline { d: 8.0 }) {
+            let rep = measure_ensemble(
+                SEEDS,
+                alpha,
+                |seed| generate(&GenConfig { seed, ..cfg }),
+                crcd,
+            );
+            let bound = bounds::crcd_energy_ub(alpha);
+            violations.extend(
+                check_bound(&format!("CRCD energy α={alpha} {name}"), rep.energy.max, bound)
+                    .err(),
+            );
+            violations.extend(
+                check_bound(&format!("CRCD speed α={alpha} {name}"), rep.speed.max, 2.0).err(),
+            );
+            t.row(vec![
+                format!("{alpha}"),
+                name.to_string(),
+                fmt(rep.energy.max),
+                fmt(rep.energy.mean),
+                fmt(bound),
+                fmt(rep.speed.max),
+                "2".to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    // ---------------- E3: CRP2D ----------------
+    println!("\nE3: CRP2D (power-of-2 deadlines) — Theorem 4.13");
+    println!("bound(energy) = (4*phi)^a\n");
+    let mut t = Table::new(vec!["alpha", "family", "max E-ratio", "mean E-ratio", "bound"]);
+    for &alpha in &ALPHAS {
+        for (name, cfg) in families(40, TimeModel::PowersOfTwo { min_exp: 0, max_exp: 5 }) {
+            let rep = measure_ensemble(
+                SEEDS,
+                alpha,
+                |seed| generate(&GenConfig { seed, ..cfg }),
+                crp2d,
+            );
+            let bound = bounds::crp2d_energy_ub(alpha);
+            violations.extend(
+                check_bound(&format!("CRP2D energy α={alpha} {name}"), rep.energy.max, bound)
+                    .err(),
+            );
+            t.row(vec![
+                format!("{alpha}"),
+                name.to_string(),
+                fmt(rep.energy.max),
+                fmt(rep.energy.mean),
+                fmt(bound),
+            ]);
+        }
+    }
+    t.print();
+
+    // ---------------- E4: CRAD ----------------
+    println!("\nE4: CRAD (arbitrary deadlines) — Corollary 4.15");
+    println!("bound(energy) = (8*phi)^a\n");
+    let mut t = Table::new(vec!["alpha", "family", "max E-ratio", "mean E-ratio", "bound"]);
+    for &alpha in &ALPHAS {
+        for (name, cfg) in families(40, TimeModel::ArbitraryDeadlines { min_d: 1.0, max_d: 50.0 })
+        {
+            let rep = measure_ensemble(
+                SEEDS,
+                alpha,
+                |seed| generate(&GenConfig { seed, ..cfg }),
+                crad,
+            );
+            let bound = bounds::crad_energy_ub(alpha);
+            violations.extend(
+                check_bound(&format!("CRAD energy α={alpha} {name}"), rep.energy.max, bound)
+                    .err(),
+            );
+            t.row(vec![
+                format!("{alpha}"),
+                name.to_string(),
+                fmt(rep.energy.max),
+                fmt(rep.energy.mean),
+                fmt(bound),
+            ]);
+        }
+    }
+    t.print();
+
+    println!("\nPaper bounds at alpha = 3:");
+    println!(
+        "  CRCD {} | CRP2D {} | CRAD {}",
+        fmt(bounds::crcd_energy_ub(3.0)),
+        fmt(bounds::crp2d_energy_ub(3.0)),
+        fmt(bounds::crad_energy_ub(3.0)),
+    );
+
+    if violations.is_empty() {
+        println!("\nOK: no proven bound violated across {} runs.", 3 * ALPHAS.len() * 5 * 300);
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,171 @@
+//! E6–E7 — Table 1, online rows: AVRQ and BKPQ (plus the OAQ
+//! extension) on online arrival traces.
+//!
+//! Measured per algorithm:
+//! * energy ratio vs the clairvoyant YDS optimum (≤ proven bound);
+//! * max-speed ratio (BKPQ additionally ≤ (2+φ)e);
+//! * the pointwise speed-domination theorems, checked on every trace:
+//!   `s^AVRQ(t) ≤ 2 s^AVR*(t)` (Theorem 5.2) and
+//!   `s^BKPQ(t) ≤ (2+φ) s^BKP*(t)` (Theorem 5.4);
+//! * the Lemma 5.1 adversarial family for AVRQ, with a γ-parameter
+//!   search, reported next to the `(2α)^α` lower bound.
+
+use qbss_analysis::bounds;
+use qbss_analysis::numeric::grid_then_golden_max;
+use qbss_bench::ensemble::{check_bound, measure_ensemble};
+use qbss_bench::table::{fmt, Table};
+use qbss_core::online::{
+    avr_star_profile, avrq, avrq_profile, bkp_star_profile, bkpq, bkpq_profile, oaq,
+};
+use qbss_core::PHI;
+use qbss_instances::adversary::{avrq_adversary, avrq_adversary_staggered};
+use qbss_instances::gen::{generate, Compressibility, GenConfig};
+use rayon::prelude::*;
+
+const SEEDS: std::ops::Range<u64> = 0..200;
+const ALPHAS: [f64; 4] = [1.5, 2.0, 2.5, 3.0];
+
+/// An algorithm row in the comparison: name, runner, energy bound.
+type AlgRow = (&'static str, fn(&qbss_core::QbssInstance) -> qbss_core::QbssOutcome, f64);
+
+fn trace(n: usize, seed: u64, compress: Compressibility) -> qbss_core::QbssInstance {
+    generate(&GenConfig { compress, ..GenConfig::online_default(n, seed) })
+}
+
+fn main() {
+    let mut violations: Vec<String> = Vec::new();
+
+    // -------- energy & speed ratios over random traces --------
+    println!("E6/E7: online algorithms on random arrival traces (n = 30)\n");
+    let mut t = Table::new(vec![
+        "alpha", "algorithm", "family", "max E-ratio", "mean E-ratio", "E-bound", "max s-ratio",
+    ]);
+    let compressions = [
+        ("uniform", Compressibility::Uniform),
+        ("bimodal", Compressibility::Bimodal { p_compressible: 0.5 }),
+        ("incompress", Compressibility::Incompressible),
+    ];
+    for &alpha in &ALPHAS {
+        for &(fam, compress) in &compressions {
+            let algs: [AlgRow; 3] = [
+                ("AVRQ", avrq, bounds::avrq_energy_ub(alpha)),
+                ("BKPQ", bkpq, bounds::bkpq_energy_ub(alpha)),
+                // OAQ has no proven bound (open question): report only,
+                // check against the (huge) BKPQ bound as a sanity rail.
+                ("OAQ", oaq, f64::INFINITY),
+            ];
+            for (name, alg, bound) in algs {
+                let rep = measure_ensemble(
+                    SEEDS,
+                    alpha,
+                    |seed| trace(30, seed, compress),
+                    alg,
+                );
+                if bound.is_finite() {
+                    violations.extend(
+                        check_bound(&format!("{name} energy α={alpha} {fam}"), rep.energy.max, bound)
+                            .err(),
+                    );
+                }
+                if name == "BKPQ" {
+                    violations.extend(
+                        check_bound(
+                            &format!("BKPQ max-speed α={alpha} {fam}"),
+                            rep.speed.max,
+                            bounds::bkpq_speed_ub(),
+                        )
+                        .err(),
+                    );
+                }
+                t.row(vec![
+                    format!("{alpha}"),
+                    name.to_string(),
+                    fam.to_string(),
+                    fmt(rep.energy.max),
+                    fmt(rep.energy.mean),
+                    if bound.is_finite() { fmt(bound) } else { "(open)".into() },
+                    fmt(rep.speed.max),
+                ]);
+            }
+        }
+    }
+    t.print();
+
+    // -------- pointwise speed-domination theorems --------
+    println!("\nTheorem 5.2 / 5.4 pointwise checks over {} traces:", SEEDS.end);
+    let dom_violations: Vec<String> = SEEDS
+        .into_par_iter()
+        .flat_map(|seed| {
+            let inst = trace(30, seed, Compressibility::Uniform);
+            let mut errs = Vec::new();
+            if let Err(t) = avrq_profile(&inst).dominated_by(&avr_star_profile(&inst), 2.0) {
+                errs.push(format!("seed {seed}: s^AVRQ > 2 s^AVR* at t = {t}"));
+            }
+            if let Err(t) = bkpq_profile(&inst).dominated_by(&bkp_star_profile(&inst), 2.0 + PHI)
+            {
+                errs.push(format!("seed {seed}: s^BKPQ > (2+phi) s^BKP* at t = {t}"));
+            }
+            errs
+        })
+        .collect();
+    if dom_violations.is_empty() {
+        println!("  OK: s^AVRQ <= 2 s^AVR* and s^BKPQ <= (2+phi) s^BKP* everywhere.");
+    } else {
+        violations.extend(dom_violations);
+    }
+
+    // -------- Lemma 5.1: adversarial family for AVRQ --------
+    println!("\nLemma 5.1: AVRQ adversarial family — staggered releases r_i = 1 - gamma^i,");
+    println!("common deadline, works optimized by coordinate-ascent adversary search");
+    let mut t = Table::new(vec![
+        "alpha",
+        "geometric family",
+        "searched staggered",
+        "LB (2a)^a",
+        "UB 2^(2a-1)a^a",
+    ]);
+    for &alpha in &ALPHAS {
+        // Baseline: the plain geometric-deadline family, γ searched.
+        let (_, geo) = grid_then_golden_max(0.1, 0.9, 40, |gamma| {
+            let inst = avrq_adversary(20, gamma, 1e-9);
+            avrq(&inst).energy_ratio(&inst, alpha)
+        });
+        // Sharper: staggered releases with works optimized adversarially.
+        let n = 14;
+        let gamma = 0.55;
+        let ratio_of = |works: &[f64]| {
+            let inst = avrq_adversary_staggered(works, gamma, 1e-9);
+            avrq(&inst).energy_ratio(&inst, alpha)
+        };
+        let x0: Vec<f64> = (0..n).map(|i| 0.55f64.powi(i)).collect();
+        let (_, searched) = qbss_bench::coordinate_ascent(x0, 32.0, 8, |w| ratio_of(w));
+        violations.extend(
+            check_bound(
+                &format!("AVRQ adversary α={alpha}"),
+                searched.max(geo),
+                bounds::avrq_energy_ub(alpha),
+            )
+            .err(),
+        );
+        t.row(vec![
+            format!("{alpha}"),
+            fmt(geo),
+            fmt(searched),
+            fmt(bounds::avrq_energy_lb(alpha)),
+            fmt(bounds::avrq_energy_ub(alpha)),
+        ]);
+    }
+    t.print();
+    println!("(the (2a)^a LB is asymptotic — it needs n → ∞ jobs; the reproduced shape:");
+    println!(" the adversarial geometry drives AVRQ an order of magnitude above its");
+    println!(" random-trace ratios while staying inside [1, UB].)");
+
+    if violations.is_empty() {
+        println!("\nOK: no proven bound violated.");
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        std::process::exit(1);
+    }
+}

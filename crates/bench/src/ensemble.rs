@@ -1,0 +1,89 @@
+//! Parallel ensemble measurement: run an algorithm over many seeded
+//! instances and digest the energy / max-speed ratios.
+//!
+//! Per the HPC guides, the sweep is embarrassingly parallel and uses
+//! rayon's parallel iterators; every outcome is validated before its
+//! ratio is counted, so a harness run is also an end-to-end correctness
+//! pass over thousands of schedules.
+
+use qbss_analysis::stats::Summary;
+use qbss_core::model::QbssInstance;
+use qbss_core::outcome::QbssOutcome;
+use rayon::prelude::*;
+
+/// Digest of an algorithm over an instance ensemble at one `α`.
+#[derive(Debug, Clone, Copy)]
+pub struct EnsembleReport {
+    /// Digest of `E_ALG / E_OPT`.
+    pub energy: Summary,
+    /// Digest of `s_ALG / s_OPT`.
+    pub speed: Summary,
+}
+
+/// Runs `algorithm` on `make_instance(seed)` for every seed, validates
+/// each outcome, and digests the ratios against the clairvoyant YDS
+/// optimum.
+///
+/// Panics if any outcome fails validation — a harness run doubles as an
+/// acceptance test.
+pub fn measure_ensemble(
+    seeds: std::ops::Range<u64>,
+    alpha: f64,
+    make_instance: impl Fn(u64) -> QbssInstance + Sync,
+    algorithm: impl Fn(&QbssInstance) -> QbssOutcome + Sync,
+) -> EnsembleReport {
+    let ratios: Vec<(f64, f64)> = seeds
+        .into_par_iter()
+        .map(|seed| {
+            let inst = make_instance(seed);
+            let out = algorithm(&inst);
+            out.validate(&inst).unwrap_or_else(|e| {
+                panic!("outcome validation failed on seed {seed}: {e}")
+            });
+            (out.energy_ratio(&inst, alpha), out.speed_ratio(&inst))
+        })
+        .collect();
+    let energy: Vec<f64> = ratios.iter().map(|r| r.0).collect();
+    let speed: Vec<f64> = ratios.iter().map(|r| r.1).collect();
+    EnsembleReport { energy: Summary::of(&energy), speed: Summary::of(&speed) }
+}
+
+/// Asserts that an ensemble never exceeded a proven bound (with a small
+/// numeric slack), returning the violation message instead of panicking
+/// so binaries can collect all violations before exiting non-zero.
+pub fn check_bound(name: &str, measured_max: f64, bound: f64) -> Result<(), String> {
+    if measured_max <= bound * (1.0 + 1e-6) {
+        Ok(())
+    } else {
+        Err(format!(
+            "BOUND VIOLATION: {name}: measured max {measured_max} > proven bound {bound}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbss_core::online::bkpq;
+    use qbss_instances::gen::{generate, GenConfig};
+
+    #[test]
+    fn ensemble_runs_and_validates() {
+        let rep = measure_ensemble(
+            0..16,
+            3.0,
+            |seed| generate(&GenConfig::online_default(10, seed)),
+            bkpq,
+        );
+        assert_eq!(rep.energy.n, 16);
+        assert!(rep.energy.min >= 1.0 - 1e-9, "no algorithm beats OPT");
+        assert!(rep.speed.min >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn check_bound_behaviour() {
+        assert!(check_bound("x", 1.9, 2.0).is_ok());
+        assert!(check_bound("x", 2.0, 2.0).is_ok());
+        assert!(check_bound("x", 2.1, 2.0).is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! Implementation of the `qbss` subcommands.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use qbss_core::model::QbssInstance;
+use qbss_core::offline::{crad, crcd, crp2d, is_power_of_two_deadline};
+use qbss_core::online::{avrq, avrq_m, bkpq, oaq};
+use qbss_core::QbssOutcome;
+use qbss_instances::gen::{self, Compressibility, GenConfig, QueryModel, TimeModel};
+use qbss_instances::io;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+qbss — speed scaling with explorable uncertainty (SPAA 2021)
+
+USAGE:
+  qbss generate [--n N] [--seed S] [--family online|poisson|common|p2|arbitrary]
+                [--compress uniform|bimodal|heavytail|incompressible|full]
+                [--out FILE]
+  qbss run      --algorithm ALG --in FILE [--alpha A] [--machines M] [--gantt true] [--save-outcome FILE]
+                  ALG: avrq | bkpq | oaq | avrq-m | crcd | crp2d | crad
+  qbss compare  --in FILE [--alpha A]
+  qbss bounds   [--alpha A]
+  qbss rho
+  qbss help";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{key}`"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("--{name} needs a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: not a number: `{v}`")),
+    }
+}
+
+fn flag_usize(flags: &Flags, name: &str, default: usize) -> Result<usize, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: not an integer: `{v}`")),
+    }
+}
+
+fn load_instance(flags: &Flags) -> Result<QbssInstance, String> {
+    let path = flags.get("in").ok_or("--in FILE is required")?;
+    io::read_file(Path::new(path))
+}
+
+/// `qbss generate`.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let n = flag_usize(&flags, "n", 50)?;
+    let seed = flag_usize(&flags, "seed", 0)? as u64;
+    let time = match flags.get("family").map(String::as_str).unwrap_or("online") {
+        "online" => TimeModel::Online { horizon: n as f64 / 4.0, min_len: 0.5, max_len: 4.0 },
+        "common" => TimeModel::CommonDeadline { d: 8.0 },
+        "p2" => TimeModel::PowersOfTwo { min_exp: 0, max_exp: 5 },
+        "arbitrary" => TimeModel::ArbitraryDeadlines { min_d: 1.0, max_d: 50.0 },
+        "poisson" => TimeModel::Poisson { rate: 2.0, min_len: 0.5, max_len: 4.0 },
+        other => return Err(format!("unknown family `{other}`")),
+    };
+    let compress = match flags.get("compress").map(String::as_str).unwrap_or("uniform") {
+        "uniform" => Compressibility::Uniform,
+        "bimodal" => Compressibility::Bimodal { p_compressible: 0.5 },
+        "heavytail" => Compressibility::HeavyTail,
+        "incompressible" => Compressibility::Incompressible,
+        "full" => Compressibility::FullyCompressible,
+        other => return Err(format!("unknown compressibility `{other}`")),
+    };
+    let cfg = GenConfig {
+        n,
+        seed,
+        time,
+        min_w: 0.5,
+        max_w: 4.0,
+        query: QueryModel::UniformFraction { lo: 0.1, hi: 0.6 },
+        compress,
+    };
+    let inst = gen::generate(&cfg);
+    match flags.get("out") {
+        Some(path) => {
+            io::write_file(&inst, Path::new(path)).map_err(|e| e.to_string())?;
+            eprintln!("wrote {n} jobs to {path}");
+        }
+        None => println!("{}", io::to_json(&inst)),
+    }
+    Ok(())
+}
+
+fn print_outcome(out: &QbssOutcome, inst: &QbssInstance, alpha: f64) {
+    let queried = out.decisions.iter().filter(|d| d.queried).count();
+    println!("algorithm:     {}", out.algorithm);
+    println!("jobs:          {} ({} queried)", inst.len(), queried);
+    println!("energy:        {:.4} (alpha = {alpha})", out.energy(alpha));
+    println!("opt energy:    {:.4}", inst.opt_energy(alpha));
+    println!("energy ratio:  {:.4}", out.energy_ratio(inst, alpha));
+    println!("max speed:     {:.4}", out.max_speed());
+    println!("opt max speed: {:.4}", inst.opt_max_speed());
+    println!("speed ratio:   {:.4}", out.speed_ratio(inst));
+    println!("slices:        {}", out.schedule.slices.len());
+}
+
+/// `qbss run`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let inst = load_instance(&flags)?;
+    let alpha = flag_f64(&flags, "alpha", 3.0)?;
+    let alg = flags.get("algorithm").ok_or("--algorithm is required")?;
+    let out = run_algorithm(alg, &inst, &flags)?;
+    out.validate(&inst)?;
+    print_outcome(&out, &inst, alpha);
+    if flags.get("gantt").map(String::as_str) == Some("true") {
+        println!("\n{}", speed_scaling::render::schedule_report(&out.schedule));
+    }
+    if let Some(path) = flags.get("save-outcome") {
+        let json = serde_json::to_string_pretty(&out)
+            .expect("outcome serialization cannot fail");
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote outcome (decisions + schedule) to {path}");
+    }
+    Ok(())
+}
+
+fn run_algorithm(alg: &str, inst: &QbssInstance, flags: &Flags) -> Result<QbssOutcome, String> {
+    match alg {
+        "avrq" => Ok(avrq(inst)),
+        "bkpq" => Ok(bkpq(inst)),
+        "oaq" => Ok(oaq(inst)),
+        "avrq-m" => {
+            let m = flag_usize(flags, "machines", 2)?;
+            Ok(avrq_m(inst, m).outcome)
+        }
+        "crcd" => {
+            require(inst.has_common_release(0.0), "crcd needs release times 0")?;
+            require(inst.common_deadline().is_some(), "crcd needs a common deadline")?;
+            Ok(crcd(inst))
+        }
+        "crp2d" => {
+            require(inst.has_common_release(0.0), "crp2d needs release times 0")?;
+            require(
+                inst.jobs.iter().all(|j| is_power_of_two_deadline(j.deadline)),
+                "crp2d needs power-of-two deadlines",
+            )?;
+            Ok(crp2d(inst))
+        }
+        "crad" => {
+            require(inst.has_common_release(0.0), "crad needs release times 0")?;
+            Ok(crad(inst))
+        }
+        other => Err(format!("unknown algorithm `{other}`")),
+    }
+}
+
+fn require(cond: bool, msg: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg.to_string())
+    }
+}
+
+/// `qbss compare`.
+pub fn compare(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let inst = load_instance(&flags)?;
+    let alpha = flag_f64(&flags, "alpha", 3.0)?;
+
+    let mut candidates: Vec<&str> = vec!["avrq", "bkpq", "oaq"];
+    if inst.has_common_release(0.0) {
+        candidates.push("crad");
+        if inst.jobs.iter().all(|j| is_power_of_two_deadline(j.deadline)) {
+            candidates.push("crp2d");
+        }
+        if inst.common_deadline().is_some() {
+            candidates.push("crcd");
+        }
+    }
+
+    println!(
+        "{:<8} {:>12} {:>10} {:>12} {:>10} {:>9}",
+        "alg", "energy", "E-ratio", "max speed", "s-ratio", "queries"
+    );
+    for alg in candidates {
+        let out = run_algorithm(alg, &inst, &flags)?;
+        out.validate(&inst)?;
+        let queried = out.decisions.iter().filter(|d| d.queried).count();
+        println!(
+            "{:<8} {:>12.4} {:>10.4} {:>12.4} {:>10.4} {:>6}/{}",
+            out.algorithm,
+            out.energy(alpha),
+            out.energy_ratio(&inst, alpha),
+            out.max_speed(),
+            out.speed_ratio(&inst),
+            queried,
+            inst.len()
+        );
+    }
+    println!(
+        "{:<8} {:>12.4} {:>10} {:>12.4}",
+        "OPT",
+        inst.opt_energy(alpha),
+        "1.0000",
+        inst.opt_max_speed()
+    );
+    Ok(())
+}
+
+/// `qbss bounds`.
+pub fn bounds(args: &[String]) -> Result<(), String> {
+    use qbss_analysis::bounds as b;
+    let flags = parse_flags(args)?;
+    let a = flag_f64(&flags, "alpha", 3.0)?;
+    if a <= 1.0 {
+        return Err("alpha must exceed 1".into());
+    }
+    println!("Table 1 of the paper at alpha = {a}\n");
+    println!("offline (energy):");
+    println!("  oracle LB            {:.4}", b::oracle_energy_lb(a));
+    println!("  deterministic LB     {:.4}", b::offline_energy_lb(a));
+    println!("  randomized LB        {:.4}", b::randomized_energy_lb(a));
+    println!("  equal-window LB      {:.4}", b::equal_window_energy_lb(a));
+    println!("  CRCD UB              {:.4}", b::crcd_energy_ub(a));
+    println!("  CRP2D UB             {:.4}", b::crp2d_energy_ub(a));
+    println!("  CRAD UB              {:.4}", b::crad_energy_ub(a));
+    println!("online (energy):");
+    println!("  AVRQ   LB / UB       {:.4} / {:.4}", b::avrq_energy_lb(a), b::avrq_energy_ub(a));
+    println!("  BKPQ   LB / UB       {:.4} / {:.4}", b::bkpq_energy_lb(a), b::bkpq_energy_ub(a));
+    println!("  AVRQ(m) LB / UB      {:.4} / {:.4}", b::avrq_m_energy_lb(a), b::avrq_m_energy_ub(a));
+    println!("max speed:");
+    println!("  oracle LB {:.4} | det LB {:.4} | rand LB {:.4} | CRCD UB {:.4} | BKPQ UB {:.4}",
+        b::oracle_speed_lb(), b::offline_speed_lb(), b::randomized_speed_lb(),
+        b::crcd_speed_ub(), b::bkpq_speed_ub());
+    Ok(())
+}
+
+/// `qbss rho`.
+pub fn rho(_args: &[String]) -> Result<(), String> {
+    println!("alpha   rho1     rho2     rho3");
+    for row in qbss_analysis::rho::rho_table() {
+        let r3 = if row.rho3 == 0.0 { "   -".to_string() } else { format!("{:.3}", row.rho3) };
+        println!("{:<5} {:>7.3} {:>8.3} {:>8}", row.alpha, row.rho1, row.rho2, r3);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbss_core::model::QJob;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_pairs() {
+        let f = parse_flags(&args(&["--n", "10", "--seed", "3"])).unwrap();
+        assert_eq!(f.get("n").map(String::as_str), Some("10"));
+        assert_eq!(f.get("seed").map(String::as_str), Some("3"));
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_values() {
+        assert!(parse_flags(&args(&["n", "10"])).is_err());
+    }
+
+    #[test]
+    fn parse_flags_rejects_missing_value() {
+        let err = parse_flags(&args(&["--n"])).unwrap_err();
+        assert!(err.contains("needs a value"));
+    }
+
+    #[test]
+    fn flag_parsers_defaults_and_errors() {
+        let f = parse_flags(&args(&["--alpha", "2.5", "--m", "x"])).unwrap();
+        assert_eq!(flag_f64(&f, "alpha", 3.0).unwrap(), 2.5);
+        assert_eq!(flag_f64(&f, "missing", 3.0).unwrap(), 3.0);
+        assert!(flag_usize(&f, "m", 1).is_err());
+    }
+
+    #[test]
+    fn run_algorithm_dispatch() {
+        let inst = qbss_core::QbssInstance::new(vec![QJob::new(0, 0.0, 2.0, 0.5, 2.0, 0.5)]);
+        let flags = Flags::new();
+        for alg in ["avrq", "bkpq", "oaq", "crcd", "crp2d", "crad", "avrq-m"] {
+            let out = run_algorithm(alg, &inst, &flags).unwrap_or_else(|e| panic!("{alg}: {e}"));
+            out.validate(&inst).unwrap_or_else(|e| panic!("{alg}: {e}"));
+        }
+        assert!(run_algorithm("nope", &inst, &flags).is_err());
+    }
+
+    #[test]
+    fn run_algorithm_scope_checks() {
+        // Non-zero release: the offline algorithms must refuse.
+        let inst = qbss_core::QbssInstance::new(vec![QJob::new(0, 1.0, 2.0, 0.5, 2.0, 0.5)]);
+        let flags = Flags::new();
+        for alg in ["crcd", "crp2d", "crad"] {
+            assert!(run_algorithm(alg, &inst, &flags).is_err(), "{alg} must refuse");
+        }
+        // Non-power-of-two deadline: crp2d refuses, crad rounds.
+        let inst = qbss_core::QbssInstance::new(vec![QJob::new(0, 0.0, 3.0, 0.5, 2.0, 0.5)]);
+        assert!(run_algorithm("crp2d", &inst, &flags).is_err());
+        assert!(run_algorithm("crad", &inst, &flags).is_ok());
+    }
+
+    #[test]
+    fn generate_and_reload_via_tempfile() {
+        let dir = std::env::temp_dir().join("qbss-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.json");
+        generate(&args(&[
+            "--n", "12", "--seed", "9", "--family", "p2", "--out",
+            path.to_str().unwrap(),
+        ]))
+        .expect("generate");
+        let inst = io::read_file(&path).expect("reload");
+        assert_eq!(inst.len(), 12);
+        assert!(inst
+            .jobs
+            .iter()
+            .all(|j| qbss_core::offline::is_power_of_two_deadline(j.deadline)));
+    }
+
+    #[test]
+    fn bounds_rejects_bad_alpha() {
+        assert!(bounds(&args(&["--alpha", "1.0"])).is_err());
+        assert!(bounds(&args(&["--alpha", "2.0"])).is_ok());
+    }
+}

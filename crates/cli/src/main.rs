@@ -1,0 +1,45 @@
+//! `qbss` — command-line front end for the QBSS library.
+//!
+//! Subcommands:
+//!
+//! * `qbss generate` — write a random instance (JSON) to stdout/file;
+//! * `qbss run` — run one algorithm on an instance file, print the
+//!   decisions, energy and ratios;
+//! * `qbss compare` — run every applicable algorithm on an instance and
+//!   print a comparison table;
+//! * `qbss bounds` — print the paper's Table 1 at a given α;
+//! * `qbss rho` — print the §4.2 ρ-comparison table.
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency set to the approved list.
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(rest),
+        "run" => commands::run(rest),
+        "compare" => commands::compare(rest),
+        "bounds" => commands::bounds(rest),
+        "rho" => commands::rho(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! CRAD — Common Release, Arbitrary Deadlines (§4.4).
+//!
+//! Round every deadline *down* to the nearest power of two
+//! (`d' = max{2^i ≤ d}`, any integer `i`) and run CRP2D on the rounded
+//! instance. The rounded schedule is feasible for the original instance
+//! (windows only shrank), and Lemma 4.14 bounds the rounding loss by
+//! `2^α`, giving the `(8φ)^α` ratio of Corollary 4.15.
+
+use crate::model::{QJob, QbssInstance};
+use crate::outcome::QbssOutcome;
+
+use super::crp2d::crp2d;
+
+/// `max{2^i | 2^i ≤ d}` for positive `d` (integer `i`, any sign). Exact
+/// powers map to themselves.
+pub fn round_down_to_power_of_two(d: f64) -> f64 {
+    assert!(d.is_finite() && d > 0.0, "deadline must be positive, got {d}");
+    let k = d.log2().floor();
+    let mut p = k.exp2();
+    // log2/floor can land one step low on exact powers due to rounding;
+    // nudge up while still ≤ d.
+    if 2.0 * p <= d * (1.0 + 1e-12) {
+        p *= 2.0;
+    }
+    debug_assert!(p <= d * (1.0 + 1e-12) && 2.0 * p > d);
+    p
+}
+
+/// The deadline-rounded instance `Ǐ` of §4.4.
+pub fn rounded_instance(inst: &QbssInstance) -> QbssInstance {
+    inst.jobs
+        .iter()
+        .map(|j| {
+            QJob::new(
+                j.id,
+                j.release,
+                round_down_to_power_of_two(j.deadline),
+                j.query_load,
+                j.upper_bound,
+                j.reveal_exact(),
+            )
+        })
+        .collect()
+}
+
+/// Runs CRAD: CRP2D on the rounded instance. The returned outcome's
+/// schedule and decisions are feasible (and validated) for the
+/// *original* instance, since every rounded window is contained in the
+/// original one.
+pub fn crad(inst: &QbssInstance) -> QbssOutcome {
+    assert!(!inst.is_empty(), "CRAD needs at least one job");
+    assert!(inst.has_common_release(0.0), "CRAD requires release times 0");
+    let rounded = rounded_instance(inst);
+    let mut out = crp2d(&rounded);
+    out.algorithm = "CRAD".into();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PHI;
+
+    #[test]
+    fn rounding_values() {
+        assert_eq!(round_down_to_power_of_two(1.0), 1.0);
+        assert_eq!(round_down_to_power_of_two(2.0), 2.0);
+        assert_eq!(round_down_to_power_of_two(3.0), 2.0);
+        assert_eq!(round_down_to_power_of_two(4.0), 4.0);
+        assert_eq!(round_down_to_power_of_two(7.99), 4.0);
+        assert_eq!(round_down_to_power_of_two(0.75), 0.5);
+        assert_eq!(round_down_to_power_of_two(0.25), 0.25);
+        assert_eq!(round_down_to_power_of_two(1e6), 524288.0);
+    }
+
+    fn arb_instance() -> QbssInstance {
+        QbssInstance::new(vec![
+            QJob::new(0, 0.0, 1.3, 0.2, 1.0, 0.1),
+            QJob::new(1, 0.0, 2.0, 0.5, 1.0, 0.4),
+            QJob::new(2, 0.0, 5.7, 3.5, 4.0, 1.0),
+            QJob::new(3, 0.0, 9.2, 1.0, 6.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn rounded_windows_shrink() {
+        let inst = arb_instance();
+        let rounded = rounded_instance(&inst);
+        for (r, o) in rounded.jobs.iter().zip(&inst.jobs) {
+            assert!(r.deadline <= o.deadline + 1e-12);
+            assert!(2.0 * r.deadline > o.deadline, "rounding must lose < factor 2");
+        }
+    }
+
+    #[test]
+    fn outcome_validates_against_original() {
+        let inst = arb_instance();
+        let out = crad(&inst);
+        // Decisions/schedule live in rounded windows ⊂ original windows,
+        // so validation against the original instance must pass too.
+        out.validate(&inst).expect("CRAD outcome must validate on the original instance");
+        assert_eq!(out.algorithm, "CRAD");
+    }
+
+    #[test]
+    fn corollary_4_15_bound_holds() {
+        let inst = arb_instance();
+        let out = crad(&inst);
+        for &alpha in &[1.5, 2.0, 3.0] {
+            let ratio = out.energy_ratio(&inst, alpha);
+            let bound = (8.0 * PHI).powf(alpha);
+            assert!(ratio <= bound + 1e-9, "ratio {ratio} > (8φ)^α at α={alpha}");
+        }
+    }
+
+    #[test]
+    fn lemma_4_14_rounding_loss() {
+        // Ě ≤ 2^α E: the rounded clairvoyant optimum pays at most 2^α
+        // over the original one.
+        let inst = arb_instance();
+        let rounded = rounded_instance(&inst);
+        for &alpha in &[1.5, 2.0, 3.0] {
+            let e = inst.opt_energy(alpha);
+            let e_rounded = rounded.opt_energy(alpha);
+            assert!(
+                e_rounded <= 2.0f64.powf(alpha) * e * (1.0 + 1e-9),
+                "Ě ≤ 2^α E violated at α={alpha}"
+            );
+            assert!(e_rounded + 1e-9 >= e, "shrinking windows cannot reduce energy");
+        }
+    }
+
+    #[test]
+    fn already_power_of_two_instance_unchanged() {
+        let inst = QbssInstance::new(vec![
+            QJob::new(0, 0.0, 2.0, 0.5, 1.0, 0.0),
+            QJob::new(1, 0.0, 4.0, 0.5, 1.0, 0.0),
+        ]);
+        let rounded = rounded_instance(&inst);
+        assert_eq!(rounded, inst);
+    }
+}

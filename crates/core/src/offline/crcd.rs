@@ -1,0 +1,202 @@
+//! CRCD — Common Release, Common Deadline (Algorithm 1, §4.2).
+//!
+//! All jobs share the window `(0, D]` (any common window `(r0, D]` is
+//! supported). The jobs are partitioned with the golden-ratio rule into
+//! `B` (query) and `A` (no query); during the first half-window the
+//! machine executes all queries plus *half* of each unqueried workload
+//! at the constant speed `s1 = Σ δ`, and during the second half-window
+//! the revealed exact loads plus the remaining unqueried halves at
+//! `s2`. Theorem 4.6: 2-approximate for maximum speed,
+//! `min{2^{α−1}φ^α, 2^α}`-approximate for energy.
+
+use speed_scaling::job::JobId;
+use speed_scaling::schedule::{Schedule, Slice};
+use speed_scaling::time::EPS;
+
+use crate::decision::Decision;
+use crate::model::QbssInstance;
+use crate::outcome::QbssOutcome;
+use crate::policy::QueryRule;
+
+/// Runs CRCD with the paper's golden-ratio query rule.
+///
+/// Panics if the instance does not have a common release and a common
+/// deadline (this is the algorithm's stated scope).
+///
+/// ```
+/// use qbss_core::model::{QJob, QbssInstance};
+/// use qbss_core::offline::crcd;
+///
+/// let inst = QbssInstance::new(vec![
+///     QJob::new(0, 0.0, 2.0, 0.5, 2.0, 0.25), // cheap query → queried
+///     QJob::new(1, 0.0, 2.0, 1.8, 2.0, 0.1),  // 1.8·φ > 2 → skipped
+/// ]);
+/// let out = crcd(&inst);
+/// out.validate(&inst).unwrap();
+/// assert!(out.decisions[0].queried && !out.decisions[1].queried);
+/// // Theorem 4.6: at most 2× the clairvoyant peak speed.
+/// assert!(out.speed_ratio(&inst) <= 2.0 + 1e-9);
+/// ```
+pub fn crcd(inst: &QbssInstance) -> QbssOutcome {
+    crcd_with_rule(inst, QueryRule::GoldenRatio)
+}
+
+/// CRCD with an arbitrary *deterministic* query rule — the
+/// query-threshold ablation entry point.
+pub fn crcd_with_rule(inst: &QbssInstance, rule: QueryRule) -> QbssOutcome {
+    assert!(!rule.is_randomized(), "CRCD is a deterministic algorithm");
+    assert!(!inst.is_empty(), "CRCD needs at least one job");
+    let r0 = inst.jobs[0].release;
+    assert!(inst.has_common_release(r0), "CRCD requires a common release");
+    let d = inst.common_deadline().expect("CRCD requires a common deadline");
+    let mid = 0.5 * (r0 + d);
+    let half = mid - r0;
+
+    // Stage loads: (job id, first-half work, second-half work, queried).
+    let mut rng = crate::policy::NoRandomness;
+    let mut rows: Vec<(JobId, f64, f64, bool)> = Vec::with_capacity(inst.len());
+    for j in &inst.jobs {
+        if rule.decide(j, &mut rng) {
+            rows.push((j.id, j.query_load, j.reveal_exact(), true));
+        } else {
+            rows.push((j.id, 0.5 * j.upper_bound, 0.5 * j.upper_bound, false));
+        }
+    }
+
+    let s1: f64 = rows.iter().map(|r| r.1).sum::<f64>() / half;
+    let s2: f64 = rows.iter().map(|r| r.2).sum::<f64>() / half;
+
+    // Jobs run back-to-back at the constant stage speed (the order is
+    // immaterial; we keep instance order).
+    let mut schedule = Schedule::empty(1);
+    let mut cursor = r0;
+    for &(id, work, _, _) in &rows {
+        if work > EPS && s1 > EPS {
+            let dur = work / s1;
+            schedule.push(Slice { job: id, machine: 0, start: cursor, end: cursor + dur, speed: s1 });
+            cursor += dur;
+        }
+    }
+    debug_assert!(cursor <= mid + 1e-6 * (1.0 + half));
+    let mut cursor = mid;
+    for &(id, _, work, _) in &rows {
+        if work > EPS && s2 > EPS {
+            let dur = work / s2;
+            schedule.push(Slice { job: id, machine: 0, start: cursor, end: cursor + dur, speed: s2 });
+            cursor += dur;
+        }
+    }
+    debug_assert!(cursor <= d + 1e-6 * (1.0 + half));
+
+    let decisions = rows
+        .iter()
+        .map(|&(id, _, _, queried)| {
+            if queried {
+                Decision::query(id, mid)
+            } else {
+                Decision::no_query(id)
+            }
+        })
+        .collect();
+
+    QbssOutcome { algorithm: "CRCD".into(), decisions, schedule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QJob;
+    use crate::policy::PHI;
+
+    fn mixed_instance() -> QbssInstance {
+        QbssInstance::new(vec![
+            // B: c·φ ≤ w → queried; w* revealed small.
+            QJob::new(0, 0.0, 2.0, 0.5, 2.0, 0.25),
+            // A: c·φ > w → not queried.
+            QJob::new(1, 0.0, 2.0, 1.8, 2.0, 0.1),
+            // B again, incompressible (w* = w).
+            QJob::new(2, 0.0, 2.0, 1.0, 4.0, 4.0),
+        ])
+    }
+
+    #[test]
+    fn outcome_validates() {
+        let inst = mixed_instance();
+        let out = crcd(&inst);
+        out.validate(&inst).expect("CRCD outcome must validate");
+        assert_eq!(out.algorithm, "CRCD");
+    }
+
+    #[test]
+    fn stage_speeds_are_as_in_the_paper() {
+        let inst = mixed_instance();
+        let out = crcd(&inst);
+        // Half-window length 1. Stage 1: c0 + w1/2 + c2 = 0.5 + 1.0 + 1.
+        let s1_expected = 2.5;
+        // Stage 2: w*0 + w1/2 + w*2 = 0.25 + 1.0 + 4.
+        let s2_expected = 5.25;
+        let p = out.schedule.machine_profile(0);
+        assert!((p.speed_at(0.5) - s1_expected).abs() < 1e-9);
+        assert!((p.speed_at(1.5) - s2_expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem_4_6_bounds_hold() {
+        let inst = mixed_instance();
+        let out = crcd(&inst);
+        assert!(out.speed_ratio(&inst) <= 2.0 + 1e-9, "max-speed ratio exceeds 2");
+        for &alpha in &[1.5, 2.0, 2.5, 3.0] {
+            let bound = (2.0f64.powf(alpha - 1.0) * PHI.powf(alpha)).min(2.0f64.powf(alpha));
+            assert!(
+                out.energy_ratio(&inst, alpha) <= bound + 1e-9,
+                "energy ratio exceeds min(2^(α-1)φ^α, 2^α) at α={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_compressible_jobs() {
+        // Every job fully compressible: stage 2 holds only A-halves.
+        let inst = QbssInstance::new(vec![
+            QJob::new(0, 0.0, 4.0, 0.5, 2.0, 0.0),
+            QJob::new(1, 0.0, 4.0, 0.1, 1.0, 0.0),
+        ]);
+        let out = crcd(&inst);
+        out.validate(&inst).expect("valid");
+        let p = out.schedule.machine_profile(0);
+        assert!(p.speed_at(3.0) < 1e-9, "second half should be idle");
+    }
+
+    #[test]
+    fn never_rule_executes_upper_bounds() {
+        let inst = mixed_instance();
+        let out = crcd_with_rule(&inst, QueryRule::Never);
+        out.validate(&inst).expect("valid");
+        assert!(out.decisions.iter().all(|d| !d.queried));
+        // Both halves run (w0+w1+w2)/2 / 1 = 4.
+        let p = out.schedule.machine_profile(0);
+        assert!((p.speed_at(0.5) - 4.0).abs() < 1e-9);
+        assert!((p.speed_at(1.5) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonzero_common_release_supported() {
+        let inst = QbssInstance::new(vec![
+            QJob::new(0, 10.0, 14.0, 1.0, 3.0, 0.5),
+            QJob::new(1, 10.0, 14.0, 2.9, 3.0, 0.0),
+        ]);
+        let out = crcd(&inst);
+        out.validate(&inst).expect("valid");
+        assert_eq!(out.decisions[0].split, Some(12.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "common deadline")]
+    fn different_deadlines_rejected() {
+        let inst = QbssInstance::new(vec![
+            QJob::new(0, 0.0, 2.0, 1.0, 2.0, 1.0),
+            QJob::new(1, 0.0, 3.0, 1.0, 2.0, 1.0),
+        ]);
+        let _ = crcd(&inst);
+    }
+}

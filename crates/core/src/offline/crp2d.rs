@@ -1,0 +1,210 @@
+//! CRP2D — Common Release, Power-of-2 Deadlines (Algorithm 2, §4.3).
+//!
+//! Jobs are released at 0 and every deadline is a power of two (any
+//! integer exponent, possibly negative — CRAD's rounding produces
+//! sub-unit deadlines). The algorithm:
+//!
+//! 1. partitions with the golden-ratio rule into `B` (query) and `A`;
+//! 2. builds the classical set `Q ∪ W` — queries `(0, d_j/2, c_j)` for
+//!    `j ∈ B` and full workloads `(0, d_j, w_j)` for `j ∈ A` — and runs
+//!    YDS on it for the baseline speed `s^{YDS}(t)`;
+//! 3. as each batch of queries finishes (at `d/2` for each deadline
+//!    class `d`), schedules the revealed exact loads `(d/2, d, w*_j)` at
+//!    their density *on top of* the YDS speed.
+//!
+//! Theorem 4.13: `(4φ)^α`-approximate for energy.
+
+use speed_scaling::edf::{edf_schedule, EdfTask};
+use speed_scaling::job::{Instance, Job};
+use speed_scaling::profile::SpeedProfile;
+use speed_scaling::time::{dedup_times, Interval, EPS};
+use speed_scaling::yds::yds_profile;
+
+use crate::decision::Decision;
+use crate::model::QbssInstance;
+use crate::outcome::QbssOutcome;
+
+use super::transform::in_query_set;
+
+/// Whether `d` is (numerically) a power of two, `2^k` for integer `k`
+/// of any sign.
+pub fn is_power_of_two_deadline(d: f64) -> bool {
+    if !(d.is_finite() && d > 0.0) {
+        return false;
+    }
+    let k = d.log2().round();
+    (d - k.exp2()).abs() <= 1e-9 * d.max(1.0)
+}
+
+/// Runs CRP2D.
+///
+/// Panics if the instance is empty, has a non-zero release, or has a
+/// deadline that is not a power of two.
+pub fn crp2d(inst: &QbssInstance) -> QbssOutcome {
+    assert!(!inst.is_empty(), "CRP2D needs at least one job");
+    assert!(inst.has_common_release(0.0), "CRP2D requires release times 0");
+    for j in &inst.jobs {
+        assert!(
+            is_power_of_two_deadline(j.deadline),
+            "CRP2D requires power-of-two deadlines, got {}",
+            j.deadline
+        );
+    }
+
+    // Partition and the Q ∪ W base set.
+    let mut base_jobs: Vec<Job> = Vec::new();
+    let mut decisions: Vec<Decision> = Vec::with_capacity(inst.len());
+    let mut exact_blocks: Vec<(f64, f64)> = Vec::new(); // (deadline d, Σ w* of its class)
+    for j in &inst.jobs {
+        if in_query_set(j) {
+            let mid = 0.5 * j.deadline;
+            base_jobs.push(Job::new(j.id, 0.0, mid, j.query_load));
+            decisions.push(Decision::query(j.id, mid));
+            match exact_blocks.iter_mut().find(|(d, _)| (*d - j.deadline).abs() <= EPS) {
+                Some((_, sum)) => *sum += j.reveal_exact(),
+                None => exact_blocks.push((j.deadline, j.reveal_exact())),
+            }
+        } else {
+            base_jobs.push(Job::new(j.id, 0.0, j.deadline, j.upper_bound));
+            decisions.push(Decision::no_query(j.id));
+        }
+    }
+
+    // Baseline YDS speed for Q ∪ W.
+    let base = Instance::new(base_jobs);
+    let yds = yds_profile(&base);
+
+    // Extra speed: for each deadline class d with queried jobs, the
+    // exact loads run in (d/2, d] at their total density.
+    let mut events: Vec<f64> = yds.breakpoints().to_vec();
+    for &(d, _) in &exact_blocks {
+        events.push(0.5 * d);
+        events.push(d);
+    }
+    events.push(0.0);
+    events.push(inst.max_deadline());
+    let events = dedup_times(events);
+    let profile = SpeedProfile::from_events(events, |t| {
+        let extra: f64 = exact_blocks
+            .iter()
+            .filter(|&&(d, _)| 0.5 * d < t && t <= d)
+            .map(|&(d, sum)| sum / (0.5 * d))
+            .sum();
+        yds.speed_at(t) + extra
+    });
+
+    // All derived tasks run under the combined profile via EDF: the sum
+    // of two feasible profiles is feasible for the union of job sets,
+    // and EDF realizes any feasible profile.
+    let mut tasks: Vec<EdfTask> = base
+        .jobs
+        .iter()
+        .map(|j| EdfTask::new(j.id, j.window(), j.work))
+        .collect();
+    for j in &inst.jobs {
+        if in_query_set(j) {
+            tasks.push(EdfTask::new(
+                j.id,
+                Interval::new(0.5 * j.deadline, j.deadline),
+                j.reveal_exact(),
+            ));
+        }
+    }
+    let schedule = edf_schedule(&tasks, &profile, 0)
+        .expect("CRP2D's combined profile is feasible by construction");
+
+    QbssOutcome { algorithm: "CRP2D".into(), decisions, schedule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QJob;
+    use crate::policy::PHI;
+
+    fn p2_instance() -> QbssInstance {
+        QbssInstance::new(vec![
+            QJob::new(0, 0.0, 1.0, 0.2, 1.0, 0.1),
+            QJob::new(1, 0.0, 2.0, 0.5, 1.0, 0.4),
+            QJob::new(2, 0.0, 4.0, 3.5, 4.0, 1.0), // A: not queried
+            QJob::new(3, 0.0, 8.0, 1.0, 6.0, 0.0),
+            QJob::new(4, 0.0, 2.0, 0.3, 2.0, 2.0), // incompressible B job
+        ])
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        for &d in &[1.0, 2.0, 4.0, 1024.0, 0.5, 0.25, 0.0078125] {
+            assert!(is_power_of_two_deadline(d), "{d} is a power of two");
+        }
+        for &d in &[3.0, 1.5, 0.3, -2.0, 0.0] {
+            assert!(!is_power_of_two_deadline(d), "{d} is not");
+        }
+    }
+
+    #[test]
+    fn outcome_validates() {
+        let inst = p2_instance();
+        let out = crp2d(&inst);
+        out.validate(&inst).expect("CRP2D outcome must validate");
+    }
+
+    #[test]
+    fn queried_jobs_split_at_half_deadline() {
+        let inst = p2_instance();
+        let out = crp2d(&inst);
+        for (dec, j) in out.decisions.iter().zip(&inst.jobs) {
+            if dec.queried {
+                assert!((dec.split.unwrap() - 0.5 * j.deadline).abs() < 1e-12);
+            }
+        }
+        assert!(!out.decisions[2].queried);
+    }
+
+    #[test]
+    fn theorem_4_13_bound_holds() {
+        let inst = p2_instance();
+        let out = crp2d(&inst);
+        for &alpha in &[1.5, 2.0, 3.0] {
+            let ratio = out.energy_ratio(&inst, alpha);
+            let bound = (4.0 * PHI).powf(alpha);
+            assert!(ratio <= bound + 1e-9, "ratio {ratio} > (4φ)^α at α={alpha}");
+            assert!(ratio + 1e-9 >= 1.0, "ratio below 1 is impossible");
+        }
+    }
+
+    #[test]
+    fn single_deadline_class() {
+        // Power-of-2 instance that is also common-deadline.
+        let inst = QbssInstance::new(vec![
+            QJob::new(0, 0.0, 4.0, 0.5, 3.0, 0.5),
+            QJob::new(1, 0.0, 4.0, 1.0, 1.0, 1.0),
+        ]);
+        let out = crp2d(&inst);
+        out.validate(&inst).expect("valid");
+    }
+
+    #[test]
+    fn sub_unit_deadlines_accepted() {
+        let inst = QbssInstance::new(vec![
+            QJob::new(0, 0.0, 0.25, 0.1, 1.0, 0.3),
+            QJob::new(1, 0.0, 0.5, 0.2, 1.0, 0.0),
+        ]);
+        let out = crp2d(&inst);
+        out.validate(&inst).expect("valid");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_deadline_rejected() {
+        let inst = QbssInstance::new(vec![QJob::new(0, 0.0, 3.0, 1.0, 2.0, 1.0)]);
+        let _ = crp2d(&inst);
+    }
+
+    #[test]
+    #[should_panic(expected = "release times 0")]
+    fn nonzero_release_rejected() {
+        let inst = QbssInstance::new(vec![QJob::new(0, 1.0, 2.0, 0.5, 1.0, 0.5)]);
+        let _ = crp2d(&inst);
+    }
+}

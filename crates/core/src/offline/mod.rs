@@ -1,0 +1,23 @@
+//! Offline QBSS algorithms (§4 of the paper).
+//!
+//! All three assume a common release time; they differ in the deadline
+//! structure they accept:
+//!
+//! | algorithm | deadlines | energy ratio | max-speed ratio |
+//! |-----------|-----------|--------------|-----------------|
+//! | [`crcd::crcd`] | one common `D` | `min{2^{α−1}φ^α, 2^α}` | 2 |
+//! | [`crp2d::crp2d`] | powers of two | `(4φ)^α` | — |
+//! | [`crad::crad`] | arbitrary | `(8φ)^α` | — |
+//!
+//! [`transform`] holds the analysis instances `I*`, `I'`, `I'_{1/2}`
+//! behind CRP2D's proof (the paper's Figure 1).
+
+pub mod crad;
+pub mod crcd;
+pub mod crp2d;
+pub mod transform;
+
+pub use crad::{crad, round_down_to_power_of_two, rounded_instance};
+pub use crcd::{crcd, crcd_with_rule};
+pub use crp2d::{crp2d, is_power_of_two_deadline};
+pub use transform::{energy_chain, in_query_set, instance_prime, instance_prime_half, instance_star};

@@ -1,0 +1,148 @@
+//! The analysis instances `I*`, `I'`, `I'_{1/2}` of §4.3 (Figure 1).
+//!
+//! The proof of CRP2D's `(4φ)^α` bound (Theorem 4.13) chains three
+//! classical instances built from the QBSS instance and its golden-ratio
+//! partition `A`/`B`:
+//!
+//! * `I*`  — the clairvoyant instance `(0, d_j, p*_j)` for all `j`;
+//! * `I'`  — for `j ∈ B` the two *relaxed* jobs `(0, d_j, c_j)` and
+//!   `(0, d_j, w*_j)` (query and exact work may use the whole window);
+//!   for `j ∈ A` the job `(0, d_j, w_j)`;
+//! * `I'_{1/2}` — the *committed* version: `(0, d_j/2, c_j)` and
+//!   `(d_j/2, d_j, w*_j)` for `j ∈ B`, `(0, d_j, w_j)` for `j ∈ A`.
+//!
+//! Lemma 4.9: `E(I') ≤ φ^α E(I*)`; Lemma 4.10 (power-of-2 deadlines):
+//! `E(I'_{1/2}) ≤ 2^α E(I')`. The `exp_fig1_transform` experiment
+//! regenerates the figure's interval structure from these builders and
+//! verifies both inequalities empirically with YDS energies.
+
+use speed_scaling::job::{Instance, Job};
+
+use crate::model::{QJob, QbssInstance};
+use crate::policy::{QueryRule, SplitRule};
+
+/// Whether the golden-ratio rule puts `job` in the query set `B`.
+pub fn in_query_set(job: &QJob) -> bool {
+    QueryRule::GoldenRatio.decide(job, &mut crate::policy::NoRandomness)
+}
+
+/// The clairvoyant instance `I*` (same as
+/// [`QbssInstance::clairvoyant_instance`], re-exported here for the
+/// experiment's vocabulary).
+pub fn instance_star(inst: &QbssInstance) -> Instance {
+    inst.clairvoyant_instance()
+}
+
+/// The relaxed instance `I'`.
+pub fn instance_prime(inst: &QbssInstance) -> Instance {
+    let mut jobs = Vec::with_capacity(2 * inst.len());
+    for j in &inst.jobs {
+        if in_query_set(j) {
+            jobs.push(Job::new(j.id, j.release, j.deadline, j.query_load));
+            jobs.push(Job::new(j.id, j.release, j.deadline, j.reveal_exact()));
+        } else {
+            jobs.push(Job::new(j.id, j.release, j.deadline, j.upper_bound));
+        }
+    }
+    Instance::new(jobs)
+}
+
+/// The committed instance `I'_{1/2}`.
+pub fn instance_prime_half(inst: &QbssInstance) -> Instance {
+    let mut jobs = Vec::with_capacity(2 * inst.len());
+    for j in &inst.jobs {
+        if in_query_set(j) {
+            let mid = SplitRule::EqualWindow.split(j);
+            jobs.push(Job::new(j.id, j.release, mid, j.query_load));
+            jobs.push(Job::new(j.id, mid, j.deadline, j.reveal_exact()));
+        } else {
+            jobs.push(Job::new(j.id, j.release, j.deadline, j.upper_bound));
+        }
+    }
+    Instance::new(jobs)
+}
+
+/// YDS energies of the three analysis instances, in chain order
+/// `(E*, E', E'_{1/2})`.
+pub fn energy_chain(inst: &QbssInstance, alpha: f64) -> (f64, f64, f64) {
+    (
+        speed_scaling::yds::optimal_energy(&instance_star(inst), alpha),
+        speed_scaling::yds::optimal_energy(&instance_prime(inst), alpha),
+        speed_scaling::yds::optimal_energy(&instance_prime_half(inst), alpha),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PHI;
+
+    fn power_of_two_instance() -> QbssInstance {
+        QbssInstance::new(vec![
+            QJob::new(0, 0.0, 1.0, 0.2, 1.0, 0.1),  // B
+            QJob::new(1, 0.0, 2.0, 0.5, 1.0, 0.4),  // B
+            QJob::new(2, 0.0, 4.0, 3.5, 4.0, 1.0),  // A (3.5·φ > 4)
+            QJob::new(3, 0.0, 8.0, 1.0, 6.0, 0.0),  // B
+        ])
+    }
+
+    #[test]
+    fn partition_matches_rule() {
+        let inst = power_of_two_instance();
+        let flags: Vec<bool> = inst.jobs.iter().map(in_query_set).collect();
+        assert_eq!(flags, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn instance_sizes() {
+        let inst = power_of_two_instance();
+        // 3 queried jobs contribute 2 classical jobs each, 1 unqueried
+        // contributes 1.
+        assert_eq!(instance_prime(&inst).len(), 7);
+        assert_eq!(instance_prime_half(&inst).len(), 7);
+        assert_eq!(instance_star(&inst).len(), 4);
+    }
+
+    #[test]
+    fn half_instance_windows() {
+        let inst = power_of_two_instance();
+        let half = instance_prime_half(&inst);
+        // Job 0's query lives in (0, 0.5], its exact work in (0.5, 1].
+        assert_eq!(half.jobs[0].deadline, 0.5);
+        assert_eq!(half.jobs[1].release, 0.5);
+        assert_eq!(half.jobs[1].deadline, 1.0);
+    }
+
+    #[test]
+    fn lemma_4_9_chain_holds() {
+        let inst = power_of_two_instance();
+        for &alpha in &[1.5, 2.0, 3.0] {
+            let (e_star, e_prime, _) = energy_chain(&inst, alpha);
+            assert!(
+                e_prime <= PHI.powf(alpha) * e_star * (1.0 + 1e-9),
+                "E' ≤ φ^α E* violated at α={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_4_10_chain_holds() {
+        let inst = power_of_two_instance();
+        for &alpha in &[1.5, 2.0, 3.0] {
+            let (_, e_prime, e_half) = energy_chain(&inst, alpha);
+            assert!(
+                e_half <= 2.0f64.powf(alpha) * e_prime * (1.0 + 1e-9),
+                "E'_half ≤ 2^α E' violated at α={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn relaxation_ordering() {
+        // I'_{1/2} is more constrained than I', so its optimum is at
+        // least as expensive.
+        let inst = power_of_two_instance();
+        let (_, e_prime, e_half) = energy_chain(&inst, 3.0);
+        assert!(e_half + 1e-9 >= e_prime);
+    }
+}

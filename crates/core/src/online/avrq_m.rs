@@ -1,0 +1,248 @@
+//! AVRQ(m) — multi-machine AVR with queries (§6).
+//!
+//! AVRQ(m) queries every job at its midpoint (like AVRQ) and feeds the
+//! derived jobs to the AVR(m) algorithm of Albers et al. on `m`
+//! identical machines with free migration.
+//!
+//! Theorem 6.3: machine by machine, `s_i^{AVRQ(m)}(t) ≤ 2
+//! s_i^{AVR*(m)}(t)` at every instant, where AVR*(m) runs on the
+//! clairvoyant instance; hence (Corollary 6.4) AVRQ(m) is
+//! `2^α (2^{α−1} α^α + 1)`-competitive for energy.
+
+use speed_scaling::multi::{avr_m, AvrMResult};
+use speed_scaling::profile::SpeedProfile;
+
+use crate::model::QbssInstance;
+use crate::outcome::QbssOutcome;
+use crate::policy::{NoRandomness, Strategy};
+
+use super::online_derive;
+
+/// Output of [`avrq_m`]: the standard outcome plus per-machine profiles
+/// for the Theorem 6.3 comparisons.
+#[derive(Debug, Clone)]
+pub struct AvrqMResult {
+    /// Decisions + schedule (validated like every other outcome).
+    pub outcome: QbssOutcome,
+    /// Per-machine speed profiles, fastest machine first.
+    pub machine_profiles: Vec<SpeedProfile>,
+}
+
+impl AvrqMResult {
+    /// Total energy across machines at exponent `alpha`.
+    pub fn energy(&self, alpha: f64) -> f64 {
+        self.outcome.energy(alpha)
+    }
+
+    /// Maximum speed over machines and time.
+    pub fn max_speed(&self) -> f64 {
+        self.outcome.max_speed()
+    }
+}
+
+/// Runs AVRQ(m) on `m` machines.
+pub fn avrq_m(inst: &QbssInstance, m: usize) -> AvrqMResult {
+    let (decisions, derived) = online_derive(inst, Strategy::always_equal(), &mut NoRandomness);
+    let res: AvrMResult = avr_m(&derived, m);
+    AvrqMResult {
+        outcome: QbssOutcome { algorithm: "AVRQ(m)".into(), decisions, schedule: res.schedule },
+        machine_profiles: res.machine_profiles,
+    }
+}
+
+/// The benchmark AVR*(m): AVR(m) on the clairvoyant instance (the
+/// right-hand side of Theorem 6.3).
+pub fn avr_star_m(inst: &QbssInstance, m: usize) -> AvrMResult {
+    avr_m(&inst.clairvoyant_instance(), m)
+}
+
+/// AVRQ(m) in the preemptive **non-migratory** variant — the paper's
+/// §7 remark that the approach "can directly be applied" there: every
+/// job is queried at the midpoint as in AVRQ(m), but each *original*
+/// job is dispatched to one machine at its release (greedy
+/// least-density) and both of its derived parts stay there.
+pub fn avrq_m_nonmig(inst: &QbssInstance, m: usize) -> AvrqMResult {
+    use speed_scaling::multi::avr_m_nonmig;
+
+    let (decisions, derived) = online_derive(inst, Strategy::always_equal(), &mut NoRandomness);
+    // Dispatch whole original jobs: group the derived jobs by their
+    // originating id so query and exact work share a machine. We run
+    // the greedy on the derived instance but force id-grouping by
+    // dispatching on the *query* part's density and pinning the sibling.
+    // The simplest faithful construction: one non-migratory run over
+    // the derived instance where both parts of a job are glued is
+    // obtained by dispatching per original id below.
+    let mut order: Vec<usize> = (0..inst.jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        inst.jobs[a]
+            .release
+            .partial_cmp(&inst.jobs[b].release)
+            .expect("finite")
+            .then_with(|| inst.jobs[a].id.cmp(&inst.jobs[b].id))
+    });
+    let mut machine_density = vec![0.0f64; m];
+    let mut machine_jobs: Vec<Vec<speed_scaling::Job>> = vec![Vec::new(); m];
+    for idx in order {
+        let original = &inst.jobs[idx];
+        let target = machine_density
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("m >= 1");
+        // The original job's density, as seen at dispatch time (the
+        // dispatcher knows w, not w*).
+        machine_density[target] +=
+            original.upper_bound / (original.deadline - original.release);
+        for dj in derived.jobs.iter().filter(|dj| dj.id == original.id) {
+            machine_jobs[target].push(*dj);
+        }
+    }
+
+    let mut schedule = speed_scaling::Schedule::empty(m);
+    let mut machine_profiles = Vec::with_capacity(m);
+    for (machine, jobs) in machine_jobs.into_iter().enumerate() {
+        if jobs.is_empty() {
+            machine_profiles.push(speed_scaling::SpeedProfile::zero());
+            continue;
+        }
+        let local = speed_scaling::Instance::new(jobs);
+        // Per-machine AVR on the derived parts assigned here.
+        let res = avr_m_nonmig(&local, 1);
+        machine_profiles.push(res.machine_profiles.into_iter().next().expect("one machine"));
+        for mut slice in res.schedule.slices {
+            slice.machine = machine;
+            schedule.push(slice);
+        }
+    }
+
+    AvrqMResult {
+        outcome: QbssOutcome { algorithm: "AVRQ(m)-nonmig".into(), decisions, schedule },
+        machine_profiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QJob;
+
+    fn online_instance() -> QbssInstance {
+        QbssInstance::new(vec![
+            QJob::new(0, 0.0, 4.0, 0.5, 2.0, 1.0),
+            QJob::new(1, 1.0, 3.0, 0.4, 1.0, 0.0),
+            QJob::new(2, 2.0, 6.0, 1.0, 3.0, 3.0),
+            QJob::new(3, 0.0, 2.0, 0.2, 4.0, 0.1),
+            QJob::new(4, 3.0, 5.0, 0.3, 1.5, 1.0),
+        ])
+    }
+
+    #[test]
+    fn outcome_validates_on_two_machines() {
+        let inst = online_instance();
+        let res = avrq_m(&inst, 2);
+        res.outcome.validate(&inst).expect("AVRQ(m) outcome must validate");
+        assert_eq!(res.machine_profiles.len(), 2);
+    }
+
+    #[test]
+    fn theorem_6_3_per_machine_domination() {
+        let inst = online_instance();
+        for &m in &[1usize, 2, 3] {
+            let alg = avrq_m(&inst, m);
+            let star = avr_star_m(&inst, m);
+            for (i, (a, s)) in alg
+                .machine_profiles
+                .iter()
+                .zip(&star.machine_profiles)
+                .enumerate()
+            {
+                a.dominated_by(s, 2.0).unwrap_or_else(|t| {
+                    panic!("machine {i} (m={m}): AVRQ(m) speed exceeds 2·AVR*(m) at t={t}")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn corollary_6_4_energy_bound_vs_lower_bound() {
+        let inst = online_instance();
+        let derived_clair = inst.clairvoyant_instance();
+        for &m in &[2usize, 3] {
+            for &alpha in &[2.0, 3.0] {
+                let e = avrq_m(&inst, m).energy(alpha);
+                let lb = speed_scaling::multi::opt_lower_bound(&derived_clair, m, alpha);
+                let bound = 2.0f64.powf(alpha)
+                    * (2.0f64.powf(alpha - 1.0) * alpha.powf(alpha) + 1.0);
+                assert!(
+                    e <= bound * lb * (1.0 + 1e-6),
+                    "AVRQ(m) energy {e} exceeds bound·LB at m={m}, α={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_machine_reduces_to_avrq() {
+        let inst = online_instance();
+        let multi = avrq_m(&inst, 1);
+        let single = super::super::avrq::avrq(&inst);
+        for &alpha in &[2.0, 3.0] {
+            assert!(
+                (multi.energy(alpha) - single.energy(alpha)).abs()
+                    < 1e-6 * single.energy(alpha).max(1.0),
+                "AVRQ(1) must match AVRQ at α={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonmig_outcome_validates() {
+        let inst = online_instance();
+        for m in [1usize, 2, 3] {
+            let res = avrq_m_nonmig(&inst, m);
+            res.outcome
+                .validate(&inst)
+                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn nonmig_keeps_job_parts_together() {
+        let inst = online_instance();
+        let res = avrq_m_nonmig(&inst, 3);
+        for j in &inst.jobs {
+            let machines: std::collections::HashSet<usize> = res
+                .outcome
+                .schedule
+                .slices
+                .iter()
+                .filter(|s| s.job == j.id)
+                .map(|s| s.machine)
+                .collect();
+            assert!(machines.len() <= 1, "job {} spread over {machines:?}", j.id);
+        }
+    }
+
+    #[test]
+    fn nonmig_single_machine_matches_migratory() {
+        let inst = online_instance();
+        let alpha = 3.0;
+        let a = avrq_m(&inst, 1).energy(alpha);
+        let b = avrq_m_nonmig(&inst, 1).energy(alpha);
+        assert!((a - b).abs() < 1e-6 * a.max(1.0));
+    }
+
+    #[test]
+    fn machine_speeds_nonincreasing() {
+        let inst = online_instance();
+        let res = avrq_m(&inst, 3);
+        for &t in &[0.5, 1.5, 2.5, 3.5, 4.5] {
+            let speeds: Vec<f64> =
+                res.machine_profiles.iter().map(|p| p.speed_at(t)).collect();
+            for w in speeds.windows(2) {
+                assert!(w[0] + 1e-9 >= w[1], "machine speeds must be ordered at t={t}");
+            }
+        }
+    }
+}

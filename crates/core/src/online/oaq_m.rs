@@ -1,0 +1,98 @@
+//! OAQ(m) — the multi-machine extension of the paper's §7 open
+//! question: queries decided by the golden-ratio rule, equal-window
+//! splits, and the derived jobs fed to the OA(m) substrate (replan the
+//! remaining work near-optimally at every arrival of a derived job).
+//!
+//! No competitive bound is claimed (the single-machine OAQ is already
+//! open); OAQ(m) exists as the multi-machine ablation point next to
+//! AVRQ(m), and empirically dominates it on random traces for the same
+//! reason OA beats AVR classically.
+
+use speed_scaling::multi::{oa_m, OaMResult};
+use speed_scaling::profile::SpeedProfile;
+
+use crate::model::QbssInstance;
+use crate::outcome::QbssOutcome;
+use crate::policy::{NoRandomness, Strategy};
+
+use super::avrq_m::AvrqMResult;
+use super::online_derive;
+
+/// Runs OAQ(m) on `m` machines with the given Frank–Wolfe planning
+/// budget per arrival (see [`mod@speed_scaling::multi::oa_m`]).
+pub fn oaq_m(inst: &QbssInstance, m: usize, alpha: f64, fw_iters: usize) -> AvrqMResult {
+    let (decisions, derived) = online_derive(inst, Strategy::golden_equal(), &mut NoRandomness);
+    let res: OaMResult = oa_m(&derived, m, alpha, fw_iters);
+    AvrqMResult {
+        outcome: QbssOutcome { algorithm: "OAQ(m)".into(), decisions, schedule: res.schedule },
+        machine_profiles: res.machine_profiles,
+    }
+}
+
+/// The clairvoyant OA(m) benchmark (OA(m) on `{(r, d, p*)}`).
+pub fn oa_star_m(inst: &QbssInstance, m: usize, alpha: f64, fw_iters: usize) -> OaMResult {
+    oa_m(&inst.clairvoyant_instance(), m, alpha, fw_iters)
+}
+
+/// Convenience: per-machine profiles of an [`AvrqMResult`].
+pub fn machine_profiles(res: &AvrqMResult) -> &[SpeedProfile] {
+    &res.machine_profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QJob;
+    use crate::online::avrq_m;
+
+    fn online_instance() -> QbssInstance {
+        QbssInstance::new(vec![
+            QJob::new(0, 0.0, 4.0, 0.5, 2.0, 1.0),
+            QJob::new(1, 1.0, 3.0, 0.4, 1.0, 0.0),
+            QJob::new(2, 2.0, 6.0, 1.0, 3.0, 3.0),
+            QJob::new(3, 0.0, 2.0, 0.2, 4.0, 0.1),
+        ])
+    }
+
+    #[test]
+    fn outcome_validates() {
+        let inst = online_instance();
+        for m in [1usize, 2, 3] {
+            let res = oaq_m(&inst, m, 3.0, 60);
+            res.outcome.validate(&inst).unwrap_or_else(|e| panic!("m={m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn uses_golden_rule() {
+        let inst = online_instance();
+        let res = oaq_m(&inst, 2, 3.0, 40);
+        let queried: Vec<bool> = res.outcome.decisions.iter().map(|d| d.queried).collect();
+        // c·φ vs w: 0.5φ ≤ 2 ✓, 0.4φ ≤ 1 ✓, 1.0φ ≤ 3 ✓, 0.2φ ≤ 4 ✓.
+        assert_eq!(queried, vec![true, true, true, true]);
+    }
+
+    #[test]
+    fn never_beats_clairvoyant_opt() {
+        let inst = online_instance();
+        let alpha = 3.0;
+        let res = oaq_m(&inst, 2, alpha, 60);
+        let clair = inst.clairvoyant_instance();
+        let lb = speed_scaling::multi::opt_lower_bound(&clair, 2, alpha);
+        assert!(res.energy(alpha) + 1e-9 >= lb);
+    }
+
+    #[test]
+    fn competitive_with_avrq_m_on_common_release() {
+        // Common release: OA(m) plans once near-optimally.
+        let inst = QbssInstance::new(vec![
+            QJob::new(0, 0.0, 2.0, 0.3, 1.0, 0.2),
+            QJob::new(1, 0.0, 4.0, 0.5, 2.0, 0.4),
+            QJob::new(2, 0.0, 8.0, 0.2, 3.0, 0.1),
+        ]);
+        let alpha = 3.0;
+        let oaq = oaq_m(&inst, 2, alpha, 200).energy(alpha);
+        let avrq = avrq_m(&inst, 2).energy(alpha);
+        assert!(oaq <= avrq * 1.10, "OAQ(m) {oaq} vs AVRQ(m) {avrq}");
+    }
+}

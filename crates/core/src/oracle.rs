@@ -1,0 +1,174 @@
+//! The oracle model and single-job cost algebra (§4.1).
+//!
+//! The lower-bound constructions of Lemmas 4.1–4.4 are single-job games:
+//! the algorithm picks *query or not* (and possibly a split), the
+//! adversary picks `w*`, and the costs have closed forms. This module
+//! implements that algebra exactly, including the *oracle model* where
+//! the split is chosen optimally (constant post-decision speed) —
+//! improbable in reality, but the right yardstick to separate "hardness
+//! of the query decision" from "hardness of the split".
+
+use crate::model::QJob;
+use crate::policy::oracle_fraction;
+
+/// Maximum speed and energy of a single-job policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleJobCost {
+    /// Maximum speed used.
+    pub max_speed: f64,
+    /// Energy at the exponent the cost was computed for.
+    pub energy: f64,
+}
+
+/// Cost of executing `job` *without* the query: constant speed
+/// `w/(d−r)` over the whole window.
+pub fn cost_no_query(job: &QJob, alpha: f64) -> SingleJobCost {
+    let len = job.deadline - job.release;
+    let s = job.upper_bound / len;
+    SingleJobCost { max_speed: s, energy: s.powf(alpha) * len }
+}
+
+/// Cost of executing `job` *with* the query, splitting at fraction
+/// `x ∈ (0, 1)`: speed `c/(x·len)` during the query window and
+/// `w*/((1−x)·len)` afterwards.
+pub fn cost_query_at(job: &QJob, x: f64, alpha: f64) -> SingleJobCost {
+    assert!(x > 0.0 && x < 1.0, "split fraction must be in (0,1), got {x}");
+    let len = job.deadline - job.release;
+    let s1 = job.query_load / (x * len);
+    let s2 = job.reveal_exact() / ((1.0 - x) * len);
+    SingleJobCost {
+        max_speed: s1.max(s2),
+        energy: s1.powf(alpha) * x * len + s2.powf(alpha) * (1.0 - x) * len,
+    }
+}
+
+/// Cost of executing `job` with the query under the *oracle* split
+/// `x = c/(c + w*)`, which makes the speed constant — simultaneously
+/// optimal for maximum speed and for energy (convexity).
+pub fn cost_query_oracle(job: &QJob, alpha: f64) -> SingleJobCost {
+    let x = oracle_fraction(job.query_load, job.reveal_exact());
+    let len = job.deadline - job.release;
+    // With the exact oracle split both speeds equal (c + w*)/len; use
+    // that closed form rather than the clamped x to avoid edge noise.
+    let s = (job.query_load + job.reveal_exact()) / len;
+    let _ = x;
+    SingleJobCost { max_speed: s, energy: s.powf(alpha) * len }
+}
+
+/// The clairvoyant optimum for a single job: execute `p* = min{w, c+w*}`
+/// at constant speed (with the oracle split if it queries).
+pub fn cost_opt(job: &QJob, alpha: f64) -> SingleJobCost {
+    let len = job.deadline - job.release;
+    let s = job.p_star() / len;
+    SingleJobCost { max_speed: s, energy: s.powf(alpha) * len }
+}
+
+/// Ratio helpers for the single-job adversary games: the algorithm's
+/// cost over OPT's, for both objectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleJobRatios {
+    /// `s_ALG / s_OPT`.
+    pub speed: f64,
+    /// `E_ALG / E_OPT`.
+    pub energy: f64,
+}
+
+/// Ratios of an arbitrary single-job policy against OPT.
+pub fn ratios(alg: SingleJobCost, opt: SingleJobCost) -> SingleJobRatios {
+    SingleJobRatios { speed: alg.max_speed / opt.max_speed, energy: alg.energy / opt.energy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PHI;
+
+    fn job(c: f64, w: f64, exact: f64) -> QJob {
+        QJob::new(0, 0.0, 1.0, c, w, exact)
+    }
+
+    #[test]
+    fn no_query_cost() {
+        let j = job(0.5, 2.0, 0.0);
+        let cost = cost_no_query(&j, 3.0);
+        assert!((cost.max_speed - 2.0).abs() < 1e-12);
+        assert!((cost.energy - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_window_cost() {
+        // c = 1, w* = 0: query at speed 2 in the first half, idle after.
+        let j = job(1.0, 2.0, 0.0);
+        let cost = cost_query_at(&j, 0.5, 3.0);
+        assert!((cost.max_speed - 2.0).abs() < 1e-12);
+        assert!((cost.energy - 0.5 * 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_cost_constant_speed() {
+        let j = job(1.0, 4.0, 3.0);
+        let cost = cost_query_oracle(&j, 2.0);
+        assert!((cost.max_speed - 4.0).abs() < 1e-12);
+        assert!((cost.energy - 16.0).abs() < 1e-12);
+        // The oracle split is never worse than any fixed split.
+        for &x in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let fixed = cost_query_at(&j, x, 2.0);
+            assert!(cost.energy <= fixed.energy + 1e-12);
+            assert!(cost.max_speed <= fixed.max_speed + 1e-12);
+        }
+    }
+
+    #[test]
+    fn opt_cost_picks_best_alternative() {
+        // Query pays: p* = 1 + 0.2 < 2.
+        let j = job(1.0, 2.0, 0.2);
+        assert!((cost_opt(&j, 2.0).max_speed - 1.2).abs() < 1e-12);
+        // Query does not pay: p* = w = 2.
+        let k = job(1.0, 2.0, 1.5);
+        assert!((cost_opt(&k, 2.0).max_speed - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_4_2_oracle_game_value() {
+        // The Lemma 4.2 instance: c = 1, w = φ. Whatever the algorithm
+        // does, the adversary forces ratio ≥ φ (speed) / φ^α (energy),
+        // even with the oracle split.
+        let alpha = 3.0;
+
+        // Branch 1: algorithm does not query → adversary sets w* = 0.
+        let j0 = job(1.0, PHI, 0.0);
+        let r0 = ratios(cost_no_query(&j0, alpha), cost_opt(&j0, alpha));
+        assert!((r0.speed - PHI).abs() < 1e-9);
+        assert!((r0.energy - PHI.powf(alpha)).abs() < 1e-6);
+
+        // Branch 2: algorithm queries (oracle split) → adversary sets
+        // w* = w = φ; ALG runs 1 + φ = φ², OPT runs w = φ.
+        let j1 = job(1.0, PHI, PHI);
+        let r1 = ratios(cost_query_oracle(&j1, alpha), cost_opt(&j1, alpha));
+        assert!((r1.speed - PHI).abs() < 1e-9);
+        assert!((r1.energy - PHI.powf(alpha)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lemma_4_3_split_game_value() {
+        // The Lemma 4.3 instance: c = 1, w = 2, adaptive adversary vs
+        // the split x. Energy ratio ≥ x^{1-α} for x ≤ 1/2 (w* = 0) and
+        // ≥ (1-x)^{1-α} for x ≥ 1/2 (w* = w); both are ≥ 2^{α-1} at the
+        // equal-window split.
+        let alpha = 2.5;
+        for &x in &[0.2f64, 0.5, 0.8] {
+            let (j, expect_energy) = if x <= 0.5 {
+                (job(1.0, 2.0, 0.0), x.powf(1.0 - alpha))
+            } else {
+                (job(1.0, 2.0, 2.0), (1.0 - x).powf(1.0 - alpha))
+            };
+            let r = ratios(cost_query_at(&j, x, alpha), cost_opt(&j, alpha));
+            assert!(
+                r.energy + 1e-9 >= expect_energy.min(2.0f64.powf(alpha - 1.0)),
+                "x={x}: energy ratio {} below the adversary's guarantee",
+                r.energy
+            );
+            assert!(r.speed + 1e-9 >= 2.0, "x={x}: speed ratio {} below 2", r.speed);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! A step-by-step online simulator for the QBSS model.
+//!
+//! The online algorithms in [`crate::online`] compute their speed
+//! profiles in one offline pass over the *derived* job set, arguing
+//! that this is faithful to the online process because every
+//! substrate's speed at time `t` depends only on derived jobs released
+//! by `t`. This module makes that argument *executable*: it drives an
+//! algorithm through time, revealing information exactly when the model
+//! allows —
+//!
+//! * a job's visible part `(r, d, c, w)` at its release,
+//! * its exact load `w*` at its splitting point (if queried, and only
+//!   then),
+//!
+//! and builds the speed profile segment by segment from what is known
+//! at each instant. Equality with the analytic constructions is then a
+//! *theorem about the implementation* checked by tests
+//! ([`simulate`] vs [`crate::online::avrq_profile`] /
+//! [`crate::online::bkpq_profile`]), not a comment.
+//!
+//! The simulator is also the natural place to observe information-flow
+//! violations: it never hands `w*` to the policy before the query
+//! window closes, so a policy implemented against [`OnlinePolicy`]
+//! *cannot* cheat even in principle.
+
+use speed_scaling::job::Job;
+use speed_scaling::profile::SpeedProfile;
+use speed_scaling::time::{dedup_times, EPS};
+
+use crate::decision::Decision;
+use crate::model::{QbssInstance, VisibleJob};
+use crate::policy::Strategy;
+
+/// A per-job online decision maker: sees only the visible part of each
+/// job, at its release, and must commit to query/split immediately
+/// (the decision model of the paper's algorithms).
+pub trait OnlinePolicy {
+    /// Decide for a newly released job.
+    fn on_arrival(&mut self, job: &VisibleJob) -> Decision;
+}
+
+/// The paper's strategies as an [`OnlinePolicy`] (deterministic rules
+/// only; the randomized game experiments use the closed-form algebra
+/// instead).
+pub struct StrategyPolicy {
+    strategy: Strategy,
+}
+
+impl StrategyPolicy {
+    /// Wraps a deterministic strategy.
+    pub fn new(strategy: Strategy) -> Self {
+        assert!(!strategy.query.is_randomized(), "use the game algebra for randomized rules");
+        Self { strategy }
+    }
+}
+
+impl OnlinePolicy for StrategyPolicy {
+    fn on_arrival(&mut self, job: &VisibleJob) -> Decision {
+        let queries = self.strategy.query.decide_visible(
+            job.query_load,
+            job.upper_bound,
+            &mut crate::policy::NoRandomness,
+        );
+        if queries {
+            // Split rules that need w* (Oracle) are rejected here: the
+            // simulator has not revealed it, and never will at arrival.
+            let tau = match self.strategy.split {
+                crate::policy::SplitRule::EqualWindow => 0.5 * (job.release + job.deadline),
+                crate::policy::SplitRule::Fraction(x) => {
+                    assert!(x > 0.0 && x < 1.0);
+                    job.release + x * (job.deadline - job.release)
+                }
+                crate::policy::SplitRule::Oracle => {
+                    panic!("the oracle split needs w*, which is not available at arrival")
+                }
+                crate::policy::SplitRule::ExpectedOracle => {
+                    let x =
+                        crate::policy::oracle_fraction(job.query_load, 0.5 * job.upper_bound);
+                    job.release + x * (job.deadline - job.release)
+                }
+            };
+            Decision::query(job.id, tau)
+        } else {
+            Decision::no_query(job.id)
+        }
+    }
+}
+
+/// Which classical substrate computes the speed from the currently
+/// known derived jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Substrate {
+    /// Sum of active densities (AVR).
+    Avr,
+    /// `e · max w(t, t1, t2)/(t2 − t1)` over known jobs (BKP).
+    Bkp,
+}
+
+/// Result of a simulation: the speed profile the machine actually ran,
+/// the decisions taken, and a log of *when* each piece of information
+/// became known (for auditing).
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The executed speed profile.
+    pub profile: SpeedProfile,
+    /// Decisions, in instance job order.
+    pub decisions: Vec<Decision>,
+    /// `(job id, time)` at which each exact load was revealed.
+    pub reveals: Vec<(u32, f64)>,
+}
+
+/// Drives `policy` over `inst` in event order and computes the machine
+/// speed segment by segment using `substrate`, with information
+/// revealed only as the model allows.
+///
+/// ```
+/// use qbss_core::model::{QJob, QbssInstance};
+/// use qbss_core::sim::{simulate, StrategyPolicy, Substrate};
+/// use qbss_core::Strategy;
+///
+/// let inst = QbssInstance::new(vec![QJob::new(0, 0.0, 2.0, 0.5, 2.0, 1.0)]);
+/// let mut policy = StrategyPolicy::new(Strategy::always_equal());
+/// let sim = simulate(&inst, &mut policy, Substrate::Avr);
+/// // The stepped profile equals the analytic AVRQ construction.
+/// let analytic = qbss_core::online::avrq_profile(&inst);
+/// assert!(sim.profile.dominated_by(&analytic, 1.0).is_ok());
+/// assert_eq!(sim.reveals, vec![(0, 1.0)]); // w* revealed at the midpoint
+/// ```
+pub fn simulate(inst: &QbssInstance, policy: &mut dyn OnlinePolicy, substrate: Substrate) -> SimResult {
+    assert!(!inst.is_empty(), "nothing to simulate");
+
+    // Phase 1: collect decisions at arrivals (in release order) and
+    // derive the classical jobs with their *information times*: a
+    // derived job becomes known at max(its creation time) — releases
+    // for query/no-query parts, splitting points for exact parts.
+    let mut order: Vec<usize> = (0..inst.jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        inst.jobs[a]
+            .release
+            .partial_cmp(&inst.jobs[b].release)
+            .expect("finite")
+            .then_with(|| inst.jobs[a].id.cmp(&inst.jobs[b].id))
+    });
+
+    let mut decisions_by_index: Vec<Option<Decision>> = vec![None; inst.jobs.len()];
+    // (known_from, derived job)
+    let mut derived: Vec<(f64, Job)> = Vec::new();
+    let mut reveals: Vec<(u32, f64)> = Vec::new();
+    for idx in order {
+        let j = &inst.jobs[idx];
+        let dec = policy.on_arrival(&j.visible());
+        assert_eq!(dec.job, j.id, "policy answered for the wrong job");
+        if dec.queried {
+            let tau = dec.split.expect("queried decision needs a split");
+            assert!(
+                tau > j.release + EPS && tau < j.deadline - EPS,
+                "split outside the window"
+            );
+            derived.push((j.release, Job::new(j.id, j.release, tau, j.query_load)));
+            // The exact load is *revealed* at τ and the second derived
+            // job becomes known then — not earlier.
+            derived.push((tau, Job::new(j.id, tau, j.deadline, j.reveal_exact())));
+            reveals.push((j.id, tau));
+        } else {
+            derived.push((j.release, Job::new(j.id, j.release, j.deadline, j.upper_bound)));
+        }
+        decisions_by_index[idx] = Some(dec);
+    }
+
+    // Phase 2: sweep time; in each elementary segment use only the
+    // derived jobs already known at its start.
+    let mut events: Vec<f64> = Vec::with_capacity(2 * derived.len());
+    for (known, dj) in &derived {
+        events.push(*known);
+        events.push(dj.release);
+        events.push(dj.deadline);
+    }
+    let events = dedup_times(events);
+    let values: Vec<f64> = events
+        .windows(2)
+        .map(|w| {
+            let t = 0.5 * (w[0] + w[1]);
+            let known: Vec<&Job> = derived
+                .iter()
+                .filter(|(known_from, _)| *known_from <= w[0] + EPS)
+                .map(|(_, dj)| dj)
+                .collect();
+            match substrate {
+                Substrate::Avr => known
+                    .iter()
+                    .filter(|dj| dj.active_at(t))
+                    .map(|dj| dj.density())
+                    .sum(),
+                Substrate::Bkp => {
+                    let inst = speed_scaling::job::Instance::new(
+                        known.iter().map(|dj| **dj).collect(),
+                    );
+                    std::f64::consts::E * speed_scaling::bkp::bkp_intensity_at(&inst, t)
+                }
+            }
+        })
+        .collect();
+    let profile = SpeedProfile::new(events, values).simplify();
+
+    SimResult {
+        profile,
+        decisions: decisions_by_index.into_iter().map(|d| d.expect("all decided")).collect(),
+        reveals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QJob;
+    use crate::online::{avrq_profile, bkpq_profile};
+    use crate::policy::{QueryRule, SplitRule};
+
+    fn instance() -> QbssInstance {
+        QbssInstance::new(vec![
+            QJob::new(0, 0.0, 4.0, 0.5, 2.0, 1.0),
+            QJob::new(1, 1.0, 3.0, 0.9, 1.0, 0.0),
+            QJob::new(2, 2.0, 6.0, 1.0, 3.0, 3.0),
+        ])
+    }
+
+    #[test]
+    fn stepped_avrq_equals_analytic_profile() {
+        let inst = instance();
+        let mut policy = StrategyPolicy::new(Strategy::always_equal());
+        let sim = simulate(&inst, &mut policy, Substrate::Avr);
+        let analytic = avrq_profile(&inst);
+        sim.profile
+            .dominated_by(&analytic, 1.0)
+            .expect("stepped ≤ analytic");
+        analytic
+            .dominated_by(&sim.profile, 1.0)
+            .expect("analytic ≤ stepped");
+    }
+
+    #[test]
+    fn stepped_bkpq_equals_analytic_profile() {
+        let inst = instance();
+        let mut policy = StrategyPolicy::new(Strategy::golden_equal());
+        let sim = simulate(&inst, &mut policy, Substrate::Bkp);
+        let analytic = bkpq_profile(&inst);
+        sim.profile.dominated_by(&analytic, 1.0).expect("stepped ≤ analytic");
+        analytic.dominated_by(&sim.profile, 1.0).expect("analytic ≤ stepped");
+    }
+
+    #[test]
+    fn reveals_happen_at_splitting_points_only() {
+        let inst = instance();
+        let mut policy = StrategyPolicy::new(Strategy::golden_equal());
+        let sim = simulate(&inst, &mut policy, Substrate::Bkp);
+        for (id, t) in &sim.reveals {
+            let j = inst.job(*id).unwrap();
+            let expected = 0.5 * (j.release + j.deadline);
+            assert!((t - expected).abs() < 1e-12, "job {id} revealed at {t}, not its split");
+        }
+        // Unqueried jobs never reveal.
+        let queried: Vec<u32> =
+            sim.decisions.iter().filter(|d| d.queried).map(|d| d.job).collect();
+        assert_eq!(sim.reveals.len(), queried.len());
+    }
+
+    #[test]
+    fn exact_load_invisible_before_split() {
+        // A job whose w* differs wildly from w: before the split the
+        // simulated speed must be identical to the speed computed for a
+        // *different* w*, because the algorithm cannot see it yet.
+        let mk = |w_star: f64| {
+            QbssInstance::new(vec![QJob::new(0, 0.0, 2.0, 0.5, 2.0, w_star)])
+        };
+        let mut p1 = StrategyPolicy::new(Strategy::always_equal());
+        let mut p2 = StrategyPolicy::new(Strategy::always_equal());
+        let a = simulate(&mk(0.0), &mut p1, Substrate::Avr);
+        let b = simulate(&mk(2.0), &mut p2, Substrate::Avr);
+        for &t in &[0.25, 0.5, 0.75, 0.99] {
+            assert!(
+                (a.profile.speed_at(t) - b.profile.speed_at(t)).abs() < 1e-12,
+                "pre-split speed leaked w* at t = {t}"
+            );
+        }
+        // After the split they must differ (w* = 0 vs 2).
+        assert!((a.profile.speed_at(1.5) - b.profile.speed_at(1.5)).abs() > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle split needs w*")]
+    fn oracle_split_rejected_online() {
+        let inst = instance();
+        let mut policy = StrategyPolicy::new(Strategy {
+            query: QueryRule::Always,
+            split: SplitRule::Oracle,
+        });
+        let _ = simulate(&inst, &mut policy, Substrate::Avr);
+    }
+
+    #[test]
+    fn custom_policy_can_be_plugged_in() {
+        // A policy that queries only jobs with even ids.
+        struct EvenOnly;
+        impl OnlinePolicy for EvenOnly {
+            fn on_arrival(&mut self, job: &VisibleJob) -> Decision {
+                if job.id.is_multiple_of(2) {
+                    Decision::query(job.id, 0.5 * (job.release + job.deadline))
+                } else {
+                    Decision::no_query(job.id)
+                }
+            }
+        }
+        let inst = instance();
+        let sim = simulate(&inst, &mut EvenOnly, Substrate::Avr);
+        let queried: Vec<bool> = sim.decisions.iter().map(|d| d.queried).collect();
+        assert_eq!(queried, vec![true, false, true]);
+        assert!(sim.profile.total_work() > 0.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Random QBSS instance families.
+//!
+//! The paper motivates queries with code optimization and file
+//! compression: a job's query is a preprocessing pass whose cost is some
+//! fraction of the nominal workload and whose benefit (the revealed
+//! `w*`) depends on how compressible the payload is. The generators here
+//! parameterize exactly those two knobs — [`QueryModel`] and
+//! [`Compressibility`] — on top of the release/deadline structure each
+//! offline/online algorithm expects.
+//!
+//! All generation is deterministic given the [`GenConfig::seed`].
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use qbss_core::model::{QJob, QbssInstance};
+
+/// How deadlines (and releases) are laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TimeModel {
+    /// Common release 0 and common deadline `d` (CRCD's scope).
+    CommonDeadline {
+        /// The shared deadline `D`.
+        d: f64,
+    },
+    /// Common release 0; deadlines drawn from `2^min_exp … 2^max_exp`
+    /// (CRP2D's scope).
+    PowersOfTwo {
+        /// Smallest exponent (inclusive, may be negative).
+        min_exp: i32,
+        /// Largest exponent (inclusive).
+        max_exp: i32,
+    },
+    /// Common release 0; deadlines uniform in `[min_d, max_d]`
+    /// (CRAD's scope).
+    ArbitraryDeadlines {
+        /// Earliest possible deadline.
+        min_d: f64,
+        /// Latest possible deadline.
+        max_d: f64,
+    },
+    /// Releases uniform in `[0, horizon]`, window lengths uniform in
+    /// `[min_len, max_len]` (the online algorithms' scope).
+    Online {
+        /// Release times are drawn from `[0, horizon]`.
+        horizon: f64,
+        /// Shortest active window.
+        min_len: f64,
+        /// Longest active window.
+        max_len: f64,
+    },
+    /// Poisson arrival process: exponential inter-arrival times with
+    /// the given `rate` (jobs per time unit), window lengths uniform in
+    /// `[min_len, max_len]` — the bursty-traffic model of the
+    /// file-compression scenario.
+    Poisson {
+        /// Expected arrivals per unit time (> 0).
+        rate: f64,
+        /// Shortest active window.
+        min_len: f64,
+        /// Longest active window.
+        max_len: f64,
+    },
+}
+
+/// How the query cost `c` relates to the nominal workload `w`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueryModel {
+    /// `c = u·w` with `u` uniform in `[lo, hi] ⊆ (0, 1]`.
+    UniformFraction {
+        /// Lower bound of the fraction.
+        lo: f64,
+        /// Upper bound of the fraction.
+        hi: f64,
+    },
+    /// `c = f·w` for a fixed fraction `f ∈ (0, 1]`.
+    FixedFraction(f64),
+}
+
+impl QueryModel {
+    fn sample<R: Rng>(&self, w: f64, rng: &mut R) -> f64 {
+        let frac = match *self {
+            QueryModel::UniformFraction { lo, hi } => {
+                assert!(0.0 < lo && lo <= hi && hi <= 1.0, "bad query fraction range");
+                Uniform::new_inclusive(lo, hi).sample(rng)
+            }
+            QueryModel::FixedFraction(f) => {
+                assert!(0.0 < f && f <= 1.0, "bad fixed query fraction");
+                f
+            }
+        };
+        (frac * w).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// How compressible payloads are: the distribution of `w*` given `w`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Compressibility {
+    /// `w* ~ U[0, w]` — indifferent payloads.
+    Uniform,
+    /// With probability `p` the payload is highly compressible
+    /// (`w* ~ U[0, 0.2w]`), otherwise incompressible (`w* = w`). The
+    /// "mixed corpus" of a compression server.
+    Bimodal {
+        /// Probability of a highly-compressible payload.
+        p_compressible: f64,
+    },
+    /// `w* = w·u³` with `u ~ U[0,1]` — most payloads compress a lot, a
+    /// few barely (heavy tail toward large savings).
+    HeavyTail,
+    /// `w* = w` — queries never pay off (worst case for `Always`).
+    Incompressible,
+    /// `w* = 0` — queries always pay off maximally (worst case for
+    /// `Never`, Lemma 4.1's regime).
+    FullyCompressible,
+}
+
+impl Compressibility {
+    fn sample<R: Rng>(&self, w: f64, rng: &mut R) -> f64 {
+        match *self {
+            Compressibility::Uniform => rng.gen_range(0.0..=w),
+            Compressibility::Bimodal { p_compressible } => {
+                if rng.gen_bool(p_compressible.clamp(0.0, 1.0)) {
+                    rng.gen_range(0.0..=0.2 * w)
+                } else {
+                    w
+                }
+            }
+            Compressibility::HeavyTail => {
+                let u: f64 = rng.gen_range(0.0..=1.0);
+                w * u * u * u
+            }
+            Compressibility::Incompressible => w,
+            Compressibility::FullyCompressible => 0.0,
+        }
+    }
+}
+
+/// Full description of a random family. Serializable so experiments can
+/// record exactly what they ran.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// Number of jobs.
+    pub n: usize,
+    /// RNG seed — same config, same instance.
+    pub seed: u64,
+    /// Release/deadline structure.
+    pub time: TimeModel,
+    /// Workloads `w` are uniform in `[min_w, max_w]`.
+    pub min_w: f64,
+    /// Upper end of the workload range.
+    pub max_w: f64,
+    /// Query-cost model.
+    pub query: QueryModel,
+    /// Compressibility model.
+    pub compress: Compressibility,
+}
+
+impl GenConfig {
+    /// A reasonable default family for quick experiments: `n` online
+    /// jobs, uniform compressibility, queries at 10–40% of `w`.
+    pub fn online_default(n: usize, seed: u64) -> Self {
+        Self {
+            n,
+            seed,
+            time: TimeModel::Online { horizon: n as f64 / 4.0, min_len: 0.5, max_len: 4.0 },
+            min_w: 0.5,
+            max_w: 4.0,
+            query: QueryModel::UniformFraction { lo: 0.1, hi: 0.4 },
+            compress: Compressibility::Uniform,
+        }
+    }
+
+    /// A common-deadline family (CRCD's scope).
+    pub fn common_deadline(n: usize, d: f64, seed: u64) -> Self {
+        Self {
+            n,
+            seed,
+            time: TimeModel::CommonDeadline { d },
+            min_w: 0.5,
+            max_w: 4.0,
+            query: QueryModel::UniformFraction { lo: 0.1, hi: 0.9 },
+            compress: Compressibility::Uniform,
+        }
+    }
+}
+
+/// Generates the instance described by `cfg`.
+///
+/// ```
+/// use qbss_instances::gen::{generate, GenConfig};
+///
+/// let cfg = GenConfig::online_default(20, 7);
+/// let a = generate(&cfg);
+/// let b = generate(&cfg);
+/// assert_eq!(a, b);          // deterministic by seed
+/// assert_eq!(a.len(), 20);
+/// a.validate().unwrap();
+/// ```
+pub fn generate(cfg: &GenConfig) -> QbssInstance {
+    assert!(cfg.n > 0, "empty family");
+    assert!(
+        0.0 < cfg.min_w && cfg.min_w <= cfg.max_w,
+        "workload range must satisfy 0 < min_w <= max_w"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut jobs = Vec::with_capacity(cfg.n);
+    let mut arrival_cursor = 0.0_f64;
+    for id in 0..cfg.n {
+        let (release, deadline) = sample_window(&cfg.time, &mut arrival_cursor, &mut rng);
+        let w = rng.gen_range(cfg.min_w..=cfg.max_w);
+        let c = cfg.query.sample(w, &mut rng);
+        let w_star = cfg.compress.sample(w, &mut rng);
+        jobs.push(QJob::new(id as u32, release, deadline, c, w, w_star));
+    }
+    let inst = QbssInstance::new(jobs);
+    debug_assert!(inst.validate().is_ok());
+    inst
+}
+
+fn sample_window<R: Rng>(time: &TimeModel, arrival_cursor: &mut f64, rng: &mut R) -> (f64, f64) {
+    match *time {
+        TimeModel::CommonDeadline { d } => {
+            assert!(d > 0.0);
+            (0.0, d)
+        }
+        TimeModel::PowersOfTwo { min_exp, max_exp } => {
+            assert!(min_exp <= max_exp);
+            let e = rng.gen_range(min_exp..=max_exp);
+            (0.0, (e as f64).exp2())
+        }
+        TimeModel::ArbitraryDeadlines { min_d, max_d } => {
+            assert!(0.0 < min_d && min_d <= max_d);
+            (0.0, rng.gen_range(min_d..=max_d))
+        }
+        TimeModel::Online { horizon, min_len, max_len } => {
+            assert!(horizon >= 0.0 && 0.0 < min_len && min_len <= max_len);
+            let r = rng.gen_range(0.0..=horizon);
+            let len = rng.gen_range(min_len..=max_len);
+            (r, r + len)
+        }
+        TimeModel::Poisson { rate, min_len, max_len } => {
+            assert!(rate > 0.0 && 0.0 < min_len && min_len <= max_len);
+            // Exponential inter-arrival by inverse transform; guard the
+            // log against u = 0.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+            *arrival_cursor += -u.ln() / rate;
+            let len = rng.gen_range(min_len..=max_len);
+            (*arrival_cursor, *arrival_cursor + len)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbss_core::offline::is_power_of_two_deadline;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = GenConfig::online_default(50, 42);
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = GenConfig::online_default(50, 43);
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn common_deadline_structure() {
+        let inst = generate(&GenConfig::common_deadline(20, 8.0, 1));
+        assert!(inst.has_common_release(0.0));
+        assert_eq!(inst.common_deadline(), Some(8.0));
+        assert!(inst.validate().is_ok());
+    }
+
+    #[test]
+    fn power_of_two_structure() {
+        let cfg = GenConfig {
+            time: TimeModel::PowersOfTwo { min_exp: -1, max_exp: 4 },
+            ..GenConfig::common_deadline(30, 1.0, 2)
+        };
+        let inst = generate(&cfg);
+        for j in &inst.jobs {
+            assert!(is_power_of_two_deadline(j.deadline), "{}", j.deadline);
+            assert!(j.deadline >= 0.5 && j.deadline <= 16.0);
+        }
+    }
+
+    #[test]
+    fn query_loads_respect_model() {
+        let cfg = GenConfig {
+            query: QueryModel::FixedFraction(0.25),
+            ..GenConfig::common_deadline(40, 4.0, 3)
+        };
+        for j in &generate(&cfg).jobs {
+            assert!((j.query_load - 0.25 * j.upper_bound).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compressibility_extremes() {
+        let incompressible = GenConfig {
+            compress: Compressibility::Incompressible,
+            ..GenConfig::common_deadline(20, 4.0, 4)
+        };
+        for j in &generate(&incompressible).jobs {
+            assert_eq!(j.reveal_exact(), j.upper_bound);
+        }
+        let full = GenConfig {
+            compress: Compressibility::FullyCompressible,
+            ..GenConfig::common_deadline(20, 4.0, 5)
+        };
+        for j in &generate(&full).jobs {
+            assert_eq!(j.reveal_exact(), 0.0);
+        }
+    }
+
+    #[test]
+    fn bimodal_mixes() {
+        let cfg = GenConfig {
+            compress: Compressibility::Bimodal { p_compressible: 0.5 },
+            ..GenConfig::common_deadline(200, 4.0, 6)
+        };
+        let inst = generate(&cfg);
+        let incompressible =
+            inst.jobs.iter().filter(|j| j.reveal_exact() == j.upper_bound).count();
+        assert!((60..140).contains(&incompressible), "got {incompressible}/200");
+    }
+
+    #[test]
+    fn online_windows_positive() {
+        let inst = generate(&GenConfig::online_default(100, 7));
+        for j in &inst.jobs {
+            assert!(j.deadline > j.release);
+            assert!(j.release >= 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_increase_and_average_out() {
+        let cfg = GenConfig {
+            time: TimeModel::Poisson { rate: 2.0, min_len: 0.5, max_len: 1.0 },
+            ..GenConfig::common_deadline(400, 1.0, 10)
+        };
+        let inst = generate(&cfg);
+        let mut last = 0.0;
+        for j in &inst.jobs {
+            assert!(j.release >= last, "arrivals must be ordered");
+            last = j.release;
+        }
+        // 400 arrivals at rate 2 → horizon ≈ 200 (±5σ ≈ ±35).
+        assert!((120.0..280.0).contains(&last), "horizon was {last}");
+    }
+
+    #[test]
+    fn heavy_tail_mostly_compressible() {
+        let cfg = GenConfig {
+            compress: Compressibility::HeavyTail,
+            ..GenConfig::common_deadline(500, 4.0, 8)
+        };
+        let inst = generate(&cfg);
+        let small = inst
+            .jobs
+            .iter()
+            .filter(|j| j.reveal_exact() < 0.5 * j.upper_bound)
+            .count();
+        // u³ < 0.5 for u < 0.79: expect ~79% far below w.
+        assert!(small > 350, "got {small}/500");
+    }
+}

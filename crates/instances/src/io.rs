@@ -1,0 +1,162 @@
+//! Instance (de)serialization.
+//!
+//! QBSS instances — including the hidden exact loads — round-trip
+//! through JSON so experiments are reproducible from recorded files and
+//! the CLI can pipe instances between `generate`, `run` and `compare`
+//! subcommands.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use qbss_core::model::QbssInstance;
+
+/// Serializes an instance to pretty JSON.
+pub fn to_json(inst: &QbssInstance) -> String {
+    serde_json::to_string_pretty(inst).expect("QbssInstance serialization cannot fail")
+}
+
+/// Parses an instance from JSON, then validates it.
+pub fn from_json(json: &str) -> Result<QbssInstance, String> {
+    let inst: QbssInstance =
+        serde_json::from_str(json).map_err(|e| format!("JSON parse error: {e}"))?;
+    inst.validate()?;
+    Ok(inst)
+}
+
+/// Writes an instance to a file.
+pub fn write_file(inst: &QbssInstance, path: &Path) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(to_json(inst).as_bytes())
+}
+
+/// Reads and validates an instance from a file.
+pub fn read_file(path: &Path) -> Result<QbssInstance, String> {
+    let json = fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    from_json(&json)
+}
+
+/// Serializes an instance to CSV with the header
+/// `id,release,deadline,query_load,upper_bound,exact` — the interop
+/// format for spreadsheets and external trace tooling. Floats are
+/// emitted with full round-trip precision.
+pub fn to_csv(inst: &QbssInstance) -> String {
+    let mut out = String::from("id,release,deadline,query_load,upper_bound,exact\n");
+    for j in &inst.jobs {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            j.id, j.release, j.deadline, j.query_load, j.upper_bound,
+            j.reveal_exact()
+        ));
+    }
+    out
+}
+
+/// Parses an instance from the CSV format of [`to_csv`] (header row
+/// required; blank lines and `#` comments ignored), then validates it.
+pub fn from_csv(csv: &str) -> Result<QbssInstance, String> {
+    let mut lines = csv
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or("empty CSV")?;
+    if header != "id,release,deadline,query_load,upper_bound,exact" {
+        return Err(format!("unexpected CSV header: `{header}`"));
+    }
+    let mut jobs = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 6 {
+            return Err(format!("line {}: expected 6 fields, got {}", lineno + 2, fields.len()));
+        }
+        let id: u32 = fields[0]
+            .parse()
+            .map_err(|e| format!("line {}: bad id: {e}", lineno + 2))?;
+        let nums: Result<Vec<f64>, String> = fields[1..]
+            .iter()
+            .map(|f| f.parse::<f64>().map_err(|e| format!("line {}: {e}", lineno + 2)))
+            .collect();
+        let v = nums?;
+        let (r, d, c, w, exact) = (v[0], v[1], v[2], v[3], v[4]);
+        // Pre-validate so malformed data reports a line number instead
+        // of panicking in the constructor.
+        if !(d > r && c > 0.0 && c <= w && (0.0..=w).contains(&exact))
+            || v.iter().any(|x| !x.is_finite())
+        {
+            return Err(format!("line {}: malformed job (r={r}, d={d}, c={c}, w={w}, w*={exact})", lineno + 2));
+        }
+        jobs.push(qbss_core::model::QJob::new(id, r, d, c, w, exact));
+    }
+    let inst = QbssInstance::new(jobs);
+    inst.validate()?;
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn json_roundtrip() {
+        let inst = generate(&GenConfig::online_default(25, 11));
+        let back = from_json(&to_json(&inst)).expect("roundtrip");
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let inst = generate(&GenConfig::common_deadline(10, 4.0, 3));
+        let dir = std::env::temp_dir().join("qbss-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        write_file(&inst, &path).expect("write");
+        let back = read_file(&path).expect("read");
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn invalid_json_rejected() {
+        assert!(from_json("{").is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let inst = generate(&GenConfig::online_default(20, 5));
+        let back = from_csv(&to_csv(&inst)).expect("roundtrip");
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn csv_tolerates_comments_and_blank_lines() {
+        let csv = "\
+# a comment
+id,release,deadline,query_load,upper_bound,exact
+
+0,0.0,1.0,0.5,2.0,0.25
+";
+        let inst = from_csv(csv).expect("parse");
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.jobs[0].reveal_exact(), 0.25);
+    }
+
+    #[test]
+    fn csv_rejects_bad_header_and_rows() {
+        assert!(from_csv("nope\n").is_err());
+        let bad_arity = "id,release,deadline,query_load,upper_bound,exact\n0,1,2\n";
+        assert!(from_csv(bad_arity).unwrap_err().contains("6 fields"));
+        let bad_job = "id,release,deadline,query_load,upper_bound,exact\n0,0,1,5.0,1.0,0.5\n";
+        assert!(from_csv(bad_job).unwrap_err().contains("malformed job"));
+        let bad_num = "id,release,deadline,query_load,upper_bound,exact\n0,0,x,0.5,1.0,0.5\n";
+        assert!(from_csv(bad_num).is_err());
+    }
+
+    #[test]
+    fn invalid_instance_rejected() {
+        // Structurally valid JSON but a malformed job (c > w).
+        let json = r#"{"jobs":[{"id":0,"release":0.0,"deadline":1.0,
+            "query_load":5.0,"upper_bound":1.0,"exact":0.5}]}"#;
+        let err = from_json(json).unwrap_err();
+        assert!(err.contains("query load"), "{err}");
+    }
+}

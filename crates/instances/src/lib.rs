@@ -1,0 +1,24 @@
+//! # qbss-instances — workload generators and adversaries for QBSS
+//!
+//! Three kinds of instances feed the experiments that reproduce the
+//! SPAA 2021 paper:
+//!
+//! * [`gen`] — random families parameterized by release/deadline
+//!   structure ([`gen::TimeModel`]), query-cost model
+//!   ([`gen::QueryModel`]) and payload compressibility
+//!   ([`gen::Compressibility`]), matching the paper's motivating
+//!   code-optimization / file-compression scenarios. Deterministic by
+//!   seed.
+//! * [`adversary`] — the exact lower-bound constructions of Lemmas
+//!   4.1–4.5 and 5.1, with the adaptive adversary response functions so
+//!   experiments can play the games against real policies.
+//! * [`io`] — JSON round-tripping for instances (hidden loads
+//!   included), for reproducible experiment pipelines.
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod gen;
+pub mod io;
+
+pub use gen::{generate, Compressibility, GenConfig, QueryModel, TimeModel};

@@ -1,0 +1,2 @@
+//! Host crate for the workspace-level integration tests in `tests/`
+//! (wired via `[[test]]` path targets). No library code.

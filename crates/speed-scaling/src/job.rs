@@ -1,0 +1,213 @@
+//! Classical (certain-workload) job model.
+//!
+//! A classical job is the triple `(r_j, d_j, w_j)` of Yao, Demers and
+//! Shenker: `w_j` units of work to be executed preemptively inside the
+//! active interval `(r_j, d_j]`. The QBSS algorithms of the paper reduce
+//! every decision to a set of classical jobs and then invoke the
+//! substrate algorithms of this crate (YDS/AVR/OA/BKP/AVR(m)) on them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{approx_le, Interval, EPS};
+
+/// Identifier of a job inside an [`Instance`].
+///
+/// Derived jobs created by QBSS algorithms keep the id of the original
+/// QBSS job they stem from (a query job and an exact-work job for the
+/// same original job share an id), so ids are *not* necessarily unique in
+/// an instance; use the index in [`Instance::jobs`] for uniqueness.
+pub type JobId = u32;
+
+/// A classical speed-scaling job `(r, d, w)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Stable identifier (see [`JobId`] on uniqueness).
+    pub id: JobId,
+    /// Release time `r_j`.
+    pub release: f64,
+    /// Deadline `d_j` (strictly after the release).
+    pub deadline: f64,
+    /// Workload `w_j >= 0`.
+    pub work: f64,
+}
+
+impl Job {
+    /// Creates a job, panicking on non-finite input, `deadline <= release`
+    /// or negative work. Malformed jobs are programming errors here: data
+    /// coming from the outside goes through [`Instance::validate`].
+    pub fn new(id: JobId, release: f64, deadline: f64, work: f64) -> Self {
+        let job = Self { id, release, deadline, work };
+        job.check().expect("malformed job");
+        job
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if !(self.release.is_finite() && self.deadline.is_finite() && self.work.is_finite()) {
+            return Err(format!("job {}: non-finite field", self.id));
+        }
+        if self.deadline <= self.release + EPS {
+            return Err(format!(
+                "job {}: empty active interval ({}, {}]",
+                self.id, self.release, self.deadline
+            ));
+        }
+        if self.work < 0.0 {
+            return Err(format!("job {}: negative work {}", self.id, self.work));
+        }
+        Ok(())
+    }
+
+    /// The active interval `(r_j, d_j]`.
+    #[inline]
+    pub fn window(&self) -> Interval {
+        Interval::new(self.release, self.deadline)
+    }
+
+    /// Density `δ_j = w_j / (d_j - r_j)` — the constant speed needed to
+    /// execute the job spread over its whole window.
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.work / (self.deadline - self.release)
+    }
+
+    /// Whether the job is active at time `t` (i.e. `t ∈ (r_j, d_j]`, up
+    /// to tolerance on the endpoints).
+    #[inline]
+    pub fn active_at(&self, t: f64) -> bool {
+        self.release < t - EPS && approx_le(t, self.deadline)
+    }
+}
+
+/// A set of classical jobs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// The jobs; order is insignificant for the algorithms but preserved.
+    pub jobs: Vec<Job>,
+}
+
+impl Instance {
+    /// Creates an instance from jobs. Does *not* validate; call
+    /// [`Instance::validate`] on untrusted data.
+    pub fn new(jobs: Vec<Job>) -> Self {
+        Self { jobs }
+    }
+
+    /// Number of jobs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the instance has no jobs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Validates every job; returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for job in &self.jobs {
+            job.check()?;
+        }
+        Ok(())
+    }
+
+    /// Earliest release time, or 0 for an empty instance.
+    pub fn min_release(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.release).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Latest deadline, or 0 for an empty instance.
+    pub fn max_deadline(&self) -> f64 {
+        self.jobs.iter().map(|j| j.deadline).fold(0.0, f64::max)
+    }
+
+    /// Total work `Σ w_j`.
+    pub fn total_work(&self) -> f64 {
+        self.jobs.iter().map(|j| j.work).sum()
+    }
+
+    /// All release times and deadlines, sorted and deduplicated — the
+    /// canonical event grid for event-driven algorithms.
+    pub fn event_times(&self) -> Vec<f64> {
+        let mut ts = Vec::with_capacity(2 * self.jobs.len());
+        for j in &self.jobs {
+            ts.push(j.release);
+            ts.push(j.deadline);
+        }
+        crate::time::dedup_times(ts)
+    }
+
+    /// Sum of densities of the jobs active at time `t` — the AVR speed.
+    pub fn total_density_at(&self, t: f64) -> f64 {
+        self.jobs.iter().filter(|j| j.active_at(t)).map(|j| j.density()).sum()
+    }
+}
+
+impl FromIterator<Job> for Instance {
+    fn from_iter<T: IntoIterator<Item = Job>>(iter: T) -> Self {
+        Self { jobs: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_and_window() {
+        let j = Job::new(0, 1.0, 3.0, 4.0);
+        assert_eq!(j.density(), 2.0);
+        assert_eq!(j.window().len(), 2.0);
+        assert!(j.active_at(2.0));
+        assert!(j.active_at(3.0));
+        assert!(!j.active_at(1.0)); // window is open at the release
+        assert!(!j.active_at(3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed job")]
+    fn empty_window_rejected() {
+        let _ = Job::new(0, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed job")]
+    fn negative_work_rejected() {
+        let _ = Job::new(0, 0.0, 1.0, -1.0);
+    }
+
+    #[test]
+    fn zero_work_allowed() {
+        // Queries of jobs that turn out fully compressible yield
+        // zero-work derived jobs; they must be representable.
+        let j = Job::new(0, 0.0, 1.0, 0.0);
+        assert_eq!(j.density(), 0.0);
+    }
+
+    #[test]
+    fn instance_aggregates() {
+        let inst = Instance::new(vec![
+            Job::new(0, 0.0, 2.0, 2.0),
+            Job::new(1, 1.0, 3.0, 6.0),
+        ]);
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.total_work(), 8.0);
+        assert_eq!(inst.max_deadline(), 3.0);
+        assert_eq!(inst.event_times(), vec![0.0, 1.0, 2.0, 3.0]);
+        // At t = 1.5 both are active: densities 1 and 3.
+        assert!((inst.total_density_at(1.5) - 4.0).abs() < 1e-12);
+        // At t = 2.5 only job 1 is active.
+        assert!((inst.total_density_at(2.5) - 3.0).abs() < 1e-12);
+        assert!(inst.validate().is_ok());
+    }
+
+    #[test]
+    fn instance_from_iterator() {
+        let inst: Instance = (0..3).map(|i| Job::new(i, 0.0, 1.0, 1.0)).collect();
+        assert_eq!(inst.len(), 3);
+    }
+}

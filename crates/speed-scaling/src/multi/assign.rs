@@ -1,0 +1,135 @@
+//! McNaughton's wrap-around rule.
+//!
+//! Given an elementary interval of length `len`, `m` identical machines
+//! all running at a common speed `s`, and per-job work demands
+//! `x_j ≤ s·len` with `Σ x_j ≤ m·s·len`, McNaughton's rule produces a
+//! migratory preemptive schedule in which no job runs on two machines at
+//! once: lay the jobs out end-to-end on a tape of length `m·len` and cut
+//! the tape every `len`.
+//!
+//! AVR(m) uses this inside every elementary interval for its *small*
+//! jobs; the QBSS multi-machine algorithm inherits it.
+
+use crate::job::JobId;
+use crate::schedule::{Schedule, Slice};
+use crate::time::EPS;
+
+/// Lays out `demands = (job, work)` on `machines` machines over
+/// `(start, start+len]` at common speed `speed`, appending the slices to
+/// `schedule` starting from machine index `first_machine`.
+///
+/// Panics (debug) if a single demand exceeds the interval capacity or the
+/// total exceeds the aggregate capacity — both are contract violations of
+/// the caller (the big/small split guarantees them for AVR(m)).
+pub fn mcnaughton(
+    schedule: &mut Schedule,
+    demands: &[(JobId, f64)],
+    first_machine: usize,
+    machines: usize,
+    start: f64,
+    len: f64,
+    speed: f64,
+) {
+    if machines == 0 || len <= EPS || speed <= EPS {
+        debug_assert!(
+            demands.iter().map(|d| d.1).sum::<f64>() <= EPS,
+            "demands on zero capacity"
+        );
+        return;
+    }
+    let cap = speed * len;
+    debug_assert!(
+        demands.iter().all(|&(_, x)| x <= cap * (1.0 + 1e-9) + EPS),
+        "a single demand exceeds per-machine capacity"
+    );
+    debug_assert!(
+        demands.iter().map(|d| d.1).sum::<f64>() <= machines as f64 * cap * (1.0 + 1e-9) + EPS,
+        "total demand exceeds aggregate capacity"
+    );
+
+    // Position on the virtual tape, in time units within [0, m·len).
+    let mut pos = 0.0_f64;
+    for &(job, work) in demands {
+        let mut dur = work / speed;
+        if dur <= EPS {
+            continue;
+        }
+        while dur > EPS {
+            let machine_idx = (pos / len).floor() as usize;
+            // Guard the final demand against floating-point creep past
+            // the last machine.
+            let machine_idx = machine_idx.min(machines - 1);
+            let offset = pos - machine_idx as f64 * len;
+            let room = len - offset;
+            let take = dur.min(room);
+            schedule.push(Slice {
+                job,
+                machine: first_machine + machine_idx,
+                start: start + offset,
+                end: start + offset + take,
+                speed,
+            });
+            pos += take;
+            dur -= take;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::WorkRequirement;
+    use crate::time::Interval;
+
+    fn check(sched: &Schedule, demands: &[(JobId, f64)], start: f64, len: f64) {
+        let reqs: Vec<WorkRequirement> = demands
+            .iter()
+            .map(|&(j, w)| WorkRequirement::new(j, Interval::new(start, start + len), w))
+            .collect();
+        sched.check(&reqs).expect("McNaughton schedule must validate");
+    }
+
+    #[test]
+    fn fits_one_machine() {
+        let mut s = Schedule::empty(1);
+        let demands = [(0, 1.0), (1, 1.0)];
+        mcnaughton(&mut s, &demands, 0, 1, 0.0, 2.0, 1.0);
+        check(&s, &demands, 0.0, 2.0);
+    }
+
+    #[test]
+    fn wraps_across_machines() {
+        // Three jobs of 2/3 capacity each on two machines: the middle
+        // job must be split across machines without self-overlap.
+        let mut s = Schedule::empty(2);
+        let demands = [(0, 2.0 / 3.0), (1, 2.0 / 3.0), (2, 2.0 / 3.0)];
+        mcnaughton(&mut s, &demands, 0, 2, 0.0, 1.0, 1.0);
+        check(&s, &demands, 0.0, 1.0);
+        // Job 1 appears on both machines.
+        let machines: std::collections::HashSet<usize> =
+            s.slices.iter().filter(|x| x.job == 1).map(|x| x.machine).collect();
+        assert_eq!(machines.len(), 2);
+    }
+
+    #[test]
+    fn full_load_exact_fit() {
+        let mut s = Schedule::empty(3);
+        let demands = [(0, 1.0), (1, 1.0), (2, 1.0)];
+        mcnaughton(&mut s, &demands, 0, 3, 5.0, 1.0, 1.0);
+        check(&s, &demands, 5.0, 1.0);
+    }
+
+    #[test]
+    fn respects_first_machine_offset() {
+        let mut s = Schedule::empty(4);
+        mcnaughton(&mut s, &[(7, 0.5)], 2, 2, 0.0, 1.0, 1.0);
+        assert!(s.slices.iter().all(|x| x.machine >= 2));
+    }
+
+    #[test]
+    fn zero_demands_no_slices() {
+        let mut s = Schedule::empty(1);
+        mcnaughton(&mut s, &[(0, 0.0)], 0, 1, 0.0, 1.0, 1.0);
+        assert!(s.slices.is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! AVR(m): the multi-machine Average Rate algorithm of Albers,
+//! Antoniadis and Greiner, `(2^{α−1}α^α + 1)`-competitive for energy.
+//!
+//! Per elementary interval (the active job set is constant between
+//! releases/deadlines), each job should receive `δ_j · len` work. The
+//! machines are filled iteratively: while the maximum remaining density
+//! `δ_ĵ` exceeds the fair share `Δ/|R|` of the remaining machines, job
+//! `ĵ` is *big* and monopolizes the lowest-indexed remaining machine at
+//! speed `δ_ĵ`; once no big job remains, the *small* jobs share the
+//! remaining machines at the common speed `Δ/|R|` (realized with
+//! McNaughton's rule). Machine speeds are therefore non-increasing in
+//! the machine index at every instant — the property Theorem 6.3 of the
+//! QBSS paper leans on.
+
+use crate::job::{Instance, JobId};
+use crate::profile::SpeedProfile;
+use crate::schedule::Schedule;
+use crate::time::{dedup_times, EPS};
+
+use super::assign::mcnaughton;
+
+/// Output of [`avr_m`].
+#[derive(Debug, Clone)]
+pub struct AvrMResult {
+    /// Explicit migratory schedule over `m` machines.
+    pub schedule: Schedule,
+    /// Per-machine speed profiles (index 0 is the fastest machine).
+    pub machine_profiles: Vec<SpeedProfile>,
+}
+
+impl AvrMResult {
+    /// Total energy across machines.
+    pub fn energy(&self, alpha: f64) -> f64 {
+        self.machine_profiles.iter().map(|p| p.energy(alpha)).sum()
+    }
+
+    /// Maximum speed across machines (machine 0 by the ordering
+    /// invariant, but computed over all for robustness).
+    pub fn max_speed(&self) -> f64 {
+        self.machine_profiles.iter().map(SpeedProfile::max_speed).fold(0.0, f64::max)
+    }
+}
+
+/// The per-machine speeds AVR(m) uses for a set of active densities.
+///
+/// Returns a vector of length `m`, non-increasing, whose prefix holds the
+/// big jobs' densities and whose suffix holds the shared small-job speed
+/// (0 for unused machines). Exposed for the Theorem 6.3 experiments,
+/// which compare these vectors pointwise between AVRQ(m) and AVR*(m).
+pub fn machine_speeds_for_densities(densities: &[f64], m: usize) -> Vec<f64> {
+    let mut speeds = vec![0.0; m];
+    if m == 0 {
+        return speeds;
+    }
+    let mut rest: Vec<f64> = densities.to_vec();
+    rest.sort_by(|a, b| b.partial_cmp(a).expect("finite densities"));
+    let mut delta: f64 = rest.iter().sum();
+    let mut machine = 0usize;
+    for &d in &rest {
+        let r = m - machine;
+        if r == 0 {
+            break;
+        }
+        if d > delta / r as f64 + EPS {
+            speeds[machine] = d;
+            machine += 1;
+            delta -= d;
+        } else {
+            // All remaining jobs are small: they share the remaining
+            // machines evenly.
+            let share = delta / r as f64;
+            for s in speeds.iter_mut().skip(machine).take(r) {
+                *s = share.max(0.0);
+            }
+            return speeds;
+        }
+    }
+    speeds
+}
+
+/// Runs AVR(m) on `instance` over `m` machines.
+///
+/// Panics if some single job's density cannot be handled (never happens:
+/// a lone big job runs at its own density on one machine).
+pub fn avr_m(instance: &Instance, m: usize) -> AvrMResult {
+    assert!(m >= 1, "need at least one machine");
+    let mut schedule = Schedule::empty(m);
+
+    if instance.is_empty() {
+        return AvrMResult {
+            schedule,
+            machine_profiles: vec![SpeedProfile::zero(); m],
+        };
+    }
+
+    let events = dedup_times(instance.event_times());
+    for w in events.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let len = b - a;
+        if len <= EPS {
+            continue;
+        }
+        let t = 0.5 * (a + b);
+        // Active jobs with their densities, highest density first,
+        // deterministic tie-break by id.
+        let mut active: Vec<(JobId, f64)> = instance
+            .jobs
+            .iter()
+            .filter(|j| j.active_at(t) && j.work > 0.0)
+            .map(|j| (j.id, j.density()))
+            .collect();
+        active.sort_by(|x, y| {
+            y.1.partial_cmp(&x.1).expect("finite").then_with(|| x.0.cmp(&y.0))
+        });
+        if active.is_empty() {
+            continue;
+        }
+
+        let mut delta: f64 = active.iter().map(|x| x.1).sum();
+        let mut machine = 0usize;
+        let mut idx = 0usize;
+        while idx < active.len() {
+            let r = m - machine;
+            assert!(r > 0, "AVR(m) ran out of machines — big/small invariant broken");
+            let (job, d) = active[idx];
+            if d > delta / r as f64 + EPS {
+                // Big job: dedicated machine for the whole interval.
+                schedule.push(crate::schedule::Slice {
+                    job,
+                    machine,
+                    start: a,
+                    end: b,
+                    speed: d,
+                });
+                machine += 1;
+                delta -= d;
+                idx += 1;
+            } else {
+                // The rest are small: share remaining machines.
+                let share = delta / r as f64;
+                let demands: Vec<(JobId, f64)> =
+                    active[idx..].iter().map(|&(j, d)| (j, d * len)).collect();
+                mcnaughton(&mut schedule, &demands, machine, r, a, len, share);
+                break;
+            }
+        }
+    }
+
+    let machine_profiles = (0..m).map(|i| schedule.machine_profile(i)).collect();
+    AvrMResult { schedule, machine_profiles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::schedule::Schedule as Sched;
+
+    #[test]
+    fn speeds_all_small() {
+        // Two equal jobs on two machines: each machine gets half the
+        // total density.
+        let speeds = machine_speeds_for_densities(&[1.0, 1.0], 2);
+        assert_eq!(speeds, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn speeds_one_big() {
+        // Density 10 vs two of 1 on two machines: 10 is big (10 > 12/2),
+        // the others share machine 1 at speed 2.
+        let speeds = machine_speeds_for_densities(&[10.0, 1.0, 1.0], 2);
+        assert_eq!(speeds, vec![10.0, 2.0]);
+    }
+
+    #[test]
+    fn speeds_nonincreasing_property() {
+        let speeds = machine_speeds_for_densities(&[5.0, 4.0, 3.0, 0.5, 0.5], 4);
+        for w in speeds.windows(2) {
+            assert!(w[0] + 1e-12 >= w[1]);
+        }
+        // Work conservation.
+        let total: f64 = speeds.iter().sum();
+        assert!((total - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_machines_than_jobs() {
+        let speeds = machine_speeds_for_densities(&[2.0, 1.0], 4);
+        // Job of density 2 is big (2 > 3/4); then 1 > 1/3 big too.
+        assert_eq!(speeds, vec![2.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_densities() {
+        assert_eq!(machine_speeds_for_densities(&[], 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn avr_m_single_machine_matches_avr() {
+        let i = Instance::new(vec![
+            Job::new(0, 0.0, 2.0, 2.0),
+            Job::new(1, 1.0, 3.0, 4.0),
+        ]);
+        let res = avr_m(&i, 1);
+        let avr = crate::avr::avr_profile(&i);
+        for &t in &[0.5, 1.5, 2.5] {
+            assert!(
+                (res.machine_profiles[0].speed_at(t) - avr.speed_at(t)).abs() < 1e-9,
+                "AVR(1) must equal AVR at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn avr_m_schedule_validates() {
+        let i = Instance::new(vec![
+            Job::new(0, 0.0, 2.0, 6.0),
+            Job::new(1, 0.0, 2.0, 1.0),
+            Job::new(2, 0.5, 1.5, 1.0),
+            Job::new(3, 1.0, 3.0, 2.0),
+        ]);
+        let res = avr_m(&i, 2);
+        res.schedule
+            .check(&Sched::requirements_of(&i))
+            .expect("AVR(m) schedule must be feasible");
+    }
+
+    #[test]
+    fn avr_m_machine_speeds_ordered() {
+        let i = Instance::new(vec![
+            Job::new(0, 0.0, 1.0, 5.0),
+            Job::new(1, 0.0, 1.0, 1.0),
+            Job::new(2, 0.0, 1.0, 1.0),
+        ]);
+        let res = avr_m(&i, 3);
+        let at = |k: usize| res.machine_profiles[k].speed_at(0.5);
+        assert!(at(0) + 1e-9 >= at(1) && at(1) + 1e-9 >= at(2));
+        // δ = {5,1,1}: 5 is big (5 > 7/3); remaining share 2/2 = 1 each.
+        assert!((at(0) - 5.0).abs() < 1e-9);
+        assert!((at(1) - 1.0).abs() < 1e-9);
+        assert!((at(2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avr_m_energy_sum_of_machines() {
+        let i = Instance::new(vec![
+            Job::new(0, 0.0, 1.0, 2.0),
+            Job::new(1, 0.0, 1.0, 2.0),
+        ]);
+        let res = avr_m(&i, 2);
+        // Each machine runs at 2 for 1 unit: energy 2·2^α.
+        assert!((res.energy(3.0) - 2.0 * 8.0).abs() < 1e-9);
+        assert!((res.max_speed() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,172 @@
+//! Non-migratory multi-machine AVR — the variant the paper's §7 points
+//! at ("our approach can directly be applied to the preemptive-
+//! non-migratory variant \[21\]").
+//!
+//! Each job is irrevocably *assigned* to one machine at its release
+//! (online list scheduling: the machine whose current total density is
+//! lowest takes the job) and each machine then runs the classical AVR
+//! policy on its own job set. No slice of a job ever appears on another
+//! machine, so the schedule is trivially free of cross-machine job
+//! parallelism — at the price of losing AVR(m)'s balancing of *big*
+//! jobs (a single dense job can no longer spread its neighbours away).
+
+use crate::avr::avr;
+use crate::job::{Instance, Job};
+use crate::profile::SpeedProfile;
+use crate::schedule::Schedule;
+
+/// Output of [`avr_m_nonmig`].
+#[derive(Debug, Clone)]
+pub struct NonMigResult {
+    /// Combined schedule over all machines.
+    pub schedule: Schedule,
+    /// Per-machine speed profiles.
+    pub machine_profiles: Vec<SpeedProfile>,
+    /// The machine each job was assigned to (instance order).
+    pub assignment: Vec<usize>,
+}
+
+impl NonMigResult {
+    /// Total energy across machines.
+    pub fn energy(&self, alpha: f64) -> f64 {
+        self.machine_profiles.iter().map(|p| p.energy(alpha)).sum()
+    }
+
+    /// Maximum speed over machines and time.
+    pub fn max_speed(&self) -> f64 {
+        self.machine_profiles.iter().map(SpeedProfile::max_speed).fold(0.0, f64::max)
+    }
+}
+
+/// Runs non-migratory AVR on `m` machines.
+///
+/// Assignment is online: jobs are considered in release order (ties by
+/// id) and each goes to the machine with the smallest sum of densities
+/// of already-assigned jobs — the natural greedy a dispatcher without
+/// migration would use.
+pub fn avr_m_nonmig(instance: &Instance, m: usize) -> NonMigResult {
+    assert!(m >= 1, "need at least one machine");
+
+    let mut order: Vec<usize> = (0..instance.jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ja, jb) = (&instance.jobs[a], &instance.jobs[b]);
+        ja.release
+            .partial_cmp(&jb.release)
+            .expect("finite releases")
+            .then_with(|| ja.id.cmp(&jb.id))
+    });
+
+    let mut per_machine: Vec<Vec<Job>> = vec![Vec::new(); m];
+    let mut machine_density = vec![0.0f64; m];
+    let mut assignment = vec![0usize; instance.jobs.len()];
+    for idx in order {
+        let job = instance.jobs[idx];
+        let target = machine_density
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("m >= 1");
+        assignment[idx] = target;
+        machine_density[target] += job.density();
+        per_machine[target].push(job);
+    }
+
+    let mut schedule = Schedule::empty(m);
+    let mut machine_profiles = Vec::with_capacity(m);
+    for (machine, jobs) in per_machine.into_iter().enumerate() {
+        if jobs.is_empty() {
+            machine_profiles.push(SpeedProfile::zero());
+            continue;
+        }
+        let local = Instance::new(jobs);
+        let res = avr(&local);
+        machine_profiles.push(res.profile);
+        for mut slice in res.schedule.slices {
+            slice.machine = machine;
+            schedule.push(slice);
+        }
+    }
+
+    NonMigResult { schedule, machine_profiles, assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::avr_m;
+
+    fn sample() -> Instance {
+        Instance::new(vec![
+            Job::new(0, 0.0, 2.0, 4.0),
+            Job::new(1, 0.0, 2.0, 2.0),
+            Job::new(2, 1.0, 3.0, 2.0),
+            Job::new(3, 1.5, 4.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn schedule_is_feasible() {
+        let inst = sample();
+        let res = avr_m_nonmig(&inst, 2);
+        res.schedule
+            .check(&Schedule::requirements_of(&inst))
+            .expect("non-migratory schedule must validate");
+    }
+
+    #[test]
+    fn no_job_ever_migrates() {
+        let inst = sample();
+        let res = avr_m_nonmig(&inst, 3);
+        for (idx, job) in inst.jobs.iter().enumerate() {
+            for s in res.schedule.slices.iter().filter(|s| s.job == job.id) {
+                assert_eq!(s.machine, res.assignment[idx], "job {} migrated", job.id);
+            }
+        }
+    }
+
+    #[test]
+    fn single_machine_equals_avr() {
+        let inst = sample();
+        let res = avr_m_nonmig(&inst, 1);
+        let avr = crate::avr::avr_profile(&inst);
+        for &t in &[0.5, 1.5, 2.5, 3.5] {
+            assert!((res.machine_profiles[0].speed_at(t) - avr.speed_at(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_balances_densities() {
+        // Two equal jobs on two machines must land on different ones.
+        let inst = Instance::new(vec![
+            Job::new(0, 0.0, 1.0, 1.0),
+            Job::new(1, 0.0, 1.0, 1.0),
+        ]);
+        let res = avr_m_nonmig(&inst, 2);
+        assert_ne!(res.assignment[0], res.assignment[1]);
+    }
+
+    #[test]
+    fn migration_helps_on_big_jobs() {
+        // One dominant job plus many small ones: AVR(m) gives the big
+        // job its own machine at all times, while non-migratory greedy
+        // may co-locate; energy of nonmig is never better.
+        let mut jobs = vec![Job::new(0, 0.0, 1.0, 10.0)];
+        for i in 1..6u32 {
+            jobs.push(Job::new(i, 0.0, 1.0, 1.0));
+        }
+        let inst = Instance::new(jobs);
+        let alpha = 3.0;
+        let mig = avr_m(&inst, 2).energy(alpha);
+        let non = avr_m_nonmig(&inst, 2).energy(alpha);
+        assert!(non + 1e-9 >= mig, "nonmig {non} vs mig {mig}");
+    }
+
+    #[test]
+    fn empty_machines_have_zero_profiles() {
+        let inst = Instance::new(vec![Job::new(0, 0.0, 1.0, 1.0)]);
+        let res = avr_m_nonmig(&inst, 4);
+        let active = res.machine_profiles.iter().filter(|p| p.max_speed() > 0.0).count();
+        assert_eq!(active, 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! OA(m): multi-machine Optimal Available (Albers–Antoniadis–Greiner),
+//! `α^α`-competitive for energy in the classical setting.
+//!
+//! At every arrival, OA(m) computes an (approximately) optimal
+//! migratory plan for the *remaining* work of the released unfinished
+//! jobs — here via the Frank–Wolfe solver of [`super::opt`] — and
+//! follows it until the next arrival. Realization inside each
+//! elementary interval uses the water-filling structure: planned works
+//! that occupy the whole interval get a dedicated machine, the rest
+//! share the remaining machines at their common speed via McNaughton's
+//! rule.
+//!
+//! Machines are indexed by speed (fastest first) inside every interval,
+//! matching AVR(m)'s convention.
+
+use crate::job::{Instance, Job, JobId};
+use crate::profile::SpeedProfile;
+use crate::schedule::Schedule;
+use crate::time::{dedup_times, EPS};
+
+use super::assign::mcnaughton;
+use super::opt::{multi_opt_frank_wolfe, water_filling_times};
+
+/// Output of [`oa_m`].
+#[derive(Debug, Clone)]
+pub struct OaMResult {
+    /// Explicit migratory schedule.
+    pub schedule: Schedule,
+    /// Per-machine speed profiles (fastest machine first at all times).
+    pub machine_profiles: Vec<SpeedProfile>,
+}
+
+impl OaMResult {
+    /// Total energy across machines.
+    pub fn energy(&self, alpha: f64) -> f64 {
+        self.machine_profiles.iter().map(|p| p.energy(alpha)).sum()
+    }
+
+    /// Maximum speed over machines and time.
+    pub fn max_speed(&self) -> f64 {
+        self.machine_profiles.iter().map(SpeedProfile::max_speed).fold(0.0, f64::max)
+    }
+}
+
+/// Sentinel id for the grid-refinement marker job (never scheduled —
+/// it carries zero work).
+const MARKER: JobId = u32::MAX;
+
+/// Runs OA(m) on `m` machines. `fw_iters` is the planner's Frank–Wolfe
+/// budget per arrival (the plan is feasible at any budget; more
+/// iterations only lower its energy).
+pub fn oa_m(instance: &Instance, m: usize, alpha: f64, fw_iters: usize) -> OaMResult {
+    assert!(m >= 1 && alpha > 1.0);
+    let mut schedule = Schedule::empty(m);
+    if instance.is_empty() {
+        return OaMResult { schedule, machine_profiles: vec![SpeedProfile::zero(); m] };
+    }
+
+    let arrivals = dedup_times(instance.jobs.iter().map(|j| j.release).collect());
+    let horizon = instance.max_deadline();
+    let mut remaining: Vec<f64> = instance.jobs.iter().map(|j| j.work).collect();
+
+    for (a_idx, &t0) in arrivals.iter().enumerate() {
+        let t1 = arrivals.get(a_idx + 1).copied().unwrap_or(horizon);
+        if t1 <= t0 + EPS {
+            continue;
+        }
+        // Residual instance: released unfinished jobs, windows starting
+        // now; original index kept for the work deduction.
+        let mut orig_of: Vec<usize> = Vec::new();
+        let mut residual_jobs: Vec<Job> = Vec::new();
+        for (idx, j) in instance.jobs.iter().enumerate() {
+            if j.release <= t0 + EPS && remaining[idx] > EPS && j.deadline > t0 + EPS {
+                orig_of.push(idx);
+                residual_jobs.push(Job::new(j.id, t0, j.deadline, remaining[idx]));
+            }
+        }
+        if residual_jobs.is_empty() {
+            continue;
+        }
+        // A zero-work marker refines the planner's event grid at the
+        // next arrival, so executed plan intervals never straddle it
+        // (grid refinement does not change the optimum).
+        if t1 < horizon - EPS {
+            orig_of.push(usize::MAX);
+            residual_jobs.push(Job::new(MARKER, t0, t1, 0.0));
+        }
+        let residual = Instance::new(residual_jobs);
+        let plan = multi_opt_frank_wolfe(&residual, m, alpha, fw_iters);
+
+        // Execute the plan's intervals inside (t0, t1].
+        for (k, &(ia, ib)) in plan.intervals.iter().enumerate() {
+            if ib > t1 + EPS || ib - ia <= EPS {
+                continue;
+            }
+            let len = ib - ia;
+            let works = &plan.placement[k];
+            let times = water_filling_times(works, len, m);
+
+            // Dedicated-machine jobs run the whole interval; the rest
+            // share at a common speed. Order dedicated jobs by speed so
+            // machine indices are speed-sorted.
+            let mut dedicated: Vec<usize> = Vec::new();
+            let mut shared: Vec<(JobId, f64)> = Vec::new();
+            let mut shared_speed = 0.0_f64;
+            for (r, job) in residual.jobs.iter().enumerate() {
+                if works[r] <= EPS || job.id == MARKER {
+                    continue;
+                }
+                if times[r] >= len - EPS {
+                    dedicated.push(r);
+                } else {
+                    shared_speed = works[r] / times[r];
+                    shared.push((job.id, works[r]));
+                }
+            }
+            dedicated.sort_by(|&p, &q| {
+                (works[q] / len)
+                    .partial_cmp(&(works[p] / len))
+                    .expect("finite")
+                    .then_with(|| residual.jobs[p].id.cmp(&residual.jobs[q].id))
+            });
+            debug_assert!(
+                dedicated.len() <= m && (shared.is_empty() || dedicated.len() < m),
+                "water-filling produced more dedicated jobs than machines"
+            );
+            for (machine, &r) in dedicated.iter().enumerate() {
+                schedule.push(crate::schedule::Slice {
+                    job: residual.jobs[r].id,
+                    machine,
+                    start: ia,
+                    end: ib,
+                    speed: works[r] / len,
+                });
+            }
+            if !shared.is_empty() {
+                let first = dedicated.len();
+                mcnaughton(&mut schedule, &shared, first, m - first, ia, len, shared_speed);
+            }
+
+            // Deduct executed work.
+            for (r, &orig) in orig_of.iter().enumerate() {
+                if orig != usize::MAX && works[r] > 0.0 {
+                    remaining[orig] = (remaining[orig] - works[r]).max(0.0);
+                }
+            }
+        }
+    }
+
+    let machine_profiles = (0..m).map(|i| schedule.machine_profile(i)).collect();
+    OaMResult { schedule, machine_profiles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::avr_m;
+    use crate::schedule::Schedule as Sched;
+    use crate::yds::optimal_energy;
+
+    fn staggered() -> Instance {
+        Instance::new(vec![
+            Job::new(0, 0.0, 4.0, 2.0),
+            Job::new(1, 1.0, 3.0, 2.0),
+            Job::new(2, 2.0, 5.0, 1.5),
+            Job::new(3, 0.5, 2.5, 1.0),
+        ])
+    }
+
+    #[test]
+    fn schedule_validates() {
+        let inst = staggered();
+        for m in [1usize, 2, 3] {
+            let res = oa_m(&inst, m, 3.0, 80);
+            res.schedule
+                .check(&Sched::requirements_of(&inst))
+                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn single_machine_near_oa() {
+        // With m = 1 and a single arrival, OA(m) plans once ≈ YDS.
+        let inst = Instance::new(vec![
+            Job::new(0, 0.0, 1.0, 3.0),
+            Job::new(1, 0.0, 2.0, 1.0),
+            Job::new(2, 0.0, 4.0, 1.0),
+        ]);
+        let alpha = 3.0;
+        let res = oa_m(&inst, 1, alpha, 300);
+        let opt = optimal_energy(&inst, alpha);
+        assert!(res.energy(alpha) >= opt - 1e-6);
+        assert!(
+            res.energy(alpha) <= opt * 1.05,
+            "OA(1) with one arrival should be ~optimal: {} vs {}",
+            res.energy(alpha),
+            opt
+        );
+    }
+
+    #[test]
+    fn oa_m_beats_avr_m_on_average_cases() {
+        // OA-style planning flattens speeds; on staggered arrivals it
+        // should not lose to AVR(m).
+        let inst = staggered();
+        let alpha = 3.0;
+        for m in [1usize, 2] {
+            let oa = oa_m(&inst, m, alpha, 120).energy(alpha);
+            let avr = avr_m(&inst, m).energy(alpha);
+            assert!(
+                oa <= avr * 1.05,
+                "OA(m) {oa} should be competitive with AVR(m) {avr} at m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_classical_alpha_alpha_bound_empirically() {
+        // Against the fluid/per-job/FW LB: OA(m) stays within α^α.
+        use crate::multi::{multi_opt_frank_wolfe, opt_lower_bound};
+        let inst = staggered();
+        let alpha = 2.5;
+        for m in [2usize, 3] {
+            let res = oa_m(&inst, m, alpha, 120);
+            let fw = multi_opt_frank_wolfe(&inst, m, alpha, 200);
+            let lb = opt_lower_bound(&inst, m, alpha).max(fw.lower_bound());
+            assert!(
+                res.energy(alpha) <= alpha.powf(alpha) * lb * (1.0 + 1e-6),
+                "OA(m) exceeded α^α·LB at m={m}: {} vs {}",
+                res.energy(alpha),
+                alpha.powf(alpha) * lb
+            );
+        }
+    }
+
+    #[test]
+    fn late_arrival_forces_replanning() {
+        let inst = Instance::new(vec![
+            Job::new(0, 0.0, 4.0, 2.0),
+            Job::new(1, 3.5, 4.0, 3.0), // dense surprise
+        ]);
+        let res = oa_m(&inst, 2, 3.0, 80);
+        res.schedule
+            .check(&Sched::requirements_of(&inst))
+            .expect("feasible after replanning");
+        // The surprise job needs speed ≥ 6 somewhere.
+        assert!(res.max_speed() >= 6.0 - 1e-6);
+    }
+
+    #[test]
+    fn machine_profiles_ordered() {
+        let inst = staggered();
+        let res = oa_m(&inst, 3, 3.0, 80);
+        for w in res.machine_profiles[0].breakpoints().windows(2) {
+            let t = 0.5 * (w[0] + w[1]);
+            let speeds: Vec<f64> =
+                res.machine_profiles.iter().map(|p| p.speed_at(t)).collect();
+            for pair in speeds.windows(2) {
+                assert!(pair[0] + 1e-6 >= pair[1], "machines must be speed-sorted at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let res = oa_m(&Instance::default(), 2, 3.0, 10);
+        assert_eq!(res.energy(3.0), 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! The Optimal Available (OA) online heuristic of Yao, Demers, Shenker.
+//!
+//! Whenever a job arrives, OA recomputes the optimal (YDS) schedule for
+//! the *remaining* work of all released, unfinished jobs, pretending no
+//! further jobs will arrive, and follows it until the next arrival. OA
+//! is `α^α`-competitive for energy (Bansal, Kimbrel, Pruhs 2007).
+//!
+//! OA is the substrate for the OAQ extension (`qbss-core`), the paper's
+//! open question (§7).
+
+use crate::edf::{edf_schedule, EdfTask};
+use crate::job::{Instance, Job};
+use crate::profile::SpeedProfile;
+use crate::schedule::Schedule;
+use crate::time::{dedup_times, EPS};
+use crate::yds::yds_profile;
+
+/// Output of [`oa`].
+#[derive(Debug, Clone)]
+pub struct OaResult {
+    /// The OA speed profile.
+    pub profile: SpeedProfile,
+    /// Explicit EDF schedule under that profile.
+    pub schedule: Schedule,
+}
+
+impl OaResult {
+    /// Energy consumed by OA at exponent `alpha`.
+    pub fn energy(&self, alpha: f64) -> f64 {
+        self.profile.energy(alpha)
+    }
+
+    /// Maximum speed used by OA.
+    pub fn max_speed(&self) -> f64 {
+        self.profile.max_speed()
+    }
+}
+
+/// The OA speed profile of `instance`.
+///
+/// Between consecutive arrival times the speed follows the YDS profile of
+/// the residual instance computed at the last arrival. Work executed is
+/// tracked per job so each recomputation sees the true remaining work.
+pub fn oa_profile(instance: &Instance) -> SpeedProfile {
+    if instance.is_empty() {
+        return SpeedProfile::zero();
+    }
+    let arrivals = dedup_times(instance.jobs.iter().map(|j| j.release).collect());
+    let horizon = instance.max_deadline();
+
+    let mut remaining: Vec<f64> = instance.jobs.iter().map(|j| j.work).collect();
+    let mut pieces: Vec<(f64, f64, f64)> = Vec::new(); // (start, end, speed)
+
+    for (k, &t0) in arrivals.iter().enumerate() {
+        let t1 = arrivals.get(k + 1).copied().unwrap_or(horizon);
+        if t1 <= t0 + EPS {
+            continue;
+        }
+        // Residual instance: released jobs with positive remaining work
+        // and deadline beyond t0; their windows start "now".
+        let residual: Instance = instance
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(i, j)| {
+                j.release <= t0 + EPS && remaining[*i] > EPS && j.deadline > t0 + EPS
+            })
+            .map(|(i, j)| Job::new(i as u32, t0, j.deadline, remaining[i]))
+            .collect();
+        if residual.is_empty() {
+            continue;
+        }
+        let plan = yds_profile(&residual);
+        // Follow the plan on (t0, t1]; consume work in EDF (earliest
+        // residual deadline first) order, exactly like the plan does.
+        let mut events: Vec<f64> = plan
+            .breakpoints()
+            .iter()
+            .copied()
+            .filter(|&t| t > t0 + EPS && t < t1 - EPS)
+            .collect();
+        events.push(t0);
+        events.push(t1);
+        let events = dedup_times(events);
+        for wseg in events.windows(2) {
+            let (a, b) = (wseg[0], wseg[1]);
+            let speed = plan.speed_at(0.5 * (a + b));
+            if speed <= EPS {
+                continue;
+            }
+            pieces.push((a, b, speed));
+            // Drain work from residual jobs in EDF order.
+            let mut budget = (b - a) * speed;
+            let mut order: Vec<usize> = instance
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(i, j)| j.release <= t0 + EPS && remaining[*i] > EPS && j.deadline > a)
+                .map(|(i, _)| i)
+                .collect();
+            order.sort_by(|&x, &y| {
+                instance.jobs[x]
+                    .deadline
+                    .partial_cmp(&instance.jobs[y].deadline)
+                    .expect("finite")
+            });
+            for i in order {
+                if budget <= EPS {
+                    break;
+                }
+                let take = budget.min(remaining[i]);
+                remaining[i] -= take;
+                budget -= take;
+            }
+        }
+    }
+
+    if pieces.is_empty() {
+        return SpeedProfile::zero();
+    }
+    let mut events: Vec<f64> = vec![instance.min_release(), horizon];
+    for &(a, b, _) in &pieces {
+        events.push(a);
+        events.push(b);
+    }
+    SpeedProfile::from_events(events, |t| {
+        pieces
+            .iter()
+            .find(|&&(a, b, _)| a < t && t <= b)
+            .map_or(0.0, |&(_, _, s)| s)
+    })
+    .simplify()
+}
+
+/// Runs OA: profile plus explicit EDF schedule.
+pub fn oa(instance: &Instance) -> OaResult {
+    let profile = oa_profile(instance);
+    let schedule = edf_schedule(&EdfTask::from_instance(instance), &profile, 0)
+        .expect("OA profile is feasible by construction");
+    OaResult { profile, schedule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yds::yds_profile;
+
+    #[test]
+    fn single_job_equals_yds() {
+        let i = Instance::new(vec![Job::new(0, 0.0, 2.0, 4.0)]);
+        let p = oa_profile(&i);
+        assert!((p.speed_at(1.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn common_release_equals_yds() {
+        // With a single arrival time OA plans once and follows YDS
+        // exactly.
+        let i = Instance::new(vec![
+            Job::new(0, 0.0, 1.0, 3.0),
+            Job::new(1, 0.0, 2.0, 1.0),
+            Job::new(2, 0.0, 4.0, 1.0),
+        ]);
+        let oa_p = oa_profile(&i);
+        let yds_p = yds_profile(&i);
+        for &t in &[0.5, 1.5, 2.5, 3.5] {
+            assert!(
+                (oa_p.speed_at(t) - yds_p.speed_at(t)).abs() < 1e-6,
+                "OA must equal YDS at t={t} for common releases"
+            );
+        }
+    }
+
+    #[test]
+    fn oa_schedule_valid_with_staggered_arrivals() {
+        let i = Instance::new(vec![
+            Job::new(0, 0.0, 4.0, 2.0),
+            Job::new(1, 1.0, 3.0, 2.0),
+            Job::new(2, 2.0, 5.0, 1.5),
+        ]);
+        let r = oa(&i);
+        assert!(r.schedule.check(&Schedule::requirements_of(&i)).is_ok());
+    }
+
+    #[test]
+    fn oa_energy_between_opt_and_alpha_alpha_bound() {
+        let i = Instance::new(vec![
+            Job::new(0, 0.0, 4.0, 2.0),
+            Job::new(1, 1.0, 2.0, 2.0),
+            Job::new(2, 2.5, 5.0, 3.0),
+            Job::new(3, 3.0, 3.5, 1.0),
+        ]);
+        for &alpha in &[2.0, 3.0] {
+            let opt = yds_profile(&i).energy(alpha);
+            let e = oa_profile(&i).energy(alpha);
+            assert!(e + 1e-9 >= opt, "OA cannot beat OPT");
+            assert!(
+                e <= alpha.powf(alpha) * opt * (1.0 + 1e-6),
+                "OA must respect its α^α bound (α={alpha}): {e} vs opt {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn late_surprise_arrival_raises_speed() {
+        // OA plans lazily, then a dense late job forces a spike.
+        let i = Instance::new(vec![
+            Job::new(0, 0.0, 4.0, 2.0),
+            Job::new(1, 3.5, 4.0, 2.0),
+        ]);
+        let p = oa_profile(&i);
+        assert!(p.speed_at(0.5) < p.speed_at(3.75));
+        let r = oa(&i);
+        assert!(r.schedule.check(&Schedule::requirements_of(&i)).is_ok());
+    }
+
+    #[test]
+    fn empty_instance() {
+        assert_eq!(oa_profile(&Instance::default()).max_speed(), 0.0);
+    }
+}

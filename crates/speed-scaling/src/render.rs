@@ -1,0 +1,179 @@
+//! ASCII rendering of schedules and speed profiles.
+//!
+//! Small, dependency-free visual output for the CLI and the examples: a
+//! per-machine Gantt chart (which job runs when) and a speed sparkline
+//! (how fast the machine runs). Pure functions over the data model, so
+//! the renders are unit-testable.
+
+use crate::profile::SpeedProfile;
+use crate::schedule::Schedule;
+use crate::time::dedup_times;
+
+/// Glyphs used to label jobs in the Gantt chart, cycling if there are
+/// more jobs than glyphs.
+const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+/// Renders a per-machine Gantt chart of `schedule` over `[t0, t1]`,
+/// `cols` characters wide. Each cell shows the job occupying the
+/// majority of that cell's time span on that machine (`.` = idle).
+///
+/// ```
+/// use speed_scaling::job::{Instance, Job};
+/// use speed_scaling::render::gantt;
+///
+/// let inst = Instance::new(vec![Job::new(0, 0.0, 2.0, 2.0)]);
+/// let yds = speed_scaling::yds::yds(&inst);
+/// let chart = gantt(&yds.schedule, 0.0, 2.0, 20);
+/// assert!(chart.contains('0'));
+/// ```
+pub fn gantt(schedule: &Schedule, t0: f64, t1: f64, cols: usize) -> String {
+    assert!(t1 > t0 && cols >= 1);
+    let dt = (t1 - t0) / cols as f64;
+    let mut out = String::new();
+    for machine in 0..schedule.machines.max(1) {
+        out.push_str(&format!("m{machine:<2} |"));
+        for c in 0..cols {
+            let (a, b) = (t0 + c as f64 * dt, t0 + (c + 1) as f64 * dt);
+            // Majority job in this cell on this machine.
+            let mut best: Option<(u32, f64)> = None;
+            for s in schedule.slices.iter().filter(|s| s.machine == machine) {
+                let overlap = (s.end.min(b) - s.start.max(a)).max(0.0);
+                if overlap > 0.0 {
+                    match &mut best {
+                        Some((job, acc)) if *job == s.job => *acc += overlap,
+                        Some((_, acc)) if overlap > *acc => best = Some((s.job, overlap)),
+                        None => best = Some((s.job, overlap)),
+                        _ => {}
+                    }
+                }
+            }
+            match best {
+                Some((job, acc)) if acc >= 0.5 * dt => {
+                    out.push(GLYPHS[job as usize % GLYPHS.len()] as char)
+                }
+                Some(_) => out.push('·'),
+                None => out.push('.'),
+            }
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("    t = {t0:.2} … {t1:.2}\n"));
+    out
+}
+
+/// Renders a speed profile as a sparkline of `cols` cells using eight
+/// vertical levels, normalized to the profile's maximum speed.
+pub fn sparkline(profile: &SpeedProfile, cols: usize) -> String {
+    const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    assert!(cols >= 1);
+    let (t0, t1) = (profile.start(), profile.end());
+    let max = profile.max_speed();
+    if max <= 0.0 || t1 <= t0 {
+        return " ".repeat(cols);
+    }
+    let dt = (t1 - t0) / cols as f64;
+    (0..cols)
+        .map(|c| {
+            let t = t0 + (c as f64 + 0.5) * dt;
+            let frac = profile.speed_at(t) / max;
+            LEVELS[((frac * 8.0).round() as usize).min(8)]
+        })
+        .collect()
+}
+
+/// A combined report: sparkline of every machine plus the Gantt chart,
+/// over the schedule's natural time span.
+pub fn schedule_report(schedule: &Schedule) -> String {
+    let times: Vec<f64> = schedule
+        .slices
+        .iter()
+        .flat_map(|s| [s.start, s.end])
+        .collect();
+    let times = dedup_times(times);
+    if times.len() < 2 {
+        return "(empty schedule)\n".to_string();
+    }
+    let (t0, t1) = (times[0], *times.last().expect("non-empty"));
+    let mut out = String::new();
+    for machine in 0..schedule.machines {
+        let p = schedule.machine_profile(machine);
+        out.push_str(&format!(
+            "m{machine:<2} speed [{}] peak {:.3}\n",
+            sparkline(&p, 60),
+            p.max_speed()
+        ));
+    }
+    out.push_str(&gantt(schedule, t0, t1, 60));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Instance, Job};
+    use crate::schedule::Slice;
+
+    fn sched() -> Schedule {
+        let mut s = Schedule::empty(2);
+        s.push(Slice { job: 0, machine: 0, start: 0.0, end: 1.0, speed: 2.0 });
+        s.push(Slice { job: 1, machine: 0, start: 1.0, end: 2.0, speed: 1.0 });
+        s.push(Slice { job: 2, machine: 1, start: 0.5, end: 1.5, speed: 3.0 });
+        s
+    }
+
+    #[test]
+    fn gantt_shows_jobs_and_idle() {
+        let g = gantt(&sched(), 0.0, 2.0, 20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3); // two machines + time axis
+        assert!(lines[0].contains('0') && lines[0].contains('1'));
+        assert!(lines[1].contains('2'));
+        assert!(
+            lines[1].starts_with("m1") && lines[1].contains("|."),
+            "machine 1 idles at the start: {}",
+            lines[1]
+        );
+    }
+
+    #[test]
+    fn gantt_cycles_glyphs() {
+        let mut s = Schedule::empty(1);
+        s.push(Slice { job: 62, machine: 0, start: 0.0, end: 1.0, speed: 1.0 }); // wraps to '0'
+        let g = gantt(&s, 0.0, 1.0, 4);
+        assert!(g.lines().next().unwrap().contains('0'));
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        // Speed 1 then 2: second half must use taller glyphs.
+        let p = SpeedProfile::new(vec![0.0, 1.0, 2.0], vec![1.0, 2.0]);
+        let s = sparkline(&p, 10);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 10);
+        assert!(chars[9] as u32 > chars[0] as u32);
+        assert_eq!(chars[9], '█');
+    }
+
+    #[test]
+    fn sparkline_zero_profile() {
+        let s = sparkline(&SpeedProfile::zero(), 5);
+        assert_eq!(s, "     ");
+    }
+
+    #[test]
+    fn report_runs_on_real_schedule() {
+        let inst = Instance::new(vec![
+            Job::new(0, 0.0, 2.0, 2.0),
+            Job::new(1, 1.0, 3.0, 2.0),
+        ]);
+        let yds = crate::yds::yds(&inst);
+        let report = schedule_report(&yds.schedule);
+        assert!(report.contains("peak"));
+        assert!(report.lines().count() >= 3);
+    }
+
+    #[test]
+    fn report_empty_schedule() {
+        assert_eq!(schedule_report(&Schedule::empty(2)), "(empty schedule)\n");
+    }
+}

@@ -1,0 +1,515 @@
+//! The YDS offline optimal algorithm (Yao, Demers, Shenker, FOCS 1995).
+//!
+//! YDS repeatedly finds the *critical interval* — the interval `I`
+//! maximizing the intensity `g(I) = Σ_{j : (r_j,d_j] ⊆ I} w_j / |I|` —
+//! schedules the jobs of `I` at constant speed `g(I)` inside it, removes
+//! them, and *collapses* `I` out of the time axis before recursing on the
+//! rest. The resulting speed profile minimizes energy `∫ s^α dt`
+//! simultaneously for every `α > 1` and also minimizes the maximum speed.
+//!
+//! This implementation keeps the remaining jobs in collapsed ("current")
+//! coordinates and maintains the set of already-assigned original-time
+//! intervals, mapping each critical interval back to original time when
+//! it is fixed. Slice placement is delegated to EDF, and in tests the
+//! schedule is re-validated by the generic checker.
+
+use crate::edf::{edf_schedule, EdfTask};
+use crate::job::Instance;
+use crate::profile::SpeedProfile;
+use crate::schedule::Schedule;
+use crate::time::{approx_ge, approx_le, dedup_times, Interval, EPS};
+
+/// Output of [`yds`]: the optimal profile plus the explicit schedule.
+#[derive(Debug, Clone)]
+pub struct YdsResult {
+    /// The energy-optimal speed profile.
+    pub profile: SpeedProfile,
+    /// An explicit EDF schedule realizing the profile.
+    pub schedule: Schedule,
+}
+
+impl YdsResult {
+    /// Energy of the optimal schedule for exponent `alpha`.
+    pub fn energy(&self, alpha: f64) -> f64 {
+        self.profile.energy(alpha)
+    }
+
+    /// Maximum speed of the optimal schedule.
+    pub fn max_speed(&self) -> f64 {
+        self.profile.max_speed()
+    }
+}
+
+/// A job in the current (collapsed) coordinate system.
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    release: f64,
+    deadline: f64,
+    work: f64,
+}
+
+/// Computes the YDS-optimal speed profile for `instance`.
+///
+/// Runs in `O(n³)` time in the worst case (`O(n²)` per critical round via
+/// a sorted sweep); instances in this workspace are at most a few
+/// thousand jobs, for which this is instantaneous in release builds.
+///
+/// ```
+/// use speed_scaling::job::{Instance, Job};
+/// use speed_scaling::yds::yds_profile;
+///
+/// // A dense inner job inside a relaxed outer one.
+/// let inst = Instance::new(vec![
+///     Job::new(0, 0.0, 4.0, 4.0), // density 1
+///     Job::new(1, 1.0, 2.0, 3.0), // density 3 — the critical interval
+/// ]);
+/// let p = yds_profile(&inst);
+/// assert!((p.speed_at(1.5) - 3.0).abs() < 1e-9);       // critical (1,2]
+/// assert!((p.speed_at(0.5) - 4.0 / 3.0).abs() < 1e-9); // outer job spread
+/// ```
+pub fn yds_profile(instance: &Instance) -> SpeedProfile {
+    let mut jobs: Vec<WorkItem> = instance
+        .jobs
+        .iter()
+        .filter(|j| j.work > 0.0)
+        .map(|j| WorkItem { release: j.release, deadline: j.deadline, work: j.work })
+        .collect();
+
+    // Original-time intervals already assigned a speed, kept sorted and
+    // disjoint, together with their speeds.
+    let mut fixed: Vec<(Interval, f64)> = Vec::new();
+    // Sorted original-time intervals removed from the axis so far.
+    let mut removed: Vec<Interval> = Vec::new();
+
+    while !jobs.is_empty() {
+        let Some((a, b, intensity)) = critical_interval(&jobs) else {
+            break;
+        };
+        if intensity <= EPS {
+            break;
+        }
+
+        // Map the critical interval from current to original coordinates
+        // and carve out the pieces not yet removed.
+        let orig_a = to_original(&removed, a);
+        let orig_b = to_original(&removed, b);
+        let pieces = subtract_removed(&removed, orig_a, orig_b);
+        debug_assert!(
+            ((b - a) - pieces.iter().map(Interval::len).sum::<f64>()).abs()
+                < 1e-6 * (1.0 + (b - a)),
+            "collapse bookkeeping lost time"
+        );
+        for piece in &pieces {
+            fixed.push((*piece, intensity));
+        }
+        insert_removed(&mut removed, pieces);
+
+        // Drop the jobs of the critical set and collapse the axis for the
+        // survivors.
+        jobs.retain(|j| !(approx_ge(j.release, a) && approx_le(j.deadline, b)));
+        for j in &mut jobs {
+            j.release = collapse_point(j.release, a, b);
+            j.deadline = collapse_point(j.deadline, a, b);
+            debug_assert!(
+                j.deadline > j.release + EPS,
+                "surviving job window collapsed to zero"
+            );
+        }
+    }
+
+    profile_from_fixed(instance, fixed)
+}
+
+/// Runs YDS and realizes the profile with EDF.
+pub fn yds(instance: &Instance) -> YdsResult {
+    let profile = yds_profile(instance);
+    let tasks = EdfTask::from_instance(instance);
+    let schedule = edf_schedule(&tasks, &profile, 0)
+        .expect("YDS profile is feasible by construction");
+    YdsResult { profile, schedule }
+}
+
+/// Optimal energy for `instance` at exponent `alpha` — shorthand used by
+/// every ratio experiment.
+pub fn optimal_energy(instance: &Instance, alpha: f64) -> f64 {
+    yds_profile(instance).energy(alpha)
+}
+
+/// Optimal maximum speed for `instance`.
+pub fn optimal_max_speed(instance: &Instance) -> f64 {
+    yds_profile(instance).max_speed()
+}
+
+/// Verifies the *optimality certificate* of a profile/schedule pair for
+/// `instance`:
+///
+/// 1. the schedule is feasible (delegated to the generic checker);
+/// 2. every job runs at a single speed equal to the **minimum** profile
+///    speed inside its window — the KKT condition of the convex program
+///    `min ∫ s^α` (if some job ran at a speed above the minimum
+///    available in its window, shifting an ε of its work to the slower
+///    region would strictly reduce energy by convexity);
+/// 3. the machine is never faster than the executed work requires (no
+///    padding: profile work equals total job work).
+///
+/// Together with convexity these conditions are sufficient for
+/// optimality, so this is an independent check of the YDS
+/// implementation — used by the property tests rather than trusting
+/// YDS's own construction.
+pub fn verify_optimality_certificate(
+    instance: &Instance,
+    result: &YdsResult,
+) -> Result<(), String> {
+    use crate::time::rel_eq;
+
+    result
+        .schedule
+        .check(&Schedule::requirements_of(instance))
+        .map_err(|e| format!("schedule infeasible: {e}"))?;
+
+    // No padding.
+    let total = instance.total_work();
+    if !rel_eq(result.profile.total_work(), total) {
+        return Err(format!(
+            "profile carries {} work for {} of jobs",
+            result.profile.total_work(),
+            total
+        ));
+    }
+
+    for job in &instance.jobs {
+        if job.work <= 0.0 {
+            continue;
+        }
+        let slices: Vec<&crate::schedule::Slice> =
+            result.schedule.slices.iter().filter(|s| s.job == job.id).collect();
+        if slices.is_empty() {
+            return Err(format!("job {} has work but no slices", job.id));
+        }
+        // Speed at which the bulk of the job runs (slices carrying less
+        // than 1e-6 of the job's work are EDF boundary dust and carry no
+        // energy-relevant information).
+        let run_speed = slices
+            .iter()
+            .filter(|s| s.work() > 1e-6 * job.work)
+            .map(|s| s.speed)
+            .fold(0.0, f64::max);
+        // Minimum profile speed over the job's window, idle segments
+        // included: moving an ε of the job's work into any slower (or
+        // idle) stretch of its window would strictly reduce energy by
+        // convexity, so optimality requires run_speed ≤ window minimum
+        // (and hence the job runs at a single speed level).
+        let mut window_min = f64::INFINITY;
+        for (iv, v) in result.profile.segments() {
+            if iv.overlap_len(&job.window()) > EPS {
+                window_min = window_min.min(v);
+            }
+        }
+        if run_speed > window_min * (1.0 + 1e-6) + EPS {
+            return Err(format!(
+                "job {} runs at {run_speed} while its window has speed {window_min} available",
+                job.id
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Finds the interval `(t1, t2]` (endpoints among releases/deadlines)
+/// maximizing the intensity, returning `(t1, t2, g)`.
+fn critical_interval(jobs: &[WorkItem]) -> Option<(f64, f64, f64)> {
+    let releases = dedup_times(jobs.iter().map(|j| j.release).collect());
+    let mut by_deadline: Vec<&WorkItem> = jobs.iter().collect();
+    by_deadline.sort_by(|x, y| x.deadline.partial_cmp(&y.deadline).expect("finite"));
+
+    let mut best: Option<(f64, f64, f64)> = None;
+    for &t1 in &releases {
+        let mut acc = 0.0;
+        for j in &by_deadline {
+            if j.release + EPS < t1 {
+                continue;
+            }
+            let t2 = j.deadline;
+            if t2 <= t1 + EPS {
+                continue;
+            }
+            acc += j.work;
+            // Intensity using all jobs with r >= t1 and d <= t2. Jobs
+            // sharing this deadline appear consecutively; evaluating at
+            // each of them is harmless (earlier ones see a partial sum
+            // that is dominated by the final one).
+            let g = acc / (t2 - t1);
+            if best.is_none_or(|(_, _, gb)| g > gb) {
+                best = Some((t1, t2, g));
+            }
+        }
+    }
+    best
+}
+
+/// Maps a point from current (collapsed) coordinates back to original
+/// time, given the sorted disjoint removed intervals.
+fn to_original(removed: &[Interval], point: f64) -> f64 {
+    let mut x = point;
+    for r in removed {
+        if r.start <= x + EPS {
+            x += r.len();
+        } else {
+            break;
+        }
+    }
+    x
+}
+
+/// The original-time pieces of `[a, b]` not covered by `removed`.
+fn subtract_removed(removed: &[Interval], a: f64, b: f64) -> Vec<Interval> {
+    let mut pieces = Vec::new();
+    let mut cursor = a;
+    for r in removed {
+        if r.end <= cursor + EPS {
+            continue;
+        }
+        if r.start >= b - EPS {
+            break;
+        }
+        if r.start > cursor + EPS {
+            pieces.push(Interval::new(cursor, r.start.min(b)));
+        }
+        cursor = cursor.max(r.end);
+        if cursor >= b - EPS {
+            break;
+        }
+    }
+    if cursor < b - EPS {
+        pieces.push(Interval::new(cursor, b));
+    }
+    pieces
+}
+
+/// Inserts new (disjoint-from-existing) pieces into the sorted removed
+/// set, merging adjacency.
+fn insert_removed(removed: &mut Vec<Interval>, pieces: Vec<Interval>) {
+    removed.extend(pieces);
+    removed.sort_by(|x, y| x.start.partial_cmp(&y.start).expect("finite"));
+    let mut merged: Vec<Interval> = Vec::with_capacity(removed.len());
+    for iv in removed.drain(..) {
+        match merged.last_mut() {
+            Some(last) if iv.start <= last.end + EPS => {
+                last.end = last.end.max(iv.end);
+            }
+            _ => merged.push(iv),
+        }
+    }
+    *removed = merged;
+}
+
+/// Collapses a point after removing `[a, b]` from the axis.
+fn collapse_point(x: f64, a: f64, b: f64) -> f64 {
+    if x <= a + EPS {
+        x
+    } else if x <= b + EPS {
+        a
+    } else {
+        x - (b - a)
+    }
+}
+
+/// Builds the final profile: the fixed pieces at their speeds, zero on
+/// the rest of `[min_release, max_deadline]`.
+fn profile_from_fixed(instance: &Instance, fixed: Vec<(Interval, f64)>) -> SpeedProfile {
+    if instance.is_empty() || fixed.is_empty() {
+        return SpeedProfile::zero();
+    }
+    let mut events: Vec<f64> = vec![instance.min_release(), instance.max_deadline()];
+    for (iv, _) in &fixed {
+        events.push(iv.start);
+        events.push(iv.end);
+    }
+    SpeedProfile::from_events(events, |t| {
+        fixed
+            .iter()
+            .find(|(iv, _)| iv.start < t && t <= iv.end)
+            .map_or(0.0, |&(_, s)| s)
+    })
+    .simplify()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+
+    fn inst(jobs: Vec<Job>) -> Instance {
+        Instance::new(jobs)
+    }
+
+    #[test]
+    fn single_job_runs_at_density() {
+        let i = inst(vec![Job::new(0, 0.0, 2.0, 4.0)]);
+        let p = yds_profile(&i);
+        assert!((p.speed_at(1.0) - 2.0).abs() < 1e-9);
+        assert!((p.energy(3.0) - 2.0 * 8.0).abs() < 1e-9);
+        assert!((p.max_speed() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn common_window_jobs_share_constant_speed() {
+        // All jobs active in (0, 1]: optimal speed is the total work.
+        let i = inst(vec![
+            Job::new(0, 0.0, 1.0, 1.0),
+            Job::new(1, 0.0, 1.0, 2.0),
+            Job::new(2, 0.0, 1.0, 3.0),
+        ]);
+        let p = yds_profile(&i);
+        assert!((p.speed_at(0.5) - 6.0).abs() < 1e-9);
+        let r = yds(&i);
+        assert!(r
+            .schedule
+            .check(&Schedule::requirements_of(&i))
+            .is_ok());
+    }
+
+    #[test]
+    fn textbook_two_level_instance() {
+        // Dense inner job forces a high-speed critical interval; the
+        // outer job is pushed to the remaining time at lower speed.
+        let i = inst(vec![
+            Job::new(0, 0.0, 4.0, 4.0), // density 1
+            Job::new(1, 1.0, 2.0, 3.0), // density 3 — critical
+        ]);
+        let p = yds_profile(&i);
+        // Critical interval (1,2] at speed 3; the outer job gets
+        // (0,1] ∪ (2,4], i.e. 3 time units for 4 work → speed 4/3.
+        assert!((p.speed_at(1.5) - 3.0).abs() < 1e-9);
+        assert!((p.speed_at(0.5) - 4.0 / 3.0).abs() < 1e-9);
+        assert!((p.speed_at(3.0) - 4.0 / 3.0).abs() < 1e-9);
+        let r = yds(&i);
+        assert!(r.schedule.check(&Schedule::requirements_of(&i)).is_ok());
+    }
+
+    #[test]
+    fn disjoint_windows_independent_speeds() {
+        let i = inst(vec![
+            Job::new(0, 0.0, 1.0, 2.0),
+            Job::new(1, 1.0, 2.0, 1.0),
+        ]);
+        let p = yds_profile(&i);
+        assert!((p.speed_at(0.5) - 2.0).abs() < 1e-9);
+        assert!((p.speed_at(1.5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_profile_total_work_matches() {
+        let i = inst(vec![
+            Job::new(0, 0.0, 3.0, 2.0),
+            Job::new(1, 0.5, 1.5, 1.0),
+            Job::new(2, 2.0, 4.0, 3.0),
+        ]);
+        let p = yds_profile(&i);
+        assert!((p.total_work() - i.total_work()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nested_criticals_collapse_correctly() {
+        // Three nested windows with decreasing density.
+        let i = inst(vec![
+            Job::new(0, 0.0, 8.0, 2.0),
+            Job::new(1, 2.0, 6.0, 4.0),
+            Job::new(2, 3.0, 5.0, 6.0),
+        ]);
+        let r = yds(&i);
+        assert!(r.schedule.check(&Schedule::requirements_of(&i)).is_ok());
+        // Innermost (3,5] must be the fastest region.
+        let p = &r.profile;
+        assert!(p.speed_at(4.0) >= p.speed_at(2.5) - 1e-9);
+        assert!(p.speed_at(2.5) >= p.speed_at(1.0) - 1e-9);
+        assert!((p.total_work() - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_work_instance() {
+        let i = inst(vec![Job::new(0, 0.0, 1.0, 0.0)]);
+        let p = yds_profile(&i);
+        assert_eq!(p.max_speed(), 0.0);
+        assert!(yds(&i).schedule.slices.is_empty());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let p = yds_profile(&Instance::default());
+        assert_eq!(p.max_speed(), 0.0);
+    }
+
+    #[test]
+    fn yds_not_worse_than_avr_style_profile() {
+        // Energy optimality sanity: YDS beats (or ties) running every job
+        // at its own density (the AVR profile is always feasible).
+        let i = inst(vec![
+            Job::new(0, 0.0, 2.0, 2.0),
+            Job::new(1, 1.0, 4.0, 3.0),
+            Job::new(2, 3.0, 5.0, 1.0),
+        ]);
+        let avr_profile = SpeedProfile::from_events(i.event_times(), |t| i.total_density_at(t));
+        for &alpha in &[1.5, 2.0, 2.5, 3.0] {
+            assert!(
+                yds_profile(&i).energy(alpha) <= avr_profile.energy(alpha) + 1e-9,
+                "YDS must be optimal at alpha={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn certificate_accepts_yds_output() {
+        let i = inst(vec![
+            Job::new(0, 0.0, 4.0, 4.0),
+            Job::new(1, 1.0, 2.0, 3.0),
+            Job::new(2, 3.0, 6.0, 2.0),
+            Job::new(3, 0.5, 5.0, 1.0),
+        ]);
+        let r = yds(&i);
+        verify_optimality_certificate(&i, &r).expect("YDS output must certify");
+    }
+
+    #[test]
+    fn certificate_rejects_suboptimal_profiles() {
+        // The AVR profile is feasible but piles speed where YDS
+        // flattens; its realization must fail the certificate.
+        let i = inst(vec![
+            Job::new(0, 0.0, 4.0, 4.0),
+            Job::new(1, 1.0, 2.0, 3.0),
+        ]);
+        let profile = crate::avr::avr_profile(&i);
+        let schedule =
+            edf_schedule(&EdfTask::from_instance(&i), &profile, 0).expect("feasible");
+        let fake = YdsResult { profile, schedule };
+        assert!(verify_optimality_certificate(&i, &fake).is_err());
+    }
+
+    #[test]
+    fn certificate_rejects_padded_profiles() {
+        // Doubling the optimal speed keeps feasibility but pads work.
+        let i = inst(vec![Job::new(0, 0.0, 2.0, 2.0)]);
+        let profile = yds_profile(&i).scale(2.0);
+        let schedule =
+            edf_schedule(&EdfTask::from_instance(&i), &profile, 0).expect("feasible");
+        let fake = YdsResult { profile, schedule };
+        let err = verify_optimality_certificate(&i, &fake).unwrap_err();
+        assert!(err.contains("work"), "{err}");
+    }
+
+    #[test]
+    fn common_deadline_decreasing_speed() {
+        // With a common release, YDS speeds are non-increasing in time.
+        let i = inst(vec![
+            Job::new(0, 0.0, 1.0, 5.0),
+            Job::new(1, 0.0, 2.0, 1.0),
+            Job::new(2, 0.0, 4.0, 1.0),
+        ]);
+        let p = yds_profile(&i);
+        let mut last = f64::INFINITY;
+        for (_, s) in p.segments() {
+            assert!(s <= last + 1e-9, "YDS speeds must be non-increasing here");
+            last = s;
+        }
+    }
+}

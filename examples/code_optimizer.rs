@@ -1,0 +1,69 @@
+//! The paper's motivating scenario (§1): a *code optimizer* as a query.
+//!
+//! A nightly build farm must compile a batch of translation units by a
+//! deadline on a speed-scalable core. Each unit can optionally run an
+//! optimizer pass (load `c_j`) that shrinks the remaining compile work
+//! from the nominal `w_j` to an a-priori-unknown `w*_j`. We compare the
+//! three query policies — never / always / golden-ratio — inside the
+//! CRCD algorithm (everything shares the batch window), across corpora
+//! of different "optimizability".
+//!
+//! Run with: `cargo run --release -p qbss-cli --example code_optimizer`
+
+use qbss_core::offline::crcd_with_rule;
+use qbss_core::QueryRule;
+use qbss_instances::gen::{generate, Compressibility, GenConfig, QueryModel, TimeModel};
+
+fn main() {
+    let alpha = 3.0;
+    let deadline_hours = 8.0;
+    let units = 64;
+
+    println!("Nightly build farm: {units} translation units, {deadline_hours}h window, P = s^{alpha}");
+    println!("query = optimizer pass costing 5-95% of the unit's nominal compile work\n");
+
+    let corpora = [
+        ("template-heavy (optimizer shines)", Compressibility::HeavyTail),
+        ("mixed corpus", Compressibility::Bimodal { p_compressible: 0.5 }),
+        ("hand-tuned already (incompressible)", Compressibility::Incompressible),
+    ];
+    let policies = [
+        ("never query", QueryRule::Never),
+        ("always query", QueryRule::Always),
+        ("golden ratio", QueryRule::GoldenRatio),
+    ];
+
+    println!(
+        "{:<38} {:>14} {:>14} {:>14} {:>10}",
+        "corpus", "never", "always", "golden", "OPT"
+    );
+    for (corpus, compress) in corpora {
+        let cfg = GenConfig {
+            n: units,
+            seed: 2024,
+            time: TimeModel::CommonDeadline { d: deadline_hours },
+            min_w: 0.25,
+            max_w: 2.0,
+            query: QueryModel::UniformFraction { lo: 0.05, hi: 0.95 },
+            compress,
+        };
+        let inst = generate(&cfg);
+        let mut row = format!("{corpus:<38}");
+        for (_, rule) in policies {
+            let out = crcd_with_rule(&inst, rule);
+            out.validate(&inst).expect("valid outcome");
+            row.push_str(&format!(" {:>14.2}", out.energy(alpha)));
+        }
+        row.push_str(&format!(" {:>10.2}", inst.opt_energy(alpha)));
+        println!("{row}");
+    }
+
+    println!("\nReading the table:");
+    println!("  * on optimizable corpora, 'never' wastes energy recompiling bloat the");
+    println!("    optimizer would have removed;");
+    println!("  * on hand-tuned corpora, 'always' pays optimizer passes for nothing;");
+    println!("  * the golden-ratio rule (query iff c <= w/phi) is the provable hedge:");
+    println!("    its executed load never exceeds phi ~ 1.618x the clairvoyant load");
+    println!("    (Lemma 3.1), and CRCD turns that into a min(2^(a-1) phi^a, 2^a)");
+    println!("    energy guarantee (Theorem 4.6).");
+}

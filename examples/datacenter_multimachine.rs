@@ -1,0 +1,69 @@
+//! Multi-machine QBSS (§6): a rack of speed-scalable workers.
+//!
+//! A scheduler dispatches compressible jobs onto `m` identical
+//! speed-scalable machines with free migration, running AVRQ(m). We
+//! sweep the rack size and show: total energy, the fluid lower bound on
+//! the clairvoyant optimum, the per-machine peak speeds (machine 0 is
+//! always the fastest — the invariant behind Theorem 6.3), and the
+//! pointwise factor-2 comparison against AVR*(m).
+//!
+//! Run with: `cargo run --release -p qbss-cli --example datacenter_multimachine`
+
+use qbss_core::online::{avr_star_m, avrq_m};
+use qbss_instances::gen::{generate, GenConfig};
+use speed_scaling::multi::opt_lower_bound;
+
+fn main() {
+    let alpha = 3.0;
+    let inst = generate(&GenConfig::online_default(120, 4242));
+    let clair = inst.clairvoyant_instance();
+
+    println!("Rack scheduler: 120 jobs, AVRQ(m) with free migration, P = s^3\n");
+    println!(
+        "{:>3} {:>12} {:>12} {:>8} {:>14} {:>22}",
+        "m", "energy", "fluid LB", "E/LB", "peak speed", "max_t s_i / s_i^AVR*"
+    );
+
+    for m in [1usize, 2, 4, 8, 16] {
+        let res = avrq_m(&inst, m);
+        res.outcome.validate(&inst).expect("valid outcome");
+        let star = avr_star_m(&inst, m);
+
+        // Worst pointwise per-machine factor vs AVR*(m) — Theorem 6.3
+        // proves this never exceeds 2.
+        let mut worst_factor = 0.0f64;
+        for (a, s) in res.machine_profiles.iter().zip(&star.machine_profiles) {
+            // Scan the union grid.
+            let mut events: Vec<f64> = a.breakpoints().to_vec();
+            events.extend_from_slice(s.breakpoints());
+            events.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            for w in events.windows(2) {
+                let t = 0.5 * (w[0] + w[1]);
+                let (sa, ss) = (a.speed_at(t), s.speed_at(t));
+                if ss > 1e-9 {
+                    worst_factor = worst_factor.max(sa / ss);
+                }
+            }
+        }
+
+        let lb = opt_lower_bound(&clair, m, alpha);
+        println!(
+            "{:>3} {:>12.2} {:>12.2} {:>8.2} {:>14.3} {:>22.3}",
+            m,
+            res.energy(alpha),
+            lb,
+            res.energy(alpha) / lb,
+            res.max_speed(),
+            worst_factor,
+        );
+        assert!(worst_factor <= 2.0 + 1e-6, "Theorem 6.3 violated");
+    }
+
+    println!("\nReading the table:");
+    println!("  * adding machines collapses energy ~ m^(1-a) (fluid scaling): speeds halve");
+    println!("    when work spreads over twice the machines, and P = s^3 rewards it;");
+    println!("  * the last column stays <= 2 everywhere — Theorem 6.3's machine-by-machine");
+    println!("    guarantee for the always-query midpoint split;");
+    println!("  * E/LB is conservative: the fluid bound lets OPT parallelize single jobs,");
+    println!("    which no real schedule can (DESIGN.md section 5).");
+}

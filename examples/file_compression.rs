@@ -1,0 +1,73 @@
+//! The paper's second motivating scenario (§1): *file compression* on
+//! an energy-proportional storage node.
+//!
+//! Files arrive over time, each with a transfer deadline. Before
+//! storing, the node may run a compression probe (the query, load
+//! `c_j`) that determines the compressed size `w*_j`; skipping the
+//! probe stores the raw `w_j` bytes. The node's link/CPU is
+//! speed-scalable with power `s^α`. We stream a day of traffic through
+//! the three online algorithms — AVRQ, BKPQ, OAQ — and report energy
+//! and peak speed.
+//!
+//! Run with: `cargo run --release -p qbss-cli --example file_compression`
+
+use qbss_core::online::{avrq, bkpq, oaq};
+use qbss_core::{QbssInstance, QbssOutcome};
+use qbss_instances::gen::{generate, Compressibility, GenConfig, QueryModel, TimeModel};
+
+fn report(name: &str, out: &QbssOutcome, inst: &QbssInstance, alpha: f64) {
+    let queried = out.decisions.iter().filter(|d| d.queried).count();
+    println!(
+        "  {:<6} energy {:>9.2} (x{:.2} vs OPT)   peak speed {:>7.3} (x{:.2})   probes {}/{}",
+        name,
+        out.energy(alpha),
+        out.energy_ratio(inst, alpha),
+        out.max_speed(),
+        out.speed_ratio(inst),
+        queried,
+        inst.len()
+    );
+}
+
+fn main() {
+    let alpha = 3.0;
+    let files = 200;
+
+    println!("Storage node: {files} files/day, probe = compression estimate at 10-25% of file size\n");
+
+    for (traffic, compress) in [
+        ("log files (compress 10-100x)", Compressibility::FullyCompressible),
+        ("documents (mixed)", Compressibility::Bimodal { p_compressible: 0.7 }),
+        ("media (already compressed)", Compressibility::Incompressible),
+    ] {
+        let cfg = GenConfig {
+            n: files,
+            seed: 99,
+            time: TimeModel::Online { horizon: 24.0, min_len: 0.25, max_len: 3.0 },
+            min_w: 0.1,
+            max_w: 5.0,
+            query: QueryModel::UniformFraction { lo: 0.10, hi: 0.25 },
+            compress,
+        };
+        let inst = generate(&cfg);
+        println!("{traffic}:");
+        for (name, out) in [
+            ("AVRQ", avrq(&inst)),
+            ("BKPQ", bkpq(&inst)),
+            ("OAQ", oaq(&inst)),
+        ] {
+            out.validate(&inst).expect("valid outcome");
+            report(name, &out, &inst, alpha);
+        }
+        println!("  OPT    energy {:>9.2}                peak speed {:>7.3}\n",
+            inst.opt_energy(alpha), inst.opt_max_speed());
+    }
+
+    println!("Notes:");
+    println!("  * AVRQ always probes; BKPQ/OAQ probe iff c <= w/phi. Probes here cost");
+    println!("    10-25% of the file, well under w/phi ~ 0.62w, so the golden rule also");
+    println!("    probes everything — raise the probe cost and the probe counts diverge;");
+    println!("  * BKPQ's e-factor speed padding buys the best *worst-case* guarantees");
+    println!("    (Corollary 5.5), while OAQ — the paper's open question — tends to win");
+    println!("    on average traffic.");
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the QBSS model in five minutes.
+//!
+//! Three jobs arrive online; each can optionally be *queried* (a
+//! preprocessing pass of load `c`) to reveal its exact workload
+//! `w* ≤ w`. We run the paper's BKPQ algorithm, print its decisions and
+//! schedule, and compare against the clairvoyant optimum.
+//!
+//! Run with: `cargo run --release -p qbss-cli --example quickstart`
+
+use qbss_core::model::{QJob, QbssInstance};
+use qbss_core::online::bkpq;
+
+fn main() {
+    // (id, release, deadline, query load c, upper bound w, exact w*)
+    //
+    // Job 0: highly compressible — querying (c = 0.3) reveals w* = 0.5,
+    //        much less than the nominal w = 3.
+    // Job 1: the query is almost as expensive as the job — not worth it.
+    // Job 2: incompressible (w* = w) — querying is pure overhead, but
+    //        an online algorithm cannot know that in advance.
+    let inst = QbssInstance::new(vec![
+        QJob::new(0, 0.0, 4.0, 0.3, 3.0, 0.5),
+        QJob::new(1, 1.0, 3.0, 0.9, 1.0, 0.2),
+        QJob::new(2, 2.0, 6.0, 0.4, 2.0, 2.0),
+    ]);
+    inst.validate().expect("well-formed instance");
+
+    let out = bkpq(&inst);
+    out.validate(&inst).expect("outcome validated against the information model");
+
+    println!("BKPQ decisions (query iff c <= w/phi, split at the window midpoint):");
+    for dec in &out.decisions {
+        let j = inst.job(dec.job).unwrap();
+        match dec.split {
+            Some(tau) => println!(
+                "  job {}: QUERY  (c = {} <= w/phi = {:.3}); query in ({}, {}], exact work in ({}, {}]",
+                j.id,
+                j.query_load,
+                j.upper_bound / qbss_core::PHI,
+                j.release,
+                tau,
+                tau,
+                j.deadline
+            ),
+            None => println!(
+                "  job {}: SKIP   (c = {} > w/phi = {:.3}); runs the full w = {}",
+                j.id,
+                j.query_load,
+                j.upper_bound / qbss_core::PHI,
+                j.upper_bound
+            ),
+        }
+    }
+
+    println!("\nSchedule slices (machine runs one job at a time, preemption allowed):");
+    let mut slices = out.schedule.slices.clone();
+    slices.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+    for s in &slices {
+        println!(
+            "  ({:>5.2}, {:>5.2}]  job {}  speed {:.3}",
+            s.start, s.end, s.job, s.speed
+        );
+    }
+
+    println!("\nGantt view (60 columns):");
+    print!("{}", speed_scaling::render::schedule_report(&out.schedule));
+
+    let alpha = 3.0; // cube-law CMOS power
+    println!("\nEnergy (alpha = {alpha}):");
+    println!("  BKPQ:                 {:.4}", out.energy(alpha));
+    println!("  clairvoyant optimum:  {:.4}", inst.opt_energy(alpha));
+    println!("  ratio:                {:.4}", out.energy_ratio(&inst, alpha));
+    println!("\nMax speed:");
+    println!("  BKPQ:                 {:.4}", out.max_speed());
+    println!("  clairvoyant optimum:  {:.4}", inst.opt_max_speed());
+    println!(
+        "  ratio:                {:.4}  (bound: (2+phi)e = {:.3})",
+        out.speed_ratio(&inst),
+        (2.0 + qbss_core::PHI) * std::f64::consts::E
+    );
+}

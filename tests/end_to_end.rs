@@ -1,0 +1,192 @@
+//! End-to-end integration tests: generate → run → validate → compare,
+//! across every algorithm and instance family, spanning all workspace
+//! crates.
+
+use qbss_analysis::bounds;
+use qbss_core::offline::{crad, crcd, crp2d};
+use qbss_core::online::{avrq, avrq_m, bkpq, oaq};
+use qbss_core::{QbssInstance, QbssOutcome};
+use qbss_instances::gen::{generate, Compressibility, GenConfig, QueryModel, TimeModel};
+use qbss_instances::io;
+
+const ALPHAS: [f64; 3] = [1.5, 2.0, 3.0];
+
+fn run_and_validate(
+    inst: &QbssInstance,
+    alg: impl Fn(&QbssInstance) -> QbssOutcome,
+) -> QbssOutcome {
+    let out = alg(inst);
+    out.validate(inst).expect("outcome must validate");
+    out
+}
+
+fn common_cfg(seed: u64, time: TimeModel) -> GenConfig {
+    GenConfig {
+        n: 25,
+        seed,
+        time,
+        min_w: 0.5,
+        max_w: 4.0,
+        query: QueryModel::UniformFraction { lo: 0.05, hi: 0.95 },
+        compress: Compressibility::Uniform,
+    }
+}
+
+#[test]
+fn offline_pipeline_all_algorithms_within_bounds() {
+    for seed in 0..25u64 {
+        // CRCD on its scope.
+        let inst = generate(&common_cfg(seed, TimeModel::CommonDeadline { d: 8.0 }));
+        let out = run_and_validate(&inst, crcd);
+        for &alpha in &ALPHAS {
+            let r = out.energy_ratio(&inst, alpha);
+            assert!(r >= 1.0 - 1e-9 && r <= bounds::crcd_energy_ub(alpha) * (1.0 + 1e-6));
+        }
+        assert!(out.speed_ratio(&inst) <= 2.0 + 1e-6);
+
+        // CRP2D on its scope.
+        let inst = generate(&common_cfg(seed, TimeModel::PowersOfTwo { min_exp: -1, max_exp: 4 }));
+        let out = run_and_validate(&inst, crp2d);
+        for &alpha in &ALPHAS {
+            let r = out.energy_ratio(&inst, alpha);
+            assert!(r >= 1.0 - 1e-9 && r <= bounds::crp2d_energy_ub(alpha) * (1.0 + 1e-6));
+        }
+
+        // CRAD on arbitrary deadlines.
+        let inst =
+            generate(&common_cfg(seed, TimeModel::ArbitraryDeadlines { min_d: 0.5, max_d: 40.0 }));
+        let out = run_and_validate(&inst, crad);
+        for &alpha in &ALPHAS {
+            let r = out.energy_ratio(&inst, alpha);
+            assert!(r >= 1.0 - 1e-9 && r <= bounds::crad_energy_ub(alpha) * (1.0 + 1e-6));
+        }
+    }
+}
+
+#[test]
+fn online_pipeline_all_algorithms_within_bounds() {
+    for seed in 0..25u64 {
+        let inst = generate(&GenConfig::online_default(20, seed));
+        let a = run_and_validate(&inst, avrq);
+        let b = run_and_validate(&inst, bkpq);
+        let o = run_and_validate(&inst, oaq);
+        for &alpha in &ALPHAS {
+            assert!(a.energy_ratio(&inst, alpha) <= bounds::avrq_energy_ub(alpha) * (1.0 + 1e-6));
+            assert!(b.energy_ratio(&inst, alpha) <= bounds::bkpq_energy_ub(alpha) * (1.0 + 1e-6));
+            // OAQ has no proven bound; it must at least be feasible and
+            // not beat OPT.
+            assert!(o.energy_ratio(&inst, alpha) >= 1.0 - 1e-9);
+        }
+        assert!(b.speed_ratio(&inst) <= bounds::bkpq_speed_ub() * (1.0 + 1e-6));
+    }
+}
+
+#[test]
+fn multimachine_pipeline_within_bounds() {
+    for seed in 0..10u64 {
+        let inst = generate(&GenConfig::online_default(20, seed));
+        let clair = inst.clairvoyant_instance();
+        for m in [1usize, 2, 4] {
+            let res = avrq_m(&inst, m);
+            res.outcome.validate(&inst).expect("valid");
+            for &alpha in &ALPHAS {
+                let lb = speed_scaling::multi::opt_lower_bound(&clair, m, alpha);
+                assert!(
+                    res.energy(alpha) <= bounds::avrq_m_energy_ub(alpha) * lb * (1.0 + 1e-6),
+                    "AVRQ(m) exceeded its bound (seed {seed}, m {m}, α {alpha})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_queries_consistently_with_its_rule() {
+    let inst = generate(&common_cfg(7, TimeModel::CommonDeadline { d: 8.0 }));
+    // AVRQ queries everything; CRCD/BKPQ follow the golden rule.
+    let a = avrq(&inst);
+    assert!(a.decisions.iter().all(|d| d.queried));
+    let c = crcd(&inst);
+    for (dec, j) in c.decisions.iter().zip(&inst.jobs) {
+        let should = j.query_load * qbss_core::PHI <= j.upper_bound + 1e-9;
+        assert_eq!(dec.queried, should, "job {}", j.id);
+    }
+}
+
+#[test]
+fn instance_roundtrip_preserves_algorithm_behaviour() {
+    let inst = generate(&GenConfig::online_default(15, 3));
+    let json = io::to_json(&inst);
+    let back = io::from_json(&json).expect("roundtrip");
+    let (e1, e2) = (bkpq(&inst).energy(3.0), bkpq(&back).energy(3.0));
+    assert_eq!(e1.to_bits(), e2.to_bits(), "bit-identical rerun after JSON roundtrip");
+}
+
+#[test]
+fn clairvoyant_opt_is_a_true_lower_bound_for_everyone() {
+    for seed in 0..10u64 {
+        let inst = generate(&common_cfg(seed, TimeModel::CommonDeadline { d: 8.0 }));
+        let opt = inst.opt_energy(3.0);
+        for out in [crcd(&inst), avrq(&inst), bkpq(&inst), oaq(&inst)] {
+            assert!(
+                out.energy(3.0) + 1e-9 >= opt,
+                "{} beat the clairvoyant optimum (seed {seed})",
+                out.algorithm
+            );
+        }
+    }
+}
+
+#[test]
+fn algorithms_handle_single_job_instances() {
+    use qbss_core::model::QJob;
+    let inst = QbssInstance::new(vec![QJob::new(0, 0.0, 2.0, 0.5, 2.0, 0.25)]);
+    for out in [crcd(&inst), crp2d(&inst), crad(&inst), avrq(&inst), bkpq(&inst), oaq(&inst)] {
+        out.validate(&inst).expect("single-job instance must work everywhere");
+    }
+    let res = avrq_m(&inst, 3);
+    res.outcome.validate(&inst).expect("multi-machine single job");
+}
+
+#[test]
+fn specialized_algorithms_beat_general_ones_on_their_turf() {
+    // On a power-of-two common deadline both CRCD and CRP2D apply and
+    // both split queried jobs at D/2; CRCD's single-pool constant-speed
+    // halves are flatter than CRP2D's YDS-plus-blocks construction, so
+    // the specialized algorithm should never lose on its own turf.
+    let alpha = 3.0;
+    for seed in 0..15u64 {
+        let inst = generate(&common_cfg(seed, TimeModel::CommonDeadline { d: 8.0 }));
+        let e_crcd = crcd(&inst).energy(alpha);
+        let e_crp2d = crp2d(&inst).energy(alpha);
+        assert!(
+            e_crcd <= e_crp2d * (1.0 + 1e-6),
+            "CRCD should not lose to CRP2D on its own turf (seed {seed}): {e_crcd} vs {e_crp2d}"
+        );
+    }
+}
+
+#[test]
+fn moderate_scale_stress() {
+    // 300 online jobs end-to-end through AVRQ + validation; guards the
+    // O(n²) paths against accidental quadratic blowups in constants.
+    let inst = generate(&GenConfig::online_default(300, 99));
+    let out = avrq(&inst);
+    out.validate(&inst).expect("valid at scale");
+    assert!(out.energy_ratio(&inst, 3.0) >= 1.0 - 1e-9);
+    let res = avrq_m(&inst, 8);
+    res.outcome.validate(&inst).expect("multi-machine valid at scale");
+}
+
+#[test]
+fn extreme_compressibility_is_handled() {
+    // w* = 0 everywhere: exact-work derived jobs carry zero work.
+    let full = GenConfig {
+        compress: Compressibility::FullyCompressible,
+        ..GenConfig::online_default(15, 9)
+    };
+    let inst = generate(&full);
+    for out in [avrq(&inst), bkpq(&inst), oaq(&inst)] {
+        out.validate(&inst).expect("fully compressible traces");
+    }
+}

@@ -1,0 +1,336 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! substrate and the QBSS layer.
+
+use proptest::prelude::*;
+
+use qbss_core::model::{QJob, QbssInstance};
+use qbss_core::offline::round_down_to_power_of_two;
+use qbss_core::online::{avrq, bkpq};
+use qbss_core::PHI;
+use speed_scaling::job::{Instance, Job};
+use speed_scaling::schedule::Schedule;
+use speed_scaling::yds::{yds, yds_profile};
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+fn arb_instance(max_jobs: usize) -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0.0f64..10.0, 0.1f64..10.0, 0.01f64..10.0), 1..=max_jobs).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (r, len, w))| Job::new(i as u32, r, r + len, w))
+                .collect()
+        },
+    )
+}
+
+/// A QBSS job: window, then c ∈ (0, w], w* ∈ [0, w].
+fn arb_qjob(id: u32) -> impl Strategy<Value = QJob> {
+    (0.0f64..10.0, 0.1f64..10.0, 0.05f64..10.0, 0.01f64..=1.0, 0.0f64..=1.0).prop_map(
+        move |(r, len, w, cf, ef)| QJob::new(id, r, r + len, (cf * w).max(1e-9), w, ef * w),
+    )
+}
+
+fn arb_qinstance(max_jobs: usize) -> impl Strategy<Value = QbssInstance> {
+    prop::collection::vec(
+        (0.0f64..10.0, 0.1f64..10.0, 0.05f64..10.0, 0.01f64..=1.0, 0.0f64..=1.0),
+        1..=max_jobs,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (r, len, w, cf, ef))| {
+                QJob::new(i as u32, r, r + len, (cf * w).max(1e-9), w, ef * w)
+            })
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------
+// Substrate invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The YDS schedule is always feasible and conserves work exactly.
+    #[test]
+    fn yds_schedule_always_feasible(inst in arb_instance(8)) {
+        let result = yds(&inst);
+        prop_assert!(result
+            .schedule
+            .check(&Schedule::requirements_of(&inst))
+            .is_ok());
+        let total: f64 = inst.total_work();
+        prop_assert!((result.profile.total_work() - total).abs() <= 1e-6 * total.max(1.0));
+    }
+
+    /// YDS output always carries its optimality certificate (the KKT
+    /// condition: every job runs at the minimum speed available in its
+    /// window, with no padded work) — an *independent* optimality
+    /// check, not a comparison against other heuristics.
+    #[test]
+    fn yds_optimality_certificate(inst in arb_instance(8)) {
+        let result = yds(&inst);
+        let cert = speed_scaling::yds::verify_optimality_certificate(&inst, &result);
+        prop_assert!(cert.is_ok(), "{:?}", cert);
+    }
+
+    /// YDS never consumes more energy than the AVR profile (a feasible
+    /// competitor) at any exponent — optimality sanity.
+    #[test]
+    fn yds_beats_feasible_competitors(inst in arb_instance(8), alpha in 1.1f64..4.0) {
+        let opt = yds_profile(&inst).energy(alpha);
+        let avr = speed_scaling::avr::avr_profile(&inst).energy(alpha);
+        prop_assert!(opt <= avr * (1.0 + 1e-9));
+    }
+
+    /// YDS is invariant under job order.
+    #[test]
+    fn yds_order_invariant(inst in arb_instance(6), alpha in 1.1f64..4.0) {
+        let mut reversed = inst.clone();
+        reversed.jobs.reverse();
+        let (a, b) = (yds_profile(&inst).energy(alpha), yds_profile(&reversed).energy(alpha));
+        prop_assert!((a - b).abs() <= 1e-6 * a.max(1.0));
+    }
+
+    /// Energy integration respects time scaling: stretching all windows
+    /// by k divides the optimal energy by k^{α−1}.
+    #[test]
+    fn yds_time_scaling_law(inst in arb_instance(6), k in 1.1f64..5.0) {
+        let alpha = 3.0;
+        let stretched: Instance = inst
+            .jobs
+            .iter()
+            .map(|j| Job::new(j.id, k * j.release, k * j.deadline, j.work))
+            .collect();
+        let (e, e_k) = (yds_profile(&inst).energy(alpha), yds_profile(&stretched).energy(alpha));
+        prop_assert!((e_k - e / k.powf(alpha - 1.0)).abs() <= 1e-6 * e.max(1.0));
+    }
+
+    /// AVR's profile is exactly the density sum at every event midpoint.
+    #[test]
+    fn avr_profile_matches_density_sum(inst in arb_instance(8)) {
+        let p = speed_scaling::avr::avr_profile(&inst);
+        let events = inst.event_times();
+        for w in events.windows(2) {
+            let t = 0.5 * (w[0] + w[1]);
+            prop_assert!((p.speed_at(t) - inst.total_density_at(t)).abs() < 1e-9);
+        }
+    }
+
+    /// Profile addition is commutative and preserves work.
+    #[test]
+    fn profile_addition_laws(inst in arb_instance(5), other in arb_instance(5)) {
+        let p = speed_scaling::avr::avr_profile(&inst);
+        let q = speed_scaling::avr::avr_profile(&other);
+        let pq = p.add(&q);
+        let qp = q.add(&p);
+        prop_assert!((pq.total_work() - qp.total_work()).abs() < 1e-6);
+        prop_assert!(
+            (pq.total_work() - (p.total_work() + q.total_work())).abs()
+                <= 1e-6 * pq.total_work().max(1.0)
+        );
+    }
+
+    /// `simplify` never changes energy, work, or pointwise values.
+    #[test]
+    fn profile_simplify_semantics(inst in arb_instance(6), alpha in 1.1f64..4.0) {
+        let p = speed_scaling::avr::avr_profile(&inst);
+        let s = p.simplify();
+        prop_assert!((p.energy(alpha) - s.energy(alpha)).abs() <= 1e-9 * p.energy(alpha).max(1.0));
+        for w in p.breakpoints().windows(2) {
+            let t = 0.5 * (w[0] + w[1]);
+            prop_assert!((p.speed_at(t) - s.speed_at(t)).abs() < 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// QBSS invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 3.1 as a property: the golden rule's executed load is at
+    /// most φ times the clairvoyant load, per job.
+    #[test]
+    fn golden_rule_load_within_phi(j in arb_qjob(0)) {
+        let queries = j.query_load * PHI <= j.upper_bound + 1e-12;
+        let p = if queries { j.query_load + j.reveal_exact() } else { j.upper_bound };
+        prop_assert!(p <= PHI * j.p_star() + 1e-9);
+    }
+
+    /// p* is never larger than either alternative and is achievable.
+    #[test]
+    fn p_star_is_min_of_alternatives(j in arb_qjob(0)) {
+        prop_assert!(j.p_star() <= j.upper_bound + 1e-12);
+        prop_assert!(j.p_star() <= j.query_load + j.reveal_exact() + 1e-12);
+        let min = j.upper_bound.min(j.query_load + j.reveal_exact());
+        prop_assert!((j.p_star() - min).abs() < 1e-12);
+    }
+
+    /// AVRQ and BKPQ outcomes always validate and never beat OPT.
+    #[test]
+    fn online_outcomes_validate(inst in arb_qinstance(6), alpha in 1.5f64..3.5) {
+        for out in [avrq(&inst), bkpq(&inst)] {
+            prop_assert!(out.validate(&inst).is_ok(), "{:?}", out.validate(&inst));
+            prop_assert!(out.energy_ratio(&inst, alpha) >= 1.0 - 1e-6);
+            prop_assert!(out.speed_ratio(&inst) >= 1.0 - 1e-6);
+        }
+    }
+
+    /// The AVRQ profile carries exactly the derived work.
+    #[test]
+    fn avrq_profile_work_conservation(inst in arb_qinstance(6)) {
+        let p = qbss_core::online::avrq_profile(&inst);
+        let derived: f64 = inst
+            .jobs
+            .iter()
+            .map(|j| j.query_load + j.reveal_exact())
+            .sum();
+        prop_assert!((p.total_work() - derived).abs() <= 1e-6 * derived.max(1.0));
+    }
+
+    /// Deadline rounding: result is a power of two within (d/2, d].
+    #[test]
+    fn rounding_down_properties(d in 0.01f64..1e6) {
+        let p = round_down_to_power_of_two(d);
+        prop_assert!(p <= d * (1.0 + 1e-12));
+        prop_assert!(2.0 * p > d);
+        let k = p.log2().round();
+        prop_assert!((p - k.exp2()).abs() <= 1e-12 * p);
+    }
+
+    /// Theorem 5.2 as a property on random QBSS instances.
+    #[test]
+    fn avrq_speed_domination_property(inst in arb_qinstance(6)) {
+        let alg = qbss_core::online::avrq_profile(&inst);
+        let star = qbss_core::online::avr_star_profile(&inst);
+        prop_assert!(alg.dominated_by(&star, 2.0).is_ok());
+    }
+
+    /// The step-by-step online simulator reproduces the analytic AVRQ
+    /// and BKPQ profiles exactly on random instances — the
+    /// "online-faithfulness" of the one-pass constructions, as a
+    /// property.
+    #[test]
+    fn stepped_simulation_matches_analytic(inst in arb_qinstance(5)) {
+        use qbss_core::sim::{simulate, StrategyPolicy, Substrate};
+        use qbss_core::Strategy;
+        let mut avr_policy = StrategyPolicy::new(Strategy::always_equal());
+        let sim = simulate(&inst, &mut avr_policy, Substrate::Avr);
+        let analytic = qbss_core::online::avrq_profile(&inst);
+        prop_assert!(sim.profile.dominated_by(&analytic, 1.0).is_ok());
+        prop_assert!(analytic.dominated_by(&sim.profile, 1.0).is_ok());
+
+        let mut bkp_policy = StrategyPolicy::new(Strategy::golden_equal());
+        let sim = simulate(&inst, &mut bkp_policy, Substrate::Bkp);
+        let analytic = qbss_core::online::bkpq_profile(&inst);
+        prop_assert!(sim.profile.dominated_by(&analytic, 1.0).is_ok());
+        prop_assert!(analytic.dominated_by(&sim.profile, 1.0).is_ok());
+    }
+
+    /// The CSV parser never panics on arbitrary input and round-trips
+    /// valid instances.
+    #[test]
+    fn csv_parser_total(garbage in ".{0,200}", inst in arb_qinstance(4)) {
+        // Arbitrary text: must return Err or Ok, never panic.
+        let _ = qbss_instances::io::from_csv(&garbage);
+        // Valid round trip.
+        let csv = qbss_instances::io::to_csv(&inst);
+        let back = qbss_instances::io::from_csv(&csv).expect("roundtrip");
+        prop_assert_eq!(back, inst);
+    }
+
+    /// Outcome serialization round-trips.
+    #[test]
+    fn outcome_serde_roundtrip(inst in arb_qinstance(4)) {
+        let out = bkpq(&inst);
+        let json = serde_json::to_string(&out).unwrap();
+        let back: qbss_core::QbssOutcome = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.decisions, out.decisions);
+        prop_assert_eq!(back.schedule.slices.len(), out.schedule.slices.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// EDF / checker interplay
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any profile that pointwise dominates AVR is feasible under EDF.
+    #[test]
+    fn dominating_profiles_are_edf_feasible(inst in arb_instance(6), boost in 1.0f64..3.0) {
+        use speed_scaling::edf::{edf_schedule, EdfTask};
+        let p = speed_scaling::avr::avr_profile(&inst).scale(boost);
+        let sched = edf_schedule(&EdfTask::from_instance(&inst), &p, 0);
+        prop_assert!(sched.is_ok());
+        let sched = sched.unwrap();
+        prop_assert!(sched.check(&Schedule::requirements_of(&inst)).is_ok());
+    }
+
+    /// Starving the machine below the critical intensity is infeasible.
+    #[test]
+    fn undersized_profiles_are_infeasible(inst in arb_instance(5)) {
+        use speed_scaling::edf::{edf_schedule, EdfTask};
+        // Half the *optimal* (YDS) speed cannot complete the work.
+        let p = yds_profile(&inst).scale(0.5);
+        prop_assert!(edf_schedule(&EdfTask::from_instance(&inst), &p, 0).is_err());
+    }
+
+    /// The checker accepts exactly the schedules EDF builds, and
+    /// rejects them after adversarial corruption (speed halved).
+    #[test]
+    fn checker_rejects_corrupted_schedules(inst in arb_instance(5)) {
+        let mut sched = yds(&inst).schedule;
+        prop_assume!(!sched.slices.is_empty());
+        for s in &mut sched.slices {
+            s.speed *= 0.5;
+        }
+        prop_assert!(sched.check(&Schedule::requirements_of(&inst)).is_err());
+    }
+
+    /// SpeedProfile::dominated_by is reflexive and anti-symmetric in
+    /// the factor.
+    #[test]
+    fn domination_laws(inst in arb_instance(5)) {
+        let p = speed_scaling::avr::avr_profile(&inst);
+        prop_assert!(p.dominated_by(&p, 1.0).is_ok());
+        prop_assert!(p.scale(2.0).dominated_by(&p, 2.0).is_ok());
+        if p.max_speed() > 1e-6 {
+            prop_assert!(p.scale(3.0).dominated_by(&p, 2.0).is_err());
+        }
+    }
+}
+
+/// A deterministic regression net: the exact YDS energies of a fixed
+/// instance at several α (guards against silent algorithmic drift).
+#[test]
+fn yds_golden_values() {
+    let inst = Instance::new(vec![
+        Job::new(0, 0.0, 4.0, 4.0),
+        Job::new(1, 1.0, 2.0, 3.0),
+        Job::new(2, 3.0, 6.0, 2.0),
+    ]);
+    let p = yds_profile(&inst);
+    // By hand: round 1 fixes the critical interval (1,2] at speed 3
+    // (job 1). Collapsing it, round 2 fixes job 0 on (0,1] ∪ (2,4] at
+    // speed 4/3, and round 3 fixes job 2 on (4,6] at speed 1.
+    assert!((p.speed_at(0.5) - 4.0 / 3.0).abs() < 1e-9);
+    assert!((p.speed_at(1.5) - 3.0).abs() < 1e-9);
+    assert!((p.speed_at(3.0) - 4.0 / 3.0).abs() < 1e-9);
+    assert!((p.speed_at(5.0) - 1.0).abs() < 1e-9);
+    // E(α=3) = 3·(4/3)³ + 1·3³ + 2·1³ = 64/9 + 29.
+    let expected = 64.0 / 9.0 + 29.0;
+    assert!((p.energy(3.0) - expected).abs() < 1e-9);
+    assert!((p.max_speed() - 3.0).abs() < 1e-9);
+    assert!((p.total_work() - 9.0).abs() < 1e-9);
+}
