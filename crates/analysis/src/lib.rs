@@ -13,7 +13,7 @@
 //! * [`stats`] — ensemble digests (`max` is the empirical competitive
 //!   ratio) for the experiment reports.
 //!
-//! This crate is deliberately dependency-light (serde only) so the
+//! This crate is deliberately dependency-free so the
 //! bound formulas can be unit-checked in isolation from the simulator.
 
 #![warn(missing_docs)]

@@ -21,7 +21,6 @@
 //! `1.44 < α < 2`, ρ3 for `α ≥ 2`. [`rho_table`] regenerates the
 //! paper's 3×8 table.
 
-use serde::Serialize;
 
 use crate::bounds::PHI;
 use crate::numeric::grid_then_golden_max;
@@ -95,7 +94,7 @@ pub fn crcd_best_ratio(alpha: f64) -> f64 {
 }
 
 /// One row of the §4.2 table.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RhoRow {
     /// Power exponent.
     pub alpha: f64,

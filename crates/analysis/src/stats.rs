@@ -5,10 +5,9 @@
 //! digest (max is the headline number — a competitive ratio is a
 //! worst case — with mean/percentiles as shape evidence).
 
-use serde::Serialize;
 
 /// Distribution digest of a sample of non-negative ratios.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Summary {
     /// Sample size.
     pub n: usize,

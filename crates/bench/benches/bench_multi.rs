@@ -1,84 +1,50 @@
-//! Criterion benches for the multi-machine path: AVR(m) on classical
-//! instances and AVRQ(m) end-to-end, sweeping the machine count.
+//! Benches for the multi-machine path: AVR(m) on classical instances
+//! and AVRQ(m) end-to-end, sweeping the machine count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbss_bench::BenchGroup;
 use qbss_core::online::avrq_m;
 use qbss_instances::gen::{generate, GenConfig};
 use speed_scaling::multi::avr_m;
 
-fn bench_avr_m(c: &mut Criterion) {
-    let mut g = c.benchmark_group("avr_m");
+fn main() {
+    let mut g = BenchGroup::new("avr_m");
     let inst = generate(&GenConfig::online_default(100, 5)).clairvoyant_instance();
     for &m in &[2usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
-            b.iter(|| avr_m(std::hint::black_box(inst), m))
-        });
+        g.case(format!("m={m}"), || avr_m(&inst, m));
     }
     g.finish();
-}
 
-fn bench_avrq_m(c: &mut Criterion) {
-    let mut g = c.benchmark_group("avrq_m");
-    let inst = generate(&GenConfig::online_default(100, 5));
+    let mut g = BenchGroup::new("avrq_m");
+    let qinst = generate(&GenConfig::online_default(100, 5));
     for &m in &[2usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
-            b.iter(|| avrq_m(std::hint::black_box(inst), m))
-        });
+        g.case(format!("m={m}"), || avrq_m(&qinst, m));
     }
     g.finish();
-}
 
-fn bench_mcnaughton_heavy(c: &mut Criterion) {
     // Many small jobs sharing machines — the assignment-dominated
     // regime.
-    let mut g = c.benchmark_group("avr_m_small_jobs");
-    let inst = generate(&GenConfig::common_deadline(500, 4.0, 9)).clairvoyant_instance();
+    let mut g = BenchGroup::new("avr_m_small_jobs");
+    let small = generate(&GenConfig::common_deadline(500, 4.0, 9)).clairvoyant_instance();
     for &m in &[4usize, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
-            b.iter(|| avr_m(std::hint::black_box(inst), m))
-        });
+        g.case(format!("m={m}"), || avr_m(&small, m));
     }
     g.finish();
-}
 
-fn bench_frank_wolfe(c: &mut Criterion) {
     // The multi-machine OPT baseline: cost per planning call as the
     // iteration budget grows (n = 40 jobs, m = 4).
-    let mut g = c.benchmark_group("frank_wolfe");
-    let inst = generate(&GenConfig::online_default(40, 5)).clairvoyant_instance();
+    let mut g = BenchGroup::new("frank_wolfe");
+    let fw = generate(&GenConfig::online_default(40, 5)).clairvoyant_instance();
     for &iters in &[20usize, 60, 200] {
-        g.bench_with_input(BenchmarkId::from_parameter(iters), &inst, |b, inst| {
-            b.iter(|| {
-                speed_scaling::multi::multi_opt_frank_wolfe(
-                    std::hint::black_box(inst),
-                    4,
-                    3.0,
-                    iters,
-                )
-            })
+        g.case(format!("iters={iters}"), || {
+            speed_scaling::multi::multi_opt_frank_wolfe(&fw, 4, 3.0, iters)
         });
     }
     g.finish();
-}
 
-fn bench_oa_m(c: &mut Criterion) {
-    let mut g = c.benchmark_group("oa_m");
-    g.sample_size(10);
-    let inst = generate(&GenConfig::online_default(30, 5)).clairvoyant_instance();
+    let mut g = BenchGroup::new("oa_m");
+    let oa = generate(&GenConfig::online_default(30, 5)).clairvoyant_instance();
     for &m in &[2usize, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
-            b.iter(|| speed_scaling::multi::oa_m(std::hint::black_box(inst), m, 3.0, 40))
-        });
+        g.case(format!("m={m}"), || speed_scaling::multi::oa_m(&oa, m, 3.0, 40));
     }
     g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_avr_m,
-    bench_avrq_m,
-    bench_mcnaughton_heavy,
-    bench_frank_wolfe,
-    bench_oa_m
-);
-criterion_main!(benches);

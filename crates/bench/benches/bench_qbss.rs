@@ -1,69 +1,48 @@
-//! Criterion benches for the QBSS algorithms themselves: the offline
-//! family (CRCD / CRP2D / CRAD) and the single-machine online family
+//! Benches for the QBSS algorithms themselves: the offline family
+//! (CRCD / CRP2D / CRAD) and the single-machine online family
 //! (AVRQ / BKPQ / OAQ), end-to-end (decisions + profile + explicit
 //! schedule).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbss_bench::BenchGroup;
 use qbss_core::offline::{crad, crcd, crp2d};
 use qbss_core::online::{avrq, bkpq, oaq};
 use qbss_instances::gen::{generate, GenConfig, TimeModel};
 
-fn bench_offline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("offline");
+fn main() {
+    let mut g = BenchGroup::new("offline");
     for &n in &[20usize, 100] {
         let common = generate(&GenConfig::common_deadline(n, 8.0, 3));
-        g.bench_with_input(BenchmarkId::new("crcd", n), &common, |b, inst| {
-            b.iter(|| crcd(std::hint::black_box(inst)))
-        });
+        g.case(format!("crcd/n={n}"), || crcd(&common));
 
         let p2 = generate(&GenConfig {
             time: TimeModel::PowersOfTwo { min_exp: 0, max_exp: 5 },
             ..GenConfig::common_deadline(n, 1.0, 3)
         });
-        g.bench_with_input(BenchmarkId::new("crp2d", n), &p2, |b, inst| {
-            b.iter(|| crp2d(std::hint::black_box(inst)))
-        });
+        g.case(format!("crp2d/n={n}"), || crp2d(&p2));
 
         let arb = generate(&GenConfig {
             time: TimeModel::ArbitraryDeadlines { min_d: 1.0, max_d: 50.0 },
             ..GenConfig::common_deadline(n, 1.0, 3)
         });
-        g.bench_with_input(BenchmarkId::new("crad", n), &arb, |b, inst| {
-            b.iter(|| crad(std::hint::black_box(inst)))
-        });
+        g.case(format!("crad/n={n}"), || crad(&arb));
     }
     g.finish();
-}
 
-fn bench_online(c: &mut Criterion) {
-    let mut g = c.benchmark_group("online");
+    let mut g = BenchGroup::new("online");
     for &n in &[20usize, 100] {
         let inst = generate(&GenConfig::online_default(n, 3));
-        g.bench_with_input(BenchmarkId::new("avrq", n), &inst, |b, inst| {
-            b.iter(|| avrq(std::hint::black_box(inst)))
-        });
-        g.bench_with_input(BenchmarkId::new("bkpq", n), &inst, |b, inst| {
-            b.iter(|| bkpq(std::hint::black_box(inst)))
-        });
-        g.bench_with_input(BenchmarkId::new("oaq", n), &inst, |b, inst| {
-            b.iter(|| oaq(std::hint::black_box(inst)))
-        });
+        g.case(format!("avrq/n={n}"), || avrq(&inst));
+        g.case(format!("bkpq/n={n}"), || bkpq(&inst));
+        g.case(format!("oaq/n={n}"), || oaq(&inst));
     }
     g.finish();
-}
 
-fn bench_clairvoyant_opt(c: &mut Criterion) {
     // The baseline every ratio experiment recomputes: YDS on the
     // clairvoyant projection.
-    let mut g = c.benchmark_group("clairvoyant_opt");
+    let mut g = BenchGroup::new("clairvoyant_opt");
     for &n in &[20usize, 100] {
         let inst = generate(&GenConfig::online_default(n, 3));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| std::hint::black_box(inst).opt_energy(3.0))
-        });
+        g.case(format!("n={n}"), || inst.opt_energy(3.0));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_offline, bench_online, bench_clairvoyant_opt);
-criterion_main!(benches);

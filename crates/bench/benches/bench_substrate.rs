@@ -1,5 +1,5 @@
-//! Criterion benches for the classical substrate: YDS, AVR, OA, BKP
-//! profile computation and EDF realization as the instance size grows.
+//! Benches for the classical substrate: YDS, AVR, OA, BKP profile
+//! computation and EDF realization as the instance size grows.
 //!
 //! These are the performance-engineering counterpart of the paper
 //! experiments: the `exp_*` binaries regenerate the paper's tables; the
@@ -7,7 +7,7 @@
 //! thousand-job ensembles (YDS is O(n³) worst case, AVR O(n²),
 //! BKP O(n³) — all instantaneous at experiment sizes).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbss_bench::BenchGroup;
 use qbss_instances::gen::{generate, GenConfig};
 use speed_scaling::edf::{edf_schedule, EdfTask};
 use speed_scaling::{avr::avr_profile, bkp::bkp_profile, oa::oa_profile, yds::yds_profile};
@@ -17,69 +17,43 @@ fn classical_instance(n: usize, seed: u64) -> speed_scaling::Instance {
     generate(&GenConfig::online_default(n, seed)).clairvoyant_instance()
 }
 
-fn bench_yds(c: &mut Criterion) {
-    let mut g = c.benchmark_group("yds_profile");
+fn main() {
+    let mut g = BenchGroup::new("yds_profile");
     for &n in &[10usize, 50, 100, 200] {
         let inst = classical_instance(n, 7);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| yds_profile(std::hint::black_box(inst)))
-        });
+        g.case(format!("n={n}"), || yds_profile(&inst));
     }
     g.finish();
-}
 
-fn bench_avr(c: &mut Criterion) {
-    let mut g = c.benchmark_group("avr_profile");
+    let mut g = BenchGroup::new("avr_profile");
     for &n in &[10usize, 100, 1000] {
         let inst = classical_instance(n, 7);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| avr_profile(std::hint::black_box(inst)))
-        });
+        g.case(format!("n={n}"), || avr_profile(&inst));
     }
     g.finish();
-}
 
-fn bench_oa(c: &mut Criterion) {
-    let mut g = c.benchmark_group("oa_profile");
+    let mut g = BenchGroup::new("oa_profile");
     for &n in &[10usize, 50, 100] {
         let inst = classical_instance(n, 7);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| oa_profile(std::hint::black_box(inst)))
-        });
+        g.case(format!("n={n}"), || oa_profile(&inst));
     }
     g.finish();
-}
 
-fn bench_bkp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bkp_profile");
+    let mut g = BenchGroup::new("bkp_profile");
     for &n in &[10usize, 50, 100] {
         let inst = classical_instance(n, 7);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| bkp_profile(std::hint::black_box(inst)))
-        });
+        g.case(format!("n={n}"), || bkp_profile(&inst));
     }
     g.finish();
-}
 
-fn bench_edf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("edf_schedule");
+    let mut g = BenchGroup::new("edf_schedule");
     for &n in &[100usize, 1000] {
         let inst = classical_instance(n, 7);
         let profile = avr_profile(&inst);
         let tasks = EdfTask::from_instance(&inst);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
-            b.iter(|| {
-                edf_schedule(
-                    std::hint::black_box(&tasks),
-                    std::hint::black_box(&profile),
-                    0,
-                )
-                .expect("feasible")
-            })
+        g.case(format!("n={n}"), || {
+            edf_schedule(&tasks, &profile, 0).expect("feasible")
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_yds, bench_avr, bench_oa, bench_bkp, bench_edf);
-criterion_main!(benches);

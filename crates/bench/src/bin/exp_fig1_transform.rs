@@ -14,7 +14,6 @@ use qbss_core::model::{QJob, QbssInstance};
 use qbss_core::offline::{crp2d, energy_chain, in_query_set};
 use qbss_core::PHI;
 use qbss_instances::gen::{generate, Compressibility, GenConfig, QueryModel, TimeModel};
-use rayon::prelude::*;
 
 /// The concrete 4-deadline example the diagram renders (matching the
 /// figure's geometry: deadlines 1, 2, 4, 8; a mix of A and B jobs).
@@ -120,7 +119,10 @@ fn main() {
     let alpha = 3.0;
     let (e_star, e_prime, e_half) = energy_chain(&inst, alpha);
     let out = crp2d(&inst);
-    out.validate(&inst).expect("CRP2D outcome valid");
+    if let Err(e) = out.validate(&inst) {
+        eprintln!("CRP2D outcome invalid: {e}");
+        std::process::exit(1);
+    }
     let e_alg = out.energy(alpha);
     let mut t = Table::new(vec!["quantity", "value", "chain bound", "bound value", "holds"]);
     t.row(vec!["E*".to_string(), fmt(e_star), "-".into(), "-".into(), "-".into()]);
@@ -160,9 +162,7 @@ fn main() {
         "(4phi)^a",
     ]);
     for &alpha in &[1.5, 2.0, 2.5, 3.0] {
-        let rows: Vec<(f64, f64, f64)> = (0..300u64)
-            .into_par_iter()
-            .map(|seed| {
+        let rows: Vec<(f64, f64, f64)> = qbss_bench::par_map_seeds(0..300u64, |seed| {
                 let cfg = GenConfig {
                     n: 30,
                     seed,
@@ -176,8 +176,7 @@ fn main() {
                 let (e_star, e_prime, e_half) = energy_chain(&inst, alpha);
                 let out = crp2d(&inst);
                 (e_prime / e_star, e_half / e_prime, out.energy(alpha) / e_star)
-            })
-            .collect();
+            });
         let m1 = rows.iter().map(|r| r.0).fold(0.0, f64::max);
         let m2 = rows.iter().map(|r| r.1).fold(0.0, f64::max);
         let m3 = rows.iter().map(|r| r.2).fold(0.0, f64::max);

@@ -182,7 +182,10 @@ fn main() {
             let eval = |works: &[f64]| {
                 let inst = equal_window_cascade(works, 2.0, 1e-7);
                 let out = bkpq(&inst);
-                out.validate(&inst).expect("valid cascade outcome");
+                out.validate(&inst).unwrap_or_else(|e| {
+                    eprintln!("invalid cascade outcome: {e}");
+                    std::process::exit(1);
+                });
                 // The cascade punishes the *structure* (equal windows);
                 // compare the schedule's peak speed to OPT's.
                 out.speed_ratio(&inst)

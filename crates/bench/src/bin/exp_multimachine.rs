@@ -13,7 +13,6 @@ use qbss_bench::ensemble::check_bound;
 use qbss_bench::table::{fmt, Table};
 use qbss_core::online::{avr_star_m, avrq_m, avrq_m_nonmig, oaq_m};
 use qbss_instances::gen::{generate, GenConfig};
-use rayon::prelude::*;
 use speed_scaling::multi::{multi_opt_frank_wolfe, opt_lower_bound};
 
 const SEEDS: std::ops::Range<u64> = 0..100;
@@ -36,10 +35,7 @@ fn main() {
     ]);
     for &alpha in &ALPHAS {
         for &m in &MACHINES {
-            let rows: Vec<(f64, f64)> = SEEDS
-                .clone()
-                .into_par_iter()
-                .map(|seed| {
+            let rows: Vec<(f64, f64)> = qbss_bench::par_map_seeds(SEEDS, |seed| {
                     let inst = generate(&GenConfig::online_default(40, seed));
                     let res = avrq_m(&inst, m);
                     res.outcome
@@ -53,8 +49,7 @@ fn main() {
                     let lb = opt_lower_bound(&clair, m, alpha).max(fw.lower_bound());
                     let star = avr_star_m(&inst, m);
                     (res.energy(alpha) / lb, res.energy(alpha) / star.energy(alpha))
-                })
-                .collect();
+                });
             let vs_lb: Vec<f64> = rows.iter().map(|r| r.0).collect();
             let vs_star: Vec<f64> = rows.iter().map(|r| r.1).collect();
             let s_lb = qbss_analysis::Summary::of(&vs_lb);
@@ -86,9 +81,7 @@ fn main() {
 
     // Theorem 6.3 pointwise, per machine.
     println!("\nTheorem 6.3 pointwise checks (s_i^AVRQ(m) <= 2 s_i^AVR*(m)):");
-    let dom: Vec<String> = SEEDS
-        .into_par_iter()
-        .flat_map(|seed| {
+    let dom: Vec<String> = qbss_bench::par_map_seeds(SEEDS, |seed| {
             let inst = generate(&GenConfig::online_default(40, seed));
             let mut errs = Vec::new();
             for &m in &MACHINES {
@@ -104,6 +97,8 @@ fn main() {
             }
             errs
         })
+        .into_iter()
+        .flatten()
         .collect();
     if dom.is_empty() {
         println!(
@@ -127,9 +122,7 @@ fn main() {
             "mean E(OAQ)/E(AVRQ)",
         ]);
         for &m in &[2usize, 4, 8] {
-            let rows: Vec<(f64, f64, f64)> = (0..40u64)
-                .into_par_iter()
-                .map(|seed| {
+            let rows: Vec<(f64, f64, f64)> = qbss_bench::par_map_seeds(0..40u64, |seed| {
                     let inst = generate(&GenConfig::online_default(30, seed));
                     let clair = inst.clairvoyant_instance();
                     let fw = multi_opt_frank_wolfe(&clair, m, alpha, 60);
@@ -144,8 +137,7 @@ fn main() {
                         o.energy(alpha) / lb,
                         o.energy(alpha) / a.energy(alpha),
                     )
-                })
-                .collect();
+                });
             let av: Vec<f64> = rows.iter().map(|r| r.0).collect();
             let oa: Vec<f64> = rows.iter().map(|r| r.1).collect();
             let rel: Vec<f64> = rows.iter().map(|r| r.2).collect();
@@ -176,10 +168,7 @@ fn main() {
         "mean peak(nonmig)/peak(mig)",
     ]);
     for &m in &MACHINES {
-        let rows: Vec<(f64, f64)> = SEEDS
-            .clone()
-            .into_par_iter()
-            .map(|seed| {
+        let rows: Vec<(f64, f64)> = qbss_bench::par_map_seeds(SEEDS, |seed| {
                 let inst = generate(&GenConfig::online_default(40, seed));
                 let mig = avrq_m(&inst, m);
                 let non = avrq_m_nonmig(&inst, m);
@@ -190,8 +179,7 @@ fn main() {
                     non.energy(alpha) / mig.energy(alpha),
                     non.max_speed() / mig.max_speed(),
                 )
-            })
-            .collect();
+            });
         let e: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let s: Vec<f64> = rows.iter().map(|r| r.1).collect();
         let (se, ss) = (qbss_analysis::Summary::of(&e), qbss_analysis::Summary::of(&s));

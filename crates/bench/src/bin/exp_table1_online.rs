@@ -20,7 +20,6 @@ use qbss_core::online::{
 use qbss_core::PHI;
 use qbss_instances::adversary::{avrq_adversary, avrq_adversary_staggered};
 use qbss_instances::gen::{generate, Compressibility, GenConfig};
-use rayon::prelude::*;
 
 const SEEDS: std::ops::Range<u64> = 0..200;
 const ALPHAS: [f64; 4] = [1.5, 2.0, 2.5, 3.0];
@@ -93,9 +92,7 @@ fn main() {
 
     // -------- pointwise speed-domination theorems --------
     println!("\nTheorem 5.2 / 5.4 pointwise checks over {} traces:", SEEDS.end);
-    let dom_violations: Vec<String> = SEEDS
-        .into_par_iter()
-        .flat_map(|seed| {
+    let dom_violations: Vec<String> = qbss_bench::par_map_seeds(SEEDS, |seed| {
             let inst = trace(30, seed, Compressibility::Uniform);
             let mut errs = Vec::new();
             if let Err(t) = avrq_profile(&inst).dominated_by(&avr_star_profile(&inst), 2.0) {
@@ -107,6 +104,8 @@ fn main() {
             }
             errs
         })
+        .into_iter()
+        .flatten()
         .collect();
     if dom_violations.is_empty() {
         println!("  OK: s^AVRQ <= 2 s^AVR* and s^BKPQ <= (2+phi) s^BKP* everywhere.");

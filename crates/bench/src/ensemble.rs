@@ -1,15 +1,15 @@
 //! Parallel ensemble measurement: run an algorithm over many seeded
 //! instances and digest the energy / max-speed ratios.
 //!
-//! Per the HPC guides, the sweep is embarrassingly parallel and uses
-//! rayon's parallel iterators; every outcome is validated before its
-//! ratio is counted, so a harness run is also an end-to-end correctness
-//! pass over thousands of schedules.
+//! The sweep is embarrassingly parallel and fans out over scoped OS
+//! threads (`std::thread::scope` — the workspace is dependency-free, so
+//! no rayon); every outcome is validated before its ratio is counted,
+//! so a harness run is also an end-to-end correctness pass over
+//! thousands of schedules.
 
 use qbss_analysis::stats::Summary;
 use qbss_core::model::QbssInstance;
 use qbss_core::outcome::QbssOutcome;
-use rayon::prelude::*;
 
 /// Digest of an algorithm over an instance ensemble at one `α`.
 #[derive(Debug, Clone, Copy)]
@@ -32,17 +32,13 @@ pub fn measure_ensemble(
     make_instance: impl Fn(u64) -> QbssInstance + Sync,
     algorithm: impl Fn(&QbssInstance) -> QbssOutcome + Sync,
 ) -> EnsembleReport {
-    let ratios: Vec<(f64, f64)> = seeds
-        .into_par_iter()
-        .map(|seed| {
-            let inst = make_instance(seed);
-            let out = algorithm(&inst);
-            out.validate(&inst).unwrap_or_else(|e| {
-                panic!("outcome validation failed on seed {seed}: {e}")
-            });
-            (out.energy_ratio(&inst, alpha), out.speed_ratio(&inst))
-        })
-        .collect();
+    let ratios = crate::par::par_map_seeds(seeds, |seed| {
+        let inst = make_instance(seed);
+        let out = algorithm(&inst);
+        out.validate(&inst)
+            .unwrap_or_else(|e| panic!("outcome validation failed on seed {seed}: {e}"));
+        (out.energy_ratio(&inst, alpha), out.speed_ratio(&inst))
+    });
     let energy: Vec<f64> = ratios.iter().map(|r| r.0).collect();
     let speed: Vec<f64> = ratios.iter().map(|r| r.1).collect();
     EnsembleReport { energy: Summary::of(&energy), speed: Summary::of(&speed) }

@@ -18,15 +18,20 @@
 //! non-zero if a *proven* bound is violated by a measurement (so the
 //! harness doubles as an acceptance test).
 //!
-//! This crate also hosts the criterion performance benches
-//! (`cargo bench -p qbss-bench`).
+//! This crate also hosts the performance benches
+//! (`cargo bench -p qbss-bench`), built on the dependency-free
+//! [`timing`] harness.
 
 #![warn(missing_docs)]
 
 pub mod ensemble;
+pub mod par;
 pub mod search;
 pub mod table;
+pub mod timing;
 
 pub use ensemble::{measure_ensemble, EnsembleReport};
+pub use par::{par_map, par_map_seeds};
 pub use search::coordinate_ascent;
 pub use table::Table;
+pub use timing::BenchGroup;

@@ -1,0 +1,54 @@
+//! Dependency-free data parallelism for the experiment sweeps.
+//!
+//! The harness's ensembles are embarrassingly parallel; [`par_map`]
+//! fans a slice out over scoped OS threads in contiguous chunks and
+//! returns results in input order — the replacement for the rayon
+//! parallel iterators this workspace cannot depend on.
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Chunks the input evenly over `available_parallelism` scoped threads;
+/// panics in `f` propagate to the caller once all threads are joined.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(items.len().max(1));
+    let chunk = items.len().div_ceil(threads).max(1);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("every slot is filled before the scope joins")).collect()
+}
+
+/// [`par_map`] over a seed range — the harness's most common shape.
+pub fn par_map_seeds<R: Send>(seeds: std::ops::Range<u64>, f: impl Fn(u64) -> R + Sync) -> Vec<R> {
+    let list: Vec<u64> = seeds.collect();
+    par_map(&list, |&s| f(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = par_map(&items, |&x| 2 * x);
+        assert_eq!(doubled, items.iter().map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        assert!(par_map::<u64, u64>(&[], |&x| x).is_empty());
+        assert_eq!(par_map(&[7u64], |&x| x + 1), vec![8]);
+        assert_eq!(par_map_seeds(0..3, |s| s * s), vec![0, 1, 4]);
+    }
+}

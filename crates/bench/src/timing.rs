@@ -1,0 +1,106 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace is dependency-free, so the `cargo bench` targets
+//! (`harness = false`) run on this instead of criterion: each case is
+//! warmed up, then timed over enough iterations to fill a fixed
+//! measurement window, and the per-iteration median/min over several
+//! samples is printed as one table row.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measurement sample.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(60);
+/// Samples per benchmark case (median over these is reported).
+const SAMPLES: usize = 7;
+
+/// A named group of benchmark cases, printed as an aligned table.
+pub struct BenchGroup {
+    name: &'static str,
+    rows: Vec<(String, Duration, Duration)>,
+}
+
+impl BenchGroup {
+    /// Starts a new group; call [`BenchGroup::case`] per parameter and
+    /// [`BenchGroup::finish`] to print.
+    pub fn new(name: &'static str) -> Self {
+        Self { name, rows: Vec::new() }
+    }
+
+    /// Measures `f`, keeping its result alive via `black_box`.
+    pub fn case<T>(&mut self, label: impl Into<String>, mut f: impl FnMut() -> T) -> &mut Self {
+        // Warm-up and iteration-count calibration: run until the clock
+        // moves, then scale to the sample window.
+        let start = Instant::now();
+        let mut calib_iters = 0u64;
+        while start.elapsed() < SAMPLE_WINDOW / 4 {
+            std::hint::black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = (start.elapsed() / u32::try_from(calib_iters.max(1)).unwrap_or(u32::MAX))
+            .max(Duration::from_nanos(1));
+        let iters = u32::try_from(
+            (SAMPLE_WINDOW.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000),
+        )
+        .unwrap_or(1_000_000);
+
+        let mut samples: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed() / iters
+            })
+            .collect();
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        self.rows.push((label.into(), median, min));
+        self
+    }
+
+    /// Prints the group as a table: `name/label  median  min`.
+    pub fn finish(&self) {
+        println!("{}", self.name);
+        for (label, median, min) in &self.rows {
+            println!("  {label:<24} median {:>12}  min {:>12}", fmt_dur(*median), fmt_dur(*min));
+        }
+        println!();
+    }
+}
+
+/// Formats a duration with an adaptive unit (ns/µs/ms/s).
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_prints() {
+        let mut g = BenchGroup::new("smoke");
+        g.case("noop", || 1 + 1);
+        assert_eq!(g.rows.len(), 1);
+        assert!(g.rows[0].1 >= Duration::from_nanos(0));
+        g.finish();
+    }
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(fmt_dur(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_dur(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_dur(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,14 +1,26 @@
 //! Implementation of the `qbss` subcommands.
+//!
+//! Every subcommand returns a [`CliError`], which the `main` wrapper
+//! maps onto the process exit-code contract:
+//!
+//! | code | meaning                                              |
+//! |------|------------------------------------------------------|
+//! | 0    | success                                              |
+//! | 1    | the algorithm pipeline failed ([`CliError::Algorithm`]) |
+//! | 2    | bad input: flags, instance data ([`CliError::Input`]) |
+//! | 3    | file-system failure ([`CliError::Io`])               |
 
 use std::collections::HashMap;
+use std::fmt;
 use std::path::Path;
 
+use qbss_core::error::QbssError;
 use qbss_core::model::QbssInstance;
-use qbss_core::offline::{crad, crcd, crp2d, is_power_of_two_deadline};
-use qbss_core::online::{avrq, avrq_m, bkpq, oaq};
+use qbss_core::offline::is_power_of_two_deadline;
+use qbss_core::pipeline::{run_checked, Algorithm};
 use qbss_core::QbssOutcome;
 use qbss_instances::gen::{self, Compressibility, GenConfig, QueryModel, TimeModel};
-use qbss_instances::io;
+use qbss_instances::io::{self, IoError};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -23,46 +35,110 @@ USAGE:
   qbss compare  --in FILE [--alpha A]
   qbss bounds   [--alpha A]
   qbss rho
-  qbss help";
+  qbss help
+
+EXIT CODES:
+  0 success | 1 algorithm failure | 2 bad input | 3 I/O failure";
+
+/// A subcommand failure, carrying its exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Malformed command line or instance data (exit code 2).
+    Input(String),
+    /// The algorithm pipeline rejected or failed the run (exit code 1).
+    Algorithm(QbssError),
+    /// The file system failed (exit code 3).
+    Io(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Algorithm(_) => 1,
+            CliError::Input(_) => 2,
+            CliError::Io(_) => 3,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Input(m) | CliError::Io(m) => f.write_str(m),
+            CliError::Algorithm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Algorithm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QbssError> for CliError {
+    fn from(e: QbssError) -> Self {
+        CliError::Algorithm(e)
+    }
+}
+
+impl From<IoError> for CliError {
+    fn from(e: IoError) -> Self {
+        match e {
+            IoError::File { .. } => CliError::Io(e.to_string()),
+            // Syntax and model errors in an instance file are bad
+            // *input*, not an I/O failure.
+            _ => CliError::Input(e.to_string()),
+        }
+    }
+}
+
+fn input(msg: impl Into<String>) -> CliError {
+    CliError::Input(msg.into())
+}
 
 type Flags = HashMap<String, String>;
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     let mut flags = Flags::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
-            return Err(format!("expected --flag, got `{key}`"));
+            return Err(input(format!("expected --flag, got `{key}`")));
         };
         let Some(value) = it.next() else {
-            return Err(format!("--{name} needs a value"));
+            return Err(input(format!("--{name} needs a value")));
         };
         flags.insert(name.to_string(), value.clone());
     }
     Ok(flags)
 }
 
-fn flag_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
+fn flag_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, CliError> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name}: not a number: `{v}`")),
+        Some(v) => v.parse().map_err(|_| input(format!("--{name}: not a number: `{v}`"))),
     }
 }
 
-fn flag_usize(flags: &Flags, name: &str, default: usize) -> Result<usize, String> {
+fn flag_usize(flags: &Flags, name: &str, default: usize) -> Result<usize, CliError> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name}: not an integer: `{v}`")),
+        Some(v) => v.parse().map_err(|_| input(format!("--{name}: not an integer: `{v}`"))),
     }
 }
 
-fn load_instance(flags: &Flags) -> Result<QbssInstance, String> {
-    let path = flags.get("in").ok_or("--in FILE is required")?;
-    io::read_file(Path::new(path))
+fn load_instance(flags: &Flags) -> Result<QbssInstance, CliError> {
+    let path = flags.get("in").ok_or_else(|| input("--in FILE is required"))?;
+    Ok(io::read_file(Path::new(path))?)
 }
 
 /// `qbss generate`.
-pub fn generate(args: &[String]) -> Result<(), String> {
+pub fn generate(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
     let n = flag_usize(&flags, "n", 50)?;
     let seed = flag_usize(&flags, "seed", 0)? as u64;
@@ -72,7 +148,7 @@ pub fn generate(args: &[String]) -> Result<(), String> {
         "p2" => TimeModel::PowersOfTwo { min_exp: 0, max_exp: 5 },
         "arbitrary" => TimeModel::ArbitraryDeadlines { min_d: 1.0, max_d: 50.0 },
         "poisson" => TimeModel::Poisson { rate: 2.0, min_len: 0.5, max_len: 4.0 },
-        other => return Err(format!("unknown family `{other}`")),
+        other => return Err(input(format!("unknown family `{other}`"))),
     };
     let compress = match flags.get("compress").map(String::as_str).unwrap_or("uniform") {
         "uniform" => Compressibility::Uniform,
@@ -80,7 +156,7 @@ pub fn generate(args: &[String]) -> Result<(), String> {
         "heavytail" => Compressibility::HeavyTail,
         "incompressible" => Compressibility::Incompressible,
         "full" => Compressibility::FullyCompressible,
-        other => return Err(format!("unknown compressibility `{other}`")),
+        other => return Err(input(format!("unknown compressibility `{other}`"))),
     };
     let cfg = GenConfig {
         n,
@@ -94,10 +170,10 @@ pub fn generate(args: &[String]) -> Result<(), String> {
     let inst = gen::generate(&cfg);
     match flags.get("out") {
         Some(path) => {
-            io::write_file(&inst, Path::new(path)).map_err(|e| e.to_string())?;
+            io::write_file(&inst, Path::new(path))?;
             eprintln!("wrote {n} jobs to {path}");
         }
-        None => println!("{}", io::to_json(&inst)),
+        None => println!("{}", io::to_json(&inst)?),
     }
     Ok(())
 }
@@ -115,70 +191,70 @@ fn print_outcome(out: &QbssOutcome, inst: &QbssInstance, alpha: f64) {
     println!("slices:        {}", out.schedule.slices.len());
 }
 
+/// Parses `--alpha` and enforces the model's `α > 1` (finite) contract
+/// up front, so a bad exponent is a bad-input error (exit 2), not an
+/// algorithm failure.
+fn flag_alpha(flags: &Flags) -> Result<f64, CliError> {
+    let a = flag_f64(flags, "alpha", 3.0)?;
+    if !a.is_finite() || a <= 1.0 {
+        return Err(input("alpha must be finite and exceed 1"));
+    }
+    Ok(a)
+}
+
 /// `qbss run`.
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
     let inst = load_instance(&flags)?;
-    let alpha = flag_f64(&flags, "alpha", 3.0)?;
-    let alg = flags.get("algorithm").ok_or("--algorithm is required")?;
-    let out = run_algorithm(alg, &inst, &flags)?;
-    out.validate(&inst)?;
+    let alpha = flag_alpha(&flags)?;
+    let alg = flags.get("algorithm").ok_or_else(|| input("--algorithm is required"))?;
+    let out = run_algorithm(alg, &inst, alpha, &flags)?;
     print_outcome(&out, &inst, alpha);
     if flags.get("gantt").map(String::as_str) == Some("true") {
         println!("\n{}", speed_scaling::render::schedule_report(&out.schedule));
     }
     if let Some(path) = flags.get("save-outcome") {
-        let json = serde_json::to_string_pretty(&out)
-            .expect("outcome serialization cannot fail");
-        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let json = io::outcome_to_json(&out);
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
         eprintln!("wrote outcome (decisions + schedule) to {path}");
     }
     Ok(())
 }
 
-fn run_algorithm(alg: &str, inst: &QbssInstance, flags: &Flags) -> Result<QbssOutcome, String> {
+/// Maps a `--algorithm` name to the checked-pipeline dispatcher.
+fn algorithm_for(alg: &str, flags: &Flags) -> Result<Algorithm, CliError> {
     match alg {
-        "avrq" => Ok(avrq(inst)),
-        "bkpq" => Ok(bkpq(inst)),
-        "oaq" => Ok(oaq(inst)),
-        "avrq-m" => {
-            let m = flag_usize(flags, "machines", 2)?;
-            Ok(avrq_m(inst, m).outcome)
-        }
-        "crcd" => {
-            require(inst.has_common_release(0.0), "crcd needs release times 0")?;
-            require(inst.common_deadline().is_some(), "crcd needs a common deadline")?;
-            Ok(crcd(inst))
-        }
-        "crp2d" => {
-            require(inst.has_common_release(0.0), "crp2d needs release times 0")?;
-            require(
-                inst.jobs.iter().all(|j| is_power_of_two_deadline(j.deadline)),
-                "crp2d needs power-of-two deadlines",
-            )?;
-            Ok(crp2d(inst))
-        }
-        "crad" => {
-            require(inst.has_common_release(0.0), "crad needs release times 0")?;
-            Ok(crad(inst))
-        }
-        other => Err(format!("unknown algorithm `{other}`")),
+        "avrq" => Ok(Algorithm::Avrq),
+        "bkpq" => Ok(Algorithm::Bkpq),
+        "oaq" => Ok(Algorithm::Oaq),
+        "avrq-m" => Ok(Algorithm::AvrqM { m: flag_usize(flags, "machines", 2)? }),
+        "crcd" => Ok(Algorithm::Crcd),
+        "crp2d" => Ok(Algorithm::Crp2d),
+        "crad" => Ok(Algorithm::Crad),
+        other => Err(input(format!("unknown algorithm `{other}`"))),
     }
 }
 
-fn require(cond: bool, msg: &str) -> Result<(), String> {
-    if cond {
-        Ok(())
-    } else {
-        Err(msg.to_string())
-    }
+/// Runs one algorithm through [`run_checked`]: the instance is
+/// validated, out-of-scope structures come back as typed errors, the
+/// outcome is re-validated, and non-finite costs are rejected — no
+/// panics on any input.
+fn run_algorithm(
+    alg: &str,
+    inst: &QbssInstance,
+    alpha: f64,
+    flags: &Flags,
+) -> Result<QbssOutcome, CliError> {
+    let algorithm = algorithm_for(alg, flags)?;
+    Ok(run_checked(inst, alpha, algorithm)?)
 }
 
 /// `qbss compare`.
-pub fn compare(args: &[String]) -> Result<(), String> {
+pub fn compare(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
     let inst = load_instance(&flags)?;
-    let alpha = flag_f64(&flags, "alpha", 3.0)?;
+    let alpha = flag_alpha(&flags)?;
 
     let mut candidates: Vec<&str> = vec!["avrq", "bkpq", "oaq"];
     if inst.has_common_release(0.0) {
@@ -196,8 +272,7 @@ pub fn compare(args: &[String]) -> Result<(), String> {
         "alg", "energy", "E-ratio", "max speed", "s-ratio", "queries"
     );
     for alg in candidates {
-        let out = run_algorithm(alg, &inst, &flags)?;
-        out.validate(&inst)?;
+        let out = run_algorithm(alg, &inst, alpha, &flags)?;
         let queried = out.decisions.iter().filter(|d| d.queried).count();
         println!(
             "{:<8} {:>12.4} {:>10.4} {:>12.4} {:>10.4} {:>6}/{}",
@@ -221,13 +296,10 @@ pub fn compare(args: &[String]) -> Result<(), String> {
 }
 
 /// `qbss bounds`.
-pub fn bounds(args: &[String]) -> Result<(), String> {
+pub fn bounds(args: &[String]) -> Result<(), CliError> {
     use qbss_analysis::bounds as b;
     let flags = parse_flags(args)?;
-    let a = flag_f64(&flags, "alpha", 3.0)?;
-    if a <= 1.0 {
-        return Err("alpha must exceed 1".into());
-    }
+    let a = flag_alpha(&flags)?;
     println!("Table 1 of the paper at alpha = {a}\n");
     println!("offline (energy):");
     println!("  oracle LB            {:.4}", b::oracle_energy_lb(a));
@@ -249,7 +321,7 @@ pub fn bounds(args: &[String]) -> Result<(), String> {
 }
 
 /// `qbss rho`.
-pub fn rho(_args: &[String]) -> Result<(), String> {
+pub fn rho(_args: &[String]) -> Result<(), CliError> {
     println!("alpha   rho1     rho2     rho3");
     for row in qbss_analysis::rho::rho_table() {
         let r3 = if row.rho3 == 0.0 { "   -".to_string() } else { format!("{:.3}", row.rho3) };
@@ -282,7 +354,8 @@ mod tests {
     #[test]
     fn parse_flags_rejects_missing_value() {
         let err = parse_flags(&args(&["--n"])).unwrap_err();
-        assert!(err.contains("needs a value"));
+        assert!(err.to_string().contains("needs a value"));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
@@ -298,24 +371,49 @@ mod tests {
         let inst = qbss_core::QbssInstance::new(vec![QJob::new(0, 0.0, 2.0, 0.5, 2.0, 0.5)]);
         let flags = Flags::new();
         for alg in ["avrq", "bkpq", "oaq", "crcd", "crp2d", "crad", "avrq-m"] {
-            let out = run_algorithm(alg, &inst, &flags).unwrap_or_else(|e| panic!("{alg}: {e}"));
+            let out =
+                run_algorithm(alg, &inst, 3.0, &flags).unwrap_or_else(|e| panic!("{alg}: {e}"));
             out.validate(&inst).unwrap_or_else(|e| panic!("{alg}: {e}"));
         }
-        assert!(run_algorithm("nope", &inst, &flags).is_err());
+        assert!(run_algorithm("nope", &inst, 3.0, &flags).is_err());
     }
 
     #[test]
     fn run_algorithm_scope_checks() {
-        // Non-zero release: the offline algorithms must refuse.
+        // Non-zero release: crp2d/crad must refuse with a typed
+        // algorithm error (exit code 1); crcd supports any common
+        // window `(r0, D]`.
         let inst = qbss_core::QbssInstance::new(vec![QJob::new(0, 1.0, 2.0, 0.5, 2.0, 0.5)]);
         let flags = Flags::new();
-        for alg in ["crcd", "crp2d", "crad"] {
-            assert!(run_algorithm(alg, &inst, &flags).is_err(), "{alg} must refuse");
+        for alg in ["crp2d", "crad"] {
+            let err = run_algorithm(alg, &inst, 3.0, &flags).expect_err(alg);
+            assert!(matches!(err, CliError::Algorithm(_)), "{alg}: {err}");
+            assert_eq!(err.exit_code(), 1, "{alg}");
         }
+        assert!(run_algorithm("crcd", &inst, 3.0, &flags).is_ok());
         // Non-power-of-two deadline: crp2d refuses, crad rounds.
         let inst = qbss_core::QbssInstance::new(vec![QJob::new(0, 0.0, 3.0, 0.5, 2.0, 0.5)]);
-        assert!(run_algorithm("crp2d", &inst, &flags).is_err());
-        assert!(run_algorithm("crad", &inst, &flags).is_ok());
+        assert!(run_algorithm("crp2d", &inst, 3.0, &flags).is_err());
+        assert!(run_algorithm("crad", &inst, 3.0, &flags).is_ok());
+    }
+
+    #[test]
+    fn malformed_instances_never_panic_the_cli() {
+        // A NaN smuggled past the constructors must surface as a typed
+        // model error through run_algorithm, not a panic.
+        let inst = qbss_core::QbssInstance::new(vec![QJob::new_unchecked(
+            0,
+            0.0,
+            2.0,
+            f64::NAN,
+            2.0,
+            0.5,
+        )]);
+        let flags = Flags::new();
+        for alg in ["avrq", "bkpq", "oaq", "crcd", "crp2d", "crad", "avrq-m"] {
+            let err = run_algorithm(alg, &inst, 3.0, &flags).expect_err(alg);
+            assert_eq!(err.exit_code(), 1, "{alg}: {err}");
+        }
     }
 
     #[test]
@@ -337,8 +435,27 @@ mod tests {
     }
 
     #[test]
+    fn missing_file_is_an_io_error() {
+        let mut flags = Flags::new();
+        flags.insert("in".into(), "/definitely/not/a/file.json".into());
+        let err = load_instance(&flags).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)), "{err}");
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
     fn bounds_rejects_bad_alpha() {
         assert!(bounds(&args(&["--alpha", "1.0"])).is_err());
         assert!(bounds(&args(&["--alpha", "2.0"])).is_ok());
+    }
+
+    #[test]
+    fn bad_alpha_is_bad_input_everywhere() {
+        for a in ["0.5", "1.0", "NaN", "inf", "-2"] {
+            let mut flags = Flags::new();
+            flags.insert("alpha".into(), a.into());
+            let err = flag_alpha(&flags).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "alpha {a}: {err}");
+        }
     }
 }

@@ -11,17 +11,26 @@
 //! * `qbss rho` — print the §4.2 ρ-comparison table.
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
-//! dependency set to the approved list.
+//! workspace dependency-free.
+//!
+//! Exit codes are part of the contract (scripts rely on them):
+//! `0` success, `1` algorithm failure on valid input, `2` bad input
+//! (flags or instance data), `3` file-system failure.
+
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod commands;
 
 use std::process::ExitCode;
 
+use commands::CliError;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{}", commands::USAGE);
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let result = match cmd.as_str() {
         "generate" => commands::generate(rest),
@@ -33,13 +42,13 @@ fn main() -> ExitCode {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown subcommand `{other}`\n{}", commands::USAGE)),
+        other => Err(CliError::Input(format!("unknown subcommand `{other}`\n{}", commands::USAGE))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

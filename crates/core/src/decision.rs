@@ -9,16 +9,16 @@
 //! ties slices back to windows.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use speed_scaling::job::{Instance, Job, JobId};
 use speed_scaling::schedule::WorkRequirement;
 use speed_scaling::time::{Interval, EPS};
 
+use crate::error::ValidationError;
 use crate::model::QbssInstance;
 use crate::policy::Strategy;
 
 /// The two answers for one job.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Decision {
     /// The job the decision applies to.
     pub job: JobId,
@@ -59,41 +59,64 @@ pub fn decide_all<R: Rng + ?Sized>(
         .collect()
 }
 
-/// Builds the derived classical instance for a decision vector.
-///
-/// Panics if a decision references an unknown job or has an invalid
-/// split — decisions are machine-made.
-pub fn derived_instance(inst: &QbssInstance, decisions: &[Decision]) -> Instance {
+/// Builds the derived classical instance for a decision vector,
+/// reporting inconsistent decisions (unknown job, missing or
+/// out-of-window split) as typed errors.
+pub fn try_derived_instance(
+    inst: &QbssInstance,
+    decisions: &[Decision],
+) -> Result<Instance, ValidationError> {
     let mut jobs = Vec::with_capacity(2 * decisions.len());
     for dec in decisions {
-        let j = inst.job(dec.job).expect("decision for unknown job");
+        let Some(j) = inst.job(dec.job) else {
+            return Err(ValidationError::UnknownJob { job: dec.job });
+        };
         if dec.queried {
-            let tau = dec.split.expect("queried decision needs a split");
-            assert!(
-                tau > j.release + EPS && tau < j.deadline - EPS,
-                "split {tau} outside ({}, {}) for job {}",
-                j.release,
-                j.deadline,
-                j.id
-            );
+            let Some(tau) = dec.split else {
+                return Err(ValidationError::MissingSplit { job: j.id });
+            };
+            if !(tau > j.release + EPS && tau < j.deadline - EPS) {
+                return Err(ValidationError::SplitOutsideWindow {
+                    job: j.id,
+                    tau,
+                    release: j.release,
+                    deadline: j.deadline,
+                });
+            }
             jobs.push(Job::new(j.id, j.release, tau, j.query_load));
             jobs.push(Job::new(j.id, tau, j.deadline, j.reveal_exact()));
         } else {
             jobs.push(Job::new(j.id, j.release, j.deadline, j.upper_bound));
         }
     }
-    Instance::new(jobs)
+    Ok(Instance::new(jobs))
+}
+
+/// Builds the derived classical instance for a decision vector.
+///
+/// Panics if a decision references an unknown job or has an invalid
+/// split — use [`try_derived_instance`] for untrusted decision vectors.
+pub fn derived_instance(inst: &QbssInstance, decisions: &[Decision]) -> Instance {
+    try_derived_instance(inst, decisions).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible version of [`derived_requirements`].
+pub fn try_derived_requirements(
+    inst: &QbssInstance,
+    decisions: &[Decision],
+) -> Result<Vec<WorkRequirement>, ValidationError> {
+    Ok(try_derived_instance(inst, decisions)?
+        .jobs
+        .iter()
+        .map(|j| WorkRequirement::new(j.id, Interval::new(j.release, j.deadline), j.work))
+        .collect())
 }
 
 /// The work requirements the final schedule must satisfy under a
 /// decision vector (what [`crate::outcome::QbssOutcome::validate`]
 /// checks against). Identical windows/works to [`derived_instance`].
 pub fn derived_requirements(inst: &QbssInstance, decisions: &[Decision]) -> Vec<WorkRequirement> {
-    derived_instance(inst, decisions)
-        .jobs
-        .iter()
-        .map(|j| WorkRequirement::new(j.id, Interval::new(j.release, j.deadline), j.work))
-        .collect()
+    try_derived_requirements(inst, decisions).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Total load `p_j` executed under the decisions
@@ -178,6 +201,26 @@ mod tests {
         let i = inst();
         let d = vec![Decision::query(0, 5.0), Decision::no_query(1)];
         let _ = derived_instance(&i, &d);
+    }
+
+    #[test]
+    fn try_derived_instance_reports_typed_errors() {
+        let i = inst();
+        let bad_split = vec![Decision::query(0, 5.0), Decision::no_query(1)];
+        assert!(matches!(
+            try_derived_instance(&i, &bad_split),
+            Err(ValidationError::SplitOutsideWindow { job: 0, .. })
+        ));
+        let unknown = vec![Decision::no_query(7), Decision::no_query(1)];
+        assert!(matches!(
+            try_derived_instance(&i, &unknown),
+            Err(ValidationError::UnknownJob { job: 7 })
+        ));
+        let no_split = vec![Decision { job: 0, queried: true, split: None }];
+        assert!(matches!(
+            try_derived_instance(&i, &no_split),
+            Err(ValidationError::MissingSplit { job: 0 })
+        ));
     }
 
     #[test]

@@ -48,17 +48,23 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod decision;
+pub mod error;
 pub mod model;
 pub mod offline;
 pub mod online;
 pub mod oracle;
 pub mod outcome;
+pub mod pipeline;
 pub mod policy;
 pub mod sim;
 
 pub use decision::Decision;
+pub use error::{AlgorithmError, ModelError, ModelErrorKind, QbssError, ValidationError};
 pub use model::{QJob, QbssInstance, VisibleJob};
 pub use outcome::QbssOutcome;
+pub use pipeline::run_checked;
 pub use policy::{QueryRule, SplitRule, Strategy, INV_PHI, PHI};

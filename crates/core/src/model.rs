@@ -8,13 +8,21 @@
 //! contract that [`crate::outcome::QbssOutcome::validate`] enforces
 //! structurally (the exact work must be scheduled strictly after the
 //! query window).
+//!
+//! Construction is fallible: [`QJob::try_new`] returns a typed
+//! [`ModelError`] on any constraint violation; [`QJob::new`] is the
+//! panicking convenience wrapper for literals in tests and examples.
+//! Untrusted jobs (parsers, fault injectors) are built with
+//! [`QJob::new_unchecked`] and funneled through
+//! [`QbssInstance::validate`].
 
-use serde::{Deserialize, Serialize};
 use speed_scaling::job::{Instance, Job, JobId};
 use speed_scaling::time::{Interval, EPS};
 
+use crate::error::{ModelError, MAX_MAGNITUDE, MIN_MAGNITUDE};
+
 /// A QBSS job `(r, d, c, w, w*)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QJob {
     /// Stable identifier, unique within a [`QbssInstance`].
     pub id: JobId,
@@ -33,32 +41,84 @@ pub struct QJob {
 
 impl QJob {
     /// Creates a job, validating the model constraints
-    /// `0 < c ≤ w`, `0 ≤ w* ≤ w`, `r < d`.
-    pub fn new(id: JobId, release: f64, deadline: f64, query_load: f64, upper_bound: f64, exact: f64) -> Self {
+    /// `0 < c ≤ w`, `0 ≤ w* ≤ w`, `r < d`, all fields finite and of
+    /// sane magnitude.
+    pub fn try_new(
+        id: JobId,
+        release: f64,
+        deadline: f64,
+        query_load: f64,
+        upper_bound: f64,
+        exact: f64,
+    ) -> Result<Self, ModelError> {
         let j = Self { id, release, deadline, query_load, upper_bound, exact };
-        j.check().expect("malformed QBSS job");
-        j
+        j.validate()?;
+        Ok(j)
     }
 
-    fn check(&self) -> Result<(), String> {
+    /// Panicking convenience wrapper around [`QJob::try_new`] for
+    /// literals in tests, examples and adversarial constructions.
+    pub fn new(
+        id: JobId,
+        release: f64,
+        deadline: f64,
+        query_load: f64,
+        upper_bound: f64,
+        exact: f64,
+    ) -> Self {
+        match Self::try_new(id, release, deadline, query_load, upper_bound, exact) {
+            Ok(j) => j,
+            Err(e) => panic!("malformed QBSS job: {e}"),
+        }
+    }
+
+    /// Creates a job **without** validating it. For parsers and fault
+    /// injectors that need to represent malformed jobs; everything built
+    /// this way must pass through [`QbssInstance::validate`] (or
+    /// [`QJob::validate`]) before reaching an algorithm.
+    pub fn new_unchecked(
+        id: JobId,
+        release: f64,
+        deadline: f64,
+        query_load: f64,
+        upper_bound: f64,
+        exact: f64,
+    ) -> Self {
+        Self { id, release, deadline, query_load, upper_bound, exact }
+    }
+
+    /// Checks the model constraints, reporting the first violation.
+    pub fn validate(&self) -> Result<(), ModelError> {
         let fields = [self.release, self.deadline, self.query_load, self.upper_bound, self.exact];
         if fields.iter().any(|v| !v.is_finite()) {
-            return Err(format!("job {}: non-finite field", self.id));
+            return Err(ModelError::NonFiniteField { job: self.id });
+        }
+        if let Some(&v) = fields
+            .iter()
+            .find(|v| v.abs() != 0.0 && !(MIN_MAGNITUDE..=MAX_MAGNITUDE).contains(&v.abs()))
+        {
+            return Err(ModelError::MagnitudeOutOfRange { job: self.id, value: v });
         }
         if self.deadline <= self.release + EPS {
-            return Err(format!("job {}: empty window", self.id));
+            return Err(ModelError::EmptyWindow {
+                job: self.id,
+                release: self.release,
+                deadline: self.deadline,
+            });
         }
         if !(self.query_load > 0.0 && self.query_load <= self.upper_bound + EPS) {
-            return Err(format!(
-                "job {}: query load must be in (0, w] (c={}, w={})",
-                self.id, self.query_load, self.upper_bound
-            ));
+            return Err(ModelError::QueryLoadRange {
+                job: self.id,
+                query_load: self.query_load,
+                upper_bound: self.upper_bound,
+            });
         }
         if self.exact < 0.0 || self.exact > self.upper_bound + EPS {
-            return Err(format!(
-                "job {}: exact load must be in [0, w] (w*={}, w={})",
-                self.id, self.exact, self.upper_bound
-            ));
+            return Err(ModelError::ExactLoadRange {
+                job: self.id,
+                exact: self.exact,
+                upper_bound: self.upper_bound,
+            });
         }
         Ok(())
     }
@@ -117,7 +177,7 @@ impl QJob {
 }
 
 /// The information available about a job before its query completes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VisibleJob {
     /// Stable identifier.
     pub id: JobId,
@@ -132,7 +192,7 @@ pub struct VisibleJob {
 }
 
 /// A QBSS instance: a set of [`QJob`]s with unique ids.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QbssInstance {
     /// The jobs.
     pub jobs: Vec<QJob>,
@@ -142,6 +202,13 @@ impl QbssInstance {
     /// Creates an instance (not validated; see [`QbssInstance::validate`]).
     pub fn new(jobs: Vec<QJob>) -> Self {
         Self { jobs }
+    }
+
+    /// Creates a validated instance.
+    pub fn try_new(jobs: Vec<QJob>) -> Result<Self, ModelError> {
+        let inst = Self { jobs };
+        inst.validate()?;
+        Ok(inst)
     }
 
     /// Number of jobs.
@@ -157,15 +224,14 @@ impl QbssInstance {
     }
 
     /// Validates every job and id uniqueness.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ModelError> {
         let mut ids: Vec<JobId> = self.jobs.iter().map(|j| j.id).collect();
         ids.sort_unstable();
-        ids.dedup();
-        if ids.len() != self.jobs.len() {
-            return Err("duplicate job ids".into());
+        if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(ModelError::DuplicateId { job: w[0] });
         }
         for j in &self.jobs {
-            j.check()?;
+            j.validate()?;
         }
         Ok(())
     }
@@ -220,6 +286,7 @@ impl FromIterator<QJob> for QbssInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ModelErrorKind;
 
     #[test]
     fn p_star_picks_cheaper_alternative() {
@@ -263,12 +330,46 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_typed_variants() {
+        let kind = |r, d, c, w, e| {
+            QJob::try_new(9, r, d, c, w, e).unwrap_err().kind()
+        };
+        assert_eq!(kind(0.0, f64::NAN, 0.5, 1.0, 0.5), ModelErrorKind::NonFiniteField);
+        assert_eq!(kind(0.0, f64::INFINITY, 0.5, 1.0, 0.5), ModelErrorKind::NonFiniteField);
+        assert_eq!(kind(1.0, 1.0, 0.5, 1.0, 0.5), ModelErrorKind::EmptyWindow);
+        assert_eq!(kind(2.0, 1.0, 0.5, 1.0, 0.5), ModelErrorKind::EmptyWindow);
+        assert_eq!(kind(0.0, 1.0, 0.0, 1.0, 0.5), ModelErrorKind::QueryLoadRange);
+        assert_eq!(kind(0.0, 1.0, -0.5, 1.0, 0.5), ModelErrorKind::QueryLoadRange);
+        assert_eq!(kind(0.0, 1.0, 2.0, 1.0, 0.5), ModelErrorKind::QueryLoadRange);
+        assert_eq!(kind(0.0, 1.0, 0.5, 1.0, -0.1), ModelErrorKind::ExactLoadRange);
+        assert_eq!(kind(0.0, 1.0, 0.5, 1.0, 1.5), ModelErrorKind::ExactLoadRange);
+        assert_eq!(
+            QJob::try_new(9, 0.0, 1e300, 0.5, 1.0, 0.5).unwrap_err().kind(),
+            ModelErrorKind::MagnitudeOutOfRange
+        );
+        assert_eq!(
+            QJob::try_new(9, 0.0, 1.0, 0.5, 1.0, 5e-310).unwrap_err().kind(),
+            ModelErrorKind::MagnitudeOutOfRange
+        );
+        assert!(QJob::try_new(9, 0.0, 1.0, 0.5, 1.0, 0.0).is_ok()); // exact zero is fine
+    }
+
+    #[test]
+    fn new_unchecked_defers_validation() {
+        let bad = QJob::new_unchecked(0, 0.0, 1.0, f64::NAN, 1.0, 0.5);
+        assert_eq!(bad.validate().unwrap_err().kind(), ModelErrorKind::NonFiniteField);
+        let inst = QbssInstance::new(vec![bad]);
+        assert!(inst.validate().is_err());
+    }
+
+    #[test]
     fn duplicate_ids_detected() {
         let inst = QbssInstance::new(vec![
             QJob::new(0, 0.0, 1.0, 0.5, 1.0, 0.5),
             QJob::new(0, 0.0, 1.0, 0.5, 1.0, 0.5),
         ]);
-        assert!(inst.validate().is_err());
+        assert_eq!(inst.validate().unwrap_err().kind(), ModelErrorKind::DuplicateId);
+        assert!(QbssInstance::try_new(inst.jobs).is_err());
     }
 
     #[test]
@@ -297,14 +398,5 @@ mod tests {
         let v = j.visible();
         assert_eq!(v.upper_bound, 2.0);
         assert_eq!(v.query_load, 0.5);
-    }
-
-    #[test]
-    fn serde_roundtrip_preserves_exact() {
-        let inst = QbssInstance::new(vec![QJob::new(0, 0.0, 1.0, 0.5, 2.0, 0.25)]);
-        let json = serde_json::to_string(&inst).expect("serialize");
-        let back: QbssInstance = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(back, inst);
-        assert!((back.jobs[0].reveal_exact() - 0.25).abs() < 1e-12);
     }
 }

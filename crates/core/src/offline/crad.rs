@@ -6,10 +6,11 @@
 //! (windows only shrank), and Lemma 4.14 bounds the rounding loss by
 //! `2^α`, giving the `(8φ)^α` ratio of Corollary 4.15.
 
+use crate::error::AlgorithmError;
 use crate::model::{QJob, QbssInstance};
 use crate::outcome::QbssOutcome;
 
-use super::crp2d::crp2d;
+use super::crp2d::try_crp2d;
 
 /// `max{2^i | 2^i ≤ d}` for positive `d` (integer `i`, any sign). Exact
 /// powers map to themselves.
@@ -48,12 +49,37 @@ pub fn rounded_instance(inst: &QbssInstance) -> QbssInstance {
 /// *original* instance, since every rounded window is contained in the
 /// original one.
 pub fn crad(inst: &QbssInstance) -> QbssOutcome {
-    assert!(!inst.is_empty(), "CRAD needs at least one job");
-    assert!(inst.has_common_release(0.0), "CRAD requires release times 0");
-    let rounded = rounded_instance(inst);
-    let mut out = crp2d(&rounded);
-    out.algorithm = "CRAD".into();
-    out
+    try_crad(inst).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible version of [`crad`]: validates the instance, checks the
+/// common-release scope, and reports (rather than panics on) rounded
+/// deadlines that leave the representable model range.
+pub fn try_crad(inst: &QbssInstance) -> Result<QbssOutcome, AlgorithmError> {
+    const ALG: &str = "CRAD";
+    inst.validate()?;
+    if inst.is_empty() {
+        return Err(AlgorithmError::EmptyInstance { algorithm: ALG });
+    }
+    if !inst.has_common_release(0.0) {
+        return Err(AlgorithmError::UnsupportedStructure {
+            algorithm: ALG,
+            reason: "release times 0".into(),
+        });
+    }
+    let mut jobs = Vec::with_capacity(inst.len());
+    for j in &inst.jobs {
+        let d = round_down_to_power_of_two(j.deadline);
+        let rounded = QJob::try_new(j.id, j.release, d, j.query_load, j.upper_bound, j.reveal_exact())
+            .map_err(|e| AlgorithmError::UnsupportedStructure {
+                algorithm: ALG,
+                reason: format!("deadlines that survive power-of-two rounding ({e})"),
+            })?;
+        jobs.push(rounded);
+    }
+    let mut out = try_crp2d(&QbssInstance::new(jobs))?;
+    out.algorithm = ALG.into();
+    Ok(out)
 }
 
 #[cfg(test)]

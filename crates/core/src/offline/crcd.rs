@@ -14,6 +14,7 @@ use speed_scaling::schedule::{Schedule, Slice};
 use speed_scaling::time::EPS;
 
 use crate::decision::Decision;
+use crate::error::AlgorithmError;
 use crate::model::QbssInstance;
 use crate::outcome::QbssOutcome;
 use crate::policy::QueryRule;
@@ -41,14 +42,46 @@ pub fn crcd(inst: &QbssInstance) -> QbssOutcome {
     crcd_with_rule(inst, QueryRule::GoldenRatio)
 }
 
+/// Fallible version of [`crcd`].
+pub fn try_crcd(inst: &QbssInstance) -> Result<QbssOutcome, AlgorithmError> {
+    try_crcd_with_rule(inst, QueryRule::GoldenRatio)
+}
+
 /// CRCD with an arbitrary *deterministic* query rule — the
-/// query-threshold ablation entry point.
+/// query-threshold ablation entry point. Panicking wrapper around
+/// [`try_crcd_with_rule`].
 pub fn crcd_with_rule(inst: &QbssInstance, rule: QueryRule) -> QbssOutcome {
-    assert!(!rule.is_randomized(), "CRCD is a deterministic algorithm");
-    assert!(!inst.is_empty(), "CRCD needs at least one job");
+    try_crcd_with_rule(inst, rule).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible version of [`crcd_with_rule`]: validates the instance and
+/// checks the algorithm's scope (common release, common deadline,
+/// deterministic rule) before any arithmetic.
+pub fn try_crcd_with_rule(
+    inst: &QbssInstance,
+    rule: QueryRule,
+) -> Result<QbssOutcome, AlgorithmError> {
+    const ALG: &str = "CRCD";
+    if rule.is_randomized() {
+        return Err(AlgorithmError::RandomizedRule { algorithm: ALG });
+    }
+    inst.validate()?;
+    if inst.is_empty() {
+        return Err(AlgorithmError::EmptyInstance { algorithm: ALG });
+    }
     let r0 = inst.jobs[0].release;
-    assert!(inst.has_common_release(r0), "CRCD requires a common release");
-    let d = inst.common_deadline().expect("CRCD requires a common deadline");
+    if !inst.has_common_release(r0) {
+        return Err(AlgorithmError::UnsupportedStructure {
+            algorithm: ALG,
+            reason: "a common release".into(),
+        });
+    }
+    let Some(d) = inst.common_deadline() else {
+        return Err(AlgorithmError::UnsupportedStructure {
+            algorithm: ALG,
+            reason: "a common deadline".into(),
+        });
+    };
     let mid = 0.5 * (r0 + d);
     let half = mid - r0;
 
@@ -99,7 +132,7 @@ pub fn crcd_with_rule(inst: &QbssInstance, rule: QueryRule) -> QbssOutcome {
         })
         .collect();
 
-    QbssOutcome { algorithm: "CRCD".into(), decisions, schedule }
+    Ok(QbssOutcome { algorithm: ALG.into(), decisions, schedule })
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ use speed_scaling::time::{dedup_times, Interval, EPS};
 use speed_scaling::yds::yds_profile;
 
 use crate::decision::Decision;
+use crate::error::AlgorithmError;
 use crate::model::QbssInstance;
 use crate::outcome::QbssOutcome;
 
@@ -41,14 +42,30 @@ pub fn is_power_of_two_deadline(d: f64) -> bool {
 /// Panics if the instance is empty, has a non-zero release, or has a
 /// deadline that is not a power of two.
 pub fn crp2d(inst: &QbssInstance) -> QbssOutcome {
-    assert!(!inst.is_empty(), "CRP2D needs at least one job");
-    assert!(inst.has_common_release(0.0), "CRP2D requires release times 0");
+    try_crp2d(inst).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible version of [`crp2d`]: validates the instance and checks the
+/// algorithm's scope before any arithmetic.
+pub fn try_crp2d(inst: &QbssInstance) -> Result<QbssOutcome, AlgorithmError> {
+    const ALG: &str = "CRP2D";
+    inst.validate()?;
+    if inst.is_empty() {
+        return Err(AlgorithmError::EmptyInstance { algorithm: ALG });
+    }
+    if !inst.has_common_release(0.0) {
+        return Err(AlgorithmError::UnsupportedStructure {
+            algorithm: ALG,
+            reason: "release times 0".into(),
+        });
+    }
     for j in &inst.jobs {
-        assert!(
-            is_power_of_two_deadline(j.deadline),
-            "CRP2D requires power-of-two deadlines, got {}",
-            j.deadline
-        );
+        if !is_power_of_two_deadline(j.deadline) {
+            return Err(AlgorithmError::UnsupportedStructure {
+                algorithm: ALG,
+                reason: format!("power-of-two deadlines, got {}", j.deadline),
+            });
+        }
     }
 
     // Partition and the Q ∪ W base set.
@@ -110,10 +127,12 @@ pub fn crp2d(inst: &QbssInstance) -> QbssOutcome {
             ));
         }
     }
+    // Feasible by construction; a miss here is a numerical breakdown,
+    // reported as a typed error rather than a panic.
     let schedule = edf_schedule(&tasks, &profile, 0)
-        .expect("CRP2D's combined profile is feasible by construction");
+        .map_err(|source| AlgorithmError::Infeasible { algorithm: ALG, source })?;
 
-    QbssOutcome { algorithm: "CRP2D".into(), decisions, schedule }
+    Ok(QbssOutcome { algorithm: ALG.into(), decisions, schedule })
 }
 
 #[cfg(test)]

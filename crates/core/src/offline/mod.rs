@@ -17,7 +17,7 @@ pub mod crcd;
 pub mod crp2d;
 pub mod transform;
 
-pub use crad::{crad, round_down_to_power_of_two, rounded_instance};
-pub use crcd::{crcd, crcd_with_rule};
-pub use crp2d::{crp2d, is_power_of_two_deadline};
+pub use crad::{crad, round_down_to_power_of_two, rounded_instance, try_crad};
+pub use crcd::{crcd, crcd_with_rule, try_crcd, try_crcd_with_rule};
+pub use crp2d::{crp2d, is_power_of_two_deadline, try_crp2d};
 pub use transform::{energy_chain, in_query_set, instance_prime, instance_prime_half, instance_star};

@@ -14,6 +14,7 @@ use speed_scaling::avr::avr_profile;
 use speed_scaling::edf::{edf_schedule, EdfTask};
 use speed_scaling::profile::SpeedProfile;
 
+use crate::error::AlgorithmError;
 use crate::model::QbssInstance;
 use crate::outcome::QbssOutcome;
 use crate::policy::{NoRandomness, Strategy};
@@ -37,16 +38,38 @@ pub fn avrq(inst: &QbssInstance) -> QbssOutcome {
     avrq_with(inst, Strategy::always_equal())
 }
 
+/// Fallible version of [`avrq`].
+pub fn try_avrq(inst: &QbssInstance) -> Result<QbssOutcome, AlgorithmError> {
+    try_avrq_with(inst, Strategy::always_equal())
+}
+
 /// AVRQ with an arbitrary deterministic strategy — the entry point of
 /// the split-point and query-threshold ablations (E10). The paper's
-/// AVRQ is `avrq_with(inst, Strategy::always_equal())`.
+/// AVRQ is `avrq_with(inst, Strategy::always_equal())`. Panicking
+/// wrapper around [`try_avrq_with`].
 pub fn avrq_with(inst: &QbssInstance, strategy: Strategy) -> QbssOutcome {
-    assert!(!strategy.query.is_randomized(), "AVRQ variants are deterministic");
+    try_avrq_with(inst, strategy).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible version of [`avrq_with`]: validates the instance and
+/// rejects randomized rules and empty input with typed errors.
+pub fn try_avrq_with(
+    inst: &QbssInstance,
+    strategy: Strategy,
+) -> Result<QbssOutcome, AlgorithmError> {
+    const ALG: &str = "AVRQ";
+    if strategy.query.is_randomized() {
+        return Err(AlgorithmError::RandomizedRule { algorithm: ALG });
+    }
+    inst.validate()?;
+    if inst.is_empty() {
+        return Err(AlgorithmError::EmptyInstance { algorithm: ALG });
+    }
     let (decisions, derived) = online_derive(inst, strategy, &mut NoRandomness);
     let profile = avr_profile(&derived);
     let schedule = edf_schedule(&EdfTask::from_instance(&derived), &profile, 0)
-        .expect("the AVR profile of the derived instance is feasible");
-    QbssOutcome { algorithm: "AVRQ".into(), decisions, schedule }
+        .map_err(|source| AlgorithmError::Infeasible { algorithm: ALG, source })?;
+    Ok(QbssOutcome { algorithm: ALG.into(), decisions, schedule })
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 use speed_scaling::multi::{avr_m, AvrMResult};
 use speed_scaling::profile::SpeedProfile;
 
+use crate::error::AlgorithmError;
 use crate::model::QbssInstance;
 use crate::outcome::QbssOutcome;
 use crate::policy::{NoRandomness, Strategy};
@@ -42,12 +43,38 @@ impl AvrqMResult {
 
 /// Runs AVRQ(m) on `m` machines.
 pub fn avrq_m(inst: &QbssInstance, m: usize) -> AvrqMResult {
+    try_avrq_m(inst, m).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible version of [`avrq_m`]: validates the instance and rejects
+/// empty input and `m = 0` with typed errors.
+pub fn try_avrq_m(inst: &QbssInstance, m: usize) -> Result<AvrqMResult, AlgorithmError> {
+    const ALG: &str = "AVRQ(m)";
+    check_multi_scope(inst, m, ALG)?;
     let (decisions, derived) = online_derive(inst, Strategy::always_equal(), &mut NoRandomness);
     let res: AvrMResult = avr_m(&derived, m);
-    AvrqMResult {
-        outcome: QbssOutcome { algorithm: "AVRQ(m)".into(), decisions, schedule: res.schedule },
+    Ok(AvrqMResult {
+        outcome: QbssOutcome { algorithm: ALG.into(), decisions, schedule: res.schedule },
         machine_profiles: res.machine_profiles,
+    })
+}
+
+fn check_multi_scope(
+    inst: &QbssInstance,
+    m: usize,
+    algorithm: &'static str,
+) -> Result<(), AlgorithmError> {
+    inst.validate()?;
+    if inst.is_empty() {
+        return Err(AlgorithmError::EmptyInstance { algorithm });
     }
+    if m == 0 {
+        return Err(AlgorithmError::UnsupportedStructure {
+            algorithm,
+            reason: "at least one machine".into(),
+        });
+    }
+    Ok(())
 }
 
 /// The benchmark AVR*(m): AVR(m) on the clairvoyant instance (the
@@ -62,8 +89,18 @@ pub fn avr_star_m(inst: &QbssInstance, m: usize) -> AvrMResult {
 /// job is dispatched to one machine at its release (greedy
 /// least-density) and both of its derived parts stay there.
 pub fn avrq_m_nonmig(inst: &QbssInstance, m: usize) -> AvrqMResult {
+    try_avrq_m_nonmig(inst, m).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible version of [`avrq_m_nonmig`].
+pub fn try_avrq_m_nonmig(
+    inst: &QbssInstance,
+    m: usize,
+) -> Result<AvrqMResult, AlgorithmError> {
     use speed_scaling::multi::avr_m_nonmig;
 
+    const ALG: &str = "AVRQ(m)-nonmig";
+    check_multi_scope(inst, m, ALG)?;
     let (decisions, derived) = online_derive(inst, Strategy::always_equal(), &mut NoRandomness);
     // Dispatch whole original jobs: group the derived jobs by their
     // originating id so query and exact work share a machine. We run
@@ -116,10 +153,10 @@ pub fn avrq_m_nonmig(inst: &QbssInstance, m: usize) -> AvrqMResult {
         }
     }
 
-    AvrqMResult {
-        outcome: QbssOutcome { algorithm: "AVRQ(m)-nonmig".into(), decisions, schedule },
+    Ok(AvrqMResult {
+        outcome: QbssOutcome { algorithm: ALG.into(), decisions, schedule },
         machine_profiles,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use speed_scaling::bkp::bkp_profile;
 use speed_scaling::edf::{edf_schedule, EdfTask};
 use speed_scaling::profile::SpeedProfile;
 
+use crate::error::AlgorithmError;
 use crate::model::QbssInstance;
 use crate::outcome::QbssOutcome;
 use crate::policy::{NoRandomness, Strategy};
@@ -36,16 +37,38 @@ pub fn bkpq(inst: &QbssInstance) -> QbssOutcome {
     bkpq_with(inst, Strategy::golden_equal())
 }
 
+/// Fallible version of [`bkpq`].
+pub fn try_bkpq(inst: &QbssInstance) -> Result<QbssOutcome, AlgorithmError> {
+    try_bkpq_with(inst, Strategy::golden_equal())
+}
+
 /// BKPQ with an arbitrary deterministic strategy — the entry point of
 /// the split-point and query-threshold ablations (E10). The paper's
-/// BKPQ is `bkpq_with(inst, Strategy::golden_equal())`.
+/// BKPQ is `bkpq_with(inst, Strategy::golden_equal())`. Panicking
+/// wrapper around [`try_bkpq_with`].
 pub fn bkpq_with(inst: &QbssInstance, strategy: Strategy) -> QbssOutcome {
-    assert!(!strategy.query.is_randomized(), "BKPQ variants are deterministic");
+    try_bkpq_with(inst, strategy).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible version of [`bkpq_with`]: validates the instance and
+/// rejects randomized rules and empty input with typed errors.
+pub fn try_bkpq_with(
+    inst: &QbssInstance,
+    strategy: Strategy,
+) -> Result<QbssOutcome, AlgorithmError> {
+    const ALG: &str = "BKPQ";
+    if strategy.query.is_randomized() {
+        return Err(AlgorithmError::RandomizedRule { algorithm: ALG });
+    }
+    inst.validate()?;
+    if inst.is_empty() {
+        return Err(AlgorithmError::EmptyInstance { algorithm: ALG });
+    }
     let (decisions, derived) = online_derive(inst, strategy, &mut NoRandomness);
     let profile = bkp_profile(&derived);
     let schedule = edf_schedule(&EdfTask::from_instance(&derived), &profile, 0)
-        .expect("the BKP profile of the derived instance is feasible");
-    QbssOutcome { algorithm: "BKPQ".into(), decisions, schedule }
+        .map_err(|source| AlgorithmError::Infeasible { algorithm: ALG, source })?;
+    Ok(QbssOutcome { algorithm: ALG.into(), decisions, schedule })
 }
 
 /// The *randomized* BKPQ of the Lemma 4.4 experiments: each job is
@@ -58,15 +81,29 @@ pub fn bkpq_randomized<R: rand::Rng + ?Sized>(
     p_query: f64,
     rng: &mut R,
 ) -> QbssOutcome {
+    try_bkpq_randomized(inst, p_query, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible version of [`bkpq_randomized`].
+pub fn try_bkpq_randomized<R: rand::Rng + ?Sized>(
+    inst: &QbssInstance,
+    p_query: f64,
+    rng: &mut R,
+) -> Result<QbssOutcome, AlgorithmError> {
+    const ALG: &str = "BKPQ-rand";
+    inst.validate()?;
+    if inst.is_empty() {
+        return Err(AlgorithmError::EmptyInstance { algorithm: ALG });
+    }
     let strategy = Strategy {
-        query: crate::policy::QueryRule::Probabilistic(p_query),
+        query: crate::policy::QueryRule::Probabilistic(p_query.clamp(0.0, 1.0)),
         split: crate::policy::SplitRule::EqualWindow,
     };
     let (decisions, derived) = online_derive(inst, strategy, rng);
     let profile = bkp_profile(&derived);
     let schedule = edf_schedule(&EdfTask::from_instance(&derived), &profile, 0)
-        .expect("the BKP profile of the derived instance is feasible");
-    QbssOutcome { algorithm: "BKPQ-rand".into(), decisions, schedule }
+        .map_err(|source| AlgorithmError::Infeasible { algorithm: ALG, source })?;
+    Ok(QbssOutcome { algorithm: ALG.into(), decisions, schedule })
 }
 
 #[cfg(test)]

@@ -33,11 +33,16 @@ use crate::decision::{decide_all, derived_instance, Decision};
 use crate::model::QbssInstance;
 use crate::policy::Strategy;
 
-pub use avrq::{avr_star_profile, avrq, avrq_profile, avrq_with};
-pub use avrq_m::{avr_star_m, avrq_m, avrq_m_nonmig, AvrqMResult};
-pub use bkpq::{bkp_star_profile, bkpq, bkpq_profile, bkpq_randomized, bkpq_with};
-pub use oaq::{oaq, oaq_profile};
-pub use oaq_m::{oa_star_m, oaq_m};
+pub use avrq::{avr_star_profile, avrq, avrq_profile, avrq_with, try_avrq, try_avrq_with};
+pub use avrq_m::{
+    avr_star_m, avrq_m, avrq_m_nonmig, try_avrq_m, try_avrq_m_nonmig, AvrqMResult,
+};
+pub use bkpq::{
+    bkp_star_profile, bkpq, bkpq_profile, bkpq_randomized, bkpq_with, try_bkpq,
+    try_bkpq_randomized, try_bkpq_with,
+};
+pub use oaq::{oaq, oaq_profile, try_oaq};
+pub use oaq_m::{oa_star_m, oaq_m, try_oaq_m};
 
 /// Applies `strategy` at each arrival and materializes the derived
 /// classical instance — the shared first phase of every online

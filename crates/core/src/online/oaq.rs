@@ -14,6 +14,7 @@ use speed_scaling::edf::{edf_schedule, EdfTask};
 use speed_scaling::oa::oa_profile;
 use speed_scaling::profile::SpeedProfile;
 
+use crate::error::AlgorithmError;
 use crate::model::QbssInstance;
 use crate::outcome::QbssOutcome;
 use crate::policy::{NoRandomness, Strategy};
@@ -28,11 +29,22 @@ pub fn oaq_profile(inst: &QbssInstance) -> SpeedProfile {
 
 /// Runs OAQ and returns the validated outcome.
 pub fn oaq(inst: &QbssInstance) -> QbssOutcome {
+    try_oaq(inst).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible version of [`oaq`]: validates the instance and rejects
+/// empty input with typed errors.
+pub fn try_oaq(inst: &QbssInstance) -> Result<QbssOutcome, AlgorithmError> {
+    const ALG: &str = "OAQ";
+    inst.validate()?;
+    if inst.is_empty() {
+        return Err(AlgorithmError::EmptyInstance { algorithm: ALG });
+    }
     let (decisions, derived) = online_derive(inst, Strategy::golden_equal(), &mut NoRandomness);
     let profile = oa_profile(&derived);
     let schedule = edf_schedule(&EdfTask::from_instance(&derived), &profile, 0)
-        .expect("the OA profile of the derived instance is feasible");
-    QbssOutcome { algorithm: "OAQ".into(), decisions, schedule }
+        .map_err(|source| AlgorithmError::Infeasible { algorithm: ALG, source })?;
+    Ok(QbssOutcome { algorithm: ALG.into(), decisions, schedule })
 }
 
 #[cfg(test)]

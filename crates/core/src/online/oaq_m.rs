@@ -11,6 +11,7 @@
 use speed_scaling::multi::{oa_m, OaMResult};
 use speed_scaling::profile::SpeedProfile;
 
+use crate::error::AlgorithmError;
 use crate::model::QbssInstance;
 use crate::outcome::QbssOutcome;
 use crate::policy::{NoRandomness, Strategy};
@@ -21,12 +22,41 @@ use super::online_derive;
 /// Runs OAQ(m) on `m` machines with the given Frank–Wolfe planning
 /// budget per arrival (see [`mod@speed_scaling::multi::oa_m`]).
 pub fn oaq_m(inst: &QbssInstance, m: usize, alpha: f64, fw_iters: usize) -> AvrqMResult {
+    try_oaq_m(inst, m, alpha, fw_iters).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible version of [`oaq_m`]: validates the instance and rejects
+/// empty input, `m = 0`, and a non-finite or sub-1 `alpha` with typed
+/// errors.
+pub fn try_oaq_m(
+    inst: &QbssInstance,
+    m: usize,
+    alpha: f64,
+    fw_iters: usize,
+) -> Result<AvrqMResult, AlgorithmError> {
+    const ALG: &str = "OAQ(m)";
+    inst.validate()?;
+    if inst.is_empty() {
+        return Err(AlgorithmError::EmptyInstance { algorithm: ALG });
+    }
+    if m == 0 {
+        return Err(AlgorithmError::UnsupportedStructure {
+            algorithm: ALG,
+            reason: "at least one machine".into(),
+        });
+    }
+    if !alpha.is_finite() || alpha <= 1.0 {
+        return Err(AlgorithmError::UnsupportedStructure {
+            algorithm: ALG,
+            reason: format!("a finite power exponent α > 1, got {alpha}"),
+        });
+    }
     let (decisions, derived) = online_derive(inst, Strategy::golden_equal(), &mut NoRandomness);
     let res: OaMResult = oa_m(&derived, m, alpha, fw_iters);
-    AvrqMResult {
-        outcome: QbssOutcome { algorithm: "OAQ(m)".into(), decisions, schedule: res.schedule },
+    Ok(AvrqMResult {
+        outcome: QbssOutcome { algorithm: ALG.into(), decisions, schedule: res.schedule },
         machine_profiles: res.machine_profiles,
-    }
+    })
 }
 
 /// The clairvoyant OA(m) benchmark (OA(m) on `{(r, d, p*)}`).

@@ -8,16 +8,19 @@
 //! information model — a job's exact work `w*` can only be scheduled
 //! inside `(τ_j, d_j]`, i.e. strictly after its query window, so no
 //! algorithm can act on `w*` before having "paid" for the query.
+//!
+//! Validation failures are reported as typed [`ValidationError`]s in
+//! the style of [`speed_scaling::schedule::ScheduleError`].
 
-use serde::{Deserialize, Serialize};
 use speed_scaling::schedule::Schedule;
 use speed_scaling::time::EPS;
 
 use crate::decision::{derived_requirements, Decision};
+use crate::error::ValidationError;
 use crate::model::QbssInstance;
 
 /// The result of running a QBSS algorithm on an instance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QbssOutcome {
     /// Name of the producing algorithm (for reports).
     pub algorithm: String,
@@ -59,50 +62,47 @@ impl QbssOutcome {
 
     /// Full validation: decision sanity plus the structural schedule
     /// check described in the module docs.
-    pub fn validate(&self, inst: &QbssInstance) -> Result<(), String> {
+    ///
+    /// The decision checks run *before* the work requirements are
+    /// derived, so this never panics — even on outcomes whose decisions
+    /// are inconsistent with the instance.
+    pub fn validate(&self, inst: &QbssInstance) -> Result<(), ValidationError> {
         if self.decisions.len() != inst.len() {
-            return Err(format!(
-                "{}: {} decisions for {} jobs",
-                self.algorithm,
-                self.decisions.len(),
-                inst.len()
-            ));
+            return Err(ValidationError::DecisionCount {
+                got: self.decisions.len(),
+                expected: inst.len(),
+            });
         }
         let mut seen: Vec<bool> = vec![false; inst.len()];
         for dec in &self.decisions {
             let Some(pos) = inst.jobs.iter().position(|j| j.id == dec.job) else {
-                return Err(format!("{}: decision for unknown job {}", self.algorithm, dec.job));
+                return Err(ValidationError::UnknownJob { job: dec.job });
             };
             if seen[pos] {
-                return Err(format!("{}: duplicate decision for job {}", self.algorithm, dec.job));
+                return Err(ValidationError::DuplicateDecision { job: dec.job });
             }
             seen[pos] = true;
             let j = &inst.jobs[pos];
             match (dec.queried, dec.split) {
                 (true, Some(tau)) => {
                     if !(tau > j.release + EPS && tau < j.deadline - EPS) {
-                        return Err(format!(
-                            "{}: split {tau} outside ({}, {}) for job {}",
-                            self.algorithm, j.release, j.deadline, j.id
-                        ));
+                        return Err(ValidationError::SplitOutsideWindow {
+                            job: j.id,
+                            tau,
+                            release: j.release,
+                            deadline: j.deadline,
+                        });
                     }
                 }
-                (true, None) => {
-                    return Err(format!("{}: queried job {} without split", self.algorithm, j.id))
-                }
+                (true, None) => return Err(ValidationError::MissingSplit { job: j.id }),
                 (false, Some(_)) => {
-                    return Err(format!(
-                        "{}: split recorded for unqueried job {}",
-                        self.algorithm, j.id
-                    ))
+                    return Err(ValidationError::UnexpectedSplit { job: j.id })
                 }
                 (false, None) => {}
             }
         }
         let reqs = derived_requirements(inst, &self.decisions);
-        self.schedule
-            .check(&reqs)
-            .map_err(|e| format!("{}: schedule check failed: {e}", self.algorithm))
+        self.schedule.check(&reqs).map_err(ValidationError::from)
     }
 }
 
@@ -148,7 +148,7 @@ mod tests {
             decisions: vec![Decision::query(0, 1.0)],
             schedule,
         };
-        assert!(out.validate(&inst).is_err());
+        assert!(matches!(out.validate(&inst), Err(ValidationError::Schedule(_))));
     }
 
     #[test]
@@ -182,21 +182,52 @@ mod tests {
             decisions: vec![],
             schedule: Schedule::empty(1),
         };
-        assert!(out.validate(&inst).unwrap_err().contains("0 decisions"));
+        let err = out.validate(&inst).unwrap_err();
+        assert!(err.to_string().contains("0 decisions"));
+        assert!(matches!(err, ValidationError::DecisionCount { got: 0, expected: 1 }));
 
         let out = QbssOutcome {
             algorithm: "test".into(),
             decisions: vec![Decision { job: 0, queried: true, split: None }],
             schedule: Schedule::empty(1),
         };
-        assert!(out.validate(&inst).unwrap_err().contains("without split"));
+        let err = out.validate(&inst).unwrap_err();
+        assert!(err.to_string().contains("without split"));
+        assert!(matches!(err, ValidationError::MissingSplit { job: 0 }));
 
         let out = QbssOutcome {
             algorithm: "test".into(),
             decisions: vec![Decision { job: 0, queried: false, split: Some(1.0) }],
             schedule: Schedule::empty(1),
         };
-        assert!(out.validate(&inst).unwrap_err().contains("unqueried"));
+        let err = out.validate(&inst).unwrap_err();
+        assert!(err.to_string().contains("unqueried"));
+        assert!(matches!(err, ValidationError::UnexpectedSplit { job: 0 }));
+    }
+
+    #[test]
+    fn inconsistent_decisions_are_errors_not_panics() {
+        let inst = single_job_instance();
+        // Unknown job id in the decision list.
+        let out = QbssOutcome {
+            algorithm: "test".into(),
+            decisions: vec![Decision::no_query(42)],
+            schedule: Schedule::empty(1),
+        };
+        assert!(matches!(
+            out.validate(&inst),
+            Err(ValidationError::UnknownJob { job: 42 })
+        ));
+        // Split outside the open window.
+        let out = QbssOutcome {
+            algorithm: "test".into(),
+            decisions: vec![Decision::query(0, 5.0)],
+            schedule: Schedule::empty(1),
+        };
+        assert!(matches!(
+            out.validate(&inst),
+            Err(ValidationError::SplitOutsideWindow { job: 0, .. })
+        ));
     }
 
     #[test]

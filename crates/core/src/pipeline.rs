@@ -1,0 +1,163 @@
+//! The checked pipeline: validate → run → validate outcome → check
+//! finiteness.
+//!
+//! [`run_checked`] is the no-panic entry point the CLI and the chaos
+//! harness drive: any malformed instance, out-of-scope structure,
+//! numerical breakdown, or invalid outcome comes back as a typed
+//! [`QbssError`] instead of a panic. It also re-validates the produced
+//! outcome against the instance and rejects non-finite energies, so a
+//! caller that gets `Ok` holds a structurally sound, finite-cost
+//! schedule.
+
+use crate::error::QbssError;
+use crate::model::QbssInstance;
+use crate::offline::{try_crad, try_crcd, try_crp2d};
+use crate::online::{try_avrq, try_avrq_m, try_avrq_m_nonmig, try_bkpq, try_oaq, try_oaq_m};
+use crate::outcome::QbssOutcome;
+
+/// Which QBSS algorithm [`run_checked`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Offline, common release + common deadline.
+    Crcd,
+    /// Offline, common release + power-of-two deadlines.
+    Crp2d,
+    /// Offline, common release + arbitrary deadlines.
+    Crad,
+    /// Online, AVR substrate, always query.
+    Avrq,
+    /// Online, BKP substrate, golden-ratio rule.
+    Bkpq,
+    /// Online, OA substrate, golden-ratio rule.
+    Oaq,
+    /// Online, AVR(m) substrate on `m` machines.
+    AvrqM {
+        /// Number of machines.
+        m: usize,
+    },
+    /// Online, non-migratory AVR(m) variant on `m` machines.
+    AvrqMNonmig {
+        /// Number of machines.
+        m: usize,
+    },
+    /// Online, OA(m) substrate on `m` machines.
+    OaqM {
+        /// Number of machines.
+        m: usize,
+        /// Frank–Wolfe planning iterations per arrival.
+        fw_iters: usize,
+    },
+}
+
+impl Algorithm {
+    /// Display name, matching `QbssOutcome::algorithm`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Crcd => "CRCD",
+            Algorithm::Crp2d => "CRP2D",
+            Algorithm::Crad => "CRAD",
+            Algorithm::Avrq => "AVRQ",
+            Algorithm::Bkpq => "BKPQ",
+            Algorithm::Oaq => "OAQ",
+            Algorithm::AvrqM { .. } => "AVRQ(m)",
+            Algorithm::AvrqMNonmig { .. } => "AVRQ(m)-nonmig",
+            Algorithm::OaqM { .. } => "OAQ(m)",
+        }
+    }
+}
+
+/// Runs `algorithm` on `inst` with every guard engaged (see module
+/// docs). `alpha` is the power exponent used both by planning
+/// algorithms that need it (OA(m)) and by the final finiteness check.
+pub fn run_checked(
+    inst: &QbssInstance,
+    alpha: f64,
+    algorithm: Algorithm,
+) -> Result<QbssOutcome, QbssError> {
+    if !alpha.is_finite() || alpha <= 1.0 {
+        return Err(QbssError::InvalidAlpha { alpha });
+    }
+    inst.validate()?;
+    let outcome = match algorithm {
+        Algorithm::Crcd => try_crcd(inst)?,
+        Algorithm::Crp2d => try_crp2d(inst)?,
+        Algorithm::Crad => try_crad(inst)?,
+        Algorithm::Avrq => try_avrq(inst)?,
+        Algorithm::Bkpq => try_bkpq(inst)?,
+        Algorithm::Oaq => try_oaq(inst)?,
+        Algorithm::AvrqM { m } => try_avrq_m(inst, m)?.outcome,
+        Algorithm::AvrqMNonmig { m } => try_avrq_m_nonmig(inst, m)?.outcome,
+        Algorithm::OaqM { m, fw_iters } => try_oaq_m(inst, m, alpha, fw_iters)?.outcome,
+    };
+    outcome.validate(inst)?;
+    let energy = outcome.energy(alpha);
+    let peak = outcome.max_speed();
+    if !energy.is_finite() || !peak.is_finite() {
+        return Err(QbssError::NonFiniteCost { algorithm: outcome.algorithm.clone() });
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{AlgorithmError, ModelError};
+    use crate::model::QJob;
+
+    fn online_instance() -> QbssInstance {
+        QbssInstance::new(vec![
+            QJob::new(0, 0.0, 4.0, 0.5, 2.0, 1.0),
+            QJob::new(1, 1.0, 3.0, 0.4, 1.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn checked_run_succeeds_on_valid_input() {
+        let inst = online_instance();
+        for alg in [Algorithm::Avrq, Algorithm::Bkpq, Algorithm::Oaq] {
+            let out = run_checked(&inst, 3.0, alg).expect("valid instance must run");
+            assert!(out.energy(3.0).is_finite());
+        }
+        let out = run_checked(&inst, 3.0, Algorithm::AvrqM { m: 2 }).expect("multi");
+        assert_eq!(out.algorithm, "AVRQ(m)");
+    }
+
+    #[test]
+    fn invalid_instance_is_a_model_error() {
+        let inst = QbssInstance::new(vec![QJob::new_unchecked(0, 0.0, 1.0, f64::NAN, 1.0, 0.5)]);
+        let err = run_checked(&inst, 3.0, Algorithm::Avrq).unwrap_err();
+        assert!(matches!(err, QbssError::Model(ModelError::NonFiniteField { job: 0 })));
+    }
+
+    #[test]
+    fn out_of_scope_is_an_algorithm_error() {
+        // Released at 1, so the offline family rejects it.
+        let inst = QbssInstance::new(vec![QJob::new(0, 1.0, 2.0, 0.5, 1.0, 0.5)]);
+        let err = run_checked(&inst, 3.0, Algorithm::Crad).unwrap_err();
+        assert!(matches!(
+            err,
+            QbssError::Algorithm(AlgorithmError::UnsupportedStructure { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_alpha_is_a_typed_error_not_a_panic() {
+        let inst = online_instance();
+        for alpha in [0.5, 1.0, f64::NAN, f64::INFINITY, -3.0] {
+            let err = run_checked(&inst, alpha, Algorithm::Avrq).unwrap_err();
+            assert!(matches!(err, QbssError::InvalidAlpha { .. }), "alpha {alpha}: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_instance_is_an_algorithm_error() {
+        let inst = QbssInstance::default();
+        for alg in [Algorithm::Crcd, Algorithm::Avrq, Algorithm::OaqM { m: 2, fw_iters: 10 }] {
+            let err = run_checked(&inst, 3.0, alg).unwrap_err();
+            assert!(
+                matches!(err, QbssError::Algorithm(AlgorithmError::EmptyInstance { .. })),
+                "{alg:?}: {err}"
+            );
+        }
+    }
+}

@@ -12,7 +12,6 @@
 //!    oracle model of §4.1) splits so the post-query speed is constant.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use speed_scaling::time::EPS;
 
 use crate::model::QJob;
@@ -33,7 +32,7 @@ pub const INV_PHI: f64 = PHI - 1.0;
 /// assert!(rule.decide_visible(0.60, 1.0, &mut NoRandomness));
 /// assert!(!rule.decide_visible(0.63, 1.0, &mut NoRandomness));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QueryRule {
     /// Never query (executes `w_j`; unboundedly bad — Lemma 4.1).
     Never,
@@ -63,7 +62,8 @@ impl QueryRule {
             // Compare multiplicatively to avoid a division.
             QueryRule::GoldenRatio => c * PHI <= w + EPS,
             QueryRule::Threshold(theta) => c <= theta * w + EPS,
-            QueryRule::Probabilistic(p) => rng.gen_bool(p.clamp(0.0, 1.0)),
+            // NaN-proof clamp: a NaN probability degrades to "never".
+            QueryRule::Probabilistic(p) => rng.gen_bool(if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) }),
         }
     }
 
@@ -74,7 +74,7 @@ impl QueryRule {
 }
 
 /// Chooses the splitting point `τ ∈ (r, d)` of a queried job.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SplitRule {
     /// `τ = (r + d)/2` — the paper's equal-window split.
     EqualWindow,
@@ -145,7 +145,7 @@ impl rand::RngCore for NoRandomness {
 }
 
 /// A complete per-job strategy: a query rule plus a splitting rule.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Strategy {
     /// Query decision rule.
     pub query: QueryRule,

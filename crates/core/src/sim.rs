@@ -28,6 +28,7 @@ use speed_scaling::profile::SpeedProfile;
 use speed_scaling::time::{dedup_times, EPS};
 
 use crate::decision::Decision;
+use crate::error::AlgorithmError;
 use crate::model::{QbssInstance, VisibleJob};
 use crate::policy::Strategy;
 
@@ -128,6 +129,31 @@ pub struct SimResult {
 /// ```
 pub fn simulate(inst: &QbssInstance, policy: &mut dyn OnlinePolicy, substrate: Substrate) -> SimResult {
     assert!(!inst.is_empty(), "nothing to simulate");
+    run_simulation(inst, policy, substrate)
+}
+
+/// Fallible wrapper around [`simulate`]: validates the instance and
+/// rejects empty input with typed errors instead of panicking. The
+/// policy itself is trusted (its answers are machine-made; a policy
+/// that answers for the wrong job or splits outside the window is a
+/// programming error and still asserts).
+pub fn try_simulate(
+    inst: &QbssInstance,
+    policy: &mut dyn OnlinePolicy,
+    substrate: Substrate,
+) -> Result<SimResult, AlgorithmError> {
+    inst.validate()?;
+    if inst.is_empty() {
+        return Err(AlgorithmError::EmptyInstance { algorithm: "simulate" });
+    }
+    Ok(run_simulation(inst, policy, substrate))
+}
+
+fn run_simulation(
+    inst: &QbssInstance,
+    policy: &mut dyn OnlinePolicy,
+    substrate: Substrate,
+) -> SimResult {
 
     // Phase 1: collect decisions at arrivals (in release order) and
     // derive the classical jobs with their *information times*: a

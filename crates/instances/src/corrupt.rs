@@ -1,0 +1,303 @@
+//! Seeded adversarial fault injection.
+//!
+//! A [`Corruptor`] takes a *valid* QBSS instance and applies one
+//! [`Mutation`] from a fixed catalog — NaN/±∞ fields, inverted or
+//! collapsed windows, query loads above the upper bound or ≤ 0, exact
+//! loads outside `[0, w]`, duplicate ids, denormal and `1e300`-scale
+//! magnitudes, emptied job lists, shuffled ids. Every mutation is tagged
+//! with the [`Expectation`] it must trigger downstream, so the chaos
+//! harness and the property tests can assert not just "no panic" but
+//! "the *right* typed error".
+//!
+//! Everything is deterministic in the seed: a failing chaos case is
+//! reproduced by re-running with the reported seed.
+
+use qbss_core::error::ModelErrorKind;
+use qbss_core::model::{QJob, QbssInstance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One entry of the fault catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Sets one field of one job to NaN.
+    NanField,
+    /// Sets one field of one job to `+∞`.
+    PosInfField,
+    /// Sets one field of one job to `−∞`.
+    NegInfField,
+    /// Swaps a job's release and deadline (`d < r`).
+    InvertedWindow,
+    /// Collapses a job's window (`d = r`).
+    CollapsedWindow,
+    /// Raises a job's query load above its upper bound (`c > w`).
+    QueryAboveUpper,
+    /// Zeroes or negates a job's query load (`c ≤ 0`).
+    QueryNonPositive,
+    /// Raises a job's exact load above its upper bound (`w* > w`).
+    ExactAboveUpper,
+    /// Negates a job's exact load (`w* < 0`).
+    ExactNegative,
+    /// Copies one job's id onto another (needs ≥ 2 jobs).
+    DuplicateIds,
+    /// Sets one field of one job to a denormal-scale value (`~1e-310`).
+    DenormalMagnitude,
+    /// Sets one field of one job to `~1e300`.
+    HugeMagnitude,
+    /// Drops every job.
+    EmptyJobList,
+    /// Rotates the ids across jobs (stays model-valid).
+    ShuffledIds,
+}
+
+/// What a mutated instance must do to the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// `QbssInstance::validate` must fail with exactly this kind.
+    Model(ModelErrorKind),
+    /// The instance has no jobs: algorithms must report a typed
+    /// empty-instance error, never panic.
+    Empty,
+    /// The instance stays model-valid: the pipeline must return either a
+    /// structurally sound finite-cost outcome or a typed algorithm
+    /// error — never panic.
+    Survivable,
+}
+
+impl Mutation {
+    /// The whole catalog, in a fixed order.
+    pub const ALL: [Mutation; 14] = [
+        Mutation::NanField,
+        Mutation::PosInfField,
+        Mutation::NegInfField,
+        Mutation::InvertedWindow,
+        Mutation::CollapsedWindow,
+        Mutation::QueryAboveUpper,
+        Mutation::QueryNonPositive,
+        Mutation::ExactAboveUpper,
+        Mutation::ExactNegative,
+        Mutation::DuplicateIds,
+        Mutation::DenormalMagnitude,
+        Mutation::HugeMagnitude,
+        Mutation::EmptyJobList,
+        Mutation::ShuffledIds,
+    ];
+
+    /// The typed consequence this mutation must trigger.
+    ///
+    /// The `Model(kind)` tags are exact for instances whose fields stay
+    /// well inside the magnitude envelope (everything the [`crate::gen`]
+    /// generators produce); validation checks finiteness, then
+    /// magnitude, then windows, then loads, and each mutation perturbs
+    /// exactly one of those layers.
+    pub fn expectation(self) -> Expectation {
+        use ModelErrorKind as K;
+        match self {
+            Mutation::NanField | Mutation::PosInfField | Mutation::NegInfField => {
+                Expectation::Model(K::NonFiniteField)
+            }
+            Mutation::InvertedWindow | Mutation::CollapsedWindow => {
+                Expectation::Model(K::EmptyWindow)
+            }
+            Mutation::QueryAboveUpper | Mutation::QueryNonPositive => {
+                Expectation::Model(K::QueryLoadRange)
+            }
+            Mutation::ExactAboveUpper | Mutation::ExactNegative => {
+                Expectation::Model(K::ExactLoadRange)
+            }
+            Mutation::DuplicateIds => Expectation::Model(K::DuplicateId),
+            Mutation::DenormalMagnitude | Mutation::HugeMagnitude => {
+                Expectation::Model(K::MagnitudeOutOfRange)
+            }
+            Mutation::EmptyJobList => Expectation::Empty,
+            Mutation::ShuffledIds => Expectation::Survivable,
+        }
+    }
+
+    /// Whether the mutation needs at least `n` jobs to be applicable.
+    fn min_jobs(self) -> usize {
+        match self {
+            Mutation::EmptyJobList => 0,
+            Mutation::DuplicateIds => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A corrupted instance together with its provenance.
+#[derive(Debug, Clone)]
+pub struct Corrupted {
+    /// The mutated (usually invalid) instance.
+    pub instance: QbssInstance,
+    /// Which catalog entry produced it.
+    pub mutation: Mutation,
+    /// What the pipeline must do with it.
+    pub expectation: Expectation,
+}
+
+/// Deterministic, seeded fault injector.
+pub struct Corruptor {
+    rng: StdRng,
+}
+
+/// The five mutable float fields of a job, in catalog order.
+const FIELD_COUNT: usize = 5;
+
+fn fields_of(j: &QJob) -> (u32, [f64; FIELD_COUNT]) {
+    (j.id, [j.release, j.deadline, j.query_load, j.upper_bound, j.reveal_exact()])
+}
+
+fn rebuild(id: u32, f: [f64; FIELD_COUNT]) -> QJob {
+    QJob::new_unchecked(id, f[0], f[1], f[2], f[3], f[4])
+}
+
+impl Corruptor {
+    /// A corruptor reproducible from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Applies `mutation` to a copy of `inst`. Returns `None` when the
+    /// instance has too few jobs for the mutation.
+    pub fn apply(&mut self, inst: &QbssInstance, mutation: Mutation) -> Option<Corrupted> {
+        if inst.len() < mutation.min_jobs() {
+            return None;
+        }
+        let mut jobs: Vec<(u32, [f64; FIELD_COUNT])> =
+            inst.jobs.iter().map(fields_of).collect();
+        match mutation {
+            Mutation::EmptyJobList => jobs.clear(),
+            Mutation::ShuffledIds => {
+                // Rotate ids one position: a permutation, so ids stay
+                // unique and the instance stays valid.
+                if jobs.len() > 1 {
+                    let first = jobs[0].0;
+                    for i in 0..jobs.len() - 1 {
+                        jobs[i].0 = jobs[i + 1].0;
+                    }
+                    let last = jobs.len() - 1;
+                    jobs[last].0 = first;
+                }
+            }
+            Mutation::DuplicateIds => {
+                let i = self.rng.gen_range(0..jobs.len());
+                let mut k = self.rng.gen_range(0..jobs.len() - 1);
+                if k >= i {
+                    k += 1;
+                }
+                jobs[k].0 = jobs[i].0;
+            }
+            _ => {
+                let v = self.rng.gen_range(0..jobs.len());
+                let (_, f) = &mut jobs[v];
+                match mutation {
+                    Mutation::NanField => f[self.rng.gen_range(0..FIELD_COUNT)] = f64::NAN,
+                    Mutation::PosInfField => {
+                        f[self.rng.gen_range(0..FIELD_COUNT)] = f64::INFINITY
+                    }
+                    Mutation::NegInfField => {
+                        f[self.rng.gen_range(0..FIELD_COUNT)] = f64::NEG_INFINITY
+                    }
+                    Mutation::InvertedWindow => f.swap(0, 1),
+                    Mutation::CollapsedWindow => f[1] = f[0],
+                    Mutation::QueryAboveUpper => f[2] = f[3].abs() * 2.0 + 1.0,
+                    Mutation::QueryNonPositive => {
+                        f[2] = if self.rng.gen_bool(0.5) { 0.0 } else { -f[2].abs() }
+                    }
+                    Mutation::ExactAboveUpper => f[4] = f[3].abs() * 2.0 + 1.0,
+                    Mutation::ExactNegative => f[4] = -f[4].abs() - 1.0,
+                    Mutation::DenormalMagnitude => {
+                        f[self.rng.gen_range(0..FIELD_COUNT)] = 5e-310
+                    }
+                    Mutation::HugeMagnitude => f[self.rng.gen_range(0..FIELD_COUNT)] = 1e300,
+                    Mutation::EmptyJobList
+                    | Mutation::ShuffledIds
+                    | Mutation::DuplicateIds => unreachable!("handled above"),
+                }
+            }
+        }
+        let instance =
+            QbssInstance::new(jobs.into_iter().map(|(id, f)| rebuild(id, f)).collect());
+        Some(Corrupted { instance, mutation, expectation: mutation.expectation() })
+    }
+
+    /// Picks a uniformly random *applicable* mutation and applies it.
+    pub fn corrupt(&mut self, inst: &QbssInstance) -> Corrupted {
+        let applicable: Vec<Mutation> = Mutation::ALL
+            .iter()
+            .copied()
+            .filter(|m| inst.len() >= m.min_jobs())
+            .collect();
+        let m = applicable[self.rng.gen_range(0..applicable.len())];
+        self.apply(inst, m).expect("mutation was filtered for applicability")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn every_mutation_triggers_its_tagged_expectation() {
+        let inst = generate(&GenConfig::online_default(12, 5));
+        let mut c = Corruptor::new(99);
+        for m in Mutation::ALL {
+            let corrupted = c.apply(&inst, m).expect("12 jobs is enough for any mutation");
+            match corrupted.expectation {
+                Expectation::Model(kind) => {
+                    let err = corrupted
+                        .instance
+                        .validate()
+                        .expect_err("mutated instance must be invalid");
+                    assert_eq!(err.kind(), kind, "{m}: got {err}");
+                }
+                Expectation::Empty => assert!(corrupted.instance.is_empty(), "{m}"),
+                Expectation::Survivable => {
+                    corrupted.instance.validate().unwrap_or_else(|e| {
+                        panic!("{m} must stay valid, got {e}");
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruptor_is_deterministic_in_the_seed() {
+        let inst = generate(&GenConfig::online_default(8, 1));
+        let a: Vec<Mutation> =
+            (0..20).map(|_| Corruptor::new(7).corrupt(&inst).mutation).collect();
+        let mut c = Corruptor::new(7);
+        let b: Vec<Mutation> = (0..20).map(|_| c.corrupt(&inst).mutation).collect();
+        assert_eq!(a[0], b[0]);
+        // A fresh seed replays the same first draw; a running corruptor
+        // keeps drawing new ones.
+        assert!(b.windows(2).any(|w| w[0] != w[1]), "mutations should vary: {b:?}");
+    }
+
+    #[test]
+    fn duplicate_ids_needs_two_jobs() {
+        let inst = generate(&GenConfig::online_default(1, 3));
+        let mut c = Corruptor::new(1);
+        assert!(c.apply(&inst, Mutation::DuplicateIds).is_none());
+    }
+
+    #[test]
+    fn shuffled_ids_is_a_permutation() {
+        let inst = generate(&GenConfig::online_default(6, 4));
+        let mut c = Corruptor::new(5);
+        let shuffled = c.apply(&inst, Mutation::ShuffledIds).unwrap().instance;
+        let mut before: Vec<u32> = inst.jobs.iter().map(|j| j.id).collect();
+        let mut after: Vec<u32> = shuffled.jobs.iter().map(|j| j.id).collect();
+        assert_ne!(before, after);
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+}

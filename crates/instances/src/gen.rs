@@ -13,12 +13,11 @@
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use qbss_core::model::{QJob, QbssInstance};
 
 /// How deadlines (and releases) are laid out.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TimeModel {
     /// Common release 0 and common deadline `d` (CRCD's scope).
     CommonDeadline {
@@ -66,7 +65,7 @@ pub enum TimeModel {
 }
 
 /// How the query cost `c` relates to the nominal workload `w`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QueryModel {
     /// `c = u·w` with `u` uniform in `[lo, hi] ⊆ (0, 1]`.
     UniformFraction {
@@ -96,7 +95,7 @@ impl QueryModel {
 }
 
 /// How compressible payloads are: the distribution of `w*` given `w`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Compressibility {
     /// `w* ~ U[0, w]` — indifferent payloads.
     Uniform,
@@ -140,7 +139,7 @@ impl Compressibility {
 
 /// Full description of a random family. Serializable so experiments can
 /// record exactly what they ran.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GenConfig {
     /// Number of jobs.
     pub n: usize,

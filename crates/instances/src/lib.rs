@@ -1,6 +1,6 @@
 //! # qbss-instances — workload generators and adversaries for QBSS
 //!
-//! Three kinds of instances feed the experiments that reproduce the
+//! Four kinds of instances feed the experiments that reproduce the
 //! SPAA 2021 paper:
 //!
 //! * [`gen`] — random families parameterized by release/deadline
@@ -12,13 +12,20 @@
 //! * [`adversary`] — the exact lower-bound constructions of Lemmas
 //!   4.1–4.5 and 5.1, with the adaptive adversary response functions so
 //!   experiments can play the games against real policies.
-//! * [`io`] — JSON round-tripping for instances (hidden loads
-//!   included), for reproducible experiment pipelines.
+//! * [`corrupt`] — seeded fault injection: a catalog of model-violating
+//!   mutations, each tagged with the typed error it must trigger, for
+//!   the no-panic chaos harness.
+//! * [`io`] — hand-rolled JSON/CSV round-tripping for instances (hidden
+//!   loads included) with typed, line-located errors ([`io::IoError`]).
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod adversary;
+pub mod corrupt;
 pub mod gen;
 pub mod io;
 
+pub use corrupt::{Corrupted, Corruptor, Expectation, Mutation};
 pub use gen::{generate, Compressibility, GenConfig, QueryModel, TimeModel};

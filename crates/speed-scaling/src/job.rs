@@ -6,7 +6,6 @@
 //! every decision to a set of classical jobs and then invoke the
 //! substrate algorithms of this crate (YDS/AVR/OA/BKP/AVR(m)) on them.
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::{approx_le, Interval, EPS};
 
@@ -19,7 +18,7 @@ use crate::time::{approx_le, Interval, EPS};
 pub type JobId = u32;
 
 /// A classical speed-scaling job `(r, d, w)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Job {
     /// Stable identifier (see [`JobId`] on uniqueness).
     pub id: JobId,
@@ -79,7 +78,7 @@ impl Job {
 }
 
 /// A set of classical jobs.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Instance {
     /// The jobs; order is insignificant for the algorithms but preserved.
     pub jobs: Vec<Job>,

@@ -8,7 +8,6 @@
 //! evaluation, addition, scaling and comparison — everything the paper's
 //! proofs do with speed functions.
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::{approx_eq, approx_le, dedup_times, Interval, EPS};
 
@@ -20,7 +19,7 @@ use crate::time::{approx_eq, approx_le, dedup_times, Interval, EPS};
 /// * all values are finite and non-negative.
 ///
 /// Outside `[breakpoints.first(), breakpoints.last()]` the speed is 0.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedProfile {
     breakpoints: Vec<f64>,
     values: Vec<f64>,

@@ -16,13 +16,12 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::job::JobId;
 use crate::time::{dedup_times, Interval, EPS, REL_TOL};
 
 /// One maximal run of a job on a machine at constant speed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Slice {
     /// Index of the original job this slice executes (see
     /// [`crate::job::JobId`] — derived jobs share the id of their origin).
@@ -50,7 +49,7 @@ impl Slice {
 }
 
 /// An explicit (possibly multi-machine) preemptive schedule.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Schedule {
     /// All slices, in no particular order.
     pub slices: Vec<Slice>,

@@ -1,0 +1,201 @@
+//! The adversarial chaos gate (tentpole of the robustness PR).
+//!
+//! Feeds hundreds of seeded, deliberately corrupted instances — NaN/±∞
+//! fields, inverted windows, out-of-range loads, duplicate ids, denormal
+//! and `1e300` magnitudes, empty job lists — to *every* QBSS algorithm
+//! through [`qbss_core::pipeline::run_checked`], and to the classical
+//! YDS/AVR/OA/BKP substrates where the instance survives validation.
+//!
+//! The contract under test:
+//!
+//! 1. **No panic, ever.** Each run executes under `catch_unwind`; a
+//!    panic fails the test with the offending seed, mutation, and
+//!    algorithm so the case replays deterministically.
+//! 2. **The right typed error.** A mutation tagged with a
+//!    [`ModelErrorKind`] must surface as exactly that
+//!    `QbssError::Model` variant; an emptied instance must surface as a
+//!    typed empty-instance `AlgorithmError`.
+//! 3. **No garbage outcomes.** When a corrupted instance happens to
+//!    stay valid (shuffled ids), an `Ok` must carry a finite energy and
+//!    a schedule passing [`Schedule::check`] — `run_checked` guarantees
+//!    both, and we re-assert finiteness here.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use qbss_core::error::{AlgorithmError, ModelErrorKind, QbssError};
+use qbss_core::model::QbssInstance;
+use qbss_core::pipeline::{run_checked, Algorithm};
+use qbss_instances::corrupt::{Corrupted, Corruptor, Expectation, Mutation};
+use qbss_instances::gen::{generate, GenConfig};
+use speed_scaling::{avr, bkp, oa, yds};
+
+const ALPHA: f64 = 3.0;
+const CASES: u64 = 600;
+
+const ALGORITHMS: [Algorithm; 9] = [
+    Algorithm::Crcd,
+    Algorithm::Crp2d,
+    Algorithm::Crad,
+    Algorithm::Avrq,
+    Algorithm::Bkpq,
+    Algorithm::Oaq,
+    Algorithm::AvrqM { m: 3 },
+    Algorithm::AvrqMNonmig { m: 3 },
+    Algorithm::OaqM { m: 3, fw_iters: 6 },
+];
+
+/// Alternates instance families so every algorithm's happy path is
+/// represented among the bases being corrupted.
+fn base_instance(seed: u64) -> QbssInstance {
+    if seed.is_multiple_of(2) {
+        generate(&GenConfig::common_deadline(6, 8.0, seed))
+    } else {
+        generate(&GenConfig::online_default(7, seed))
+    }
+}
+
+/// Runs one (instance, algorithm) pair under `catch_unwind` and asserts
+/// the typed-error contract. Returns a human-readable violation, if any.
+fn check_one(case: &Corrupted, alg: Algorithm, seed: u64) -> Option<String> {
+    let ctx = format!("seed {seed}, mutation {}, algorithm {}", case.mutation, alg.name());
+    let inst = case.instance.clone();
+    let result = catch_unwind(AssertUnwindSafe(|| run_checked(&inst, ALPHA, alg)));
+    let outcome = match result {
+        Ok(outcome) => outcome,
+        Err(_) => return Some(format!("PANIC ({ctx})")),
+    };
+    match (case.expectation, outcome) {
+        (Expectation::Model(kind), Err(QbssError::Model(e))) => {
+            if e.kind() == kind {
+                None
+            } else {
+                Some(format!("wrong model error kind {:?}, wanted {kind:?} ({ctx})", e.kind()))
+            }
+        }
+        (Expectation::Model(kind), other) => {
+            Some(format!("expected Model({kind:?}), got {other:?} ({ctx})"))
+        }
+        (
+            Expectation::Empty,
+            Err(QbssError::Algorithm(AlgorithmError::EmptyInstance { .. })),
+        ) => None,
+        (Expectation::Empty, other) => {
+            Some(format!("expected EmptyInstance, got {other:?} ({ctx})"))
+        }
+        (Expectation::Survivable, Ok(out)) => {
+            let energy = out.energy(ALPHA);
+            let peak = out.max_speed();
+            if energy.is_finite() && peak.is_finite() {
+                None
+            } else {
+                Some(format!("non-finite cost energy={energy} peak={peak} ({ctx})"))
+            }
+        }
+        // A valid instance may still be out of an algorithm's scope
+        // (e.g. online releases fed to the offline family) — that must
+        // be a typed algorithm error, not a validation failure or a
+        // non-finite cost, both of which would mean the algorithm
+        // itself misbehaved on valid input.
+        (Expectation::Survivable, Err(QbssError::Algorithm(_))) => None,
+        (Expectation::Survivable, Err(other)) => {
+            Some(format!("survivable instance failed with {other:?} ({ctx})"))
+        }
+    }
+}
+
+#[test]
+fn no_algorithm_panics_on_corrupted_instances() {
+    let mut violations = Vec::new();
+    let mut corrupted_count = 0u64;
+    for seed in 0..CASES {
+        let base = base_instance(seed);
+        let mut corruptor = Corruptor::new(seed);
+        let case = corruptor.corrupt(&base);
+        corrupted_count += 1;
+        for alg in ALGORITHMS {
+            if let Some(v) = check_one(&case, alg, seed) {
+                violations.push(v);
+            }
+        }
+    }
+    assert!(corrupted_count >= 500, "chaos gate must cover >= 500 corrupted instances");
+    assert!(
+        violations.is_empty(),
+        "{} violations:\n{}",
+        violations.len(),
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn every_mutation_kind_is_exercised_against_every_algorithm() {
+    // The random sweep above could in principle under-sample a mutation;
+    // this pass is exhaustive over the catalog.
+    let mut violations = Vec::new();
+    for seed in 0..20 {
+        let base = base_instance(seed);
+        let mut corruptor = Corruptor::new(seed.wrapping_mul(0x9E37_79B9));
+        for mutation in Mutation::ALL {
+            let Some(case) = corruptor.apply(&base, mutation) else {
+                continue;
+            };
+            for alg in ALGORITHMS {
+                if let Some(v) = check_one(&case, alg, seed) {
+                    violations.push(v);
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "{} violations:\n{}",
+        violations.len(),
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn substrates_never_panic_on_surviving_instances() {
+    // The classical substrates document validity preconditions; the
+    // typed layer guards their entry points. Here we confirm that any
+    // corrupted instance that *passes* validation is also safe to hand
+    // to YDS/AVR/OA/BKP directly.
+    let mut panics = Vec::new();
+    for seed in 0..CASES {
+        let base = base_instance(seed);
+        let case = Corruptor::new(seed).corrupt(&base);
+        if case.instance.validate().is_err() || case.instance.is_empty() {
+            continue;
+        }
+        let classical = case.instance.clairvoyant_instance();
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let y = yds::yds_profile(&classical);
+            let a = avr::avr_profile(&classical);
+            let o = oa::oa_profile(&classical);
+            let b = bkp::bkp_profile(&classical);
+            y.energy(ALPHA) + a.energy(ALPHA) + o.energy(ALPHA) + b.energy(ALPHA)
+        }));
+        match run {
+            Ok(total) => {
+                if !total.is_finite() {
+                    panics.push(format!("non-finite substrate energy (seed {seed})"));
+                }
+            }
+            Err(_) => panics.push(format!(
+                "substrate PANIC (seed {seed}, mutation {})",
+                case.mutation
+            )),
+        }
+    }
+    assert!(panics.is_empty(), "{}", panics.join("\n"));
+}
+
+#[test]
+fn nonfinite_cases_are_rejected_before_any_arithmetic() {
+    // Spot check: the validation layer, not luck, is what keeps NaN out.
+    let base = base_instance(1);
+    let mut corruptor = Corruptor::new(123);
+    let case = corruptor.apply(&base, Mutation::NanField).expect("applicable");
+    let err = case.instance.validate().expect_err("NaN must not validate");
+    assert_eq!(err.kind(), ModelErrorKind::NonFiniteField);
+}

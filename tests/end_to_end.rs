@@ -116,7 +116,7 @@ fn every_algorithm_queries_consistently_with_its_rule() {
 #[test]
 fn instance_roundtrip_preserves_algorithm_behaviour() {
     let inst = generate(&GenConfig::online_default(15, 3));
-    let json = io::to_json(&inst);
+    let json = io::to_json(&inst).expect("valid instances serialize");
     let back = io::from_json(&json).expect("roundtrip");
     let (e1, e2) = (bkpq(&inst).energy(3.0), bkpq(&back).energy(3.0));
     assert_eq!(e1.to_bits(), e2.to_bits(), "bit-identical rerun after JSON roundtrip");
