@@ -148,6 +148,39 @@ pub fn avrq_m_energy_lb(alpha: f64) -> f64 {
     avrq_energy_lb(alpha)
 }
 
+// ---------------------------------------------------------------------
+// Name-keyed lookup (the sweep engine's bound table)
+// ---------------------------------------------------------------------
+
+/// The proven *energy* upper bound for an algorithm family at `α`, keyed
+/// by the canonical machine-readable family name (the parameter-free
+/// `Display` form of `qbss_core`'s `Algorithm`; a trailing `:<params>`
+/// suffix is tolerated). `None` for families with no proven bound (OAQ
+/// is the paper's open question; the non-migratory AVRQ(m) variant is an
+/// ablation).
+pub fn energy_ub_for(family: &str, alpha: f64) -> Option<f64> {
+    match family.split(':').next().unwrap_or(family) {
+        "crcd" => Some(crcd_energy_ub(alpha)),
+        "crp2d" => Some(crp2d_energy_ub(alpha)),
+        "crad" => Some(crad_energy_ub(alpha)),
+        "avrq" => Some(avrq_energy_ub(alpha)),
+        "bkpq" => Some(bkpq_energy_ub(alpha)),
+        "avrq-m" => Some(avrq_m_energy_ub(alpha)),
+        _ => None,
+    }
+}
+
+/// The proven *maximum-speed* upper bound for an algorithm family (same
+/// keying as [`energy_ub_for`]). Only CRCD (Theorem 4.6) and BKPQ
+/// (Corollary 5.5) carry one.
+pub fn speed_ub_for(family: &str) -> Option<f64> {
+    match family.split(':').next().unwrap_or(family) {
+        "crcd" => Some(crcd_speed_ub()),
+        "bkpq" => Some(bkpq_speed_ub()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +222,20 @@ mod tests {
             assert!(bkpq_energy_ub(a) >= bkpq_energy_lb(a), "BKPQ at α={a}");
             assert!(avrq_m_energy_ub(a) >= avrq_energy_ub(a) / 2.0, "AVRQ(m) at α={a}");
         }
+    }
+
+    #[test]
+    fn name_keyed_lookup_matches_the_functions() {
+        let a = 2.5;
+        assert_eq!(energy_ub_for("crcd", a), Some(crcd_energy_ub(a)));
+        assert_eq!(energy_ub_for("avrq-m", a), Some(avrq_m_energy_ub(a)));
+        assert_eq!(energy_ub_for("avrq-m:4", a), Some(avrq_m_energy_ub(a)));
+        assert_eq!(energy_ub_for("oaq", a), None);
+        assert_eq!(energy_ub_for("oaq-m:2:10", a), None);
+        assert_eq!(energy_ub_for("avrq-m-nonmig", a), None);
+        assert_eq!(speed_ub_for("crcd"), Some(crcd_speed_ub()));
+        assert_eq!(speed_ub_for("bkpq"), Some(bkpq_speed_ub()));
+        assert_eq!(speed_ub_for("avrq"), None);
     }
 
     #[test]

@@ -12,17 +12,41 @@
 //!   it BKPQ queries everything and tracks the query cost, above it it
 //!   stops querying and its ratio decouples, while always-querying
 //!   AVRQ keeps degrading — Lemma 3.1's φ threshold made visible.
+//!
+//! Each grid point is a batch-engine sweep: AVRQ/BKPQ/OAQ share each
+//! instance's cached clairvoyant profile, and bound checks come from
+//! the engine's per-cell violation counters.
 
 use qbss_analysis::bounds;
-use qbss_bench::ensemble::{check_bound, measure_ensemble};
+use qbss_bench::engine::{run_sweep, EngineReport, InstanceSource, SweepSpec};
 use qbss_bench::table::{fmt, Table};
-use qbss_core::online::{avrq, bkpq, oaq};
-use qbss_instances::gen::{generate, GenConfig, QueryModel};
+use qbss_core::pipeline::Algorithm;
+use qbss_instances::gen::{GenConfig, QueryModel};
 
 const SEEDS: std::ops::Range<u64> = 0..120;
+const ALPHA: f64 = 3.0;
+
+fn sweep(base: GenConfig, violations: &mut Vec<String>) -> EngineReport {
+    let spec = SweepSpec {
+        source: InstanceSource::Generated { base, seeds: SEEDS },
+        algorithms: vec![Algorithm::Avrq, Algorithm::Bkpq, Algorithm::Oaq],
+        alphas: vec![ALPHA],
+        opt_fw_iters: 0,
+    };
+    let rep = run_sweep(&spec, 0).expect("sweep spec is valid");
+    violations.extend(rep.violations());
+    rep
+}
+
+fn max_mean(rep: &EngineReport, alg: Algorithm) -> String {
+    let d = rep
+        .group(alg, ALPHA)
+        .and_then(|g| g.energy_ratio)
+        .expect("no cell errored");
+    format!("{} / {}", fmt(d.max), fmt(d.mean))
+}
 
 fn main() {
-    let alpha = 3.0;
     let mut violations: Vec<String> = Vec::new();
 
     // ---------------- ratio vs n ----------------
@@ -35,24 +59,13 @@ fn main() {
         "AVRQ bound",
     ]);
     for &n in &[5usize, 10, 20, 40, 80] {
-        let make = |seed: u64| generate(&GenConfig::online_default(n, seed));
-        let a = measure_ensemble(SEEDS, alpha, make, avrq);
-        let b = measure_ensemble(SEEDS, alpha, make, bkpq);
-        let o = measure_ensemble(SEEDS, alpha, make, oaq);
-        violations.extend(
-            check_bound(&format!("AVRQ n={n}"), a.energy.max, bounds::avrq_energy_ub(alpha))
-                .err(),
-        );
-        violations.extend(
-            check_bound(&format!("BKPQ n={n}"), b.energy.max, bounds::bkpq_energy_ub(alpha))
-                .err(),
-        );
+        let rep = sweep(GenConfig::online_default(n, 0), &mut violations);
         t.row(vec![
             format!("{n}"),
-            format!("{} / {}", fmt(a.energy.max), fmt(a.energy.mean)),
-            format!("{} / {}", fmt(b.energy.max), fmt(b.energy.mean)),
-            format!("{} / {}", fmt(o.energy.max), fmt(o.energy.mean)),
-            fmt(bounds::avrq_energy_ub(alpha)),
+            max_mean(&rep, Algorithm::Avrq),
+            max_mean(&rep, Algorithm::Bkpq),
+            max_mean(&rep, Algorithm::Oaq),
+            fmt(bounds::avrq_energy_ub(ALPHA)),
         ]);
     }
     t.print();
@@ -66,19 +79,18 @@ fn main() {
         "golden queries?",
     ]);
     for &frac in &[0.05, 0.2, 0.4, 0.618, 0.7, 0.9] {
-        let make = |seed: u64| {
-            generate(&GenConfig {
+        let rep = sweep(
+            GenConfig {
                 query: QueryModel::FixedFraction(frac),
-                ..GenConfig::online_default(25, seed)
-            })
-        };
-        let a = measure_ensemble(SEEDS, alpha, make, avrq);
-        let b = measure_ensemble(SEEDS, alpha, make, bkpq);
+                ..GenConfig::online_default(25, 0)
+            },
+            &mut violations,
+        );
         let golden_queries = frac <= 1.0 / qbss_core::PHI + 1e-9;
         t.row(vec![
             format!("{frac}"),
-            format!("{} / {}", fmt(a.energy.max), fmt(a.energy.mean)),
-            format!("{} / {}", fmt(b.energy.max), fmt(b.energy.mean)),
+            max_mean(&rep, Algorithm::Avrq),
+            max_mean(&rep, Algorithm::Bkpq),
             if golden_queries { "yes (c <= w/phi)".into() } else { "no".to_string() },
         ]);
     }

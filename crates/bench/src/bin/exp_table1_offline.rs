@@ -7,12 +7,16 @@
 //! * CRCD additionally is ≤ 2 on maximum speed;
 //! * the ordering CRCD ≤ CRP2D ≤ CRAD of worst cases by construction
 //!   generality (more general deadlines → looser bound).
+//!
+//! Each section is a batch-engine sweep per instance family: the
+//! clairvoyant YDS profile of every instance is computed once and its
+//! per-α energies memoized, so the α grid rides on cached profiles.
 
 use qbss_analysis::bounds;
-use qbss_bench::ensemble::{check_bound, measure_ensemble};
+use qbss_bench::engine::{run_sweep, EngineReport, InstanceSource, SweepSpec};
 use qbss_bench::table::{fmt, Table};
-use qbss_core::offline::{crad, crcd, crp2d};
-use qbss_instances::gen::{generate, Compressibility, GenConfig, QueryModel, TimeModel};
+use qbss_core::pipeline::Algorithm;
+use qbss_instances::gen::{Compressibility, GenConfig, QueryModel, TimeModel};
 
 const SEEDS: std::ops::Range<u64> = 0..300;
 const ALPHAS: [f64; 4] = [1.5, 2.0, 2.5, 3.0];
@@ -36,6 +40,28 @@ fn families(n: usize, time: TimeModel) -> Vec<(&'static str, GenConfig)> {
     ]
 }
 
+/// One engine sweep per instance family for `algorithm`, all α at once.
+fn sweep_families(
+    algorithm: Algorithm,
+    time: TimeModel,
+    violations: &mut Vec<String>,
+) -> Vec<(&'static str, EngineReport)> {
+    families(40, time)
+        .into_iter()
+        .map(|(name, cfg)| {
+            let spec = SweepSpec {
+                source: InstanceSource::Generated { base: cfg, seeds: SEEDS },
+                algorithms: vec![algorithm],
+                alphas: ALPHAS.to_vec(),
+                opt_fw_iters: 0,
+            };
+            let rep = run_sweep(&spec, 0).expect("sweep spec is valid");
+            violations.extend(rep.violations());
+            (name, rep)
+        })
+        .collect()
+}
+
 fn main() {
     let mut violations: Vec<String> = Vec::new();
 
@@ -45,29 +71,19 @@ fn main() {
     let mut t = Table::new(vec![
         "alpha", "family", "max E-ratio", "mean E-ratio", "bound", "max s-ratio", "s-bound",
     ]);
+    let reports = sweep_families(Algorithm::Crcd, TimeModel::CommonDeadline { d: 8.0 }, &mut violations);
     for &alpha in &ALPHAS {
-        for (name, cfg) in families(40, TimeModel::CommonDeadline { d: 8.0 }) {
-            let rep = measure_ensemble(
-                SEEDS,
-                alpha,
-                |seed| generate(&GenConfig { seed, ..cfg }),
-                crcd,
-            );
-            let bound = bounds::crcd_energy_ub(alpha);
-            violations.extend(
-                check_bound(&format!("CRCD energy α={alpha} {name}"), rep.energy.max, bound)
-                    .err(),
-            );
-            violations.extend(
-                check_bound(&format!("CRCD speed α={alpha} {name}"), rep.speed.max, 2.0).err(),
-            );
+        for (name, rep) in &reports {
+            let g = rep.group(Algorithm::Crcd, alpha).expect("group in spec");
+            let energy = g.energy_ratio.expect("no cell errored");
+            let speed = g.speed_ratio.expect("single-machine group");
             t.row(vec![
                 format!("{alpha}"),
-                name.to_string(),
-                fmt(rep.energy.max),
-                fmt(rep.energy.mean),
-                fmt(bound),
-                fmt(rep.speed.max),
+                (*name).to_string(),
+                fmt(energy.max),
+                fmt(energy.mean),
+                fmt(g.energy_bound.expect("CRCD has a proven bound")),
+                fmt(speed.max),
                 "2".to_string(),
             ]);
         }
@@ -78,25 +94,18 @@ fn main() {
     println!("\nE3: CRP2D (power-of-2 deadlines) — Theorem 4.13");
     println!("bound(energy) = (4*phi)^a\n");
     let mut t = Table::new(vec!["alpha", "family", "max E-ratio", "mean E-ratio", "bound"]);
+    let reports =
+        sweep_families(Algorithm::Crp2d, TimeModel::PowersOfTwo { min_exp: 0, max_exp: 5 }, &mut violations);
     for &alpha in &ALPHAS {
-        for (name, cfg) in families(40, TimeModel::PowersOfTwo { min_exp: 0, max_exp: 5 }) {
-            let rep = measure_ensemble(
-                SEEDS,
-                alpha,
-                |seed| generate(&GenConfig { seed, ..cfg }),
-                crp2d,
-            );
-            let bound = bounds::crp2d_energy_ub(alpha);
-            violations.extend(
-                check_bound(&format!("CRP2D energy α={alpha} {name}"), rep.energy.max, bound)
-                    .err(),
-            );
+        for (name, rep) in &reports {
+            let g = rep.group(Algorithm::Crp2d, alpha).expect("group in spec");
+            let energy = g.energy_ratio.expect("no cell errored");
             t.row(vec![
                 format!("{alpha}"),
-                name.to_string(),
-                fmt(rep.energy.max),
-                fmt(rep.energy.mean),
-                fmt(bound),
+                (*name).to_string(),
+                fmt(energy.max),
+                fmt(energy.mean),
+                fmt(g.energy_bound.expect("CRP2D has a proven bound")),
             ]);
         }
     }
@@ -106,26 +115,21 @@ fn main() {
     println!("\nE4: CRAD (arbitrary deadlines) — Corollary 4.15");
     println!("bound(energy) = (8*phi)^a\n");
     let mut t = Table::new(vec!["alpha", "family", "max E-ratio", "mean E-ratio", "bound"]);
+    let reports = sweep_families(
+        Algorithm::Crad,
+        TimeModel::ArbitraryDeadlines { min_d: 1.0, max_d: 50.0 },
+        &mut violations,
+    );
     for &alpha in &ALPHAS {
-        for (name, cfg) in families(40, TimeModel::ArbitraryDeadlines { min_d: 1.0, max_d: 50.0 })
-        {
-            let rep = measure_ensemble(
-                SEEDS,
-                alpha,
-                |seed| generate(&GenConfig { seed, ..cfg }),
-                crad,
-            );
-            let bound = bounds::crad_energy_ub(alpha);
-            violations.extend(
-                check_bound(&format!("CRAD energy α={alpha} {name}"), rep.energy.max, bound)
-                    .err(),
-            );
+        for (name, rep) in &reports {
+            let g = rep.group(Algorithm::Crad, alpha).expect("group in spec");
+            let energy = g.energy_ratio.expect("no cell errored");
             t.row(vec![
                 format!("{alpha}"),
-                name.to_string(),
-                fmt(rep.energy.max),
-                fmt(rep.energy.mean),
-                fmt(bound),
+                (*name).to_string(),
+                fmt(energy.max),
+                fmt(energy.mean),
+                fmt(g.energy_bound.expect("CRAD has a proven bound")),
             ]);
         }
     }

@@ -12,20 +12,18 @@
 
 use qbss_analysis::bounds;
 use qbss_analysis::numeric::grid_then_golden_max;
-use qbss_bench::ensemble::{check_bound, measure_ensemble};
+use qbss_bench::ensemble::check_bound;
+use qbss_bench::engine::{run_sweep, InstanceSource, SweepSpec};
 use qbss_bench::table::{fmt, Table};
-use qbss_core::online::{
-    avr_star_profile, avrq, avrq_profile, bkp_star_profile, bkpq, bkpq_profile, oaq,
-};
+use qbss_core::online::{avr_star_profile, avrq, avrq_profile, bkp_star_profile, bkpq_profile};
+use qbss_core::pipeline::Algorithm;
 use qbss_core::PHI;
 use qbss_instances::adversary::{avrq_adversary, avrq_adversary_staggered};
 use qbss_instances::gen::{generate, Compressibility, GenConfig};
 
 const SEEDS: std::ops::Range<u64> = 0..200;
 const ALPHAS: [f64; 4] = [1.5, 2.0, 2.5, 3.0];
-
-/// An algorithm row in the comparison: name, runner, energy bound.
-type AlgRow = (&'static str, fn(&qbss_core::QbssInstance) -> qbss_core::QbssOutcome, f64);
+const ALGORITHMS: [Algorithm; 3] = [Algorithm::Avrq, Algorithm::Bkpq, Algorithm::Oaq];
 
 fn trace(n: usize, seed: u64, compress: Compressibility) -> qbss_core::QbssInstance {
     generate(&GenConfig { compress, ..GenConfig::online_default(n, seed) })
@@ -44,46 +42,40 @@ fn main() {
         ("bimodal", Compressibility::Bimodal { p_compressible: 0.5 }),
         ("incompress", Compressibility::Incompressible),
     ];
+    // One sweep per compressibility family; the engine dispatches every
+    // (instance, algorithm, α) cell through the checked pipeline, caches
+    // the clairvoyant profile per instance, and counts bound violations.
+    let reports: Vec<_> = compressions
+        .iter()
+        .map(|&(_, compress)| {
+            let spec = SweepSpec {
+                source: InstanceSource::Generated {
+                    base: GenConfig { compress, ..GenConfig::online_default(30, 0) },
+                    seeds: SEEDS,
+                },
+                algorithms: ALGORITHMS.to_vec(),
+                alphas: ALPHAS.to_vec(),
+                opt_fw_iters: 0,
+            };
+            let rep = run_sweep(&spec, 0).expect("sweep spec is valid");
+            violations.extend(rep.violations());
+            rep
+        })
+        .collect();
     for &alpha in &ALPHAS {
-        for &(fam, compress) in &compressions {
-            let algs: [AlgRow; 3] = [
-                ("AVRQ", avrq, bounds::avrq_energy_ub(alpha)),
-                ("BKPQ", bkpq, bounds::bkpq_energy_ub(alpha)),
-                // OAQ has no proven bound (open question): report only,
-                // check against the (huge) BKPQ bound as a sanity rail.
-                ("OAQ", oaq, f64::INFINITY),
-            ];
-            for (name, alg, bound) in algs {
-                let rep = measure_ensemble(
-                    SEEDS,
-                    alpha,
-                    |seed| trace(30, seed, compress),
-                    alg,
-                );
-                if bound.is_finite() {
-                    violations.extend(
-                        check_bound(&format!("{name} energy α={alpha} {fam}"), rep.energy.max, bound)
-                            .err(),
-                    );
-                }
-                if name == "BKPQ" {
-                    violations.extend(
-                        check_bound(
-                            &format!("BKPQ max-speed α={alpha} {fam}"),
-                            rep.speed.max,
-                            bounds::bkpq_speed_ub(),
-                        )
-                        .err(),
-                    );
-                }
+        for (fam_idx, &(fam, _)) in compressions.iter().enumerate() {
+            for alg in ALGORITHMS {
+                let g = reports[fam_idx].group(alg, alpha).expect("group in spec");
+                let energy = g.energy_ratio.expect("no cell errored");
+                let speed = g.speed_ratio.expect("single-machine group");
                 t.row(vec![
                     format!("{alpha}"),
-                    name.to_string(),
+                    alg.name().to_string(),
                     fam.to_string(),
-                    fmt(rep.energy.max),
-                    fmt(rep.energy.mean),
-                    if bound.is_finite() { fmt(bound) } else { "(open)".into() },
-                    fmt(rep.speed.max),
+                    fmt(energy.max),
+                    fmt(energy.mean),
+                    g.energy_bound.map_or_else(|| "(open)".into(), fmt),
+                    fmt(speed.max),
                 ]);
             }
         }

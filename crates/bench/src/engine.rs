@@ -1,0 +1,857 @@
+//! The sharded batch-evaluation engine.
+//!
+//! Every table and figure of the paper is an ensemble sweep: a grid of
+//! *(instance, algorithm, α)* cells, each pushed through the checked
+//! pipeline and digested into ratio statistics. This module is the one
+//! implementation of that loop:
+//!
+//! * a declarative [`SweepSpec`] names the grid (instance source ×
+//!   algorithm set × α grid — machine counts ride on the
+//!   [`Algorithm`] values themselves);
+//! * [`run_sweep`] fans the cells out over work-stealing shards
+//!   ([`crate::par::par_map_stealing`]), dispatching every cell through
+//!   [`qbss_core::pipeline::run_evaluated`] — so a sweep is also a
+//!   no-panic, fully validated end-to-end pass;
+//! * a per-instance **profile cache** ([`std::sync::OnceLock`] slots,
+//!   lock-free on the hot path) builds each instance and its clairvoyant
+//!   [`OptCache`] once, shared by all algorithms and α values of that
+//!   instance; multi-machine OPT lower bounds are memoized per
+//!   `(m, α)` inside the same entry;
+//! * shards feed a lock-free [`StreamAgg`] per *(algorithm, α)* group:
+//!   exact counters (cells, errors, bound violations) and exact maxima
+//!   (`AtomicU64::fetch_max` over IEEE bits — order-independent for
+//!   non-negative floats), updated as cells complete;
+//! * the final [`EngineReport`] combines the streaming counters with a
+//!   canonical-order pass over the per-cell records (means and
+//!   percentiles are computed in cell order), so the aggregate JSON is
+//!   **byte-identical for any shard count**. Wall-clock numbers live in
+//!   a separate instrumentation JSON, which is the only
+//!   non-deterministic output.
+//!
+//! ## Baselines
+//!
+//! Single-machine algorithms are measured against the clairvoyant YDS
+//! optimum (energy at the cell's α, and peak speed). Multi-machine
+//! algorithms are measured against a certified lower bound on the
+//! `m`-machine optimum — the max of the closed-form fluid/per-job
+//! bounds and the Frank–Wolfe duality certificate at
+//! [`SweepSpec::opt_fw_iters`] iterations (0 disables the certificate) —
+//! and carry no speed-ratio baseline.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use qbss_analysis::bounds;
+use qbss_analysis::stats::percentile_sorted;
+use qbss_core::model::QbssInstance;
+use qbss_core::pipeline::{run_evaluated, Algorithm};
+use qbss_instances::gen::{generate, GenConfig};
+use speed_scaling::cache::OptCache;
+use speed_scaling::multi::{multi_opt_frank_wolfe, opt_lower_bound};
+
+/// Numeric slack for bound-violation counting, matching
+/// [`crate::ensemble::check_bound`].
+const BOUND_SLACK: f64 = 1e-6;
+
+// ---------------------------------------------------------------------
+// Spec
+// ---------------------------------------------------------------------
+
+/// Where a sweep's instances come from.
+#[derive(Debug, Clone)]
+pub enum InstanceSource {
+    /// `seeds.len()` instances generated from `base` with the seed
+    /// substituted (`seed = seeds.start + index`).
+    Generated {
+        /// Generator family; its `seed` field is ignored.
+        base: GenConfig,
+        /// Seed range, one instance per seed.
+        seeds: std::ops::Range<u64>,
+    },
+    /// Explicitly provided instances (e.g. loaded from files).
+    Explicit(Vec<QbssInstance>),
+}
+
+/// A declarative batch sweep: instance source × algorithm set × α grid.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Instance source.
+    pub source: InstanceSource,
+    /// Algorithm configurations (machine counts ride on the values).
+    pub algorithms: Vec<Algorithm>,
+    /// Power exponents; every `(instance, algorithm)` pair runs at each.
+    pub alphas: Vec<f64>,
+    /// Frank–Wolfe iterations for the multi-machine OPT lower-bound
+    /// certificate (0 = closed-form bounds only). Irrelevant when no
+    /// multi-machine algorithm is in the set.
+    pub opt_fw_iters: usize,
+}
+
+impl SweepSpec {
+    /// Number of instances in the source.
+    pub fn n_instances(&self) -> usize {
+        match &self.source {
+            InstanceSource::Generated { seeds, .. } => {
+                usize::try_from(seeds.end.saturating_sub(seeds.start)).unwrap_or(usize::MAX)
+            }
+            InstanceSource::Explicit(v) => v.len(),
+        }
+    }
+
+    /// Total cell count `instances × algorithms × alphas`.
+    pub fn n_cells(&self) -> usize {
+        self.n_instances() * self.algorithms.len() * self.alphas.len()
+    }
+
+    /// Materializes instance `index` (deterministic in `index`).
+    fn instance(&self, index: usize) -> QbssInstance {
+        match &self.source {
+            InstanceSource::Generated { base, seeds } => {
+                generate(&GenConfig { seed: seeds.start + index as u64, ..*base })
+            }
+            InstanceSource::Explicit(v) => v[index].clone(),
+        }
+    }
+
+    /// Rejects structurally empty or out-of-model specs.
+    fn validate(&self) -> Result<(), EngineError> {
+        if self.algorithms.is_empty() {
+            return Err(EngineError::EmptySpec("no algorithms"));
+        }
+        if self.alphas.is_empty() {
+            return Err(EngineError::EmptySpec("no alphas"));
+        }
+        if self.n_instances() == 0 {
+            return Err(EngineError::EmptySpec("no instances"));
+        }
+        if let InstanceSource::Generated { base, .. } = &self.source {
+            if base.n == 0 {
+                return Err(EngineError::EmptySpec("generator family with n = 0 jobs"));
+            }
+        }
+        if let Some(&alpha) = self.alphas.iter().find(|a| !a.is_finite() || **a <= 1.0) {
+            return Err(EngineError::InvalidAlpha { alpha });
+        }
+        Ok(())
+    }
+}
+
+/// A structurally invalid [`SweepSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A grid dimension is empty.
+    EmptySpec(&'static str),
+    /// An exponent outside the model's `α > 1` (finite) contract.
+    InvalidAlpha {
+        /// The offending exponent.
+        alpha: f64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EmptySpec(what) => write!(f, "empty sweep spec: {what}"),
+            EngineError::InvalidAlpha { alpha } => {
+                write!(f, "alpha must be finite and exceed 1, got {alpha}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+// ---------------------------------------------------------------------
+// Per-instance profile cache
+// ---------------------------------------------------------------------
+
+/// Everything the engine derives from one instance, built once and
+/// shared by all of the instance's cells.
+struct InstanceCtx {
+    inst: QbssInstance,
+    /// Clairvoyant YDS optimum, per-α energies memoized inside.
+    opt: OptCache,
+    /// Multi-machine OPT lower bounds memoized per `(m, α bits)`.
+    multi_lb: Mutex<Vec<((usize, u64), f64)>>,
+}
+
+impl InstanceCtx {
+    fn new(inst: QbssInstance) -> Self {
+        let opt = inst.opt_cache();
+        Self { inst, opt, multi_lb: Mutex::new(Vec::new()) }
+    }
+
+    /// Certified lower bound on the `m`-machine clairvoyant optimum at
+    /// `alpha`; memoized. Returns `(value, was_cache_hit)`.
+    fn multi_lower_bound(&self, m: usize, alpha: f64, fw_iters: usize) -> (f64, bool) {
+        let key = (m, alpha.to_bits());
+        let mut memo =
+            self.multi_lb.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(&(_, lb)) = memo.iter().find(|&&(k, _)| k == key) {
+            return (lb, true);
+        }
+        let clair = self.inst.clairvoyant_instance();
+        let mut lb = opt_lower_bound(&clair, m, alpha);
+        if fw_iters > 0 {
+            lb = lb.max(multi_opt_frank_wolfe(&clair, m, alpha, fw_iters).lower_bound());
+        }
+        memo.push((key, lb));
+        (lb, false)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming aggregation
+// ---------------------------------------------------------------------
+
+/// Lock-free per-group accumulator the shards feed as cells complete.
+///
+/// Everything in here is exact and order-independent: counters are
+/// integer atomics and maxima use `fetch_max` over IEEE-754 bits, whose
+/// ordering coincides with the numeric one for non-negative floats. The
+/// order-*dependent* statistics (mean, percentiles) are deliberately
+/// not accumulated here — [`run_sweep`] derives them from the per-cell
+/// records in canonical cell order, keeping aggregates byte-identical
+/// across shard counts.
+#[derive(Debug, Default)]
+pub struct StreamAgg {
+    /// Successfully evaluated cells.
+    pub ok: AtomicU64,
+    /// Cells that came back as typed pipeline errors.
+    pub errors: AtomicU64,
+    /// Max energy ratio seen, as non-negative f64 bits.
+    pub max_energy_ratio_bits: AtomicU64,
+    /// Max peak speed seen, as non-negative f64 bits.
+    pub max_peak_speed_bits: AtomicU64,
+    /// Cells whose energy ratio exceeded the group's proven bound.
+    pub energy_violations: AtomicU64,
+    /// Cells whose speed ratio exceeded the group's proven bound.
+    pub speed_violations: AtomicU64,
+}
+
+impl StreamAgg {
+    fn record_ok(&self, metrics: &CellMetrics, energy_bound: Option<f64>, speed_bound: Option<f64>) {
+        self.ok.fetch_add(1, Ordering::Relaxed);
+        self.max_energy_ratio_bits
+            .fetch_max(metrics.energy_ratio.to_bits(), Ordering::Relaxed);
+        self.max_peak_speed_bits.fetch_max(metrics.peak_speed.to_bits(), Ordering::Relaxed);
+        if let Some(b) = energy_bound {
+            if metrics.energy_ratio > b * (1.0 + BOUND_SLACK) {
+                self.energy_violations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let (Some(b), Some(s)) = (speed_bound, metrics.speed_ratio) {
+            if s > b * (1.0 + BOUND_SLACK) {
+                self.speed_violations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------
+
+/// Metrics of one successfully evaluated cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Schedule energy at the cell's α (from the pipeline's finiteness
+    /// gate — never re-integrated).
+    pub energy: f64,
+    /// Peak speed over all machines and times.
+    pub peak_speed: f64,
+    /// Energy over the cell's baseline (YDS optimum for single-machine
+    /// algorithms, certified multi-machine OPT lower bound otherwise).
+    pub energy_ratio: f64,
+    /// Peak speed over the YDS optimal peak speed; `None` for
+    /// multi-machine algorithms (no proven speed baseline).
+    pub speed_ratio: Option<f64>,
+    /// Jobs the algorithm chose to query.
+    pub queried: usize,
+}
+
+/// One cell of the sweep grid: indices into the spec plus the result.
+#[derive(Debug, Clone)]
+pub struct CellRecord {
+    /// Instance index in the source.
+    pub instance: usize,
+    /// Algorithm index in `spec.algorithms`.
+    pub algorithm: usize,
+    /// α index in `spec.alphas`.
+    pub alpha: usize,
+    /// Metrics, or the typed pipeline error rendered to a string.
+    pub result: Result<CellMetrics, String>,
+}
+
+/// Order statistics of one metric over a group's successful cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Digest {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Arithmetic mean (accumulated in canonical cell order).
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Digest {
+    /// Digests `values` (in canonical cell order); `None` when empty.
+    fn of(values: &[f64]) -> Option<Digest> {
+        if values.is_empty() {
+            return None;
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+        Some(Digest {
+            n: values.len(),
+            min: sorted[0],
+            mean,
+            p50: percentile_sorted(&sorted, 0.50),
+            p99: percentile_sorted(&sorted, 0.99),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+/// Aggregate of one *(algorithm, α)* group.
+#[derive(Debug, Clone)]
+pub struct GroupAggregate {
+    /// Canonical algorithm string (round-trips through `FromStr`).
+    pub algorithm: String,
+    /// The group's power exponent.
+    pub alpha: f64,
+    /// Successfully evaluated cells.
+    pub ok: usize,
+    /// Cells rejected with a typed pipeline error.
+    pub errors: usize,
+    /// Energy-ratio digest (`None` when no cell succeeded).
+    pub energy_ratio: Option<Digest>,
+    /// Peak-speed digest.
+    pub peak_speed: Option<Digest>,
+    /// Speed-ratio digest (`None` for multi-machine groups).
+    pub speed_ratio: Option<Digest>,
+    /// The proven energy bound for this family at this α, if any.
+    pub energy_bound: Option<f64>,
+    /// Cells with `energy_ratio` above `energy_bound` (with slack).
+    pub energy_violations: u64,
+    /// The proven speed bound for this family, if any.
+    pub speed_bound: Option<f64>,
+    /// Cells with `speed_ratio` above `speed_bound` (with slack).
+    pub speed_violations: u64,
+}
+
+/// Per-shard execution statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Cells this shard evaluated.
+    pub cells: u64,
+    /// Wall-clock time this shard spent inside cells.
+    pub busy: Duration,
+}
+
+/// Wall-clock and cache instrumentation of one engine run. This is the
+/// only part of a report that is *not* deterministic.
+#[derive(Debug, Clone)]
+pub struct Instrumentation {
+    /// Work-stealing shard count actually used.
+    pub shards: usize,
+    /// End-to-end wall-clock time of the sweep.
+    pub wall: Duration,
+    /// Total cells evaluated (ok + errors).
+    pub cells: usize,
+    /// `cells / wall` throughput.
+    pub cells_per_sec: f64,
+    /// Instance-context cache: cells that found their instance's
+    /// profiles already built.
+    pub ctx_hits: u64,
+    /// Instance-context cache: contexts built (one per instance).
+    pub ctx_misses: u64,
+    /// Per-α YDS energy memo hits (inside [`OptCache`]).
+    pub opt_energy_hits: u64,
+    /// Per-α YDS energy memo misses.
+    pub opt_energy_misses: u64,
+    /// Multi-machine lower-bound memo hits.
+    pub multi_lb_hits: u64,
+    /// Multi-machine lower-bound memo misses.
+    pub multi_lb_misses: u64,
+    /// Per-shard timers.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl Instrumentation {
+    /// Combined hit rate over all cache layers, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.ctx_hits + self.opt_energy_hits + self.multi_lb_hits;
+        let total = hits + self.ctx_misses + self.opt_energy_misses + self.multi_lb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// The result of [`run_sweep`]: deterministic aggregates, the raw cell
+/// records, and (separately) the run's instrumentation.
+#[derive(Debug)]
+pub struct EngineReport {
+    /// One aggregate per *(algorithm, α)*, in spec order (algorithms
+    /// outer, alphas inner).
+    pub groups: Vec<GroupAggregate>,
+    /// Every cell, in canonical cell order.
+    pub records: Vec<CellRecord>,
+    /// Wall-clock and cache statistics.
+    pub instrumentation: Instrumentation,
+}
+
+impl EngineReport {
+    /// Looks up the aggregate of `(algorithm, alpha)`.
+    pub fn group(&self, algorithm: Algorithm, alpha: f64) -> Option<&GroupAggregate> {
+        let name = algorithm.to_string();
+        self.groups.iter().find(|g| g.algorithm == name && g.alpha == alpha)
+    }
+
+    /// Bound-violation messages over all groups, in the style of
+    /// [`crate::ensemble::check_bound`] — empty means every proven
+    /// bound held and no cell errored.
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for g in &self.groups {
+            if g.errors > 0 {
+                out.push(format!(
+                    "{} α={}: {} cell(s) failed the checked pipeline",
+                    g.algorithm, g.alpha, g.errors
+                ));
+            }
+            if g.energy_violations > 0 {
+                let max = g.energy_ratio.map_or(f64::NAN, |d| d.max);
+                out.push(format!(
+                    "BOUND VIOLATION: {} energy α={}: measured max {} > proven bound {} \
+                     ({} cell(s))",
+                    g.algorithm,
+                    g.alpha,
+                    max,
+                    g.energy_bound.unwrap_or(f64::NAN),
+                    g.energy_violations
+                ));
+            }
+            if g.speed_violations > 0 {
+                let max = g.speed_ratio.map_or(f64::NAN, |d| d.max);
+                out.push(format!(
+                    "BOUND VIOLATION: {} max-speed α={}: measured max {} > proven bound {} \
+                     ({} cell(s))",
+                    g.algorithm,
+                    g.alpha,
+                    max,
+                    g.speed_bound.unwrap_or(f64::NAN),
+                    g.speed_violations
+                ));
+            }
+        }
+        out
+    }
+
+    /// The deterministic aggregate as JSON: byte-identical for the same
+    /// spec at any shard count.
+    pub fn aggregate_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n  \"groups\": [");
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"algorithm\": \"{}\", ", g.algorithm));
+            s.push_str(&format!("\"alpha\": {}, ", g.alpha));
+            s.push_str(&format!("\"ok\": {}, \"errors\": {}, ", g.ok, g.errors));
+            s.push_str(&format!("\"energy_ratio\": {}, ", json_digest(g.energy_ratio)));
+            s.push_str(&format!("\"peak_speed\": {}, ", json_digest(g.peak_speed)));
+            s.push_str(&format!("\"speed_ratio\": {}, ", json_digest(g.speed_ratio)));
+            s.push_str(&format!(
+                "\"energy_bound\": {}, \"energy_violations\": {}, ",
+                json_opt(g.energy_bound),
+                g.energy_violations
+            ));
+            s.push_str(&format!(
+                "\"speed_bound\": {}, \"speed_violations\": {}",
+                json_opt(g.speed_bound),
+                g.speed_violations
+            ));
+            s.push('}');
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// The run's instrumentation as JSON (wall-clock numbers — dump
+    /// this *next to* results, never into them).
+    pub fn instrumentation_json(&self) -> String {
+        let i = &self.instrumentation;
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"shards\": {},\n", i.shards));
+        s.push_str(&format!("  \"cells\": {},\n", i.cells));
+        s.push_str(&format!("  \"wall_ms\": {:.3},\n", i.wall.as_secs_f64() * 1e3));
+        s.push_str(&format!("  \"cells_per_sec\": {:.1},\n", i.cells_per_sec));
+        s.push_str(&format!("  \"cache_hit_rate\": {:.4},\n", i.cache_hit_rate()));
+        s.push_str(&format!(
+            "  \"cache\": {{\"ctx_hits\": {}, \"ctx_misses\": {}, \"opt_energy_hits\": {}, \
+             \"opt_energy_misses\": {}, \"multi_lb_hits\": {}, \"multi_lb_misses\": {}}},\n",
+            i.ctx_hits,
+            i.ctx_misses,
+            i.opt_energy_hits,
+            i.opt_energy_misses,
+            i.multi_lb_hits,
+            i.multi_lb_misses
+        ));
+        s.push_str("  \"per_shard\": [");
+        for (k, sh) in i.per_shard.iter().enumerate() {
+            if k > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"cells\": {}, \"busy_ms\": {:.3}}}",
+                sh.cells,
+                sh.busy.as_secs_f64() * 1e3
+            ));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Shortest-round-trip float or `null`.
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| format!("{x}"))
+}
+
+/// A [`Digest`] as a JSON object, or `null`.
+fn json_digest(d: Option<Digest>) -> String {
+    match d {
+        None => "null".to_string(),
+        Some(d) => format!(
+            "{{\"n\": {}, \"min\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}",
+            d.n, d.min, d.mean, d.p50, d.p99, d.max
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The executor
+// ---------------------------------------------------------------------
+
+/// Runs the sweep over `shards` work-stealing workers (0 = number of
+/// available cores). See the module docs for the full contract; in
+/// short: every cell goes through the checked pipeline, per-instance
+/// profiles are computed once, and the returned aggregates are
+/// deterministic in the spec — independent of `shards`.
+pub fn run_sweep(spec: &SweepSpec, shards: usize) -> Result<EngineReport, EngineError> {
+    spec.validate()?;
+    let n_inst = spec.n_instances();
+    let n_algs = spec.algorithms.len();
+    let n_alphas = spec.alphas.len();
+    let n_cells = n_inst * n_algs * n_alphas;
+    let shards_used = if shards == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        shards
+    }
+    .min(n_cells.max(1));
+
+    // Per-group proven bounds, resolved once.
+    let group_bounds: Vec<(Option<f64>, Option<f64>)> = spec
+        .algorithms
+        .iter()
+        .flat_map(|alg| {
+            spec.alphas.iter().map(move |&alpha| {
+                (bounds::energy_ub_for(alg.family(), alpha), bounds::speed_ub_for(alg.family()))
+            })
+        })
+        .collect();
+
+    let contexts: Vec<OnceLock<InstanceCtx>> = (0..n_inst).map(|_| OnceLock::new()).collect();
+    let live: Vec<StreamAgg> = (0..n_algs * n_alphas).map(|_| StreamAgg::default()).collect();
+    let ctx_hits = AtomicU64::new(0);
+    let ctx_misses = AtomicU64::new(0);
+    let multi_hits = AtomicU64::new(0);
+    let multi_misses = AtomicU64::new(0);
+    let shard_cells: Vec<AtomicU64> = (0..shards_used).map(|_| AtomicU64::new(0)).collect();
+    let shard_busy_ns: Vec<AtomicU64> = (0..shards_used).map(|_| AtomicU64::new(0)).collect();
+
+    let t0 = Instant::now();
+    let records: Vec<CellRecord> = crate::par::par_map_stealing(n_cells, shards_used, |shard, id| {
+        let started = Instant::now();
+        // Canonical cell order: instance outer, algorithm middle, α inner.
+        let inst_idx = id / (n_algs * n_alphas);
+        let alg_idx = (id / n_alphas) % n_algs;
+        let alpha_idx = id % n_alphas;
+        let alg = spec.algorithms[alg_idx];
+        let alpha = spec.alphas[alpha_idx];
+
+        // Profile cache: build the instance context exactly once.
+        let slot = &contexts[inst_idx];
+        let ctx = match slot.get() {
+            Some(ctx) => {
+                ctx_hits.fetch_add(1, Ordering::Relaxed);
+                ctx
+            }
+            None => {
+                let mut built_here = false;
+                let ctx = slot.get_or_init(|| {
+                    built_here = true;
+                    InstanceCtx::new(spec.instance(inst_idx))
+                });
+                if built_here {
+                    ctx_misses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    ctx_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                ctx
+            }
+        };
+
+        let result = match run_evaluated(&ctx.inst, alpha, alg) {
+            Err(e) => Err(e.to_string()),
+            Ok(ev) => {
+                let queried = ev.outcome.decisions.iter().filter(|d| d.queried).count();
+                let (energy_ratio, speed_ratio) = if alg.machines() <= 1 {
+                    let opt_e = ctx.opt.energy(alpha);
+                    let opt_s = ctx.opt.max_speed();
+                    (
+                        if opt_e <= 0.0 { 1.0 } else { ev.energy / opt_e },
+                        Some(if opt_s <= 0.0 { 1.0 } else { ev.max_speed / opt_s }),
+                    )
+                } else {
+                    let (lb, hit) =
+                        ctx.multi_lower_bound(alg.machines(), alpha, spec.opt_fw_iters);
+                    if hit {
+                        multi_hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        multi_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (if lb <= 0.0 { 1.0 } else { ev.energy / lb }, None)
+                };
+                Ok(CellMetrics {
+                    energy: ev.energy,
+                    peak_speed: ev.max_speed,
+                    energy_ratio,
+                    speed_ratio,
+                    queried,
+                })
+            }
+        };
+
+        // Feed the streaming aggregator.
+        let group = alg_idx * n_alphas + alpha_idx;
+        let (energy_bound, speed_bound) = group_bounds[group];
+        match &result {
+            Ok(m) => live[group].record_ok(m, energy_bound, speed_bound),
+            Err(_) => {
+                live[group].errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard_cells[shard].fetch_add(1, Ordering::Relaxed);
+        shard_busy_ns[shard]
+            .fetch_add(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+
+        CellRecord { instance: inst_idx, algorithm: alg_idx, alpha: alpha_idx, result }
+    });
+    let wall = t0.elapsed();
+
+    // Canonical-order finalization: means/percentiles in cell order,
+    // exact counters and maxima from the streaming aggregator.
+    let mut groups = Vec::with_capacity(n_algs * n_alphas);
+    for (alg_idx, alg) in spec.algorithms.iter().enumerate() {
+        for (alpha_idx, &alpha) in spec.alphas.iter().enumerate() {
+            let group = alg_idx * n_alphas + alpha_idx;
+            let agg = &live[group];
+            let mut energy_ratios = Vec::new();
+            let mut peak_speeds = Vec::new();
+            let mut speed_ratios = Vec::new();
+            for rec in records
+                .iter()
+                .filter(|r| r.algorithm == alg_idx && r.alpha == alpha_idx)
+            {
+                if let Ok(m) = &rec.result {
+                    energy_ratios.push(m.energy_ratio);
+                    peak_speeds.push(m.peak_speed);
+                    if let Some(s) = m.speed_ratio {
+                        speed_ratios.push(s);
+                    }
+                }
+            }
+            let energy_ratio = Digest::of(&energy_ratios);
+            debug_assert_eq!(
+                energy_ratio.map(|d| d.max.to_bits()),
+                (agg.ok.load(Ordering::Relaxed) > 0)
+                    .then(|| agg.max_energy_ratio_bits.load(Ordering::Relaxed)),
+                "streaming max must agree with the canonical pass"
+            );
+            let (energy_bound, speed_bound) = group_bounds[group];
+            groups.push(GroupAggregate {
+                algorithm: alg.to_string(),
+                alpha,
+                ok: agg.ok.load(Ordering::Relaxed) as usize,
+                errors: agg.errors.load(Ordering::Relaxed) as usize,
+                energy_ratio,
+                peak_speed: Digest::of(&peak_speeds),
+                speed_ratio: Digest::of(&speed_ratios),
+                energy_bound,
+                energy_violations: agg.energy_violations.load(Ordering::Relaxed),
+                speed_bound,
+                speed_violations: agg.speed_violations.load(Ordering::Relaxed),
+            });
+        }
+    }
+
+    let (opt_hits, opt_misses) = contexts
+        .iter()
+        .filter_map(OnceLock::get)
+        .map(|c| c.opt.counters())
+        .fold((0, 0), |(h, m), (ch, cm)| (h + ch, m + cm));
+    let instrumentation = Instrumentation {
+        shards: shards_used,
+        wall,
+        cells: n_cells,
+        cells_per_sec: if wall.as_secs_f64() > 0.0 {
+            n_cells as f64 / wall.as_secs_f64()
+        } else {
+            f64::INFINITY
+        },
+        ctx_hits: ctx_hits.load(Ordering::Relaxed),
+        ctx_misses: ctx_misses.load(Ordering::Relaxed),
+        opt_energy_hits: opt_hits,
+        opt_energy_misses: opt_misses,
+        multi_lb_hits: multi_hits.load(Ordering::Relaxed),
+        multi_lb_misses: multi_misses.load(Ordering::Relaxed),
+        per_shard: shard_cells
+            .iter()
+            .zip(&shard_busy_ns)
+            .map(|(c, b)| ShardStats {
+                cells: c.load(Ordering::Relaxed),
+                busy: Duration::from_nanos(b.load(Ordering::Relaxed)),
+            })
+            .collect(),
+    };
+
+    Ok(EngineReport { groups, records, instrumentation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            source: InstanceSource::Generated {
+                base: GenConfig::online_default(8, 0),
+                seeds: 0..6,
+            },
+            algorithms: vec![Algorithm::Avrq, Algorithm::Bkpq, Algorithm::AvrqM { m: 2 }],
+            alphas: vec![2.0, 3.0],
+            opt_fw_iters: 4,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_caches_profiles() {
+        let rep = run_sweep(&small_spec(), 2).expect("valid spec");
+        assert_eq!(rep.records.len(), 6 * 3 * 2);
+        assert_eq!(rep.groups.len(), 3 * 2);
+        for g in &rep.groups {
+            assert_eq!(g.ok + g.errors, 6, "{}: every instance accounted for", g.algorithm);
+            assert_eq!(g.errors, 0, "{}", g.algorithm);
+            let d = g.energy_ratio.expect("ok cells");
+            assert!(d.min >= 1.0 - 1e-9, "{}: no algorithm beats its baseline", g.algorithm);
+        }
+        let i = &rep.instrumentation;
+        assert_eq!(i.ctx_misses, 6, "one context per instance");
+        assert_eq!(i.ctx_hits, (6 * 3 * 2 - 6) as u64);
+        assert!(i.cache_hit_rate() > 0.5, "hit rate {}", i.cache_hit_rate());
+        // Multi-machine LB: 2 α values per instance, first is a miss.
+        assert_eq!(i.multi_lb_hits + i.multi_lb_misses, 12);
+    }
+
+    #[test]
+    fn aggregates_are_shard_count_independent() {
+        let spec = small_spec();
+        let base = run_sweep(&spec, 1).expect("shards=1").aggregate_json();
+        for shards in [2, 3, 8] {
+            let json = run_sweep(&spec, shards).expect("valid").aggregate_json();
+            assert_eq!(json, base, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn group_lookup_and_violations() {
+        let rep = run_sweep(&small_spec(), 2).expect("valid spec");
+        let g = rep.group(Algorithm::Avrq, 3.0).expect("group exists");
+        assert_eq!(g.algorithm, "avrq");
+        assert!(g.energy_bound.is_some());
+        assert_eq!(g.energy_violations, 0);
+        assert!(rep.group(Algorithm::Oaq, 3.0).is_none());
+        assert!(rep.violations().is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_cells_are_recorded_not_fatal() {
+        // Online releases fed to the offline family: typed errors per
+        // cell, sweep completes.
+        let spec = SweepSpec {
+            source: InstanceSource::Generated {
+                base: GenConfig::online_default(6, 0),
+                seeds: 0..4,
+            },
+            algorithms: vec![Algorithm::Crad, Algorithm::Avrq],
+            alphas: vec![3.0],
+            opt_fw_iters: 0,
+        };
+        let rep = run_sweep(&spec, 2).expect("valid spec");
+        let crad = rep.group(Algorithm::Crad, 3.0).expect("group");
+        assert_eq!(crad.errors, 4);
+        assert!(crad.energy_ratio.is_none());
+        let avrq = rep.group(Algorithm::Avrq, 3.0).expect("group");
+        assert_eq!(avrq.ok, 4);
+        assert!(!rep.violations().is_empty(), "errored cells are reported");
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        let mut spec = small_spec();
+        spec.algorithms.clear();
+        assert!(matches!(run_sweep(&spec, 1), Err(EngineError::EmptySpec(_))));
+        let mut spec = small_spec();
+        spec.alphas = vec![1.0];
+        assert!(matches!(run_sweep(&spec, 1), Err(EngineError::InvalidAlpha { .. })));
+        let spec = SweepSpec {
+            source: InstanceSource::Explicit(vec![]),
+            algorithms: vec![Algorithm::Avrq],
+            alphas: vec![3.0],
+            opt_fw_iters: 0,
+        };
+        assert!(matches!(run_sweep(&spec, 1), Err(EngineError::EmptySpec(_))));
+    }
+
+    #[test]
+    fn explicit_instances_are_supported() {
+        let inst = generate(&GenConfig::online_default(5, 7));
+        let spec = SweepSpec {
+            source: InstanceSource::Explicit(vec![inst]),
+            algorithms: vec![Algorithm::Bkpq],
+            alphas: vec![3.0],
+            opt_fw_iters: 0,
+        };
+        let rep = run_sweep(&spec, 1).expect("valid spec");
+        assert_eq!(rep.records.len(), 1);
+        assert!(rep.records[0].result.is_ok());
+    }
+}

@@ -24,14 +24,19 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod ensemble;
 pub mod par;
 pub mod search;
 pub mod table;
 pub mod timing;
 
+pub use engine::{
+    run_sweep, CellMetrics, CellRecord, Digest, EngineError, EngineReport, GroupAggregate,
+    InstanceSource, Instrumentation, StreamAgg, SweepSpec,
+};
 pub use ensemble::{measure_ensemble, EnsembleReport};
-pub use par::{par_map, par_map_seeds};
+pub use par::{par_map, par_map_seeds, par_map_stealing};
 pub use search::coordinate_ascent;
 pub use table::Table;
 pub use timing::BenchGroup;

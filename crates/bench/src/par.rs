@@ -4,6 +4,14 @@
 //! fans a slice out over scoped OS threads in contiguous chunks and
 //! returns results in input order — the replacement for the rayon
 //! parallel iterators this workspace cannot depend on.
+//!
+//! [`par_map_stealing`] is the batch engine's fan-out: instead of
+//! static chunks it hands out indices one at a time from a shared
+//! atomic counter, so shards steal work from the common pool and a few
+//! slow cells (a large instance, an expensive Frank–Wolfe baseline)
+//! cannot strand an entire chunk's worth of idle time on one thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Maps `f` over `items` in parallel, preserving order.
 ///
@@ -34,6 +42,58 @@ pub fn par_map_seeds<R: Send>(seeds: std::ops::Range<u64>, f: impl Fn(u64) -> R 
     par_map(&list, |&s| f(s))
 }
 
+/// Maps `f(shard, index)` over `0..n_items` with `shards` work-stealing
+/// workers, returning results in index order.
+///
+/// Each worker repeatedly claims the next unclaimed index from a shared
+/// counter, so load balances dynamically regardless of how uneven the
+/// per-index cost is. Exactly one worker evaluates each index; `shard`
+/// is the worker's id in `0..shards` (for per-shard instrumentation).
+/// `shards == 0` means `available_parallelism`. Panics in `f` propagate
+/// once the scope joins.
+pub fn par_map_stealing<R: Send>(
+    n_items: usize,
+    shards: usize,
+    f: impl Fn(usize, usize) -> R + Sync,
+) -> Vec<R> {
+    let shards = if shards == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        shards
+    }
+    .min(n_items.max(1));
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_items {
+                            break;
+                        }
+                        local.push((i, f(shard, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked; propagating"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(n_items, || None);
+    for (i, r) in buckets.drain(..).flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter().map(|r| r.expect("every index is claimed exactly once")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +110,33 @@ mod tests {
         assert!(par_map::<u64, u64>(&[], |&x| x).is_empty());
         assert_eq!(par_map(&[7u64], |&x| x + 1), vec![8]);
         assert_eq!(par_map_seeds(0..3, |s| s * s), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn stealing_covers_every_index_in_order() {
+        for shards in [1, 2, 3, 8] {
+            let out = par_map_stealing(100, shards, |_, i| 3 * i);
+            assert_eq!(out, (0..100).map(|i| 3 * i).collect::<Vec<_>>(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn stealing_claims_each_index_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let claims: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        let _ = par_map_stealing(64, 4, |shard, i| {
+            claims[i].fetch_add(1, Ordering::Relaxed);
+            assert!(shard < 4);
+            i
+        });
+        assert!(claims.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn stealing_edge_cases() {
+        assert!(par_map_stealing::<u64>(0, 4, |_, i| i as u64).is_empty());
+        assert_eq!(par_map_stealing(1, 8, |_, i| i + 1), vec![1]);
+        // shards = 0 → auto parallelism.
+        assert_eq!(par_map_stealing(5, 0, |_, i| i), vec![0, 1, 2, 3, 4]);
     }
 }

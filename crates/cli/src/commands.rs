@@ -9,18 +9,25 @@
 //! | 1    | the algorithm pipeline failed ([`CliError::Algorithm`]) |
 //! | 2    | bad input: flags, instance data ([`CliError::Input`]) |
 //! | 3    | file-system failure ([`CliError::Io`])               |
+//!
+//! Flags are uniform across subcommands — `--alg`, `--alpha`, `--m`,
+//! `--seed`, `--format table|json|csv` — parsed by the typed [`Flags`]
+//! helper: each command declares its known flags, unknown ones are
+//! errors, and the pre-redesign spellings (`--algorithm`, `--machines`)
+//! keep working with a deprecation note on stderr.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 
+use qbss_bench::engine::{run_sweep, EngineReport, InstanceSource, SweepSpec};
 use qbss_core::error::QbssError;
 use qbss_core::model::QbssInstance;
 use qbss_core::offline::is_power_of_two_deadline;
-use qbss_core::pipeline::{run_checked, Algorithm};
-use qbss_core::QbssOutcome;
+use qbss_core::pipeline::{run_evaluated, Algorithm, DEFAULT_FW_ITERS, DEFAULT_MACHINES};
 use qbss_instances::gen::{self, Compressibility, GenConfig, QueryModel, TimeModel};
 use qbss_instances::io::{self, IoError};
+use speed_scaling::OptCache;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -30,9 +37,14 @@ USAGE:
   qbss generate [--n N] [--seed S] [--family online|poisson|common|p2|arbitrary]
                 [--compress uniform|bimodal|heavytail|incompressible|full]
                 [--out FILE]
-  qbss run      --algorithm ALG --in FILE [--alpha A] [--machines M] [--gantt true] [--save-outcome FILE]
-                  ALG: avrq | bkpq | oaq | avrq-m | crcd | crp2d | crad
-  qbss compare  --in FILE [--alpha A]
+  qbss run      --alg ALG --in FILE [--alpha A] [--m M] [--format table|json|csv]
+                [--gantt true] [--save-outcome FILE]
+                  ALG: avrq | bkpq | oaq | crcd | crp2d | crad
+                     | avrq-m[:M] | avrq-m-nonmig[:M] | oaq-m[:M[:ITERS]]
+  qbss compare  --in FILE [--alpha A] [--format table|json|csv]
+  qbss sweep    [--count K] [--n N] [--seed S] [--family F] [--compress C]
+                [--alg LIST|all] [--alpha LIST] [--m M] [--fw-iters I]
+                [--shards S] [--opt-fw-iters I] [--format json|csv] [--out FILE]
   qbss bounds   [--alpha A]
   qbss rho
   qbss help
@@ -101,35 +113,124 @@ fn input(msg: impl Into<String>) -> CliError {
     CliError::Input(msg.into())
 }
 
-type Flags = HashMap<String, String>;
+// ---------------------------------------------------------------------
+// Flag parsing
+// ---------------------------------------------------------------------
 
-fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
-    let mut flags = Flags::new();
-    let mut it = args.iter();
-    while let Some(key) = it.next() {
-        let Some(name) = key.strip_prefix("--") else {
-            return Err(input(format!("expected --flag, got `{key}`")));
-        };
-        let Some(value) = it.next() else {
-            return Err(input(format!("--{name} needs a value")));
-        };
-        flags.insert(name.to_string(), value.clone());
-    }
-    Ok(flags)
+/// Deprecated spellings kept for compatibility: `(old, canonical)`.
+const DEPRECATED_ALIASES: [(&str, &str); 2] = [("algorithm", "alg"), ("machines", "m")];
+
+/// Typed `--key value` flags with a per-command vocabulary.
+#[derive(Debug)]
+struct Flags {
+    values: HashMap<String, String>,
 }
 
-fn flag_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, CliError> {
-    match flags.get(name) {
-        None => Ok(default),
-        Some(v) => v.parse().map_err(|_| input(format!("--{name}: not a number: `{v}`"))),
+impl Flags {
+    /// Parses `--key value` pairs. `known` is the command's canonical
+    /// vocabulary: unknown flags are bad input, deprecated aliases map
+    /// to their canonical name with a note on stderr.
+    fn parse(args: &[String], known: &[&str]) -> Result<Flags, CliError> {
+        let mut values = HashMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(mut name) = key.strip_prefix("--") else {
+                return Err(input(format!("expected --flag, got `{key}`")));
+            };
+            if let Some(&(old, canonical)) =
+                DEPRECATED_ALIASES.iter().find(|&&(old, c)| old == name && known.contains(&c))
+            {
+                eprintln!("note: --{old} is deprecated; use --{canonical}");
+                name = canonical;
+            }
+            if !known.contains(&name) {
+                return Err(input(format!(
+                    "unknown flag --{name} (expected one of: {})",
+                    known.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+            let Some(value) = it.next() else {
+                return Err(input(format!("--{name} needs a value")));
+            };
+            values.insert(name.to_string(), value.clone());
+        }
+        Ok(Flags { values })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn f64(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| input(format!("--{name}: not a number: `{v}`"))),
+        }
+    }
+
+    fn usize(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| input(format!("--{name}: not an integer: `{v}`"))),
+        }
+    }
+
+    fn u64(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| input(format!("--{name}: not an integer: `{v}`"))),
+        }
+    }
+
+    /// Parses `--alpha` and enforces the model's `α > 1` (finite)
+    /// contract up front, so a bad exponent is a bad-input error
+    /// (exit 2), not an algorithm failure.
+    fn alpha(&self) -> Result<f64, CliError> {
+        let a = self.f64("alpha", 3.0)?;
+        if !a.is_finite() || a <= 1.0 {
+            return Err(input("alpha must be finite and exceed 1"));
+        }
+        Ok(a)
+    }
+
+    /// `--format` with a per-command default and allowed set.
+    fn format(&self, default: &'static str, allowed: &[&str]) -> Result<String, CliError> {
+        let f = self.get("format").unwrap_or(default);
+        if !allowed.contains(&f) {
+            return Err(input(format!(
+                "--format: unknown format `{f}` (expected {})",
+                allowed.join("|")
+            )));
+        }
+        Ok(f.to_string())
+    }
+
+    /// `--alg`, through the canonical [`Algorithm`] parser; an explicit
+    /// `--m` overrides the machine count of bare multi-machine names.
+    fn algorithm(&self) -> Result<Algorithm, CliError> {
+        let name = self.get("alg").ok_or_else(|| input("--alg ALG is required"))?;
+        let alg: Algorithm = name.parse().map_err(|e: qbss_core::pipeline::ParseAlgorithmError| {
+            input(e.to_string())
+        })?;
+        match self.get("m") {
+            None => Ok(alg),
+            Some(_) => Ok(with_machines(alg, self.usize("m", DEFAULT_MACHINES)?)?),
+        }
     }
 }
 
-fn flag_usize(flags: &Flags, name: &str, default: usize) -> Result<usize, CliError> {
-    match flags.get(name) {
-        None => Ok(default),
-        Some(v) => v.parse().map_err(|_| input(format!("--{name}: not an integer: `{v}`"))),
+/// Rebinds a multi-machine algorithm to `m` machines (no-op on
+/// single-machine algorithms).
+fn with_machines(alg: Algorithm, m: usize) -> Result<Algorithm, CliError> {
+    if m == 0 {
+        return Err(input("--m: machine count must be at least 1"));
     }
+    Ok(match alg {
+        Algorithm::AvrqM { .. } => Algorithm::AvrqM { m },
+        Algorithm::AvrqMNonmig { .. } => Algorithm::AvrqMNonmig { m },
+        Algorithm::OaqM { fw_iters, .. } => Algorithm::OaqM { m, fw_iters },
+        other => other,
+    })
 }
 
 fn load_instance(flags: &Flags) -> Result<QbssInstance, CliError> {
@@ -137,27 +238,39 @@ fn load_instance(flags: &Flags) -> Result<QbssInstance, CliError> {
     Ok(io::read_file(Path::new(path))?)
 }
 
-/// `qbss generate`.
-pub fn generate(args: &[String]) -> Result<(), CliError> {
-    let flags = parse_flags(args)?;
-    let n = flag_usize(&flags, "n", 50)?;
-    let seed = flag_usize(&flags, "seed", 0)? as u64;
-    let time = match flags.get("family").map(String::as_str).unwrap_or("online") {
+fn time_model_for(name: &str, n: usize) -> Result<TimeModel, CliError> {
+    Ok(match name {
         "online" => TimeModel::Online { horizon: n as f64 / 4.0, min_len: 0.5, max_len: 4.0 },
         "common" => TimeModel::CommonDeadline { d: 8.0 },
         "p2" => TimeModel::PowersOfTwo { min_exp: 0, max_exp: 5 },
         "arbitrary" => TimeModel::ArbitraryDeadlines { min_d: 1.0, max_d: 50.0 },
         "poisson" => TimeModel::Poisson { rate: 2.0, min_len: 0.5, max_len: 4.0 },
         other => return Err(input(format!("unknown family `{other}`"))),
-    };
-    let compress = match flags.get("compress").map(String::as_str).unwrap_or("uniform") {
+    })
+}
+
+fn compress_for(name: &str) -> Result<Compressibility, CliError> {
+    Ok(match name {
         "uniform" => Compressibility::Uniform,
         "bimodal" => Compressibility::Bimodal { p_compressible: 0.5 },
         "heavytail" => Compressibility::HeavyTail,
         "incompressible" => Compressibility::Incompressible,
         "full" => Compressibility::FullyCompressible,
         other => return Err(input(format!("unknown compressibility `{other}`"))),
-    };
+    })
+}
+
+// ---------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------
+
+/// `qbss generate`.
+pub fn generate(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["n", "seed", "family", "compress", "out"])?;
+    let n = flags.usize("n", 50)?;
+    let seed = flags.u64("seed", 0)?;
+    let time = time_model_for(flags.get("family").unwrap_or("online"), n)?;
+    let compress = compress_for(flags.get("compress").unwrap_or("uniform"))?;
     let cfg = GenConfig {
         n,
         seed,
@@ -178,43 +291,87 @@ pub fn generate(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn print_outcome(out: &QbssOutcome, inst: &QbssInstance, alpha: f64) {
-    let queried = out.decisions.iter().filter(|d| d.queried).count();
-    println!("algorithm:     {}", out.algorithm);
-    println!("jobs:          {} ({} queried)", inst.len(), queried);
-    println!("energy:        {:.4} (alpha = {alpha})", out.energy(alpha));
-    println!("opt energy:    {:.4}", inst.opt_energy(alpha));
-    println!("energy ratio:  {:.4}", out.energy_ratio(inst, alpha));
-    println!("max speed:     {:.4}", out.max_speed());
-    println!("opt max speed: {:.4}", inst.opt_max_speed());
-    println!("speed ratio:   {:.4}", out.speed_ratio(inst));
-    println!("slices:        {}", out.schedule.slices.len());
+/// One evaluated row of `run`/`compare` output: the pipeline's gate
+/// costs next to the cached clairvoyant baseline — nothing is
+/// re-integrated for printing.
+struct CostRow {
+    algorithm: String,
+    energy: f64,
+    energy_ratio: f64,
+    max_speed: f64,
+    speed_ratio: f64,
+    queried: usize,
 }
 
-/// Parses `--alpha` and enforces the model's `α > 1` (finite) contract
-/// up front, so a bad exponent is a bad-input error (exit 2), not an
-/// algorithm failure.
-fn flag_alpha(flags: &Flags) -> Result<f64, CliError> {
-    let a = flag_f64(flags, "alpha", 3.0)?;
-    if !a.is_finite() || a <= 1.0 {
-        return Err(input("alpha must be finite and exceed 1"));
-    }
-    Ok(a)
+fn cost_row(
+    inst: &QbssInstance,
+    alpha: f64,
+    algorithm: Algorithm,
+    opt: &OptCache,
+) -> Result<(CostRow, qbss_core::QbssOutcome), CliError> {
+    let ev = run_evaluated(inst, alpha, algorithm)?;
+    let queried = ev.outcome.decisions.iter().filter(|d| d.queried).count();
+    let row = CostRow {
+        algorithm: ev.outcome.algorithm.clone(),
+        energy: ev.energy,
+        energy_ratio: ev.energy / opt.energy(alpha),
+        max_speed: ev.max_speed,
+        speed_ratio: ev.max_speed / opt.max_speed(),
+        queried,
+    };
+    Ok((row, ev.outcome))
+}
+
+const ROW_CSV_HEADER: &str = "algorithm,energy,energy_ratio,max_speed,speed_ratio,queried";
+
+fn row_csv(r: &CostRow) -> String {
+    format!(
+        "{},{},{},{},{},{}",
+        r.algorithm, r.energy, r.energy_ratio, r.max_speed, r.speed_ratio, r.queried
+    )
+}
+
+fn row_json(r: &CostRow) -> String {
+    format!(
+        "{{\"algorithm\": \"{}\", \"energy\": {}, \"energy_ratio\": {}, \"max_speed\": {}, \
+         \"speed_ratio\": {}, \"queried\": {}}}",
+        r.algorithm, r.energy, r.energy_ratio, r.max_speed, r.speed_ratio, r.queried
+    )
 }
 
 /// `qbss run`.
 pub fn run(args: &[String]) -> Result<(), CliError> {
-    let flags = parse_flags(args)?;
+    let flags = Flags::parse(
+        args,
+        &["alg", "in", "alpha", "m", "format", "gantt", "save-outcome"],
+    )?;
     let inst = load_instance(&flags)?;
-    let alpha = flag_alpha(&flags)?;
-    let alg = flags.get("algorithm").ok_or_else(|| input("--algorithm is required"))?;
-    let out = run_algorithm(alg, &inst, alpha, &flags)?;
-    print_outcome(&out, &inst, alpha);
-    if flags.get("gantt").map(String::as_str) == Some("true") {
-        println!("\n{}", speed_scaling::render::schedule_report(&out.schedule));
+    let alpha = flags.alpha()?;
+    let algorithm = flags.algorithm()?;
+    let format = flags.format("table", &["table", "json", "csv"])?;
+    // The YDS baseline is computed once and shared by every line below.
+    let opt = inst.opt_cache();
+    let (row, outcome) = cost_row(&inst, alpha, algorithm, &opt)?;
+    match format.as_str() {
+        "json" => println!("{}", row_json(&row)),
+        "csv" => println!("{ROW_CSV_HEADER}\n{}", row_csv(&row)),
+        _ => {
+            println!("algorithm:     {}", row.algorithm);
+            println!("jobs:          {} ({} queried)", inst.len(), row.queried);
+            println!("energy:        {:.4} (alpha = {alpha})", row.energy);
+            println!("opt energy:    {:.4}", opt.energy(alpha));
+            println!("energy ratio:  {:.4}", row.energy_ratio);
+            println!("max speed:     {:.4}", row.max_speed);
+            println!("opt max speed: {:.4}", opt.max_speed());
+            println!("speed ratio:   {:.4}", row.speed_ratio);
+            println!("slices:        {}", outcome.schedule.slices.len());
+        }
+    }
+    if flags.get("gantt") == Some("true") {
+        println!("\n{}", speed_scaling::render::schedule_report(&outcome.schedule));
     }
     if let Some(path) = flags.get("save-outcome") {
-        let json = io::outcome_to_json(&out);
+        let json = io::outcome_to_json(&outcome);
         std::fs::write(path, json)
             .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
         eprintln!("wrote outcome (decisions + schedule) to {path}");
@@ -222,84 +379,224 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Maps a `--algorithm` name to the checked-pipeline dispatcher.
-fn algorithm_for(alg: &str, flags: &Flags) -> Result<Algorithm, CliError> {
-    match alg {
-        "avrq" => Ok(Algorithm::Avrq),
-        "bkpq" => Ok(Algorithm::Bkpq),
-        "oaq" => Ok(Algorithm::Oaq),
-        "avrq-m" => Ok(Algorithm::AvrqM { m: flag_usize(flags, "machines", 2)? }),
-        "crcd" => Ok(Algorithm::Crcd),
-        "crp2d" => Ok(Algorithm::Crp2d),
-        "crad" => Ok(Algorithm::Crad),
-        other => Err(input(format!("unknown algorithm `{other}`"))),
+/// The algorithms applicable to an instance's structure (every online
+/// algorithm, plus the offline family where the instance is in scope).
+fn applicable(inst: &QbssInstance) -> Vec<Algorithm> {
+    let mut candidates = vec![Algorithm::Avrq, Algorithm::Bkpq, Algorithm::Oaq];
+    if inst.has_common_release(0.0) {
+        candidates.push(Algorithm::Crad);
+        if inst.jobs.iter().all(|j| is_power_of_two_deadline(j.deadline)) {
+            candidates.push(Algorithm::Crp2d);
+        }
+        if inst.common_deadline().is_some() {
+            candidates.push(Algorithm::Crcd);
+        }
     }
-}
-
-/// Runs one algorithm through [`run_checked`]: the instance is
-/// validated, out-of-scope structures come back as typed errors, the
-/// outcome is re-validated, and non-finite costs are rejected — no
-/// panics on any input.
-fn run_algorithm(
-    alg: &str,
-    inst: &QbssInstance,
-    alpha: f64,
-    flags: &Flags,
-) -> Result<QbssOutcome, CliError> {
-    let algorithm = algorithm_for(alg, flags)?;
-    Ok(run_checked(inst, alpha, algorithm)?)
+    candidates
 }
 
 /// `qbss compare`.
 pub fn compare(args: &[String]) -> Result<(), CliError> {
-    let flags = parse_flags(args)?;
+    let flags = Flags::parse(args, &["in", "alpha", "format"])?;
     let inst = load_instance(&flags)?;
-    let alpha = flag_alpha(&flags)?;
-
-    let mut candidates: Vec<&str> = vec!["avrq", "bkpq", "oaq"];
-    if inst.has_common_release(0.0) {
-        candidates.push("crad");
-        if inst.jobs.iter().all(|j| is_power_of_two_deadline(j.deadline)) {
-            candidates.push("crp2d");
+    let alpha = flags.alpha()?;
+    let format = flags.format("table", &["table", "json", "csv"])?;
+    // One clairvoyant solve serves every candidate row.
+    let opt = inst.opt_cache();
+    let rows: Vec<CostRow> = applicable(&inst)
+        .into_iter()
+        .map(|alg| cost_row(&inst, alpha, alg, &opt).map(|(row, _)| row))
+        .collect::<Result<_, _>>()?;
+    match format.as_str() {
+        "json" => {
+            let body: Vec<String> = rows.iter().map(row_json).collect();
+            println!("[{}]", body.join(", "));
         }
-        if inst.common_deadline().is_some() {
-            candidates.push("crcd");
+        "csv" => {
+            println!("{ROW_CSV_HEADER}");
+            for r in &rows {
+                println!("{}", row_csv(r));
+            }
+        }
+        _ => {
+            println!(
+                "{:<8} {:>12} {:>10} {:>12} {:>10} {:>9}",
+                "alg", "energy", "E-ratio", "max speed", "s-ratio", "queries"
+            );
+            for r in &rows {
+                println!(
+                    "{:<8} {:>12.4} {:>10.4} {:>12.4} {:>10.4} {:>6}/{}",
+                    r.algorithm,
+                    r.energy,
+                    r.energy_ratio,
+                    r.max_speed,
+                    r.speed_ratio,
+                    r.queried,
+                    inst.len()
+                );
+            }
+            println!(
+                "{:<8} {:>12.4} {:>10} {:>12.4}",
+                "OPT",
+                opt.energy(alpha),
+                "1.0000",
+                opt.max_speed()
+            );
         }
     }
+    Ok(())
+}
 
-    println!(
-        "{:<8} {:>12} {:>10} {:>12} {:>10} {:>9}",
-        "alg", "energy", "E-ratio", "max speed", "s-ratio", "queries"
-    );
-    for alg in candidates {
-        let out = run_algorithm(alg, &inst, alpha, &flags)?;
-        let queried = out.decisions.iter().filter(|d| d.queried).count();
-        println!(
-            "{:<8} {:>12.4} {:>10.4} {:>12.4} {:>10.4} {:>6}/{}",
-            out.algorithm,
-            out.energy(alpha),
-            out.energy_ratio(&inst, alpha),
-            out.max_speed(),
-            out.speed_ratio(&inst),
-            queried,
-            inst.len()
-        );
+/// Parses the sweep's `--alg` list: `all` expands to every
+/// configuration at `(m, fw_iters)`; otherwise a comma-separated list
+/// of canonical names, with bare multi-machine names bound to `--m`.
+fn parse_alg_list(list: &str, m: usize, fw_iters: usize) -> Result<Vec<Algorithm>, CliError> {
+    if list.trim() == "all" {
+        return Ok(Algorithm::all(m, fw_iters));
     }
-    println!(
-        "{:<8} {:>12.4} {:>10} {:>12.4}",
-        "OPT",
-        inst.opt_energy(alpha),
-        "1.0000",
-        inst.opt_max_speed()
+    list.split(',')
+        .map(|token| {
+            let alg: Algorithm = token
+                .parse()
+                .map_err(|e: qbss_core::pipeline::ParseAlgorithmError| input(e.to_string()))?;
+            // A bare family name takes the sweep-level machine count.
+            if !token.contains(':') {
+                with_machines(alg, m)
+            } else {
+                Ok(alg)
+            }
+        })
+        .collect()
+}
+
+fn parse_alpha_list(list: &str) -> Result<Vec<f64>, CliError> {
+    list.split(',')
+        .map(|tok| {
+            let a: f64 =
+                tok.parse().map_err(|_| input(format!("--alpha: not a number: `{tok}`")))?;
+            if !a.is_finite() || a <= 1.0 {
+                return Err(input(format!("--alpha: {tok} must be finite and exceed 1")));
+            }
+            Ok(a)
+        })
+        .collect()
+}
+
+/// Flattens an [`EngineReport`] aggregate into CSV (one row per
+/// algorithm × α group).
+fn sweep_csv(report: &EngineReport) -> String {
+    let mut s = String::from(
+        "algorithm,alpha,ok,errors,energy_ratio_mean,energy_ratio_p50,energy_ratio_p99,\
+         energy_ratio_max,peak_speed_max,speed_ratio_max,energy_bound,energy_violations,\
+         speed_bound,speed_violations\n",
     );
+    let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x}"));
+    for g in &report.groups {
+        s.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            g.algorithm,
+            g.alpha,
+            g.ok,
+            g.errors,
+            opt(g.energy_ratio.map(|d| d.mean)),
+            opt(g.energy_ratio.map(|d| d.p50)),
+            opt(g.energy_ratio.map(|d| d.p99)),
+            opt(g.energy_ratio.map(|d| d.max)),
+            opt(g.peak_speed.map(|d| d.max)),
+            opt(g.speed_ratio.map(|d| d.max)),
+            opt(g.energy_bound),
+            g.energy_violations,
+            opt(g.speed_bound),
+            g.speed_violations,
+        ));
+    }
+    s
+}
+
+/// `qbss sweep` — a declarative batch run on the sharded engine.
+pub fn sweep(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "count", "n", "seed", "family", "compress", "alg", "alpha", "m", "fw-iters",
+            "shards", "opt-fw-iters", "format", "out",
+        ],
+    )?;
+    let count = flags.u64("count", 100)?;
+    let n = flags.usize("n", 20)?;
+    let seed = flags.u64("seed", 0)?;
+    // Default family `common`: the one structure every algorithm —
+    // offline and online — is in scope for, so `--alg all` yields no
+    // per-cell errors out of the box.
+    let time = time_model_for(flags.get("family").unwrap_or("common"), n)?;
+    let compress = compress_for(flags.get("compress").unwrap_or("uniform"))?;
+    let m = flags.usize("m", DEFAULT_MACHINES)?;
+    let fw_iters = flags.usize("fw-iters", DEFAULT_FW_ITERS)?;
+    let algorithms = parse_alg_list(flags.get("alg").unwrap_or("all"), m, fw_iters)?;
+    let alphas = parse_alpha_list(flags.get("alpha").unwrap_or("3"))?;
+    let shards = flags.usize("shards", 0)?;
+    let opt_fw_iters = flags.usize("opt-fw-iters", 8)?;
+    let format = flags.format("json", &["json", "csv"])?;
+
+    let spec = SweepSpec {
+        source: InstanceSource::Generated {
+            base: GenConfig {
+                n,
+                seed: 0,
+                time,
+                min_w: 0.5,
+                max_w: 4.0,
+                query: QueryModel::UniformFraction { lo: 0.1, hi: 0.6 },
+                compress,
+            },
+            seeds: seed..seed.saturating_add(count),
+        },
+        algorithms,
+        alphas,
+        opt_fw_iters,
+    };
+    let report = run_sweep(&spec, shards).map_err(|e| input(e.to_string()))?;
+
+    let body = match format.as_str() {
+        "csv" => sweep_csv(&report),
+        _ => report.aggregate_json(),
+    };
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            // Wall-clock instrumentation goes *next to* the results, so
+            // recorded aggregates stay byte-reproducible.
+            let instr_path = format!("{path}.instr.json");
+            std::fs::write(&instr_path, report.instrumentation_json())
+                .map_err(|e| CliError::Io(format!("cannot write {instr_path}: {e}")))?;
+            eprintln!("wrote aggregate to {path}, instrumentation to {instr_path}");
+        }
+        None => {
+            print!("{body}");
+            eprint!("{}", report.instrumentation_json());
+        }
+    }
+    let i = &report.instrumentation;
+    eprintln!(
+        "swept {} cells on {} shard(s) in {:.2}s ({:.0} cells/s, cache hit rate {:.1}%)",
+        i.cells,
+        i.shards,
+        i.wall.as_secs_f64(),
+        i.cells_per_sec,
+        100.0 * i.cache_hit_rate()
+    );
+    for v in report.violations() {
+        eprintln!("warning: {v}");
+    }
     Ok(())
 }
 
 /// `qbss bounds`.
 pub fn bounds(args: &[String]) -> Result<(), CliError> {
     use qbss_analysis::bounds as b;
-    let flags = parse_flags(args)?;
-    let a = flag_alpha(&flags)?;
+    let flags = Flags::parse(args, &["alpha"])?;
+    let a = flags.alpha()?;
     println!("Table 1 of the paper at alpha = {a}\n");
     println!("offline (energy):");
     println!("  oracle LB            {:.4}", b::oracle_energy_lb(a));
@@ -321,7 +618,8 @@ pub fn bounds(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `qbss rho`.
-pub fn rho(_args: &[String]) -> Result<(), CliError> {
+pub fn rho(args: &[String]) -> Result<(), CliError> {
+    let _ = Flags::parse(args, &[])?;
     println!("alpha   rho1     rho2     rho3");
     for row in qbss_analysis::rho::rho_table() {
         let r3 = if row.rho3 == 0.0 { "   -".to_string() } else { format!("{:.3}", row.rho3) };
@@ -339,43 +637,78 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
+    const RUN_FLAGS: &[&str] = &["alg", "in", "alpha", "m", "format", "gantt", "save-outcome"];
+
     #[test]
     fn parse_flags_pairs() {
-        let f = parse_flags(&args(&["--n", "10", "--seed", "3"])).unwrap();
-        assert_eq!(f.get("n").map(String::as_str), Some("10"));
-        assert_eq!(f.get("seed").map(String::as_str), Some("3"));
+        let f = Flags::parse(&args(&["--n", "10", "--seed", "3"]), &["n", "seed"]).unwrap();
+        assert_eq!(f.get("n"), Some("10"));
+        assert_eq!(f.get("seed"), Some("3"));
     }
 
     #[test]
     fn parse_flags_rejects_bare_values() {
-        assert!(parse_flags(&args(&["n", "10"])).is_err());
+        assert!(Flags::parse(&args(&["n", "10"]), &["n"]).is_err());
     }
 
     #[test]
     fn parse_flags_rejects_missing_value() {
-        let err = parse_flags(&args(&["--n"])).unwrap_err();
+        let err = Flags::parse(&args(&["--n"]), &["n"]).unwrap_err();
         assert!(err.to_string().contains("needs a value"));
         assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
+    fn parse_flags_rejects_unknown_flag() {
+        let err = Flags::parse(&args(&["--bogus", "1"]), &["n", "seed"]).unwrap_err();
+        assert!(err.to_string().contains("--bogus"), "{err}");
+        assert!(err.to_string().contains("--seed"), "lists the vocabulary: {err}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn deprecated_aliases_map_to_canonical() {
+        let f =
+            Flags::parse(&args(&["--algorithm", "avrq", "--machines", "4"]), RUN_FLAGS).unwrap();
+        assert_eq!(f.get("alg"), Some("avrq"));
+        assert_eq!(f.get("m"), Some("4"));
+        // The alias only applies where the canonical flag exists.
+        assert!(Flags::parse(&args(&["--machines", "4"]), &["alpha"]).is_err());
+    }
+
+    #[test]
     fn flag_parsers_defaults_and_errors() {
-        let f = parse_flags(&args(&["--alpha", "2.5", "--m", "x"])).unwrap();
-        assert_eq!(flag_f64(&f, "alpha", 3.0).unwrap(), 2.5);
-        assert_eq!(flag_f64(&f, "missing", 3.0).unwrap(), 3.0);
-        assert!(flag_usize(&f, "m", 1).is_err());
+        let f = Flags::parse(&args(&["--alpha", "2.5", "--m", "x"]), &["alpha", "m"]).unwrap();
+        assert_eq!(f.f64("alpha", 3.0).unwrap(), 2.5);
+        assert_eq!(f.f64("missing", 3.0).unwrap(), 3.0);
+        assert!(f.usize("m", 1).is_err());
+    }
+
+    #[test]
+    fn algorithm_flag_honours_m_override() {
+        let f = Flags::parse(&args(&["--alg", "avrq-m", "--m", "4"]), RUN_FLAGS).unwrap();
+        assert_eq!(f.algorithm().unwrap(), Algorithm::AvrqM { m: 4 });
+        // Explicit parameters win when --m is absent.
+        let f = Flags::parse(&args(&["--alg", "oaq-m:8:5"]), RUN_FLAGS).unwrap();
+        assert_eq!(f.algorithm().unwrap(), Algorithm::OaqM { m: 8, fw_iters: 5 });
+        // --m rebinds machine count, keeps fw_iters.
+        let f = Flags::parse(&args(&["--alg", "oaq-m:8:5", "--m", "3"]), RUN_FLAGS).unwrap();
+        assert_eq!(f.algorithm().unwrap(), Algorithm::OaqM { m: 3, fw_iters: 5 });
+        let f = Flags::parse(&args(&["--alg", "nope"]), RUN_FLAGS).unwrap();
+        assert_eq!(f.algorithm().unwrap_err().exit_code(), 2);
     }
 
     #[test]
     fn run_algorithm_dispatch() {
         let inst = qbss_core::QbssInstance::new(vec![QJob::new(0, 0.0, 2.0, 0.5, 2.0, 0.5)]);
-        let flags = Flags::new();
+        let opt = inst.opt_cache();
         for alg in ["avrq", "bkpq", "oaq", "crcd", "crp2d", "crad", "avrq-m"] {
-            let out =
-                run_algorithm(alg, &inst, 3.0, &flags).unwrap_or_else(|e| panic!("{alg}: {e}"));
+            let algorithm: Algorithm = alg.parse().unwrap();
+            let (_, out) = cost_row(&inst, 3.0, algorithm, &opt)
+                .unwrap_or_else(|e| panic!("{alg}: {e}"));
             out.validate(&inst).unwrap_or_else(|e| panic!("{alg}: {e}"));
         }
-        assert!(run_algorithm("nope", &inst, 3.0, &flags).is_err());
+        assert!("nope".parse::<Algorithm>().is_err());
     }
 
     #[test]
@@ -384,23 +717,24 @@ mod tests {
         // algorithm error (exit code 1); crcd supports any common
         // window `(r0, D]`.
         let inst = qbss_core::QbssInstance::new(vec![QJob::new(0, 1.0, 2.0, 0.5, 2.0, 0.5)]);
-        let flags = Flags::new();
-        for alg in ["crp2d", "crad"] {
-            let err = run_algorithm(alg, &inst, 3.0, &flags).expect_err(alg);
+        let opt = inst.opt_cache();
+        for alg in [Algorithm::Crp2d, Algorithm::Crad] {
+            let err = cost_row(&inst, 3.0, alg, &opt).map(|_| ()).expect_err(alg.name());
             assert!(matches!(err, CliError::Algorithm(_)), "{alg}: {err}");
             assert_eq!(err.exit_code(), 1, "{alg}");
         }
-        assert!(run_algorithm("crcd", &inst, 3.0, &flags).is_ok());
+        assert!(cost_row(&inst, 3.0, Algorithm::Crcd, &opt).is_ok());
         // Non-power-of-two deadline: crp2d refuses, crad rounds.
         let inst = qbss_core::QbssInstance::new(vec![QJob::new(0, 0.0, 3.0, 0.5, 2.0, 0.5)]);
-        assert!(run_algorithm("crp2d", &inst, 3.0, &flags).is_err());
-        assert!(run_algorithm("crad", &inst, 3.0, &flags).is_ok());
+        let opt = inst.opt_cache();
+        assert!(cost_row(&inst, 3.0, Algorithm::Crp2d, &opt).is_err());
+        assert!(cost_row(&inst, 3.0, Algorithm::Crad, &opt).is_ok());
     }
 
     #[test]
     fn malformed_instances_never_panic_the_cli() {
         // A NaN smuggled past the constructors must surface as a typed
-        // model error through run_algorithm, not a panic.
+        // model error through the pipeline, not a panic.
         let inst = qbss_core::QbssInstance::new(vec![QJob::new_unchecked(
             0,
             0.0,
@@ -409,9 +743,10 @@ mod tests {
             2.0,
             0.5,
         )]);
-        let flags = Flags::new();
+        let opt = inst.opt_cache();
         for alg in ["avrq", "bkpq", "oaq", "crcd", "crp2d", "crad", "avrq-m"] {
-            let err = run_algorithm(alg, &inst, 3.0, &flags).expect_err(alg);
+            let algorithm: Algorithm = alg.parse().unwrap();
+            let err = cost_row(&inst, 3.0, algorithm, &opt).map(|_| ()).expect_err(alg);
             assert_eq!(err.exit_code(), 1, "{alg}: {err}");
         }
     }
@@ -436,9 +771,8 @@ mod tests {
 
     #[test]
     fn missing_file_is_an_io_error() {
-        let mut flags = Flags::new();
-        flags.insert("in".into(), "/definitely/not/a/file.json".into());
-        let err = load_instance(&flags).unwrap_err();
+        let f = Flags::parse(&args(&["--in", "/definitely/not/a/file.json"]), &["in"]).unwrap();
+        let err = load_instance(&f).unwrap_err();
         assert!(matches!(err, CliError::Io(_)), "{err}");
         assert_eq!(err.exit_code(), 3);
     }
@@ -452,10 +786,44 @@ mod tests {
     #[test]
     fn bad_alpha_is_bad_input_everywhere() {
         for a in ["0.5", "1.0", "NaN", "inf", "-2"] {
-            let mut flags = Flags::new();
-            flags.insert("alpha".into(), a.into());
-            let err = flag_alpha(&flags).unwrap_err();
+            let f = Flags::parse(&args(&["--alpha", a]), &["alpha"]).unwrap();
+            let err = f.alpha().unwrap_err();
             assert_eq!(err.exit_code(), 2, "alpha {a}: {err}");
         }
+    }
+
+    #[test]
+    fn alg_and_alpha_lists_parse() {
+        let algs = parse_alg_list("avrq,bkpq,avrq-m", 4, 7).unwrap();
+        assert_eq!(
+            algs,
+            vec![Algorithm::Avrq, Algorithm::Bkpq, Algorithm::AvrqM { m: 4 }]
+        );
+        assert_eq!(parse_alg_list("all", 3, 6).unwrap(), Algorithm::all(3, 6));
+        // Explicit parameters override the sweep-level --m.
+        assert_eq!(parse_alg_list("avrq-m:8", 2, 6).unwrap(), vec![Algorithm::AvrqM { m: 8 }]);
+        assert!(parse_alg_list("nope", 2, 6).is_err());
+        assert_eq!(parse_alpha_list("2,2.5,3").unwrap(), vec![2.0, 2.5, 3.0]);
+        assert!(parse_alpha_list("1.0").is_err());
+        assert!(parse_alpha_list("x").is_err());
+    }
+
+    #[test]
+    fn sweep_runs_end_to_end() {
+        let dir = std::env::temp_dir().join("qbss-cli-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agg.json");
+        sweep(&args(&[
+            "--count", "6", "--n", "8", "--alg", "avrq,bkpq", "--alpha", "2,3",
+            "--shards", "2", "--format", "json", "--out",
+            path.to_str().unwrap(),
+        ]))
+        .expect("sweep");
+        let agg = std::fs::read_to_string(&path).unwrap();
+        assert!(agg.contains("\"algorithm\": \"avrq\""), "{agg}");
+        let instr =
+            std::fs::read_to_string(format!("{}.instr.json", path.display())).unwrap();
+        assert!(instr.contains("\"cache_hit_rate\""), "{instr}");
+        assert!(sweep(&args(&["--alg", "nope"])).is_err());
     }
 }

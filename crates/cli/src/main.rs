@@ -7,11 +7,16 @@
 //!   decisions, energy and ratios;
 //! * `qbss compare` — run every applicable algorithm on an instance and
 //!   print a comparison table;
+//! * `qbss sweep` — run a declarative instance × algorithm × α grid on
+//!   the sharded batch engine and print deterministic aggregates;
 //! * `qbss bounds` — print the paper's Table 1 at a given α;
 //! * `qbss rho` — print the §4.2 ρ-comparison table.
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
-//! workspace dependency-free.
+//! workspace dependency-free; flags are uniform across subcommands
+//! (`--alg`, `--alpha`, `--m`, `--seed`, `--format`), and the old
+//! spellings (`--algorithm`, `--machines`) still work with a
+//! deprecation note on stderr.
 //!
 //! Exit codes are part of the contract (scripts rely on them):
 //! `0` success, `1` algorithm failure on valid input, `2` bad input
@@ -36,6 +41,7 @@ fn main() -> ExitCode {
         "generate" => commands::generate(rest),
         "run" => commands::run(rest),
         "compare" => commands::compare(rest),
+        "sweep" => commands::sweep(rest),
         "bounds" => commands::bounds(rest),
         "rho" => commands::rho(rest),
         "help" | "--help" | "-h" => {

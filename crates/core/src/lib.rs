@@ -66,5 +66,5 @@ pub use decision::Decision;
 pub use error::{AlgorithmError, ModelError, ModelErrorKind, QbssError, ValidationError};
 pub use model::{QJob, QbssInstance, VisibleJob};
 pub use outcome::QbssOutcome;
-pub use pipeline::run_checked;
+pub use pipeline::{run_checked, run_evaluated, Algorithm, Evaluated, ParseAlgorithmError};
 pub use policy::{QueryRule, SplitRule, Strategy, INV_PHI, PHI};

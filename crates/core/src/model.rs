@@ -275,6 +275,16 @@ impl QbssInstance {
     pub fn opt_max_speed(&self) -> f64 {
         speed_scaling::yds::optimal_max_speed(&self.clairvoyant_instance())
     }
+
+    /// A memoized handle on the clairvoyant optimum: YDS runs once, and
+    /// `energy(α)` / `max_speed()` reads are cheap thereafter —
+    /// bit-identical to [`QbssInstance::opt_energy`] /
+    /// [`QbssInstance::opt_max_speed`]. Use this whenever the same
+    /// instance is measured against OPT more than once (the CLI's
+    /// `compare`, every sweep cell sharing an instance).
+    pub fn opt_cache(&self) -> speed_scaling::cache::OptCache {
+        speed_scaling::cache::OptCache::new(&self.clairvoyant_instance())
+    }
 }
 
 impl FromIterator<QJob> for QbssInstance {

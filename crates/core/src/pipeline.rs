@@ -1,13 +1,22 @@
 //! The checked pipeline: validate → run → validate outcome → check
 //! finiteness.
 //!
-//! [`run_checked`] is the no-panic entry point the CLI and the chaos
-//! harness drive: any malformed instance, out-of-scope structure,
-//! numerical breakdown, or invalid outcome comes back as a typed
-//! [`QbssError`] instead of a panic. It also re-validates the produced
-//! outcome against the instance and rejects non-finite energies, so a
-//! caller that gets `Ok` holds a structurally sound, finite-cost
-//! schedule.
+//! [`run_checked`] / [`run_evaluated`] are the no-panic entry points the
+//! CLI, the batch engine and the chaos harness drive: any malformed
+//! instance, out-of-scope structure, numerical breakdown, or invalid
+//! outcome comes back as a typed [`QbssError`] instead of a panic. The
+//! produced outcome is re-validated against the instance and non-finite
+//! costs are rejected, so a caller that gets `Ok` holds a structurally
+//! sound, finite-cost schedule.
+//!
+//! [`Algorithm`] is the single dispatch point of the workspace: every
+//! runnable configuration is one enum value, the full set is enumerable
+//! via [`Algorithm::all`], and values round-trip through strings
+//! (`Display` / `FromStr`) so command lines, sweep specs and reports all
+//! speak the same names.
+
+use std::fmt;
+use std::str::FromStr;
 
 use crate::error::QbssError;
 use crate::model::QbssInstance;
@@ -49,6 +58,13 @@ pub enum Algorithm {
     },
 }
 
+/// Default machine count for multi-machine algorithms parsed from a
+/// bare name (`"avrq-m"`), matching the CLI's historical default.
+pub const DEFAULT_MACHINES: usize = 2;
+/// Default Frank–Wolfe planning iterations for `"oaq-m"` parsed without
+/// an explicit iteration count.
+pub const DEFAULT_FW_ITERS: usize = 10;
+
 impl Algorithm {
     /// Display name, matching `QbssOutcome::algorithm`.
     pub fn name(&self) -> &'static str {
@@ -64,16 +80,168 @@ impl Algorithm {
             Algorithm::OaqM { .. } => "OAQ(m)",
         }
     }
+
+    /// The canonical machine-readable family name (the [`fmt::Display`]
+    /// form without parameters). Bound tables key on this.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Algorithm::Crcd => "crcd",
+            Algorithm::Crp2d => "crp2d",
+            Algorithm::Crad => "crad",
+            Algorithm::Avrq => "avrq",
+            Algorithm::Bkpq => "bkpq",
+            Algorithm::Oaq => "oaq",
+            Algorithm::AvrqM { .. } => "avrq-m",
+            Algorithm::AvrqMNonmig { .. } => "avrq-m-nonmig",
+            Algorithm::OaqM { .. } => "oaq-m",
+        }
+    }
+
+    /// Number of machines this configuration schedules on (1 for the
+    /// single-machine families).
+    pub fn machines(&self) -> usize {
+        match *self {
+            Algorithm::AvrqM { m }
+            | Algorithm::AvrqMNonmig { m }
+            | Algorithm::OaqM { m, .. } => m,
+            _ => 1,
+        }
+    }
+
+    /// Every runnable configuration: the six single-machine algorithms
+    /// plus the three multi-machine ones at machine count `m` (OAQ(m)
+    /// with `fw_iters` planning iterations). This is the one algorithm
+    /// list of the workspace — the CLI, the chaos gate and the sweep
+    /// engine all enumerate through it.
+    pub fn all(m: usize, fw_iters: usize) -> Vec<Algorithm> {
+        vec![
+            Algorithm::Crcd,
+            Algorithm::Crp2d,
+            Algorithm::Crad,
+            Algorithm::Avrq,
+            Algorithm::Bkpq,
+            Algorithm::Oaq,
+            Algorithm::AvrqM { m },
+            Algorithm::AvrqMNonmig { m },
+            Algorithm::OaqM { m, fw_iters },
+        ]
+    }
+}
+
+impl fmt::Display for Algorithm {
+    /// Canonical parseable form: the family name, with parameters
+    /// appended as `:<m>` (and `:<fw_iters>` for OAQ(m)). Round-trips
+    /// through [`FromStr`] exactly.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Algorithm::AvrqM { m } => write!(f, "avrq-m:{m}"),
+            Algorithm::AvrqMNonmig { m } => write!(f, "avrq-m-nonmig:{m}"),
+            Algorithm::OaqM { m, fw_iters } => write!(f, "oaq-m:{m}:{fw_iters}"),
+            _ => f.write_str(self.family()),
+        }
+    }
+}
+
+/// Failure to parse an [`Algorithm`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAlgorithmError {
+    /// The offending input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown algorithm `{}` (expected crcd | crp2d | crad | avrq | bkpq | oaq | \
+             avrq-m[:M] | avrq-m-nonmig[:M] | oaq-m[:M[:ITERS]])",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+impl FromStr for Algorithm {
+    type Err = ParseAlgorithmError;
+
+    /// Parses the canonical [`fmt::Display`] form, case-insensitively.
+    /// Multi-machine families accept omitted parameters
+    /// (`"avrq-m"` ≡ `"avrq-m:2"`, `"oaq-m:4"` ≡ `"oaq-m:4:10"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseAlgorithmError { input: s.to_string() };
+        let lower = s.trim().to_ascii_lowercase();
+        let mut parts = lower.split(':');
+        let family = parts.next().unwrap_or_default();
+        let p1 = parts.next();
+        let p2 = parts.next();
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        let parse_m = |p: Option<&str>| -> Result<usize, ParseAlgorithmError> {
+            match p {
+                None => Ok(DEFAULT_MACHINES),
+                Some(v) => v.parse::<usize>().ok().filter(|&m| m >= 1).ok_or_else(err),
+            }
+        };
+        let simple = |alg: Algorithm| -> Result<Algorithm, ParseAlgorithmError> {
+            if p1.is_some() {
+                Err(err())
+            } else {
+                Ok(alg)
+            }
+        };
+        match family {
+            "crcd" => simple(Algorithm::Crcd),
+            "crp2d" => simple(Algorithm::Crp2d),
+            "crad" => simple(Algorithm::Crad),
+            "avrq" => simple(Algorithm::Avrq),
+            "bkpq" => simple(Algorithm::Bkpq),
+            "oaq" => simple(Algorithm::Oaq),
+            "avrq-m" if p2.is_none() => Ok(Algorithm::AvrqM { m: parse_m(p1)? }),
+            "avrq-m-nonmig" if p2.is_none() => {
+                Ok(Algorithm::AvrqMNonmig { m: parse_m(p1)? })
+            }
+            "oaq-m" => Ok(Algorithm::OaqM {
+                m: parse_m(p1)?,
+                fw_iters: match p2 {
+                    None => DEFAULT_FW_ITERS,
+                    Some(v) => v.parse::<usize>().ok().filter(|&i| i >= 1).ok_or_else(err)?,
+                },
+            }),
+            _ => Err(err()),
+        }
+    }
+}
+
+/// An outcome bundled with its already-computed costs at one `α`.
+///
+/// [`run_checked`] must integrate energy and scan the peak speed anyway
+/// for its finiteness gate; returning them here lets callers (the CLI,
+/// the sweep engine) reuse those numbers instead of re-integrating the
+/// schedule per cell.
+#[derive(Debug, Clone)]
+pub struct Evaluated {
+    /// The validated outcome.
+    pub outcome: QbssOutcome,
+    /// `outcome.energy(alpha)` for the `alpha` the run was checked at.
+    pub energy: f64,
+    /// `outcome.max_speed()`.
+    pub max_speed: f64,
 }
 
 /// Runs `algorithm` on `inst` with every guard engaged (see module
 /// docs). `alpha` is the power exponent used both by planning
 /// algorithms that need it (OA(m)) and by the final finiteness check.
-pub fn run_checked(
+///
+/// Returns the outcome together with the energy and peak speed the
+/// finiteness gate already computed, so callers never pay a second
+/// schedule integration for numbers this function has in hand.
+pub fn run_evaluated(
     inst: &QbssInstance,
     alpha: f64,
     algorithm: Algorithm,
-) -> Result<QbssOutcome, QbssError> {
+) -> Result<Evaluated, QbssError> {
     if !alpha.is_finite() || alpha <= 1.0 {
         return Err(QbssError::InvalidAlpha { alpha });
     }
@@ -91,11 +259,20 @@ pub fn run_checked(
     };
     outcome.validate(inst)?;
     let energy = outcome.energy(alpha);
-    let peak = outcome.max_speed();
-    if !energy.is_finite() || !peak.is_finite() {
+    let max_speed = outcome.max_speed();
+    if !energy.is_finite() || !max_speed.is_finite() {
         return Err(QbssError::NonFiniteCost { algorithm: outcome.algorithm.clone() });
     }
-    Ok(outcome)
+    Ok(Evaluated { outcome, energy, max_speed })
+}
+
+/// [`run_evaluated`] for callers that only need the outcome.
+pub fn run_checked(
+    inst: &QbssInstance,
+    alpha: f64,
+    algorithm: Algorithm,
+) -> Result<QbssOutcome, QbssError> {
+    run_evaluated(inst, alpha, algorithm).map(|e| e.outcome)
 }
 
 #[cfg(test)]
@@ -147,6 +324,59 @@ mod tests {
             let err = run_checked(&inst, alpha, Algorithm::Avrq).unwrap_err();
             assert!(matches!(err, QbssError::InvalidAlpha { .. }), "alpha {alpha}: {err}");
         }
+    }
+
+    #[test]
+    fn display_from_str_round_trips_every_configuration() {
+        for alg in Algorithm::all(5, 17) {
+            let s = alg.to_string();
+            let back: Algorithm = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(back, alg, "round trip through `{s}`");
+        }
+        // Defaults and case-insensitivity.
+        assert_eq!("AVRQ".parse::<Algorithm>().unwrap(), Algorithm::Avrq);
+        assert_eq!(
+            "avrq-m".parse::<Algorithm>().unwrap(),
+            Algorithm::AvrqM { m: DEFAULT_MACHINES }
+        );
+        assert_eq!(
+            "oaq-m:4".parse::<Algorithm>().unwrap(),
+            Algorithm::OaqM { m: 4, fw_iters: DEFAULT_FW_ITERS }
+        );
+        assert_eq!(
+            " oaq-m:3:6 ".parse::<Algorithm>().unwrap(),
+            Algorithm::OaqM { m: 3, fw_iters: 6 }
+        );
+    }
+
+    #[test]
+    fn bad_algorithm_strings_are_typed_errors() {
+        for bad in [
+            "", "yds", "avrq:2", "avrq-m:0", "avrq-m:x", "avrq-m:2:3", "oaq-m:2:0",
+            "oaq-m:2:3:4", "crcd:1",
+        ] {
+            let err = bad.parse::<Algorithm>().unwrap_err();
+            assert!(err.to_string().contains("unknown algorithm"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn all_enumerates_nine_distinct_configurations() {
+        let all = Algorithm::all(3, 6);
+        assert_eq!(all.len(), 9);
+        let names: std::collections::HashSet<String> =
+            all.iter().map(Algorithm::to_string).collect();
+        assert_eq!(names.len(), 9, "canonical names must be distinct");
+        assert!(all.contains(&Algorithm::OaqM { m: 3, fw_iters: 6 }));
+        assert_eq!(all.iter().filter(|a| a.machines() > 1).count(), 3);
+    }
+
+    #[test]
+    fn run_evaluated_reports_the_gate_costs() {
+        let inst = online_instance();
+        let ev = run_evaluated(&inst, 3.0, Algorithm::Bkpq).expect("valid instance");
+        assert_eq!(ev.energy.to_bits(), ev.outcome.energy(3.0).to_bits());
+        assert_eq!(ev.max_speed.to_bits(), ev.outcome.max_speed().to_bits());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`schedule`] | explicit schedules + the feasibility checker |
 //! | [`edf`] | Earliest-Deadline-First execution under a given profile |
 //! | [`yds`] | the YDS offline optimum (clairvoyant baseline) |
+//! | [`cache`] | memoized optimal-profile handles for batch sweeps |
 //! | [`avr`] | Average Rate online heuristic (`2^{α−1}α^α`-competitive) |
 //! | [`oa`] | Optimal Available online heuristic (`α^α`-competitive) |
 //! | [`bkp`] | BKP online algorithm (`2(α/(α−1))^α e^α`, max-speed `e`) |
@@ -47,6 +48,7 @@
 
 pub mod avr;
 pub mod bkp;
+pub mod cache;
 pub mod edf;
 pub mod job;
 pub mod multi;
@@ -57,6 +59,7 @@ pub mod schedule;
 pub mod time;
 pub mod yds;
 
+pub use cache::OptCache;
 pub use job::{Instance, Job, JobId};
 pub use profile::SpeedProfile;
 pub use schedule::{Schedule, ScheduleError, Slice, WorkRequirement};

@@ -32,17 +32,11 @@ use speed_scaling::{avr, bkp, oa, yds};
 const ALPHA: f64 = 3.0;
 const CASES: u64 = 600;
 
-const ALGORITHMS: [Algorithm; 9] = [
-    Algorithm::Crcd,
-    Algorithm::Crp2d,
-    Algorithm::Crad,
-    Algorithm::Avrq,
-    Algorithm::Bkpq,
-    Algorithm::Oaq,
-    Algorithm::AvrqM { m: 3 },
-    Algorithm::AvrqMNonmig { m: 3 },
-    Algorithm::OaqM { m: 3, fw_iters: 6 },
-];
+/// Every algorithm configuration, from the canonical enumeration (the
+/// chaos gate must cover exactly what the dispatcher can run).
+fn algorithms() -> Vec<Algorithm> {
+    Algorithm::all(3, 6)
+}
 
 /// Alternates instance families so every algorithm's happy path is
 /// represented among the bases being corrupted.
@@ -112,7 +106,7 @@ fn no_algorithm_panics_on_corrupted_instances() {
         let mut corruptor = Corruptor::new(seed);
         let case = corruptor.corrupt(&base);
         corrupted_count += 1;
-        for alg in ALGORITHMS {
+        for alg in algorithms() {
             if let Some(v) = check_one(&case, alg, seed) {
                 violations.push(v);
             }
@@ -139,7 +133,7 @@ fn every_mutation_kind_is_exercised_against_every_algorithm() {
             let Some(case) = corruptor.apply(&base, mutation) else {
                 continue;
             };
-            for alg in ALGORITHMS {
+            for alg in algorithms() {
                 if let Some(v) = check_one(&case, alg, seed) {
                     violations.push(v);
                 }
