@@ -48,6 +48,7 @@ use qbss_analysis::stats::percentile_sorted;
 use qbss_core::model::QbssInstance;
 use qbss_core::pipeline::{run_evaluated, Algorithm};
 use qbss_instances::gen::{generate, GenConfig};
+use qbss_telemetry::{Registry, DURATION_US_BOUNDS};
 use speed_scaling::cache::OptCache;
 use speed_scaling::multi::{multi_opt_frank_wolfe, opt_lower_bound};
 
@@ -411,6 +412,11 @@ pub struct EngineReport {
     pub records: Vec<CellRecord>,
     /// Wall-clock and cache statistics.
     pub instrumentation: Instrumentation,
+    /// The run-local metrics registry behind [`Instrumentation`]:
+    /// `engine.*` counters plus the per-cell duration histogram. Local
+    /// to the run (not the process-global registry) so concurrent
+    /// sweeps never bleed into each other's numbers.
+    pub metrics: Registry,
 }
 
 impl EngineReport {
@@ -580,13 +586,24 @@ pub fn run_sweep(spec: &SweepSpec, shards: usize) -> Result<EngineReport, Engine
 
     let contexts: Vec<OnceLock<InstanceCtx>> = (0..n_inst).map(|_| OnceLock::new()).collect();
     let live: Vec<StreamAgg> = (0..n_algs * n_alphas).map(|_| StreamAgg::default()).collect();
-    let ctx_hits = AtomicU64::new(0);
-    let ctx_misses = AtomicU64::new(0);
-    let multi_hits = AtomicU64::new(0);
-    let multi_misses = AtomicU64::new(0);
+    // Run-local registry: the cache counters that used to be a pile of
+    // ad-hoc `AtomicU64`s, plus a per-cell latency histogram. The
+    // handles are `Arc`s over atomics, so the hot path stays lock-free.
+    let metrics = Registry::new();
+    let ctx_hits = metrics.counter("engine.ctx.hits");
+    let ctx_misses = metrics.counter("engine.ctx.misses");
+    let multi_hits = metrics.counter("engine.multi_lb.hits");
+    let multi_misses = metrics.counter("engine.multi_lb.misses");
+    let cell_errors = metrics.counter("engine.cell.errors");
+    let cell_dur_us = metrics.histogram("engine.cell.dur_us", &DURATION_US_BOUNDS);
     let shard_cells: Vec<AtomicU64> = (0..shards_used).map(|_| AtomicU64::new(0)).collect();
     let shard_busy_ns: Vec<AtomicU64> = (0..shards_used).map(|_| AtomicU64::new(0)).collect();
 
+    let mut sweep_span = qbss_telemetry::span!("engine.sweep", {
+        cells = n_cells,
+        shards = shards_used,
+        instances = n_inst,
+    });
     let t0 = Instant::now();
     let records: Vec<CellRecord> = crate::par::par_map_stealing(n_cells, shards_used, |shard, id| {
         let started = Instant::now();
@@ -596,12 +613,18 @@ pub fn run_sweep(spec: &SweepSpec, shards: usize) -> Result<EngineReport, Engine
         let alpha_idx = id % n_alphas;
         let alg = spec.algorithms[alg_idx];
         let alpha = spec.alphas[alpha_idx];
+        let cell_span = qbss_telemetry::span!("engine.cell", {
+            cell = id,
+            instance = inst_idx,
+            algorithm = alg.to_string(),
+            alpha = alpha,
+        });
 
         // Profile cache: build the instance context exactly once.
         let slot = &contexts[inst_idx];
         let ctx = match slot.get() {
             Some(ctx) => {
-                ctx_hits.fetch_add(1, Ordering::Relaxed);
+                ctx_hits.inc();
                 ctx
             }
             None => {
@@ -611,16 +634,24 @@ pub fn run_sweep(spec: &SweepSpec, shards: usize) -> Result<EngineReport, Engine
                     InstanceCtx::new(spec.instance(inst_idx))
                 });
                 if built_here {
-                    ctx_misses.fetch_add(1, Ordering::Relaxed);
+                    ctx_misses.inc();
                 } else {
-                    ctx_hits.fetch_add(1, Ordering::Relaxed);
+                    ctx_hits.inc();
                 }
                 ctx
             }
         };
 
         let result = match run_evaluated(&ctx.inst, alpha, alg) {
-            Err(e) => Err(e.to_string()),
+            Err(e) => {
+                cell_errors.inc();
+                qbss_telemetry::warn!(
+                    "engine.cell",
+                    { cell = id, instance = inst_idx, algorithm = alg.to_string() },
+                    "cell rejected by the checked pipeline: {e}"
+                );
+                Err(e.to_string())
+            }
             Ok(ev) => {
                 let queried = ev.outcome.decisions.iter().filter(|d| d.queried).count();
                 let (energy_ratio, speed_ratio) = if alg.machines() <= 1 {
@@ -634,9 +665,9 @@ pub fn run_sweep(spec: &SweepSpec, shards: usize) -> Result<EngineReport, Engine
                     let (lb, hit) =
                         ctx.multi_lower_bound(alg.machines(), alpha, spec.opt_fw_iters);
                     if hit {
-                        multi_hits.fetch_add(1, Ordering::Relaxed);
+                        multi_hits.inc();
                     } else {
-                        multi_misses.fetch_add(1, Ordering::Relaxed);
+                        multi_misses.inc();
                     }
                     (if lb <= 0.0 { 1.0 } else { ev.energy / lb }, None)
                 };
@@ -660,8 +691,11 @@ pub fn run_sweep(spec: &SweepSpec, shards: usize) -> Result<EngineReport, Engine
             }
         }
         shard_cells[shard].fetch_add(1, Ordering::Relaxed);
+        let elapsed = started.elapsed();
         shard_busy_ns[shard]
-            .fetch_add(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+            .fetch_add(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+        cell_dur_us.record(elapsed.as_secs_f64() * 1e6);
+        drop(cell_span);
 
         CellRecord { instance: inst_idx, algorithm: alg_idx, alpha: alpha_idx, result }
     });
@@ -713,26 +747,32 @@ pub fn run_sweep(spec: &SweepSpec, shards: usize) -> Result<EngineReport, Engine
         }
     }
 
+    // OptCache traffic accumulated inside the contexts, mirrored into
+    // the run registry so one snapshot covers every cache layer.
     let (opt_hits, opt_misses) = contexts
         .iter()
         .filter_map(OnceLock::get)
         .map(|c| c.opt.counters())
         .fold((0, 0), |(h, m), (ch, cm)| (h + ch, m + cm));
+    metrics.counter("engine.opt_energy.hits").add(opt_hits);
+    metrics.counter("engine.opt_energy.misses").add(opt_misses);
+    let cells_per_sec = if wall.as_secs_f64() > 0.0 {
+        n_cells as f64 / wall.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    metrics.gauge("engine.cells_per_sec").set(cells_per_sec);
     let instrumentation = Instrumentation {
         shards: shards_used,
         wall,
         cells: n_cells,
-        cells_per_sec: if wall.as_secs_f64() > 0.0 {
-            n_cells as f64 / wall.as_secs_f64()
-        } else {
-            f64::INFINITY
-        },
-        ctx_hits: ctx_hits.load(Ordering::Relaxed),
-        ctx_misses: ctx_misses.load(Ordering::Relaxed),
+        cells_per_sec,
+        ctx_hits: ctx_hits.get(),
+        ctx_misses: ctx_misses.get(),
         opt_energy_hits: opt_hits,
         opt_energy_misses: opt_misses,
-        multi_lb_hits: multi_hits.load(Ordering::Relaxed),
-        multi_lb_misses: multi_misses.load(Ordering::Relaxed),
+        multi_lb_hits: multi_hits.get(),
+        multi_lb_misses: multi_misses.get(),
         per_shard: shard_cells
             .iter()
             .zip(&shard_busy_ns)
@@ -742,8 +782,18 @@ pub fn run_sweep(spec: &SweepSpec, shards: usize) -> Result<EngineReport, Engine
             })
             .collect(),
     };
+    sweep_span.record("wall_us", wall.as_micros().min(u128::from(u64::MAX)) as u64);
+    sweep_span.record("cache_hit_rate", instrumentation.cache_hit_rate());
+    drop(sweep_span);
+    qbss_telemetry::info!(
+        "engine.sweep",
+        { cells = n_cells, shards = shards_used, wall_us = wall.as_micros() as u64 },
+        "sweep complete: {n_cells} cells in {}",
+        qbss_telemetry::fmt_duration(wall)
+    );
+    qbss_telemetry::emit_metrics("engine", &metrics);
 
-    Ok(EngineReport { groups, records, instrumentation })
+    Ok(EngineReport { groups, records, instrumentation, metrics })
 }
 
 #[cfg(test)]

@@ -63,12 +63,17 @@ pub fn par_map_stealing<R: Send>(
     }
     .min(n_items.max(1));
     let next = AtomicUsize::new(0);
+    // Worker threads have empty span stacks; capture the caller's span
+    // here so each shard's span stitches into the caller's trace tree.
+    let parent = qbss_telemetry::current_span_id();
     let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..shards)
             .map(|shard| {
                 let next = &next;
                 let f = &f;
                 scope.spawn(move || {
+                    let mut span =
+                        qbss_telemetry::span!(parent: parent, "par.shard", { shard = shard });
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -77,6 +82,7 @@ pub fn par_map_stealing<R: Send>(
                         }
                         local.push((i, f(shard, i)));
                     }
+                    span.record("items", local.len());
                     local
                 })
             })

@@ -5,8 +5,16 @@
 //! warmed up, then timed over enough iterations to fill a fixed
 //! measurement window, and the per-iteration median/min over several
 //! samples is printed as one table row.
+//!
+//! Measurements feed a [`qbss_telemetry::Registry`] histogram per case
+//! (`<group>.<label>`, microseconds), so duration formatting and the
+//! JSON emission both come from the telemetry layer — one clock, one
+//! set of histogram buckets, one JSON dialect across bench output and
+//! traces.
 
 use std::time::{Duration, Instant};
+
+use qbss_telemetry::{fmt_duration, Registry, DURATION_US_BOUNDS};
 
 /// Target wall-clock time for one measurement sample.
 const SAMPLE_WINDOW: Duration = Duration::from_millis(60);
@@ -17,13 +25,14 @@ const SAMPLES: usize = 7;
 pub struct BenchGroup {
     name: &'static str,
     rows: Vec<(String, Duration, Duration)>,
+    registry: Registry,
 }
 
 impl BenchGroup {
     /// Starts a new group; call [`BenchGroup::case`] per parameter and
     /// [`BenchGroup::finish`] to print.
     pub fn new(name: &'static str) -> Self {
-        Self { name, rows: Vec::new() }
+        Self { name, rows: Vec::new(), registry: Registry::new() }
     }
 
     /// Measures `f`, keeping its result alive via `black_box`.
@@ -43,19 +52,25 @@ impl BenchGroup {
         )
         .unwrap_or(1_000_000);
 
+        let label = label.into();
+        let hist = self
+            .registry
+            .histogram(&format!("{}.{label}", self.name), &DURATION_US_BOUNDS);
         let mut samples: Vec<Duration> = (0..SAMPLES)
             .map(|_| {
                 let t = Instant::now();
                 for _ in 0..iters {
                     std::hint::black_box(f());
                 }
-                t.elapsed() / iters
+                let per_iter = t.elapsed() / iters;
+                hist.record(per_iter.as_secs_f64() * 1e6);
+                per_iter
             })
             .collect();
         samples.sort();
         let median = samples[samples.len() / 2];
         let min = samples[0];
-        self.rows.push((label.into(), median, min));
+        self.rows.push((label, median, min));
         self
     }
 
@@ -63,23 +78,20 @@ impl BenchGroup {
     pub fn finish(&self) {
         println!("{}", self.name);
         for (label, median, min) in &self.rows {
-            println!("  {label:<24} median {:>12}  min {:>12}", fmt_dur(*median), fmt_dur(*min));
+            println!(
+                "  {label:<24} median {:>12}  min {:>12}",
+                fmt_duration(*median),
+                fmt_duration(*min)
+            );
         }
         println!();
     }
-}
 
-/// Formats a duration with an adaptive unit (ns/µs/ms/s).
-fn fmt_dur(d: Duration) -> String {
-    let ns = d.as_nanos();
-    if ns < 1_000 {
-        format!("{ns} ns")
-    } else if ns < 1_000_000 {
-        format!("{:.2} µs", ns as f64 / 1e3)
-    } else if ns < 1_000_000_000 {
-        format!("{:.2} ms", ns as f64 / 1e6)
-    } else {
-        format!("{:.2} s", ns as f64 / 1e9)
+    /// All samples of all cases as one canonical-order JSON snapshot
+    /// (per-case histograms in µs) — the machine-readable counterpart
+    /// of [`BenchGroup::finish`], in the telemetry metrics dialect.
+    pub fn snapshot_json(&self) -> String {
+        self.registry.snapshot_json()
     }
 }
 
@@ -97,10 +109,19 @@ mod tests {
     }
 
     #[test]
-    fn formats_units() {
-        assert_eq!(fmt_dur(Duration::from_nanos(12)), "12 ns");
-        assert_eq!(fmt_dur(Duration::from_micros(12)), "12.00 µs");
-        assert_eq!(fmt_dur(Duration::from_millis(12)), "12.00 ms");
-        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.00 s");
+    fn snapshot_carries_per_case_histograms() {
+        let mut g = BenchGroup::new("grp");
+        g.case("a", || std::hint::black_box(3u64.pow(7)));
+        let json = g.snapshot_json();
+        assert!(json.contains("\"grp.a\""), "{json}");
+        let parsed = qbss_telemetry::json_parse(&json).expect("valid JSON");
+        let hist = parsed
+            .get("histograms")
+            .and_then(|h| h.get("grp.a"))
+            .expect("histogram present");
+        assert_eq!(
+            hist.get("count").and_then(qbss_telemetry::JsonValue::as_u64),
+            Some(SAMPLES as u64)
+        );
     }
 }

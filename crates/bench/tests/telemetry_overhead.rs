@@ -1,0 +1,73 @@
+//! The overhead gate for disabled telemetry.
+//!
+//! The contract (DESIGN.md §10): with no `init`, every `event!`/`span!`
+//! expansion is one relaxed atomic load and a predicted branch — no
+//! formatting, no allocation, no locks. The instrumented hot loops
+//! (per-cell evaluation, YDS critical-interval rounds) depend on this,
+//! so the gate measures the *absolute* per-probe overhead against a
+//! bare loop and fails if it exceeds a bound two orders of magnitude
+//! above the real cost. The generous bound keeps the gate meaningful
+//! (a regression to formatting or locking costs microseconds, not
+//! nanoseconds) without flaking on loaded CI machines.
+
+use std::time::Instant;
+
+const ITERS: u64 = 1_000_000;
+/// Per-iteration overhead ceiling for two disabled probes (an `event!`
+/// and a `span!`). Real cost is a few ns; formatting-by-accident costs
+/// hundreds.
+const MAX_OVERHEAD_NS: f64 = 150.0;
+
+fn bare_loop(n: u64) -> u64 {
+    let mut acc = 0_u64;
+    for i in 0..n {
+        acc = acc.wrapping_add(std::hint::black_box(i));
+    }
+    acc
+}
+
+fn probed_loop(n: u64) -> u64 {
+    let mut acc = 0_u64;
+    for i in 0..n {
+        // A representative hot-loop probe pair: a leveled event with
+        // fields and a span guard. Disabled, neither may evaluate its
+        // arguments.
+        qbss_telemetry::trace!("overhead.gate", { i = i }, "iteration {i}");
+        let _span = qbss_telemetry::span!("overhead.gate", { i = i });
+        acc = acc.wrapping_add(std::hint::black_box(i));
+    }
+    acc
+}
+
+/// Min-of-k wall time for `f(ITERS)`.
+fn min_secs(f: impl Fn(u64) -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        std::hint::black_box(f(std::hint::black_box(ITERS)));
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+fn disabled_probes_cost_nanoseconds_not_microseconds() {
+    // This test binary never calls `init`, so telemetry is off — the
+    // exact state every untraced `qbss` run is in.
+    assert!(!qbss_telemetry::active());
+
+    // Warm both paths once before timing.
+    std::hint::black_box(bare_loop(ITERS / 10));
+    std::hint::black_box(probed_loop(ITERS / 10));
+
+    let bare = min_secs(bare_loop);
+    let probed = min_secs(probed_loop);
+    let overhead_ns = (probed - bare).max(0.0) * 1e9 / ITERS as f64;
+    eprintln!("disabled probe-pair overhead: {overhead_ns:.2} ns/iter (bound {MAX_OVERHEAD_NS})");
+    assert!(
+        overhead_ns < MAX_OVERHEAD_NS,
+        "disabled telemetry costs {overhead_ns:.1} ns per probe pair \
+         (bound {MAX_OVERHEAD_NS} ns): the disabled path is no longer \
+         a single relaxed atomic load"
+    );
+}

@@ -18,9 +18,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use qbss_bench::engine::{run_sweep, EngineReport, InstanceSource, SweepSpec};
+use qbss_telemetry::{Config, Filter, InitError, SinkTarget};
 use qbss_core::error::QbssError;
 use qbss_core::model::QbssInstance;
 use qbss_core::offline::is_power_of_two_deadline;
@@ -36,18 +37,25 @@ qbss — speed scaling with explorable uncertainty (SPAA 2021)
 USAGE:
   qbss generate [--n N] [--seed S] [--family online|poisson|common|p2|arbitrary]
                 [--compress uniform|bimodal|heavytail|incompressible|full]
-                [--out FILE]
+                [--out FILE] [--trace FILE]
   qbss run      --alg ALG --in FILE [--alpha A] [--m M] [--format table|json|csv]
-                [--gantt true] [--save-outcome FILE]
+                [--gantt true] [--save-outcome FILE] [--trace FILE]
                   ALG: avrq | bkpq | oaq | crcd | crp2d | crad
                      | avrq-m[:M] | avrq-m-nonmig[:M] | oaq-m[:M[:ITERS]]
-  qbss compare  --in FILE [--alpha A] [--format table|json|csv]
+  qbss compare  --in FILE [--alpha A] [--format table|json|csv] [--trace FILE]
   qbss sweep    [--count K] [--n N] [--seed S] [--family F] [--compress C]
                 [--alg LIST|all] [--alpha LIST] [--m M] [--fw-iters I]
                 [--shards S] [--opt-fw-iters I] [--format json|csv] [--out FILE]
+                [--trace FILE]
   qbss bounds   [--alpha A]
   qbss rho
+  qbss trace    summarize FILE [--top K]
   qbss help
+
+OBSERVABILITY:
+  --trace FILE   record a JSONL trace (spans + events + metrics records)
+  QBSS_LOG       event filter: `level` or `target=level`, comma-separated
+                 (off|error|warn|info|debug|trace); a bad spec is bad input
 
 EXIT CODES:
   0 success | 1 algorithm failure | 2 bad input | 3 I/O failure";
@@ -114,6 +122,78 @@ fn input(msg: impl Into<String>) -> CliError {
 }
 
 // ---------------------------------------------------------------------
+// Telemetry plumbing
+// ---------------------------------------------------------------------
+
+/// RAII handle for one command's telemetry pipeline: shuts it down
+/// (flushing file sinks) when the command returns on any path.
+struct Telemetry;
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        qbss_telemetry::shutdown();
+    }
+}
+
+/// The event filter for a command: the `QBSS_LOG` spec when set (a
+/// malformed spec is bad *input*, exit 2), else `info` when tracing to
+/// a file, else everything off.
+fn filter_from_spec(spec: Option<&str>, tracing: bool) -> Result<Filter, CliError> {
+    match spec {
+        Some(s) => Filter::parse(s).map_err(|e| input(e.to_string())),
+        None if tracing => Ok(Filter::default()),
+        None => Ok(Filter::off()),
+    }
+}
+
+/// Installs telemetry for one command from `--trace` and `QBSS_LOG`.
+///
+/// With neither present this is a no-op and every probe in the library
+/// crates stays on its one-atomic-load disabled path. `--trace FILE`
+/// routes spans, events and metrics records to `FILE` as JSONL; a bare
+/// `QBSS_LOG` streams events to stderr (one JSONL record per line).
+fn init_telemetry(flags: &Flags) -> Result<Telemetry, CliError> {
+    let trace_path = flags.get("trace");
+    let spec = std::env::var("QBSS_LOG").ok();
+    let filter = filter_from_spec(spec.as_deref(), trace_path.is_some())?;
+    if trace_path.is_none() && filter.max_level().is_none() {
+        return Ok(Telemetry);
+    }
+    let sink = match trace_path {
+        Some(p) => SinkTarget::File(PathBuf::from(p)),
+        None => SinkTarget::Stderr,
+    };
+    match qbss_telemetry::init(Config { filter, sink, spans: trace_path.is_some() }) {
+        Ok(()) => Ok(Telemetry),
+        // In-process callers (tests) may already hold a pipeline; the
+        // command then logs into it instead of failing.
+        Err(InitError::AlreadyInitialized) => Ok(Telemetry),
+        Err(e @ InitError::Io(_)) => Err(CliError::Io(e.to_string())),
+    }
+}
+
+/// Routes a cautionary user-facing note: a `warn` event when the
+/// telemetry pipeline is live (so a JSONL stderr stream stays
+/// machine-parsable), a plain stderr note otherwise.
+fn warn_user(msg: &str) {
+    if qbss_telemetry::active() {
+        qbss_telemetry::warn!("cli", "{msg}");
+    } else {
+        eprintln!("note: {msg}");
+    }
+}
+
+/// Routes a human status line ("wrote N jobs to F") the same way, at
+/// `info` level.
+fn status_user(msg: &str) {
+    if qbss_telemetry::active() {
+        qbss_telemetry::info!("cli", "{msg}");
+    } else {
+        eprintln!("{msg}");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Flag parsing
 // ---------------------------------------------------------------------
 
@@ -124,14 +204,19 @@ const DEPRECATED_ALIASES: [(&str, &str); 2] = [("algorithm", "alg"), ("machines"
 #[derive(Debug)]
 struct Flags {
     values: HashMap<String, String>,
+    /// Parse-time notes (deprecation warnings), deferred so they can
+    /// flow through the telemetry pipeline once it is initialized.
+    notes: Vec<String>,
 }
 
 impl Flags {
     /// Parses `--key value` pairs. `known` is the command's canonical
     /// vocabulary: unknown flags are bad input, deprecated aliases map
-    /// to their canonical name with a note on stderr.
+    /// to their canonical name with a deferred deprecation note (see
+    /// [`Flags::emit_notes`]).
     fn parse(args: &[String], known: &[&str]) -> Result<Flags, CliError> {
         let mut values = HashMap::new();
+        let mut notes = Vec::new();
         let mut it = args.iter();
         while let Some(key) = it.next() {
             let Some(mut name) = key.strip_prefix("--") else {
@@ -140,7 +225,7 @@ impl Flags {
             if let Some(&(old, canonical)) =
                 DEPRECATED_ALIASES.iter().find(|&&(old, c)| old == name && known.contains(&c))
             {
-                eprintln!("note: --{old} is deprecated; use --{canonical}");
+                notes.push(format!("--{old} is deprecated; use --{canonical}"));
                 name = canonical;
             }
             if !known.contains(&name) {
@@ -154,7 +239,15 @@ impl Flags {
             };
             values.insert(name.to_string(), value.clone());
         }
-        Ok(Flags { values })
+        Ok(Flags { values, notes })
+    }
+
+    /// Emits the deferred parse-time notes through the telemetry-aware
+    /// channel; commands call this right after [`init_telemetry`].
+    fn emit_notes(&self) {
+        for note in &self.notes {
+            warn_user(note);
+        }
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -266,7 +359,10 @@ fn compress_for(name: &str) -> Result<Compressibility, CliError> {
 
 /// `qbss generate`.
 pub fn generate(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["n", "seed", "family", "compress", "out"])?;
+    let flags = Flags::parse(args, &["n", "seed", "family", "compress", "out", "trace"])?;
+    let _telemetry = init_telemetry(&flags)?;
+    flags.emit_notes();
+    let _span = qbss_telemetry::span!("cli.generate");
     let n = flags.usize("n", 50)?;
     let seed = flags.u64("seed", 0)?;
     let time = time_model_for(flags.get("family").unwrap_or("online"), n)?;
@@ -284,7 +380,7 @@ pub fn generate(args: &[String]) -> Result<(), CliError> {
     match flags.get("out") {
         Some(path) => {
             io::write_file(&inst, Path::new(path))?;
-            eprintln!("wrote {n} jobs to {path}");
+            status_user(&format!("wrote {n} jobs to {path}"));
         }
         None => println!("{}", io::to_json(&inst)?),
     }
@@ -343,11 +439,17 @@ fn row_json(r: &CostRow) -> String {
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
         args,
-        &["alg", "in", "alpha", "m", "format", "gantt", "save-outcome"],
+        &["alg", "in", "alpha", "m", "format", "gantt", "save-outcome", "trace"],
     )?;
+    let _telemetry = init_telemetry(&flags)?;
+    flags.emit_notes();
+    let mut span = qbss_telemetry::span!("cli.run");
     let inst = load_instance(&flags)?;
     let alpha = flags.alpha()?;
     let algorithm = flags.algorithm()?;
+    span.record("algorithm", algorithm.to_string());
+    span.record("alpha", alpha);
+    span.record("jobs", inst.len());
     let format = flags.format("table", &["table", "json", "csv"])?;
     // The YDS baseline is computed once and shared by every line below.
     let opt = inst.opt_cache();
@@ -374,7 +476,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         let json = io::outcome_to_json(&outcome);
         std::fs::write(path, json)
             .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
-        eprintln!("wrote outcome (decisions + schedule) to {path}");
+        status_user(&format!("wrote outcome (decisions + schedule) to {path}"));
     }
     Ok(())
 }
@@ -397,9 +499,14 @@ fn applicable(inst: &QbssInstance) -> Vec<Algorithm> {
 
 /// `qbss compare`.
 pub fn compare(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["in", "alpha", "format"])?;
+    let flags = Flags::parse(args, &["in", "alpha", "format", "trace"])?;
+    let _telemetry = init_telemetry(&flags)?;
+    flags.emit_notes();
+    let mut span = qbss_telemetry::span!("cli.compare");
     let inst = load_instance(&flags)?;
     let alpha = flags.alpha()?;
+    span.record("alpha", alpha);
+    span.record("jobs", inst.len());
     let format = flags.format("table", &["table", "json", "csv"])?;
     // One clairvoyant solve serves every candidate row.
     let opt = inst.opt_cache();
@@ -519,9 +626,12 @@ pub fn sweep(args: &[String]) -> Result<(), CliError> {
         args,
         &[
             "count", "n", "seed", "family", "compress", "alg", "alpha", "m", "fw-iters",
-            "shards", "opt-fw-iters", "format", "out",
+            "shards", "opt-fw-iters", "format", "out", "trace",
         ],
     )?;
+    let _telemetry = init_telemetry(&flags)?;
+    flags.emit_notes();
+    let mut span = qbss_telemetry::span!("cli.sweep");
     let count = flags.u64("count", 100)?;
     let n = flags.usize("n", 20)?;
     let seed = flags.u64("seed", 0)?;
@@ -555,6 +665,9 @@ pub fn sweep(args: &[String]) -> Result<(), CliError> {
         alphas,
         opt_fw_iters,
     };
+    span.record("count", count);
+    span.record("algorithms", spec.algorithms.len());
+    span.record("alphas", spec.alphas.len());
     let report = run_sweep(&spec, shards).map_err(|e| input(e.to_string()))?;
 
     let body = match format.as_str() {
@@ -570,25 +683,60 @@ pub fn sweep(args: &[String]) -> Result<(), CliError> {
             let instr_path = format!("{path}.instr.json");
             std::fs::write(&instr_path, report.instrumentation_json())
                 .map_err(|e| CliError::Io(format!("cannot write {instr_path}: {e}")))?;
-            eprintln!("wrote aggregate to {path}, instrumentation to {instr_path}");
+            status_user(&format!("wrote aggregate to {path}, instrumentation to {instr_path}"));
         }
         None => {
+            // Results own stdout unconditionally (a piped `--format
+            // csv` stays pure); instrumentation is side-band output on
+            // stderr — except when a JSONL stream owns stderr, where
+            // the trace already carries the same numbers as an
+            // `engine`-scoped metrics record.
             print!("{body}");
-            eprint!("{}", report.instrumentation_json());
+            if !qbss_telemetry::stderr_sink_active() {
+                eprint!("{}", report.instrumentation_json());
+            }
         }
     }
     let i = &report.instrumentation;
-    eprintln!(
+    status_user(&format!(
         "swept {} cells on {} shard(s) in {:.2}s ({:.0} cells/s, cache hit rate {:.1}%)",
         i.cells,
         i.shards,
         i.wall.as_secs_f64(),
         i.cells_per_sec,
         100.0 * i.cache_hit_rate()
-    );
+    ));
     for v in report.violations() {
-        eprintln!("warning: {v}");
+        if qbss_telemetry::active() {
+            qbss_telemetry::warn!("cli.sweep", "{v}");
+        } else {
+            eprintln!("warning: {v}");
+        }
     }
+    Ok(())
+}
+
+/// `qbss trace` — operations on recorded JSONL traces.
+pub fn trace(args: &[String]) -> Result<(), CliError> {
+    const TRACE_USAGE: &str = "usage: qbss trace summarize FILE [--top K]";
+    let Some((action, rest)) = args.split_first() else {
+        return Err(input(TRACE_USAGE));
+    };
+    if action != "summarize" {
+        return Err(input(format!("unknown trace action `{action}`\n{TRACE_USAGE}")));
+    }
+    let Some((file, flag_args)) = rest.split_first() else {
+        return Err(input(format!("trace summarize needs a FILE\n{TRACE_USAGE}")));
+    };
+    let flags = Flags::parse(flag_args, &["top"])?;
+    let top = flags.usize("top", 5)?;
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| CliError::Io(format!("cannot read {file}: {e}")))?;
+    // A schema violation in the file is bad input, with the line number
+    // in the message.
+    let records = qbss_telemetry::trace::parse_trace(&text)
+        .map_err(|e| input(format!("{file}: {e}")))?;
+    print!("{}", qbss_telemetry::trace::summarize(&records).render(top));
     Ok(())
 }
 
@@ -806,6 +954,36 @@ mod tests {
         assert_eq!(parse_alpha_list("2,2.5,3").unwrap(), vec![2.0, 2.5, 3.0]);
         assert!(parse_alpha_list("1.0").is_err());
         assert!(parse_alpha_list("x").is_err());
+    }
+
+    #[test]
+    fn qbss_log_specs_parse_or_exit_2() {
+        assert!(filter_from_spec(None, false).unwrap().max_level().is_none());
+        assert!(filter_from_spec(None, true).unwrap().max_level().is_some());
+        assert!(filter_from_spec(Some("debug,engine=trace"), false).is_ok());
+        let err = filter_from_spec(Some("engine=loud"), false).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+    }
+
+    #[test]
+    fn trace_summarize_round_trips_a_trace_file() {
+        let dir = std::env::temp_dir().join("qbss-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        std::fs::write(
+            &path,
+            "{\"t\": \"span\", \"id\": 1, \"parent\": null, \"name\": \"cli.sweep\", \
+             \"start_us\": 0, \"dur_us\": 50, \"fields\": {}}\n",
+        )
+        .unwrap();
+        trace(&args(&["summarize", path.to_str().unwrap()])).expect("summarize");
+        // Bad action / missing file / bad schema map onto the exit codes.
+        assert_eq!(trace(&args(&["explode"])).unwrap_err().exit_code(), 2);
+        assert_eq!(trace(&args(&["summarize", "/no/such/file"])).unwrap_err().exit_code(), 3);
+        std::fs::write(&path, "{\"t\": \"bogus\"}\n").unwrap();
+        let err = trace(&args(&["summarize", path.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("line 1"), "{err}");
     }
 
     #[test]

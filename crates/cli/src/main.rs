@@ -10,7 +10,14 @@
 //! * `qbss sweep` — run a declarative instance × algorithm × α grid on
 //!   the sharded batch engine and print deterministic aggregates;
 //! * `qbss bounds` — print the paper's Table 1 at a given α;
-//! * `qbss rho` — print the §4.2 ρ-comparison table.
+//! * `qbss rho` — print the §4.2 ρ-comparison table;
+//! * `qbss trace summarize` — digest a `--trace` JSONL file into a
+//!   per-phase timing tree.
+//!
+//! Observability: `generate`/`run`/`compare`/`sweep` accept
+//! `--trace FILE` (spans + events to a JSONL file) and honour the
+//! `QBSS_LOG` environment filter (`level` or `target=level`,
+//! comma-separated); a malformed spec is bad input (exit 2).
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
 //! workspace dependency-free; flags are uniform across subcommands
@@ -44,6 +51,7 @@ fn main() -> ExitCode {
         "sweep" => commands::sweep(rest),
         "bounds" => commands::bounds(rest),
         "rho" => commands::rho(rest),
+        "trace" => commands::trace(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -1,0 +1,147 @@
+//! End-to-end tests of the `qbss` binary's observability surface: exit
+//! codes for bad `QBSS_LOG` specs, stdout purity under tracing, the
+//! `trace summarize` round-trip, and aggregate byte-stability with
+//! telemetry on. Each test runs the real binary in a subprocess, so the
+//! process-global telemetry pipeline is isolated per invocation.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn qbss(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_qbss"));
+    cmd.args(args).env_remove("QBSS_LOG");
+    cmd
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "expected success, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("qbss-cli-e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+const SWEEP: &[&str] = &[
+    "sweep", "--count", "4", "--n", "6", "--alg", "avrq,bkpq", "--alpha", "2", "--shards", "2",
+];
+
+#[test]
+fn bad_qbss_log_spec_is_exit_2_on_every_instrumented_command() {
+    for args in [&["run", "--alg", "avrq", "--in", "x.json"][..], SWEEP, &["generate"][..]] {
+        let out = qbss(args)
+            .env("QBSS_LOG", "engine=loud")
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("QBSS_LOG"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn traced_csv_sweep_keeps_stdout_pure() {
+    let trace = tmp("purity.jsonl");
+    let out = run_ok(qbss(SWEEP).args(["--format", "csv", "--trace"]).arg(&trace));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.starts_with("algorithm,alpha,"), "CSV header first: {stdout}");
+    assert!(
+        !stdout.contains('{'),
+        "no JSON (instrumentation or records) may leak onto stdout:\n{stdout}"
+    );
+    // Everything recorded went to the trace file, schema-valid, with
+    // spans from the CLI boundary down to the solver loops.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let records = qbss_telemetry::trace::parse_trace(&text).expect("schema-valid");
+    let summary = qbss_telemetry::trace::summarize(&records);
+    assert!(summary.spans > 0 && summary.metrics > 0, "{summary:?}");
+    assert!(summary.coverage >= 0.95, "coverage {:.3}", summary.coverage);
+    assert!(
+        summary.tree.iter().any(|n| n.path.first().map(String::as_str) == Some("cli.sweep")),
+        "cli.sweep is the root phase: {:?}",
+        summary.tree
+    );
+}
+
+#[test]
+fn stderr_event_stream_is_pure_jsonl() {
+    // A bare QBSS_LOG (no --trace) streams events to stderr; the
+    // human status lines and the instrumentation JSON must fold into
+    // that stream as records, not interleave with it.
+    let out = run_ok(qbss(SWEEP).env("QBSS_LOG", "info"));
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    let records =
+        qbss_telemetry::trace::parse_trace(&stderr).expect("stderr is record-per-line JSONL");
+    assert!(
+        records.iter().any(|r| matches!(
+            r,
+            qbss_telemetry::trace::TraceRecord::Event(e) if e.msg.starts_with("swept")
+        )),
+        "status line rides in the stream:\n{stderr}"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r, qbss_telemetry::trace::TraceRecord::Metrics(m) if m.scope == "engine")),
+        "instrumentation rides as a metrics record:\n{stderr}"
+    );
+}
+
+#[test]
+fn trace_summarize_round_trip() {
+    let trace = tmp("summarize.jsonl");
+    run_ok(qbss(SWEEP).arg("--trace").arg(&trace));
+    let out = run_ok(qbss(&["trace", "summarize"]).arg(&trace).args(["--top", "2"]));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("phase tree"), "{text}");
+    assert!(text.contains("cli.sweep"), "{text}");
+    assert!(text.contains("engine.cell"), "{text}");
+    assert!(text.contains("slowest"), "{text}");
+
+    // Unknown action and malformed traces are bad input (exit 2);
+    // missing files are I/O failures (exit 3).
+    let bad = qbss(&["trace", "explode"]).output().expect("runs");
+    assert_eq!(bad.status.code(), Some(2));
+    let missing = qbss(&["trace", "summarize", "/no/such/trace.jsonl"]).output().expect("runs");
+    assert_eq!(missing.status.code(), Some(3));
+}
+
+#[test]
+fn aggregate_bytes_do_not_depend_on_telemetry() {
+    let plain = tmp("agg_plain.json");
+    let traced = tmp("agg_traced.json");
+    let trace = tmp("agg.jsonl");
+    run_ok(qbss(SWEEP).arg("--out").arg(&plain));
+    run_ok(
+        qbss(SWEEP)
+            .arg("--out")
+            .arg(&traced)
+            .arg("--trace")
+            .arg(&trace)
+            .env("QBSS_LOG", "debug"),
+    );
+    let a = std::fs::read(&plain).expect("plain aggregate");
+    let b = std::fs::read(&traced).expect("traced aggregate");
+    assert_eq!(a, b, "aggregate must be byte-identical with telemetry on or off");
+    // The side-band instrumentation file still lands next to --out.
+    assert!(std::fs::metadata(format!("{}.instr.json", plain.display())).is_ok());
+}
+
+#[test]
+fn deprecated_alias_note_survives_on_plain_stderr() {
+    let inst = tmp("alias_inst.json");
+    run_ok(qbss(&["generate", "--n", "6", "--seed", "1", "--out"]).arg(&inst));
+    let out = run_ok(
+        qbss(&["run", "--algorithm", "avrq", "--in"]).arg(&inst).args(["--format", "json"]),
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("deprecated"), "{err}");
+}

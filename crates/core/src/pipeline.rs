@@ -246,6 +246,11 @@ pub fn run_evaluated(
         return Err(QbssError::InvalidAlpha { alpha });
     }
     inst.validate()?;
+    let mut span = qbss_telemetry::span!("pipeline.run", {
+        algorithm = algorithm.to_string(),
+        alpha = alpha,
+        jobs = inst.jobs.len(),
+    });
     let outcome = match algorithm {
         Algorithm::Crcd => try_crcd(inst)?,
         Algorithm::Crp2d => try_crp2d(inst)?,
@@ -258,11 +263,35 @@ pub fn run_evaluated(
         Algorithm::OaqM { m, fw_iters } => try_oaq_m(inst, m, alpha, fw_iters)?.outcome,
     };
     outcome.validate(inst)?;
+    // Per-job query decisions: which jobs paid the query cost, the
+    // chosen threshold τ_j, and the exact work w*_j the query revealed.
+    if qbss_telemetry::enabled(qbss_telemetry::Level::Debug) {
+        for d in &outcome.decisions {
+            let revealed = inst
+                .jobs
+                .iter()
+                .find(|j| j.id == d.job)
+                .map_or(f64::NAN, |j| if d.queried { j.reveal_exact() } else { f64::NAN });
+            qbss_telemetry::debug!(
+                "qbss.decision",
+                {
+                    job = d.job,
+                    queried = d.queried,
+                    tau = d.split.unwrap_or(f64::NAN),
+                    revealed = revealed,
+                },
+                "query decision for job {}",
+                d.job
+            );
+        }
+    }
     let energy = outcome.energy(alpha);
     let max_speed = outcome.max_speed();
     if !energy.is_finite() || !max_speed.is_finite() {
         return Err(QbssError::NonFiniteCost { algorithm: outcome.algorithm.clone() });
     }
+    span.record("queried", outcome.decisions.iter().filter(|d| d.queried).count());
+    span.record("energy", energy);
     Ok(Evaluated { outcome, energy, max_speed })
 }
 

@@ -520,6 +520,12 @@ fn finish(jobs: Vec<QJob>, job_lines: &[usize]) -> Result<QbssInstance, IoError>
 /// Writes an instance to a file as JSON.
 pub fn write_file(inst: &QbssInstance, path: &Path) -> Result<(), IoError> {
     let json = to_json(inst)?;
+    qbss_telemetry::debug!(
+        "instances.io",
+        { jobs = inst.jobs.len(), bytes = json.len(), path = path.display().to_string() },
+        "writing instance to {}",
+        path.display()
+    );
     fs::write(path, json)
         .map_err(|source| IoError::File { path: path.to_path_buf(), source })
 }
@@ -528,7 +534,14 @@ pub fn write_file(inst: &QbssInstance, path: &Path) -> Result<(), IoError> {
 pub fn read_file(path: &Path) -> Result<QbssInstance, IoError> {
     let json = fs::read_to_string(path)
         .map_err(|source| IoError::File { path: path.to_path_buf(), source })?;
-    from_json(&json)
+    let inst = from_json(&json)?;
+    qbss_telemetry::debug!(
+        "instances.io",
+        { jobs = inst.jobs.len(), bytes = json.len(), path = path.display().to_string() },
+        "read instance from {}",
+        path.display()
+    );
+    Ok(inst)
 }
 
 // ---------------------------------------------------------------------------

@@ -44,6 +44,8 @@ pub fn avr_profile(instance: &Instance) -> SpeedProfile {
     if instance.is_empty() {
         return SpeedProfile::zero();
     }
+    qbss_telemetry::counter!("avr.solves").inc();
+    let _span = qbss_telemetry::span!("avr.solve", { jobs = instance.jobs.len() });
     SpeedProfile::from_events(instance.event_times(), |t| instance.total_density_at(t))
 }
 

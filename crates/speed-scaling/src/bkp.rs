@@ -81,6 +81,8 @@ pub fn bkp_profile(instance: &Instance) -> SpeedProfile {
     if instance.is_empty() {
         return SpeedProfile::zero();
     }
+    qbss_telemetry::counter!("bkp.solves").inc();
+    let _span = qbss_telemetry::span!("bkp.solve", { jobs = instance.jobs.len() });
     SpeedProfile::from_events(instance.event_times(), |t| {
         std::f64::consts::E * bkp_intensity_at(instance, t)
     })

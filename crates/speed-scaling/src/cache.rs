@@ -64,11 +64,13 @@ impl OptCache {
         let mut memo = self.energies.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(&(_, e)) = memo.iter().find(|&&(k, _)| k == key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            qbss_telemetry::counter!("cache.opt_energy.hits").inc();
             return e;
         }
         let e = self.profile.energy(alpha);
         memo.push((key, e));
         self.misses.fetch_add(1, Ordering::Relaxed);
+        qbss_telemetry::counter!("cache.opt_energy.misses").inc();
         e
     }
 

@@ -47,6 +47,11 @@ pub fn oa_profile(instance: &Instance) -> SpeedProfile {
     }
     let arrivals = dedup_times(instance.jobs.iter().map(|j| j.release).collect());
     let horizon = instance.max_deadline();
+    qbss_telemetry::counter!("oa.solves").inc();
+    let _span = qbss_telemetry::span!("oa.solve", {
+        jobs = instance.jobs.len(),
+        arrivals = arrivals.len(),
+    });
 
     let mut remaining: Vec<f64> = instance.jobs.iter().map(|j| j.work).collect();
     let mut pieces: Vec<(f64, f64, f64)> = Vec::new(); // (start, end, speed)

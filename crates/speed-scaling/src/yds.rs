@@ -74,6 +74,9 @@ pub fn yds_profile(instance: &Instance) -> SpeedProfile {
         .filter(|j| j.work > 0.0)
         .map(|j| WorkItem { release: j.release, deadline: j.deadline, work: j.work })
         .collect();
+    qbss_telemetry::counter!("yds.solves").inc();
+    let mut span = qbss_telemetry::span!("yds.solve", { jobs = jobs.len() });
+    let mut rounds = 0_u64;
 
     // Original-time intervals already assigned a speed, kept sorted and
     // disjoint, together with their speeds.
@@ -82,6 +85,7 @@ pub fn yds_profile(instance: &Instance) -> SpeedProfile {
     let mut removed: Vec<Interval> = Vec::new();
 
     while !jobs.is_empty() {
+        rounds += 1;
         let Some((a, b, intensity)) = critical_interval(&jobs) else {
             break;
         };
@@ -117,6 +121,8 @@ pub fn yds_profile(instance: &Instance) -> SpeedProfile {
         }
     }
 
+    span.record("rounds", rounds);
+    qbss_telemetry::trace!("yds.solve", { rounds = rounds }, "critical-interval loop done");
     profile_from_fixed(instance, fixed)
 }
 

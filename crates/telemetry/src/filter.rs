@@ -1,0 +1,277 @@
+//! Event severity levels and the `QBSS_LOG` filter grammar.
+//!
+//! A filter spec is a comma-separated list of directives:
+//!
+//! ```text
+//! spec      ::= directive ("," directive)*
+//! directive ::= level | target "=" level
+//! level     ::= "off" | "error" | "warn" | "info" | "debug" | "trace"
+//! ```
+//!
+//! A bare `level` sets the default for every target; `target=level`
+//! overrides it for that target and everything nested under it
+//! (targets are dot-separated, and `yds` matches `yds.solve`). The
+//! *longest* matching target prefix wins. Examples:
+//!
+//! * `info` — every target at info and above;
+//! * `warn,engine=debug` — warn everywhere, debug for `engine.*`;
+//! * `off,qbss.decision=trace` — only the decision trace.
+//!
+//! Malformed specs are typed [`FilterError`]s so front ends can map
+//! them onto their bad-input exit path.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Event severity, ordered from most to least severe.
+///
+/// The numeric representation is part of the cheap-disabled-path
+/// contract: a level is enabled iff `level as u8 <= MAX_LEVEL`, where
+/// `MAX_LEVEL = 0` means telemetry is off entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-corrupting conditions.
+    Error = 1,
+    /// Suspicious but survivable conditions (deprecations, violations).
+    Warn = 2,
+    /// High-level lifecycle messages (a sweep started / finished).
+    Info = 3,
+    /// Per-decision / per-cell diagnostics.
+    Debug = 4,
+    /// Everything, including per-iteration internals.
+    Trace = 5,
+}
+
+impl Level {
+    /// The canonical lowercase name used in specs and JSONL records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name; `None` is the spec word `off`.
+    fn parse_opt(s: &str) -> Result<Option<Level>, ()> {
+        Ok(Some(match s {
+            "off" => return Ok(None),
+            "error" => Level::Error,
+            "warn" => Level::Warn,
+            "info" => Level::Info,
+            "debug" => Level::Debug,
+            "trace" => Level::Trace,
+            _ => return Err(()),
+        }))
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = FilterError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match Level::parse_opt(s) {
+            Ok(Some(l)) => Ok(l),
+            _ => Err(FilterError {
+                spec: s.to_string(),
+                reason: "unknown level (expected error|warn|info|debug|trace)".to_string(),
+            }),
+        }
+    }
+}
+
+/// A malformed `QBSS_LOG` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterError {
+    /// The offending spec (or directive).
+    pub spec: String,
+    /// What is wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid QBSS_LOG spec `{}`: {} (grammar: LEVEL or TARGET=LEVEL, comma-separated; \
+             levels off|error|warn|info|debug|trace)",
+            self.spec, self.reason
+        )
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// A compiled `QBSS_LOG` filter: a default level plus per-target
+/// (prefix) overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filter {
+    /// Level applied when no directive matches; `None` = off.
+    default: Option<Level>,
+    /// `(target prefix, level)` overrides; `None` silences the target.
+    directives: Vec<(String, Option<Level>)>,
+}
+
+impl Default for Filter {
+    /// The default filter used when `QBSS_LOG` is unset: `info`.
+    fn default() -> Self {
+        Filter { default: Some(Level::Info), directives: Vec::new() }
+    }
+}
+
+impl Filter {
+    /// A filter that rejects every event.
+    pub fn off() -> Self {
+        Filter { default: None, directives: Vec::new() }
+    }
+
+    /// A filter that accepts every target at `level` and above.
+    pub fn at(level: Level) -> Self {
+        Filter { default: Some(level), directives: Vec::new() }
+    }
+
+    /// Parses a spec (see the module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<Filter, FilterError> {
+        let err = |directive: &str, reason: &str| FilterError {
+            spec: directive.to_string(),
+            reason: reason.to_string(),
+        };
+        let mut filter = Filter::off();
+        let mut saw_default = false;
+        for raw in spec.split(',') {
+            let directive = raw.trim();
+            if directive.is_empty() {
+                return Err(err(spec, "empty directive"));
+            }
+            match directive.split_once('=') {
+                None => {
+                    let Ok(level) = Level::parse_opt(directive) else {
+                        return Err(err(directive, "not a level or TARGET=LEVEL"));
+                    };
+                    if saw_default {
+                        return Err(err(directive, "second default level"));
+                    }
+                    saw_default = true;
+                    filter.default = level;
+                }
+                Some((target, level)) => {
+                    let target = target.trim();
+                    let level = level.trim();
+                    if target.is_empty() {
+                        return Err(err(directive, "empty target"));
+                    }
+                    if target.contains('=') || level.contains('=') {
+                        return Err(err(directive, "more than one `=`"));
+                    }
+                    let Ok(level) = Level::parse_opt(level) else {
+                        return Err(err(directive, "unknown level"));
+                    };
+                    filter.directives.push((target.to_string(), level));
+                }
+            }
+        }
+        Ok(filter)
+    }
+
+    /// Whether an event at `level` for `target` passes the filter. The
+    /// longest directive whose target is a dot-prefix of `target` wins;
+    /// without a match the default applies.
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        let mut best: Option<&(String, Option<Level>)> = None;
+        for d in &self.directives {
+            let (prefix, _) = d;
+            let matches = target == prefix
+                || (target.len() > prefix.len()
+                    && target.starts_with(prefix.as_str())
+                    && target.as_bytes()[prefix.len()] == b'.');
+            if matches && best.is_none_or(|(b, _)| prefix.len() > b.len()) {
+                best = Some(d);
+            }
+        }
+        let effective = best.map_or(self.default, |&(_, l)| l);
+        effective.is_some_and(|max| level <= max)
+    }
+
+    /// The most verbose level any target can pass (the value for the
+    /// global fast-path atomic); `None` when the filter is entirely off.
+    pub fn max_level(&self) -> Option<Level> {
+        self.directives
+            .iter()
+            .filter_map(|&(_, l)| l)
+            .chain(self.default)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_level_sets_the_default() {
+        let f = Filter::parse("debug").expect("valid");
+        assert!(f.enabled(Level::Debug, "anything"));
+        assert!(f.enabled(Level::Error, "x.y"));
+        assert!(!f.enabled(Level::Trace, "anything"));
+        assert_eq!(f.max_level(), Some(Level::Debug));
+    }
+
+    #[test]
+    fn target_overrides_apply_by_longest_prefix() {
+        let f = Filter::parse("warn,engine=debug,engine.cell=trace").expect("valid");
+        assert!(f.enabled(Level::Warn, "yds.solve"));
+        assert!(!f.enabled(Level::Info, "yds.solve"));
+        assert!(f.enabled(Level::Debug, "engine.sweep"));
+        assert!(!f.enabled(Level::Trace, "engine.sweep"));
+        assert!(f.enabled(Level::Trace, "engine.cell"));
+        assert!(f.enabled(Level::Trace, "engine.cell.query"));
+        assert_eq!(f.max_level(), Some(Level::Trace));
+    }
+
+    #[test]
+    fn prefix_matching_is_per_dot_segment() {
+        let f = Filter::parse("off,engine=info").expect("valid");
+        assert!(f.enabled(Level::Info, "engine"));
+        assert!(f.enabled(Level::Info, "engine.cell"));
+        // `enginex` is not under `engine`.
+        assert!(!f.enabled(Level::Error, "enginex"));
+    }
+
+    #[test]
+    fn off_silences_targets_and_defaults() {
+        let f = Filter::parse("info,yds=off").expect("valid");
+        assert!(!f.enabled(Level::Error, "yds.solve"));
+        assert!(f.enabled(Level::Info, "engine"));
+        let f = Filter::parse("off").expect("valid");
+        assert_eq!(f.max_level(), None);
+        assert!(!f.enabled(Level::Error, "x"));
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        for bad in [
+            "", "bogus", "info,", "=info", "a==b", "a=purple", "info,warn", "a=info=b",
+            ",info",
+        ] {
+            let err = Filter::parse(bad).expect_err(bad);
+            assert!(err.to_string().contains("QBSS_LOG"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn level_round_trips() {
+        for l in [Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace] {
+            assert_eq!(l.as_str().parse::<Level>().expect("round trip"), l);
+        }
+        assert!("purple".parse::<Level>().is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms behind atomics.
+//!
+//! A [`Registry`] is a set of named metrics that can be snapshotted to
+//! JSON in **canonical key order** (metrics sorted by name within each
+//! kind), so a snapshot is deterministic and independent of creation
+//! or update order — the same contract the sweep engine's aggregates
+//! follow. All update paths are lock-free atomics; the registry lock is
+//! only taken on first registration of a name and when snapshotting.
+//!
+//! There is one process-global registry ([`crate::metrics()`], fed by
+//! the [`crate::counter!`] macro's per-call-site caches) and any number
+//! of local ones (the sweep engine keeps one per run so concurrent
+//! sweeps do not bleed into each other's instrumentation).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::json::{json_escape, json_f64};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over fixed, immutable bucket upper bounds.
+///
+/// `bounds` are inclusive upper bounds; one implicit overflow bucket
+/// catches everything above the last bound. `record` is a few relaxed
+/// atomic operations; `sum` uses a compare-exchange loop over `f64`
+/// bits (sums of non-negative samples, so precision loss is benign for
+/// reporting purposes).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets, last = overflow.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// Exponential microsecond bounds for duration histograms: 1 µs to
+/// 10 s in half-decade steps.
+pub const DURATION_US_BOUNDS: [f64; 15] = [
+    1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7,
+];
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (negative samples clamp to 0).
+    pub fn record(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // `fetch_min/max` over IEEE bits: exact order for non-negatives.
+        self.min_bits.fetch_min(v.to_bits(), Ordering::Relaxed);
+        self.max_bits.fetch_max(v.to_bits(), Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"mean\": {}, \"max\": {}, \"buckets\": [",
+            self.count(),
+            json_f64(self.sum()),
+            json_f64(self.min()),
+            json_f64(self.mean()),
+            json_f64(self.max())
+        );
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let le = self
+                .bounds
+                .get(i)
+                .map_or_else(|| "null".to_string(), |&b| json_f64(b));
+            s.push_str(&format!(
+                "{{\"le\": {le}, \"n\": {}}}",
+                bucket.load(Ordering::Relaxed)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named set of metrics, snapshotable to canonical-order JSON.
+pub struct Registry {
+    /// Keyed by `(kind tag, name)` so one name can never collide across
+    /// kinds; `BTreeMap` keeps snapshots in canonical order for free.
+    inner: Mutex<BTreeMap<(u8, String), Metric>>,
+}
+
+const KIND_COUNTER: u8 = 0;
+const KIND_GAUGE: u8 = 1;
+const KIND_HISTOGRAM: u8 = 2;
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.lock().len();
+        write!(f, "Registry({n} metrics)")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry { inner: Mutex::new(BTreeMap::new()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<(u8, String), Metric>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The counter named `name`, creating it on first use. The returned
+    /// handle updates lock-free; hold on to it on hot paths (or use
+    /// [`crate::counter!`], which caches per call site).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.lock();
+        let entry = map
+            .entry((KIND_COUNTER, name.to_string()))
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
+        match entry {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => unreachable!("kind is part of the key"),
+        }
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.lock();
+        let entry = map
+            .entry((KIND_GAUGE, name.to_string()))
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
+        match entry {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => unreachable!("kind is part of the key"),
+        }
+    }
+
+    /// The histogram named `name` with the given bucket upper bounds,
+    /// creating it on first use (the bounds of the first registration
+    /// win).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut map = self.lock();
+        let entry = map
+            .entry((KIND_HISTOGRAM, name.to_string()))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))));
+        match entry {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => unreachable!("kind is part of the key"),
+        }
+    }
+
+    /// The snapshot as a single JSON object with `counters`, `gauges`
+    /// and `histograms` sub-objects, each in canonical (sorted-name)
+    /// order. Two registries that saw the same updates produce
+    /// byte-identical snapshots regardless of thread interleaving.
+    pub fn snapshot_json(&self) -> String {
+        let map = self.lock();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for ((_, name), metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    counters.push(format!("\"{}\": {}", json_escape(name), c.get()));
+                }
+                Metric::Gauge(g) => {
+                    gauges.push(format!("\"{}\": {}", json_escape(name), json_f64(g.get())));
+                }
+                Metric::Histogram(h) => {
+                    histograms.push(format!("\"{}\": {}", json_escape(name), h.to_json()));
+                }
+            }
+        }
+        format!(
+            "{{\"counters\": {{{}}}, \"gauges\": {{{}}}, \"histograms\": {{{}}}}}",
+            counters.join(", "),
+            gauges.join(", "),
+            histograms.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = Registry::new();
+        r.counter("b.count").add(3);
+        r.counter("a.count").inc();
+        r.gauge("speed").set(2.5);
+        assert_eq!(r.counter("b.count").get(), 3);
+        assert_eq!(r.gauge("speed").get(), 2.5);
+        let json = r.snapshot_json();
+        // Canonical order: a.count before b.count.
+        let a = json.find("a.count").expect("a");
+        let b = json.find("b.count").expect("b");
+        assert!(a < b, "{json}");
+        assert!(json.contains("\"speed\": 2.5"), "{json}");
+    }
+
+    #[test]
+    fn snapshot_is_update_order_independent() {
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        r1.counter("x").add(2);
+        r1.counter("y").add(5);
+        r2.counter("y").add(5);
+        r2.counter("x").add(2);
+        assert_eq!(r1.snapshot_json(), r2.snapshot_json());
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let r = Registry::new();
+        let h = r.histogram("dur", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 500.0);
+        assert!((h.sum() - 560.5).abs() < 1e-9);
+        let json = h.to_json();
+        assert!(json.contains("{\"le\": 1, \"n\": 1}"), "{json}");
+        assert!(json.contains("{\"le\": 10, \"n\": 2}"), "{json}");
+        assert!(json.contains("{\"le\": null, \"n\": 1}"), "{json}");
+    }
+
+    #[test]
+    fn histogram_is_safe_under_threads() {
+        let r = Registry::new();
+        let h = r.histogram("t", &DURATION_US_BOUNDS);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(i as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert!((h.sum() - 4.0 * 999.0 * 1000.0 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_registry_snapshot_is_stable() {
+        assert_eq!(
+            Registry::new().snapshot_json(),
+            "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}"
+        );
+    }
+
+    #[test]
+    fn same_name_same_handle() {
+        let r = Registry::new();
+        r.counter("n").inc();
+        r.counter("n").inc();
+        assert_eq!(r.counter("n").get(), 2);
+    }
+}

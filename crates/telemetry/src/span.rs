@@ -1,0 +1,141 @@
+//! Spans: timed, named regions with parent links.
+//!
+//! Each thread keeps a stack of open span ids; [`SpanGuard::enter`]
+//! pushes, `Drop` pops and emits the JSONL record (so a trace file
+//! lists spans in *close* order — readers rebuild the tree from the
+//! explicit `parent` ids, not file order). Ids come from one global
+//! counter and are unique per process; cross-thread work (the sweep
+//! engine's worker shards) passes the parent id explicitly.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{now_us, Value};
+
+/// Global span-id source; 0 is reserved ("no span").
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The id of the innermost span open on this thread, if any. Capture
+/// this before spawning workers and pass it as `parent:` to [`span!`]
+/// to stitch trees across threads.
+///
+/// [`span!`]: crate::span!
+pub fn current_span_id() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// An open span; emits its record when dropped. Construct via the
+/// [`span!`] macro. Not `Send` — a span belongs to the thread whose
+/// stack it is on.
+///
+/// [`span!`]: crate::span!
+#[must_use = "a span measures the scope of its guard; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    /// `None` when spans were disabled at entry: the guard is inert.
+    live: Option<LiveSpan>,
+    _not_send: PhantomData<*const ()>,
+}
+
+struct LiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start_us: u64,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl SpanGuard {
+    /// Opens a span with an explicit parent (`None` = root). Prefer
+    /// the [`span!`] macro, which handles the disabled fast path and
+    /// defaults the parent to [`current_span_id`].
+    ///
+    /// [`span!`]: crate::span!
+    pub fn enter(
+        name: &'static str,
+        parent: Option<u64>,
+        fields: Vec<(&'static str, Value)>,
+    ) -> SpanGuard {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        SpanGuard {
+            live: Some(LiveSpan { id, parent, name, start_us: now_us(), fields }),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The inert guard the [`span!`] macro returns when spans are off.
+    ///
+    /// [`span!`]: crate::span!
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { live: None, _not_send: PhantomData }
+    }
+
+    /// This span's id, `None` for a disabled guard.
+    pub fn id(&self) -> Option<u64> {
+        self.live.as_ref().map(|l| l.id)
+    }
+
+    /// Attaches a field after entry (e.g. a result computed inside the
+    /// span: rounds taken, cells swept). No-op on a disabled guard.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(live) = self.live.as_mut() {
+            live.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards drop in LIFO order on a thread, so this is the top
+            // — but be defensive about mem::forget'd guards.
+            if let Some(pos) = stack.iter().rposition(|&id| id == live.id) {
+                stack.truncate(pos);
+            }
+        });
+        let dur_us = now_us().saturating_sub(live.start_us);
+        crate::emit_span(live.id, live.parent, live.name, live.start_us, dur_us, &live.fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = SpanGuard::enter("a", None, Vec::new());
+        let b = SpanGuard::enter("b", a.id(), Vec::new());
+        let (ia, ib) = (a.id().expect("live"), b.id().expect("live"));
+        assert_ne!(ia, 0);
+        assert_ne!(ia, ib);
+    }
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let before = current_span_id();
+        let mut g = SpanGuard::disabled();
+        g.record("k", 1_u64);
+        assert_eq!(g.id(), None);
+        assert_eq!(current_span_id(), before);
+    }
+
+    #[test]
+    fn stack_recovers_from_out_of_order_drops() {
+        let outer = SpanGuard::enter("outer", None, Vec::new());
+        let inner = SpanGuard::enter("inner", outer.id(), Vec::new());
+        let inner_id = inner.id();
+        assert_eq!(current_span_id(), inner_id);
+        drop(outer); // wrong order on purpose
+        assert_eq!(current_span_id(), None, "truncation pops inner too");
+        drop(inner);
+        assert_eq!(current_span_id(), None);
+    }
+}

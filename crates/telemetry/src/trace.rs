@@ -1,0 +1,523 @@
+//! Reading side of the JSONL trace schema: strict per-line validation
+//! plus the aggregation behind `qbss trace summarize`.
+//!
+//! The writer (the emitters in the crate root) and this reader are the
+//! two halves of one schema contract; the round-trip is tested here and
+//! exercised end-to-end by the CLI integration tests.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use crate::json::{parse, JsonValue};
+use crate::{fmt_duration, Level};
+
+/// A schema violation at a specific line of a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One validated trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A closed span.
+    Span(SpanRec),
+    /// A leveled event.
+    Event(EventRec),
+    /// An inline metrics snapshot.
+    Metrics(MetricsRec),
+}
+
+/// A `"t": "span"` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRec {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<u64>,
+    /// Span name (dot-scoped, e.g. `engine.cell`).
+    pub name: String,
+    /// Open timestamp, µs since process epoch.
+    pub start_us: u64,
+    /// Open-to-close duration in µs.
+    pub dur_us: u64,
+    /// Structured fields, as parsed JSON.
+    pub fields: JsonValue,
+}
+
+/// A `"t": "event"` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRec {
+    /// Timestamp, µs since process epoch.
+    pub ts_us: u64,
+    /// Severity.
+    pub level: Level,
+    /// Dot-scoped target.
+    pub target: String,
+    /// Innermost open span on the emitting thread, if any.
+    pub span: Option<u64>,
+    /// Formatted message.
+    pub msg: String,
+    /// Structured fields, as parsed JSON.
+    pub fields: JsonValue,
+}
+
+/// A `"t": "metrics"` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRec {
+    /// Timestamp, µs since process epoch.
+    pub ts_us: u64,
+    /// Which registry this snapshot came from (e.g. `engine`).
+    pub scope: String,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name, as parsed JSON.
+    pub histograms: JsonValue,
+}
+
+fn need<'v>(v: &'v JsonValue, key: &str, line: usize) -> Result<&'v JsonValue, TraceError> {
+    v.get(key).ok_or_else(|| TraceError {
+        line,
+        reason: format!("missing key `{key}`"),
+    })
+}
+
+fn need_u64(v: &JsonValue, key: &str, line: usize) -> Result<u64, TraceError> {
+    need(v, key, line)?.as_u64().ok_or_else(|| TraceError {
+        line,
+        reason: format!("`{key}` must be a non-negative integer"),
+    })
+}
+
+fn need_str(v: &JsonValue, key: &str, line: usize) -> Result<String, TraceError> {
+    Ok(need(v, key, line)?
+        .as_str()
+        .ok_or_else(|| TraceError {
+            line,
+            reason: format!("`{key}` must be a string"),
+        })?
+        .to_string())
+}
+
+fn need_opt_u64(v: &JsonValue, key: &str, line: usize) -> Result<Option<u64>, TraceError> {
+    match need(v, key, line)? {
+        JsonValue::Null => Ok(None),
+        other => other.as_u64().map(Some).ok_or_else(|| TraceError {
+            line,
+            reason: format!("`{key}` must be null or a non-negative integer"),
+        }),
+    }
+}
+
+fn need_obj(v: &JsonValue, key: &str, line: usize) -> Result<JsonValue, TraceError> {
+    let val = need(v, key, line)?;
+    match val {
+        JsonValue::Obj(_) => Ok(val.clone()),
+        _ => Err(TraceError {
+            line,
+            reason: format!("`{key}` must be an object"),
+        }),
+    }
+}
+
+/// Parses and validates one trace line (1-based `line` for errors).
+pub fn parse_line(text: &str, line: usize) -> Result<TraceRecord, TraceError> {
+    let v = parse(text).map_err(|e| TraceError {
+        line,
+        reason: format!("not valid JSON: {e}"),
+    })?;
+    if !matches!(v, JsonValue::Obj(_)) {
+        return Err(TraceError { line, reason: "record must be a JSON object".to_string() });
+    }
+    let t = need_str(&v, "t", line)?;
+    match t.as_str() {
+        "span" => Ok(TraceRecord::Span(SpanRec {
+            id: need_u64(&v, "id", line)?,
+            parent: need_opt_u64(&v, "parent", line)?,
+            name: need_str(&v, "name", line)?,
+            start_us: need_u64(&v, "start_us", line)?,
+            dur_us: need_u64(&v, "dur_us", line)?,
+            fields: need_obj(&v, "fields", line)?,
+        })),
+        "event" => {
+            let level_str = need_str(&v, "level", line)?;
+            let level = level_str.parse::<Level>().map_err(|_| TraceError {
+                line,
+                reason: format!("unknown level `{level_str}`"),
+            })?;
+            Ok(TraceRecord::Event(EventRec {
+                ts_us: need_u64(&v, "ts_us", line)?,
+                level,
+                target: need_str(&v, "target", line)?,
+                span: need_opt_u64(&v, "span", line)?,
+                msg: need_str(&v, "msg", line)?,
+                fields: need_obj(&v, "fields", line)?,
+            }))
+        }
+        "metrics" => {
+            let counters_v = need_obj(&v, "counters", line)?;
+            let mut counters = BTreeMap::new();
+            if let JsonValue::Obj(fields) = &counters_v {
+                for (k, val) in fields {
+                    let n = val.as_u64().ok_or_else(|| TraceError {
+                        line,
+                        reason: format!("counter `{k}` must be a non-negative integer"),
+                    })?;
+                    counters.insert(k.clone(), n);
+                }
+            }
+            let gauges_v = need_obj(&v, "gauges", line)?;
+            let mut gauges = BTreeMap::new();
+            if let JsonValue::Obj(fields) = &gauges_v {
+                for (k, val) in fields {
+                    let n = val.as_f64().ok_or_else(|| TraceError {
+                        line,
+                        reason: format!("gauge `{k}` must be a number"),
+                    })?;
+                    gauges.insert(k.clone(), n);
+                }
+            }
+            Ok(TraceRecord::Metrics(MetricsRec {
+                ts_us: need_u64(&v, "ts_us", line)?,
+                scope: need_str(&v, "scope", line)?,
+                counters,
+                gauges,
+                histograms: need_obj(&v, "histograms", line)?,
+            }))
+        }
+        other => Err(TraceError {
+            line,
+            reason: format!("unknown record type `{other}` (expected span|event|metrics)"),
+        }),
+    }
+}
+
+/// Parses a whole JSONL trace, skipping blank lines; fails on the first
+/// schema violation.
+pub fn parse_trace(input: &str) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut records = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(parse_line(line, i + 1)?);
+    }
+    Ok(records)
+}
+
+// ---------------------------------------------------------------------
+// Summarization
+// ---------------------------------------------------------------------
+
+/// Aggregate statistics for one node of the span-name tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeNode {
+    /// Name path from the root, e.g. `["cli.sweep", "engine.sweep"]`.
+    pub path: Vec<String>,
+    /// How many spans landed on this node.
+    pub count: u64,
+    /// Total duration across them, µs.
+    pub total_us: u64,
+    /// Slowest single span, µs.
+    pub max_us: u64,
+}
+
+/// The digest behind `qbss trace summarize`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Span / event / metrics record counts.
+    pub spans: usize,
+    /// Number of event records.
+    pub events: usize,
+    /// Number of metrics records.
+    pub metrics: usize,
+    /// Trace wall clock: latest span end minus earliest span start, µs.
+    pub wall_us: u64,
+    /// Fraction of the wall clock covered by root spans (0..=1).
+    pub coverage: f64,
+    /// The span-name tree, depth-first, children after parents.
+    pub tree: Vec<TreeNode>,
+    /// `(name, dur_us, fields)` of the slowest spans of the hottest
+    /// (most frequent) span name.
+    pub slowest: Vec<(String, u64, JsonValue)>,
+}
+
+/// Builds the per-phase timing digest from parsed records.
+///
+/// Span records are written at *close*, so file order is close order;
+/// the tree is rebuilt from the explicit `parent` ids. Spans whose
+/// parent never closed (truncated trace) are treated as roots.
+pub fn summarize(records: &[TraceRecord]) -> Summary {
+    let spans: Vec<&SpanRec> = records
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    let events = records.iter().filter(|r| matches!(r, TraceRecord::Event(_))).count();
+    let metrics = records.iter().filter(|r| matches!(r, TraceRecord::Metrics(_))).count();
+
+    let by_id: BTreeMap<u64, &SpanRec> = spans.iter().map(|s| (s.id, *s)).collect();
+
+    // Name path for each span by walking parent links (cycles cannot
+    // occur: ids are allocated monotonically and parents are older).
+    let path_of = |s: &SpanRec| -> Vec<String> {
+        let mut path = vec![s.name.clone()];
+        let mut cur = s.parent;
+        while let Some(pid) = cur {
+            match by_id.get(&pid) {
+                Some(p) => {
+                    path.push(p.name.clone());
+                    cur = p.parent;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        path
+    };
+
+    let mut nodes: BTreeMap<Vec<String>, TreeNode> = BTreeMap::new();
+    let mut wall_start = u64::MAX;
+    let mut wall_end = 0_u64;
+    let mut root_total = 0_u64;
+    let mut name_counts: BTreeMap<&str, u64> = BTreeMap::new();
+    for s in &spans {
+        wall_start = wall_start.min(s.start_us);
+        wall_end = wall_end.max(s.start_us + s.dur_us);
+        let is_root = s.parent.is_none_or(|p| !by_id.contains_key(&p));
+        if is_root {
+            root_total += s.dur_us;
+        }
+        *name_counts.entry(s.name.as_str()).or_insert(0) += 1;
+        let path = path_of(s);
+        let node = nodes.entry(path.clone()).or_insert(TreeNode {
+            path,
+            count: 0,
+            total_us: 0,
+            max_us: 0,
+        });
+        node.count += 1;
+        node.total_us += s.dur_us;
+        node.max_us = node.max_us.max(s.dur_us);
+    }
+    let wall_us = wall_end.saturating_sub(if wall_start == u64::MAX { 0 } else { wall_start });
+    let coverage = if wall_us == 0 {
+        0.0
+    } else {
+        (root_total as f64 / wall_us as f64).min(1.0)
+    };
+
+    // Hottest name = most spans (ties: first in name order); its
+    // slowest instances are the "top-k slowest cells" view.
+    let hot = name_counts
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        .map(|(name, _)| name.to_string());
+    let mut slowest: Vec<(String, u64, JsonValue)> = spans
+        .iter()
+        .filter(|s| Some(&s.name) == hot.as_ref())
+        .map(|s| (s.name.clone(), s.dur_us, s.fields.clone()))
+        .collect();
+    slowest.sort_by_key(|s| std::cmp::Reverse(s.1));
+
+    Summary {
+        spans: spans.len(),
+        events,
+        metrics,
+        wall_us,
+        coverage,
+        tree: nodes.into_values().collect(),
+        slowest,
+    }
+}
+
+impl Summary {
+    /// Renders the digest as the text `qbss trace summarize` prints:
+    /// header, indented phase tree, and the `top` slowest hot spans.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} spans, {} events, {} metrics records\n",
+            self.spans, self.events, self.metrics
+        ));
+        out.push_str(&format!(
+            "wall: {}  span coverage: {:.1}%\n",
+            fmt_duration(Duration::from_micros(self.wall_us)),
+            self.coverage * 100.0
+        ));
+        if !self.tree.is_empty() {
+            out.push_str("\nphase tree (name  count  total  max):\n");
+            for node in &self.tree {
+                let depth = node.path.len() - 1;
+                let name = node.path.last().map(String::as_str).unwrap_or("?");
+                out.push_str(&format!(
+                    "{}{}  {}  {}  {}\n",
+                    "  ".repeat(depth),
+                    name,
+                    node.count,
+                    fmt_duration(Duration::from_micros(node.total_us)),
+                    fmt_duration(Duration::from_micros(node.max_us)),
+                ));
+            }
+        }
+        if top > 0 && !self.slowest.is_empty() {
+            let name = &self.slowest[0].0;
+            out.push_str(&format!("\nslowest `{name}` spans:\n"));
+            for (_, dur_us, fields) in self.slowest.iter().take(top) {
+                let fields_str = render_fields(fields);
+                out.push_str(&format!(
+                    "  {}  {}\n",
+                    fmt_duration(Duration::from_micros(*dur_us)),
+                    fields_str
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn render_fields(fields: &JsonValue) -> String {
+    match fields {
+        JsonValue::Obj(kvs) if !kvs.is_empty() => kvs
+            .iter()
+            .map(|(k, v)| {
+                let vs = match v {
+                    JsonValue::Str(s) => s.clone(),
+                    JsonValue::Num(n) => crate::json::json_f64(*n),
+                    JsonValue::Bool(b) => b.to_string(),
+                    JsonValue::Null => "null".to_string(),
+                    other => format!("{other:?}"),
+                };
+                format!("{k}={vs}")
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+        _ => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(id: u64, parent: Option<u64>, name: &str, start: u64, dur: u64) -> String {
+        let parent = parent.map_or("null".to_string(), |p| p.to_string());
+        format!(
+            "{{\"t\": \"span\", \"id\": {id}, \"parent\": {parent}, \"name\": \"{name}\", \
+             \"start_us\": {start}, \"dur_us\": {dur}, \"fields\": {{\"cell\": {id}}}}}"
+        )
+    }
+
+    #[test]
+    fn parses_all_three_record_types() {
+        let spans = span_line(1, None, "root", 0, 100);
+        let event = "{\"t\": \"event\", \"ts_us\": 5, \"level\": \"info\", \
+                     \"target\": \"engine\", \"span\": 1, \"msg\": \"hi\", \"fields\": {}}";
+        let metrics = "{\"t\": \"metrics\", \"ts_us\": 9, \"scope\": \"engine\", \
+                       \"counters\": {\"cells\": 3}, \"gauges\": {\"r\": 0.5}, \
+                       \"histograms\": {}}";
+        let trace = format!("{spans}\n\n{event}\n{metrics}\n");
+        let records = parse_trace(&trace).expect("valid");
+        assert_eq!(records.len(), 3);
+        match &records[1] {
+            TraceRecord::Event(e) => {
+                assert_eq!(e.level, Level::Info);
+                assert_eq!(e.span, Some(1));
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+        match &records[2] {
+            TraceRecord::Metrics(m) => {
+                assert_eq!(m.counters.get("cells"), Some(&3));
+                assert_eq!(m.gauges.get("r"), Some(&0.5));
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_violations_carry_line_numbers() {
+        for (bad, needle) in [
+            ("not json", "not valid JSON"),
+            ("[1]", "must be a JSON object"),
+            ("{\"t\": \"bogus\"}", "unknown record type"),
+            ("{\"t\": \"span\", \"id\": 1}", "missing key"),
+            (
+                "{\"t\": \"span\", \"id\": -1, \"parent\": null, \"name\": \"n\", \
+                 \"start_us\": 0, \"dur_us\": 0, \"fields\": {}}",
+                "non-negative",
+            ),
+            (
+                "{\"t\": \"event\", \"ts_us\": 0, \"level\": \"loud\", \"target\": \"t\", \
+                 \"span\": null, \"msg\": \"m\", \"fields\": {}}",
+                "unknown level",
+            ),
+            (
+                "{\"t\": \"span\", \"id\": 1, \"parent\": null, \"name\": \"n\", \
+                 \"start_us\": 0, \"dur_us\": 0, \"fields\": []}",
+                "must be an object",
+            ),
+        ] {
+            let err = parse_trace(&format!("{}\n{bad}", span_line(9, None, "ok", 0, 1)))
+                .expect_err(bad);
+            assert_eq!(err.line, 2, "{bad}");
+            assert!(err.reason.contains(needle), "{bad}: {}", err.reason);
+        }
+    }
+
+    #[test]
+    fn summarize_builds_the_tree_and_coverage() {
+        // root(0..100) with two cells, plus an orphan treated as root.
+        let trace = [
+            span_line(2, Some(1), "cell", 10, 20),
+            span_line(3, Some(1), "cell", 30, 40),
+            span_line(1, None, "sweep", 0, 100),
+            span_line(4, Some(99), "orphan", 100, 20),
+        ]
+        .join("\n");
+        let records = parse_trace(&trace).expect("valid");
+        let s = summarize(&records);
+        assert_eq!(s.spans, 4);
+        assert_eq!(s.wall_us, 120);
+        assert!((s.coverage - 1.0).abs() < 1e-9, "{}", s.coverage);
+        let cell = s
+            .tree
+            .iter()
+            .find(|n| n.path == ["sweep".to_string(), "cell".to_string()])
+            .expect("cell node");
+        assert_eq!(cell.count, 2);
+        assert_eq!(cell.total_us, 60);
+        assert_eq!(cell.max_us, 40);
+        // Hottest name is `cell`; slowest first.
+        assert_eq!(s.slowest[0].1, 40);
+        let rendered = s.render(5);
+        assert!(rendered.contains("span coverage: 100.0%"), "{rendered}");
+        assert!(rendered.contains("  cell  2"), "{rendered}");
+        assert!(rendered.contains("slowest `cell` spans"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_trace_summarizes_cleanly() {
+        let s = summarize(&[]);
+        assert_eq!(s.spans, 0);
+        assert_eq!(s.wall_us, 0);
+        assert_eq!(s.coverage, 0.0);
+        assert!(s.render(3).contains("0 spans"));
+    }
+}

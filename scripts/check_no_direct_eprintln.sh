@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Library crates must route diagnostics through qbss-telemetry events
+# (leveled, filterable, JSONL-safe), not ad-hoc stderr writes.
+#
+# Allowlisted:
+#   crates/cli            — user-facing stderr is the CLI's job
+#   crates/bench/src/bin  — standalone experiment binaries
+#   crates/telemetry/src/lib.rs — the stderr sink itself
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+violations=$(grep -rn 'eprintln!' crates/*/src --include='*.rs' \
+  | grep -v '^crates/cli/' \
+  | grep -v '^crates/bench/src/bin/' \
+  | grep -v '^crates/telemetry/src/lib.rs:' \
+  || true)
+
+if [ -n "$violations" ]; then
+  echo "direct eprintln! in library code (use qbss_telemetry events instead):"
+  echo "$violations"
+  exit 1
+fi
+echo "OK: no direct eprintln! in library crates"
