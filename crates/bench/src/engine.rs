@@ -117,7 +117,7 @@ impl SweepSpec {
     }
 
     /// Rejects structurally empty or out-of-model specs.
-    fn validate(&self) -> Result<(), EngineError> {
+    pub fn validate(&self) -> Result<(), EngineError> {
         if self.algorithms.is_empty() {
             return Err(EngineError::EmptySpec("no algorithms"));
         }
@@ -233,7 +233,15 @@ pub struct StreamAgg {
 }
 
 impl StreamAgg {
-    fn record_ok(&self, metrics: &CellMetrics, energy_bound: Option<f64>, speed_bound: Option<f64>) {
+    /// Feeds one successful cell: bumps `ok`, folds the IEEE-bit maxima,
+    /// and counts bound violations against the group's proven bounds
+    /// (with the engine's relative slack).
+    pub fn record_ok(
+        &self,
+        metrics: &CellMetrics,
+        energy_bound: Option<f64>,
+        speed_bound: Option<f64>,
+    ) {
         self.ok.fetch_add(1, Ordering::Relaxed);
         self.max_energy_ratio_bits
             .fetch_max(metrics.energy_ratio.to_bits(), Ordering::Relaxed);
@@ -561,6 +569,20 @@ fn json_digest(d: Option<Digest>) -> String {
 /// profiles are computed once, and the returned aggregates are
 /// deterministic in the spec — independent of `shards`.
 pub fn run_sweep(spec: &SweepSpec, shards: usize) -> Result<EngineReport, EngineError> {
+    run_sweep_audited(spec, shards, None)
+}
+
+/// [`run_sweep`] with an optional runtime invariant auditor threaded
+/// through every cell (`qbss sweep --audit`). Each successful cell is
+/// re-checked against the paper's guarantees using the instance's
+/// memoized [`OptCache`]; findings go to the auditor's tallies and
+/// `error!`-level telemetry only, so the returned report — and its
+/// serialized bytes — are identical with auditing on or off.
+pub fn run_sweep_audited(
+    spec: &SweepSpec,
+    shards: usize,
+    auditor: Option<&qbss_core::audit::Auditor>,
+) -> Result<EngineReport, EngineError> {
     spec.validate()?;
     let n_inst = spec.n_instances();
     let n_algs = spec.algorithms.len();
@@ -653,6 +675,9 @@ pub fn run_sweep(spec: &SweepSpec, shards: usize) -> Result<EngineReport, Engine
                 Err(e.to_string())
             }
             Ok(ev) => {
+                if let Some(auditor) = auditor {
+                    auditor.audit(&ctx.inst, alpha, alg, &ev, &ctx.opt);
+                }
                 let queried = ev.outcome.decisions.iter().filter(|d| d.queried).count();
                 let (energy_ratio, speed_ratio) = if alg.machines() <= 1 {
                     let opt_e = ctx.opt.energy(alpha);
@@ -889,6 +914,34 @@ mod tests {
             opt_fw_iters: 0,
         };
         assert!(matches!(run_sweep(&spec, 1), Err(EngineError::EmptySpec(_))));
+    }
+
+    #[test]
+    fn audited_sweep_is_clean_and_byte_identical_for_every_algorithm() {
+        // Common-deadline instances keep all nine configurations in
+        // scope; a clean sweep must audit every cell with zero
+        // violations and identical aggregate bytes.
+        let spec = SweepSpec {
+            source: InstanceSource::Generated {
+                base: GenConfig::common_deadline(8, 8.0, 0),
+                seeds: 0..4,
+            },
+            algorithms: Algorithm::all(2, 6),
+            alphas: vec![2.0, 3.0],
+            opt_fw_iters: 4,
+        };
+        let auditor = qbss_core::audit::Auditor::new();
+        let audited = run_sweep_audited(&spec, 2, Some(&auditor)).expect("valid spec");
+        let n_ok: usize = audited.groups.iter().map(|g| g.ok).sum();
+        assert_eq!(n_ok, 4 * 9 * 2, "every cell in scope: {:?}", audited.violations());
+        assert_eq!(auditor.checked(), (4 * 9 * 2) as u64);
+        assert_eq!(auditor.violations(), 0, "clean runs must audit clean");
+        let plain = run_sweep(&spec, 2).expect("valid spec");
+        assert_eq!(
+            audited.aggregate_json(),
+            plain.aggregate_json(),
+            "auditing must not perturb aggregate bytes"
+        );
     }
 
     #[test]

@@ -27,13 +27,14 @@
 pub mod engine;
 pub mod ensemble;
 pub mod par;
+pub mod perf;
 pub mod search;
 pub mod table;
 pub mod timing;
 
 pub use engine::{
-    run_sweep, CellMetrics, CellRecord, Digest, EngineError, EngineReport, GroupAggregate,
-    InstanceSource, Instrumentation, StreamAgg, SweepSpec,
+    run_sweep, run_sweep_audited, CellMetrics, CellRecord, Digest, EngineError, EngineReport,
+    GroupAggregate, InstanceSource, Instrumentation, StreamAgg, SweepSpec,
 };
 pub use ensemble::{measure_ensemble, EnsembleReport};
 pub use par::{par_map, par_map_seeds, par_map_stealing};

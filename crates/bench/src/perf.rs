@@ -1,0 +1,732 @@
+//! Statistical perf baselines: named sweep scenarios, warmup + repeat
+//! measurement, and a noise-aware regression gate.
+//!
+//! `qbss perf record` runs every requested [`Scenario`] through the
+//! sharded engine with `warmup` discarded runs followed by `repeats`
+//! timed ones, and serializes median / MAD / min wall times plus an
+//! environment fingerprint into a canonical baseline JSON
+//! (`BENCH_baseline.json` in the repo root). `qbss perf compare` diffs
+//! two baselines; `qbss perf gate` turns a regression into exit code 3
+//! so CI can enforce it.
+//!
+//! The regression rule is deliberately noise-aware: a scenario regresses
+//! only when the new median exceeds the old one by more than
+//! `max(mad_factor · MAD, min_rel · median)` — MAD (median absolute
+//! deviation) is a robust spread estimate, and the relative floor keeps
+//! 1-core CI hosts with near-zero MAD from flaking. Defaults
+//! ([`Threshold::default`]) are 3×MAD with a 25% floor.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+use qbss_core::pipeline::Algorithm;
+use qbss_instances::gen::GenConfig;
+use qbss_telemetry::{json_escape, json_f64, json_parse, JsonValue};
+
+use crate::engine::{run_sweep, EngineError, InstanceSource, SweepSpec};
+
+/// The on-disk schema tag; bump on incompatible baseline changes.
+pub const BASELINE_SCHEMA: &str = "qbss-perf-baseline/1";
+
+// ---------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------
+
+/// A named, fully pinned sweep shape. Everything about the workload is
+/// deterministic (seeded generators, fixed grids); only wall time
+/// varies between runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Stable name (the baseline JSON key and the `--scenarios` token).
+    pub name: &'static str,
+    /// One-line description for `qbss perf record` output.
+    pub description: &'static str,
+    build: fn() -> SweepSpec,
+}
+
+impl Scenario {
+    /// The pinned sweep spec this scenario measures.
+    pub fn spec(&self) -> SweepSpec {
+        (self.build)()
+    }
+}
+
+// Sized so one run takes tens of milliseconds even on a slow 1-core
+// host: long enough that scheduler noise amortizes below the gate's
+// 25% floor, short enough that warmup + 5 repeats stays under a second.
+fn ci_small() -> SweepSpec {
+    SweepSpec {
+        source: InstanceSource::Generated {
+            base: GenConfig::common_deadline(10, 8.0, 0),
+            seeds: 0..400,
+        },
+        algorithms: vec![Algorithm::Avrq, Algorithm::Bkpq, Algorithm::Oaq],
+        alphas: vec![2.0, 3.0],
+        opt_fw_iters: 0,
+    }
+}
+
+fn engine_all() -> SweepSpec {
+    SweepSpec {
+        source: InstanceSource::Generated {
+            base: GenConfig::common_deadline(8, 8.0, 0),
+            seeds: 0..8,
+        },
+        algorithms: Algorithm::all(2, 6),
+        alphas: vec![2.0, 3.0],
+        opt_fw_iters: 4,
+    }
+}
+
+fn online_large() -> SweepSpec {
+    SweepSpec {
+        source: InstanceSource::Generated {
+            base: GenConfig::online_default(40, 0),
+            seeds: 0..16,
+        },
+        algorithms: vec![Algorithm::Avrq, Algorithm::Bkpq, Algorithm::Oaq],
+        alphas: vec![3.0],
+        opt_fw_iters: 0,
+    }
+}
+
+fn multi_machine() -> SweepSpec {
+    SweepSpec {
+        source: InstanceSource::Generated {
+            base: GenConfig::online_default(16, 0),
+            seeds: 0..8,
+        },
+        algorithms: vec![
+            Algorithm::AvrqM { m: 3 },
+            Algorithm::AvrqMNonmig { m: 3 },
+            Algorithm::OaqM { m: 3, fw_iters: 10 },
+        ],
+        alphas: vec![3.0],
+        opt_fw_iters: 4,
+    }
+}
+
+/// Every named scenario, in canonical order.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "ci-small",
+            description: "3 online algorithms × 2 α × 400 common-deadline instances (n=10)",
+            build: ci_small,
+        },
+        Scenario {
+            name: "engine-all",
+            description: "all 9 configurations × 2 α × 8 common-deadline instances (n=8)",
+            build: engine_all,
+        },
+        Scenario {
+            name: "online-large",
+            description: "3 online algorithms × 16 online instances (n=40)",
+            build: online_large,
+        },
+        Scenario {
+            name: "multi-machine",
+            description: "3 multi-machine configurations (m=3) × 8 online instances (n=16)",
+            build: multi_machine,
+        },
+    ]
+}
+
+/// Looks up a scenario by name.
+pub fn scenario(name: &str) -> Option<Scenario> {
+    scenarios().into_iter().find(|s| s.name == name)
+}
+
+// ---------------------------------------------------------------------
+// Recording
+// ---------------------------------------------------------------------
+
+/// How a recording run measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfConfig {
+    /// Discarded warmup runs per scenario.
+    pub warmup: usize,
+    /// Timed runs per scenario (the sample set).
+    pub repeats: usize,
+    /// Engine shard count (0 = available cores).
+    pub shards: usize,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        Self { warmup: 1, repeats: 5, shards: 1 }
+    }
+}
+
+/// Robust statistics of one scenario's timed runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioStats {
+    /// Grid size of the measured sweep (`spec.n_cells()`).
+    pub cells: usize,
+    /// Every timed sample, ms, in run order.
+    pub samples_ms: Vec<f64>,
+    /// Median of the samples, ms.
+    pub median_ms: f64,
+    /// Median absolute deviation of the samples, ms.
+    pub mad_ms: f64,
+    /// Fastest sample, ms.
+    pub min_ms: f64,
+}
+
+/// Where and how a baseline was recorded. Compared baselines from
+/// different environments are still diffable — the fingerprint is
+/// informational, surfaced in reports so cross-host noise is explicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFingerprint {
+    /// Hostname (best effort; `"unknown"` when undiscoverable).
+    pub host: String,
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available cores at record time.
+    pub cores: usize,
+    /// `rustc --version` output (best effort).
+    pub rustc: String,
+}
+
+impl EnvFingerprint {
+    /// Captures the current environment.
+    pub fn capture() -> Self {
+        let host = std::env::var("HOSTNAME")
+            .ok()
+            .filter(|h| !h.is_empty())
+            .or_else(|| {
+                std::fs::read_to_string("/proc/sys/kernel/hostname")
+                    .ok()
+                    .map(|h| h.trim().to_string())
+                    .filter(|h| !h.is_empty())
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        let rustc = std::process::Command::new("rustc")
+            .arg("--version")
+            .output()
+            .ok()
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        Self {
+            host,
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            rustc,
+        }
+    }
+}
+
+/// A recorded perf baseline: fingerprint, recording config, and one
+/// [`ScenarioStats`] per scenario. Serializes canonically (sorted
+/// scenario keys, fixed field order) so re-recording an identical
+/// machine state diffs cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Environment the baseline was recorded on.
+    pub env: EnvFingerprint,
+    /// The recording configuration.
+    pub config: PerfConfig,
+    /// Stats by scenario name (sorted).
+    pub scenarios: BTreeMap<String, ScenarioStats>,
+}
+
+/// Failures of the perf layer.
+#[derive(Debug)]
+pub enum PerfError {
+    /// `--scenarios` named something that doesn't exist.
+    UnknownScenario(String),
+    /// A baseline file didn't match the schema.
+    Parse(String),
+    /// The engine rejected a scenario spec (a bug in the scenario
+    /// table).
+    Engine(EngineError),
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::UnknownScenario(name) => {
+                let known: Vec<&str> = scenarios().iter().map(|s| s.name).collect();
+                write!(f, "unknown scenario `{name}` (expected one of: {})", known.join(", "))
+            }
+            PerfError::Parse(reason) => write!(f, "invalid perf baseline: {reason}"),
+            PerfError::Engine(e) => write!(f, "scenario failed to run: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+impl From<EngineError> for PerfError {
+    fn from(e: EngineError) -> Self {
+        PerfError::Engine(e)
+    }
+}
+
+/// Median of `xs` (0 when empty). Robust location estimate: the average
+/// of the two middle order statistics for even lengths.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation of `xs` around `center` (0 for fewer than
+/// two samples).
+pub fn mad(xs: &[f64], center: f64) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let devs: Vec<f64> = xs.iter().map(|&x| (x - center).abs()).collect();
+    median(&devs)
+}
+
+/// Runs `names` (all scenarios when empty) under `config` and returns
+/// the recorded baseline.
+pub fn record(names: &[String], config: PerfConfig) -> Result<Baseline, PerfError> {
+    let picked: Vec<Scenario> = if names.is_empty() {
+        scenarios()
+    } else {
+        names
+            .iter()
+            .map(|n| scenario(n).ok_or_else(|| PerfError::UnknownScenario(n.clone())))
+            .collect::<Result<_, _>>()?
+    };
+    let mut stats = BTreeMap::new();
+    for sc in picked {
+        let spec = sc.spec();
+        let cells = spec.n_cells();
+        let _span = qbss_telemetry::span!("perf.scenario", {
+            scenario = sc.name,
+            cells = cells,
+            repeats = config.repeats,
+        });
+        for _ in 0..config.warmup {
+            run_sweep(&spec, config.shards)?;
+        }
+        let mut samples_ms = Vec::with_capacity(config.repeats);
+        for _ in 0..config.repeats.max(1) {
+            let t0 = Instant::now();
+            run_sweep(&spec, config.shards)?;
+            samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let median_ms = median(&samples_ms);
+        let mad_ms = mad(&samples_ms, median_ms);
+        let min_ms = samples_ms.iter().copied().fold(f64::INFINITY, f64::min);
+        qbss_telemetry::info!(
+            "perf.scenario",
+            { scenario = sc.name, median_ms = median_ms, mad_ms = mad_ms },
+            "{}: median {median_ms:.1} ms over {} runs",
+            sc.name,
+            samples_ms.len()
+        );
+        stats.insert(
+            sc.name.to_string(),
+            ScenarioStats { cells, samples_ms, median_ms, mad_ms, min_ms },
+        );
+    }
+    Ok(Baseline { env: EnvFingerprint::capture(), config, scenarios: stats })
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+impl Baseline {
+    /// Canonical, human-diffable JSON (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", json_escape(BASELINE_SCHEMA)));
+        out.push_str(&format!(
+            "  \"env\": {{\"host\": \"{}\", \"os\": \"{}\", \"arch\": \"{}\", \
+             \"cores\": {}, \"rustc\": \"{}\"}},\n",
+            json_escape(&self.env.host),
+            json_escape(&self.env.os),
+            json_escape(&self.env.arch),
+            self.env.cores,
+            json_escape(&self.env.rustc),
+        ));
+        out.push_str(&format!(
+            "  \"config\": {{\"warmup\": {}, \"repeats\": {}, \"shards\": {}}},\n",
+            self.config.warmup, self.config.repeats, self.config.shards
+        ));
+        out.push_str("  \"scenarios\": {\n");
+        let n = self.scenarios.len();
+        for (i, (name, s)) in self.scenarios.iter().enumerate() {
+            let samples = s
+                .samples_ms
+                .iter()
+                .map(|&x| json_f64(x))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    \"{}\": {{\"cells\": {}, \"median_ms\": {}, \"mad_ms\": {}, \
+                 \"min_ms\": {}, \"samples_ms\": [{samples}]}}{}\n",
+                json_escape(name),
+                s.cells,
+                json_f64(s.median_ms),
+                json_f64(s.mad_ms),
+                json_f64(s.min_ms),
+                if i + 1 < n { "," } else { "" },
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a baseline produced by [`Baseline::to_json`].
+    pub fn parse(input: &str) -> Result<Baseline, PerfError> {
+        let bad = |reason: &str| PerfError::Parse(reason.to_string());
+        let v = json_parse(input).map_err(|e| PerfError::Parse(e.to_string()))?;
+        let schema = v.get("schema").and_then(JsonValue::as_str).unwrap_or_default();
+        if schema != BASELINE_SCHEMA {
+            return Err(PerfError::Parse(format!(
+                "schema `{schema}` (expected `{BASELINE_SCHEMA}`)"
+            )));
+        }
+        let env = v.get("env").ok_or_else(|| bad("missing `env`"))?;
+        let get_str = |obj: &JsonValue, key: &str| -> String {
+            obj.get(key).and_then(JsonValue::as_str).unwrap_or("unknown").to_string()
+        };
+        let env = EnvFingerprint {
+            host: get_str(env, "host"),
+            os: get_str(env, "os"),
+            arch: get_str(env, "arch"),
+            cores: env.get("cores").and_then(JsonValue::as_u64).unwrap_or(1) as usize,
+            rustc: get_str(env, "rustc"),
+        };
+        let cfg = v.get("config").ok_or_else(|| bad("missing `config`"))?;
+        let get_usize = |obj: &JsonValue, key: &str, default: usize| -> usize {
+            obj.get(key).and_then(JsonValue::as_u64).map_or(default, |n| n as usize)
+        };
+        let config = PerfConfig {
+            warmup: get_usize(cfg, "warmup", 0),
+            repeats: get_usize(cfg, "repeats", 0),
+            shards: get_usize(cfg, "shards", 1),
+        };
+        let JsonValue::Obj(entries) = v.get("scenarios").ok_or_else(|| bad("missing `scenarios`"))?
+        else {
+            return Err(bad("`scenarios` must be an object"));
+        };
+        let mut scenarios = BTreeMap::new();
+        for (name, s) in entries {
+            let need_f64 = |key: &str| -> Result<f64, PerfError> {
+                s.get(key).and_then(JsonValue::as_f64).ok_or_else(|| {
+                    PerfError::Parse(format!("scenario `{name}`: missing number `{key}`"))
+                })
+            };
+            let samples_ms = match s.get("samples_ms") {
+                Some(JsonValue::Arr(items)) => items
+                    .iter()
+                    .map(|x| {
+                        x.as_f64().ok_or_else(|| {
+                            PerfError::Parse(format!("scenario `{name}`: non-numeric sample"))
+                        })
+                    })
+                    .collect::<Result<Vec<f64>, _>>()?,
+                _ => {
+                    return Err(PerfError::Parse(format!(
+                        "scenario `{name}`: missing `samples_ms` array"
+                    )))
+                }
+            };
+            scenarios.insert(
+                name.clone(),
+                ScenarioStats {
+                    cells: s.get("cells").and_then(JsonValue::as_u64).unwrap_or(0) as usize,
+                    samples_ms,
+                    median_ms: need_f64("median_ms")?,
+                    mad_ms: need_f64("mad_ms")?,
+                    min_ms: need_f64("min_ms")?,
+                },
+            );
+        }
+        Ok(Baseline { env, config, scenarios })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Comparison / gating
+// ---------------------------------------------------------------------
+
+/// The noise-aware regression threshold (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Threshold {
+    /// How many base-MADs of slack a scenario gets.
+    pub mad_factor: f64,
+    /// Relative floor on the slack, as a fraction of the base median.
+    pub min_rel: f64,
+}
+
+impl Default for Threshold {
+    fn default() -> Self {
+        Self { mad_factor: 3.0, min_rel: 0.25 }
+    }
+}
+
+impl Threshold {
+    /// The slowest acceptable new median for a scenario with base
+    /// statistics `(median, mad)`.
+    pub fn limit_ms(&self, base_median_ms: f64, base_mad_ms: f64) -> f64 {
+        base_median_ms
+            + (self.mad_factor * base_mad_ms).max(self.min_rel * base_median_ms)
+    }
+}
+
+/// One scenario's diff between two baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDelta {
+    /// Scenario name.
+    pub name: String,
+    /// Base median, ms (`None` when the scenario is new).
+    pub base_ms: Option<f64>,
+    /// New median, ms (`None` when the scenario disappeared).
+    pub new_ms: Option<f64>,
+    /// The threshold the new median had to stay under, ms.
+    pub limit_ms: Option<f64>,
+    /// Whether this scenario regressed.
+    pub regressed: bool,
+}
+
+/// Everything `qbss perf compare` / `gate` reports.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompareReport {
+    /// Per-scenario deltas, in name order.
+    pub deltas: Vec<ScenarioDelta>,
+}
+
+impl CompareReport {
+    /// The regressed scenarios.
+    pub fn regressions(&self) -> Vec<&ScenarioDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Human-readable table: one line per scenario plus a verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let fmt_opt = |v: Option<f64>| {
+                v.map_or("-".to_string(), |x| format!("{x:.1}"))
+            };
+            let verdict = match (d.regressed, d.new_ms, d.base_ms) {
+                (true, _, _) => "REGRESSED",
+                (false, None, _) => "removed",
+                (false, _, None) => "new",
+                (false, _, _) => "ok",
+            };
+            out.push_str(&format!(
+                "{}  base {} ms  new {} ms  limit {} ms  {}\n",
+                d.name,
+                fmt_opt(d.base_ms),
+                fmt_opt(d.new_ms),
+                fmt_opt(d.limit_ms),
+                verdict
+            ));
+        }
+        let regressed = self.regressions().len();
+        if regressed == 0 {
+            out.push_str("no perf regression\n");
+        } else {
+            out.push_str(&format!("{regressed} scenario(s) regressed\n"));
+        }
+        out
+    }
+}
+
+/// Diffs `new` against `base` under `threshold`. A scenario present in
+/// `base` but missing from `new` counts as regressed (coverage must not
+/// silently shrink); a scenario only in `new` is informational.
+pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> CompareReport {
+    let mut names: Vec<&String> = base.scenarios.keys().collect();
+    for k in new.scenarios.keys() {
+        if !base.scenarios.contains_key(k) {
+            names.push(k);
+        }
+    }
+    names.sort();
+    let deltas = names
+        .into_iter()
+        .map(|name| {
+            let b = base.scenarios.get(name);
+            let n = new.scenarios.get(name);
+            match (b, n) {
+                (Some(b), Some(n)) => {
+                    let limit = threshold.limit_ms(b.median_ms, b.mad_ms);
+                    ScenarioDelta {
+                        name: name.clone(),
+                        base_ms: Some(b.median_ms),
+                        new_ms: Some(n.median_ms),
+                        limit_ms: Some(limit),
+                        regressed: n.median_ms > limit,
+                    }
+                }
+                (Some(b), None) => ScenarioDelta {
+                    name: name.clone(),
+                    base_ms: Some(b.median_ms),
+                    new_ms: None,
+                    limit_ms: None,
+                    regressed: true,
+                },
+                (None, n) => ScenarioDelta {
+                    name: name.clone(),
+                    base_ms: None,
+                    new_ms: n.map(|n| n.median_ms),
+                    limit_ms: None,
+                    regressed: false,
+                },
+            }
+        })
+        .collect();
+    CompareReport { deltas }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(samples: &[f64]) -> ScenarioStats {
+        let median_ms = median(samples);
+        ScenarioStats {
+            cells: 10,
+            samples_ms: samples.to_vec(),
+            median_ms,
+            mad_ms: mad(samples, median_ms),
+            min_ms: samples.iter().copied().fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    fn baseline(entries: &[(&str, &[f64])]) -> Baseline {
+        Baseline {
+            env: EnvFingerprint {
+                host: "h".into(),
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                cores: 1,
+                rustc: "rustc test".into(),
+            },
+            config: PerfConfig::default(),
+            scenarios: entries
+                .iter()
+                .map(|(name, s)| (name.to_string(), stats(s)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(mad(&[7.0], 7.0), 0.0, "single sample has MAD 0");
+        assert_eq!(mad(&[1.0, 3.0, 5.0], 3.0), 2.0);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let b = baseline(&[("ci-small", &[10.0, 11.0, 10.5]), ("engine-all", &[100.0, 98.0])]);
+        let json = b.to_json();
+        let back = Baseline::parse(&json).expect("round trip");
+        assert_eq!(back, b);
+        // Canonical form is stable: serialize → parse → serialize.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_or_broken_documents() {
+        assert!(matches!(Baseline::parse("{}"), Err(PerfError::Parse(_))));
+        assert!(matches!(Baseline::parse("not json"), Err(PerfError::Parse(_))));
+        let wrong = "{\"schema\": \"qbss-perf-baseline/999\", \"env\": {}, \
+                     \"config\": {}, \"scenarios\": {}}";
+        let err = Baseline::parse(wrong).expect_err("wrong schema");
+        assert!(err.to_string().contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let base = baseline(&[("a", &[100.0, 102.0, 98.0])]);
+        // Within the 25% floor: not a regression.
+        let ok = baseline(&[("a", &[110.0, 112.0, 108.0])]);
+        let report = compare(&base, &ok, Threshold::default());
+        assert!(report.regressions().is_empty(), "{}", report.render());
+        // 2× slowdown: regression.
+        let slow = baseline(&[("a", &[200.0, 202.0, 198.0])]);
+        let report = compare(&base, &slow, Threshold::default());
+        assert_eq!(report.regressions().len(), 1);
+        assert!(report.render().contains("REGRESSED"), "{}", report.render());
+    }
+
+    #[test]
+    fn identical_baselines_never_regress() {
+        let b = baseline(&[("a", &[50.0, 51.0]), ("b", &[7.0, 7.0, 7.0])]);
+        let report = compare(&b, &b.clone(), Threshold::default());
+        assert!(report.regressions().is_empty());
+        assert!(report.render().contains("no perf regression"));
+    }
+
+    #[test]
+    fn missing_scenario_is_a_regression_new_scenario_is_not() {
+        let base = baseline(&[("a", &[50.0]), ("b", &[60.0])]);
+        let new = baseline(&[("a", &[50.0]), ("c", &[10.0])]);
+        let report = compare(&base, &new, Threshold::default());
+        let regressed: Vec<&str> =
+            report.regressions().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(regressed, ["b"], "dropped coverage must fail the gate");
+        let c = report.deltas.iter().find(|d| d.name == "c").expect("new scenario listed");
+        assert!(!c.regressed);
+    }
+
+    #[test]
+    fn threshold_uses_the_larger_of_mad_and_relative_floor() {
+        let t = Threshold::default();
+        // MAD-dominated: 3×10 = 30 > 25% of 100.
+        assert_eq!(t.limit_ms(100.0, 10.0), 130.0);
+        // Floor-dominated: MAD 0 (quiet host) still gets 25%.
+        assert_eq!(t.limit_ms(100.0, 0.0), 125.0);
+    }
+
+    #[test]
+    fn scenario_table_is_well_formed() {
+        let all = scenarios();
+        assert!(all.len() >= 4);
+        let mut names: Vec<&str> = all.iter().map(|s| s.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "names must be unique");
+        assert!(scenario("ci-small").is_some());
+        assert!(scenario("nope").is_none());
+        for s in &all {
+            let spec = s.spec();
+            assert!(spec.n_cells() > 0, "{}: empty grid", s.name);
+            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn record_measures_a_tiny_scenario() {
+        // One repeat, no warmup, on the smallest scenario: checks the
+        // wiring, not the numbers.
+        let cfg = PerfConfig { warmup: 0, repeats: 1, shards: 1 };
+        let b = record(&["ci-small".to_string()], cfg).expect("scenario runs");
+        let s = b.scenarios.get("ci-small").expect("recorded");
+        assert_eq!(s.samples_ms.len(), 1);
+        assert_eq!(s.mad_ms, 0.0, "single sample has MAD 0");
+        assert!(s.median_ms > 0.0 && s.min_ms == s.median_ms);
+        assert!(b.env.cores >= 1);
+        let err = record(&["bogus".to_string()], cfg).expect_err("unknown scenario");
+        assert!(matches!(err, PerfError::UnknownScenario(_)));
+    }
+}

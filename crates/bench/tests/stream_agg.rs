@@ -1,0 +1,112 @@
+//! Edge coverage for the lock-free aggregation layer: `StreamAgg`'s
+//! IEEE-bit `fetch_max` under concurrency, bound-violation counting,
+//! `BenchGroup`/histogram snapshot edges (NaN/∞ clamping, empty
+//! groups), and the perf layer's single-sample statistics.
+
+use std::sync::atomic::Ordering;
+
+use qbss_bench::perf::{mad, median};
+use qbss_bench::{BenchGroup, CellMetrics, StreamAgg};
+use qbss_telemetry::{JsonValue, Registry, DURATION_US_BOUNDS};
+
+fn metrics(energy_ratio: f64, peak_speed: f64, speed_ratio: Option<f64>) -> CellMetrics {
+    CellMetrics { energy: 1.0, peak_speed, energy_ratio, speed_ratio, queried: 0 }
+}
+
+#[test]
+fn ieee_bit_fetch_max_orders_like_the_numbers() {
+    // The streaming maxima rely on `fetch_max` over raw f64 bits being
+    // equivalent to a numeric max for non-negative floats. Check the
+    // order isomorphism explicitly across magnitudes, subnormals and 0.
+    let values = [
+        0.0,
+        f64::MIN_POSITIVE / 2.0, // subnormal
+        f64::MIN_POSITIVE,
+        1e-10,
+        0.5,
+        1.0,
+        1.0 + f64::EPSILON,
+        1e10,
+        f64::MAX,
+    ];
+    for w in values.windows(2) {
+        assert!(w[0].to_bits() < w[1].to_bits(), "{} vs {}", w[0], w[1]);
+    }
+
+    let agg = StreamAgg::default();
+    std::thread::scope(|s| {
+        let agg = &agg;
+        for chunk in values.chunks(3) {
+            s.spawn(move || {
+                for &v in chunk {
+                    agg.record_ok(&metrics(v, v, None), None, None);
+                }
+            });
+        }
+    });
+    assert_eq!(agg.ok.load(Ordering::Relaxed), values.len() as u64);
+    let max = f64::from_bits(agg.max_energy_ratio_bits.load(Ordering::Relaxed));
+    assert_eq!(max, f64::MAX, "interleaving must not lose the true max");
+    let max_speed = f64::from_bits(agg.max_peak_speed_bits.load(Ordering::Relaxed));
+    assert_eq!(max_speed, f64::MAX);
+}
+
+#[test]
+fn bound_violations_respect_the_slack() {
+    let agg = StreamAgg::default();
+    // Exactly at the bound: no violation (slack absorbs it).
+    agg.record_ok(&metrics(2.0, 1.0, Some(2.0)), Some(2.0), Some(2.0));
+    assert_eq!(agg.energy_violations.load(Ordering::Relaxed), 0);
+    assert_eq!(agg.speed_violations.load(Ordering::Relaxed), 0);
+    // Clearly above: both counted.
+    agg.record_ok(&metrics(3.0, 1.0, Some(3.0)), Some(2.0), Some(2.0));
+    assert_eq!(agg.energy_violations.load(Ordering::Relaxed), 1);
+    assert_eq!(agg.speed_violations.load(Ordering::Relaxed), 1);
+    // No bound for the group: nothing to violate.
+    agg.record_ok(&metrics(100.0, 100.0, Some(100.0)), None, None);
+    assert_eq!(agg.energy_violations.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn empty_bench_group_snapshot_is_valid_and_empty() {
+    let g = BenchGroup::new("empty");
+    let json = g.snapshot_json();
+    let parsed = qbss_telemetry::json_parse(&json).expect("valid JSON");
+    match parsed.get("histograms") {
+        Some(JsonValue::Obj(h)) => assert!(h.is_empty(), "{json}"),
+        other => panic!("histograms must be an object: {other:?}"),
+    }
+}
+
+#[test]
+fn histogram_clamps_nan_and_infinity_to_zero() {
+    let reg = Registry::new();
+    let h = reg.histogram("edge.dur_us", &DURATION_US_BOUNDS);
+    h.record(f64::NAN);
+    h.record(f64::INFINITY);
+    h.record(f64::NEG_INFINITY);
+    h.record(-5.0);
+    assert_eq!(h.count(), 4, "clamped samples still count");
+    assert_eq!(h.max(), 0.0, "non-finite/negative values clamp to 0");
+    for q in [0.5, 0.95, 0.99] {
+        let est = h.quantile(q);
+        assert!(est.is_finite() && est == 0.0, "q={q}: {est}");
+    }
+    let json = reg.snapshot_json();
+    assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+}
+
+#[test]
+fn single_sample_stats_are_degenerate_but_defined() {
+    assert_eq!(median(&[42.0]), 42.0);
+    assert_eq!(mad(&[42.0], 42.0), 0.0, "single sample has MAD 0");
+    // A single-sample histogram pins min == max == the sample, and the
+    // interpolated quantiles collapse onto it.
+    let reg = Registry::new();
+    let h = reg.histogram("one.dur_us", &DURATION_US_BOUNDS);
+    h.record(7.0);
+    assert_eq!((h.min(), h.max()), (7.0, 7.0));
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 7.0, "q={q}");
+    }
+}

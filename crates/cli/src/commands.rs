@@ -8,7 +8,7 @@
 //! | 0    | success                                              |
 //! | 1    | the algorithm pipeline failed ([`CliError::Algorithm`]) |
 //! | 2    | bad input: flags, instance data ([`CliError::Input`]) |
-//! | 3    | file-system failure ([`CliError::Io`])               |
+//! | 3    | file-system failure ([`CliError::Io`]) or a perf-gate regression ([`CliError::Gate`]) |
 //!
 //! Flags are uniform across subcommands — `--alg`, `--alpha`, `--m`,
 //! `--seed`, `--format table|json|csv` — parsed by the typed [`Flags`]
@@ -20,7 +20,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use qbss_bench::engine::{run_sweep, EngineReport, InstanceSource, SweepSpec};
+use qbss_bench::engine::{run_sweep_audited, EngineReport, InstanceSource, SweepSpec};
+use qbss_bench::perf::{self, Baseline, PerfConfig, Threshold};
 use qbss_telemetry::{Config, Filter, InitError, SinkTarget};
 use qbss_core::error::QbssError;
 use qbss_core::model::QbssInstance;
@@ -46,19 +47,29 @@ USAGE:
   qbss sweep    [--count K] [--n N] [--seed S] [--family F] [--compress C]
                 [--alg LIST|all] [--alpha LIST] [--m M] [--fw-iters I]
                 [--shards S] [--opt-fw-iters I] [--format json|csv] [--out FILE]
-                [--trace FILE]
+                [--audit] [--trace FILE]
   qbss bounds   [--alpha A]
   qbss rho
-  qbss trace    summarize FILE [--top K]
+  qbss trace    summarize FILE [--top K] [--format text|json]
+  qbss trace    report FILE [--out FILE]
+  qbss perf     record  [--out FILE] [--scenarios LIST] [--repeats N]
+                        [--warmup N] [--shards S] [--trace FILE]
+  qbss perf     compare BASE NEW [--mad-factor X] [--min-rel X]
+  qbss perf     gate    --base FILE [--new FILE] [--mad-factor X] [--min-rel X]
   qbss help
 
 OBSERVABILITY:
   --trace FILE   record a JSONL trace (spans + events + metrics records)
+  --audit        validate every sweep schedule against the paper's
+                 invariants (feasibility, query rule, Lemma 3.1 loads,
+                 proven energy/speed bounds); breaches raise `error!`
+                 events and the `audit.violations` counter
   QBSS_LOG       event filter: `level` or `target=level`, comma-separated
                  (off|error|warn|info|debug|trace); a bad spec is bad input
 
 EXIT CODES:
-  0 success | 1 algorithm failure | 2 bad input | 3 I/O failure";
+  0 success | 1 algorithm failure | 2 bad input
+  3 I/O failure or perf-gate regression";
 
 /// A subcommand failure, carrying its exit code.
 #[derive(Debug)]
@@ -69,6 +80,9 @@ pub enum CliError {
     Algorithm(QbssError),
     /// The file system failed (exit code 3).
     Io(String),
+    /// `qbss perf gate` found a regression (exit code 3, like a CI
+    /// infrastructure failure: the build is not acceptable as-is).
+    Gate(String),
 }
 
 impl CliError {
@@ -77,7 +91,7 @@ impl CliError {
         match self {
             CliError::Algorithm(_) => 1,
             CliError::Input(_) => 2,
-            CliError::Io(_) => 3,
+            CliError::Io(_) | CliError::Gate(_) => 3,
         }
     }
 }
@@ -85,7 +99,7 @@ impl CliError {
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CliError::Input(m) | CliError::Io(m) => f.write_str(m),
+            CliError::Input(m) | CliError::Io(m) | CliError::Gate(m) => f.write_str(m),
             CliError::Algorithm(e) => write!(f, "{e}"),
         }
     }
@@ -215,9 +229,20 @@ impl Flags {
     /// to their canonical name with a deferred deprecation note (see
     /// [`Flags::emit_notes`]).
     fn parse(args: &[String], known: &[&str]) -> Result<Flags, CliError> {
+        Self::parse_with_switches(args, known, &[])
+    }
+
+    /// Like [`Flags::parse`], but flags named in `switches` may appear
+    /// bare (`--audit`) and then read as `"true"`; an explicit value
+    /// (`--audit false`) still works.
+    fn parse_with_switches(
+        args: &[String],
+        known: &[&str],
+        switches: &[&str],
+    ) -> Result<Flags, CliError> {
         let mut values = HashMap::new();
         let mut notes = Vec::new();
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(key) = it.next() {
             let Some(mut name) = key.strip_prefix("--") else {
                 return Err(input(format!("expected --flag, got `{key}`")));
@@ -234,12 +259,32 @@ impl Flags {
                     known.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", ")
                 )));
             }
-            let Some(value) = it.next() else {
-                return Err(input(format!("--{name} needs a value")));
+            let value = if switches.contains(&name) {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        it.next().cloned().unwrap_or_else(|| "true".to_string())
+                    }
+                    _ => "true".to_string(),
+                }
+            } else {
+                let Some(value) = it.next() else {
+                    return Err(input(format!("--{name} needs a value")));
+                };
+                value.clone()
             };
-            values.insert(name.to_string(), value.clone());
+            values.insert(name.to_string(), value);
         }
         Ok(Flags { values, notes })
+    }
+
+    /// Reads a boolean switch set via [`Flags::parse_with_switches`].
+    fn switch(&self, name: &str) -> Result<bool, CliError> {
+        match self.get(name) {
+            None => Ok(false),
+            Some("true") => Ok(true),
+            Some("false") => Ok(false),
+            Some(v) => Err(input(format!("--{name}: expected true or false, got `{v}`"))),
+        }
     }
 
     /// Emits the deferred parse-time notes through the telemetry-aware
@@ -622,12 +667,13 @@ fn sweep_csv(report: &EngineReport) -> String {
 
 /// `qbss sweep` — a declarative batch run on the sharded engine.
 pub fn sweep(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(
+    let flags = Flags::parse_with_switches(
         args,
         &[
             "count", "n", "seed", "family", "compress", "alg", "alpha", "m", "fw-iters",
-            "shards", "opt-fw-iters", "format", "out", "trace",
+            "shards", "opt-fw-iters", "format", "out", "audit", "trace",
         ],
+        &["audit"],
     )?;
     let _telemetry = init_telemetry(&flags)?;
     flags.emit_notes();
@@ -668,7 +714,12 @@ pub fn sweep(args: &[String]) -> Result<(), CliError> {
     span.record("count", count);
     span.record("algorithms", spec.algorithms.len());
     span.record("alphas", spec.alphas.len());
-    let report = run_sweep(&spec, shards).map_err(|e| input(e.to_string()))?;
+    // The auditor is strictly side-band: it reads each evaluated cell
+    // and writes only telemetry, so audited aggregates stay
+    // byte-identical to unaudited ones.
+    let auditor = if flags.switch("audit")? { Some(qbss_core::Auditor::new()) } else { None };
+    let report =
+        run_sweep_audited(&spec, shards, auditor.as_ref()).map_err(|e| input(e.to_string()))?;
 
     let body = match format.as_str() {
         "csv" => sweep_csv(&report),
@@ -713,31 +764,206 @@ pub fn sweep(args: &[String]) -> Result<(), CliError> {
             eprintln!("warning: {v}");
         }
     }
+    if let Some(a) = &auditor {
+        status_user(&format!(
+            "audit: checked {} schedule(s), {} violation(s)",
+            a.checked(),
+            a.violations()
+        ));
+        if a.violations() > 0 {
+            warn_user(&format!(
+                "audit found {} invariant violation(s); see `error!` events on `qbss.audit`",
+                a.violations()
+            ));
+        }
+    }
     Ok(())
+}
+
+const TRACE_USAGE: &str = "usage: qbss trace summarize FILE [--top K] [--format text|json]\n       \
+                           qbss trace report FILE [--out FILE]";
+
+/// Loads and parses a JSONL trace file: a missing file is an I/O
+/// failure, a schema violation is bad input (with the line number).
+fn load_trace(file: &str) -> Result<Vec<qbss_telemetry::trace::TraceRecord>, CliError> {
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| CliError::Io(format!("cannot read {file}: {e}")))?;
+    qbss_telemetry::trace::parse_trace(&text).map_err(|e| input(format!("{file}: {e}")))
 }
 
 /// `qbss trace` — operations on recorded JSONL traces.
 pub fn trace(args: &[String]) -> Result<(), CliError> {
-    const TRACE_USAGE: &str = "usage: qbss trace summarize FILE [--top K]";
     let Some((action, rest)) = args.split_first() else {
         return Err(input(TRACE_USAGE));
     };
-    if action != "summarize" {
-        return Err(input(format!("unknown trace action `{action}`\n{TRACE_USAGE}")));
+    match action.as_str() {
+        "summarize" | "report" => {}
+        other => return Err(input(format!("unknown trace action `{other}`\n{TRACE_USAGE}"))),
     }
     let Some((file, flag_args)) = rest.split_first() else {
-        return Err(input(format!("trace summarize needs a FILE\n{TRACE_USAGE}")));
+        return Err(input(format!("trace {action} needs a FILE\n{TRACE_USAGE}")));
     };
-    let flags = Flags::parse(flag_args, &["top"])?;
-    let top = flags.usize("top", 5)?;
-    let text = std::fs::read_to_string(file)
-        .map_err(|e| CliError::Io(format!("cannot read {file}: {e}")))?;
-    // A schema violation in the file is bad input, with the line number
-    // in the message.
-    let records = qbss_telemetry::trace::parse_trace(&text)
-        .map_err(|e| input(format!("{file}: {e}")))?;
-    print!("{}", qbss_telemetry::trace::summarize(&records).render(top));
+    match action.as_str() {
+        "summarize" => {
+            let flags = Flags::parse(flag_args, &["top", "format"])?;
+            let top = flags.usize("top", 5)?;
+            let format = flags.format("text", &["text", "json"])?;
+            let summary = qbss_telemetry::trace::summarize(&load_trace(file)?);
+            match format.as_str() {
+                "json" => println!("{}", summary.to_json()),
+                _ => print!("{}", summary.render(top)),
+            }
+        }
+        _ => {
+            let flags = Flags::parse(flag_args, &["out"])?;
+            let html = qbss_telemetry::trace::render_html(&load_trace(file)?);
+            match flags.get("out") {
+                Some(path) => {
+                    std::fs::write(path, &html)
+                        .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+                    status_user(&format!("wrote HTML report to {path}"));
+                }
+                None => print!("{html}"),
+            }
+        }
+    }
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// `qbss perf` — statistical baselines and the regression gate
+// ---------------------------------------------------------------------
+
+const PERF_USAGE: &str = "usage: qbss perf record  [--out FILE] [--scenarios LIST] [--repeats N]\n                         \
+                          [--warmup N] [--shards S] [--trace FILE]\n       \
+                          qbss perf compare BASE NEW [--mad-factor X] [--min-rel X]\n       \
+                          qbss perf gate    --base FILE [--new FILE] [--mad-factor X] [--min-rel X]";
+
+/// Loads and parses a perf baseline: a missing file is an I/O failure,
+/// a schema violation is bad input.
+fn load_baseline(path: &str) -> Result<Baseline, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    Baseline::parse(&text).map_err(|e| input(format!("{path}: {e}")))
+}
+
+/// `--mad-factor` / `--min-rel` with the library defaults (3×MAD,
+/// 25% floor); both must be finite and non-negative.
+fn threshold_from(flags: &Flags) -> Result<Threshold, CliError> {
+    let d = Threshold::default();
+    let t = Threshold {
+        mad_factor: flags.f64("mad-factor", d.mad_factor)?,
+        min_rel: flags.f64("min-rel", d.min_rel)?,
+    };
+    for (name, v) in [("mad-factor", t.mad_factor), ("min-rel", t.min_rel)] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(input(format!("--{name} must be finite and non-negative")));
+        }
+    }
+    Ok(t)
+}
+
+fn perf_record(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["out", "scenarios", "repeats", "warmup", "shards", "trace"])?;
+    let _telemetry = init_telemetry(&flags)?;
+    flags.emit_notes();
+    let _span = qbss_telemetry::span!("cli.perf.record");
+    let names: Vec<String> = flags.get("scenarios").map_or_else(Vec::new, |s| {
+        s.split(',').map(str::trim).filter(|t| !t.is_empty()).map(String::from).collect()
+    });
+    let d = PerfConfig::default();
+    let config = PerfConfig {
+        warmup: flags.usize("warmup", d.warmup)?,
+        repeats: flags.usize("repeats", d.repeats)?,
+        shards: flags.usize("shards", d.shards)?,
+    };
+    if config.repeats == 0 {
+        return Err(input("--repeats must be at least 1"));
+    }
+    let baseline = perf::record(&names, config).map_err(|e| input(e.to_string()))?;
+    let json = baseline.to_json();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            status_user(&format!(
+                "wrote perf baseline ({} scenario(s), {} repeat(s) each) to {path}",
+                baseline.scenarios.len(),
+                config.repeats
+            ));
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
+fn perf_compare(args: &[String]) -> Result<(), CliError> {
+    let Some((base_path, rest)) = args.split_first() else {
+        return Err(input(format!("perf compare needs BASE and NEW files\n{PERF_USAGE}")));
+    };
+    let Some((new_path, flag_args)) = rest.split_first() else {
+        return Err(input(format!("perf compare needs a NEW file\n{PERF_USAGE}")));
+    };
+    let flags = Flags::parse(flag_args, &["mad-factor", "min-rel"])?;
+    let threshold = threshold_from(&flags)?;
+    let base = load_baseline(base_path)?;
+    let new = load_baseline(new_path)?;
+    print!("{}", perf::compare(&base, &new, threshold).render());
+    Ok(())
+}
+
+fn perf_gate(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &["base", "new", "mad-factor", "min-rel", "repeats", "warmup", "shards"],
+    )?;
+    let base_path = flags.get("base").ok_or_else(|| input("--base FILE is required"))?;
+    let threshold = threshold_from(&flags)?;
+    let base = load_baseline(base_path)?;
+    let new = match flags.get("new") {
+        Some(path) => load_baseline(path)?,
+        // No --new: re-measure the baseline's own scenarios live, with
+        // its recording config (each knob individually overridable).
+        None => {
+            let names: Vec<String> = base.scenarios.keys().cloned().collect();
+            let config = PerfConfig {
+                warmup: flags.usize("warmup", base.config.warmup)?,
+                repeats: flags.usize("repeats", base.config.repeats.max(1))?,
+                shards: flags.usize("shards", base.config.shards)?,
+            };
+            perf::record(&names, config).map_err(|e| input(e.to_string()))?
+        }
+    };
+    let report = perf::compare(&base, &new, threshold);
+    print!("{}", report.render());
+    if report.regressions().is_empty() {
+        return Ok(());
+    }
+    // An intentional slowdown (algorithmic change, heavier scenario) is
+    // accepted by re-recording the baseline, not by editing thresholds.
+    if std::env::var("QBSS_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::write(base_path, new.to_json())
+            .map_err(|e| CliError::Io(format!("cannot write {base_path}: {e}")))?;
+        status_user(&format!("QBSS_BLESS=1: re-blessed {base_path} with the new measurements"));
+        return Ok(());
+    }
+    Err(CliError::Gate(format!(
+        "{} scenario(s) regressed against {base_path} (rerun with QBSS_BLESS=1 to re-bless)",
+        report.regressions().len()
+    )))
+}
+
+/// `qbss perf` — record statistical baselines, diff them, gate CI.
+pub fn perf(args: &[String]) -> Result<(), CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(input(PERF_USAGE));
+    };
+    match action.as_str() {
+        "record" => perf_record(rest),
+        "compare" => perf_compare(rest),
+        "gate" => perf_gate(rest),
+        other => Err(input(format!("unknown perf action `{other}`\n{PERF_USAGE}"))),
+    }
 }
 
 /// `qbss bounds`.
@@ -954,6 +1180,109 @@ mod tests {
         assert_eq!(parse_alpha_list("2,2.5,3").unwrap(), vec![2.0, 2.5, 3.0]);
         assert!(parse_alpha_list("1.0").is_err());
         assert!(parse_alpha_list("x").is_err());
+    }
+
+    #[test]
+    fn switch_flags_parse_bare_and_explicit() {
+        let known = &["audit", "n"];
+        let f = Flags::parse_with_switches(&args(&["--audit"]), known, &["audit"]).unwrap();
+        assert!(f.switch("audit").unwrap());
+        // A bare switch followed by another flag still binds to "true".
+        let f = Flags::parse_with_switches(&args(&["--audit", "--n", "3"]), known, &["audit"])
+            .unwrap();
+        assert!(f.switch("audit").unwrap());
+        assert_eq!(f.get("n"), Some("3"));
+        // An explicit value is honoured…
+        let f = Flags::parse_with_switches(&args(&["--audit", "false"]), known, &["audit"])
+            .unwrap();
+        assert!(!f.switch("audit").unwrap());
+        // …and a nonsense one is bad input.
+        let f = Flags::parse_with_switches(&args(&["--audit", "maybe"]), known, &["audit"])
+            .unwrap();
+        assert_eq!(f.switch("audit").unwrap_err().exit_code(), 2);
+        // Unset reads false.
+        let f = Flags::parse_with_switches(&args(&[]), known, &["audit"]).unwrap();
+        assert!(!f.switch("audit").unwrap());
+    }
+
+    fn toy_baseline(median: f64) -> Baseline {
+        use qbss_bench::perf::{EnvFingerprint, ScenarioStats};
+        let samples = vec![median, median * 1.01, median * 0.99];
+        let med = perf::median(&samples);
+        Baseline {
+            env: EnvFingerprint {
+                host: "test".into(),
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                cores: 1,
+                rustc: "rustc test".into(),
+            },
+            config: PerfConfig::default(),
+            scenarios: std::iter::once((
+                "toy".to_string(),
+                ScenarioStats {
+                    cells: 4,
+                    mad_ms: perf::mad(&samples, med),
+                    min_ms: samples.iter().copied().fold(f64::INFINITY, f64::min),
+                    median_ms: med,
+                    samples_ms: samples,
+                },
+            ))
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn perf_gate_passes_identical_and_fails_slowed_baselines() {
+        let dir = std::env::temp_dir().join("qbss-cli-perf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let slow = dir.join("slow.json");
+        std::fs::write(&base, toy_baseline(100.0).to_json()).unwrap();
+        std::fs::write(&slow, toy_baseline(200.0).to_json()).unwrap();
+        let b = base.to_str().unwrap();
+        let s = slow.to_str().unwrap();
+        // Identical baselines gate clean.
+        perf(&args(&["gate", "--base", b, "--new", b])).expect("identical baselines pass");
+        // A 2× slowdown fails the gate with the I/O-class exit code.
+        let err = perf(&args(&["gate", "--base", b, "--new", s])).unwrap_err();
+        assert!(matches!(err, CliError::Gate(_)), "{err}");
+        assert_eq!(err.exit_code(), 3);
+        // …but `compare` only reports, never gates.
+        perf(&args(&["compare", b, s])).expect("compare reports without failing");
+        // A loose enough threshold lets the slowdown through.
+        perf(&args(&["gate", "--base", b, "--new", s, "--min-rel", "1.5"]))
+            .expect("custom threshold");
+        // Missing file → I/O; broken schema → bad input; bad action → bad input.
+        assert_eq!(perf(&args(&["gate", "--base", "/no/file"])).unwrap_err().exit_code(), 3);
+        let junk = dir.join("junk.json");
+        std::fs::write(&junk, "{}").unwrap();
+        let err =
+            perf(&args(&["gate", "--base", b, "--new", junk.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert_eq!(perf(&args(&["explode"])).unwrap_err().exit_code(), 2);
+        assert_eq!(perf(&args(&["record", "--repeats", "0"])).unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
+    fn trace_report_writes_self_contained_html() {
+        let dir = std::env::temp_dir().join("qbss-cli-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        std::fs::write(
+            &path,
+            "{\"t\": \"span\", \"id\": 1, \"parent\": null, \"name\": \"cli.sweep\", \
+             \"start_us\": 0, \"dur_us\": 50, \"fields\": {}}\n",
+        )
+        .unwrap();
+        let out = dir.join("t.html");
+        trace(&args(&["report", path.to_str().unwrap(), "--out", out.to_str().unwrap()]))
+            .expect("report");
+        let html = std::fs::read_to_string(&out).unwrap();
+        assert!(html.starts_with("<!DOCTYPE html>"), "{}", &html[..60]);
+        assert!(html.contains("cli.sweep"));
+        assert!(!html.contains("http://") && !html.contains("https://"), "self-contained");
+        assert_eq!(trace(&args(&["report", "/no/such/file"])).unwrap_err().exit_code(), 3);
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //! * `qbss bounds` — print the paper's Table 1 at a given α;
 //! * `qbss rho` — print the §4.2 ρ-comparison table;
 //! * `qbss trace summarize` — digest a `--trace` JSONL file into a
-//!   per-phase timing tree.
+//!   per-phase timing tree (text or canonical JSON);
+//! * `qbss trace report` — render a trace as a self-contained HTML
+//!   report (phase tree, span waterfall, metrics tables);
+//! * `qbss perf record|compare|gate` — statistical perf baselines
+//!   (median/MAD over warm repeats) and a noise-aware regression gate
+//!   (exit 3 on regression).
 //!
 //! Observability: `generate`/`run`/`compare`/`sweep` accept
 //! `--trace FILE` (spans + events to a JSONL file) and honour the
@@ -27,7 +32,8 @@
 //!
 //! Exit codes are part of the contract (scripts rely on them):
 //! `0` success, `1` algorithm failure on valid input, `2` bad input
-//! (flags or instance data), `3` file-system failure.
+//! (flags or instance data), `3` file-system failure or a perf-gate
+//! regression.
 
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
@@ -52,6 +58,7 @@ fn main() -> ExitCode {
         "bounds" => commands::bounds(rest),
         "rho" => commands::rho(rest),
         "trace" => commands::trace(rest),
+        "perf" => commands::perf(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

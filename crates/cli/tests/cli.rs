@@ -136,6 +136,107 @@ fn aggregate_bytes_do_not_depend_on_telemetry() {
 }
 
 #[test]
+fn perf_record_compare_and_gate_end_to_end() {
+    let base = tmp("perf_base.json");
+    // Record the smallest scenario once, cheaply.
+    let record = &[
+        "perf", "record", "--scenarios", "ci-small", "--repeats", "2", "--warmup", "0",
+        "--shards", "1", "--out",
+    ];
+    let out = run_ok(qbss(record).arg(&base));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("wrote perf baseline"));
+    let text = std::fs::read_to_string(&base).expect("baseline written");
+    let recorded = qbss_bench::perf::Baseline::parse(&text).expect("schema-valid baseline");
+    assert!(recorded.scenarios.contains_key("ci-small"));
+
+    // Gating a baseline against itself never regresses.
+    let out = run_ok(qbss(&["perf", "gate", "--base"]).arg(&base).arg("--new").arg(&base));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no perf regression"));
+
+    // Doctor a copy 10× slower: compare reports it (exit 0), gate
+    // fails it (exit 3), and QBSS_BLESS=1 re-blesses instead.
+    let mut slow = recorded.clone();
+    for s in slow.scenarios.values_mut() {
+        s.median_ms *= 10.0;
+        s.min_ms *= 10.0;
+        for x in &mut s.samples_ms {
+            *x *= 10.0;
+        }
+    }
+    let slow_path = tmp("perf_slow.json");
+    std::fs::write(&slow_path, slow.to_json()).expect("write doctored baseline");
+
+    let out = run_ok(qbss(&["perf", "compare"]).arg(&base).arg(&slow_path));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
+
+    let gate = qbss(&["perf", "gate", "--base"])
+        .arg(&base)
+        .arg("--new")
+        .arg(&slow_path)
+        .output()
+        .expect("runs");
+    assert_eq!(gate.status.code(), Some(3), "regression must exit 3");
+    assert!(String::from_utf8_lossy(&gate.stderr).contains("regressed"));
+
+    let blessed_base = tmp("perf_bless.json");
+    std::fs::copy(&base, &blessed_base).expect("copy baseline");
+    run_ok(
+        qbss(&["perf", "gate", "--base"])
+            .arg(&blessed_base)
+            .arg("--new")
+            .arg(&slow_path)
+            .env("QBSS_BLESS", "1"),
+    );
+    let blessed = std::fs::read_to_string(&blessed_base).expect("re-blessed");
+    assert_eq!(blessed, slow.to_json(), "bless replaces the baseline with the new numbers");
+
+    // Unknown scenario names are bad input.
+    let bad = qbss(&["perf", "record", "--scenarios", "bogus"]).output().expect("runs");
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn audited_sweep_is_clean_for_every_algorithm() {
+    let out = run_ok(&mut qbss(&[
+        "sweep", "--count", "2", "--n", "6", "--alg", "all", "--alpha", "2", "--shards", "2",
+        "--audit", "--format", "csv",
+    ]));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // 2 instances × 9 configurations × 1 α, all audited, none in breach.
+    assert!(stderr.contains("audit: checked 18 schedule(s), 0 violation(s)"), "{stderr}");
+    assert!(!stderr.contains("invariant violation"), "{stderr}");
+}
+
+#[test]
+fn trace_report_and_json_summary_agree_with_the_text_digest() {
+    let trace = tmp("report.jsonl");
+    run_ok(qbss(SWEEP).arg("--trace").arg(&trace));
+
+    let json_out = run_ok(qbss(&["trace", "summarize"]).arg(&trace).args(["--format", "json"]));
+    let json_text = String::from_utf8(json_out.stdout).expect("utf8");
+    let summary = qbss_telemetry::json_parse(&json_text).expect("canonical JSON digest");
+    let spans =
+        summary.get("spans").and_then(qbss_telemetry::JsonValue::as_u64).expect("spans count");
+    assert!(spans > 0);
+    assert!(summary.get("tree").is_some() && summary.get("histograms").is_some());
+
+    // The digest computed in-process matches what the CLI printed.
+    let text = std::fs::read_to_string(&trace).expect("trace file");
+    let records = qbss_telemetry::trace::parse_trace(&text).expect("schema-valid");
+    assert_eq!(json_text.trim_end(), qbss_telemetry::trace::summarize(&records).to_json());
+
+    let html_path = tmp("report.html");
+    let out = run_ok(qbss(&["trace", "report"]).arg(&trace).arg("--out").arg(&html_path));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("wrote HTML report"));
+    let html = std::fs::read_to_string(&html_path).expect("report written");
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.contains("cli.sweep") && html.contains("engine.cell"), "phase tree rendered");
+    for needle in ["http://", "https://", "src=", "href=", "@import", "url("] {
+        assert!(!html.contains(needle), "external asset `{needle}` in report");
+    }
+}
+
+#[test]
 fn deprecated_alias_note_survives_on_plain_stderr() {
     let inst = tmp("alias_inst.json");
     run_ok(qbss(&["generate", "--n", "6", "--seed", "1", "--out"]).arg(&inst));

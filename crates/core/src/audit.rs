@@ -1,0 +1,412 @@
+//! Runtime invariant auditor: checks every produced schedule against
+//! the paper's guarantees, in-line, on live runs.
+//!
+//! Unit tests pin the theorems once; the [`Auditor`] re-checks them on
+//! *every* audited cell of a sweep, so a regression that slips past the
+//! fixtures (a perturbed rounding, a broken query rule, a corrupted
+//! schedule) is caught on the first real run. An auditor is opt-in and
+//! side-band: it never alters results, it only counts violations and
+//! emits `error!`-level telemetry events describing each breach.
+//!
+//! The audited invariants, per `(instance, α, algorithm)` cell:
+//!
+//! 1. **Feasibility** — [`QbssOutcome::validate`]: every job's work lands
+//!    inside its derived window(s) in `(r_j, d_j]`, one job per machine
+//!    at a time, queried work strictly after the splitting point.
+//! 2. **Query-rule conformance** — the recorded decisions match the
+//!    family's deterministic rule exactly: `c_j·φ ≤ w_j` ⇔ queried for
+//!    the golden-ratio families (Lemma 3.1), always-queried for the
+//!    AVR-based families.
+//! 3. **Per-job load** (Lemma 3.1) — the executed load `p_j` is at most
+//!    `φ·p*_j` under the golden rule (`2·p*_j` for always-query, the
+//!    load bound behind Theorem 5.1's factor-2 analysis).
+//! 4. **Energy bound** — `E_ALG ≤ ub(family, α) · E_OPT` for families
+//!    with a proven competitive ratio (Table 1:
+//!    [`qbss_analysis::bounds::energy_ub_for`]).
+//! 5. **Max-speed bound** — `s_ALG ≤ ub(family) · s_OPT` for CRCD
+//!    (Theorem 4.6) and BKPQ (Corollary 5.5).
+//!
+//! Bounds 4–5 compare against the *single-machine* clairvoyant YDS
+//! optimum from the memoized [`OptCache`]. That is sound for the
+//! multi-machine families too: adding machines can only lower the
+//! optimal cost (`OPT_m ≤ OPT_1`), so `E_ALG ≤ ub·OPT_m ≤ ub·OPT_1`
+//! would flag strictly *fewer* runs than the true multi-machine bound —
+//! never a false positive.
+//!
+//! All numeric comparisons carry the engine's relative slack
+//! ([`AUDIT_SLACK`]) so float noise at the bound boundary never trips a
+//! violation.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qbss_analysis::bounds::{energy_ub_for, speed_ub_for};
+use speed_scaling::cache::OptCache;
+use speed_scaling::job::JobId;
+
+use crate::model::QbssInstance;
+use crate::outcome::QbssOutcome;
+use crate::pipeline::{Algorithm, Evaluated};
+use crate::policy::{NoRandomness, QueryRule, PHI};
+
+/// Relative slack applied to every audited inequality, mirroring the
+/// engine's `BOUND_SLACK`: a bound `x ≤ limit` is only a violation when
+/// `x > limit · (1 + AUDIT_SLACK)`.
+pub const AUDIT_SLACK: f64 = 1e-6;
+
+/// The deterministic query rule a family's decisions must conform to,
+/// and the per-job load factor it guarantees (`p_j ≤ factor · p*_j`).
+///
+/// `None` for rules the auditor cannot re-derive (none today — every
+/// family in [`Algorithm::all`] uses a deterministic rule).
+fn family_rule(algorithm: Algorithm) -> Option<(QueryRule, f64)> {
+    match algorithm {
+        Algorithm::Avrq | Algorithm::AvrqM { .. } | Algorithm::AvrqMNonmig { .. } => {
+            // Always-query: p_j = c_j + w*_j ≤ w_j + w*_j ≤ 2·p*_j.
+            Some((QueryRule::Always, 2.0))
+        }
+        Algorithm::Crcd
+        | Algorithm::Crp2d
+        | Algorithm::Crad
+        | Algorithm::Bkpq
+        | Algorithm::Oaq
+        | Algorithm::OaqM { .. } => Some((QueryRule::GoldenRatio, PHI)),
+    }
+}
+
+/// One audited invariant breach.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditViolation {
+    /// The outcome failed structural validation against the instance.
+    Feasibility {
+        /// The validation error, rendered.
+        detail: String,
+    },
+    /// A decision contradicts the family's deterministic query rule.
+    QueryRule {
+        /// The offending job.
+        job: JobId,
+        /// What the outcome recorded.
+        queried: bool,
+        /// What the rule dictates.
+        expected: bool,
+    },
+    /// A job's executed load exceeds its factor of `p*_j` (Lemma 3.1).
+    LoadFactor {
+        /// The offending job.
+        job: JobId,
+        /// Executed load `p_j`.
+        load: f64,
+        /// `factor · p*_j`, slack excluded.
+        limit: f64,
+    },
+    /// Total energy exceeds the family's proven competitive bound.
+    EnergyBound {
+        /// `E_ALG` at the audited `α`.
+        energy: f64,
+        /// `ub(family, α) · E_OPT`, slack excluded.
+        limit: f64,
+    },
+    /// Peak speed exceeds the family's proven competitive bound.
+    SpeedBound {
+        /// `s_ALG`.
+        max_speed: f64,
+        /// `ub(family) · s_OPT`, slack excluded.
+        limit: f64,
+    },
+}
+
+impl AuditViolation {
+    /// Stable machine-readable kind tag (telemetry field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AuditViolation::Feasibility { .. } => "feasibility",
+            AuditViolation::QueryRule { .. } => "query_rule",
+            AuditViolation::LoadFactor { .. } => "load_factor",
+            AuditViolation::EnergyBound { .. } => "energy_bound",
+            AuditViolation::SpeedBound { .. } => "speed_bound",
+        }
+    }
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::Feasibility { detail } => {
+                write!(f, "infeasible schedule: {detail}")
+            }
+            AuditViolation::QueryRule { job, queried, expected } => write!(
+                f,
+                "job {job}: queried={queried} contradicts the family rule (expected {expected})"
+            ),
+            AuditViolation::LoadFactor { job, load, limit } => {
+                write!(f, "job {job}: load {load} exceeds {limit} (Lemma 3.1)")
+            }
+            AuditViolation::EnergyBound { energy, limit } => {
+                write!(f, "energy {energy} exceeds proven bound {limit}")
+            }
+            AuditViolation::SpeedBound { max_speed, limit } => {
+                write!(f, "max speed {max_speed} exceeds proven bound {limit}")
+            }
+        }
+    }
+}
+
+/// The audit result for one cell.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AuditReport {
+    /// Every breached invariant, in check order.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// Whether every audited invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The opt-in runtime invariant auditor.
+///
+/// Thread-safe and shareable by reference across sweep shards; one
+/// instance accumulates the `checked` / `violations` tallies for a
+/// whole run. Auditing is side-band: it reads the already-produced
+/// [`Evaluated`] and never feeds back into results, so aggregate bytes
+/// are identical with auditing on or off.
+#[derive(Debug, Default)]
+pub struct Auditor {
+    checked: AtomicU64,
+    violations: AtomicU64,
+}
+
+impl Auditor {
+    /// A fresh auditor with zeroed tallies.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cells audited so far.
+    pub fn checked(&self) -> u64 {
+        self.checked.load(Ordering::Relaxed)
+    }
+
+    /// Total violations observed so far (across all cells).
+    pub fn violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
+    }
+
+    /// Audits one evaluated cell against every applicable invariant
+    /// (see module docs), emitting an `error!` event per breach and
+    /// bumping the `audit.violations` counter.
+    pub fn audit(
+        &self,
+        inst: &QbssInstance,
+        alpha: f64,
+        algorithm: Algorithm,
+        ev: &Evaluated,
+        opt: &OptCache,
+    ) -> AuditReport {
+        let mut report = AuditReport::default();
+        check_feasibility(inst, &ev.outcome, &mut report);
+        check_decisions(inst, algorithm, &ev.outcome, &mut report);
+        check_bounds(alpha, algorithm, ev, opt, &mut report);
+
+        self.checked.fetch_add(1, Ordering::Relaxed);
+        if !report.is_clean() {
+            self.violations.fetch_add(report.violations.len() as u64, Ordering::Relaxed);
+            for v in &report.violations {
+                qbss_telemetry::counter!("audit.violations").inc();
+                qbss_telemetry::error!(
+                    "qbss.audit",
+                    {
+                        algorithm = algorithm.to_string(),
+                        alpha = alpha,
+                        kind = v.kind(),
+                    },
+                    "audit violation [{}]: {v}",
+                    algorithm
+                );
+            }
+        }
+        report
+    }
+}
+
+/// Invariant 1: structural feasibility of the schedule.
+fn check_feasibility(inst: &QbssInstance, outcome: &QbssOutcome, report: &mut AuditReport) {
+    if let Err(e) = outcome.validate(inst) {
+        report.violations.push(AuditViolation::Feasibility { detail: e.to_string() });
+    }
+}
+
+/// Invariants 2–3: query-rule conformance and the per-job load factor.
+fn check_decisions(
+    inst: &QbssInstance,
+    algorithm: Algorithm,
+    outcome: &QbssOutcome,
+    report: &mut AuditReport,
+) {
+    let Some((rule, factor)) = family_rule(algorithm) else {
+        return;
+    };
+    for dec in &outcome.decisions {
+        let Some(job) = inst.job(dec.job) else {
+            // Already reported as a feasibility violation.
+            continue;
+        };
+        let expected = rule.decide_visible(job.query_load, job.upper_bound, &mut NoRandomness);
+        if dec.queried != expected {
+            report.violations.push(AuditViolation::QueryRule {
+                job: job.id,
+                queried: dec.queried,
+                expected,
+            });
+        }
+        let load = if dec.queried {
+            job.query_load + job.reveal_exact()
+        } else {
+            job.upper_bound
+        };
+        let limit = factor * job.p_star();
+        if load > limit * (1.0 + AUDIT_SLACK) {
+            report.violations.push(AuditViolation::LoadFactor { job: job.id, load, limit });
+        }
+    }
+}
+
+/// Invariants 4–5: proven energy / max-speed competitive bounds vs the
+/// memoized clairvoyant optimum (see module docs for multi-machine
+/// soundness).
+fn check_bounds(
+    alpha: f64,
+    algorithm: Algorithm,
+    ev: &Evaluated,
+    opt: &OptCache,
+    report: &mut AuditReport,
+) {
+    let family = algorithm.family();
+    if let Some(ub) = energy_ub_for(family, alpha) {
+        let limit = ub * opt.energy(alpha);
+        if ev.energy > limit * (1.0 + AUDIT_SLACK) {
+            report
+                .violations
+                .push(AuditViolation::EnergyBound { energy: ev.energy, limit });
+        }
+    }
+    if let Some(ub) = speed_ub_for(family) {
+        let limit = ub * opt.max_speed();
+        if ev.max_speed > limit * (1.0 + AUDIT_SLACK) {
+            report
+                .violations
+                .push(AuditViolation::SpeedBound { max_speed: ev.max_speed, limit });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QJob;
+    use crate::pipeline::run_evaluated;
+
+    /// Common-deadline instance in scope for all nine configurations.
+    fn common_instance() -> QbssInstance {
+        QbssInstance::new(vec![
+            QJob::new(0, 0.0, 8.0, 0.5, 2.0, 1.0),
+            QJob::new(1, 0.0, 8.0, 1.9, 2.0, 0.1),
+            QJob::new(2, 0.0, 8.0, 0.4, 3.0, 0.5),
+            QJob::new(3, 0.0, 8.0, 1.0, 1.0, 0.9),
+        ])
+    }
+
+    #[test]
+    fn every_algorithm_passes_the_audit_on_clean_runs() {
+        let inst = common_instance();
+        let opt = inst.opt_cache();
+        let auditor = Auditor::new();
+        for alg in Algorithm::all(2, 6) {
+            for &alpha in &[2.0, 3.0] {
+                let ev = run_evaluated(&inst, alpha, alg).expect("in-scope instance");
+                let report = auditor.audit(&inst, alpha, alg, &ev, &opt);
+                assert!(report.is_clean(), "{alg:?} α={alpha}: {:?}", report.violations);
+            }
+        }
+        assert_eq!(auditor.checked(), 18);
+        assert_eq!(auditor.violations(), 0);
+    }
+
+    #[test]
+    fn corrupted_schedule_trips_feasibility() {
+        let inst = common_instance();
+        let opt = inst.opt_cache();
+        let auditor = Auditor::new();
+        let mut ev = run_evaluated(&inst, 3.0, Algorithm::Avrq).expect("runs");
+        // Starve one job: halve the speed of its first slice.
+        let slice = ev.outcome.schedule.slices.first_mut().expect("nonempty schedule");
+        slice.speed /= 2.0;
+        let report = auditor.audit(&inst, 3.0, Algorithm::Avrq, &ev, &opt);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, AuditViolation::Feasibility { .. })),
+            "{report:?}"
+        );
+        assert!(auditor.violations() > 0);
+    }
+
+    #[test]
+    fn flipped_query_decision_trips_the_rule_check() {
+        let inst = common_instance();
+        let opt = inst.opt_cache();
+        let auditor = Auditor::new();
+        let mut ev = run_evaluated(&inst, 3.0, Algorithm::Bkpq).expect("runs");
+        // Job 1 has c·φ > w, so the golden rule must not query it; a
+        // forged "queried" decision is a conformance violation (and an
+        // infeasible derivation, which we don't rely on here).
+        let dec = ev
+            .outcome
+            .decisions
+            .iter_mut()
+            .find(|d| d.job == 1)
+            .expect("job 1 decided");
+        assert!(!dec.queried, "fixture: golden rule skips job 1");
+        dec.queried = true;
+        dec.split = Some(4.0);
+        let report = auditor.audit(&inst, 3.0, Algorithm::Bkpq, &ev, &opt);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                AuditViolation::QueryRule { job: 1, queried: true, expected: false }
+            )),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn energy_bound_breach_is_detected() {
+        let inst = common_instance();
+        let opt = inst.opt_cache();
+        let auditor = Auditor::new();
+        let mut ev = run_evaluated(&inst, 3.0, Algorithm::Avrq).expect("runs");
+        // Synthetic breach: report an energy far above AVRQ's bound
+        // without touching the schedule.
+        ev.energy = qbss_analysis::bounds::avrq_energy_ub(3.0) * opt.energy(3.0) * 10.0;
+        let report = auditor.audit(&inst, 3.0, Algorithm::Avrq, &ev, &opt);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, AuditViolation::EnergyBound { .. })),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn violations_render_with_job_and_kind() {
+        let v = AuditViolation::LoadFactor { job: 3, load: 2.0, limit: 1.5 };
+        assert_eq!(v.kind(), "load_factor");
+        let s = v.to_string();
+        assert!(s.contains("job 3") && s.contains("Lemma 3.1"), "{s}");
+    }
+}

@@ -51,6 +51,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod audit;
 pub mod decision;
 pub mod error;
 pub mod model;
@@ -62,9 +63,12 @@ pub mod pipeline;
 pub mod policy;
 pub mod sim;
 
+pub use audit::{AuditReport, AuditViolation, Auditor, AUDIT_SLACK};
 pub use decision::Decision;
 pub use error::{AlgorithmError, ModelError, ModelErrorKind, QbssError, ValidationError};
 pub use model::{QJob, QbssInstance, VisibleJob};
 pub use outcome::QbssOutcome;
-pub use pipeline::{run_checked, run_evaluated, Algorithm, Evaluated, ParseAlgorithmError};
+pub use pipeline::{
+    run_audited, run_checked, run_evaluated, Algorithm, Evaluated, ParseAlgorithmError,
+};
 pub use policy::{QueryRule, SplitRule, Strategy, INV_PHI, PHI};

@@ -295,6 +295,24 @@ pub fn run_evaluated(
     Ok(Evaluated { outcome, energy, max_speed })
 }
 
+/// [`run_evaluated`] with the runtime invariant auditor engaged: after
+/// the checked run succeeds, `auditor` re-checks the paper's guarantees
+/// against the memoized clairvoyant optimum in `opt` (see
+/// [`crate::audit`]). Audit findings are side-band — they surface as
+/// telemetry events and the auditor's tallies, never as errors — so the
+/// returned [`Evaluated`] is bit-identical to an unaudited run.
+pub fn run_audited(
+    inst: &QbssInstance,
+    alpha: f64,
+    algorithm: Algorithm,
+    opt: &speed_scaling::cache::OptCache,
+    auditor: &crate::audit::Auditor,
+) -> Result<Evaluated, QbssError> {
+    let ev = run_evaluated(inst, alpha, algorithm)?;
+    auditor.audit(inst, alpha, algorithm, &ev, opt);
+    Ok(ev)
+}
+
 /// [`run_evaluated`] for callers that only need the outcome.
 pub fn run_checked(
     inst: &QbssInstance,

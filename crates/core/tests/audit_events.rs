@@ -1,0 +1,61 @@
+//! End-to-end check of the auditor's telemetry contract: a corrupted
+//! schedule must surface as an `error!` event on the `qbss.audit`
+//! target and bump the global `audit.violations` counter.
+//!
+//! Runs as its own integration-test binary because it initializes the
+//! process-global telemetry pipeline.
+
+use qbss_core::{run_evaluated, Algorithm, Auditor, QJob, QbssInstance};
+use qbss_telemetry::trace::{parse_trace, TraceRecord};
+use qbss_telemetry::{Config, Filter, Level, MemorySink, SinkTarget};
+
+#[test]
+fn corrupted_schedule_emits_an_error_event_and_counts() {
+    let sink = MemorySink::default();
+    qbss_telemetry::init(Config {
+        filter: Filter::at(Level::Error),
+        sink: SinkTarget::Memory(sink.clone()),
+        spans: false,
+    })
+    .expect("fresh telemetry pipeline");
+
+    let inst = QbssInstance::new(vec![
+        QJob::new(0, 0.0, 8.0, 0.5, 2.0, 1.0),
+        QJob::new(1, 0.0, 8.0, 1.9, 2.0, 0.1),
+    ]);
+    let opt = inst.opt_cache();
+    let auditor = Auditor::new();
+
+    // Clean run first: no events, no violations.
+    let ev = run_evaluated(&inst, 3.0, Algorithm::Avrq).expect("in-scope instance");
+    assert!(auditor.audit(&inst, 3.0, Algorithm::Avrq, &ev, &opt).is_clean());
+    assert_eq!(auditor.violations(), 0);
+    assert!(sink.contents().is_empty(), "clean audit must stay silent");
+
+    // Corrupt the schedule: drop a slice so a job is under-served.
+    let mut bad = ev.clone();
+    bad.outcome.schedule.slices.pop().expect("nonempty schedule");
+    let report = auditor.audit(&inst, 3.0, Algorithm::Avrq, &bad, &opt);
+    assert!(!report.is_clean());
+    assert!(auditor.violations() > 0, "violations counter must be nonzero");
+
+    let counter = qbss_telemetry::metrics().counter("audit.violations");
+    assert!(counter.get() >= auditor.violations(), "global counter tracks breaches");
+
+    qbss_telemetry::shutdown();
+    let records = parse_trace(&sink.contents()).expect("sink holds valid JSONL");
+    let audit_errors: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::Event(e) if e.target == "qbss.audit" && e.level == Level::Error => {
+                Some(e)
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(!audit_errors.is_empty(), "breach must emit error! on qbss.audit");
+    assert!(
+        audit_errors.iter().any(|e| e.msg.contains("audit violation")),
+        "{audit_errors:?}"
+    );
+}

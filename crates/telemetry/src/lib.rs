@@ -33,8 +33,9 @@
 //! | `metrics` | `ts_us`, `scope`, `counters`, `gauges`, `histograms` |
 //!
 //! Timestamps are microseconds on one process-wide monotonic clock
-//! (the same clock `bench::timing` uses). [`trace`] parses, validates
-//! and summarizes these files; `qbss trace summarize` is its CLI.
+//! (the same clock `bench::timing` uses). [`mod@trace`] parses,
+//! validates and summarizes these files; `qbss trace summarize` is its
+//! CLI.
 
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
@@ -43,19 +44,21 @@
 mod filter;
 mod json;
 mod metrics;
+mod sink;
 mod span;
 pub mod trace;
 
 use std::fmt;
-use std::io::Write as _;
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
+
+use sink::Out;
 
 pub use filter::{Filter, FilterError, Level};
 pub use json::{json_escape, json_f64, parse as json_parse, JsonValue};
-pub use metrics::{Counter, Gauge, Histogram, Registry, DURATION_US_BOUNDS};
+pub use metrics::{estimate_quantile, Counter, Gauge, Histogram, Registry, DURATION_US_BOUNDS};
+pub use sink::{MemorySink, SinkTarget};
 pub use span::{current_span_id, SpanGuard};
 
 // ---------------------------------------------------------------------
@@ -73,35 +76,6 @@ static STATE: Mutex<Option<State>> = Mutex::new(None);
 struct State {
     filter: Filter,
     out: Out,
-}
-
-enum Out {
-    Stderr,
-    File(std::io::BufWriter<std::fs::File>),
-    Memory(MemorySink),
-}
-
-/// Where telemetry records go.
-#[derive(Debug, Clone)]
-pub enum SinkTarget {
-    /// One JSONL record per line on stderr.
-    Stderr,
-    /// A JSONL trace file (created/truncated at [`init`]).
-    File(PathBuf),
-    /// An in-memory buffer — for tests.
-    Memory(MemorySink),
-}
-
-/// A shareable in-memory sink; clone it before [`init`] to read what
-/// was recorded.
-#[derive(Debug, Clone, Default)]
-pub struct MemorySink(Arc<Mutex<String>>);
-
-impl MemorySink {
-    /// Everything recorded so far.
-    pub fn contents(&self) -> String {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner).clone()
-    }
 }
 
 /// Telemetry configuration for [`init`].
@@ -143,15 +117,7 @@ pub fn init(config: Config) -> Result<(), InitError> {
     if state.is_some() {
         return Err(InitError::AlreadyInitialized);
     }
-    let out = match config.sink {
-        SinkTarget::Stderr => Out::Stderr,
-        SinkTarget::Memory(m) => Out::Memory(m),
-        SinkTarget::File(path) => {
-            let file = std::fs::File::create(&path)
-                .map_err(|e| InitError::Io(format!("{}: {e}", path.display())))?;
-            Out::File(std::io::BufWriter::new(file))
-        }
-    };
+    let out = Out::open(config.sink).map_err(InitError::Io)?;
     // Pin the clock epoch before anything can be timestamped.
     let _ = epoch();
     *state = Some(State { filter: config.filter.clone(), out });
@@ -170,16 +136,16 @@ pub fn shutdown() {
     MAX_LEVEL.store(0, Ordering::Relaxed);
     SPANS_ON.store(false, Ordering::Relaxed);
     let mut state = STATE.lock().unwrap_or_else(PoisonError::into_inner);
-    if let Some(State { out: Out::File(mut w), .. }) = state.take() {
-        let _ = w.flush();
+    if let Some(State { mut out, .. }) = state.take() {
+        out.flush();
     }
 }
 
 /// Flushes buffered records (file sinks) without tearing down.
 pub fn flush() {
     let mut state = STATE.lock().unwrap_or_else(PoisonError::into_inner);
-    if let Some(State { out: Out::File(w), .. }) = state.as_mut() {
-        let _ = w.flush();
+    if let Some(State { out, .. }) = state.as_mut() {
+        out.flush();
     }
 }
 
@@ -334,19 +300,8 @@ fn fields_json(fields: &[(&str, Value)]) -> String {
 
 fn write_line(line: &str) {
     let mut state = STATE.lock().unwrap_or_else(PoisonError::into_inner);
-    match state.as_mut() {
-        None => {}
-        Some(s) => match &mut s.out {
-            Out::Stderr => eprintln!("{line}"),
-            Out::File(w) => {
-                let _ = writeln!(w, "{line}");
-            }
-            Out::Memory(m) => {
-                let mut buf = m.0.lock().unwrap_or_else(PoisonError::into_inner);
-                buf.push_str(line);
-                buf.push('\n');
-            }
-        },
+    if let Some(s) = state.as_mut() {
+        s.out.write_line(line);
     }
 }
 

@@ -155,14 +155,30 @@ impl Histogram {
         }
     }
 
+    /// Interpolated quantile estimate (`q` in `[0, 1]`) from the bucket
+    /// counts — see [`estimate_quantile`] for the estimator contract.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let buckets: Vec<(Option<f64>, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (self.bounds.get(i).copied(), b.load(Ordering::Relaxed)))
+            .collect();
+        estimate_quantile(&buckets, self.min(), self.max(), q)
+    }
+
     fn to_json(&self) -> String {
         let mut s = format!(
-            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"mean\": {}, \"max\": {}, \"buckets\": [",
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"mean\": {}, \"max\": {}, \
+             \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
             self.count(),
             json_f64(self.sum()),
             json_f64(self.min()),
             json_f64(self.mean()),
-            json_f64(self.max())
+            json_f64(self.max()),
+            json_f64(self.quantile(0.50)),
+            json_f64(self.quantile(0.95)),
+            json_f64(self.quantile(0.99))
         );
         for (i, bucket) in self.buckets.iter().enumerate() {
             if i > 0 {
@@ -180,6 +196,47 @@ impl Histogram {
         s.push_str("]}");
         s
     }
+}
+
+/// Interpolated quantile estimate from fixed-bucket histogram data.
+///
+/// `buckets` are `(upper bound, count)` pairs in bound order; the
+/// overflow bucket carries `None`. The estimator walks the cumulative
+/// counts to the bucket containing rank `q·count` and interpolates
+/// linearly inside it (the first bucket's lower edge is `min`, the
+/// overflow bucket's upper edge is `max`), then clamps into
+/// `[min, max]` — so a single sample yields that sample at every `q`,
+/// and an empty histogram yields `0`.
+///
+/// This is the **one** bucket-percentile estimator of the workspace:
+/// the snapshot writer ([`Registry::snapshot_json`]) and the trace
+/// reader (`trace summarize`/`report`) both use it, so their numbers
+/// agree byte-for-byte.
+pub fn estimate_quantile(buckets: &[(Option<f64>, u64)], min: f64, max: f64, q: f64) -> f64 {
+    let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+    if count == 0 {
+        return 0.0;
+    }
+    let target = q.clamp(0.0, 1.0) * count as f64;
+    let mut cum = 0.0_f64;
+    let mut lower = min;
+    for (i, &(le, n)) in buckets.iter().enumerate() {
+        if i > 0 {
+            if let Some(prev) = buckets[i - 1].0 {
+                lower = prev;
+            }
+        }
+        if n == 0 {
+            continue;
+        }
+        let upper = le.unwrap_or(max).max(lower);
+        if cum + n as f64 >= target {
+            let frac = ((target - cum) / n as f64).clamp(0.0, 1.0);
+            return (lower + frac * (upper - lower)).clamp(min, max);
+        }
+        cum += n as f64;
+    }
+    max
 }
 
 enum Metric {
@@ -373,5 +430,79 @@ mod tests {
         r.counter("n").inc();
         r.counter("n").inc();
         assert_eq!(r.counter("n").get(), 2);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("q", &[10.0, 20.0, 30.0]);
+        // 10 samples uniform in (10, 20]: all land in the second bucket.
+        for i in 1..=10 {
+            h.record(10.0 + i as f64);
+        }
+        // Rank q·10 inside a bucket spanning [10, 20]: linear.
+        assert!((h.quantile(0.5) - 15.0).abs() < 1e-9, "{}", h.quantile(0.5));
+        assert!((h.quantile(1.0) - 20.0).abs() < 1e-9);
+        assert!(h.quantile(0.0) >= h.min() - 1e-9);
+        // Monotone in q.
+        assert!(h.quantile(0.95) <= h.quantile(0.99) + 1e-12);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: every quantile is 0.
+        let r = Registry::new();
+        let h = r.histogram("empty", &[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), 0.0);
+        // Single sample: every quantile is that sample (clamped).
+        let h1 = r.histogram("one", &[1.0, 10.0]);
+        h1.record(7.0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h1.quantile(q), 7.0, "q={q}");
+        }
+        // Overflow-only samples interpolate between last bound and max.
+        let h2 = r.histogram("over", &[1.0]);
+        h2.record(5.0);
+        h2.record(9.0);
+        let p99 = h2.quantile(0.99);
+        assert!((1.0..=9.0).contains(&p99), "{p99}");
+        assert_eq!(h2.quantile(1.0), 9.0);
+    }
+
+    #[test]
+    fn snapshot_carries_percentile_estimates() {
+        let r = Registry::new();
+        let h = r.histogram("p", &[1.0, 10.0, 100.0]);
+        for v in [2.0, 3.0, 4.0, 50.0] {
+            h.record(v);
+        }
+        let json = r.snapshot_json();
+        assert!(json.contains("\"p50\": "), "{json}");
+        assert!(json.contains("\"p95\": "), "{json}");
+        assert!(json.contains("\"p99\": "), "{json}");
+        // The embedded values equal the method's (one estimator).
+        assert!(json.contains(&format!("\"p50\": {}", json_f64(h.quantile(0.5)))), "{json}");
+    }
+
+    #[test]
+    fn estimate_quantile_matches_reader_side_inputs() {
+        // The trace reader reconstructs (le, n) pairs from JSON; the
+        // free function must agree with the histogram method.
+        let r = Registry::new();
+        let h = r.histogram("agree", &[1.0, 3.0, 10.0]);
+        for v in [0.5, 2.0, 2.5, 8.0, 20.0] {
+            h.record(v);
+        }
+        let pairs = vec![
+            (Some(1.0), 1u64),
+            (Some(3.0), 2),
+            (Some(10.0), 1),
+            (None, 1),
+        ];
+        for q in [0.5, 0.95, 0.99] {
+            let a = h.quantile(q);
+            let b = estimate_quantile(&pairs, h.min(), h.max(), q);
+            assert_eq!(a.to_bits(), b.to_bits(), "q={q}");
+        }
     }
 }

@@ -1,0 +1,80 @@
+//! Record sinks: the one place emitted JSONL lines touch the outside
+//! world.
+//!
+//! Every telemetry record — span, event, metrics snapshot — funnels
+//! through [`Out::write_line`]. This module is the **only** spot in the
+//! library crates allowed to write raw stderr (the
+//! `scripts/check_no_direct_eprintln.sh` gate allowlists exactly this
+//! file); everything else must go through the leveled event macros so a
+//! `QBSS_LOG` stderr stream stays pure JSONL.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Where telemetry records go.
+#[derive(Debug, Clone)]
+pub enum SinkTarget {
+    /// One JSONL record per line on stderr.
+    Stderr,
+    /// A JSONL trace file (created/truncated at [`crate::init`]).
+    File(PathBuf),
+    /// An in-memory buffer — for tests.
+    Memory(MemorySink),
+}
+
+/// A shareable in-memory sink; clone it before [`crate::init`] to read
+/// what was recorded.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink(Arc<Mutex<String>>);
+
+impl MemorySink {
+    /// Everything recorded so far.
+    pub fn contents(&self) -> String {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+}
+
+/// An opened sink, held inside the global pipeline state.
+pub(crate) enum Out {
+    Stderr,
+    File(std::io::BufWriter<std::fs::File>),
+    Memory(MemorySink),
+}
+
+impl Out {
+    /// Opens `target` (creates/truncates file sinks).
+    pub(crate) fn open(target: SinkTarget) -> Result<Out, String> {
+        match target {
+            SinkTarget::Stderr => Ok(Out::Stderr),
+            SinkTarget::Memory(m) => Ok(Out::Memory(m)),
+            SinkTarget::File(path) => {
+                let file = std::fs::File::create(&path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                Ok(Out::File(std::io::BufWriter::new(file)))
+            }
+        }
+    }
+
+    /// Writes one complete JSONL record.
+    pub(crate) fn write_line(&mut self, line: &str) {
+        match self {
+            Out::Stderr => eprintln!("{line}"),
+            Out::File(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+            Out::Memory(m) => {
+                let mut buf = m.0.lock().unwrap_or_else(PoisonError::into_inner);
+                buf.push_str(line);
+                buf.push('\n');
+            }
+        }
+    }
+
+    /// Flushes buffered sinks (a no-op for stderr/memory).
+    pub(crate) fn flush(&mut self) {
+        if let Out::File(w) = self {
+            let _ = w.flush();
+        }
+    }
+}

@@ -1,15 +1,19 @@
 //! Reading side of the JSONL trace schema: strict per-line validation
-//! plus the aggregation behind `qbss trace summarize`.
+//! plus the aggregation behind `qbss trace summarize` and the
+//! self-contained HTML renderer behind `qbss trace report`.
 //!
 //! The writer (the emitters in the crate root) and this reader are the
 //! two halves of one schema contract; the round-trip is tested here and
-//! exercised end-to-end by the CLI integration tests.
+//! exercised end-to-end by the CLI integration tests. The HTML report
+//! reuses [`Summary`] and [`fmt_duration`] so every number it shares
+//! with the text digest is byte-identical.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
-use crate::json::{parse, JsonValue};
+use crate::json::{json_escape, json_f64, parse, JsonValue};
+use crate::metrics::estimate_quantile;
 use crate::{fmt_duration, Level};
 
 /// A schema violation at a specific line of a trace file.
@@ -236,6 +240,28 @@ pub struct TreeNode {
     pub max_us: u64,
 }
 
+/// Percentile digest of one histogram from the latest metrics snapshot
+/// that mentioned it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramRow {
+    /// Registry scope the snapshot came from (e.g. `engine`).
+    pub scope: String,
+    /// Histogram name within that scope.
+    pub name: String,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Estimated median (interpolated within fixed buckets).
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Largest recorded value.
+    pub max: f64,
+}
+
 /// The digest behind `qbss trace summarize`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
@@ -254,6 +280,61 @@ pub struct Summary {
     /// `(name, dur_us, fields)` of the slowest spans of the hottest
     /// (most frequent) span name.
     pub slowest: Vec<(String, u64, JsonValue)>,
+    /// Histogram percentile rows, in `(scope, name)` order; for each
+    /// histogram the *last* metrics record wins (snapshots are
+    /// cumulative).
+    pub histograms: Vec<HistogramRow>,
+}
+
+/// Lower/upper bucket pairs from a snapshot's `"buckets"` array, in the
+/// `(le, n)` shape [`estimate_quantile`] expects.
+fn parse_buckets(hist: &JsonValue) -> Vec<(Option<f64>, u64)> {
+    match hist.get("buckets") {
+        Some(JsonValue::Arr(items)) => items
+            .iter()
+            .map(|b| {
+                let le = b.get("le").and_then(JsonValue::as_f64);
+                let n = b.get("n").and_then(JsonValue::as_u64).unwrap_or(0);
+                (le, n)
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Collects one [`HistogramRow`] per `(scope, name)`, taking percentile
+/// keys from the snapshot when the writer provided them and falling
+/// back to bucket interpolation for traces from older writers.
+fn histogram_rows(records: &[TraceRecord]) -> Vec<HistogramRow> {
+    let mut rows: BTreeMap<(String, String), HistogramRow> = BTreeMap::new();
+    for r in records {
+        let TraceRecord::Metrics(m) = r else { continue };
+        let JsonValue::Obj(hists) = &m.histograms else { continue };
+        for (name, h) in hists {
+            let count = h.get("count").and_then(JsonValue::as_u64).unwrap_or(0);
+            let min = h.get("min").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            let max = h.get("max").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            let quantile = |key: &str, q: f64| {
+                h.get(key)
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or_else(|| estimate_quantile(&parse_buckets(h), min, max, q))
+            };
+            rows.insert(
+                (m.scope.clone(), name.clone()),
+                HistogramRow {
+                    scope: m.scope.clone(),
+                    name: name.clone(),
+                    count,
+                    min,
+                    p50: quantile("p50", 0.50),
+                    p95: quantile("p95", 0.95),
+                    p99: quantile("p99", 0.99),
+                    max,
+                },
+            );
+        }
+    }
+    rows.into_values().collect()
 }
 
 /// Builds the per-phase timing digest from parsed records.
@@ -344,6 +425,7 @@ pub fn summarize(records: &[TraceRecord]) -> Summary {
         coverage,
         tree: nodes.into_values().collect(),
         slowest,
+        histograms: histogram_rows(records),
     }
 }
 
@@ -388,8 +470,324 @@ impl Summary {
                 ));
             }
         }
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms (scope/name  count  p50  p95  p99  max):\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "  {}/{}  {}  {}  {}  {}  {}\n",
+                    h.scope,
+                    h.name,
+                    h.count,
+                    json_f64(h.p50),
+                    json_f64(h.p95),
+                    json_f64(h.p99),
+                    json_f64(h.max),
+                ));
+            }
+        }
         out
     }
+
+    /// The digest as one canonical JSON object — the machine-readable
+    /// twin of [`Summary::render`], behind `trace summarize --format
+    /// json`. Key order is fixed so output is byte-stable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"spans\": {}, \"events\": {}, \"metrics\": {}, \"wall_us\": {}, \"coverage\": {}",
+            self.spans,
+            self.events,
+            self.metrics,
+            self.wall_us,
+            json_f64(self.coverage)
+        ));
+        out.push_str(", \"tree\": [");
+        for (i, node) in self.tree.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let path = node
+                .path
+                .iter()
+                .map(|p| format!("\"{}\"", json_escape(p)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "{{\"path\": [{path}], \"count\": {}, \"total_us\": {}, \"max_us\": {}}}",
+                node.count, node.total_us, node.max_us
+            ));
+        }
+        out.push_str("], \"slowest\": [");
+        for (i, (name, dur_us, fields)) in self.slowest.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"dur_us\": {dur_us}, \"fields\": {}}}",
+                json_escape(name),
+                render_json_value(fields)
+            ));
+        }
+        out.push_str("], \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"scope\": \"{}\", \"name\": \"{}\", \"count\": {}, \"min\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                json_escape(&h.scope),
+                json_escape(&h.name),
+                h.count,
+                json_f64(h.min),
+                json_f64(h.p50),
+                json_f64(h.p95),
+                json_f64(h.p99),
+                json_f64(h.max),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Serializes a parsed [`JsonValue`] back to canonical JSON (field
+/// order preserved, floats via [`json_f64`]).
+fn render_json_value(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(n) => json_f64(*n),
+        JsonValue::Str(s) => format!("\"{}\"", json_escape(s)),
+        JsonValue::Arr(items) => format!(
+            "[{}]",
+            items.iter().map(render_json_value).collect::<Vec<_>>().join(", ")
+        ),
+        JsonValue::Obj(kvs) => format!(
+            "{{{}}}",
+            kvs.iter()
+                .map(|(k, v)| format!("\"{}\": {}", json_escape(k), render_json_value(v)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTML report
+// ---------------------------------------------------------------------
+
+/// Escapes text for safe embedding in HTML element content and
+/// attribute values.
+fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// At most this many spans are drawn in the waterfall (the longest
+/// ones); a note records how many were dropped.
+const WATERFALL_MAX: usize = 400;
+
+/// How many warn/error messages the report lists verbatim.
+const PROBLEM_MAX: usize = 20;
+
+/// Renders a self-contained HTML report (inline CSS, no external
+/// assets) for `qbss trace report`: header stats, the per-phase timing
+/// tree, a span waterfall, problem events, and metrics tables with
+/// histogram percentiles.
+///
+/// Every number shared with [`Summary::render`] — phase counts and
+/// `fmt_duration`-formatted totals, histogram percentiles via
+/// [`json_f64`] — is produced by the same formatting calls, so the two
+/// views agree byte-for-byte.
+pub fn render_html(records: &[TraceRecord]) -> String {
+    let summary = summarize(records);
+    let spans: Vec<&SpanRec> = records
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    let wall_start = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let wall = summary.wall_us.max(1) as f64;
+
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>qbss trace report</title>\n<style>\n\
+         body{font:14px/1.5 monospace;margin:2em auto;max-width:72em;padding:0 1em;\
+         color:#222;background:#fdfdfd}\n\
+         h1,h2{font-weight:600}\n\
+         table{border-collapse:collapse;margin:0.5em 0}\n\
+         th,td{border:1px solid #ccc;padding:0.2em 0.6em;text-align:left}\n\
+         th{background:#f0f0f0}\n\
+         td.num{text-align:right}\n\
+         .lane{position:relative;height:1.2em;margin:1px 0;background:#f4f4f4}\n\
+         .bar{position:absolute;top:0;height:100%;background:#4a7fb5;opacity:0.8}\n\
+         .lane span{position:relative;z-index:1;padding-left:0.3em;font-size:11px;\
+         white-space:nowrap}\n\
+         .problem{color:#a33}\n\
+         .note{color:#777}\n\
+         </style>\n</head>\n<body>\n<h1>qbss trace report</h1>\n",
+    );
+
+    // Header stats — identical strings to the text digest's header.
+    out.push_str(&format!(
+        "<p>trace: {} spans, {} events, {} metrics records<br>\nwall: {}  \
+         span coverage: {:.1}%</p>\n",
+        summary.spans,
+        summary.events,
+        summary.metrics,
+        html_escape(&fmt_duration(Duration::from_micros(summary.wall_us))),
+        summary.coverage * 100.0
+    ));
+
+    // Phase tree.
+    if !summary.tree.is_empty() {
+        out.push_str(
+            "<h2>phase tree</h2>\n<table>\n<tr><th>name</th><th>count</th>\
+             <th>total</th><th>max</th></tr>\n",
+        );
+        for node in &summary.tree {
+            let depth = node.path.len() - 1;
+            let name = node.path.last().map(String::as_str).unwrap_or("?");
+            out.push_str(&format!(
+                "<tr><td style=\"padding-left:{}em\">{}</td><td class=\"num\">{}</td>\
+                 <td class=\"num\">{}</td><td class=\"num\">{}</td></tr>\n",
+                depth * 2,
+                html_escape(name),
+                node.count,
+                html_escape(&fmt_duration(Duration::from_micros(node.total_us))),
+                html_escape(&fmt_duration(Duration::from_micros(node.max_us))),
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+
+    // Span waterfall: the longest spans, drawn in start order.
+    if !spans.is_empty() {
+        out.push_str("<h2>span waterfall</h2>\n");
+        let mut picked: Vec<&SpanRec> = spans.clone();
+        picked.sort_by_key(|s| std::cmp::Reverse(s.dur_us));
+        let dropped = picked.len().saturating_sub(WATERFALL_MAX);
+        picked.truncate(WATERFALL_MAX);
+        picked.sort_by_key(|s| (s.start_us, s.id));
+        if dropped > 0 {
+            out.push_str(&format!(
+                "<p class=\"note\">showing the {WATERFALL_MAX} longest spans \
+                 ({dropped} shorter spans omitted)</p>\n"
+            ));
+        }
+        for s in picked {
+            let left = (s.start_us.saturating_sub(wall_start)) as f64 / wall * 100.0;
+            let width = (s.dur_us as f64 / wall * 100.0).max(0.1);
+            out.push_str(&format!(
+                "<div class=\"lane\"><div class=\"bar\" style=\"left:{left:.3}%;\
+                 width:{width:.3}%\"></div><span>{} {}</span></div>\n",
+                html_escape(&s.name),
+                html_escape(&fmt_duration(Duration::from_micros(s.dur_us))),
+            ));
+        }
+    }
+
+    // Problem events (warn and above).
+    let problems: Vec<&EventRec> = records
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::Event(e) if e.level <= Level::Warn => Some(e),
+            _ => None,
+        })
+        .collect();
+    if !problems.is_empty() {
+        out.push_str(&format!("<h2>problems ({})</h2>\n<ul>\n", problems.len()));
+        for e in problems.iter().take(PROBLEM_MAX) {
+            out.push_str(&format!(
+                "<li class=\"problem\">[{}] {}: {} {}</li>\n",
+                e.level,
+                html_escape(&e.target),
+                html_escape(&e.msg),
+                html_escape(&render_fields(&e.fields)),
+            ));
+        }
+        if problems.len() > PROBLEM_MAX {
+            out.push_str(&format!(
+                "<li class=\"note\">… and {} more</li>\n",
+                problems.len() - PROBLEM_MAX
+            ));
+        }
+        out.push_str("</ul>\n");
+    }
+
+    // Metrics: last snapshot per scope (snapshots are cumulative).
+    let mut last_by_scope: BTreeMap<&str, &MetricsRec> = BTreeMap::new();
+    for r in records {
+        if let TraceRecord::Metrics(m) = r {
+            last_by_scope.insert(m.scope.as_str(), m);
+        }
+    }
+    if !last_by_scope.is_empty() {
+        out.push_str("<h2>metrics</h2>\n");
+        for (scope, m) in &last_by_scope {
+            if m.counters.is_empty() && m.gauges.is_empty() {
+                continue;
+            }
+            out.push_str(&format!(
+                "<h3>{}</h3>\n<table>\n<tr><th>name</th><th>value</th></tr>\n",
+                html_escape(scope)
+            ));
+            for (k, v) in &m.counters {
+                out.push_str(&format!(
+                    "<tr><td>{}</td><td class=\"num\">{v}</td></tr>\n",
+                    html_escape(k)
+                ));
+            }
+            for (k, v) in &m.gauges {
+                out.push_str(&format!(
+                    "<tr><td>{}</td><td class=\"num\">{}</td></tr>\n",
+                    html_escape(k),
+                    json_f64(*v)
+                ));
+            }
+            out.push_str("</table>\n");
+        }
+    }
+
+    // Histogram percentiles — same rows/bytes as the text digest.
+    if !summary.histograms.is_empty() {
+        out.push_str(
+            "<h2>histograms</h2>\n<table>\n<tr><th>scope/name</th><th>count</th>\
+             <th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>\n",
+        );
+        for h in &summary.histograms {
+            out.push_str(&format!(
+                "<tr><td>{}/{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                 <td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                 <td class=\"num\">{}</td></tr>\n",
+                html_escape(&h.scope),
+                html_escape(&h.name),
+                h.count,
+                html_escape(&json_f64(h.p50)),
+                html_escape(&json_f64(h.p95)),
+                html_escape(&json_f64(h.p99)),
+                html_escape(&json_f64(h.max)),
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+
+    out.push_str("</body>\n</html>\n");
+    out
 }
 
 fn render_fields(fields: &JsonValue) -> String {
@@ -519,5 +917,129 @@ mod tests {
         assert_eq!(s.wall_us, 0);
         assert_eq!(s.coverage, 0.0);
         assert!(s.render(3).contains("0 spans"));
+        assert!(s.histograms.is_empty());
+    }
+
+    fn metrics_line_with_hist(hist: &str) -> String {
+        format!(
+            "{{\"t\": \"metrics\", \"ts_us\": 50, \"scope\": \"engine\", \
+             \"counters\": {{\"cells\": 2}}, \"gauges\": {{\"r\": 0.5}}, \
+             \"histograms\": {{\"cell.dur_us\": {hist}}}}}"
+        )
+    }
+
+    #[test]
+    fn summary_reads_writer_side_percentiles() {
+        let hist = "{\"count\": 8, \"sum\": 80, \"min\": 4, \"mean\": 10, \"max\": 31, \
+                    \"p50\": 9.5, \"p95\": 30, \"p99\": 30.8, \
+                    \"buckets\": [{\"le\": 10, \"n\": 5}, {\"le\": 100, \"n\": 3}]}";
+        let trace = format!("{}\n{}", span_line(1, None, "root", 0, 100), metrics_line_with_hist(hist));
+        let s = summarize(&parse_trace(&trace).expect("valid"));
+        assert_eq!(s.histograms.len(), 1);
+        let h = &s.histograms[0];
+        assert_eq!((h.scope.as_str(), h.name.as_str()), ("engine", "cell.dur_us"));
+        assert_eq!(h.count, 8);
+        assert_eq!((h.p50, h.p95, h.p99), (9.5, 30.0, 30.8));
+        let text = s.render(0);
+        assert!(text.contains("engine/cell.dur_us  8  9.5  30  30.8  31"), "{text}");
+    }
+
+    #[test]
+    fn summary_estimates_percentiles_when_writer_omitted_them() {
+        // Older-writer snapshot: no p50/p95/p99 keys; fall back to
+        // bucket interpolation and match the shared estimator exactly.
+        let hist = "{\"count\": 10, \"sum\": 150, \"min\": 10, \"mean\": 15, \"max\": 20, \
+                    \"buckets\": [{\"le\": 10, \"n\": 0}, {\"le\": 100, \"n\": 10}]}";
+        let trace = metrics_line_with_hist(hist);
+        let s = summarize(&parse_trace(&trace).expect("valid"));
+        let h = &s.histograms[0];
+        let buckets = [(Some(10.0), 0_u64), (Some(100.0), 10)];
+        assert_eq!(h.p50, estimate_quantile(&buckets, 10.0, 20.0, 0.50));
+        assert_eq!(h.p95, estimate_quantile(&buckets, 10.0, 20.0, 0.95));
+        assert!(h.p50 > 10.0 && h.p50 <= h.p95 && h.p95 <= 20.0, "{h:?}");
+    }
+
+    #[test]
+    fn summary_to_json_round_trips() {
+        let hist = "{\"count\": 3, \"sum\": 6, \"min\": 1, \"mean\": 2, \"max\": 3, \
+                    \"p50\": 2, \"p95\": 2.9, \"p99\": 2.98, \
+                    \"buckets\": [{\"le\": 10, \"n\": 3}]}";
+        let trace = [
+            span_line(2, Some(1), "cell", 10, 20),
+            span_line(1, None, "sweep", 0, 100),
+            metrics_line_with_hist(hist),
+        ]
+        .join("\n");
+        let s = summarize(&parse_trace(&trace).expect("valid"));
+        let json = s.to_json();
+        let v = parse(&json).expect("summary JSON parses");
+        assert_eq!(v.get("spans").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(v.get("wall_us").and_then(JsonValue::as_u64), Some(100));
+        let tree = match v.get("tree") {
+            Some(JsonValue::Arr(items)) => items,
+            other => panic!("tree must be an array: {other:?}"),
+        };
+        assert_eq!(tree.len(), 2);
+        assert_eq!(
+            tree[1].get("path"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Str("sweep".to_string()),
+                JsonValue::Str("cell".to_string())
+            ]))
+        );
+        let hists = match v.get("histograms") {
+            Some(JsonValue::Arr(items)) => items,
+            other => panic!("histograms must be an array: {other:?}"),
+        };
+        assert_eq!(hists[0].get("p95").and_then(JsonValue::as_f64), Some(2.9));
+        // Slowest spans keep their structured fields through the
+        // re-serialization.
+        let slowest = match v.get("slowest") {
+            Some(JsonValue::Arr(items)) => items,
+            other => panic!("slowest must be an array: {other:?}"),
+        };
+        assert_eq!(
+            slowest[0].get("fields").and_then(|f| f.get("cell")).and_then(JsonValue::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn html_report_is_self_contained_and_matches_the_text_digest() {
+        let hist = "{\"count\": 8, \"sum\": 80, \"min\": 4, \"mean\": 10, \"max\": 31, \
+                    \"p50\": 9.5, \"p95\": 30, \"p99\": 30.8, \
+                    \"buckets\": [{\"le\": 10, \"n\": 5}, {\"le\": 100, \"n\": 3}]}";
+        let event = "{\"t\": \"event\", \"ts_us\": 5, \"level\": \"error\", \
+                     \"target\": \"qbss.audit\", \"span\": 1, \
+                     \"msg\": \"bound <breached>\", \"fields\": {}}";
+        let trace = [
+            span_line(2, Some(1), "cell", 10, 20),
+            span_line(3, Some(1), "cell", 30, 40),
+            span_line(1, None, "sweep", 0, 100),
+            event.to_string(),
+            metrics_line_with_hist(hist),
+        ]
+        .join("\n");
+        let records = parse_trace(&trace).expect("valid");
+        let html = render_html(&records);
+        assert!(html.starts_with("<!DOCTYPE html>"), "{html}");
+        assert!(html.ends_with("</html>\n"), "{html}");
+        // Self-contained: no external asset references.
+        for needle in ["http://", "https://", "src=", "href=", "@import", "url("] {
+            assert!(!html.contains(needle), "external asset `{needle}`:\n{html}");
+        }
+        // Shared numbers match the text digest byte-for-byte.
+        let s = summarize(&records);
+        for node in &s.tree {
+            assert!(
+                html.contains(&html_escape(&fmt_duration(Duration::from_micros(node.total_us)))),
+                "phase total missing: {node:?}"
+            );
+        }
+        assert!(html.contains(&fmt_duration(Duration::from_micros(s.wall_us))), "{html}");
+        assert!(html.contains("9.5"), "histogram p50 row: {html}");
+        // The error event is listed, HTML-escaped.
+        assert!(html.contains("bound &lt;breached&gt;"), "{html}");
+        assert!(!html.contains("bound <breached>"), "{html}");
     }
 }
