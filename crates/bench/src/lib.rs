@@ -28,6 +28,7 @@ pub mod engine;
 pub mod ensemble;
 pub mod par;
 pub mod perf;
+pub mod request;
 pub mod search;
 pub mod table;
 pub mod timing;
@@ -38,6 +39,7 @@ pub use engine::{
 };
 pub use ensemble::{measure_ensemble, EnsembleReport};
 pub use par::{par_map, par_map_seeds, par_map_stealing};
+pub use request::{RequestError, SweepRequest};
 pub use search::coordinate_ascent;
 pub use table::Table;
 pub use timing::BenchGroup;

@@ -494,6 +494,8 @@ pub struct ScenarioDelta {
     pub name: String,
     /// Base median, ms (`None` when the scenario is new).
     pub base_ms: Option<f64>,
+    /// Base MAD, ms (`None` when the scenario is new).
+    pub base_mad_ms: Option<f64>,
     /// New median, ms (`None` when the scenario disappeared).
     pub new_ms: Option<f64>,
     /// The threshold the new median had to stay under, ms.
@@ -545,6 +547,72 @@ impl CompareReport {
         }
         out
     }
+
+    /// Diagnostic table: every number that feeds the gate decision, so
+    /// a CI failure can be understood from the log alone. Columns are
+    /// the base median/MAD, the new median, the computed limit
+    /// (`base + max(mad_factor×MAD, min_rel×base)`), and the delta of
+    /// the new median against the base.
+    pub fn render_explain(&self, threshold: Threshold) -> String {
+        let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.2}"));
+        let fmt_delta = |d: &ScenarioDelta| match (d.base_ms, d.new_ms) {
+            (Some(b), Some(n)) => format!("{:+.2}", n - b),
+            _ => "-".to_string(),
+        };
+        let verdict = |d: &ScenarioDelta| match (d.regressed, d.new_ms, d.base_ms) {
+            (true, _, _) => "REGRESSED",
+            (false, None, _) => "removed",
+            (false, _, None) => "new",
+            (false, _, _) => "ok",
+        };
+        let mut rows: Vec<[String; 7]> = vec![[
+            "scenario".into(),
+            "base ms".into(),
+            "mad ms".into(),
+            "new ms".into(),
+            "limit ms".into(),
+            "delta ms".into(),
+            "verdict".into(),
+        ]];
+        for d in &self.deltas {
+            rows.push([
+                d.name.clone(),
+                fmt_opt(d.base_ms),
+                fmt_opt(d.base_mad_ms),
+                fmt_opt(d.new_ms),
+                fmt_opt(d.limit_ms),
+                fmt_delta(d),
+                verdict(d).to_string(),
+            ]);
+        }
+        let mut widths = [0usize; 7];
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for row in &rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect();
+            out.push_str(line.join("  ").trim_end());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "limit = base + max({}×mad, {}×base)\n",
+            threshold.mad_factor, threshold.min_rel
+        ));
+        let regressed = self.regressions().len();
+        if regressed == 0 {
+            out.push_str("no perf regression\n");
+        } else {
+            out.push_str(&format!("{regressed} scenario(s) regressed\n"));
+        }
+        out
+    }
 }
 
 /// Diffs `new` against `base` under `threshold`. A scenario present in
@@ -569,6 +637,7 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
                     ScenarioDelta {
                         name: name.clone(),
                         base_ms: Some(b.median_ms),
+                        base_mad_ms: Some(b.mad_ms),
                         new_ms: Some(n.median_ms),
                         limit_ms: Some(limit),
                         regressed: n.median_ms > limit,
@@ -577,6 +646,7 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
                 (Some(b), None) => ScenarioDelta {
                     name: name.clone(),
                     base_ms: Some(b.median_ms),
+                    base_mad_ms: Some(b.mad_ms),
                     new_ms: None,
                     limit_ms: None,
                     regressed: true,
@@ -584,6 +654,7 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
                 (None, n) => ScenarioDelta {
                     name: name.clone(),
                     base_ms: None,
+                    base_mad_ms: None,
                     new_ms: n.map(|n| n.median_ms),
                     limit_ms: None,
                     regressed: false,
@@ -688,6 +759,26 @@ mod tests {
         assert_eq!(regressed, ["b"], "dropped coverage must fail the gate");
         let c = report.deltas.iter().find(|d| d.name == "c").expect("new scenario listed");
         assert!(!c.regressed);
+    }
+
+    #[test]
+    fn explain_table_carries_every_gate_input() {
+        let base = baseline(&[("a", &[100.0, 102.0, 98.0]), ("gone", &[5.0])]);
+        let new = baseline(&[("a", &[200.0, 202.0, 198.0]), ("fresh", &[1.0])]);
+        let t = Threshold::default();
+        let out = compare(&base, &new, t).render_explain(t);
+        // Header plus the three scenarios, then the limit formula.
+        for needle in [
+            "scenario", "base ms", "mad ms", "new ms", "limit ms", "delta ms", "verdict",
+            "REGRESSED", "new", "+100.00",
+            "limit = base + max(3×mad, 0.25×base)",
+            "2 scenario(s) regressed",
+        ] {
+            assert!(out.contains(needle), "missing `{needle}` in:\n{out}");
+        }
+        // The MAD column carries the base MAD: mad([100,102,98]) = 2.
+        let a_row = out.lines().find(|l| l.starts_with("a ")).expect("row for a");
+        assert!(a_row.contains("2.00"), "{a_row}");
     }
 
     #[test]

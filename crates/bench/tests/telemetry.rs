@@ -14,22 +14,25 @@ use qbss_bench::par::par_map_stealing;
 use qbss_core::pipeline::Algorithm;
 use qbss_instances::gen::{Compressibility, GenConfig};
 use qbss_telemetry::trace::{parse_trace, summarize, SpanRec, TraceRecord};
-use qbss_telemetry::{Config, Filter, MemorySink, SinkTarget};
+use qbss_telemetry::{Config, Filter, RingSink, SinkTarget};
 
 fn lock() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
     LOCK.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Runs `f` with a fresh memory-sink pipeline and returns the JSONL it
-/// recorded, with the pipeline torn down again.
+/// Runs `f` with a fresh ring-sink pipeline and returns the JSONL it
+/// recorded, with the pipeline torn down again. The default ring
+/// capacity (4096) comfortably holds a small traced sweep, so nothing
+/// these tests assert on is ever evicted.
 fn with_memory_telemetry(filter: Filter, spans: bool, f: impl FnOnce()) -> String {
     qbss_telemetry::shutdown();
-    let sink = MemorySink::default();
-    qbss_telemetry::init(Config { filter, sink: SinkTarget::Memory(sink.clone()), spans })
+    let sink = RingSink::default();
+    qbss_telemetry::init(Config { filter, sink: SinkTarget::Ring(sink.clone()), spans })
         .expect("fresh init");
     f();
     qbss_telemetry::shutdown();
+    assert_eq!(sink.dropped(), 0, "test traces must fit the ring");
     sink.contents()
 }
 

@@ -48,14 +48,17 @@ USAGE:
                 [--alg LIST|all] [--alpha LIST] [--m M] [--fw-iters I]
                 [--shards S] [--opt-fw-iters I] [--format json|csv] [--out FILE]
                 [--audit] [--trace FILE]
+  qbss serve    [--addr HOST:PORT] [--workers N] [--ring-capacity N]
+                [--slow-ms MS]
   qbss bounds   [--alpha A]
   qbss rho
   qbss trace    summarize FILE [--top K] [--format text|json]
   qbss trace    report FILE [--out FILE]
+                  (trace FILE may be `-` to read stdin)
   qbss perf     record  [--out FILE] [--scenarios LIST] [--repeats N]
                         [--warmup N] [--shards S] [--trace FILE]
   qbss perf     compare BASE NEW [--mad-factor X] [--min-rel X]
-  qbss perf     gate    --base FILE [--new FILE] [--mad-factor X] [--min-rel X]
+  qbss perf     gate    --base FILE [--new FILE] [--mad-factor X] [--min-rel X] [--explain]
   qbss help
 
 OBSERVABILITY:
@@ -69,7 +72,8 @@ OBSERVABILITY:
 
 EXIT CODES:
   0 success | 1 algorithm failure | 2 bad input
-  3 I/O failure or perf-gate regression";
+  3 I/O failure or perf-gate regression
+  (`qbss serve` exits 0 on SIGTERM/ctrl-c after draining in-flight requests)";
 
 /// A subcommand failure, carrying its exit code.
 #[derive(Debug)]
@@ -363,12 +367,7 @@ fn with_machines(alg: Algorithm, m: usize) -> Result<Algorithm, CliError> {
     if m == 0 {
         return Err(input("--m: machine count must be at least 1"));
     }
-    Ok(match alg {
-        Algorithm::AvrqM { .. } => Algorithm::AvrqM { m },
-        Algorithm::AvrqMNonmig { .. } => Algorithm::AvrqMNonmig { m },
-        Algorithm::OaqM { fw_iters, .. } => Algorithm::OaqM { m, fw_iters },
-        other => other,
-    })
+    Ok(alg.with_machines(m))
 }
 
 fn load_instance(flags: &Flags) -> Result<QbssInstance, CliError> {
@@ -377,24 +376,17 @@ fn load_instance(flags: &Flags) -> Result<QbssInstance, CliError> {
 }
 
 fn time_model_for(name: &str, n: usize) -> Result<TimeModel, CliError> {
-    Ok(match name {
-        "online" => TimeModel::Online { horizon: n as f64 / 4.0, min_len: 0.5, max_len: 4.0 },
-        "common" => TimeModel::CommonDeadline { d: 8.0 },
-        "p2" => TimeModel::PowersOfTwo { min_exp: 0, max_exp: 5 },
-        "arbitrary" => TimeModel::ArbitraryDeadlines { min_d: 1.0, max_d: 50.0 },
-        "poisson" => TimeModel::Poisson { rate: 2.0, min_len: 0.5, max_len: 4.0 },
-        other => return Err(input(format!("unknown family `{other}`"))),
+    TimeModel::from_name(name, n).ok_or_else(|| {
+        input(format!("unknown family `{name}` (one of: {})", TimeModel::NAMES.join(", ")))
     })
 }
 
 fn compress_for(name: &str) -> Result<Compressibility, CliError> {
-    Ok(match name {
-        "uniform" => Compressibility::Uniform,
-        "bimodal" => Compressibility::Bimodal { p_compressible: 0.5 },
-        "heavytail" => Compressibility::HeavyTail,
-        "incompressible" => Compressibility::Incompressible,
-        "full" => Compressibility::FullyCompressible,
-        other => return Err(input(format!("unknown compressibility `{other}`"))),
+    Compressibility::from_name(name).ok_or_else(|| {
+        input(format!(
+            "unknown compressibility `{name}` (one of: {})",
+            Compressibility::NAMES.join(", ")
+        ))
     })
 }
 
@@ -780,15 +772,70 @@ pub fn sweep(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-const TRACE_USAGE: &str = "usage: qbss trace summarize FILE [--top K] [--format text|json]\n       \
-                           qbss trace report FILE [--out FILE]";
+/// `qbss serve` — the long-lived observability/evaluation server (see
+/// `crate::serve`). Parses flags, installs a ring-sink telemetry
+/// pipeline (so `/tracez` always has records and an event stream never
+/// competes with stderr), binds, and hands the listener to the server
+/// loop. A clean SIGTERM/ctrl-c drain returns `Ok` — exit 0.
+pub fn serve_cmd(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["addr", "workers", "ring-capacity", "slow-ms"])?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
+    let workers = flags.usize("workers", 4)?;
+    if workers == 0 {
+        return Err(input("--workers: need at least 1 worker"));
+    }
+    let ring_capacity = flags.usize("ring-capacity", qbss_telemetry::RING_DEFAULT_CAPACITY)?;
+    let slow_ms = flags.u64("slow-ms", 1_000)?;
 
-/// Loads and parses a JSONL trace file: a missing file is an I/O
-/// failure, a schema violation is bad input (with the line number).
+    // Serve mode always records into a bounded ring: spans on (they
+    // back `/tracez`), events per QBSS_LOG (default `info`).
+    let spec = std::env::var("QBSS_LOG").ok();
+    let filter = filter_from_spec(spec.as_deref(), true)?;
+    let ring = qbss_telemetry::RingSink::new(ring_capacity);
+    match qbss_telemetry::init(Config {
+        filter,
+        sink: SinkTarget::Ring(ring.clone()),
+        spans: true,
+    }) {
+        // In-process callers (tests) may already hold a pipeline; the
+        // server then records into it, and `/tracez` serves whatever
+        // landed in this (unused) ring.
+        Ok(()) | Err(InitError::AlreadyInitialized) => {}
+        Err(e @ InitError::Io(_)) => return Err(CliError::Io(e.to_string())),
+    }
+    let _telemetry = Telemetry;
+    flags.emit_notes();
+
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| CliError::Io(format!("cannot bind {addr}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::Io(format!("cannot read the bound address: {e}")))?;
+    // The ring owns the telemetry stream, so stderr is free for the one
+    // human-facing line scripts and the smoke test key on.
+    eprintln!("qbss serve: listening on {local} ({workers} workers)");
+    crate::serve::run(listener, crate::serve::ServeConfig { workers, slow_ms, ring })
+        .map_err(CliError::Io)
+}
+
+const TRACE_USAGE: &str = "usage: qbss trace summarize FILE [--top K] [--format text|json]\n       \
+                           qbss trace report FILE [--out FILE]\n       \
+                           (FILE may be `-` to read the trace from stdin)";
+
+/// Loads and parses a JSONL trace: `-` reads stdin (so a running
+/// server's `/tracez?format=jsonl` pipes straight in), otherwise a
+/// missing file is an I/O failure; a schema violation is bad input
+/// (with the line number).
 fn load_trace(file: &str) -> Result<Vec<qbss_telemetry::trace::TraceRecord>, CliError> {
-    let text = std::fs::read_to_string(file)
-        .map_err(|e| CliError::Io(format!("cannot read {file}: {e}")))?;
-    qbss_telemetry::trace::parse_trace(&text).map_err(|e| input(format!("{file}: {e}")))
+    let text = if file == "-" {
+        std::io::read_to_string(std::io::stdin())
+            .map_err(|e| CliError::Io(format!("cannot read stdin: {e}")))?
+    } else {
+        std::fs::read_to_string(file)
+            .map_err(|e| CliError::Io(format!("cannot read {file}: {e}")))?
+    };
+    let label = if file == "-" { "stdin" } else { file };
+    qbss_telemetry::trace::parse_trace(&text).map_err(|e| input(format!("{label}: {e}")))
 }
 
 /// `qbss trace` — operations on recorded JSONL traces.
@@ -837,7 +884,8 @@ pub fn trace(args: &[String]) -> Result<(), CliError> {
 const PERF_USAGE: &str = "usage: qbss perf record  [--out FILE] [--scenarios LIST] [--repeats N]\n                         \
                           [--warmup N] [--shards S] [--trace FILE]\n       \
                           qbss perf compare BASE NEW [--mad-factor X] [--min-rel X]\n       \
-                          qbss perf gate    --base FILE [--new FILE] [--mad-factor X] [--min-rel X]";
+                          qbss perf gate    --base FILE [--new FILE] [--mad-factor X] [--min-rel X]\n                         \
+                          [--explain]";
 
 /// Loads and parses a perf baseline: a missing file is an I/O failure,
 /// a schema violation is bad input.
@@ -913,9 +961,10 @@ fn perf_compare(args: &[String]) -> Result<(), CliError> {
 }
 
 fn perf_gate(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(
+    let flags = Flags::parse_with_switches(
         args,
-        &["base", "new", "mad-factor", "min-rel", "repeats", "warmup", "shards"],
+        &["base", "new", "mad-factor", "min-rel", "repeats", "warmup", "shards", "explain"],
+        &["explain"],
     )?;
     let base_path = flags.get("base").ok_or_else(|| input("--base FILE is required"))?;
     let threshold = threshold_from(&flags)?;
@@ -935,7 +984,14 @@ fn perf_gate(args: &[String]) -> Result<(), CliError> {
         }
     };
     let report = perf::compare(&base, &new, threshold);
-    print!("{}", report.render());
+    // `--explain` swaps the one-line-per-scenario view for the full
+    // diagnostic table (base median/MAD, new median, limit, delta), so
+    // a CI failure is readable from the log without a local rerun.
+    if flags.switch("explain")? {
+        print!("{}", report.render_explain(threshold));
+    } else {
+        print!("{}", report.render());
+    }
     if report.regressions().is_empty() {
         return Ok(());
     }

@@ -9,6 +9,9 @@
 //!   print a comparison table;
 //! * `qbss sweep` — run a declarative instance × algorithm × α grid on
 //!   the sharded batch engine and print deterministic aggregates;
+//! * `qbss serve` — a long-lived std-only HTTP server: Prometheus
+//!   `/metrics`, health probes, a `/tracez` span ring, and
+//!   `POST /evaluate` / `POST /sweep` evaluation endpoints;
 //! * `qbss bounds` — print the paper's Table 1 at a given α;
 //! * `qbss rho` — print the §4.2 ρ-comparison table;
 //! * `qbss trace summarize` — digest a `--trace` JSONL file into a
@@ -33,12 +36,15 @@
 //! Exit codes are part of the contract (scripts rely on them):
 //! `0` success, `1` algorithm failure on valid input, `2` bad input
 //! (flags or instance data), `3` file-system failure or a perf-gate
-//! regression.
+//! regression. A `qbss serve` process that receives SIGTERM or ctrl-c
+//! drains in-flight requests and exits `0` — a signalled drain is a
+//! clean shutdown, not a failure.
 
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod commands;
+mod serve;
 
 use std::process::ExitCode;
 
@@ -55,6 +61,7 @@ fn main() -> ExitCode {
         "run" => commands::run(rest),
         "compare" => commands::compare(rest),
         "sweep" => commands::sweep(rest),
+        "serve" => commands::serve_cmd(rest),
         "bounds" => commands::bounds(rest),
         "rho" => commands::rho(rest),
         "trace" => commands::trace(rest),

@@ -1,0 +1,636 @@
+//! `qbss serve` — a zero-dependency HTTP/1.1 observability and
+//! evaluation plane over `std::net`.
+//!
+//! The first long-lived process in the workspace: a hand-rolled server
+//! with a bounded accept queue feeding a fixed scoped-thread worker
+//! pool (the same `std::thread::scope` discipline the `par` fan-out
+//! uses — no detached threads, the accept thread joins every worker
+//! before returning). Endpoints:
+//!
+//! | endpoint | contract |
+//! |----------|----------|
+//! | `GET /metrics` | process registry in Prometheus text exposition format; read-only, byte-stable across scrapes of an idle registry |
+//! | `GET /healthz` | liveness: uptime, in-flight, served counts |
+//! | `GET /readyz` | readiness: `200` while accepting, `503` once draining |
+//! | `GET /tracez` | most recent spans/events from the ring sink as HTML (`?format=jsonl` for the raw records) |
+//! | `POST /evaluate` | instance JSON in, evaluated outcome out (`?alg=`, `?alpha=`, `?m=`) |
+//! | `POST /sweep` | sweep-spec JSON in, deterministic aggregate out |
+//!
+//! **Probe endpoints never touch the metrics registry** — only the
+//! work endpoints (`/evaluate`, `/sweep`) bump `serve.requests` and the
+//! `serve.request.dur_us` histogram, so two consecutive `/metrics`
+//! scrapes of an otherwise idle server are byte-identical. Probe
+//! traffic is tracked in plain process stats surfaced by `/healthz`.
+//!
+//! Every request runs under a `serve.request` span carrying a
+//! process-unique request id; requests slower than the configured
+//! threshold additionally raise a `warn!` on `serve.slow`. Malformed
+//! requests map the typed error taxonomy onto status codes — syntax
+//! errors (bad HTTP, bad JSON) are `400`, well-formed input the model
+//! or algorithms reject is `422`, handler panics are caught and
+//! answered `500` — the process never dies on bad input.
+//!
+//! Shutdown: SIGTERM or ctrl-c flips one atomic flag; the accept loop
+//! stops taking connections, queued and in-flight requests drain, sinks
+//! flush, and the process exits 0 (the exit-code contract treats a
+//! signalled drain as success).
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use qbss_bench::engine::run_sweep;
+use qbss_bench::request::{RequestError, SweepRequest};
+use qbss_core::pipeline::{run_for_request, Algorithm};
+use qbss_instances::io::{self, IoError};
+use qbss_telemetry::{expo, json_escape, json_f64, trace, RingSink, DURATION_US_BOUNDS};
+
+/// Largest accepted request body (instances and sweep specs are small;
+/// anything bigger is a client error, answered `413`).
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// Largest accepted header block.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Accept-loop poll tick while waiting for connections or shutdown.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Set by the signal handler; checked by the accept loop each tick.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Process-unique request ids (`r-1`, `r-2`, …).
+static REQUEST_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Serve-mode configuration, parsed from flags by `commands::serve`.
+pub struct ServeConfig {
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Requests at least this slow raise a `warn!` on `serve.slow`.
+    pub slow_ms: u64,
+    /// The ring sink backing `/tracez` (also the process telemetry
+    /// sink, installed by the caller).
+    pub ring: RingSink,
+}
+
+// ---------------------------------------------------------------------
+// Signals
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // std-only signal hookup: libc's `signal(2)` via a raw extern. The
+    // handler only flips one atomic (async-signal-safe); all real work
+    // happens on the accept thread's next poll tick.
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {
+    // No signal plumbing off unix; the server stops when killed.
+}
+
+// ---------------------------------------------------------------------
+// Server stats (deliberately *not* registry metrics: probe endpoints
+// must leave /metrics byte-stable)
+// ---------------------------------------------------------------------
+
+struct ServerStats {
+    started: Instant,
+    in_flight: AtomicU64,
+    served: AtomicU64,
+    draining: AtomicBool,
+}
+
+impl ServerStats {
+    fn new() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            in_flight: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded connection queue
+// ---------------------------------------------------------------------
+
+struct Queue {
+    inner: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    items: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Self {
+        Queue {
+            inner: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues a connection, or hands it back when the queue is full
+    /// (the accept loop then answers `503` without blocking).
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.lock();
+        if state.items.len() >= self.capacity {
+            return Err(stream);
+        }
+        state.items.push_back(stream);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed **and**
+    /// drained, so workers finish everything accepted before shutdown.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.lock();
+        loop {
+            if let Some(stream) = state.items.pop_front() {
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTTP plumbing
+// ---------------------------------------------------------------------
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    query: String,
+    body: Vec<u8>,
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response { status, content_type: "application/json", body }
+    }
+
+    fn error(status: u16, kind: &str, message: &str) -> Response {
+        Response::json(
+            status,
+            format!(
+                "{{\"error\": {{\"kind\": \"{}\", \"message\": \"{}\"}}}}",
+                json_escape(kind),
+                json_escape(message)
+            ),
+        )
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        status_reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    // A peer that hung up mid-response is its own problem; the worker
+    // moves on either way.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(resp.body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Reads and parses one request. `Err` carries the ready-to-send
+/// rejection (`400`/`413`).
+fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, Response> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(Response::error(400, "bad_request", "header block too large"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(Response::error(400, "bad_request", "truncated request")),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => {
+                return Err(Response::error(400, "bad_request", &format!("read failed: {e}")))
+            }
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(Response::error(400, "bad_request", "malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(Response::error(400, "bad_request", "unsupported HTTP version"));
+    }
+    let mut content_length: usize = 0;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| Response::error(400, "bad_request", "bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(Response::error(413, "payload_too_large", "request body too large"));
+    }
+    let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(Response::error(400, "bad_request", "truncated body")),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => {
+                return Err(Response::error(400, "bad_request", &format!("read failed: {e}")))
+            }
+        }
+    }
+    body.truncate(content_length);
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok(HttpRequest { method: method.to_string(), path, query, body })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// First value of `key` in a query string (no percent-decoding: every
+/// accepted value is a plain token like `avrq-m:4` or `2.5`).
+fn query_get<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------
+// Endpoints
+// ---------------------------------------------------------------------
+
+fn index() -> Response {
+    Response {
+        status: 200,
+        content_type: "text/plain; charset=utf-8",
+        body: "qbss serve\n\n\
+               GET  /metrics    Prometheus text exposition of the process registry\n\
+               GET  /healthz    liveness (uptime, in-flight, served)\n\
+               GET  /readyz     readiness (503 once draining)\n\
+               GET  /tracez     recent spans/events as HTML (?format=jsonl for raw)\n\
+               POST /evaluate   instance JSON -> evaluated outcome (?alg=&alpha=&m=)\n\
+               POST /sweep      sweep spec JSON -> deterministic aggregate\n"
+            .to_string(),
+    }
+}
+
+fn metrics_endpoint() -> Response {
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        body: expo::render_prometheus(qbss_telemetry::metrics()),
+    }
+}
+
+fn health_body(stats: &ServerStats) -> String {
+    format!(
+        "{{\"status\": \"{}\", \"uptime_s\": {}, \"in_flight\": {}, \"served\": {}}}",
+        if stats.draining.load(Ordering::Relaxed) { "draining" } else { "ok" },
+        json_f64(stats.started.elapsed().as_secs_f64()),
+        stats.in_flight.load(Ordering::Relaxed),
+        stats.served.load(Ordering::Relaxed)
+    )
+}
+
+fn healthz(stats: &ServerStats) -> Response {
+    Response::json(200, health_body(stats))
+}
+
+fn readyz(stats: &ServerStats) -> Response {
+    let status = if stats.draining.load(Ordering::Relaxed) { 503 } else { 200 };
+    Response::json(status, health_body(stats))
+}
+
+fn tracez(query: &str, ring: &RingSink) -> Response {
+    let contents = ring.contents();
+    if query_get(query, "format") == Some("jsonl") {
+        return Response {
+            status: 200,
+            content_type: "application/x-ndjson",
+            body: contents,
+        };
+    }
+    match trace::parse_trace(&contents) {
+        Ok(records) => Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: trace::render_html(&records),
+        },
+        Err(e) => Response::error(500, "internal", &format!("ring holds an invalid record: {e}")),
+    }
+}
+
+fn evaluate(req: &HttpRequest, request_id: &str) -> Response {
+    let alg_name = query_get(&req.query, "alg").unwrap_or("avrq");
+    let alg: Algorithm = match alg_name.parse() {
+        Ok(a) => a,
+        Err(e) => return Response::error(400, "bad_request", &format!("alg: {e}")),
+    };
+    let alg = match query_get(&req.query, "m") {
+        None => alg,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(m) if m >= 1 => alg.with_machines(m),
+            _ => return Response::error(400, "bad_request", "m must be an integer >= 1"),
+        },
+    };
+    let alpha: f64 = match query_get(&req.query, "alpha") {
+        None => 3.0,
+        Some(raw) => match raw.parse() {
+            Ok(a) => a,
+            Err(_) => return Response::error(400, "bad_request", "alpha: not a number"),
+        },
+    };
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "bad_request", "body is not UTF-8");
+    };
+    // The PR-1 error taxonomy drives the status split: text that is not
+    // an instance at all is the client's syntax problem (400); a
+    // well-formed instance the model or an algorithm rejects is
+    // semantically unprocessable (422) — and never a panic.
+    let inst = match io::from_json(body) {
+        Ok(inst) => inst,
+        Err(e @ IoError::Model { .. }) => {
+            return Response::error(422, "model", &e.to_string());
+        }
+        Err(e) => return Response::error(400, "syntax", &e.to_string()),
+    };
+    match run_for_request(request_id, qbss_telemetry::current_span_id(), &inst, alpha, alg) {
+        Ok(ev) => Response::json(
+            200,
+            format!(
+                "{{\"request_id\": \"{}\", \"algorithm\": \"{}\", \"alpha\": {}, \
+                 \"energy\": {}, \"max_speed\": {}, \"outcome\": {}}}",
+                json_escape(request_id),
+                alg,
+                json_f64(alpha),
+                json_f64(ev.energy),
+                json_f64(ev.max_speed),
+                io::outcome_to_json(&ev.outcome)
+            ),
+        ),
+        Err(e) => Response::error(422, "algorithm", &e.to_string()),
+    }
+}
+
+fn sweep(req: &HttpRequest) -> Response {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "bad_request", "body is not UTF-8");
+    };
+    let parsed = match SweepRequest::from_json(body) {
+        Ok(p) => p,
+        Err(RequestError::Syntax(msg)) => return Response::error(400, "syntax", &msg),
+        Err(RequestError::Spec(msg)) => return Response::error(422, "spec", &msg),
+    };
+    match run_sweep(&parsed.spec, parsed.shards) {
+        Ok(report) => Response::json(200, report.aggregate_json()),
+        Err(e) => Response::error(422, "spec", &e.to_string()),
+    }
+}
+
+fn route(req: &HttpRequest, request_id: &str, stats: &ServerStats, cfg: &ServeConfig) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/") => index(),
+        ("GET", "/metrics") => metrics_endpoint(),
+        ("GET", "/healthz") => healthz(stats),
+        ("GET", "/readyz") => readyz(stats),
+        ("GET", "/tracez") => tracez(&req.query, &cfg.ring),
+        ("POST", "/evaluate") | ("POST", "/sweep") => {
+            // Work endpoints are the only registry writers, so idle
+            // /metrics scrapes stay byte-stable.
+            let started = Instant::now();
+            let resp = if req.path == "/evaluate" {
+                evaluate(req, request_id)
+            } else {
+                sweep(req)
+            };
+            qbss_telemetry::counter!("serve.requests").inc();
+            qbss_telemetry::metrics()
+                .histogram("serve.request.dur_us", &DURATION_US_BOUNDS)
+                .record(started.elapsed().as_micros() as f64);
+            resp
+        }
+        (_, "/" | "/metrics" | "/healthz" | "/readyz" | "/tracez" | "/evaluate" | "/sweep") => {
+            Response::error(405, "method_not_allowed", "wrong method for this endpoint")
+        }
+        (_, path) => Response::error(404, "not_found", &format!("no such endpoint: {path}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+fn handle_connection(mut stream: TcpStream, stats: &ServerStats, cfg: &ServeConfig) {
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(reject) => {
+            write_response(&mut stream, &reject);
+            return;
+        }
+    };
+    let request_id = format!("r-{}", REQUEST_SEQ.fetch_add(1, Ordering::Relaxed) + 1);
+    let started = Instant::now();
+    let mut span = qbss_telemetry::span!("serve.request", {
+        request = request_id.clone(),
+        method = req.method.clone(),
+        path = req.path.clone(),
+    });
+    // A panicking handler answers 500 and the worker lives on — the
+    // no-panic guarantee of the pipeline, extended to the serving edge.
+    let resp = catch_unwind(AssertUnwindSafe(|| route(&req, &request_id, stats, cfg)))
+        .unwrap_or_else(|_| {
+            qbss_telemetry::error!(
+                "serve.request",
+                { request = request_id.clone() },
+                "handler panicked on {} {}",
+                req.method,
+                req.path
+            );
+            Response::error(500, "internal", "handler panicked; see server trace")
+        });
+    span.record("status", u64::from(resp.status));
+    drop(span);
+    let elapsed = started.elapsed();
+    if elapsed.as_millis() >= u128::from(cfg.slow_ms) {
+        qbss_telemetry::warn!(
+            "serve.slow",
+            {
+                request = request_id.clone(),
+                path = req.path.clone(),
+                ms = elapsed.as_millis() as u64,
+            },
+            "slow request {} {} took {} ms",
+            req.method,
+            req.path,
+            elapsed.as_millis()
+        );
+    }
+    write_response(&mut stream, &resp);
+}
+
+/// Runs the server on an already-bound listener until SIGTERM/ctrl-c,
+/// then drains and returns. `Ok` means a clean drain (exit 0); `Err`
+/// carries an I/O-level failure message.
+pub fn run(listener: TcpListener, cfg: ServeConfig) -> Result<(), String> {
+    install_signal_handlers();
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot poll the listener: {e}"))?;
+    let stats = ServerStats::new();
+    let queue = Queue::new(cfg.workers * 16);
+    qbss_telemetry::info!("serve", { workers = cfg.workers }, "server loop starting");
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.workers {
+            scope.spawn(|| {
+                while let Some(stream) = queue.pop() {
+                    stats.in_flight.fetch_add(1, Ordering::Relaxed);
+                    handle_connection(stream, &stats, &cfg);
+                    stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    stats.served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        loop {
+            if SHUTDOWN.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if let Err(mut rejected) = queue.push(stream) {
+                        write_response(
+                            &mut rejected,
+                            &Response::error(503, "overloaded", "accept queue is full"),
+                        );
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_TICK);
+                }
+                Err(e) => {
+                    qbss_telemetry::warn!("serve", "accept failed: {e}");
+                    std::thread::sleep(POLL_TICK);
+                }
+            }
+        }
+        // Drain: no new connections, workers finish queued + in-flight
+        // requests, then the scope joins them all.
+        stats.draining.store(true, Ordering::Relaxed);
+        qbss_telemetry::info!(
+            "serve",
+            { served = stats.served.load(Ordering::Relaxed) },
+            "shutdown signal received; draining"
+        );
+        queue.close();
+    });
+    qbss_telemetry::flush();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_parsing_takes_the_first_match() {
+        assert_eq!(query_get("alg=avrq&alpha=3", "alg"), Some("avrq"));
+        assert_eq!(query_get("alg=avrq&alpha=3", "alpha"), Some("3"));
+        assert_eq!(query_get("alg=avrq", "m"), None);
+        assert_eq!(query_get("", "alg"), None);
+        assert_eq!(query_get("a=1&a=2", "a"), Some("1"));
+    }
+
+    #[test]
+    fn queue_bounds_and_drains() {
+        // Stream-free bound check via capacity clamping.
+        let q = Queue::new(0);
+        assert_eq!(q.capacity, 1);
+        q.close();
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn error_responses_are_typed_json() {
+        let resp = Response::error(422, "model", "job 3: deadline before release");
+        assert_eq!(resp.status, 422);
+        assert!(resp.body.contains("\"kind\": \"model\""), "{}", resp.body);
+        assert!(resp.body.contains("\"message\": "), "{}", resp.body);
+    }
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_header_end(b"partial\r\n"), None);
+    }
+}

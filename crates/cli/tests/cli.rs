@@ -115,6 +115,111 @@ fn trace_summarize_round_trip() {
 }
 
 #[test]
+fn trace_commands_read_stdin_when_file_is_dash() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let trace = tmp("stdin.jsonl");
+    run_ok(qbss(SWEEP).arg("--trace").arg(&trace));
+    let bytes = std::fs::read(&trace).expect("trace written");
+
+    // `qbss trace summarize -` digests the piped trace like the file.
+    let mut child = qbss(&["trace", "summarize", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child.stdin.take().expect("stdin").write_all(&bytes).expect("pipe trace");
+    let out = child.wait_with_output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let piped = String::from_utf8(out.stdout).expect("utf8");
+    let from_file = run_ok(qbss(&["trace", "summarize"]).arg(&trace));
+    assert_eq!(piped, String::from_utf8(from_file.stdout).expect("utf8"));
+
+    // `qbss trace report -` renders the same HTML, and a malformed
+    // stream is bad input (exit 2) attributed to stdin.
+    let mut child = qbss(&["trace", "report", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child.stdin.take().expect("stdin").write_all(&bytes).expect("pipe trace");
+    let out = child.wait_with_output().expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("<!DOCTYPE html>"));
+
+    let mut child = qbss(&["trace", "summarize", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child.stdin.take().expect("stdin").write_all(b"{not jsonl\n").expect("pipe junk");
+    let out = child.wait_with_output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stdin"));
+}
+
+#[test]
+fn perf_gate_explain_prints_the_full_breakdown() {
+    use qbss_bench::perf::{Baseline, EnvFingerprint, PerfConfig, ScenarioStats};
+    use std::collections::BTreeMap;
+
+    let stats = |samples: &[f64]| {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let mut dev: Vec<f64> = samples.iter().map(|x| (x - median).abs()).collect();
+        dev.sort_by(f64::total_cmp);
+        ScenarioStats {
+            cells: 1,
+            samples_ms: samples.to_vec(),
+            median_ms: median,
+            mad_ms: dev[dev.len() / 2],
+            min_ms: sorted[0],
+        }
+    };
+    let baseline = |entries: &[(&str, &[f64])]| Baseline {
+        env: EnvFingerprint {
+            host: "h".into(),
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            cores: 1,
+            rustc: "rustc test".into(),
+        },
+        config: PerfConfig::default(),
+        scenarios: entries
+            .iter()
+            .map(|(name, s)| (name.to_string(), stats(s)))
+            .collect::<BTreeMap<String, ScenarioStats>>(),
+    };
+
+    let base_path = tmp("explain_base.json");
+    let slow_path = tmp("explain_slow.json");
+    std::fs::write(&base_path, baseline(&[("a", &[100.0, 102.0, 98.0])]).to_json())
+        .expect("write base");
+    std::fs::write(&slow_path, baseline(&[("a", &[200.0, 202.0, 198.0])]).to_json())
+        .expect("write slow");
+
+    let out = qbss(&["perf", "gate", "--explain", "--base"])
+        .arg(&base_path)
+        .arg("--new")
+        .arg(&slow_path)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3), "regression still exits 3 with --explain");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in
+        ["scenario", "base ms", "mad ms", "new ms", "limit ms", "delta ms", "REGRESSED",
+         "limit = base + max(3×mad, 0.25×base)"]
+    {
+        assert!(stdout.contains(needle), "missing `{needle}` in:\n{stdout}");
+    }
+}
+
+#[test]
 fn aggregate_bytes_do_not_depend_on_telemetry() {
     let plain = tmp("agg_plain.json");
     let traced = tmp("agg_traced.json");

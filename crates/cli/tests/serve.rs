@@ -1,0 +1,270 @@
+//! End-to-end tests of `qbss serve`: the binary is started on an
+//! ephemeral port, driven over real TCP, and shut down with a real
+//! SIGTERM. Covers the scrape contract (parseable, byte-stable
+//! Prometheus exposition), the typed-error status mapping for corrupted
+//! instances from the fault catalog, and the drain-on-signal exit code.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use qbss_core::model::{QJob, QbssInstance};
+use qbss_instances::corrupt::{Corruptor, Mutation};
+use qbss_instances::io;
+
+/// Starts `qbss serve` on an ephemeral port and returns the child plus
+/// the bound address parsed from the stderr banner.
+fn start_server(extra: &[&str]) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_qbss"));
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .args(extra)
+        .env_remove("QBSS_LOG")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("server spawns");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut reader = BufReader::new(stderr);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("stderr banner");
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"))
+        .split_whitespace()
+        .next()
+        .expect("address token")
+        .to_string();
+    // Keep draining stderr so the server can never block on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+    (child, addr)
+}
+
+/// One HTTP/1.1 request over a fresh connection; returns status,
+/// header block, and body.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header block");
+    let status: u16 = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, head.to_string(), body.to_string())
+}
+
+/// Polls `/readyz` until the server answers 200.
+fn wait_ready(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let req = format!("GET /readyz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+            if stream.write_all(req.as_bytes()).is_ok() {
+                let mut raw = String::new();
+                if stream.read_to_string(&mut raw).is_ok() && raw.starts_with("HTTP/1.1 200") {
+                    return;
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "server never became ready on {addr}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn sigterm(child: &Child) {
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill -TERM failed");
+}
+
+fn wait_exit(mut child: Child) -> Option<i32> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status.code();
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("server did not exit after SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// A minimal structural check of the Prometheus text format: every
+/// line is a `# TYPE`/`# HELP` comment or `name[{labels}] value` with
+/// a sanitized metric name and a parseable value.
+fn assert_prometheus_parseable(text: &str) {
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line: {line}"));
+        let name = name_part.split('{').next().expect("metric name");
+        assert!(
+            !name.is_empty()
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "unsanitized metric name in: {line}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+            "unparseable value in: {line}"
+        );
+    }
+}
+
+/// Serializes without validating — `io::to_json` (rightly) refuses
+/// model-invalid instances, but the test needs corrupted bytes on the
+/// wire to prove the server answers 422 instead of panicking.
+fn instance_json_unchecked(inst: &QbssInstance) -> String {
+    let jobs: Vec<String> = inst
+        .jobs
+        .iter()
+        .map(|j| {
+            format!(
+                "{{\"id\": {}, \"release\": {}, \"deadline\": {}, \"query_load\": {}, \
+                 \"upper_bound\": {}, \"exact\": {}}}",
+                j.id,
+                j.release,
+                j.deadline,
+                j.query_load,
+                j.upper_bound,
+                j.reveal_exact()
+            )
+        })
+        .collect();
+    format!("{{\"jobs\": [{}]}}", jobs.join(", "))
+}
+
+fn valid_instance_json() -> String {
+    let inst = QbssInstance::new(vec![
+        QJob::new(0, 0.0, 2.0, 0.2, 2.0, 0.3),
+        QJob::new(1, 0.0, 3.0, 0.1, 1.5, 1.0),
+    ]);
+    io::to_json(&inst).expect("serializes")
+}
+
+#[test]
+fn serve_scrapes_evaluates_and_drains() {
+    let (child, addr) = start_server(&[]);
+    wait_ready(&addr);
+
+    // The index lists the endpoints.
+    let (status, _, body) = http(&addr, "GET", "/", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("/metrics"), "{body}");
+
+    // Two idle scrapes are byte-identical and structurally Prometheus.
+    let (s1, head1, scrape1) = http(&addr, "GET", "/metrics", "");
+    let (s2, _, scrape2) = http(&addr, "GET", "/metrics", "");
+    assert_eq!((s1, s2), (200, 200));
+    assert!(head1.contains("text/plain; version=0.0.4"), "{head1}");
+    assert_eq!(scrape1, scrape2, "idle scrapes must be byte-identical");
+    assert_prometheus_parseable(&scrape1);
+
+    // Health probes answer JSON and do not perturb the registry.
+    let (status, _, health) = http(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"status\": \"ok\""), "{health}");
+    let (_, _, scrape3) = http(&addr, "GET", "/metrics", "");
+    assert_eq!(scrape1, scrape3, "probes must leave /metrics byte-stable");
+
+    // A valid instance evaluates end to end.
+    let (status, _, body) = http(&addr, "POST", "/evaluate?alg=avrq&alpha=3", &valid_instance_json());
+    assert_eq!(status, 200, "{body}");
+    for field in ["request_id", "algorithm", "energy", "max_speed", "outcome"] {
+        assert!(body.contains(field), "missing `{field}` in {body}");
+    }
+
+    // A corrupted instance from the fault catalog maps onto the typed
+    // 4xx taxonomy instead of panicking the worker.
+    let base = QbssInstance::new(vec![
+        QJob::new(0, 0.0, 2.0, 0.2, 2.0, 0.3),
+        QJob::new(1, 0.0, 3.0, 0.1, 1.5, 1.0),
+    ]);
+    let mut corruptor = Corruptor::new(7);
+    let corrupted = corruptor.apply(&base, Mutation::InvertedWindow).expect("applicable");
+    let bad_json = instance_json_unchecked(&corrupted.instance);
+    let (status, _, body) = http(&addr, "POST", "/evaluate", &bad_json);
+    assert_eq!(status, 422, "model-invalid instance is 422: {body}");
+    assert!(body.contains("\"kind\": \"model\""), "{body}");
+
+    // Not-JSON is the client's syntax problem (400), unknown paths 404,
+    // wrong methods 405.
+    let (status, _, body) = http(&addr, "POST", "/evaluate", "{not json");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\": \"syntax\""), "{body}");
+    let (status, _, _) = http(&addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _, _) = http(&addr, "POST", "/metrics", "");
+    assert_eq!(status, 405);
+
+    // A sweep body runs on the engine and returns the aggregate.
+    let (status, _, body) =
+        http(&addr, "POST", "/sweep", r#"{"count": 2, "n": 5, "alg": "avrq", "alpha": 2.5}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("avrq"), "{body}");
+    let (status, _, body) = http(&addr, "POST", "/sweep", r#"{"alg": "yds"}"#);
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("\"kind\": \"spec\""), "{body}");
+
+    // The work endpoints (and only they) moved the registry.
+    let (_, _, scrape4) = http(&addr, "GET", "/metrics", "");
+    assert!(scrape4.contains("serve_requests"), "{scrape4}");
+    assert!(scrape4.contains("serve_request_dur_us_bucket"), "{scrape4}");
+    assert_prometheus_parseable(&scrape4);
+
+    // The ring kept the request spans: /tracez renders them as HTML.
+    let (status, head, body) = http(&addr, "GET", "/tracez", "");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/html"), "{head}");
+    assert!(body.contains("serve.request"), "{body}");
+    let (status, _, jsonl) = http(&addr, "GET", "/tracez?format=jsonl", "");
+    assert_eq!(status, 200);
+    assert!(jsonl.lines().any(|l| l.contains("serve.request")), "{jsonl}");
+
+    // SIGTERM drains and exits 0 — the contract scripts rely on.
+    sigterm(&child);
+    assert_eq!(wait_exit(child), Some(0), "signalled drain must exit 0");
+}
+
+#[test]
+fn sigterm_during_an_inflight_sweep_still_drains_cleanly() {
+    let (child, addr) = start_server(&[]);
+    wait_ready(&addr);
+
+    // Park a non-trivial sweep on a worker, then signal while it runs.
+    let sweep_addr = addr.clone();
+    let inflight = std::thread::spawn(move || {
+        http(
+            &sweep_addr,
+            "POST",
+            "/sweep",
+            r#"{"count": 30, "n": 14, "alg": "all", "alpha": [2, 3]}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    sigterm(&child);
+
+    // The in-flight request completes (drain, not abort) …
+    let (status, _, body) = inflight.join().expect("sweep thread");
+    assert_eq!(status, 200, "in-flight work must drain: {body}");
+    // … and the process still exits 0.
+    assert_eq!(wait_exit(child), Some(0));
+}

@@ -69,6 +69,7 @@ pub use error::{AlgorithmError, ModelError, ModelErrorKind, QbssError, Validatio
 pub use model::{QJob, QbssInstance, VisibleJob};
 pub use outcome::QbssOutcome;
 pub use pipeline::{
-    run_audited, run_checked, run_evaluated, Algorithm, Evaluated, ParseAlgorithmError,
+    run_audited, run_checked, run_evaluated, run_for_request, Algorithm, Evaluated,
+    ParseAlgorithmError,
 };
 pub use policy::{QueryRule, SplitRule, Strategy, INV_PHI, PHI};

@@ -108,6 +108,20 @@ impl Algorithm {
         }
     }
 
+    /// Binds a bare multi-machine family to `m` machines (OAQ(m) keeps
+    /// its planning iterations); single-machine configurations pass
+    /// through unchanged. Callers validate `m ≥ 1` — the CLI and the
+    /// serve-mode request parser both map `m = 0` to their own typed
+    /// input errors before getting here.
+    pub fn with_machines(self, m: usize) -> Algorithm {
+        match self {
+            Algorithm::AvrqM { .. } => Algorithm::AvrqM { m },
+            Algorithm::AvrqMNonmig { .. } => Algorithm::AvrqMNonmig { m },
+            Algorithm::OaqM { fw_iters, .. } => Algorithm::OaqM { m, fw_iters },
+            other => other,
+        }
+    }
+
     /// Every runnable configuration: the six single-machine algorithms
     /// plus the three multi-machine ones at machine count `m` (OAQ(m)
     /// with `fw_iters` planning iterations). This is the one algorithm
@@ -311,6 +325,29 @@ pub fn run_audited(
     let ev = run_evaluated(inst, alpha, algorithm)?;
     auditor.audit(inst, alpha, algorithm, &ev, opt);
     Ok(ev)
+}
+
+/// [`run_evaluated`] scoped to one serve-mode request: the run nests
+/// under a `pipeline.request` span carrying the request id (and an
+/// explicit `parent` for cross-thread stitching, the same contract the
+/// sweep engine's `par.shard` spans follow), so a `/tracez` or exported
+/// trace ties solver work back to the HTTP request that caused it. The
+/// result is bit-identical to a bare [`run_evaluated`] — the span is
+/// pure telemetry.
+pub fn run_for_request(
+    request_id: &str,
+    parent: Option<u64>,
+    inst: &QbssInstance,
+    alpha: f64,
+    algorithm: Algorithm,
+) -> Result<Evaluated, QbssError> {
+    let mut span = qbss_telemetry::span!(parent: parent, "pipeline.request", {
+        request = request_id,
+        algorithm = algorithm.to_string(),
+    });
+    let result = run_evaluated(inst, alpha, algorithm);
+    span.record("ok", result.is_ok());
+    result
 }
 
 /// [`run_evaluated`] for callers that only need the outcome.

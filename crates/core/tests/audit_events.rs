@@ -7,14 +7,14 @@
 
 use qbss_core::{run_evaluated, Algorithm, Auditor, QJob, QbssInstance};
 use qbss_telemetry::trace::{parse_trace, TraceRecord};
-use qbss_telemetry::{Config, Filter, Level, MemorySink, SinkTarget};
+use qbss_telemetry::{Config, Filter, Level, RingSink, SinkTarget};
 
 #[test]
 fn corrupted_schedule_emits_an_error_event_and_counts() {
-    let sink = MemorySink::default();
+    let sink = RingSink::default();
     qbss_telemetry::init(Config {
         filter: Filter::at(Level::Error),
-        sink: SinkTarget::Memory(sink.clone()),
+        sink: SinkTarget::Ring(sink.clone()),
         spans: false,
     })
     .expect("fresh telemetry pipeline");

@@ -64,6 +64,27 @@ pub enum TimeModel {
     },
 }
 
+impl TimeModel {
+    /// The named time-model families shared by the CLI (`--family`) and
+    /// the serve-mode sweep spec. `n` scales the online horizon the
+    /// same way `GenConfig::online_default` does. `None` for unknown
+    /// names — callers attach their own error type.
+    pub fn from_name(name: &str, n: usize) -> Option<TimeModel> {
+        Some(match name {
+            "online" => TimeModel::Online { horizon: n as f64 / 4.0, min_len: 0.5, max_len: 4.0 },
+            "common" => TimeModel::CommonDeadline { d: 8.0 },
+            "p2" => TimeModel::PowersOfTwo { min_exp: 0, max_exp: 5 },
+            "arbitrary" => TimeModel::ArbitraryDeadlines { min_d: 1.0, max_d: 50.0 },
+            "poisson" => TimeModel::Poisson { rate: 2.0, min_len: 0.5, max_len: 4.0 },
+            _ => return None,
+        })
+    }
+
+    /// The names [`TimeModel::from_name`] accepts, for error messages
+    /// and usage text.
+    pub const NAMES: &'static [&'static str] = &["online", "common", "p2", "arbitrary", "poisson"];
+}
+
 /// How the query cost `c` relates to the nominal workload `w`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QueryModel {
@@ -117,6 +138,24 @@ pub enum Compressibility {
 }
 
 impl Compressibility {
+    /// The named compressibility families shared by the CLI
+    /// (`--compress`) and the serve-mode sweep spec. `None` for
+    /// unknown names.
+    pub fn from_name(name: &str) -> Option<Compressibility> {
+        Some(match name {
+            "uniform" => Compressibility::Uniform,
+            "bimodal" => Compressibility::Bimodal { p_compressible: 0.5 },
+            "heavytail" => Compressibility::HeavyTail,
+            "incompressible" => Compressibility::Incompressible,
+            "full" => Compressibility::FullyCompressible,
+            _ => return None,
+        })
+    }
+
+    /// The names [`Compressibility::from_name`] accepts.
+    pub const NAMES: &'static [&'static str] =
+        &["uniform", "bimodal", "heavytail", "incompressible", "full"];
+
     fn sample<R: Rng>(&self, w: f64, rng: &mut R) -> f64 {
         match *self {
             Compressibility::Uniform => rng.gen_range(0.0..=w),

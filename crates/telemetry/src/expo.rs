@@ -1,0 +1,204 @@
+//! Prometheus text exposition of a [`Registry`] — the `/metrics`
+//! endpoint of `qbss serve`.
+//!
+//! One metric family per registered metric, rendered in **canonical
+//! order** (families sorted by sanitized name, kind as tie-break), so
+//! two scrapes of an unchanged registry are byte-identical:
+//!
+//! * counters → `# TYPE name counter` + one sample;
+//! * gauges → `# TYPE name gauge` + one sample;
+//! * histograms → `# TYPE name histogram`, **cumulative**
+//!   `name_bucket{le="..."}` samples ending in `le="+Inf"` (equal to
+//!   `name_count`), `name_sum`, `name_count`, followed by the
+//!   interpolated `name_p50`/`name_p95`/`name_p99` gauge series (the
+//!   same [`crate::estimate_quantile`] numbers the JSON snapshots
+//!   carry).
+//!
+//! Metric names pass through [`sanitize_name`]: every character outside
+//! `[a-zA-Z0-9_:]` becomes `_` (so `engine.cell.dur_us` scrapes as
+//! `engine_cell_dur_us`), and a leading digit gains a `_` prefix.
+
+use crate::metrics::{MetricRef, Registry};
+
+/// Maps a registry metric name onto the Prometheus name charset:
+/// `[a-zA-Z0-9_:]`, not starting with a digit.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats a sample value: shortest-round-trip for finite floats,
+/// Prometheus spellings (`NaN`, `+Inf`, `-Inf`) otherwise.
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+/// Renders `registry` in the Prometheus text exposition format
+/// (`text/plain; version=0.0.4`). Byte-stable: an unchanged registry
+/// renders to identical bytes on every call.
+pub fn render_prometheus(registry: &Registry) -> String {
+    // (sanitized name, kind tag) → family block; sorted at the end so
+    // ordering is canonical even if sanitization reorders names.
+    let mut families: Vec<(String, u8, String)> = Vec::new();
+    registry.visit(|name, metric| {
+        let pname = sanitize_name(name);
+        match metric {
+            MetricRef::Counter(c) => {
+                let block = format!("# TYPE {pname} counter\n{pname} {}\n", c.get());
+                families.push((pname, 0, block));
+            }
+            MetricRef::Gauge(g) => {
+                let block = format!("# TYPE {pname} gauge\n{pname} {}\n", fmt_value(g.get()));
+                families.push((pname, 1, block));
+            }
+            MetricRef::Histogram(h) => {
+                let mut block = format!("# TYPE {pname} histogram\n");
+                let mut cum: u64 = 0;
+                for (le, n) in h.buckets() {
+                    cum += n;
+                    let le = le.map_or_else(|| "+Inf".to_string(), fmt_value);
+                    block.push_str(&format!("{pname}_bucket{{le=\"{le}\"}} {cum}\n"));
+                }
+                block.push_str(&format!("{pname}_sum {}\n", fmt_value(h.sum())));
+                block.push_str(&format!("{pname}_count {}\n", h.count()));
+                for (q, tag) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                    block.push_str(&format!(
+                        "# TYPE {pname}_{tag} gauge\n{pname}_{tag} {}\n",
+                        fmt_value(h.quantile(q))
+                    ));
+                }
+                families.push((pname, 2, block));
+            }
+        }
+    });
+    families.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    let mut out = String::new();
+    for (_, _, block) in families {
+        out.push_str(&block);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitization_maps_onto_the_prometheus_charset() {
+        assert_eq!(sanitize_name("engine.cell.dur_us"), "engine_cell_dur_us");
+        assert_eq!(sanitize_name("serve:requests"), "serve:requests");
+        assert_eq!(sanitize_name("weird name-µ"), "weird_name__");
+        assert_eq!(sanitize_name("0starts.digit"), "_0starts_digit");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn families_render_in_canonical_sorted_order() {
+        let r = Registry::new();
+        // Registered out of order, across kinds.
+        r.gauge("zeta.gauge").set(1.0);
+        r.counter("beta.count").add(2);
+        r.counter("alpha.count").inc();
+        r.histogram("mid.hist", &[1.0]).record(0.5);
+        let text = render_prometheus(&r);
+        let order: Vec<usize> = ["alpha_count", "beta_count", "mid_hist", "zeta_gauge"]
+            .iter()
+            .map(|n| text.find(&format!("# TYPE {n} ")).expect(n))
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_sum_to_count() {
+        let r = Registry::new();
+        let h = r.histogram("dur", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 5.0, 50.0, 500.0] {
+            h.record(v);
+        }
+        let text = render_prometheus(&r);
+        assert!(text.contains("dur_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("dur_bucket{le=\"10\"} 3\n"), "{text}");
+        assert!(text.contains("dur_bucket{le=\"100\"} 4\n"), "{text}");
+        assert!(text.contains("dur_bucket{le=\"+Inf\"} 5\n"), "{text}");
+        assert!(text.contains("dur_count 5\n"), "{text}");
+        // +Inf bucket equals _count — the format's invariant.
+        let inf: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("dur_bucket{le=\"+Inf\"} "))
+            .and_then(|v| v.parse().ok())
+            .expect("+Inf bucket");
+        let count: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("dur_count "))
+            .and_then(|v| v.parse().ok())
+            .expect("count");
+        assert_eq!(inf, count);
+    }
+
+    #[test]
+    fn histogram_carries_percentile_gauge_series() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[1.0, 10.0]);
+        for v in [2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        let text = render_prometheus(&r);
+        for (tag, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            assert!(text.contains(&format!("# TYPE lat_{tag} gauge\n")), "{text}");
+            assert!(
+                text.contains(&format!("lat_{tag} {}\n", h.quantile(q))),
+                "{tag}: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn unchanged_registry_scrapes_byte_identically() {
+        let r = Registry::new();
+        r.counter("serve.requests").add(7);
+        r.gauge("uptime").set(12.5);
+        r.histogram("serve.request.dur_us", &crate::DURATION_US_BOUNDS).record(42.0);
+        let first = render_prometheus(&r);
+        let second = render_prometheus(&r);
+        assert_eq!(first, second);
+        assert!(!first.is_empty());
+    }
+
+    #[test]
+    fn non_finite_gauges_use_prometheus_spellings() {
+        let r = Registry::new();
+        r.gauge("nan").set(f64::NAN);
+        r.gauge("pos").set(f64::INFINITY);
+        r.gauge("neg").set(f64::NEG_INFINITY);
+        let text = render_prometheus(&r);
+        assert!(text.contains("nan NaN\n"), "{text}");
+        assert!(text.contains("pos +Inf\n"), "{text}");
+        assert!(text.contains("neg -Inf\n"), "{text}");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(render_prometheus(&Registry::new()), "");
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod expo;
 mod filter;
 mod json;
 mod metrics;
@@ -58,7 +59,7 @@ use sink::Out;
 pub use filter::{Filter, FilterError, Level};
 pub use json::{json_escape, json_f64, parse as json_parse, JsonValue};
 pub use metrics::{estimate_quantile, Counter, Gauge, Histogram, Registry, DURATION_US_BOUNDS};
-pub use sink::{MemorySink, SinkTarget};
+pub use sink::{RingSink, SinkTarget, RING_DEFAULT_CAPACITY};
 pub use span::{current_span_id, SpanGuard};
 
 // ---------------------------------------------------------------------
@@ -490,11 +491,11 @@ pub(crate) mod test_support {
         LOCK.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// `init` to a fresh memory sink, returning the read handle.
-    pub fn init_memory(filter: Filter, spans: bool) -> MemorySink {
+    /// `init` to a fresh ring sink, returning the read handle.
+    pub fn init_memory(filter: Filter, spans: bool) -> RingSink {
         shutdown();
-        let sink = MemorySink::default();
-        init(Config { filter, sink: SinkTarget::Memory(sink.clone()), spans })
+        let sink = RingSink::default();
+        init(Config { filter, sink: SinkTarget::Ring(sink.clone()), spans })
             .expect("fresh init");
         sink
     }

@@ -155,16 +155,21 @@ impl Histogram {
         }
     }
 
-    /// Interpolated quantile estimate (`q` in `[0, 1]`) from the bucket
-    /// counts — see [`estimate_quantile`] for the estimator contract.
-    pub fn quantile(&self, q: f64) -> f64 {
-        let buckets: Vec<(Option<f64>, u64)> = self
-            .buckets
+    /// The `(upper bound, count)` pairs in bound order; the trailing
+    /// overflow bucket carries `None`. Counts are per-bucket, **not**
+    /// cumulative (the Prometheus encoder accumulates them).
+    pub fn buckets(&self) -> Vec<(Option<f64>, u64)> {
+        self.buckets
             .iter()
             .enumerate()
             .map(|(i, b)| (self.bounds.get(i).copied(), b.load(Ordering::Relaxed)))
-            .collect();
-        estimate_quantile(&buckets, self.min(), self.max(), q)
+            .collect()
+    }
+
+    /// Interpolated quantile estimate (`q` in `[0, 1]`) from the bucket
+    /// counts — see [`estimate_quantile`] for the estimator contract.
+    pub fn quantile(&self, q: f64) -> f64 {
+        estimate_quantile(&self.buckets(), self.min(), self.max(), q)
     }
 
     fn to_json(&self) -> String {
@@ -245,6 +250,14 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
+/// A borrowed view of one registered metric, for read-only walkers
+/// (the Prometheus encoder).
+pub(crate) enum MetricRef<'a> {
+    Counter(&'a Counter),
+    Gauge(&'a Gauge),
+    Histogram(&'a Histogram),
+}
+
 /// A named set of metrics, snapshotable to canonical-order JSON.
 pub struct Registry {
     /// Keyed by `(kind tag, name)` so one name can never collide across
@@ -316,6 +329,20 @@ impl Registry {
         match entry {
             Metric::Histogram(h) => Arc::clone(h),
             _ => unreachable!("kind is part of the key"),
+        }
+    }
+
+    /// Visits every registered metric in canonical `(kind, name)`
+    /// order, holding the registry lock for the duration (updates stay
+    /// lock-free; only registration blocks).
+    pub(crate) fn visit(&self, mut f: impl FnMut(&str, MetricRef<'_>)) {
+        let map = self.lock();
+        for ((_, name), metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => f(name, MetricRef::Counter(c)),
+                Metric::Gauge(g) => f(name, MetricRef::Gauge(g)),
+                Metric::Histogram(h) => f(name, MetricRef::Histogram(h)),
+            }
         }
     }
 

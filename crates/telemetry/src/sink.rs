@@ -8,6 +8,7 @@
 //! file); everything else must go through the leveled event macros so a
 //! `QBSS_LOG` stderr stream stays pure JSONL.
 
+use std::collections::VecDeque;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -19,19 +20,97 @@ pub enum SinkTarget {
     Stderr,
     /// A JSONL trace file (created/truncated at [`crate::init`]).
     File(PathBuf),
-    /// An in-memory buffer — for tests.
-    Memory(MemorySink),
+    /// A bounded in-memory ring of the most recent records — backs
+    /// `/tracez` in serve mode and in-process inspection in tests.
+    Ring(RingSink),
 }
 
-/// A shareable in-memory sink; clone it before [`crate::init`] to read
-/// what was recorded.
-#[derive(Debug, Clone, Default)]
-pub struct MemorySink(Arc<Mutex<String>>);
+/// Default [`RingSink`] capacity (records retained).
+pub const RING_DEFAULT_CAPACITY: usize = 4096;
 
-impl MemorySink {
-    /// Everything recorded so far.
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<String>,
+    capacity: usize,
+    /// Records evicted to make room — the ring never blocks a writer.
+    dropped: u64,
+}
+
+/// A shareable bounded in-memory sink holding the most recent records.
+///
+/// Clone it before [`crate::init`] to keep a read handle. Writers push
+/// one JSONL line per record; once `capacity` records are held the
+/// oldest is evicted (and counted in [`RingSink::dropped`]) so a
+/// long-lived process keeps a fresh window instead of growing without
+/// bound.
+#[derive(Debug, Clone)]
+pub struct RingSink(Arc<Mutex<Ring>>);
+
+impl Default for RingSink {
+    fn default() -> Self {
+        RingSink::new(RING_DEFAULT_CAPACITY)
+    }
+}
+
+impl RingSink {
+    /// A ring retaining at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink(Arc::new(Mutex::new(Ring {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        })))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn push(&self, line: &str) {
+        let mut ring = self.lock();
+        if ring.buf.len() == ring.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(line.to_string());
+    }
+
+    /// The retained records, oldest first, one JSONL line each
+    /// (trailing newline after every record — the same bytes a file
+    /// sink would hold, minus anything evicted).
     pub fn contents(&self) -> String {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner).clone()
+        let ring = self.lock();
+        let mut s = String::new();
+        for line in &ring.buf {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<String> {
+        self.lock().buf.iter().cloned().collect()
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.lock().buf.is_empty()
+    }
+
+    /// Maximum records retained.
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Records evicted so far to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
     }
 }
 
@@ -39,7 +118,7 @@ impl MemorySink {
 pub(crate) enum Out {
     Stderr,
     File(std::io::BufWriter<std::fs::File>),
-    Memory(MemorySink),
+    Ring(RingSink),
 }
 
 impl Out {
@@ -47,7 +126,7 @@ impl Out {
     pub(crate) fn open(target: SinkTarget) -> Result<Out, String> {
         match target {
             SinkTarget::Stderr => Ok(Out::Stderr),
-            SinkTarget::Memory(m) => Ok(Out::Memory(m)),
+            SinkTarget::Ring(r) => Ok(Out::Ring(r)),
             SinkTarget::File(path) => {
                 let file = std::fs::File::create(&path)
                     .map_err(|e| format!("{}: {e}", path.display()))?;
@@ -63,18 +142,50 @@ impl Out {
             Out::File(w) => {
                 let _ = writeln!(w, "{line}");
             }
-            Out::Memory(m) => {
-                let mut buf = m.0.lock().unwrap_or_else(PoisonError::into_inner);
-                buf.push_str(line);
-                buf.push('\n');
-            }
+            Out::Ring(r) => r.push(line),
         }
     }
 
-    /// Flushes buffered sinks (a no-op for stderr/memory).
+    /// Flushes buffered sinks (a no-op for stderr/ring).
     pub(crate) fn flush(&mut self) {
         if let Out::File(w) = self {
             let _ = w.flush();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.push(&format!("r{i}"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.records(), vec!["r2", "r3", "r4"]);
+        assert_eq!(ring.contents(), "r2\nr3\nr4\n");
+    }
+
+    #[test]
+    fn ring_default_capacity_and_empty_state() {
+        let ring = RingSink::default();
+        assert_eq!(ring.capacity(), RING_DEFAULT_CAPACITY);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.contents(), "");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = RingSink::new(0);
+        ring.push("a");
+        ring.push("b");
+        assert_eq!(ring.records(), vec!["b"]);
+        assert_eq!(ring.dropped(), 1);
     }
 }

@@ -3,7 +3,11 @@
 # (leveled, filterable, JSONL-safe), not ad-hoc stderr writes.
 #
 # Allowlisted:
-#   crates/cli            — user-facing stderr is the CLI's job
+#   crates/cli/src/main.rs, commands.rs — user-facing stderr is the
+#                         CLI front end's job; the rest of the cli
+#                         crate (serve.rs included: the server speaks
+#                         telemetry events, never raw stderr) is
+#                         scanned like library code
 #   crates/bench/src/bin  — standalone experiment binaries
 #   crates/telemetry/src/sink.rs — the stderr sink itself (the rest
 #                         of the telemetry crate, lib.rs included, is
@@ -12,7 +16,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 violations=$(grep -rn 'eprintln!' crates/*/src --include='*.rs' \
-  | grep -v '^crates/cli/' \
+  | grep -v '^crates/cli/src/main\.rs:' \
+  | grep -v '^crates/cli/src/commands\.rs:' \
   | grep -v '^crates/bench/src/bin/' \
   | grep -v '^crates/telemetry/src/sink.rs:' \
   || true)
