@@ -21,7 +21,7 @@ use std::fmt;
 use std::time::Instant;
 
 use qbss_core::pipeline::Algorithm;
-use qbss_instances::gen::GenConfig;
+use qbss_instances::gen::{Compressibility, GenConfig, QueryModel, TimeModel};
 use qbss_telemetry::{json_escape, json_f64, json_parse, JsonValue};
 
 use crate::engine::{run_sweep, EngineError, InstanceSource, SweepSpec};
@@ -107,6 +107,30 @@ fn multi_machine() -> SweepSpec {
     }
 }
 
+/// The exact sweep shape `qbss loadgen` POSTs to `/sweep` (count 3,
+/// avrq+bkpq, α ∈ {2, 3}), so the serve plane's per-request work has a
+/// pinned offline twin the perf gate can hold: if this cell gets
+/// slower, serve-mode p99 moves with it.
+fn serve_sweep() -> SweepSpec {
+    SweepSpec {
+        source: InstanceSource::Generated {
+            base: GenConfig {
+                n: 8,
+                seed: 0,
+                time: TimeModel::from_name("common", 8).expect("known family"),
+                min_w: 0.5,
+                max_w: 4.0,
+                query: QueryModel::UniformFraction { lo: 0.1, hi: 0.6 },
+                compress: Compressibility::Uniform,
+            },
+            seeds: 0..3,
+        },
+        algorithms: vec![Algorithm::Avrq, Algorithm::Bkpq],
+        alphas: vec![2.0, 3.0],
+        opt_fw_iters: 8,
+    }
+}
+
 /// Every named scenario, in canonical order.
 pub fn scenarios() -> Vec<Scenario> {
     vec![
@@ -129,6 +153,11 @@ pub fn scenarios() -> Vec<Scenario> {
             name: "multi-machine",
             description: "3 multi-machine configurations (m=3) × 8 online instances (n=16)",
             build: multi_machine,
+        },
+        Scenario {
+            name: "serve-sweep",
+            description: "the loadgen /sweep payload: avrq+bkpq × 2 α × 3 instances (n=8)",
+            build: serve_sweep,
         },
     ]
 }

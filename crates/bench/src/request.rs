@@ -53,6 +53,9 @@ pub struct SweepRequest {
     pub shards: usize,
 }
 
+/// The admission cost of one `/evaluate` request: a single cell.
+pub const EVALUATE_COST: u64 = 1;
+
 const KNOWN_KEYS: &[&str] = &[
     "count", "n", "seed", "family", "compress", "alg", "alpha", "m", "fw_iters", "shards",
     "opt_fw_iters",
@@ -200,6 +203,14 @@ impl SweepRequest {
         spec.validate().map_err(|e| spec_err(e.to_string()))?;
         Ok(SweepRequest { spec, shards })
     }
+
+    /// The admission cost of this request in cells — `instances ×
+    /// algorithms × alphas`, the exact unit of work the engine will
+    /// run. Known from the parsed spec *before* any cell executes, so
+    /// the serve plane can shed over-budget sweeps up front.
+    pub fn cost(&self) -> u64 {
+        self.spec.n_cells() as u64
+    }
 }
 
 #[cfg(test)]
@@ -285,5 +296,20 @@ mod tests {
     fn shards_pass_through() {
         let req = SweepRequest::from_json(r#"{"shards": 4, "count": 2, "n": 4}"#).expect("valid");
         assert_eq!(req.shards, 4);
+    }
+
+    #[test]
+    fn cost_is_the_engine_cell_count() {
+        // 4 instances × 2 algorithms × 2 alphas = 16 cells.
+        let req = SweepRequest::from_json(
+            r#"{"count": 4, "n": 6, "alg": "avrq,bkpq", "alpha": [2, 3]}"#,
+        )
+        .expect("valid");
+        assert_eq!(req.cost(), 16);
+        assert_eq!(req.cost(), req.spec.n_cells() as u64);
+        // The default sweep: 100 instances × |all| algorithms × 1 α.
+        let req = SweepRequest::from_json("{}").expect("defaults");
+        let n_algs = Algorithm::all(DEFAULT_MACHINES, DEFAULT_FW_ITERS).len() as u64;
+        assert_eq!(req.cost(), 100 * n_algs);
     }
 }

@@ -49,7 +49,12 @@ USAGE:
                 [--shards S] [--opt-fw-iters I] [--format json|csv] [--out FILE]
                 [--audit] [--trace FILE]
   qbss serve    [--addr HOST:PORT] [--workers N] [--ring-capacity N]
-                [--slow-ms MS]
+                [--slow-ms MS] [--budget CELLS] [--request-timeout-ms MS]
+                [--io-timeout-ms MS] [--accept-tick-ms MS]
+  qbss loadgen  [--addr HOST:PORT | --spawn] [--rps R] [--duration-s S]
+                [--seed S] [--mix evaluate|sweep|mixed] [--adversarial]
+                [--connections N] [--n N] [--budget CELLS]
+                [--request-timeout-ms MS] [--out FILE] [--plan-only]
   qbss bounds   [--alpha A]
   qbss rho
   qbss trace    summarize FILE [--top K] [--format text|json]
@@ -778,7 +783,19 @@ pub fn sweep(args: &[String]) -> Result<(), CliError> {
 /// competes with stderr), binds, and hands the listener to the server
 /// loop. A clean SIGTERM/ctrl-c drain returns `Ok` — exit 0.
 pub fn serve_cmd(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["addr", "workers", "ring-capacity", "slow-ms"])?;
+    let flags = Flags::parse(
+        args,
+        &[
+            "addr",
+            "workers",
+            "ring-capacity",
+            "slow-ms",
+            "budget",
+            "request-timeout-ms",
+            "io-timeout-ms",
+            "accept-tick-ms",
+        ],
+    )?;
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
     let workers = flags.usize("workers", 4)?;
     if workers == 0 {
@@ -786,6 +803,17 @@ pub fn serve_cmd(args: &[String]) -> Result<(), CliError> {
     }
     let ring_capacity = flags.usize("ring-capacity", qbss_telemetry::RING_DEFAULT_CAPACITY)?;
     let slow_ms = flags.u64("slow-ms", 1_000)?;
+    // Overload knobs: the admission budget in sweep cells (0 = no
+    // admission control), the per-request wall-clock deadline, the
+    // socket inactivity timeout, and the accept-loop tick.
+    let budget = flags.u64("budget", crate::serve::DEFAULT_BUDGET)?;
+    let request_timeout_ms =
+        flags.u64("request-timeout-ms", crate::serve::DEFAULT_REQUEST_TIMEOUT_MS)?;
+    let io_timeout_ms = flags.u64("io-timeout-ms", crate::serve::DEFAULT_IO_TIMEOUT_MS)?;
+    let accept_tick_ms = flags.u64("accept-tick-ms", crate::serve::DEFAULT_ACCEPT_TICK_MS)?;
+    if request_timeout_ms == 0 || io_timeout_ms == 0 || accept_tick_ms == 0 {
+        return Err(input("--request-timeout-ms/--io-timeout-ms/--accept-tick-ms: must be >= 1"));
+    }
 
     // Serve mode always records into a bounded ring: spans on (they
     // back `/tracez`), events per QBSS_LOG (default `info`).
@@ -814,8 +842,121 @@ pub fn serve_cmd(args: &[String]) -> Result<(), CliError> {
     // The ring owns the telemetry stream, so stderr is free for the one
     // human-facing line scripts and the smoke test key on.
     eprintln!("qbss serve: listening on {local} ({workers} workers)");
-    crate::serve::run(listener, crate::serve::ServeConfig { workers, slow_ms, ring })
-        .map_err(CliError::Io)
+    crate::serve::run(
+        listener,
+        crate::serve::ServeConfig {
+            workers,
+            slow_ms,
+            ring,
+            budget,
+            request_timeout_ms,
+            io_timeout_ms,
+            accept_tick_ms,
+        },
+    )
+    .map_err(CliError::Io)
+}
+
+/// `qbss loadgen` — the seeded open-loop load generator (see
+/// `crate::loadgen`). Builds a deterministic request schedule from the
+/// seed, fires it over real TCP against `--addr` (or an in-process
+/// server with `--spawn`), and prints the canonical JSON report to
+/// stdout (`--out FILE` also writes it to a file). `--plan-only`
+/// prints the wall-clock-free schedule summary instead of running —
+/// the determinism tests diff that output byte for byte.
+pub fn loadgen(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse_with_switches(
+        args,
+        &[
+            "addr",
+            "spawn",
+            "rps",
+            "duration-s",
+            "seed",
+            "mix",
+            "adversarial",
+            "connections",
+            "n",
+            "budget",
+            "request-timeout-ms",
+            "out",
+            "plan-only",
+        ],
+        &["spawn", "adversarial", "plan-only"],
+    )?;
+    let mix_name = flags.get("mix").unwrap_or("mixed");
+    let mix = crate::loadgen::Mix::from_name(mix_name)
+        .ok_or_else(|| input(format!("--mix: unknown mix `{mix_name}` (evaluate|sweep|mixed)")))?;
+    let cfg = crate::loadgen::LoadgenConfig {
+        rps: flags.f64("rps", 50.0)?,
+        duration_s: flags.f64("duration-s", 2.0)?,
+        seed: flags.u64("seed", 0)?,
+        mix,
+        adversarial: flags.switch("adversarial")?,
+        connections: flags.usize("connections", 4)?,
+        n: flags.usize("n", 8)?,
+    };
+    if cfg.connections == 0 {
+        return Err(input("--connections: need at least 1 sender"));
+    }
+    let schedule = crate::loadgen::build_schedule(&cfg).map_err(input)?;
+    if flags.switch("plan-only")? {
+        println!("{}", crate::loadgen::plan_json(&cfg, &schedule));
+        return Ok(());
+    }
+
+    let budget = flags.u64("budget", crate::serve::DEFAULT_BUDGET)?;
+    let request_timeout_ms =
+        flags.u64("request-timeout-ms", crate::serve::DEFAULT_REQUEST_TIMEOUT_MS)?;
+    let spawn = flags.switch("spawn")?;
+    let external = flags.get("addr").map(String::from);
+    if spawn && external.is_some() {
+        return Err(input("--spawn and --addr are mutually exclusive"));
+    }
+    if !spawn && external.is_none() {
+        return Err(input("need a target: --addr HOST:PORT or --spawn"));
+    }
+    if !spawn && flags.get("budget").is_some() {
+        warn_user("--budget only shapes a --spawn server; the external server keeps its own");
+    }
+    flags.emit_notes();
+
+    // The sender's socket timeout must outlast the server's own request
+    // deadline, so a slow-but-alive response is recorded, not dropped.
+    let io_timeout = std::time::Duration::from_millis(request_timeout_ms.saturating_add(2_000));
+    let spawned = if spawn {
+        Some(crate::loadgen::SpawnedServer::start(budget, request_timeout_ms)
+            .map_err(CliError::Io)?)
+    } else {
+        None
+    };
+    let addr = spawned
+        .as_ref()
+        .map(|s| s.addr().to_string())
+        .or(external)
+        .expect("checked above");
+    eprintln!(
+        "qbss loadgen: {} requests over {}s at {} rps -> {addr}",
+        schedule.len(),
+        cfg.duration_s,
+        cfg.rps
+    );
+    let outcome = crate::loadgen::run_schedule(&addr, &cfg, &schedule, io_timeout);
+    if let Some(server) = spawned {
+        server.stop().map_err(CliError::Io)?;
+    }
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, format!("{}\n", outcome.report))
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+    }
+    println!("{}", outcome.report);
+    if outcome.sent > 0 && outcome.completed == 0 {
+        return Err(CliError::Io(format!(
+            "none of the {} requests got a response — is {addr} a qbss server?",
+            outcome.sent
+        )));
+    }
+    Ok(())
 }
 
 const TRACE_USAGE: &str = "usage: qbss trace summarize FILE [--top K] [--format text|json]\n       \

@@ -11,7 +11,11 @@
 //!   the sharded batch engine and print deterministic aggregates;
 //! * `qbss serve` — a long-lived std-only HTTP server: Prometheus
 //!   `/metrics`, health probes, a `/tracez` span ring, and
-//!   `POST /evaluate` / `POST /sweep` evaluation endpoints;
+//!   `POST /evaluate` / `POST /sweep` evaluation endpoints, with
+//!   cost-budgeted admission control and request deadlines;
+//! * `qbss loadgen` — a seeded open-loop load generator (Poisson
+//!   arrivals, optional adversarial burst trains) that drives a qbss
+//!   server over real TCP and emits a canonical JSON report;
 //! * `qbss bounds` — print the paper's Table 1 at a given α;
 //! * `qbss rho` — print the §4.2 ρ-comparison table;
 //! * `qbss trace summarize` — digest a `--trace` JSONL file into a
@@ -44,6 +48,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod commands;
+mod loadgen;
 mod serve;
 
 use std::process::ExitCode;
@@ -62,6 +67,7 @@ fn main() -> ExitCode {
         "compare" => commands::compare(rest),
         "sweep" => commands::sweep(rest),
         "serve" => commands::serve_cmd(rest),
+        "loadgen" => commands::loadgen(rest),
         "bounds" => commands::bounds(rest),
         "rho" => commands::rho(rest),
         "trace" => commands::trace(rest),

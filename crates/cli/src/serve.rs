@@ -1,5 +1,5 @@
 //! `qbss serve` — a zero-dependency HTTP/1.1 observability and
-//! evaluation plane over `std::net`.
+//! evaluation plane over `std::net`, hardened against overload.
 //!
 //! The first long-lived process in the workspace: a hand-rolled server
 //! with a bounded accept queue feeding a fixed scoped-thread worker
@@ -10,30 +10,54 @@
 //! | endpoint | contract |
 //! |----------|----------|
 //! | `GET /metrics` | process registry in Prometheus text exposition format; read-only, byte-stable across scrapes of an idle registry |
-//! | `GET /healthz` | liveness: uptime, in-flight, served counts |
+//! | `GET /healthz` | liveness: uptime, in-flight, served, queue depth, shed totals, admission budget |
 //! | `GET /readyz` | readiness: `200` while accepting, `503` once draining |
 //! | `GET /tracez` | most recent spans/events from the ring sink as HTML (`?format=jsonl` for the raw records) |
 //! | `POST /evaluate` | instance JSON in, evaluated outcome out (`?alg=`, `?alpha=`, `?m=`) |
 //! | `POST /sweep` | sweep-spec JSON in, deterministic aggregate out |
 //!
-//! **Probe endpoints never touch the metrics registry** — only the
-//! work endpoints (`/evaluate`, `/sweep`) bump `serve.requests` and the
-//! `serve.request.dur_us` histogram, so two consecutive `/metrics`
-//! scrapes of an otherwise idle server are byte-identical. Probe
-//! traffic is tracked in plain process stats surfaced by `/healthz`.
+//! **Admission control.** Work requests carry an estimated cost — `1`
+//! for `/evaluate` (one cell), `instances × algorithms × alphas` for
+//! `/sweep` (the engine's cell count, computed from the parsed spec
+//! before any work runs). A token-style budget ([`Admission`]) bounds
+//! the total cost in flight: over budget, the request is *shed* with a
+//! typed `429` carrying `Retry-After`, counted in `serve.shed`, and
+//! surfaced by `/healthz` and `/metrics`. A lone oversized request on
+//! an idle server is always admitted so a big sweep can never starve
+//! forever — the budget bounds *concurrent* cost, exactly the paper's
+//! mindset of committing to a budget before the adversary reveals the
+//! load.
 //!
-//! Every request runs under a `serve.request` span carrying a
-//! process-unique request id; requests slower than the configured
-//! threshold additionally raise a `warn!` on `serve.slow`. Malformed
-//! requests map the typed error taxonomy onto status codes — syntax
-//! errors (bad HTTP, bad JSON) are `400`, well-formed input the model
-//! or algorithms reject is `422`, handler panics are caught and
-//! answered `500` — the process never dies on bad input.
+//! **Deadlines.** Every socket carries read/write timeouts
+//! (`--io-timeout-ms`); every request a wall-clock deadline
+//! (`--request-timeout-ms`). A client trickling headers or body
+//! (slowloris) is evicted with a typed `408` the moment either the
+//! inactivity timeout or the deadline fires — a slow client can park a
+//! worker for at most the request timeout. Connections that age out in
+//! the accept queue are reaped with a typed `503` (by the accept loop's
+//! tick and again at pop), and a handler that overruns the deadline has
+//! its response converted to a typed `503` so callers never consume
+//! stale results.
+//!
+//! **Probe endpoints never touch the metrics registry** — only the
+//! work endpoints (`/evaluate`, `/sweep`) bump `serve.requests`, the
+//! `serve.request.dur_us` histogram, and the shed/queue series, so two
+//! consecutive `/metrics` scrapes of an otherwise idle server are
+//! byte-identical. Probe traffic is tracked in plain process stats
+//! surfaced by `/healthz`.
+//!
+//! Malformed requests map the typed error taxonomy onto status codes —
+//! syntax errors (bad HTTP, bad JSON) are `400`, a POST without a
+//! `Content-Length` is `411`, a body over the cap is `413` (rejected
+//! before the body is read), well-formed input the model or algorithms
+//! reject is `422`, handler panics are caught and answered `500` — the
+//! process never dies on bad input.
 //!
 //! Shutdown: SIGTERM or ctrl-c flips one atomic flag; the accept loop
-//! stops taking connections, queued and in-flight requests drain, sinks
-//! flush, and the process exits 0 (the exit-code contract treats a
-//! signalled drain as success).
+//! **closes the listener first** (no connection can slip in during the
+//! drain window), then marks the server draining, queued and in-flight
+//! requests drain, sinks flush, and the process exits 0 (the exit-code
+//! contract treats a signalled drain as success).
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -44,23 +68,34 @@ use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use qbss_bench::engine::run_sweep;
-use qbss_bench::request::{RequestError, SweepRequest};
+use qbss_bench::request::{RequestError, SweepRequest, EVALUATE_COST};
 use qbss_core::pipeline::{run_for_request, Algorithm};
 use qbss_instances::io::{self, IoError};
 use qbss_telemetry::{expo, json_escape, json_f64, trace, RingSink, DURATION_US_BOUNDS};
 
 /// Largest accepted request body (instances and sweep specs are small;
-/// anything bigger is a client error, answered `413`).
+/// anything bigger is a client error, answered `413` before the body
+/// is read).
 const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 /// Largest accepted header block.
 const MAX_HEADER_BYTES: usize = 64 * 1024;
-/// Accept-loop poll tick while waiting for connections or shutdown.
-const POLL_TICK: Duration = Duration::from_millis(25);
 
 /// Set by the signal handler; checked by the accept loop each tick.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 /// Process-unique request ids (`r-1`, `r-2`, …).
 static REQUEST_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Requests a drain exactly like SIGTERM would (used by the in-process
+/// server `qbss loadgen --spawn` drives).
+pub(crate) fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears a previous drain request so an in-process server can start
+/// fresh (the flag is process-global).
+pub(crate) fn reset_shutdown() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
 
 /// Serve-mode configuration, parsed from flags by `commands::serve`.
 pub struct ServeConfig {
@@ -71,7 +106,44 @@ pub struct ServeConfig {
     /// The ring sink backing `/tracez` (also the process telemetry
     /// sink, installed by the caller).
     pub ring: RingSink,
+    /// Admission budget in cost units (cells) concurrently in flight;
+    /// `0` disables admission control.
+    pub budget: u64,
+    /// Per-request wall-clock deadline: header/body reads abort, queue
+    /// entries are reaped, and handler overruns answer `503` past it.
+    pub request_timeout_ms: u64,
+    /// Socket-level read/write inactivity timeout (slowloris eviction).
+    pub io_timeout_ms: u64,
+    /// Accept-loop poll tick (also the queue-reaping cadence).
+    pub accept_tick_ms: u64,
 }
+
+impl ServeConfig {
+    /// The defaults `qbss serve` runs with when no flags are given.
+    pub fn new(ring: RingSink) -> Self {
+        ServeConfig {
+            workers: 4,
+            slow_ms: 1_000,
+            ring,
+            budget: DEFAULT_BUDGET,
+            request_timeout_ms: DEFAULT_REQUEST_TIMEOUT_MS,
+            io_timeout_ms: DEFAULT_IO_TIMEOUT_MS,
+            accept_tick_ms: DEFAULT_ACCEPT_TICK_MS,
+        }
+    }
+}
+
+/// Default admission budget: generous enough for the full default
+/// sweep (`{}` → 100 instances × 9 configurations × 1 α = 900 cells)
+/// with headroom for concurrent evaluates.
+pub const DEFAULT_BUDGET: u64 = 10_000;
+/// Default per-request wall-clock deadline (deliberately generous: a
+/// full-grid sweep is tens of milliseconds).
+pub const DEFAULT_REQUEST_TIMEOUT_MS: u64 = 30_000;
+/// Default socket inactivity timeout.
+pub const DEFAULT_IO_TIMEOUT_MS: u64 = 10_000;
+/// Default accept-loop tick.
+pub const DEFAULT_ACCEPT_TICK_MS: u64 = 25;
 
 // ---------------------------------------------------------------------
 // Signals
@@ -102,6 +174,115 @@ fn install_signal_handlers() {
 }
 
 // ---------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------
+
+/// One request's time budget: an absolute wall-clock deadline plus the
+/// socket inactivity timeout. Each blocking read runs under
+/// `min(io_timeout, time left)`, so a slow client is evicted by
+/// whichever fires first and can never hold a worker past the deadline.
+#[derive(Clone, Copy)]
+struct Deadline {
+    at: Instant,
+    io_timeout: Duration,
+}
+
+impl Deadline {
+    fn new(request_timeout: Duration, io_timeout: Duration) -> Self {
+        Deadline { at: Instant::now() + request_timeout, io_timeout }
+    }
+
+    fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Timeout for the next blocking read: `None` once the deadline has
+    /// passed (abort instead of reading).
+    fn read_slice(&self) -> Option<Duration> {
+        let left = self.at.checked_duration_since(Instant::now())?;
+        if left.is_zero() {
+            return None;
+        }
+        Some(left.min(self.io_timeout))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+/// A token-style cost budget bounding the work concurrently in flight.
+///
+/// `try_admit(cost)` succeeds when the new total fits the budget — or
+/// unconditionally when nothing is in flight, so one request costlier
+/// than the whole budget still makes progress on an idle server
+/// (admission bounds *concurrency*, it is not a hard per-request cap).
+/// The returned [`Permit`] releases the cost on drop, panic-safe via
+/// RAII: a panicking handler cannot leak budget.
+struct Admission {
+    /// Capacity in cost units; `0` = unlimited.
+    budget: u64,
+    in_flight_cost: AtomicU64,
+    shed: AtomicU64,
+    reaped: AtomicU64,
+}
+
+impl Admission {
+    fn new(budget: u64) -> Self {
+        Admission {
+            budget,
+            in_flight_cost: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+        }
+    }
+
+    fn try_admit(&self, cost: u64) -> Option<Permit<'_>> {
+        if self.budget == 0 {
+            return Some(Permit { admission: self, cost: 0 });
+        }
+        let mut cur = self.in_flight_cost.load(Ordering::Relaxed);
+        loop {
+            if cur != 0 && cur.saturating_add(cost) > self.budget {
+                return None;
+            }
+            match self.in_flight_cost.compare_exchange_weak(
+                cur,
+                cur.saturating_add(cost),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit { admission: self, cost }),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn in_flight_cost(&self) -> u64 {
+        self.in_flight_cost.load(Ordering::Relaxed)
+    }
+
+    /// The `Retry-After` hint for a shed response: one second is a
+    /// sensible floor given cells run in microseconds — by then the
+    /// budget has almost certainly turned over.
+    fn retry_after_s(&self) -> u64 {
+        1
+    }
+}
+
+/// RAII admission token; releases its cost on drop.
+struct Permit<'a> {
+    admission: &'a Admission,
+    cost: u64,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.admission.in_flight_cost.fetch_sub(self.cost, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Server stats (deliberately *not* registry metrics: probe endpoints
 // must leave /metrics byte-stable)
 // ---------------------------------------------------------------------
@@ -128,6 +309,13 @@ impl ServerStats {
 // Bounded connection queue
 // ---------------------------------------------------------------------
 
+/// A queued connection stamped with its accept time, so stale entries
+/// can be reaped instead of served long after the client gave up.
+struct QueueItem {
+    stream: TcpStream,
+    queued_at: Instant,
+}
+
 struct Queue {
     inner: Mutex<QueueState>,
     ready: Condvar,
@@ -135,7 +323,7 @@ struct Queue {
 }
 
 struct QueueState {
-    items: VecDeque<TcpStream>,
+    items: VecDeque<QueueItem>,
     closed: bool,
 }
 
@@ -159,7 +347,7 @@ impl Queue {
         if state.items.len() >= self.capacity {
             return Err(stream);
         }
-        state.items.push_back(stream);
+        state.items.push_back(QueueItem { stream, queued_at: Instant::now() });
         drop(state);
         self.ready.notify_one();
         Ok(())
@@ -167,17 +355,38 @@ impl Queue {
 
     /// Blocks for the next connection; `None` once closed **and**
     /// drained, so workers finish everything accepted before shutdown.
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<QueueItem> {
         let mut state = self.lock();
         loop {
-            if let Some(stream) = state.items.pop_front() {
-                return Some(stream);
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
             }
             if state.closed {
                 return None;
             }
             state = self.ready.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Removes every entry older than `max_age` (front-of-queue first —
+    /// the queue is FIFO, so age decreases back-to-front) and returns
+    /// the reaped connections for a `503` answer.
+    fn reap(&self, max_age: Duration) -> Vec<TcpStream> {
+        let mut state = self.lock();
+        let mut reaped = Vec::new();
+        while let Some(front) = state.items.front() {
+            if front.queued_at.elapsed() <= max_age {
+                break;
+            }
+            if let Some(item) = state.items.pop_front() {
+                reaped.push(item.stream);
+            }
+        }
+        reaped
+    }
+
+    fn depth(&self) -> usize {
+        self.lock().items.len()
     }
 
     fn close(&self) {
@@ -197,15 +406,18 @@ struct HttpRequest {
     body: Vec<u8>,
 }
 
+#[derive(Debug)]
 struct Response {
     status: u16,
     content_type: &'static str,
     body: String,
+    /// Extra header lines (`Retry-After: 1`), CRLF-joined by the writer.
+    extra_headers: Vec<String>,
 }
 
 impl Response {
     fn json(status: u16, body: String) -> Response {
-        Response { status, content_type: "application/json", body }
+        Response { status, content_type: "application/json", body, extra_headers: Vec::new() }
     }
 
     fn error(status: u16, kind: &str, message: &str) -> Response {
@@ -218,6 +430,13 @@ impl Response {
             ),
         )
     }
+
+    /// The typed load-shed rejection: `429` with a `Retry-After` hint.
+    fn shed(retry_after_s: u64, message: &str) -> Response {
+        let mut resp = Response::error(429, "overloaded", message);
+        resp.extra_headers.push(format!("Retry-After: {retry_after_s}"));
+        resp
+    }
 }
 
 fn status_reason(status: u16) -> &'static str {
@@ -226,8 +445,11 @@ fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -235,42 +457,37 @@ fn status_reason(status: u16) -> &'static str {
 }
 
 fn write_response(stream: &mut TcpStream, resp: &Response) {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         resp.status,
         status_reason(resp.status),
         resp.content_type,
         resp.body.len()
     );
+    for line in &resp.extra_headers {
+        head.push_str(line);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     // A peer that hung up mid-response is its own problem; the worker
-    // moves on either way.
+    // moves on either way (the write timeout bounds a stalled peer).
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(resp.body.as_bytes());
     let _ = stream.flush();
 }
 
-/// Reads and parses one request. `Err` carries the ready-to-send
-/// rejection (`400`/`413`).
-fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, Response> {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEADER_BYTES {
-            return Err(Response::error(400, "bad_request", "header block too large"));
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err(Response::error(400, "bad_request", "truncated request")),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) => {
-                return Err(Response::error(400, "bad_request", &format!("read failed: {e}")))
-            }
-        }
-    };
-    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+/// The parsed request head: everything the body-read contract needs.
+#[derive(Debug)]
+struct Head {
+    method: String,
+    target: String,
+    /// `Content-Length` when present and well-formed.
+    content_length: Option<usize>,
+}
+
+/// Parses the header block (request line + headers). `Err` carries the
+/// ready-to-send `400`.
+fn parse_head(head: &str) -> Result<Head, Response> {
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_ascii_whitespace();
@@ -281,36 +498,103 @@ fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, Response> {
     if !version.starts_with("HTTP/1.") {
         return Err(Response::error(400, "bad_request", "unsupported HTTP version"));
     }
-    let mut content_length: usize = 0;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| Response::error(400, "bad_request", "bad Content-Length"))?;
+                content_length = Some(value.trim().parse().map_err(|_| {
+                    Response::error(400, "bad_request", "malformed Content-Length")
+                })?);
             }
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(Response::error(413, "payload_too_large", "request body too large"));
+    Ok(Head {
+        method: method.to_string(),
+        target: target.to_string(),
+        content_length,
+    })
+}
+
+/// The body contract, decided **before any body byte is read**: a POST
+/// must declare its length (`411`), a declared length over the cap is
+/// `413` (typed, distinct from the `400` syntax class), and bodyless
+/// methods read zero bytes.
+fn body_contract(method: &str, content_length: Option<usize>) -> Result<usize, Response> {
+    match content_length {
+        Some(n) if n > MAX_BODY_BYTES => Err(Response::error(
+            413,
+            "payload_too_large",
+            &format!("request body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte cap"),
+        )),
+        Some(n) => Ok(n),
+        None if method == "POST" => Err(Response::error(
+            411,
+            "length_required",
+            "POST requests must carry a Content-Length header",
+        )),
+        None => Ok(0),
     }
+}
+
+/// Whether a socket read error is an inactivity timeout (both spellings
+/// appear across platforms for `SO_RCVTIMEO`).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+fn timeout_response(what: &str) -> Response {
+    Response::error(408, "timeout", &format!("client exceeded the {what} deadline"))
+}
+
+/// Reads and parses one request under `deadline`. `Err` carries the
+/// ready-to-send rejection (`400`/`408`/`411`/`413`).
+fn read_request(stream: &mut TcpStream, deadline: &Deadline) -> Result<HttpRequest, Response> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(Response::error(400, "bad_request", "header block too large"));
+        }
+        let Some(slice) = deadline.read_slice() else {
+            return Err(timeout_response("header read"));
+        };
+        let _ = stream.set_read_timeout(Some(slice));
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(Response::error(400, "bad_request", "truncated request")),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(timeout_response("header read")),
+            Err(e) => {
+                return Err(Response::error(400, "bad_request", &format!("read failed: {e}")))
+            }
+        }
+    };
+    let head_text = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let head = parse_head(&head_text)?;
+    let content_length = body_contract(&head.method, head.content_length)?;
     let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
     while body.len() < content_length {
+        let Some(slice) = deadline.read_slice() else {
+            return Err(timeout_response("body read"));
+        };
+        let _ = stream.set_read_timeout(Some(slice));
         match stream.read(&mut chunk) {
             Ok(0) => return Err(Response::error(400, "bad_request", "truncated body")),
             Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(timeout_response("body read")),
             Err(e) => {
                 return Err(Response::error(400, "bad_request", &format!("read failed: {e}")))
             }
         }
     }
     body.truncate(content_length);
-    let (path, query) = match target.split_once('?') {
+    let (path, query) = match head.target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (target.to_string(), String::new()),
+        None => (head.target.clone(), String::new()),
     };
-    Ok(HttpRequest { method: method.to_string(), path, query, body })
+    Ok(HttpRequest { method: head.method, path, query, body })
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -337,12 +621,13 @@ fn index() -> Response {
         content_type: "text/plain; charset=utf-8",
         body: "qbss serve\n\n\
                GET  /metrics    Prometheus text exposition of the process registry\n\
-               GET  /healthz    liveness (uptime, in-flight, served)\n\
+               GET  /healthz    liveness (uptime, in-flight, served, queue, shed, budget)\n\
                GET  /readyz     readiness (503 once draining)\n\
                GET  /tracez     recent spans/events as HTML (?format=jsonl for raw)\n\
                POST /evaluate   instance JSON -> evaluated outcome (?alg=&alpha=&m=)\n\
                POST /sweep      sweep spec JSON -> deterministic aggregate\n"
             .to_string(),
+        extra_headers: Vec::new(),
     }
 }
 
@@ -351,26 +636,35 @@ fn metrics_endpoint() -> Response {
         status: 200,
         content_type: "text/plain; version=0.0.4; charset=utf-8",
         body: expo::render_prometheus(qbss_telemetry::metrics()),
+        extra_headers: Vec::new(),
     }
 }
 
-fn health_body(stats: &ServerStats) -> String {
+fn health_body(ctx: &ServerCtx<'_>) -> String {
+    let stats = ctx.stats;
     format!(
-        "{{\"status\": \"{}\", \"uptime_s\": {}, \"in_flight\": {}, \"served\": {}}}",
+        "{{\"status\": \"{}\", \"uptime_s\": {}, \"in_flight\": {}, \"served\": {}, \
+         \"queue_depth\": {}, \"shed\": {}, \"reaped\": {}, \
+         \"budget\": {{\"capacity\": {}, \"in_flight_cost\": {}}}}}",
         if stats.draining.load(Ordering::Relaxed) { "draining" } else { "ok" },
         json_f64(stats.started.elapsed().as_secs_f64()),
         stats.in_flight.load(Ordering::Relaxed),
-        stats.served.load(Ordering::Relaxed)
+        stats.served.load(Ordering::Relaxed),
+        ctx.queue.depth(),
+        ctx.admission.shed.load(Ordering::Relaxed),
+        ctx.admission.reaped.load(Ordering::Relaxed),
+        ctx.admission.budget,
+        ctx.admission.in_flight_cost(),
     )
 }
 
-fn healthz(stats: &ServerStats) -> Response {
-    Response::json(200, health_body(stats))
+fn healthz(ctx: &ServerCtx<'_>) -> Response {
+    Response::json(200, health_body(ctx))
 }
 
-fn readyz(stats: &ServerStats) -> Response {
-    let status = if stats.draining.load(Ordering::Relaxed) { 503 } else { 200 };
-    Response::json(status, health_body(stats))
+fn readyz(ctx: &ServerCtx<'_>) -> Response {
+    let status = if ctx.stats.draining.load(Ordering::Relaxed) { 503 } else { 200 };
+    Response::json(status, health_body(ctx))
 }
 
 fn tracez(query: &str, ring: &RingSink) -> Response {
@@ -380,6 +674,7 @@ fn tracez(query: &str, ring: &RingSink) -> Response {
             status: 200,
             content_type: "application/x-ndjson",
             body: contents,
+            extra_headers: Vec::new(),
         };
     }
     match trace::parse_trace(&contents) {
@@ -387,12 +682,13 @@ fn tracez(query: &str, ring: &RingSink) -> Response {
             status: 200,
             content_type: "text/html; charset=utf-8",
             body: trace::render_html(&records),
+            extra_headers: Vec::new(),
         },
         Err(e) => Response::error(500, "internal", &format!("ring holds an invalid record: {e}")),
     }
 }
 
-fn evaluate(req: &HttpRequest, request_id: &str) -> Response {
+fn evaluate(req: &HttpRequest, request_id: &str, ctx: &ServerCtx<'_>) -> Response {
     let alg_name = query_get(&req.query, "alg").unwrap_or("avrq");
     let alg: Algorithm = match alg_name.parse() {
         Ok(a) => a,
@@ -426,6 +722,11 @@ fn evaluate(req: &HttpRequest, request_id: &str) -> Response {
         }
         Err(e) => return Response::error(400, "syntax", &e.to_string()),
     };
+    // One instance, one cell: O(1) admission cost regardless of body
+    // size (the size caps bound the parse itself).
+    let Some(_permit) = ctx.admission.try_admit(EVALUATE_COST) else {
+        return shed_response(ctx, EVALUATE_COST);
+    };
     match run_for_request(request_id, qbss_telemetry::current_span_id(), &inst, alpha, alg) {
         Ok(ev) => Response::json(
             200,
@@ -444,7 +745,7 @@ fn evaluate(req: &HttpRequest, request_id: &str) -> Response {
     }
 }
 
-fn sweep(req: &HttpRequest) -> Response {
+fn sweep(req: &HttpRequest, ctx: &ServerCtx<'_>) -> Response {
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "bad_request", "body is not UTF-8");
     };
@@ -453,32 +754,66 @@ fn sweep(req: &HttpRequest) -> Response {
         Err(RequestError::Syntax(msg)) => return Response::error(400, "syntax", &msg),
         Err(RequestError::Spec(msg)) => return Response::error(422, "spec", &msg),
     };
+    // Cost is known from the parsed spec before any cell runs:
+    // instances × algorithms × alphas.
+    let cost = parsed.cost();
+    let Some(_permit) = ctx.admission.try_admit(cost) else {
+        return shed_response(ctx, cost);
+    };
     match run_sweep(&parsed.spec, parsed.shards) {
         Ok(report) => Response::json(200, report.aggregate_json()),
         Err(e) => Response::error(422, "spec", &e.to_string()),
     }
 }
 
-fn route(req: &HttpRequest, request_id: &str, stats: &ServerStats, cfg: &ServeConfig) -> Response {
+/// Builds the typed `429`, counts the shed in both the process stats
+/// (`/healthz`) and the metrics registry (`serve.shed` — this is work
+/// traffic, so registry writes are in-contract).
+fn shed_response(ctx: &ServerCtx<'_>, cost: u64) -> Response {
+    ctx.admission.shed.fetch_add(1, Ordering::Relaxed);
+    qbss_telemetry::counter!("serve.shed").inc();
+    qbss_telemetry::warn!(
+        "serve.shed",
+        { cost = cost, in_flight_cost = ctx.admission.in_flight_cost() },
+        "shedding request of cost {} ({} of {} budget in flight)",
+        cost,
+        ctx.admission.in_flight_cost(),
+        ctx.admission.budget
+    );
+    Response::shed(
+        ctx.admission.retry_after_s(),
+        &format!(
+            "admission budget exhausted ({} of {} cost units in flight; this request needs {})",
+            ctx.admission.in_flight_cost(),
+            ctx.admission.budget,
+            cost
+        ),
+    )
+}
+
+fn route(req: &HttpRequest, request_id: &str, ctx: &ServerCtx<'_>) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/") => index(),
         ("GET", "/metrics") => metrics_endpoint(),
-        ("GET", "/healthz") => healthz(stats),
-        ("GET", "/readyz") => readyz(stats),
-        ("GET", "/tracez") => tracez(&req.query, &cfg.ring),
+        ("GET", "/healthz") => healthz(ctx),
+        ("GET", "/readyz") => readyz(ctx),
+        ("GET", "/tracez") => tracez(&req.query, &ctx.cfg.ring),
         ("POST", "/evaluate") | ("POST", "/sweep") => {
             // Work endpoints are the only registry writers, so idle
             // /metrics scrapes stay byte-stable.
             let started = Instant::now();
             let resp = if req.path == "/evaluate" {
-                evaluate(req, request_id)
+                evaluate(req, request_id, ctx)
             } else {
-                sweep(req)
+                sweep(req, ctx)
             };
             qbss_telemetry::counter!("serve.requests").inc();
             qbss_telemetry::metrics()
                 .histogram("serve.request.dur_us", &DURATION_US_BOUNDS)
                 .record(started.elapsed().as_micros() as f64);
+            qbss_telemetry::gauge!("serve.queue.depth").set(ctx.queue.depth() as f64);
+            qbss_telemetry::gauge!("serve.admission.in_flight_cost")
+                .set(ctx.admission.in_flight_cost() as f64);
             resp
         }
         (_, "/" | "/metrics" | "/healthz" | "/readyz" | "/tracez" | "/evaluate" | "/sweep") => {
@@ -492,8 +827,44 @@ fn route(req: &HttpRequest, request_id: &str, stats: &ServerStats, cfg: &ServeCo
 // Connection handling
 // ---------------------------------------------------------------------
 
-fn handle_connection(mut stream: TcpStream, stats: &ServerStats, cfg: &ServeConfig) {
-    let req = match read_request(&mut stream) {
+/// Everything a worker needs to answer one connection.
+struct ServerCtx<'a> {
+    stats: &'a ServerStats,
+    cfg: &'a ServeConfig,
+    admission: &'a Admission,
+    queue: &'a Queue,
+}
+
+impl ServerCtx<'_> {
+    fn request_timeout(&self) -> Duration {
+        Duration::from_millis(self.cfg.request_timeout_ms.max(1))
+    }
+
+    fn io_timeout(&self) -> Duration {
+        Duration::from_millis(self.cfg.io_timeout_ms.max(1))
+    }
+}
+
+/// Answers a connection reaped from the queue (aged past the request
+/// deadline before any worker could pick it up).
+fn reap_connection(mut stream: TcpStream, ctx: &ServerCtx<'_>) {
+    ctx.admission.reaped.fetch_add(1, Ordering::Relaxed);
+    qbss_telemetry::counter!("serve.queue.reaped").inc();
+    let _ = stream.set_write_timeout(Some(ctx.io_timeout()));
+    write_response(
+        &mut stream,
+        &Response::error(
+            503,
+            "queue_timeout",
+            "connection waited in the accept queue past the request deadline",
+        ),
+    );
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &ServerCtx<'_>) {
+    let deadline = Deadline::new(ctx.request_timeout(), ctx.io_timeout());
+    let _ = stream.set_write_timeout(Some(ctx.io_timeout()));
+    let req = match read_request(&mut stream, &deadline) {
         Ok(req) => req,
         Err(reject) => {
             write_response(&mut stream, &reject);
@@ -509,7 +880,7 @@ fn handle_connection(mut stream: TcpStream, stats: &ServerStats, cfg: &ServeConf
     });
     // A panicking handler answers 500 and the worker lives on — the
     // no-panic guarantee of the pipeline, extended to the serving edge.
-    let resp = catch_unwind(AssertUnwindSafe(|| route(&req, &request_id, stats, cfg)))
+    let resp = catch_unwind(AssertUnwindSafe(|| route(&req, &request_id, ctx)))
         .unwrap_or_else(|_| {
             qbss_telemetry::error!(
                 "serve.request",
@@ -520,10 +891,23 @@ fn handle_connection(mut stream: TcpStream, stats: &ServerStats, cfg: &ServeConf
             );
             Response::error(500, "internal", "handler panicked; see server trace")
         });
+    // A handler that overran the wall-clock deadline answers a typed
+    // 503 instead of a stale result: the client has long since timed
+    // out, and callers must never mistake an overrun for fresh data.
+    let resp = if deadline.expired() && resp.status == 200 {
+        qbss_telemetry::counter!("serve.deadline.overrun").inc();
+        Response::error(
+            503,
+            "deadline_exceeded",
+            &format!("handler overran the {} ms request deadline", ctx.cfg.request_timeout_ms),
+        )
+    } else {
+        resp
+    };
     span.record("status", u64::from(resp.status));
     drop(span);
     let elapsed = started.elapsed();
-    if elapsed.as_millis() >= u128::from(cfg.slow_ms) {
+    if elapsed.as_millis() >= u128::from(ctx.cfg.slow_ms) {
         qbss_telemetry::warn!(
             "serve.slow",
             {
@@ -540,6 +924,48 @@ fn handle_connection(mut stream: TcpStream, stats: &ServerStats, cfg: &ServeConf
     write_response(&mut stream, &resp);
 }
 
+/// The accept loop. Owns the listener and **drops it before
+/// returning**, so by the time the server is marked draining no new
+/// connection can be accepted — probes during drain see `503` on
+/// `/readyz` and connection-refused on fresh connects, never a
+/// half-open window.
+fn accept_loop(listener: TcpListener, ctx: &ServerCtx<'_>) {
+    let tick = Duration::from_millis(ctx.cfg.accept_tick_ms.max(1));
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Err(mut rejected) = ctx.queue.push(stream) {
+                    ctx.admission.shed.fetch_add(1, Ordering::Relaxed);
+                    qbss_telemetry::counter!("serve.shed").inc();
+                    let _ = rejected.set_write_timeout(Some(ctx.io_timeout()));
+                    write_response(
+                        &mut rejected,
+                        &Response::shed(ctx.admission.retry_after_s(), "accept queue is full"),
+                    );
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Idle tick: reap queue entries that aged out before a
+                // worker could take them.
+                for victim in ctx.queue.reap(ctx.request_timeout()) {
+                    reap_connection(victim, ctx);
+                }
+                std::thread::sleep(tick);
+            }
+            Err(e) => {
+                qbss_telemetry::warn!("serve", "accept failed: {e}");
+                std::thread::sleep(tick);
+            }
+        }
+    }
+    // Close the listener *first*: draining must not race a final
+    // accept tick that lets one more connection in.
+    drop(listener);
+}
+
 /// Runs the server on an already-bound listener until SIGTERM/ctrl-c,
 /// then drains and returns. `Ok` means a clean drain (exit 0); `Err`
 /// carries an I/O-level failure message.
@@ -549,50 +975,42 @@ pub fn run(listener: TcpListener, cfg: ServeConfig) -> Result<(), String> {
         .set_nonblocking(true)
         .map_err(|e| format!("cannot poll the listener: {e}"))?;
     let stats = ServerStats::new();
+    let admission = Admission::new(cfg.budget);
     let queue = Queue::new(cfg.workers * 16);
-    qbss_telemetry::info!("serve", { workers = cfg.workers }, "server loop starting");
+    let ctx = ServerCtx { stats: &stats, cfg: &cfg, admission: &admission, queue: &queue };
+    qbss_telemetry::info!(
+        "serve",
+        { workers = cfg.workers, budget = cfg.budget },
+        "server loop starting"
+    );
     std::thread::scope(|scope| {
-        for _ in 0..cfg.workers {
-            scope.spawn(|| {
-                while let Some(stream) = queue.pop() {
-                    stats.in_flight.fetch_add(1, Ordering::Relaxed);
-                    handle_connection(stream, &stats, &cfg);
-                    stats.in_flight.fetch_sub(1, Ordering::Relaxed);
-                    stats.served.fetch_add(1, Ordering::Relaxed);
+        for _ in 0..ctx.cfg.workers {
+            let ctx = &ctx;
+            scope.spawn(move || {
+                while let Some(item) = ctx.queue.pop() {
+                    ctx.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+                    // Belt and braces: entries can also age out between
+                    // reap ticks; check once more at pop.
+                    if item.queued_at.elapsed() > ctx.request_timeout() {
+                        reap_connection(item.stream, ctx);
+                    } else {
+                        handle_connection(item.stream, ctx);
+                    }
+                    ctx.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    ctx.stats.served.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
-        loop {
-            if SHUTDOWN.load(Ordering::SeqCst) {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    if let Err(mut rejected) = queue.push(stream) {
-                        write_response(
-                            &mut rejected,
-                            &Response::error(503, "overloaded", "accept queue is full"),
-                        );
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL_TICK);
-                }
-                Err(e) => {
-                    qbss_telemetry::warn!("serve", "accept failed: {e}");
-                    std::thread::sleep(POLL_TICK);
-                }
-            }
-        }
-        // Drain: no new connections, workers finish queued + in-flight
-        // requests, then the scope joins them all.
-        stats.draining.store(true, Ordering::Relaxed);
+        accept_loop(listener, &ctx);
+        // Drain: the listener is already closed; workers finish queued
+        // + in-flight requests, then the scope joins them all.
+        ctx.stats.draining.store(true, Ordering::Relaxed);
         qbss_telemetry::info!(
             "serve",
-            { served = stats.served.load(Ordering::Relaxed) },
+            { served = ctx.stats.served.load(Ordering::Relaxed) },
             "shutdown signal received; draining"
         );
-        queue.close();
+        ctx.queue.close();
     });
     qbss_telemetry::flush();
     Ok(())
@@ -616,6 +1034,7 @@ mod tests {
         // Stream-free bound check via capacity clamping.
         let q = Queue::new(0);
         assert_eq!(q.capacity, 1);
+        assert_eq!(q.depth(), 0);
         q.close();
         assert!(q.pop().is_none());
     }
@@ -629,8 +1048,117 @@ mod tests {
     }
 
     #[test]
+    fn shed_responses_carry_retry_after() {
+        let resp = Response::shed(1, "budget exhausted");
+        assert_eq!(resp.status, 429);
+        assert!(resp.body.contains("\"kind\": \"overloaded\""), "{}", resp.body);
+        assert_eq!(resp.extra_headers, vec!["Retry-After: 1".to_string()]);
+    }
+
+    #[test]
     fn header_end_detection() {
         assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
         assert_eq!(find_header_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn admission_bounds_concurrent_cost() {
+        let a = Admission::new(10);
+        let p1 = a.try_admit(6).expect("fits");
+        assert_eq!(a.in_flight_cost(), 6);
+        // 6 + 5 > 10: shed.
+        assert!(a.try_admit(5).is_none());
+        let p2 = a.try_admit(4).expect("exactly fits");
+        assert_eq!(a.in_flight_cost(), 10);
+        assert!(a.try_admit(1).is_none());
+        drop(p1);
+        assert_eq!(a.in_flight_cost(), 4);
+        drop(p2);
+        assert_eq!(a.in_flight_cost(), 0);
+    }
+
+    #[test]
+    fn admission_never_starves_an_idle_server() {
+        // A request costlier than the whole budget is admitted when
+        // nothing is in flight — the budget bounds concurrency, it is
+        // not a per-request cap.
+        let a = Admission::new(10);
+        let big = a.try_admit(1_000).expect("idle server admits anything");
+        assert_eq!(a.in_flight_cost(), 1_000);
+        // …but while it runs, everything else is shed.
+        assert!(a.try_admit(1).is_none());
+        drop(big);
+        assert!(a.try_admit(1).is_some());
+    }
+
+    #[test]
+    fn zero_budget_disables_admission_control() {
+        let a = Admission::new(0);
+        let _p1 = a.try_admit(u64::MAX).expect("unlimited");
+        let _p2 = a.try_admit(u64::MAX).expect("unlimited");
+        assert_eq!(a.in_flight_cost(), 0, "unlimited permits carry no cost");
+    }
+
+    #[test]
+    fn body_contract_is_decided_before_the_body() {
+        // POST without Content-Length: 411, typed.
+        let err = body_contract("POST", None).unwrap_err();
+        assert_eq!(err.status, 411);
+        assert!(err.body.contains("length_required"), "{}", err.body);
+        // Over the cap: 413 — distinct from the 400 syntax class.
+        let err = body_contract("POST", Some(MAX_BODY_BYTES + 1)).unwrap_err();
+        assert_eq!(err.status, 413);
+        assert!(err.body.contains("payload_too_large"), "{}", err.body);
+        // In-range lengths and bodyless GETs pass.
+        assert_eq!(body_contract("POST", Some(10)).unwrap(), 10);
+        assert_eq!(body_contract("GET", None).unwrap(), 0);
+        assert_eq!(body_contract("GET", Some(4)).unwrap(), 4);
+    }
+
+    #[test]
+    fn head_parsing_rejects_garbage() {
+        let ok = parse_head("POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 12").unwrap();
+        assert_eq!(ok.method, "POST");
+        assert_eq!(ok.target, "/sweep");
+        assert_eq!(ok.content_length, Some(12));
+        // Garbage Content-Length is a 400 before any body read.
+        let err =
+            parse_head("POST / HTTP/1.1\r\nContent-Length: twelve").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.body.contains("Content-Length"), "{}", err.body);
+        // Truncated request lines and alien protocol versions are 400.
+        assert_eq!(parse_head("GET /\r\n").unwrap_err().status, 400);
+        assert_eq!(parse_head("GET / SPDY/99\r\n").unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn deadline_slices_shrink_to_the_wall_clock() {
+        let d = Deadline::new(Duration::from_millis(50), Duration::from_secs(10));
+        // Far from the deadline, the io timeout would win; here the
+        // remaining wall clock is smaller, so the slice is bounded by it.
+        let slice = d.read_slice().expect("not yet expired");
+        assert!(slice <= Duration::from_millis(50));
+        assert!(!d.expired());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(d.expired());
+        assert!(d.read_slice().is_none(), "expired deadlines stop reads");
+    }
+
+    #[test]
+    fn queue_reaps_only_aged_entries() {
+        // Reaping needs real streams; a loopback pair is cheap.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let q = Queue::new(8);
+        let c1 = TcpStream::connect(addr).expect("connect");
+        q.push(c1).expect("push");
+        assert_eq!(q.depth(), 1);
+        // Nothing is older than 10 s.
+        assert!(q.reap(Duration::from_secs(10)).is_empty());
+        std::thread::sleep(Duration::from_millis(20));
+        // Everything is older than 1 ms.
+        let reaped = q.reap(Duration::from_millis(1));
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(q.depth(), 0);
     }
 }

@@ -1,0 +1,165 @@
+//! End-to-end tests of `qbss loadgen`: schedule determinism through
+//! the real binary (`--plan-only`), and the shed path proven against a
+//! budget-starved in-process server (`--spawn --budget 1`).
+
+#![cfg(unix)]
+
+use std::process::{Command, Output};
+
+use qbss_telemetry::{json_parse, JsonValue};
+
+fn qbss(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qbss"))
+        .args(args)
+        .env_remove("QBSS_LOG")
+        .output()
+        .expect("qbss runs")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Walks a dotted path (`results.shed`) through parsed JSON.
+fn lookup<'a>(root: &'a JsonValue, path: &str) -> &'a JsonValue {
+    let mut cur = root;
+    for key in path.split('.') {
+        cur = cur.get(key).unwrap_or_else(|| panic!("missing `{path}` (at `{key}`)"));
+    }
+    cur
+}
+
+fn num(root: &JsonValue, path: &str) -> f64 {
+    match lookup(root, path) {
+        JsonValue::Num(v) => *v,
+        other => panic!("`{path}` is not a number: {other:?}"),
+    }
+}
+
+#[test]
+fn plan_only_is_deterministic_in_the_seed() {
+    let args = [
+        "loadgen", "--plan-only", "--rps", "120", "--duration-s", "1", "--seed", "42",
+        "--mix", "mixed", "--n", "6",
+    ];
+    let a = qbss(&args);
+    let b = qbss(&args);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(
+        stdout_of(&a),
+        stdout_of(&b),
+        "same seed + same flags must produce a byte-identical plan"
+    );
+    let plan = json_parse(stdout_of(&a).trim()).expect("plan is canonical JSON");
+    assert!(num(&plan, "requests") > 0.0, "the plan holds arrivals");
+
+    // A different seed reshuffles arrivals and payloads: new hash.
+    let mut reseeded = args;
+    reseeded[7] = "43";
+    let c = qbss(&reseeded);
+    assert!(c.status.success());
+    let plan_c = json_parse(stdout_of(&c).trim()).expect("plan parses");
+    let hash = |p: &JsonValue| match lookup(p, "hash") {
+        JsonValue::Str(s) => s.clone(),
+        other => panic!("hash is not a string: {other:?}"),
+    };
+    assert_ne!(hash(&plan), hash(&plan_c), "different seeds must differ");
+
+    // Adversarial bursts change the schedule too, deterministically.
+    let mut adv = args.to_vec();
+    adv.push("--adversarial");
+    let d1 = qbss(&adv);
+    let d2 = qbss(&adv);
+    assert!(d1.status.success(), "{}", String::from_utf8_lossy(&d1.stderr));
+    assert_eq!(stdout_of(&d1), stdout_of(&d2), "adversarial plans are deterministic");
+    let plan_d = json_parse(stdout_of(&d1).trim()).expect("plan parses");
+    assert!(num(&plan_d, "requests") > num(&plan, "requests"), "bursts add arrivals");
+}
+
+#[test]
+fn budget_starved_spawn_run_sheds_with_typed_429s_and_zero_5xx() {
+    let dir = std::env::temp_dir().join(format!("qbss-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out_path = dir.join("report.json");
+    let out = qbss(&[
+        "loadgen",
+        "--spawn",
+        "--budget",
+        "1",
+        "--rps",
+        "150",
+        "--duration-s",
+        "1",
+        "--seed",
+        "7",
+        "--mix",
+        "sweep",
+        "--connections",
+        "8",
+        "--n",
+        "6",
+        "--out",
+        out_path.to_str().expect("utf-8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "loadgen must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let written = std::fs::read_to_string(&out_path).expect("report file written");
+    assert_eq!(written.trim(), stdout_of(&out).trim(), "--out mirrors stdout");
+    let report = json_parse(written.trim()).expect("report is canonical JSON");
+
+    // Every planned request fired and got an HTTP answer — overload is
+    // absorbed by shedding, not by dropping connections.
+    let sent = num(&report, "results.sent");
+    assert!(sent > 0.0);
+    assert_eq!(num(&report, "results.completed"), sent, "no request may go unanswered");
+    assert_eq!(num(&report, "results.transport_errors"), 0.0);
+
+    // The starved budget shed most of the burst with typed 429s …
+    let shed = num(&report, "results.shed");
+    assert!(shed >= 1.0, "a budget of 1 cell must shed concurrent sweeps: {written}");
+    assert!(num(&report, "results.shed_rate") > 0.0);
+    assert_eq!(
+        lookup(&report, "results.retry_after_on_429"),
+        &JsonValue::Bool(true),
+        "every 429 must carry Retry-After: {written}"
+    );
+
+    // … never a 5xx, and the admitted requests really ran.
+    assert_eq!(num(&report, "results.status_5xx"), 0.0, "{written}");
+    assert!(num(&report, "results.status.200") >= 1.0, "idle-server admissions succeed");
+    assert!(num(&report, "results.latency_ms.p99") > 0.0);
+
+    // The executed schedule is the planned schedule: its hash matches a
+    // separate --plan-only run with the same knobs.
+    let plan = qbss(&[
+        "loadgen", "--plan-only", "--rps", "150", "--duration-s", "1", "--seed", "7",
+        "--mix", "sweep", "--n", "6",
+    ]);
+    let plan_json = json_parse(stdout_of(&plan).trim()).expect("plan parses");
+    assert_eq!(
+        lookup(&plan_json, "hash"),
+        lookup(&report, "schedule.hash"),
+        "report and plan must agree on the schedule"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loadgen_rejects_bad_flags() {
+    // No target at all.
+    let out = qbss(&["loadgen", "--rps", "10", "--duration-s", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Mutually exclusive targets.
+    let out = qbss(&["loadgen", "--spawn", "--addr", "127.0.0.1:1", "--rps", "10"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Unknown mix.
+    let out = qbss(&["loadgen", "--plan-only", "--mix", "chaotic"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Non-positive rps is bad input.
+    let out = qbss(&["loadgen", "--plan-only", "--rps", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -244,6 +244,237 @@ fn serve_scrapes_evaluates_and_drains() {
     assert_eq!(wait_exit(child), Some(0), "signalled drain must exit 0");
 }
 
+/// Sends raw bytes (not necessarily valid HTTP) and returns whatever
+/// came back — empty on a clean server-side close.
+fn raw(addr: &str, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.write_all(bytes);
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+fn status_of(response: &str) -> Option<u16> {
+    response.split_ascii_whitespace().nth(1)?.parse().ok()
+}
+
+/// The HTTP-layer chaos gate: every malformed or adversarial byte
+/// stream must get a typed 4xx or a clean close — never a panic, never
+/// a hang — and the server must stay ready afterwards.
+#[test]
+fn chaos_gate_malformed_requests_never_kill_the_server() {
+    // Tight timeouts so the deliberately-stalled cases resolve fast.
+    let (child, addr) =
+        start_server(&["--request-timeout-ms", "2000", "--io-timeout-ms", "500"]);
+    wait_ready(&addr);
+
+    // Truncated request line, then EOF: 400 or clean close.
+    let resp = raw(&addr, b"GET /nope");
+    assert!(
+        resp.is_empty() || status_of(&resp).is_some_and(|s| (400..500).contains(&s)),
+        "truncated request line: {resp}"
+    );
+
+    // A header block past the 64 KB cap: typed 400, not an OOM spiral.
+    let mut huge = b"GET / HTTP/1.1\r\n".to_vec();
+    for _ in 0..3000 {
+        huge.extend_from_slice(b"X-Garbage: aaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+    }
+    // The server answers 400 and closes with our bytes still in
+    // flight; depending on RST timing the client sees the 400 or an
+    // empty/partial read. Either is a clean rejection.
+    let resp = raw(&addr, &huge);
+    assert!(
+        resp.is_empty() || status_of(&resp) == Some(400),
+        "huge header should be cleanly rejected: {resp}"
+    );
+
+    // Byte-by-byte split writes of a *valid* request still parse (the
+    // reader must tolerate arbitrary fragmentation).
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let req =
+            format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+        for b in req.as_bytes() {
+            stream.write_all(&[*b]).expect("split write");
+            stream.flush().expect("flush");
+        }
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        assert_eq!(status_of(&out), Some(200), "split writes: {out}");
+    }
+
+    // Premature close mid-body: Content-Length promises more bytes than
+    // ever arrive — the worker must not wait forever (EOF → 400, or the
+    // response is simply lost on the closed socket; either way no hang).
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let req = format!(
+            "POST /evaluate HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 100000\r\n\r\n{{\"jobs\""
+        );
+        stream.write_all(req.as_bytes()).expect("send partial");
+        drop(stream);
+    }
+
+    // A POST with no Content-Length is refused up front with a typed 411.
+    let resp = raw(
+        &addr,
+        format!("POST /evaluate HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    );
+    assert_eq!(status_of(&resp), Some(411), "missing Content-Length: {resp}");
+    assert!(resp.contains("length_required"), "{resp}");
+
+    // Garbage Content-Length: typed 400 before any body read.
+    let resp = raw(
+        &addr,
+        format!("POST /evaluate HTTP/1.1\r\nHost: {addr}\r\nContent-Length: banana\r\n\r\n")
+            .as_bytes(),
+    );
+    assert_eq!(status_of(&resp), Some(400), "garbage Content-Length: {resp}");
+
+    // A Content-Length over the 8 MB cap: typed 413, distinct from 400,
+    // decided before the server reads a single body byte.
+    let resp = raw(
+        &addr,
+        format!(
+            "POST /evaluate HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 999999999\r\n\
+             Connection: close\r\n\r\n"
+        )
+        .as_bytes(),
+    );
+    assert_eq!(status_of(&resp), Some(413), "oversized body: {resp}");
+    assert!(resp.contains("payload_too_large"), "{resp}");
+
+    // Pipelined garbage after a valid request: the server answers the
+    // first request and closes (Connection: close), never panicking on
+    // the trailing bytes.
+    let resp = raw(
+        &addr,
+        format!(
+            "GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n\
+             \x00\x01\x02NOT HTTP AT ALL\r\n\r\n"
+        )
+        .as_bytes(),
+    );
+    assert_eq!(status_of(&resp), Some(200), "pipelined garbage: {resp}");
+
+    // After all of that: still alive, still ready, still serving work.
+    let (status, _, _) = http(&addr, "GET", "/readyz", "");
+    assert_eq!(status, 200, "server must stay ready after the chaos gate");
+    let (status, _, body) = http(&addr, "POST", "/evaluate?alg=avrq", &valid_instance_json());
+    assert_eq!(status, 200, "work still serves after chaos: {body}");
+
+    sigterm(&child);
+    assert_eq!(wait_exit(child), Some(0));
+}
+
+/// A slowloris client trickling header bytes is evicted by the request
+/// deadline instead of parking a worker indefinitely, and the server
+/// keeps serving everyone else meanwhile.
+#[test]
+fn slowloris_clients_are_evicted_by_the_deadline() {
+    let (child, addr) =
+        start_server(&["--request-timeout-ms", "600", "--io-timeout-ms", "300"]);
+    wait_ready(&addr);
+
+    // Trickle one header byte every 100 ms from a would-be slowloris;
+    // the per-request wall clock (600 ms) must cut it off even though
+    // each individual byte beats the 300 ms inactivity timeout.
+    let loris_addr = addr.clone();
+    let started = Instant::now();
+    let loris = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(&loris_addr).expect("connect");
+        let drip = b"GET / HTTP/1.1\r\nX-Slow: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+        for chunk in drip.iter() {
+            if stream.write_all(&[*chunk]).is_err() {
+                break; // server hung up on us — exactly the point
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        out
+    });
+
+    // While the slowloris drips, normal requests keep flowing — the
+    // worker pool is not starved by the slow client.
+    for _ in 0..3 {
+        let (status, _, _) = http(&addr, "GET", "/readyz", "");
+        assert_eq!(status, 200, "server must serve others during a slowloris");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let resp = loris.join().expect("loris thread");
+    let elapsed = started.elapsed();
+    // Evicted: either a typed 408 or a bare close, well before the
+    // trickle would have finished on its own (~6 s for 60 bytes).
+    assert!(
+        resp.is_empty() || status_of(&resp) == Some(408),
+        "slowloris should see 408 or a close: {resp}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "slowloris must be evicted by the deadline, took {elapsed:?}"
+    );
+    if let Some(408) = status_of(&resp) {
+        assert!(resp.contains("\"kind\": \"timeout\""), "{resp}");
+    }
+
+    sigterm(&child);
+    assert_eq!(wait_exit(child), Some(0));
+}
+
+/// Admission control sheds over-budget work with a typed 429 carrying
+/// `Retry-After`, surfaces the shed in /metrics and /healthz, and the
+/// server never answers a connection-level 5xx for it.
+#[test]
+fn over_budget_sweeps_are_shed_with_typed_429s() {
+    // Budget of 20 cells: the first (idle-server) sweep is admitted
+    // regardless, so park one big sweep and race a second one into it.
+    let (child, addr) = start_server(&["--budget", "20", "--workers", "4"]);
+    wait_ready(&addr);
+
+    // 150 × 9 × 2 = 2700 cells: far over budget, admitted only via the
+    // idle-server rule, and long-running enough to hold the budget
+    // while the cheap probes below race into it.
+    let big = r#"{"count": 150, "n": 12, "alg": "all", "alpha": [2, 3]}"#;
+    let probe = r#"{"count": 2, "n": 5, "alg": "avrq", "alpha": 2.5}"#;
+    let bg_addr = addr.clone();
+    let parked = std::thread::spawn(move || http(&bg_addr, "POST", "/sweep", big));
+    // Let the big sweep claim the budget, then offer more work: while
+    // it runs, in-flight cost exceeds the budget, so *any* probe sheds.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut saw_429 = false;
+    let mut retry_after = false;
+    for _ in 0..20 {
+        let (status, head, body) = http(&addr, "POST", "/sweep", probe);
+        assert!(status == 200 || status == 429, "only 200/429 expected, got {status}: {body}");
+        if status == 429 {
+            saw_429 = true;
+            retry_after |= head.to_ascii_lowercase().contains("retry-after:");
+            assert!(body.contains("\"kind\": \"overloaded\""), "{body}");
+            break;
+        }
+        // Readiness must hold while the server sheds.
+        let (ready, _, _) = http(&addr, "GET", "/readyz", "");
+        assert_eq!(ready, 200, "/readyz must stay 200 under load");
+    }
+    let (status, _, _) = parked.join().expect("parked sweep");
+    assert_eq!(status, 200, "the admitted sweep completes");
+    assert!(saw_429, "a concurrent over-budget sweep must be shed");
+    assert!(retry_after, "429 responses must carry Retry-After");
+
+    // The shed is visible on both surfaces.
+    let (_, _, metrics) = http(&addr, "GET", "/metrics", "");
+    assert!(metrics.contains("serve_shed"), "{metrics}");
+    let (_, _, health) = http(&addr, "GET", "/healthz", "");
+    assert!(health.contains("\"shed\": "), "{health}");
+    assert!(health.contains("\"budget\": "), "{health}");
+
+    sigterm(&child);
+    assert_eq!(wait_exit(child), Some(0));
+}
+
 #[test]
 fn sigterm_during_an_inflight_sweep_still_drains_cleanly() {
     let (child, addr) = start_server(&[]);

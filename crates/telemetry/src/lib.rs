@@ -481,6 +481,21 @@ macro_rules! counter {
     }};
 }
 
+/// A process-global [`Gauge`] cached per call site, the [`counter!`]
+/// idiom for last-write-wins values (queue depths, budget in flight):
+///
+/// ```
+/// qbss_telemetry::gauge!("serve.queue.depth").set(3.0);
+/// ```
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static SITE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        SITE.get_or_init(|| $crate::metrics().gauge($name)).as_ref()
+    }};
+}
+
 #[cfg(test)]
 pub(crate) mod test_support {
     use super::*;
@@ -619,6 +634,14 @@ mod tests {
         counter!("test.lib.counter").add(2);
         counter!("test.lib.counter").inc();
         assert!(metrics().counter("test.lib.counter").get() >= 3);
+    }
+
+    #[test]
+    fn gauge_macro_hits_the_global_registry() {
+        gauge!("test.lib.gauge").set(4.0);
+        assert_eq!(metrics().gauge("test.lib.gauge").get(), 4.0);
+        gauge!("test.lib.gauge").set(2.5);
+        assert_eq!(metrics().gauge("test.lib.gauge").get(), 2.5);
     }
 
     #[test]
