@@ -30,6 +30,7 @@ pub mod par;
 pub mod perf;
 pub mod request;
 pub mod search;
+pub mod stream;
 pub mod table;
 pub mod timing;
 
@@ -41,5 +42,6 @@ pub use ensemble::{measure_ensemble, EnsembleReport};
 pub use par::{par_map, par_map_seeds, par_map_stealing};
 pub use request::{RequestError, SweepRequest};
 pub use search::coordinate_ascent;
+pub use stream::StreamSession;
 pub use table::Table;
 pub use timing::BenchGroup;

@@ -20,8 +20,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Instant;
 
-use qbss_core::pipeline::Algorithm;
-use qbss_instances::gen::{Compressibility, GenConfig, QueryModel, TimeModel};
+use qbss_core::model::QbssInstance;
+use qbss_core::pipeline::{run_evaluated, Algorithm};
+use qbss_instances::gen::{generate, Compressibility, GenConfig, QueryModel, TimeModel};
 use qbss_telemetry::{json_escape, json_f64, json_parse, JsonValue};
 
 use crate::engine::{run_sweep, EngineError, InstanceSource, SweepSpec};
@@ -33,22 +34,90 @@ pub const BASELINE_SCHEMA: &str = "qbss-perf-baseline/1";
 // Scenarios
 // ---------------------------------------------------------------------
 
-/// A named, fully pinned sweep shape. Everything about the workload is
-/// deterministic (seeded generators, fixed grids); only wall time
-/// varies between runs.
+/// A named, fully pinned workload. Everything about it is deterministic
+/// (seeded generators, fixed grids); only wall time varies between runs.
 #[derive(Debug, Clone, Copy)]
 pub struct Scenario {
     /// Stable name (the baseline JSON key and the `--scenarios` token).
     pub name: &'static str,
     /// One-line description for `qbss perf record` output.
     pub description: &'static str,
-    build: fn() -> SweepSpec,
+    kind: Kind,
+}
+
+/// What a scenario actually runs when timed.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    /// A sweep through the sharded engine (OPT substrate, caches,
+    /// aggregation — the end-to-end cost a `qbss sweep` user pays).
+    Sweep(fn() -> SweepSpec),
+    /// Direct `run_evaluated` calls on pre-generated instances, with no
+    /// engine OPT substrate: the solver's own arrival path dominates
+    /// the wall time, so solver-level wins and regressions are not
+    /// diluted by the (identical-on-both-sides) clairvoyant YDS cost.
+    Eval(fn() -> EvalSpec),
+}
+
+/// A pinned direct-evaluation workload (see [`Kind::Eval`]).
+pub struct EvalSpec {
+    /// Pre-generated instances; generation happens at build time and is
+    /// excluded from the timed region.
+    pub instances: Vec<QbssInstance>,
+    /// The configuration under measurement.
+    pub alg: Algorithm,
+    /// Energy exponent.
+    pub alpha: f64,
+}
+
+/// A scenario's built workload, constructed once before warmup.
+enum Prepared {
+    Sweep(SweepSpec),
+    Eval(EvalSpec),
+}
+
+impl Prepared {
+    /// Grid size recorded in the baseline (`cells` in the JSON): sweep
+    /// cells, or instances × 1 algorithm × 1 α for eval scenarios.
+    fn cells(&self) -> usize {
+        match self {
+            Prepared::Sweep(spec) => spec.n_cells(),
+            Prepared::Eval(spec) => spec.instances.len(),
+        }
+    }
+
+    /// Runs the workload once (one timed or warmup repetition).
+    fn run_once(&self, shards: usize) -> Result<(), PerfError> {
+        match self {
+            Prepared::Sweep(spec) => {
+                run_sweep(spec, shards)?;
+            }
+            Prepared::Eval(spec) => {
+                for inst in &spec.instances {
+                    run_evaluated(inst, spec.alpha, spec.alg)
+                        .map_err(|e| PerfError::Cell(e.to_string()))?;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Scenario {
-    /// The pinned sweep spec this scenario measures.
-    pub fn spec(&self) -> SweepSpec {
-        (self.build)()
+    /// The pinned sweep spec this scenario measures, or `None` for
+    /// direct-evaluation scenarios that bypass the engine.
+    pub fn spec(&self) -> Option<SweepSpec> {
+        match self.kind {
+            Kind::Sweep(build) => Some(build()),
+            Kind::Eval(_) => None,
+        }
+    }
+
+    /// Builds the workload (generating instances for eval scenarios).
+    fn prepare(&self) -> Prepared {
+        match self.kind {
+            Kind::Sweep(build) => Prepared::Sweep(build()),
+            Kind::Eval(build) => Prepared::Eval(build()),
+        }
     }
 }
 
@@ -131,33 +200,60 @@ fn serve_sweep() -> SweepSpec {
     }
 }
 
+/// The OA arrival path at session scale: two dense online instances of
+/// 1200 jobs each (≈ 60 jobs active at any time), evaluated directly so
+/// the per-arrival solver cost *is* the measurement. This is the
+/// scenario that holds the incremental (streaming) OA win: a regression
+/// back to per-event re-solves blows far past the gate limit.
+fn stream_large() -> EvalSpec {
+    let base = GenConfig {
+        n: 1200,
+        seed: 0,
+        time: TimeModel::Online { horizon: 100.0, min_len: 2.0, max_len: 8.0 },
+        min_w: 0.5,
+        max_w: 4.0,
+        query: QueryModel::UniformFraction { lo: 0.1, hi: 0.6 },
+        compress: Compressibility::Uniform,
+    };
+    EvalSpec {
+        instances: (0..2).map(|seed| generate(&GenConfig { seed, ..base })).collect(),
+        alg: Algorithm::Oaq,
+        alpha: 3.0,
+    }
+}
+
 /// Every named scenario, in canonical order.
 pub fn scenarios() -> Vec<Scenario> {
     vec![
         Scenario {
             name: "ci-small",
             description: "3 online algorithms × 2 α × 400 common-deadline instances (n=10)",
-            build: ci_small,
+            kind: Kind::Sweep(ci_small),
         },
         Scenario {
             name: "engine-all",
             description: "all 9 configurations × 2 α × 8 common-deadline instances (n=8)",
-            build: engine_all,
+            kind: Kind::Sweep(engine_all),
         },
         Scenario {
             name: "online-large",
             description: "3 online algorithms × 16 online instances (n=40)",
-            build: online_large,
+            kind: Kind::Sweep(online_large),
         },
         Scenario {
             name: "multi-machine",
             description: "3 multi-machine configurations (m=3) × 8 online instances (n=16)",
-            build: multi_machine,
+            kind: Kind::Sweep(multi_machine),
         },
         Scenario {
             name: "serve-sweep",
             description: "the loadgen /sweep payload: avrq+bkpq × 2 α × 3 instances (n=8)",
-            build: serve_sweep,
+            kind: Kind::Sweep(serve_sweep),
+        },
+        Scenario {
+            name: "stream-large",
+            description: "the OA arrival path: oaq × 2 dense online instances (n=1200)",
+            kind: Kind::Eval(stream_large),
         },
     ]
 }
@@ -275,6 +371,9 @@ pub enum PerfError {
     /// The engine rejected a scenario spec (a bug in the scenario
     /// table).
     Engine(EngineError),
+    /// A direct-evaluation scenario cell failed (a bug in the scenario
+    /// table).
+    Cell(String),
 }
 
 impl fmt::Display for PerfError {
@@ -286,6 +385,7 @@ impl fmt::Display for PerfError {
             }
             PerfError::Parse(reason) => write!(f, "invalid perf baseline: {reason}"),
             PerfError::Engine(e) => write!(f, "scenario failed to run: {e}"),
+            PerfError::Cell(reason) => write!(f, "scenario cell failed to run: {reason}"),
         }
     }
 }
@@ -337,20 +437,20 @@ pub fn record(names: &[String], config: PerfConfig) -> Result<Baseline, PerfErro
     };
     let mut stats = BTreeMap::new();
     for sc in picked {
-        let spec = sc.spec();
-        let cells = spec.n_cells();
+        let prepared = sc.prepare();
+        let cells = prepared.cells();
         let _span = qbss_telemetry::span!("perf.scenario", {
             scenario = sc.name,
             cells = cells,
             repeats = config.repeats,
         });
         for _ in 0..config.warmup {
-            run_sweep(&spec, config.shards)?;
+            prepared.run_once(config.shards)?;
         }
         let mut samples_ms = Vec::with_capacity(config.repeats);
         for _ in 0..config.repeats.max(1) {
             let t0 = Instant::now();
-            run_sweep(&spec, config.shards)?;
+            prepared.run_once(config.shards)?;
             samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         }
         let median_ms = median(&samples_ms);
@@ -827,11 +927,37 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), all.len(), "names must be unique");
         assert!(scenario("ci-small").is_some());
+        assert!(scenario("stream-large").is_some());
         assert!(scenario("nope").is_none());
         for s in &all {
-            let spec = s.spec();
-            assert!(spec.n_cells() > 0, "{}: empty grid", s.name);
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            match s.spec() {
+                Some(spec) => {
+                    assert!(spec.n_cells() > 0, "{}: empty grid", s.name);
+                    spec.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+                }
+                None => match s.prepare() {
+                    Prepared::Eval(spec) => {
+                        assert!(!spec.instances.is_empty(), "{}: no instances", s.name);
+                        for inst in &spec.instances {
+                            inst.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+                        }
+                    }
+                    Prepared::Sweep(_) => panic!("{}: spec() disagrees with prepare()", s.name),
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn stream_large_is_session_scale() {
+        // The acceptance bar for the streaming engine: the blessed
+        // scenario must exercise ≥ 1k-job instances through OA.
+        let Prepared::Eval(spec) = scenario("stream-large").expect("known").prepare() else {
+            panic!("stream-large must be a direct-evaluation scenario");
+        };
+        assert!(matches!(spec.alg, Algorithm::Oaq));
+        for inst in &spec.instances {
+            assert!(inst.len() >= 1000, "stream-large instances must be >= 1k jobs");
         }
     }
 

@@ -1,0 +1,107 @@
+//! Batch ≡ streaming equivalence suite (ISSUE 7 acceptance).
+//!
+//! Every streamable algorithm × every seeded generator family: feeding
+//! the canonical arrival order through a [`StreamSession`] must produce
+//! a [`QbssOutcome`](qbss_core::QbssOutcome) **bit-identical** to the
+//! batch pipeline on the same instance — same `Debug` rendering, same
+//! energy and peak-speed bits — and the runtime auditor must count zero
+//! violations on the streamed results.
+
+use qbss_bench::StreamSession;
+use qbss_core::audit::Auditor;
+use qbss_core::pipeline::{run_audited, run_evaluated, Algorithm, Evaluated};
+use qbss_core::stream::arrival_ordered;
+use qbss_core::QbssInstance;
+use qbss_instances::gen::{generate, GenConfig, TimeModel};
+
+const STREAMABLE: [Algorithm; 3] = [Algorithm::Avrq, Algorithm::Bkpq, Algorithm::Oaq];
+const SEEDS: std::ops::Range<u64> = 0..12;
+const ALPHA: f64 = 3.0;
+
+/// One instance per (family, seed): the family's default time model
+/// with the generator's stock workload/query models.
+fn family_instance(family: &str, seed: u64) -> QbssInstance {
+    let time = TimeModel::from_name(family, 24).expect("known family");
+    generate(&GenConfig { time, ..GenConfig::online_default(24, seed) })
+}
+
+/// Streams an instance in canonical arrival order and finishes.
+fn streamed(inst: &QbssInstance, algorithm: Algorithm) -> Evaluated {
+    let mut session = StreamSession::new(algorithm, ALPHA).expect("streamable");
+    for job in arrival_ordered(inst) {
+        session.arrive(job).expect("arrive");
+    }
+    session.finish().expect("finish")
+}
+
+fn assert_bit_identical(batch: &Evaluated, stream: &Evaluated, context: &str) {
+    assert_eq!(
+        format!("{:?}", batch.outcome),
+        format!("{:?}", stream.outcome),
+        "outcome drift: {context}"
+    );
+    assert_eq!(batch.energy.to_bits(), stream.energy.to_bits(), "energy drift: {context}");
+    assert_eq!(
+        batch.max_speed.to_bits(),
+        stream.max_speed.to_bits(),
+        "max-speed drift: {context}"
+    );
+}
+
+#[test]
+fn streaming_matches_batch_bitwise_across_families() {
+    for family in TimeModel::NAMES {
+        for seed in SEEDS {
+            let inst = family_instance(family, seed);
+            for algorithm in STREAMABLE {
+                let context = format!("{algorithm} on {family}/seed={seed}");
+                let batch = run_evaluated(&inst, ALPHA, algorithm)
+                    .unwrap_or_else(|e| panic!("batch {context}: {e}"));
+                assert_bit_identical(&batch, &streamed(&inst, algorithm), &context);
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_matches_audited_batch_with_zero_violations() {
+    // The audited path must agree too (auditing is observe-only), and
+    // the streamed outcomes must satisfy every runtime invariant.
+    let auditor = Auditor::new();
+    for family in TimeModel::NAMES {
+        for seed in SEEDS.step_by(3) {
+            let inst = family_instance(family, seed);
+            let opt = inst.opt_cache();
+            for algorithm in STREAMABLE {
+                let context = format!("{algorithm} on {family}/seed={seed} (audited)");
+                let batch = run_audited(&inst, ALPHA, algorithm, &opt, &auditor)
+                    .unwrap_or_else(|e| panic!("batch {context}: {e}"));
+                let stream = streamed(&inst, algorithm);
+                assert_bit_identical(&batch, &stream, &context);
+                // Audit the streamed result itself: zero violations is
+                // part of the acceptance bar.
+                auditor.audit(&inst, ALPHA, algorithm, &stream, &opt);
+            }
+        }
+    }
+    assert!(auditor.checked() > 0, "the auditor must actually run");
+    assert_eq!(auditor.violations(), 0, "streamed outcomes must audit clean");
+}
+
+#[test]
+fn interleaved_advances_do_not_change_the_outcome() {
+    // Clock advances between arrivals are pure observation: a stream
+    // with `advance_to` interleaved at each arrival's release finishes
+    // bit-identical to the arrivals-only stream.
+    for algorithm in STREAMABLE {
+        let inst = family_instance("online", 5);
+        let plain = streamed(&inst, algorithm);
+        let mut session = StreamSession::new(algorithm, ALPHA).expect("streamable");
+        for job in arrival_ordered(&inst) {
+            session.advance_to(job.release).expect("advance");
+            session.arrive(job).expect("arrive");
+        }
+        let advanced = session.finish().expect("finish");
+        assert_bit_identical(&plain, &advanced, &format!("{algorithm} with advances"));
+    }
+}

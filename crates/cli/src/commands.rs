@@ -12,9 +12,9 @@
 //!
 //! Flags are uniform across subcommands — `--alg`, `--alpha`, `--m`,
 //! `--seed`, `--format table|json|csv` — parsed by the typed [`Flags`]
-//! helper: each command declares its known flags, unknown ones are
-//! errors, and the pre-redesign spellings (`--algorithm`, `--machines`)
-//! keep working with a deprecation note on stderr.
+//! helper: each command declares its known flags and unknown ones are
+//! errors. The pre-redesign spellings (`--algorithm`, `--machines`)
+//! were removed after a deprecation period; they are unknown flags now.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -22,9 +22,10 @@ use std::path::{Path, PathBuf};
 
 use qbss_bench::engine::{run_sweep_audited, EngineReport, InstanceSource, SweepSpec};
 use qbss_bench::perf::{self, Baseline, PerfConfig, Threshold};
-use qbss_telemetry::{Config, Filter, InitError, SinkTarget};
-use qbss_core::error::QbssError;
-use qbss_core::model::QbssInstance;
+use qbss_bench::StreamSession;
+use qbss_telemetry::{Config, Filter, InitError, JsonValue, SinkTarget};
+use qbss_core::error::{AlgorithmError, QbssError};
+use qbss_core::model::{QJob, QbssInstance};
 use qbss_core::offline::is_power_of_two_deadline;
 use qbss_core::pipeline::{run_evaluated, Algorithm, DEFAULT_FW_ITERS, DEFAULT_MACHINES};
 use qbss_instances::gen::{self, Compressibility, GenConfig, QueryModel, TimeModel};
@@ -38,11 +39,16 @@ qbss — speed scaling with explorable uncertainty (SPAA 2021)
 USAGE:
   qbss generate [--n N] [--seed S] [--family online|poisson|common|p2|arbitrary]
                 [--compress uniform|bimodal|heavytail|incompressible|full]
-                [--out FILE] [--trace FILE]
+                [--events] [--out FILE] [--trace FILE]
+                  (--events emits the JSONL arrival stream for `qbss stream`)
   qbss run      --alg ALG --in FILE [--alpha A] [--m M] [--format table|json|csv]
                 [--gantt true] [--save-outcome FILE] [--trace FILE]
                   ALG: avrq | bkpq | oaq | crcd | crp2d | crad
                      | avrq-m[:M] | avrq-m-nonmig[:M] | oaq-m[:M[:ITERS]]
+  qbss stream   --alg avrq|bkpq|oaq [--alpha A] [--in FILE] [--format table|json|csv]
+                [--trace FILE]
+                  (JSONL events from --in FILE or stdin: {\"type\": \"arrive\", ...},
+                   {\"type\": \"advance\", \"t\": T}, {\"type\": \"finish\"}; EOF finishes)
   qbss compare  --in FILE [--alpha A] [--format table|json|csv] [--trace FILE]
   qbss sweep    [--count K] [--n N] [--seed S] [--family F] [--compress C]
                 [--alg LIST|all] [--alpha LIST] [--m M] [--fw-iters I]
@@ -220,23 +226,15 @@ fn status_user(msg: &str) {
 // Flag parsing
 // ---------------------------------------------------------------------
 
-/// Deprecated spellings kept for compatibility: `(old, canonical)`.
-const DEPRECATED_ALIASES: [(&str, &str); 2] = [("algorithm", "alg"), ("machines", "m")];
-
 /// Typed `--key value` flags with a per-command vocabulary.
 #[derive(Debug)]
 struct Flags {
     values: HashMap<String, String>,
-    /// Parse-time notes (deprecation warnings), deferred so they can
-    /// flow through the telemetry pipeline once it is initialized.
-    notes: Vec<String>,
 }
 
 impl Flags {
     /// Parses `--key value` pairs. `known` is the command's canonical
-    /// vocabulary: unknown flags are bad input, deprecated aliases map
-    /// to their canonical name with a deferred deprecation note (see
-    /// [`Flags::emit_notes`]).
+    /// vocabulary: unknown flags are bad input.
     fn parse(args: &[String], known: &[&str]) -> Result<Flags, CliError> {
         Self::parse_with_switches(args, known, &[])
     }
@@ -250,18 +248,11 @@ impl Flags {
         switches: &[&str],
     ) -> Result<Flags, CliError> {
         let mut values = HashMap::new();
-        let mut notes = Vec::new();
         let mut it = args.iter().peekable();
         while let Some(key) = it.next() {
-            let Some(mut name) = key.strip_prefix("--") else {
+            let Some(name) = key.strip_prefix("--") else {
                 return Err(input(format!("expected --flag, got `{key}`")));
             };
-            if let Some(&(old, canonical)) =
-                DEPRECATED_ALIASES.iter().find(|&&(old, c)| old == name && known.contains(&c))
-            {
-                notes.push(format!("--{old} is deprecated; use --{canonical}"));
-                name = canonical;
-            }
             if !known.contains(&name) {
                 return Err(input(format!(
                     "unknown flag --{name} (expected one of: {})",
@@ -283,7 +274,7 @@ impl Flags {
             };
             values.insert(name.to_string(), value);
         }
-        Ok(Flags { values, notes })
+        Ok(Flags { values })
     }
 
     /// Reads a boolean switch set via [`Flags::parse_with_switches`].
@@ -293,14 +284,6 @@ impl Flags {
             Some("true") => Ok(true),
             Some("false") => Ok(false),
             Some(v) => Err(input(format!("--{name}: expected true or false, got `{v}`"))),
-        }
-    }
-
-    /// Emits the deferred parse-time notes through the telemetry-aware
-    /// channel; commands call this right after [`init_telemetry`].
-    fn emit_notes(&self) {
-        for note in &self.notes {
-            warn_user(note);
         }
     }
 
@@ -399,11 +382,33 @@ fn compress_for(name: &str) -> Result<Compressibility, CliError> {
 // Subcommands
 // ---------------------------------------------------------------------
 
+/// Renders an instance as the JSONL arrival-event stream `qbss stream`
+/// consumes, in canonical arrival order (release, then id).
+fn events_jsonl(inst: &QbssInstance) -> String {
+    let mut s = String::new();
+    for j in qbss_core::stream::arrival_ordered(inst) {
+        s.push_str(&format!(
+            "{{\"type\": \"arrive\", \"id\": {}, \"release\": {}, \"deadline\": {}, \
+             \"query_load\": {}, \"upper_bound\": {}, \"exact\": {}}}\n",
+            j.id,
+            j.release,
+            j.deadline,
+            j.query_load,
+            j.upper_bound,
+            j.reveal_exact()
+        ));
+    }
+    s
+}
+
 /// `qbss generate`.
 pub fn generate(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["n", "seed", "family", "compress", "out", "trace"])?;
+    let flags = Flags::parse_with_switches(
+        args,
+        &["n", "seed", "family", "compress", "out", "events", "trace"],
+        &["events"],
+    )?;
     let _telemetry = init_telemetry(&flags)?;
-    flags.emit_notes();
     let _span = qbss_telemetry::span!("cli.generate");
     let n = flags.usize("n", 50)?;
     let seed = flags.u64("seed", 0)?;
@@ -419,6 +424,20 @@ pub fn generate(args: &[String]) -> Result<(), CliError> {
         compress,
     };
     let inst = gen::generate(&cfg);
+    // `--events` emits the JSONL arrival stream `qbss stream` consumes
+    // instead of an instance document.
+    if flags.switch("events")? {
+        let body = events_jsonl(&inst);
+        match flags.get("out") {
+            Some(path) => {
+                std::fs::write(path, &body)
+                    .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+                status_user(&format!("wrote {n} arrival events to {path}"));
+            }
+            None => print!("{body}"),
+        }
+        return Ok(());
+    }
     match flags.get("out") {
         Some(path) => {
             io::write_file(&inst, Path::new(path))?;
@@ -484,7 +503,6 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         &["alg", "in", "alpha", "m", "format", "gantt", "save-outcome", "trace"],
     )?;
     let _telemetry = init_telemetry(&flags)?;
-    flags.emit_notes();
     let mut span = qbss_telemetry::span!("cli.run");
     let inst = load_instance(&flags)?;
     let alpha = flags.alpha()?;
@@ -523,6 +541,146 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// `qbss stream` — incremental arrivals through the streaming engine
+// ---------------------------------------------------------------------
+
+/// One parsed JSONL stream event (DESIGN.md §14).
+enum StreamEvent {
+    /// A job arrives at its release time.
+    Arrive(QJob),
+    /// The stream clock moves forward with no arrival.
+    Advance(f64),
+    /// End of stream (EOF implies it).
+    Finish,
+}
+
+/// Parses one JSONL event line: `{"type": "arrive", "id": …,
+/// "release": …, "deadline": …, "query_load": …, "upper_bound": …,
+/// "exact": …}`, `{"type": "advance", "t": …}` or `{"type": "finish"}`.
+/// Job fields are *not* model-validated here — the streaming engine
+/// rejects malformed jobs with its typed errors.
+fn parse_event(line: &str) -> Result<StreamEvent, String> {
+    let v = qbss_telemetry::json_parse(line).map_err(|e| format!("not a JSON event: {e}"))?;
+    let ty = v
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "event needs a string `type` field".to_string())?;
+    let num = |name: &str| {
+        v.get(name)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("`{ty}` event needs a number field `{name}`"))
+    };
+    match ty {
+        "arrive" => {
+            let id = v
+                .get("id")
+                .and_then(JsonValue::as_u64)
+                .filter(|&id| id <= u64::from(u32::MAX))
+                .ok_or_else(|| "`arrive` event needs an integer `id`".to_string())?;
+            Ok(StreamEvent::Arrive(QJob::new_unchecked(
+                id as u32,
+                num("release")?,
+                num("deadline")?,
+                num("query_load")?,
+                num("upper_bound")?,
+                num("exact")?,
+            )))
+        }
+        "advance" => Ok(StreamEvent::Advance(num("t")?)),
+        "finish" => Ok(StreamEvent::Finish),
+        other => Err(format!("unknown event type `{other}` (arrive|advance|finish)")),
+    }
+}
+
+/// `qbss stream` — feeds JSONL arrival events from a file or stdin
+/// through the incremental [`StreamSession`] engine and prints the
+/// evaluated summary. A malformed or rejected event is bad input with
+/// its line number (exit 2); a failure at finish (infeasible schedule,
+/// empty stream) is an algorithm failure (exit 1).
+pub fn stream(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["alg", "alpha", "in", "format", "trace"])?;
+    let _telemetry = init_telemetry(&flags)?;
+    let mut span = qbss_telemetry::span!("cli.stream");
+    let alpha = flags.alpha()?;
+    let algorithm = flags.algorithm()?;
+    let format = flags.format("table", &["table", "json", "csv"])?;
+    let file = flags.get("in").unwrap_or("-");
+    let text = if file == "-" {
+        std::io::read_to_string(std::io::stdin())
+            .map_err(|e| CliError::Io(format!("cannot read stdin: {e}")))?
+    } else {
+        std::fs::read_to_string(file)
+            .map_err(|e| CliError::Io(format!("cannot read {file}: {e}")))?
+    };
+    let label = if file == "-" { "stdin" } else { file };
+    span.record("algorithm", algorithm.to_string());
+    span.record("alpha", alpha);
+
+    // A batch-only `--alg` is a flag error, knowable before any event.
+    let mut session = StreamSession::new(algorithm, alpha).map_err(|e| match e {
+        QbssError::Algorithm(inner @ AlgorithmError::UnsupportedStructure { .. }) => {
+            input(format!("--alg: {inner}"))
+        }
+        other => CliError::Algorithm(other),
+    })?;
+    let (mut arrivals, mut advances) = (0u64, 0u64);
+    let mut finished = false;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if finished {
+            return Err(input(format!("{label} line {lineno}: event after `finish`")));
+        }
+        let event = parse_event(line).map_err(|e| input(format!("{label} line {lineno}: {e}")))?;
+        match event {
+            StreamEvent::Arrive(job) => {
+                session.arrive(job).map_err(|e| input(format!("{label} line {lineno}: {e}")))?;
+                arrivals += 1;
+            }
+            StreamEvent::Advance(t) => {
+                session
+                    .advance_to(t)
+                    .map_err(|e| input(format!("{label} line {lineno}: {e}")))?;
+                advances += 1;
+            }
+            StreamEvent::Finish => finished = true,
+        }
+    }
+    // EOF implies `finish`: the solver runs out its horizon either way.
+    let jobs = session.jobs();
+    span.record("jobs", jobs);
+    let ev = session.finish()?;
+    let queried = ev.outcome.decisions.iter().filter(|d| d.queried).count();
+    match format.as_str() {
+        "json" => println!(
+            "{{\"algorithm\": \"{}\", \"arrivals\": {arrivals}, \"advances\": {advances}, \
+             \"jobs\": {jobs}, \"queried\": {queried}, \"energy\": {}, \"max_speed\": {}}}",
+            ev.outcome.algorithm, ev.energy, ev.max_speed
+        ),
+        "csv" => println!(
+            "algorithm,arrivals,advances,jobs,queried,energy,max_speed\n\
+             {},{arrivals},{advances},{jobs},{queried},{},{}",
+            ev.outcome.algorithm, ev.energy, ev.max_speed
+        ),
+        _ => {
+            println!("algorithm: {}", ev.outcome.algorithm);
+            println!(
+                "events:    {} ({arrivals} arrivals, {advances} advances)",
+                arrivals + advances
+            );
+            println!("jobs:      {jobs} ({queried} queried)");
+            println!("energy:    {:.4} (alpha = {alpha})", ev.energy);
+            println!("max speed: {:.4}", ev.max_speed);
+            println!("slices:    {}", ev.outcome.schedule.slices.len());
+        }
+    }
+    Ok(())
+}
+
 /// The algorithms applicable to an instance's structure (every online
 /// algorithm, plus the offline family where the instance is in scope).
 fn applicable(inst: &QbssInstance) -> Vec<Algorithm> {
@@ -543,7 +701,6 @@ fn applicable(inst: &QbssInstance) -> Vec<Algorithm> {
 pub fn compare(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["in", "alpha", "format", "trace"])?;
     let _telemetry = init_telemetry(&flags)?;
-    flags.emit_notes();
     let mut span = qbss_telemetry::span!("cli.compare");
     let inst = load_instance(&flags)?;
     let alpha = flags.alpha()?;
@@ -673,7 +830,6 @@ pub fn sweep(args: &[String]) -> Result<(), CliError> {
         &["audit"],
     )?;
     let _telemetry = init_telemetry(&flags)?;
-    flags.emit_notes();
     let mut span = qbss_telemetry::span!("cli.sweep");
     let count = flags.u64("count", 100)?;
     let n = flags.usize("n", 20)?;
@@ -832,8 +988,6 @@ pub fn serve_cmd(args: &[String]) -> Result<(), CliError> {
         Err(e @ InitError::Io(_)) => return Err(CliError::Io(e.to_string())),
     }
     let _telemetry = Telemetry;
-    flags.emit_notes();
-
     let listener = std::net::TcpListener::bind(addr)
         .map_err(|e| CliError::Io(format!("cannot bind {addr}: {e}")))?;
     let local = listener
@@ -919,8 +1073,6 @@ pub fn loadgen(args: &[String]) -> Result<(), CliError> {
     if !spawn && flags.get("budget").is_some() {
         warn_user("--budget only shapes a --spawn server; the external server keeps its own");
     }
-    flags.emit_notes();
-
     // The sender's socket timeout must outlast the server's own request
     // deadline, so a slow-but-alive response is recorded, not dropped.
     let io_timeout = std::time::Duration::from_millis(request_timeout_ms.saturating_add(2_000));
@@ -1055,7 +1207,6 @@ fn threshold_from(flags: &Flags) -> Result<Threshold, CliError> {
 fn perf_record(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["out", "scenarios", "repeats", "warmup", "shards", "trace"])?;
     let _telemetry = init_telemetry(&flags)?;
-    flags.emit_notes();
     let _span = qbss_telemetry::span!("cli.perf.record");
     let names: Vec<String> = flags.get("scenarios").map_or_else(Vec::new, |s| {
         s.split(',').map(str::trim).filter(|t| !t.is_empty()).map(String::from).collect()
@@ -1238,13 +1389,14 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_aliases_map_to_canonical() {
-        let f =
-            Flags::parse(&args(&["--algorithm", "avrq", "--machines", "4"]), RUN_FLAGS).unwrap();
-        assert_eq!(f.get("alg"), Some("avrq"));
-        assert_eq!(f.get("m"), Some("4"));
-        // The alias only applies where the canonical flag exists.
-        assert!(Flags::parse(&args(&["--machines", "4"]), &["alpha"]).is_err());
+    fn removed_aliases_are_unknown_flags() {
+        // The deprecation period for --algorithm/--machines is over:
+        // both are plain unknown flags now (exit 2).
+        for alias in [&["--algorithm", "avrq"], &["--machines", "4"]] {
+            let err = Flags::parse(&args(alias), RUN_FLAGS).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{err}");
+            assert!(err.to_string().contains("unknown flag"), "{err}");
+        }
     }
 
     #[test]
@@ -1338,6 +1490,70 @@ mod tests {
             .jobs
             .iter()
             .all(|j| qbss_core::offline::is_power_of_two_deadline(j.deadline)));
+    }
+
+    #[test]
+    fn stream_consumes_generated_jsonl_events() {
+        let dir = std::env::temp_dir().join("qbss-cli-stream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let p = path.to_str().unwrap();
+        generate(&args(&["--n", "10", "--seed", "4", "--events", "--out", p]))
+            .expect("generate --events");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 10);
+        assert!(text.lines().all(|l| l.contains("\"type\": \"arrive\"")), "{text}");
+        for alg in ["avrq", "bkpq", "oaq"] {
+            stream(&args(&["--alg", alg, "--in", p])).expect(alg);
+        }
+        // An explicit finish (and advances) work too.
+        let mut with_advance = String::from("{\"type\": \"advance\", \"t\": 0.0}\n");
+        with_advance.push_str(&text);
+        with_advance.push_str("{\"type\": \"finish\"}\n");
+        let path2 = dir.join("events2.jsonl");
+        std::fs::write(&path2, &with_advance).unwrap();
+        stream(&args(&["--alg", "oaq", "--in", path2.to_str().unwrap()])).expect("finish event");
+    }
+
+    #[test]
+    fn stream_rejects_bad_events_with_line_numbers() {
+        let dir = std::env::temp_dir().join("qbss-cli-stream-bad-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |body: &str| {
+            let path = dir.join("bad.jsonl");
+            std::fs::write(&path, body).unwrap();
+            stream(&args(&["--alg", "oaq", "--in", path.to_str().unwrap()]))
+        };
+        let arrive = "{\"type\": \"arrive\", \"id\": 0, \"release\": 1, \"deadline\": 3, \
+                      \"query_load\": 0.5, \"upper_bound\": 2, \"exact\": 1}\n";
+        // Unknown event type, non-JSON line, missing field: bad input
+        // with the (comment-inclusive) line number.
+        for body in ["{\"type\": \"bogus\"}\n", "not json\n", "{\"type\": \"advance\"}\n"] {
+            let err = run(&format!("# comment\n{body}")).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{err}");
+            assert!(err.to_string().contains("line 2"), "{err}");
+        }
+        // An out-of-order arrival is rejected by the engine, same code.
+        let past = "{\"type\": \"arrive\", \"id\": 1, \"release\": 0, \"deadline\": 3, \
+                    \"query_load\": 0.5, \"upper_bound\": 2, \"exact\": 1}\n";
+        let err = run(&format!("{arrive}{past}")).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+        // Events after `finish` are rejected.
+        let err = run(&format!("{arrive}{{\"type\": \"finish\"}}\n{arrive}")).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        // A batch-only algorithm is a flag error; an empty stream is an
+        // algorithm failure; a missing file is I/O.
+        let err = run(arrive).map(|()| {
+            stream(&args(&["--alg", "crcd", "--in", dir.join("bad.jsonl").to_str().unwrap()]))
+                .unwrap_err()
+        });
+        assert_eq!(err.expect("stream ok").exit_code(), 2);
+        assert_eq!(run("").unwrap_err().exit_code(), 1);
+        assert_eq!(
+            stream(&args(&["--alg", "oaq", "--in", "/no/such/file"])).unwrap_err().exit_code(),
+            3
+        );
     }
 
     #[test]

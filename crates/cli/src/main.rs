@@ -5,6 +5,8 @@
 //! * `qbss generate` — write a random instance (JSON) to stdout/file;
 //! * `qbss run` — run one algorithm on an instance file, print the
 //!   decisions, energy and ratios;
+//! * `qbss stream` — feed JSONL arrival events (file or stdin) through
+//!   the incremental streaming engine and print the evaluated summary;
 //! * `qbss compare` — run every applicable algorithm on an instance and
 //!   print a comparison table;
 //! * `qbss sweep` — run a declarative instance × algorithm × α grid on
@@ -33,9 +35,10 @@
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
 //! workspace dependency-free; flags are uniform across subcommands
-//! (`--alg`, `--alpha`, `--m`, `--seed`, `--format`), and the old
-//! spellings (`--algorithm`, `--machines`) still work with a
-//! deprecation note on stderr.
+//! (`--alg`, `--alpha`, `--m`, `--seed`, `--format`). The pre-redesign
+//! spellings (`--algorithm`, `--machines`) have been removed after
+//! their deprecation period: they are rejected as unknown flags
+//! (exit 2) like any other typo.
 //!
 //! Exit codes are part of the contract (scripts rely on them):
 //! `0` success, `1` algorithm failure on valid input, `2` bad input
@@ -64,6 +67,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => commands::generate(rest),
         "run" => commands::run(rest),
+        "stream" => commands::stream(rest),
         "compare" => commands::compare(rest),
         "sweep" => commands::sweep(rest),
         "serve" => commands::serve_cmd(rest),

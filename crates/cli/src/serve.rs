@@ -15,6 +15,19 @@
 //! | `GET /tracez` | most recent spans/events from the ring sink as HTML (`?format=jsonl` for the raw records) |
 //! | `POST /evaluate` | instance JSON in, evaluated outcome out (`?alg=`, `?alpha=`, `?m=`) |
 //! | `POST /sweep` | sweep-spec JSON in, deterministic aggregate out |
+//! | `POST /session` | open a streaming session (`?alg=`, `?alpha=`); returns the session id |
+//! | `POST /session/{id}/arrive` | one job object in, the arrival's speed delta out |
+//! | `POST /session/{id}/advance` | move the session clock (`?t=`) with no arrival |
+//! | `POST /session/{id}/finish` | run out the horizon, return the evaluated outcome, close the session |
+//!
+//! **Streaming sessions.** A session wraps the incremental
+//! [`StreamSession`] engine (DESIGN.md §14): each `arrive`/`advance`
+//! event is cost-accounted against the admission budget like any other
+//! work request (cost 1 per event), and a session left idle past the
+//! request deadline is reaped by the accept loop's tick — the same
+//! machinery that reaps stale queue entries. A drain (SIGTERM/ctrl-c)
+//! answers in-flight events, then discards open sessions with the
+//! process.
 //!
 //! **Admission control.** Work requests carry an estimated cost — `1`
 //! for `/evaluate` (one cell), `instances × algorithms × alphas` for
@@ -59,7 +72,7 @@
 //! requests drain, sinks flush, and the process exits 0 (the exit-code
 //! contract treats a signalled drain as success).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -69,9 +82,13 @@ use std::time::{Duration, Instant};
 
 use qbss_bench::engine::run_sweep;
 use qbss_bench::request::{RequestError, SweepRequest, EVALUATE_COST};
+use qbss_bench::StreamSession;
+use qbss_core::model::QJob;
 use qbss_core::pipeline::{run_for_request, Algorithm};
 use qbss_instances::io::{self, IoError};
-use qbss_telemetry::{expo, json_escape, json_f64, trace, RingSink, DURATION_US_BOUNDS};
+use qbss_telemetry::{
+    expo, json_escape, json_f64, trace, JsonValue, RingSink, DURATION_US_BOUNDS,
+};
 
 /// Largest accepted request body (instances and sweep specs are small;
 /// anything bigger is a client error, answered `413` before the body
@@ -279,6 +296,90 @@ struct Permit<'a> {
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
         self.admission.in_flight_cost.fetch_sub(self.cost, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming sessions
+// ---------------------------------------------------------------------
+
+/// Most streaming sessions concurrently open; beyond this, opens are
+/// shed with a typed `429` like any other overload.
+const MAX_OPEN_SESSIONS: usize = 1024;
+
+/// One open streaming session, stamped with its last event time so the
+/// accept loop can reap sessions whose client went away.
+struct SessionEntry {
+    session: StreamSession,
+    touched: Instant,
+}
+
+/// The live streaming sessions: id → engine state. Every operation runs
+/// under one mutex — per-event work is incremental (that is the point
+/// of the streaming engine), so the critical sections are short.
+struct Sessions {
+    inner: Mutex<SessionMap>,
+    reaped: AtomicU64,
+}
+
+struct SessionMap {
+    next_id: u64,
+    open: HashMap<u64, SessionEntry>,
+}
+
+impl Sessions {
+    fn new() -> Self {
+        Sessions {
+            inner: Mutex::new(SessionMap { next_id: 0, open: HashMap::new() }),
+            reaped: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessionMap> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Opens a session; `None` when the open-session cap is hit.
+    fn open(&self, session: StreamSession) -> Option<u64> {
+        let mut map = self.lock();
+        if map.open.len() >= MAX_OPEN_SESSIONS {
+            return None;
+        }
+        map.next_id += 1;
+        let id = map.next_id;
+        map.open.insert(id, SessionEntry { session, touched: Instant::now() });
+        Some(id)
+    }
+
+    /// Runs `f` on an open session and re-stamps its last touch.
+    fn with<T>(&self, id: u64, f: impl FnOnce(&mut StreamSession) -> T) -> Option<T> {
+        let mut map = self.lock();
+        let entry = map.open.get_mut(&id)?;
+        entry.touched = Instant::now();
+        Some(f(&mut entry.session))
+    }
+
+    /// Removes a session (for `finish`, which consumes the engine).
+    fn take(&self, id: u64) -> Option<StreamSession> {
+        self.lock().open.remove(&id).map(|e| e.session)
+    }
+
+    /// Drops every session idle longer than `max_idle` and returns how
+    /// many were reaped (the accept loop's tick calls this with the
+    /// request deadline, the same age bound queued connections get).
+    fn reap(&self, max_idle: Duration) -> usize {
+        let mut map = self.lock();
+        let before = map.open.len();
+        map.open.retain(|_, e| e.touched.elapsed() <= max_idle);
+        let reaped = before - map.open.len();
+        if reaped > 0 {
+            self.reaped.fetch_add(reaped as u64, Ordering::Relaxed);
+        }
+        reaped
+    }
+
+    fn open_count(&self) -> usize {
+        self.lock().open.len()
     }
 }
 
@@ -625,7 +726,11 @@ fn index() -> Response {
                GET  /readyz     readiness (503 once draining)\n\
                GET  /tracez     recent spans/events as HTML (?format=jsonl for raw)\n\
                POST /evaluate   instance JSON -> evaluated outcome (?alg=&alpha=&m=)\n\
-               POST /sweep      sweep spec JSON -> deterministic aggregate\n"
+               POST /sweep      sweep spec JSON -> deterministic aggregate\n\
+               POST /session    open a streaming session (?alg=&alpha=) -> id\n\
+               POST /session/{id}/arrive   job JSON -> the arrival's speed delta\n\
+               POST /session/{id}/advance  move the session clock (?t=)\n\
+               POST /session/{id}/finish   evaluated outcome; closes the session\n"
             .to_string(),
         extra_headers: Vec::new(),
     }
@@ -645,6 +750,7 @@ fn health_body(ctx: &ServerCtx<'_>) -> String {
     format!(
         "{{\"status\": \"{}\", \"uptime_s\": {}, \"in_flight\": {}, \"served\": {}, \
          \"queue_depth\": {}, \"shed\": {}, \"reaped\": {}, \
+         \"sessions\": {{\"open\": {}, \"reaped\": {}}}, \
          \"budget\": {{\"capacity\": {}, \"in_flight_cost\": {}}}}}",
         if stats.draining.load(Ordering::Relaxed) { "draining" } else { "ok" },
         json_f64(stats.started.elapsed().as_secs_f64()),
@@ -653,6 +759,8 @@ fn health_body(ctx: &ServerCtx<'_>) -> String {
         ctx.queue.depth(),
         ctx.admission.shed.load(Ordering::Relaxed),
         ctx.admission.reaped.load(Ordering::Relaxed),
+        ctx.sessions.open_count(),
+        ctx.sessions.reaped.load(Ordering::Relaxed),
         ctx.admission.budget,
         ctx.admission.in_flight_cost(),
     )
@@ -766,6 +874,187 @@ fn sweep(req: &HttpRequest, ctx: &ServerCtx<'_>) -> Response {
     }
 }
 
+/// The admission cost of one streaming event (`arrive`/`advance`):
+/// incremental work on one job, the same order as one `/evaluate` cell.
+const SESSION_EVENT_COST: u64 = 1;
+
+/// Parses one arriving job from a request body: a bare job object with
+/// the same field names instance documents use. Values are *not*
+/// model-validated here — the streaming engine rejects malformed jobs
+/// with typed errors (422).
+fn job_from_json(body: &[u8]) -> Result<QJob, Response> {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Err(Response::error(400, "bad_request", "body is not UTF-8"));
+    };
+    let v = qbss_telemetry::json_parse(text)
+        .map_err(|e| Response::error(400, "syntax", &format!("not a JSON job object: {e}")))?;
+    let id = v
+        .get("id")
+        .and_then(JsonValue::as_u64)
+        .filter(|&id| id <= u64::from(u32::MAX))
+        .ok_or_else(|| Response::error(400, "syntax", "job object needs an integer `id`"))?;
+    let num = |name: &str| {
+        v.get(name).and_then(JsonValue::as_f64).ok_or_else(|| {
+            Response::error(400, "syntax", &format!("job object needs a number field `{name}`"))
+        })
+    };
+    Ok(QJob::new_unchecked(
+        id as u32,
+        num("release")?,
+        num("deadline")?,
+        num("query_load")?,
+        num("upper_bound")?,
+        num("exact")?,
+    ))
+}
+
+/// `POST /session` — opens a streaming session (`?alg=`, `?alpha=`).
+fn session_open(req: &HttpRequest, ctx: &ServerCtx<'_>) -> Response {
+    let alg_name = query_get(&req.query, "alg").unwrap_or("avrq");
+    let alg: Algorithm = match alg_name.parse() {
+        Ok(a) => a,
+        Err(e) => return Response::error(400, "bad_request", &format!("alg: {e}")),
+    };
+    let alpha: f64 = match query_get(&req.query, "alpha") {
+        None => 3.0,
+        Some(raw) => match raw.parse() {
+            Ok(a) => a,
+            Err(_) => return Response::error(400, "bad_request", "alpha: not a number"),
+        },
+    };
+    // Bad α and batch-only algorithms carry the pipeline's typed errors:
+    // well-formed input the model rejects is 422, like `/evaluate`.
+    let session = match StreamSession::new(alg, alpha) {
+        Ok(s) => s,
+        Err(e) => return Response::error(422, "algorithm", &e.to_string()),
+    };
+    let Some(id) = ctx.sessions.open(session) else {
+        return Response::shed(
+            ctx.admission.retry_after_s(),
+            &format!("all {MAX_OPEN_SESSIONS} session slots are open"),
+        );
+    };
+    qbss_telemetry::counter!("serve.session.opened").inc();
+    Response::json(
+        200,
+        format!("{{\"session\": {id}, \"algorithm\": \"{alg}\", \"alpha\": {}}}", json_f64(alpha)),
+    )
+}
+
+/// The live-state body every successful session event answers with.
+fn session_event_body(id: u64, session: &StreamSession) -> String {
+    format!(
+        "{{\"session\": {id}, \"t\": {}, \"speed\": {}, \"events\": {}, \"jobs\": {}}}",
+        json_f64(session.now()),
+        json_f64(session.speed()),
+        session.events(),
+        session.jobs()
+    )
+}
+
+/// `POST /session/{id}/arrive|advance|finish` — one streaming event,
+/// cost-accounted against the admission budget.
+fn session_event(req: &HttpRequest, id: u64, action: &str, ctx: &ServerCtx<'_>) -> Response {
+    let Some(_permit) = ctx.admission.try_admit(SESSION_EVENT_COST) else {
+        return shed_response(ctx, SESSION_EVENT_COST);
+    };
+    qbss_telemetry::counter!("serve.session.events").inc();
+    let gone = || {
+        Response::error(
+            404,
+            "not_found",
+            &format!("no open session {id} (finished, reaped as idle, or never opened)"),
+        )
+    };
+    match action {
+        "arrive" => {
+            let job = match job_from_json(&req.body) {
+                Ok(job) => job,
+                Err(reject) => return reject,
+            };
+            // A rejected event (malformed job, out-of-order arrival,
+            // duplicate id) leaves the session open and unchanged.
+            match ctx.sessions.with(id, |s| {
+                s.arrive(job).map(|delta| {
+                    format!(
+                        "{{\"session\": {id}, \"t\": {}, \"speed_before\": {}, \
+                         \"speed_after\": {}, \"events\": {}, \"jobs\": {}}}",
+                        json_f64(delta.at),
+                        json_f64(delta.before),
+                        json_f64(delta.after),
+                        s.events(),
+                        s.jobs()
+                    )
+                })
+            }) {
+                None => gone(),
+                Some(Ok(body)) => Response::json(200, body),
+                Some(Err(e)) => Response::error(422, "stream", &e.to_string()),
+            }
+        }
+        "advance" => {
+            let t: f64 = match query_get(&req.query, "t").map(str::parse) {
+                Some(Ok(t)) => t,
+                _ => return Response::error(400, "bad_request", "advance needs ?t=<number>"),
+            };
+            match ctx.sessions.with(id, |s| s.advance_to(t).map(|()| session_event_body(id, s))) {
+                None => gone(),
+                Some(Ok(body)) => Response::json(200, body),
+                Some(Err(e)) => Response::error(422, "stream", &e.to_string()),
+            }
+        }
+        "finish" => {
+            // Finishing consumes the engine either way: a session whose
+            // outcome fails evaluation is closed, not retryable.
+            let Some(session) = ctx.sessions.take(id) else {
+                return gone();
+            };
+            let alpha = session.alpha();
+            qbss_telemetry::counter!("serve.session.finished").inc();
+            match session.finish() {
+                Ok(ev) => Response::json(
+                    200,
+                    format!(
+                        "{{\"session\": {id}, \"algorithm\": \"{}\", \"alpha\": {}, \
+                         \"energy\": {}, \"max_speed\": {}, \"outcome\": {}}}",
+                        json_escape(&ev.outcome.algorithm),
+                        json_f64(alpha),
+                        json_f64(ev.energy),
+                        json_f64(ev.max_speed),
+                        io::outcome_to_json(&ev.outcome)
+                    ),
+                ),
+                Err(e) => Response::error(422, "algorithm", &e.to_string()),
+            }
+        }
+        other => Response::error(
+            404,
+            "not_found",
+            &format!("no such session action `{other}` (arrive|advance|finish)"),
+        ),
+    }
+}
+
+/// Routes `/session` and `/session/{id}/{action}`.
+fn session_endpoint(req: &HttpRequest, ctx: &ServerCtx<'_>) -> Response {
+    let rest = req.path.trim_start_matches("/session");
+    if rest.is_empty() {
+        return session_open(req, ctx);
+    }
+    let mut parts = rest.trim_start_matches('/').splitn(2, '/');
+    let (Some(id_text), Some(action)) = (parts.next(), parts.next()) else {
+        return Response::error(
+            404,
+            "not_found",
+            "session endpoints: POST /session, POST /session/{id}/arrive|advance|finish",
+        );
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(404, "not_found", &format!("session ids are integers: `{id_text}`"));
+    };
+    session_event(req, id, action, ctx)
+}
+
 /// Builds the typed `429`, counts the shed in both the process stats
 /// (`/healthz`) and the metrics registry (`serve.shed` — this is work
 /// traffic, so registry writes are in-contract).
@@ -798,14 +1087,16 @@ fn route(req: &HttpRequest, request_id: &str, ctx: &ServerCtx<'_>) -> Response {
         ("GET", "/healthz") => healthz(ctx),
         ("GET", "/readyz") => readyz(ctx),
         ("GET", "/tracez") => tracez(&req.query, &ctx.cfg.ring),
-        ("POST", "/evaluate") | ("POST", "/sweep") => {
+        ("POST", p) if p == "/evaluate" || p == "/sweep" || p == "/session" || p.starts_with("/session/") => {
             // Work endpoints are the only registry writers, so idle
             // /metrics scrapes stay byte-stable.
             let started = Instant::now();
             let resp = if req.path == "/evaluate" {
                 evaluate(req, request_id, ctx)
-            } else {
+            } else if req.path == "/sweep" {
                 sweep(req, ctx)
+            } else {
+                session_endpoint(req, ctx)
             };
             qbss_telemetry::counter!("serve.requests").inc();
             qbss_telemetry::metrics()
@@ -818,6 +1109,9 @@ fn route(req: &HttpRequest, request_id: &str, ctx: &ServerCtx<'_>) -> Response {
         }
         (_, "/" | "/metrics" | "/healthz" | "/readyz" | "/tracez" | "/evaluate" | "/sweep") => {
             Response::error(405, "method_not_allowed", "wrong method for this endpoint")
+        }
+        (_, p) if p == "/session" || p.starts_with("/session/") => {
+            Response::error(405, "method_not_allowed", "session endpoints are POST-only")
         }
         (_, path) => Response::error(404, "not_found", &format!("no such endpoint: {path}")),
     }
@@ -833,6 +1127,7 @@ struct ServerCtx<'a> {
     cfg: &'a ServeConfig,
     admission: &'a Admission,
     queue: &'a Queue,
+    sessions: &'a Sessions,
 }
 
 impl ServerCtx<'_> {
@@ -949,9 +1244,20 @@ fn accept_loop(listener: TcpListener, ctx: &ServerCtx<'_>) {
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 // Idle tick: reap queue entries that aged out before a
-                // worker could take them.
+                // worker could take them, and streaming sessions whose
+                // client stopped sending events.
                 for victim in ctx.queue.reap(ctx.request_timeout()) {
                     reap_connection(victim, ctx);
+                }
+                let reaped = ctx.sessions.reap(ctx.request_timeout());
+                if reaped > 0 {
+                    qbss_telemetry::counter!("serve.session.reaped").add(reaped as u64);
+                    qbss_telemetry::warn!(
+                        "serve.session",
+                        { reaped = reaped as u64 },
+                        "reaped {} idle streaming session(s)",
+                        reaped
+                    );
                 }
                 std::thread::sleep(tick);
             }
@@ -977,7 +1283,14 @@ pub fn run(listener: TcpListener, cfg: ServeConfig) -> Result<(), String> {
     let stats = ServerStats::new();
     let admission = Admission::new(cfg.budget);
     let queue = Queue::new(cfg.workers * 16);
-    let ctx = ServerCtx { stats: &stats, cfg: &cfg, admission: &admission, queue: &queue };
+    let sessions = Sessions::new();
+    let ctx = ServerCtx {
+        stats: &stats,
+        cfg: &cfg,
+        admission: &admission,
+        queue: &queue,
+        sessions: &sessions,
+    };
     qbss_telemetry::info!(
         "serve",
         { workers = cfg.workers, budget = cfg.budget },
@@ -1142,6 +1455,57 @@ mod tests {
         std::thread::sleep(Duration::from_millis(60));
         assert!(d.expired());
         assert!(d.read_slice().is_none(), "expired deadlines stop reads");
+    }
+
+    #[test]
+    fn session_store_opens_caps_and_reaps() {
+        let sessions = Sessions::new();
+        let open = |sessions: &Sessions| {
+            sessions.open(StreamSession::new(Algorithm::Oaq, 3.0).expect("session"))
+        };
+        let a = open(&sessions).expect("first id");
+        let b = open(&sessions).expect("second id");
+        assert_ne!(a, b, "ids are never reused");
+        assert_eq!(sessions.open_count(), 2);
+        // `with` touches the session; `take` consumes it.
+        assert_eq!(sessions.with(a, |s| s.jobs()), Some(0));
+        assert!(sessions.take(a).is_some());
+        assert!(sessions.with(a, |s| s.jobs()).is_none(), "taken sessions are gone");
+        assert_eq!(sessions.open_count(), 1);
+        // A generous idle window reaps nothing; a zero window reaps all.
+        assert_eq!(sessions.reap(Duration::from_secs(60)), 0);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(sessions.reap(Duration::ZERO), 1);
+        assert_eq!(sessions.open_count(), 0);
+        assert_eq!(sessions.reaped.load(Ordering::Relaxed), 1);
+        // The cap sheds further opens.
+        for _ in 0..MAX_OPEN_SESSIONS {
+            assert!(open(&sessions).is_some());
+        }
+        assert!(open(&sessions).is_none(), "cap reached");
+    }
+
+    #[test]
+    fn session_jobs_parse_from_bare_json_objects() {
+        let job = job_from_json(
+            br#"{"id": 3, "release": 0.5, "deadline": 2.0, "query_load": 0.25,
+                 "upper_bound": 1.0, "exact": 0.75}"#,
+        )
+        .expect("valid job");
+        assert_eq!(job.id, 3);
+        assert_eq!(job.release, 0.5);
+        assert_eq!(job.reveal_exact(), 0.75);
+        // Missing fields, non-integer ids, and non-JSON are all 400s.
+        for bad in [
+            &b"not json"[..],
+            br#"{"id": 1.5, "release": 0.0, "deadline": 1.0, "query_load": 0.1,
+                 "upper_bound": 1.0, "exact": 0.5}"#,
+            br#"{"id": 1, "release": 0.0}"#,
+            br#"{"id": 4294967296, "release": 0.0, "deadline": 1.0, "query_load": 0.1,
+                 "upper_bound": 1.0, "exact": 0.5}"#,
+        ] {
+            assert_eq!(job_from_json(bad).unwrap_err().status, 400, "{:?}", bad);
+        }
     }
 
     #[test]

@@ -342,12 +342,66 @@ fn trace_report_and_json_summary_agree_with_the_text_digest() {
 }
 
 #[test]
-fn deprecated_alias_note_survives_on_plain_stderr() {
+fn removed_aliases_are_rejected_as_unknown_flags() {
     let inst = tmp("alias_inst.json");
     run_ok(qbss(&["generate", "--n", "6", "--seed", "1", "--out"]).arg(&inst));
-    let out = run_ok(
-        qbss(&["run", "--algorithm", "avrq", "--in"]).arg(&inst).args(["--format", "json"]),
-    );
-    let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("deprecated"), "{err}");
+    for alias in [["--algorithm", "avrq"], ["--machines", "2"]] {
+        let out = qbss(&["run"])
+            .args(alias)
+            .args(["--alg", "avrq", "--in"])
+            .arg(&inst)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{alias:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("unknown flag"), "{alias:?}: {err}");
+    }
+}
+
+#[test]
+fn stream_matches_run_bitwise_over_the_binary() {
+    // The same seed yields the same instance as a document and as a
+    // JSONL arrival stream; the streaming path must price it
+    // bit-identically to the batch path.
+    let inst = tmp("stream_inst.json");
+    let ev = tmp("stream_events.jsonl");
+    run_ok(qbss(&["generate", "--n", "12", "--seed", "7", "--out"]).arg(&inst));
+    run_ok(qbss(&["generate", "--n", "12", "--seed", "7", "--events", "--out"]).arg(&ev));
+    for alg in ["avrq", "bkpq", "oaq"] {
+        let run_out =
+            run_ok(qbss(&["run", "--alg", alg, "--in"]).arg(&inst).args(["--format", "json"]));
+        let stream_out =
+            run_ok(qbss(&["stream", "--alg", alg, "--in"]).arg(&ev).args(["--format", "json"]));
+        let batch = qbss_telemetry::json_parse(&String::from_utf8(run_out.stdout).expect("utf8"))
+            .expect("run JSON");
+        let streamed =
+            qbss_telemetry::json_parse(&String::from_utf8(stream_out.stdout).expect("utf8"))
+                .expect("stream JSON");
+        for key in ["energy", "max_speed"] {
+            let a = batch.get(key).and_then(qbss_telemetry::JsonValue::as_f64).expect(key);
+            let b = streamed.get(key).and_then(qbss_telemetry::JsonValue::as_f64).expect(key);
+            assert_eq!(a.to_bits(), b.to_bits(), "{alg}/{key}");
+        }
+    }
+}
+
+#[test]
+fn stream_reads_events_from_stdin() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let ev = tmp("stdin_events.jsonl");
+    run_ok(qbss(&["generate", "--n", "8", "--seed", "3", "--events", "--out"]).arg(&ev));
+    let body = std::fs::read(&ev).expect("events file");
+    let mut child = qbss(&["stream", "--alg", "oaq", "--format", "csv"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child.stdin.as_mut().expect("stdin").write_all(&body).expect("pipe");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.starts_with("algorithm,arrivals,advances,"), "{stdout}");
+    assert!(stdout.contains("OAQ,8,0,8,"), "{stdout}");
 }

@@ -475,6 +475,118 @@ fn over_budget_sweeps_are_shed_with_typed_429s() {
     assert_eq!(wait_exit(child), Some(0));
 }
 
+/// Extracts a top-level number field from a JSON response body.
+fn json_num(body: &str, field: &str) -> f64 {
+    qbss_telemetry::json_parse(body)
+        .unwrap_or_else(|e| panic!("unparseable body ({e}): {body}"))
+        .get(field)
+        .and_then(qbss_telemetry::JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("no `{field}` in {body}"))
+}
+
+/// The streaming-session lifecycle over real TCP: open → arrive →
+/// advance → finish, with the finish bit-identical to `/evaluate` on
+/// the same jobs, and the typed-error taxonomy on every wrong turn.
+#[test]
+fn streaming_sessions_run_end_to_end_and_match_evaluate() {
+    let (child, addr) = start_server(&[]);
+    wait_ready(&addr);
+
+    let job0 = r#"{"id": 0, "release": 0.0, "deadline": 2.0, "query_load": 0.2,
+                   "upper_bound": 2.0, "exact": 0.3}"#;
+    let job1 = r#"{"id": 1, "release": 0.0, "deadline": 3.0, "query_load": 0.1,
+                   "upper_bound": 1.5, "exact": 1.0}"#;
+
+    // Open a session and walk the lifecycle.
+    let (status, _, body) = http(&addr, "POST", "/session?alg=oaq&alpha=3", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"algorithm\": \"oaq\""), "{body}");
+    let id = json_num(&body, "session") as u64;
+
+    let (status, _, body) = http(&addr, "POST", &format!("/session/{id}/arrive"), job0);
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        json_num(&body, "speed_after") > json_num(&body, "speed_before"),
+        "an arrival raises the live speed: {body}"
+    );
+    let (status, _, body) = http(&addr, "POST", &format!("/session/{id}/arrive"), job1);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_num(&body, "jobs"), 2.0, "{body}");
+
+    // A rejected event leaves the session open and unchanged: the
+    // duplicate id answers 422 and the session still finishes below.
+    let (status, _, body) = http(&addr, "POST", &format!("/session/{id}/arrive"), job1);
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("\"kind\": \"stream\""), "{body}");
+    // Syntactic garbage is the 400 class, distinct from stream errors.
+    let (status, _, body) = http(&addr, "POST", &format!("/session/{id}/arrive"), "{not json");
+    assert_eq!(status, 400, "{body}");
+
+    let (status, _, body) = http(&addr, "POST", &format!("/session/{id}/advance?t=1.0"), "");
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = http(&addr, "POST", &format!("/session/{id}/advance"), "");
+    assert_eq!(status, 400, "advance without ?t= is bad input: {body}");
+
+    let (status, _, finished) = http(&addr, "POST", &format!("/session/{id}/finish"), "");
+    assert_eq!(status, 200, "{finished}");
+    assert!(finished.contains("\"outcome\""), "{finished}");
+
+    // The streamed outcome is bit-identical to the batch endpoint fed
+    // the same jobs.
+    let (status, _, batch) = http(&addr, "POST", "/evaluate?alg=oaq&alpha=3", &valid_instance_json());
+    assert_eq!(status, 200, "{batch}");
+    assert_eq!(
+        json_num(&finished, "energy").to_bits(),
+        json_num(&batch, "energy").to_bits(),
+        "stream vs batch energy:\n{finished}\n{batch}"
+    );
+    assert_eq!(
+        json_num(&finished, "max_speed").to_bits(),
+        json_num(&batch, "max_speed").to_bits()
+    );
+
+    // Finishing consumed the session; everything after it is 404.
+    let (status, _, _) = http(&addr, "POST", &format!("/session/{id}/finish"), "");
+    assert_eq!(status, 404);
+    let (status, _, _) = http(&addr, "POST", "/session/99999/arrive", job0);
+    assert_eq!(status, 404);
+    let (status, _, _) = http(&addr, "POST", &format!("/session/{id}/frobnicate"), "");
+    assert_eq!(status, 404);
+    let (status, _, _) = http(&addr, "GET", "/session", "");
+    assert_eq!(status, 405, "session endpoints are POST-only");
+    // Batch-only algorithms and bad exponents are rejected at open.
+    let (status, _, body) = http(&addr, "POST", "/session?alg=crcd", "");
+    assert_eq!(status, 422, "{body}");
+    let (status, _, body) = http(&addr, "POST", "/session?alg=nope", "");
+    assert_eq!(status, 400, "{body}");
+
+    // The open/reaped counts surface on /healthz.
+    let (_, _, health) = http(&addr, "GET", "/healthz", "");
+    assert!(health.contains("\"sessions\": "), "{health}");
+
+    sigterm(&child);
+    assert_eq!(wait_exit(child), Some(0));
+}
+
+/// SIGTERM with a session mid-stream: the drain discards the open
+/// session and the process still exits 0.
+#[test]
+fn sigterm_with_an_open_session_still_drains_cleanly() {
+    let (child, addr) = start_server(&[]);
+    wait_ready(&addr);
+
+    let (status, _, body) = http(&addr, "POST", "/session?alg=avrq", "");
+    assert_eq!(status, 200, "{body}");
+    let id = json_num(&body, "session") as u64;
+    let job = r#"{"id": 0, "release": 0.0, "deadline": 2.0, "query_load": 0.2,
+                  "upper_bound": 2.0, "exact": 0.3}"#;
+    let (status, _, _) = http(&addr, "POST", &format!("/session/{id}/arrive"), job);
+    assert_eq!(status, 200);
+
+    sigterm(&child);
+    assert_eq!(wait_exit(child), Some(0), "drain with an open session must exit 0");
+}
+
 #[test]
 fn sigterm_during_an_inflight_sweep_still_drains_cleanly() {
     let (child, addr) = start_server(&[]);

@@ -62,6 +62,7 @@ pub mod outcome;
 pub mod pipeline;
 pub mod policy;
 pub mod sim;
+pub mod stream;
 
 pub use audit::{AuditReport, AuditViolation, Auditor, AUDIT_SLACK};
 pub use decision::Decision;
@@ -73,3 +74,6 @@ pub use pipeline::{
     ParseAlgorithmError,
 };
 pub use policy::{QueryRule, SplitRule, Strategy, INV_PHI, PHI};
+pub use stream::{
+    arrival_ordered, solver_for, OnlineSolver, SpeedDelta, StreamError, StreamingSolver,
+};

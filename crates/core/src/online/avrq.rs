@@ -11,13 +11,13 @@
 //! 5.1 gives the `(2α)^α` lower bound.
 
 use speed_scaling::avr::avr_profile;
-use speed_scaling::edf::{edf_schedule, EdfTask};
 use speed_scaling::profile::SpeedProfile;
 
 use crate::error::AlgorithmError;
 use crate::model::QbssInstance;
 use crate::outcome::QbssOutcome;
 use crate::policy::{NoRandomness, Strategy};
+use crate::stream::{batch_outcome, StreamingSolver};
 
 use super::online_derive;
 
@@ -52,24 +52,20 @@ pub fn avrq_with(inst: &QbssInstance, strategy: Strategy) -> QbssOutcome {
 }
 
 /// Fallible version of [`avrq_with`]: validates the instance and
-/// rejects randomized rules and empty input with typed errors.
+/// rejects randomized rules and empty input with typed errors. A thin
+/// adapter over the streaming engine
+/// ([`crate::stream::StreamingSolver`]): jobs are fed in canonical
+/// arrival order and the stream is finished.
 pub fn try_avrq_with(
     inst: &QbssInstance,
     strategy: Strategy,
 ) -> Result<QbssOutcome, AlgorithmError> {
-    const ALG: &str = "AVRQ";
-    if strategy.query.is_randomized() {
-        return Err(AlgorithmError::RandomizedRule { algorithm: ALG });
-    }
+    let solver = StreamingSolver::avrq_with(strategy)?;
     inst.validate()?;
     if inst.is_empty() {
-        return Err(AlgorithmError::EmptyInstance { algorithm: ALG });
+        return Err(AlgorithmError::EmptyInstance { algorithm: "AVRQ" });
     }
-    let (decisions, derived) = online_derive(inst, strategy, &mut NoRandomness);
-    let profile = avr_profile(&derived);
-    let schedule = edf_schedule(&EdfTask::from_instance(&derived), &profile, 0)
-        .map_err(|source| AlgorithmError::Infeasible { algorithm: ALG, source })?;
-    Ok(QbssOutcome { algorithm: ALG.into(), decisions, schedule })
+    batch_outcome(solver, inst)
 }
 
 #[cfg(test)]

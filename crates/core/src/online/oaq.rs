@@ -10,7 +10,6 @@
 //! instance*, which the experiments confirm is usually far below AVRQ's
 //! energy in practice.
 
-use speed_scaling::edf::{edf_schedule, EdfTask};
 use speed_scaling::oa::oa_profile;
 use speed_scaling::profile::SpeedProfile;
 
@@ -18,6 +17,7 @@ use crate::error::AlgorithmError;
 use crate::model::QbssInstance;
 use crate::outcome::QbssOutcome;
 use crate::policy::{NoRandomness, Strategy};
+use crate::stream::{batch_outcome, StreamingSolver};
 
 use super::online_derive;
 
@@ -33,18 +33,15 @@ pub fn oaq(inst: &QbssInstance) -> QbssOutcome {
 }
 
 /// Fallible version of [`oaq`]: validates the instance and rejects
-/// empty input with typed errors.
+/// empty input with typed errors. A thin adapter over the streaming
+/// engine ([`crate::stream::StreamingSolver`]): jobs are fed in
+/// canonical arrival order and the stream is finished.
 pub fn try_oaq(inst: &QbssInstance) -> Result<QbssOutcome, AlgorithmError> {
-    const ALG: &str = "OAQ";
     inst.validate()?;
     if inst.is_empty() {
-        return Err(AlgorithmError::EmptyInstance { algorithm: ALG });
+        return Err(AlgorithmError::EmptyInstance { algorithm: "OAQ" });
     }
-    let (decisions, derived) = online_derive(inst, Strategy::golden_equal(), &mut NoRandomness);
-    let profile = oa_profile(&derived);
-    let schedule = edf_schedule(&EdfTask::from_instance(&derived), &profile, 0)
-        .map_err(|source| AlgorithmError::Infeasible { algorithm: ALG, source })?;
-    Ok(QbssOutcome { algorithm: ALG.into(), decisions, schedule })
+    batch_outcome(StreamingSolver::oaq(), inst)
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use crate::edf::{edf_schedule, EdfTask};
 use crate::job::Instance;
 use crate::profile::SpeedProfile;
 use crate::schedule::Schedule;
+use crate::stream::{release_ordered, AvrStream};
 
 /// Output of [`avr`].
 #[derive(Debug, Clone)]
@@ -46,7 +47,11 @@ pub fn avr_profile(instance: &Instance) -> SpeedProfile {
     }
     qbss_telemetry::counter!("avr.solves").inc();
     let _span = qbss_telemetry::span!("avr.solve", { jobs = instance.jobs.len() });
-    SpeedProfile::from_events(instance.event_times(), |t| instance.total_density_at(t))
+    let mut stream = AvrStream::new();
+    for job in release_ordered(instance) {
+        stream.on_arrival(job);
+    }
+    stream.finish()
 }
 
 /// Runs AVR: profile plus explicit EDF schedule.

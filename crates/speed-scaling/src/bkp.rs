@@ -19,6 +19,7 @@ use crate::edf::{edf_schedule, EdfTask};
 use crate::job::Instance;
 use crate::profile::SpeedProfile;
 use crate::schedule::Schedule;
+use crate::stream::{intensity_over, release_ordered, BkpStream};
 use crate::time::EPS;
 
 /// Output of [`bkp`].
@@ -48,32 +49,11 @@ impl BkpResult {
 /// reasons about this quantity directly.
 pub fn bkp_intensity_at(instance: &Instance, t: f64) -> f64 {
     // Candidate t1: release times (strictly below t); candidate t2:
-    // deadlines (at or above t). Only jobs arrived by t count.
-    let arrived: Vec<&crate::job::Job> =
-        instance.jobs.iter().filter(|j| j.release <= t + EPS).collect();
-    if arrived.is_empty() {
-        return 0.0;
-    }
-    let mut t1s: Vec<f64> = arrived.iter().map(|j| j.release).filter(|&r| r < t).collect();
-    t1s.push(f64::NEG_INFINITY); // sentinel removed below by dedup logic
-    t1s.retain(|v| v.is_finite());
-    let t2s: Vec<f64> = arrived.iter().map(|j| j.deadline).filter(|&d| d + EPS >= t).collect();
-
-    let mut best = 0.0_f64;
-    for &t1 in &t1s {
-        for &t2 in &t2s {
-            if t2 <= t1 + EPS {
-                continue;
-            }
-            let w: f64 = arrived
-                .iter()
-                .filter(|j| j.release + EPS >= t1 && j.deadline <= t2 + EPS)
-                .map(|j| j.work)
-                .sum();
-            best = best.max(w / (t2 - t1));
-        }
-    }
-    best
+    // deadlines (at or above t). Only jobs arrived by t count; the sweep
+    // itself lives in `stream::intensity_over` (O(k²) per query).
+    let arrived: Vec<crate::job::Job> =
+        instance.jobs.iter().copied().filter(|j| j.release <= t + EPS).collect();
+    intensity_over(&arrived, t)
 }
 
 /// The BKP speed profile of `instance` (`e` times the running intensity).
@@ -83,9 +63,11 @@ pub fn bkp_profile(instance: &Instance) -> SpeedProfile {
     }
     qbss_telemetry::counter!("bkp.solves").inc();
     let _span = qbss_telemetry::span!("bkp.solve", { jobs = instance.jobs.len() });
-    SpeedProfile::from_events(instance.event_times(), |t| {
-        std::f64::consts::E * bkp_intensity_at(instance, t)
-    })
+    let mut stream = BkpStream::new();
+    for job in release_ordered(instance) {
+        stream.on_arrival(job);
+    }
+    stream.finish()
 }
 
 /// Runs BKP: profile plus explicit EDF schedule.

@@ -25,6 +25,7 @@
 //! | [`avr`] | Average Rate online heuristic (`2^{α−1}α^α`-competitive) |
 //! | [`oa`] | Optimal Available online heuristic (`α^α`-competitive) |
 //! | [`bkp`] | BKP online algorithm (`2(α/(α−1))^α e^α`, max-speed `e`) |
+//! | [`stream`] | incremental event-at-a-time drivers for AVR/OA/BKP |
 //! | [`multi`] | AVR(m), OA(m), McNaughton assignment, Frank–Wolfe OPT baseline, non-migratory variant |
 //! | [`render`] | ASCII Gantt charts and speed sparklines |
 //!
@@ -56,6 +57,7 @@ pub mod oa;
 pub mod profile;
 pub mod render;
 pub mod schedule;
+pub mod stream;
 pub mod time;
 pub mod yds;
 

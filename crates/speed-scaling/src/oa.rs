@@ -9,11 +9,11 @@
 //! open question (§7).
 
 use crate::edf::{edf_schedule, EdfTask};
-use crate::job::{Instance, Job};
+use crate::job::Instance;
 use crate::profile::SpeedProfile;
 use crate::schedule::Schedule;
-use crate::time::{dedup_times, EPS};
-use crate::yds::yds_profile;
+use crate::stream::{release_ordered, OaStream};
+use crate::time::dedup_times;
 
 /// Output of [`oa`].
 #[derive(Debug, Clone)]
@@ -38,103 +38,25 @@ impl OaResult {
 
 /// The OA speed profile of `instance`.
 ///
-/// Between consecutive arrival times the speed follows the YDS profile of
-/// the residual instance computed at the last arrival. Work executed is
-/// tracked per job so each recomputation sees the true remaining work.
+/// Between consecutive arrival times the speed follows the common-release
+/// YDS plan of the residual work at the last arrival, maintained
+/// incrementally by [`OaStream`]; this is the batch adapter that feeds
+/// the stream in arrival order and collects the result.
 pub fn oa_profile(instance: &Instance) -> SpeedProfile {
     if instance.is_empty() {
         return SpeedProfile::zero();
     }
     let arrivals = dedup_times(instance.jobs.iter().map(|j| j.release).collect());
-    let horizon = instance.max_deadline();
     qbss_telemetry::counter!("oa.solves").inc();
     let _span = qbss_telemetry::span!("oa.solve", {
         jobs = instance.jobs.len(),
         arrivals = arrivals.len(),
     });
-
-    let mut remaining: Vec<f64> = instance.jobs.iter().map(|j| j.work).collect();
-    let mut pieces: Vec<(f64, f64, f64)> = Vec::new(); // (start, end, speed)
-
-    for (k, &t0) in arrivals.iter().enumerate() {
-        let t1 = arrivals.get(k + 1).copied().unwrap_or(horizon);
-        if t1 <= t0 + EPS {
-            continue;
-        }
-        // Residual instance: released jobs with positive remaining work
-        // and deadline beyond t0; their windows start "now".
-        let residual: Instance = instance
-            .jobs
-            .iter()
-            .enumerate()
-            .filter(|(i, j)| {
-                j.release <= t0 + EPS && remaining[*i] > EPS && j.deadline > t0 + EPS
-            })
-            .map(|(i, j)| Job::new(i as u32, t0, j.deadline, remaining[i]))
-            .collect();
-        if residual.is_empty() {
-            continue;
-        }
-        let plan = yds_profile(&residual);
-        // Follow the plan on (t0, t1]; consume work in EDF (earliest
-        // residual deadline first) order, exactly like the plan does.
-        let mut events: Vec<f64> = plan
-            .breakpoints()
-            .iter()
-            .copied()
-            .filter(|&t| t > t0 + EPS && t < t1 - EPS)
-            .collect();
-        events.push(t0);
-        events.push(t1);
-        let events = dedup_times(events);
-        for wseg in events.windows(2) {
-            let (a, b) = (wseg[0], wseg[1]);
-            let speed = plan.speed_at(0.5 * (a + b));
-            if speed <= EPS {
-                continue;
-            }
-            pieces.push((a, b, speed));
-            // Drain work from residual jobs in EDF order.
-            let mut budget = (b - a) * speed;
-            let mut order: Vec<usize> = instance
-                .jobs
-                .iter()
-                .enumerate()
-                .filter(|(i, j)| j.release <= t0 + EPS && remaining[*i] > EPS && j.deadline > a)
-                .map(|(i, _)| i)
-                .collect();
-            order.sort_by(|&x, &y| {
-                instance.jobs[x]
-                    .deadline
-                    .partial_cmp(&instance.jobs[y].deadline)
-                    .expect("finite")
-            });
-            for i in order {
-                if budget <= EPS {
-                    break;
-                }
-                let take = budget.min(remaining[i]);
-                remaining[i] -= take;
-                budget -= take;
-            }
-        }
+    let mut stream = OaStream::new();
+    for job in release_ordered(instance) {
+        stream.on_arrival(job);
     }
-
-    if pieces.is_empty() {
-        return SpeedProfile::zero();
-    }
-    let mut events: Vec<f64> = vec![instance.min_release(), horizon];
-    for &(a, b, _) in &pieces {
-        events.push(a);
-        events.push(b);
-    }
-    SpeedProfile::from_events(events, |t| {
-        pieces
-            .iter()
-            .find(|&&(a, b, _)| a < t && t <= b)
-            .map_or(0.0, |&(_, _, s)| s)
-    })
-    .simplify()
+    stream.finish()
 }
 
 /// Runs OA: profile plus explicit EDF schedule.
@@ -148,6 +70,7 @@ pub fn oa(instance: &Instance) -> OaResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::Job;
     use crate::yds::yds_profile;
 
     #[test]

@@ -1,0 +1,620 @@
+//! Incremental (event-at-a-time) drivers for the online substrate
+//! algorithms.
+//!
+//! The batch entry points ([`crate::avr::avr_profile`],
+//! [`crate::oa::oa_profile`], [`crate::bkp::bkp_profile`]) are thin
+//! adapters over the streams in this module: they feed the instance's
+//! jobs in arrival order (release-sorted, stable) and call
+//! [`OaStream::finish`] & co. A long-lived caller — the `qbss-core`
+//! `OnlineSolver` layer, and transitively a serve-plane session — feeds
+//! the same streams one arrival at a time instead, paying an amortized
+//! per-event cost rather than a per-instance re-solve.
+//!
+//! ## Feeding contract
+//!
+//! All three streams require **non-decreasing release times** (up to
+//! [`EPS`]); feeding out of order is a programming error and panics.
+//! Callers that accept arrivals from the outside (CLI, serve sessions)
+//! must validate ordering before feeding. Two jobs with numerically
+//! equal releases may be fed in either order; the profile is the same up
+//! to floating-point association.
+//!
+//! ## Incrementality
+//!
+//! * [`AvrStream`] — each job contributes a density *delta* (`+δ` at its
+//!   release, `−δ` at its deadline); the profile is a prefix sum over
+//!   the sorted delta list, `O(n log n)` total instead of `O(n²)`
+//!   pointwise re-summation.
+//! * [`OaStream`] — OA re-plans at every arrival, but every residual
+//!   instance has a *common release* (now), where YDS degenerates to the
+//!   least concave majorant of the cumulative-work staircase. The plan
+//!   is maintained with a monotone stack in `O(k)` per arrival (`k` =
+//!   active jobs) instead of a full `O(k³)` YDS re-solve, using
+//!   preallocated scratch buffers.
+//! * [`BkpStream`] — the e-window intensity query walks release
+//!   candidates once and sweeps a deadline-sorted running sum per
+//!   candidate: `O(k²)` per event instead of the `O(k³)` all-pairs scan.
+
+use crate::job::{Instance, Job};
+use crate::profile::SpeedProfile;
+use crate::time::{approx_eq, dedup_times, EPS};
+
+/// Returns the instance's jobs in canonical arrival order: sorted by
+/// release time, ties kept in storage order (stable). This is the order
+/// the batch adapters feed the streams in; a streaming caller that wants
+/// bit-identical results to the batch path must feed the same order.
+pub fn release_ordered(instance: &Instance) -> Vec<Job> {
+    let mut jobs = instance.jobs.clone();
+    jobs.sort_by(|a, b| a.release.partial_cmp(&b.release).expect("finite release"));
+    jobs
+}
+
+fn assert_monotone(last: f64, release: f64, stream: &str) {
+    assert!(
+        release + EPS >= last,
+        "{stream}: arrivals must be fed in release order (last {last}, got {release})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// AVR
+// ---------------------------------------------------------------------------
+
+/// Incremental Average-Rate state: per-job density add/remove events.
+#[derive(Debug, Clone, Default)]
+pub struct AvrStream {
+    /// `(time, density delta)` — `+δ` at releases, `−δ` at deadlines.
+    deltas: Vec<(f64, f64)>,
+    /// Arrived jobs (for live speed queries).
+    jobs: Vec<Job>,
+    last_release: f64,
+}
+
+impl AvrStream {
+    /// Fresh empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of arrivals so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no job has arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Feeds one arrival. Panics if `job.release` is before the previous
+    /// arrival (see the module-level feeding contract).
+    pub fn on_arrival(&mut self, job: Job) {
+        if !self.jobs.is_empty() {
+            assert_monotone(self.last_release, job.release, "AvrStream");
+        }
+        self.last_release = job.release;
+        let delta = job.density();
+        self.deltas.push((job.release, delta));
+        self.deltas.push((job.deadline, -delta));
+        self.jobs.push(job);
+    }
+
+    /// The AVR speed just after time `t`: the density sum of arrived jobs
+    /// whose window `(r, d]` still covers instants right after `t`.
+    pub fn speed_after(&self, t: f64) -> f64 {
+        self.jobs
+            .iter()
+            .filter(|j| j.release <= t + EPS && j.deadline > t + EPS)
+            .map(|j| j.density())
+            .sum()
+    }
+
+    /// Builds the AVR profile of everything that has arrived.
+    pub fn finish(&self) -> SpeedProfile {
+        if self.jobs.is_empty() {
+            return SpeedProfile::zero();
+        }
+        let mut deltas = self.deltas.clone();
+        deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite event time"));
+        let grid = dedup_times(deltas.iter().map(|&(t, _)| t).collect());
+        let mut values = Vec::with_capacity(grid.len() - 1);
+        let mut level = 0.0_f64;
+        let mut p = 0usize;
+        for w in grid.windows(2) {
+            let mid = 0.5 * (w[0] + w[1]);
+            while p < deltas.len() && deltas[p].0 < mid {
+                level += deltas[p].1;
+                p += 1;
+            }
+            values.push(level.max(0.0));
+        }
+        SpeedProfile::new(grid, values)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BKP
+// ---------------------------------------------------------------------------
+
+/// The BKP intensity `max_{t1 < t ≤ t2} w(t1, t2)/(t2 − t1)` over a set
+/// of *arrived* jobs (all `release ≤ t + EPS`; the caller pre-filters).
+///
+/// Candidate `t1` ranges over releases strictly below `t`, candidate
+/// `t2` over deadlines at-or-after `t`; for each `t1` the deadlines are
+/// swept in sorted order with a running work sum, so the query is
+/// `O(k²)` instead of the all-pairs `O(k³)` scan.
+pub fn intensity_over(arrived: &[Job], t: f64) -> f64 {
+    if arrived.is_empty() {
+        return 0.0;
+    }
+    // Deadline-sorted view: drives both the t2 candidate sweep and the
+    // running work sum.
+    let mut by_deadline: Vec<&Job> = arrived.iter().collect();
+    by_deadline.sort_by(|a, b| a.deadline.partial_cmp(&b.deadline).expect("finite deadline"));
+
+    let mut best = 0.0_f64;
+    for t1 in arrived.iter().map(|j| j.release).filter(|&r| r < t && r.is_finite()) {
+        let mut acc = 0.0_f64;
+        let mut p = 0usize;
+        for cand in by_deadline.iter().map(|j| j.deadline).filter(|&d| d + EPS >= t) {
+            while p < by_deadline.len() && by_deadline[p].deadline <= cand + EPS {
+                if by_deadline[p].release + EPS >= t1 {
+                    acc += by_deadline[p].work;
+                }
+                p += 1;
+            }
+            if cand > t1 + EPS {
+                best = best.max(acc / (cand - t1));
+            }
+        }
+    }
+    best
+}
+
+/// Incremental BKP state: arrived jobs in release order.
+#[derive(Debug, Clone, Default)]
+pub struct BkpStream {
+    jobs: Vec<Job>,
+    last_release: f64,
+}
+
+impl BkpStream {
+    /// Fresh empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of arrivals so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no job has arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Feeds one arrival. Panics if fed out of release order.
+    pub fn on_arrival(&mut self, job: Job) {
+        if !self.jobs.is_empty() {
+            assert_monotone(self.last_release, job.release, "BkpStream");
+        }
+        self.last_release = job.release;
+        self.jobs.push(job);
+    }
+
+    /// The BKP speed (`e ·` intensity) just after `t` over the jobs
+    /// arrived so far.
+    pub fn speed_after(&self, t: f64) -> f64 {
+        let arrived = self.arrived_prefix(t);
+        std::f64::consts::E * intensity_over(arrived, t)
+    }
+
+    fn arrived_prefix(&self, t: f64) -> &[Job] {
+        let n = self.jobs.partition_point(|j| j.release <= t + EPS);
+        &self.jobs[..n]
+    }
+
+    /// Builds the BKP profile of everything that has arrived.
+    pub fn finish(&self) -> SpeedProfile {
+        if self.jobs.is_empty() {
+            return SpeedProfile::zero();
+        }
+        let mut events = Vec::with_capacity(2 * self.jobs.len());
+        for j in &self.jobs {
+            events.push(j.release);
+            events.push(j.deadline);
+        }
+        let grid = dedup_times(events);
+        let mut values = Vec::with_capacity(grid.len() - 1);
+        for w in grid.windows(2) {
+            let mid = 0.5 * (w[0] + w[1]);
+            let arrived = self.arrived_prefix(mid);
+            values.push(std::f64::consts::E * intensity_over(arrived, mid));
+        }
+        SpeedProfile::new(grid, values)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OA
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct OaJob {
+    deadline: f64,
+    remaining: f64,
+}
+
+/// Incremental Optimal-Available state.
+///
+/// Every residual instance OA plans for has a common release (the
+/// current arrival time), where YDS collapses to the least concave
+/// majorant of the cumulative-work staircase over deadlines. The stream
+/// keeps the active set deadline-sorted and rebuilds that majorant with
+/// a monotone stack in `O(k)` per arrival — no YDS re-solve, no
+/// per-event allocation (the stack and plan buffers are reused).
+#[derive(Debug, Clone, Default)]
+pub struct OaStream {
+    /// Current arrival-event time (dedup'd: arrivals within `EPS` of the
+    /// anchor merge into the same planning event).
+    anchor: Option<f64>,
+    horizon: f64,
+    min_release: f64,
+    last_release: f64,
+    /// Released, unfinished jobs sorted by `(deadline, arrival order)`.
+    active: Vec<OaJob>,
+    /// The committed plan for the current anchor: disjoint
+    /// `(start, end, speed)` segments with strictly decreasing speeds.
+    plan: Vec<(f64, f64, f64)>,
+    /// Executed pieces of the final profile.
+    pieces: Vec<(f64, f64, f64)>,
+    // Scratch buffers for the majorant stack, reused across arrivals.
+    hull_x: Vec<f64>,
+    hull_w: Vec<f64>,
+}
+
+impl OaStream {
+    /// Fresh empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether no job has arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.anchor.is_none()
+    }
+
+    /// The speed OA currently plans to run just after time `t` (0 outside
+    /// the committed plan). Querying before and after an arrival yields
+    /// the speed delta that arrival caused.
+    pub fn planned_speed_after(&self, t: f64) -> f64 {
+        self.plan
+            .iter()
+            .find(|&&(s, e, _)| s <= t + EPS && t < e)
+            .map_or(0.0, |&(_, _, v)| v)
+    }
+
+    /// Feeds one arrival: executes the committed plan up to the new
+    /// arrival time, admits the job and re-plans. Panics if fed out of
+    /// release order.
+    pub fn on_arrival(&mut self, job: Job) {
+        match self.anchor {
+            None => {
+                self.anchor = Some(job.release);
+                self.min_release = job.release;
+            }
+            Some(a) => {
+                assert_monotone(self.last_release, job.release, "OaStream");
+                if !approx_eq(job.release, a) {
+                    self.execute_to(job.release);
+                    self.anchor = Some(job.release);
+                }
+            }
+        }
+        self.last_release = job.release;
+        self.horizon = self.horizon.max(job.deadline);
+        if job.work > EPS {
+            let at = self
+                .active
+                .partition_point(|existing| existing.deadline <= job.deadline);
+            self.active.insert(at, OaJob { deadline: job.deadline, remaining: job.work });
+        }
+        self.replan();
+    }
+
+    /// Executes the committed plan up to `t` without a new arrival and
+    /// re-plans there. A no-op before the first arrival or when `t` is
+    /// not past the current anchor.
+    pub fn advance_to(&mut self, t: f64) {
+        let Some(a) = self.anchor else { return };
+        if t <= a + EPS {
+            return;
+        }
+        self.execute_to(t);
+        self.anchor = Some(t);
+        self.last_release = self.last_release.max(t);
+        self.replan();
+    }
+
+    /// Runs the plan out to the horizon and assembles the OA profile of
+    /// everything that has arrived.
+    pub fn finish(&mut self) -> SpeedProfile {
+        if let Some(a) = self.anchor {
+            if self.horizon > a + EPS {
+                self.execute_to(self.horizon);
+                self.anchor = Some(self.horizon);
+                self.plan.clear();
+            }
+        }
+        if self.pieces.is_empty() {
+            return SpeedProfile::zero();
+        }
+        let mut events: Vec<f64> = vec![self.min_release, self.horizon];
+        for &(a, b, _) in &self.pieces {
+            events.push(a);
+            events.push(b);
+        }
+        let pieces = &self.pieces;
+        SpeedProfile::from_events(events, |t| {
+            // Pieces are disjoint and start-sorted; find (a, b] ∋ t.
+            let idx = pieces.partition_point(|&(a, _, _)| a < t);
+            if idx == 0 {
+                return 0.0;
+            }
+            let (_, b, s) = pieces[idx - 1];
+            if t <= b {
+                s
+            } else {
+                0.0
+            }
+        })
+        .simplify()
+    }
+
+    /// Follows the committed plan on `(anchor, t1]`, recording profile
+    /// pieces and draining the active set in EDF order.
+    fn execute_to(&mut self, t1: f64) {
+        for seg in 0..self.plan.len() {
+            let (s, e, v) = self.plan[seg];
+            if s >= t1 - EPS {
+                break;
+            }
+            let b = e.min(t1);
+            if b <= s + EPS || v <= EPS {
+                continue;
+            }
+            self.pieces.push((s, b, v));
+            let mut budget = (b - s) * v;
+            for job in self.active.iter_mut() {
+                if budget <= EPS {
+                    break;
+                }
+                if job.deadline <= s || job.remaining <= EPS {
+                    continue;
+                }
+                let take = budget.min(job.remaining);
+                job.remaining -= take;
+                budget -= take;
+            }
+        }
+    }
+
+    /// Rebuilds the common-release YDS plan at the current anchor: the
+    /// least concave majorant of the cumulative-work staircase over the
+    /// active deadlines, via a monotone stack on reused buffers.
+    fn replan(&mut self) {
+        self.plan.clear();
+        let Some(a) = self.anchor else { return };
+        self.active.retain(|j| j.remaining > EPS && j.deadline > a + EPS);
+        if self.active.is_empty() {
+            return;
+        }
+        self.hull_x.clear();
+        self.hull_w.clear();
+        self.hull_x.push(0.0);
+        self.hull_w.push(0.0);
+        let mut cum = 0.0_f64;
+        let mut i = 0usize;
+        while i < self.active.len() {
+            // Deadlines within EPS of the group head count as one event.
+            let head = self.active[i].deadline;
+            while i < self.active.len() && approx_eq(self.active[i].deadline, head) {
+                cum += self.active[i].remaining;
+                i += 1;
+            }
+            let x = head - a;
+            while self.hull_x.len() >= 2 {
+                let k = self.hull_x.len();
+                let s_prev = (self.hull_w[k - 1] - self.hull_w[k - 2])
+                    / (self.hull_x[k - 1] - self.hull_x[k - 2]);
+                let s_new = (cum - self.hull_w[k - 1]) / (x - self.hull_x[k - 1]);
+                if s_prev <= s_new {
+                    self.hull_x.pop();
+                    self.hull_w.pop();
+                } else {
+                    break;
+                }
+            }
+            self.hull_x.push(x);
+            self.hull_w.push(cum);
+        }
+        for k in 1..self.hull_x.len() {
+            let speed = (self.hull_w[k] - self.hull_w[k - 1])
+                / (self.hull_x[k] - self.hull_x[k - 1]);
+            self.plan.push((a + self.hull_x[k - 1], a + self.hull_x[k], speed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::avr::avr_profile;
+    use crate::bkp::{bkp_intensity_at, bkp_profile};
+    use crate::oa::oa_profile;
+    use crate::yds::yds_profile;
+
+    fn staggered() -> Instance {
+        Instance::new(vec![
+            Job::new(0, 0.0, 4.0, 2.0),
+            Job::new(1, 1.0, 3.0, 2.0),
+            Job::new(2, 2.0, 5.0, 1.5),
+            Job::new(3, 2.0, 2.5, 0.4),
+        ])
+    }
+
+    #[test]
+    fn avr_stream_matches_batch_bitwise() {
+        let inst = staggered();
+        let mut s = AvrStream::new();
+        for job in release_ordered(&inst) {
+            s.on_arrival(job);
+        }
+        let streamed = s.finish();
+        let batch = avr_profile(&inst);
+        assert_eq!(streamed.breakpoints(), batch.breakpoints());
+        assert_eq!(streamed.values(), batch.values());
+    }
+
+    #[test]
+    fn bkp_stream_matches_batch_bitwise() {
+        let inst = staggered();
+        let mut s = BkpStream::new();
+        for job in release_ordered(&inst) {
+            s.on_arrival(job);
+        }
+        let streamed = s.finish();
+        let batch = bkp_profile(&inst);
+        assert_eq!(streamed.breakpoints(), batch.breakpoints());
+        assert_eq!(streamed.values(), batch.values());
+    }
+
+    #[test]
+    fn oa_stream_matches_batch_bitwise() {
+        let inst = staggered();
+        let mut s = OaStream::new();
+        for job in release_ordered(&inst) {
+            s.on_arrival(job);
+        }
+        let streamed = s.finish();
+        let batch = oa_profile(&inst);
+        assert_eq!(streamed.breakpoints(), batch.breakpoints());
+        assert_eq!(streamed.values(), batch.values());
+    }
+
+    #[test]
+    fn oa_stream_common_release_equals_yds() {
+        let inst = Instance::new(vec![
+            Job::new(0, 0.0, 1.0, 3.0),
+            Job::new(1, 0.0, 2.0, 1.0),
+            Job::new(2, 0.0, 4.0, 1.0),
+        ]);
+        let mut s = OaStream::new();
+        for job in release_ordered(&inst) {
+            s.on_arrival(job);
+        }
+        let p = s.finish();
+        let opt = yds_profile(&inst);
+        for &t in &[0.5, 1.5, 2.5, 3.5] {
+            assert!(
+                (p.speed_at(t) - opt.speed_at(t)).abs() < 1e-9,
+                "common-release OA must equal YDS at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn oa_advance_to_between_arrivals_is_consistent() {
+        // Advancing mid-plan re-anchors the staircase on the remaining
+        // work; the executed profile must stay the same schedule. The
+        // releases are distinct with gaps wider than the nudge so the
+        // advanced clock never passes the next arrival.
+        let inst = Instance::new(vec![
+            Job::new(0, 0.0, 4.0, 2.0),
+            Job::new(1, 1.0, 3.0, 2.0),
+            Job::new(2, 2.0, 5.0, 1.5),
+            Job::new(3, 3.0, 3.5, 0.4),
+        ]);
+        let plain = {
+            let mut s = OaStream::new();
+            for job in release_ordered(&inst) {
+                s.on_arrival(job);
+            }
+            s.finish()
+        };
+        let nudged = {
+            let mut s = OaStream::new();
+            for job in release_ordered(&inst) {
+                s.on_arrival(job);
+                s.advance_to(job.release + 0.25);
+            }
+            s.finish()
+        };
+        for &alpha in &[2.0, 3.0] {
+            let a = plain.energy(alpha);
+            let b = nudged.energy(alpha);
+            assert!((a - b).abs() <= 1e-6 * a.max(1.0), "α={alpha}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn intensity_over_matches_all_pairs_reference() {
+        // The O(k²) sweep must agree with the original all-pairs scan.
+        let inst = staggered();
+        for &t in &[0.5, 1.0, 1.5, 2.25, 3.0, 4.5] {
+            let arrived: Vec<Job> =
+                inst.jobs.iter().copied().filter(|j| j.release <= t + EPS).collect();
+            let fast = intensity_over(&arrived, t);
+            let mut slow = 0.0_f64;
+            for j1 in &arrived {
+                for j2 in &arrived {
+                    let (t1, t2) = (j1.release, j2.deadline);
+                    if t1 < t && t2 + EPS >= t && t2 > t1 + EPS {
+                        let w: f64 = arrived
+                            .iter()
+                            .filter(|j| j.release + EPS >= t1 && j.deadline <= t2 + EPS)
+                            .map(|j| j.work)
+                            .sum();
+                        slow = slow.max(w / (t2 - t1));
+                    }
+                }
+            }
+            assert!((fast - slow).abs() < 1e-9, "t={t}: {fast} vs {slow}");
+            assert!((bkp_intensity_at(&inst, t) - slow).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn live_speed_queries_reflect_arrivals() {
+        let mut avr = AvrStream::new();
+        assert_eq!(avr.speed_after(0.0), 0.0);
+        avr.on_arrival(Job::new(0, 0.0, 2.0, 4.0));
+        assert!((avr.speed_after(0.0) - 2.0).abs() < 1e-12);
+        assert_eq!(avr.speed_after(2.5), 0.0);
+
+        let mut oa = OaStream::new();
+        assert_eq!(oa.planned_speed_after(0.0), 0.0);
+        oa.on_arrival(Job::new(0, 0.0, 2.0, 4.0));
+        assert!((oa.planned_speed_after(0.0) - 2.0).abs() < 1e-12);
+
+        let mut bkp = BkpStream::new();
+        bkp.on_arrival(Job::new(0, 0.0, 2.0, 4.0));
+        assert!((bkp.speed_after(1.0) - std::f64::consts::E * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "release order")]
+    fn out_of_order_feeding_panics() {
+        let mut s = OaStream::new();
+        s.on_arrival(Job::new(0, 2.0, 3.0, 1.0));
+        s.on_arrival(Job::new(1, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn empty_streams_finish_to_zero() {
+        assert_eq!(AvrStream::new().finish().max_speed(), 0.0);
+        assert_eq!(BkpStream::new().finish().max_speed(), 0.0);
+        assert_eq!(OaStream::new().finish().max_speed(), 0.0);
+    }
+}
