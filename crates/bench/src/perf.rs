@@ -23,7 +23,8 @@ use std::time::Instant;
 use qbss_core::model::QbssInstance;
 use qbss_core::pipeline::{run_evaluated, Algorithm};
 use qbss_instances::gen::{generate, Compressibility, GenConfig, QueryModel, TimeModel};
-use qbss_telemetry::{json_escape, json_f64, json_parse, JsonValue};
+use qbss_telemetry::profile::{PathDelta, Profile, PROFILE_SCHEMA};
+use qbss_telemetry::{json_escape, json_f64, json_parse, JsonValue, RingSink};
 
 use crate::engine::{run_sweep, EngineError, InstanceSource, SweepSpec};
 
@@ -359,6 +360,11 @@ pub struct Baseline {
     pub config: PerfConfig,
     /// Stats by scenario name (sorted).
     pub scenarios: BTreeMap<String, ScenarioStats>,
+    /// Per-scenario span profiles folded over the timed repeats —
+    /// present only when recorded with profiling (`qbss perf record
+    /// --profile`); the schema-versioned `profiles` section of the
+    /// JSON. Gate attribution needs both sides to carry one.
+    pub profiles: BTreeMap<String, Profile>,
 }
 
 /// Failures of the perf layer.
@@ -425,8 +431,23 @@ pub fn mad(xs: &[f64], center: f64) -> f64 {
 }
 
 /// Runs `names` (all scenarios when empty) under `config` and returns
-/// the recorded baseline.
+/// the recorded baseline (no profiles — see [`record_profiled`]).
 pub fn record(names: &[String], config: PerfConfig) -> Result<Baseline, PerfError> {
+    record_profiled(names, config, None)
+}
+
+/// [`record`], optionally folding a span profile per scenario.
+///
+/// `profile_ring` is the live ring sink the caller installed as the
+/// telemetry pipeline (spans on): the recorder drains it after warmup
+/// — discarding warmup spans — and once per timed repeat, so each
+/// scenario's [`Profile`] folds exactly the spans of its own
+/// `repeats` timed runs. Pass `None` to record timings only.
+pub fn record_profiled(
+    names: &[String],
+    config: PerfConfig,
+    profile_ring: Option<&RingSink>,
+) -> Result<Baseline, PerfError> {
     let picked: Vec<Scenario> = if names.is_empty() {
         scenarios()
     } else {
@@ -436,6 +457,7 @@ pub fn record(names: &[String], config: PerfConfig) -> Result<Baseline, PerfErro
             .collect::<Result<_, _>>()?
     };
     let mut stats = BTreeMap::new();
+    let mut profiles = BTreeMap::new();
     for sc in picked {
         let prepared = sc.prepare();
         let cells = prepared.cells();
@@ -447,11 +469,22 @@ pub fn record(names: &[String], config: PerfConfig) -> Result<Baseline, PerfErro
         for _ in 0..config.warmup {
             prepared.run_once(config.shards)?;
         }
+        // Warmup (and any previous scenario's tail) is not profiled.
+        if let Some(ring) = profile_ring {
+            ring.drain_contents();
+        }
         let mut samples_ms = Vec::with_capacity(config.repeats);
+        let mut span_records = Vec::new();
         for _ in 0..config.repeats.max(1) {
             let t0 = Instant::now();
             prepared.run_once(config.shards)?;
             samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            if let Some(ring) = profile_ring {
+                let jsonl = ring.drain_contents();
+                let records = qbss_telemetry::trace::parse_trace(&jsonl)
+                    .map_err(|e| PerfError::Parse(format!("profile ring: {e}")))?;
+                span_records.extend(records);
+            }
         }
         let median_ms = median(&samples_ms);
         let mad_ms = mad(&samples_ms, median_ms);
@@ -463,12 +496,15 @@ pub fn record(names: &[String], config: PerfConfig) -> Result<Baseline, PerfErro
             sc.name,
             samples_ms.len()
         );
+        if profile_ring.is_some() {
+            profiles.insert(sc.name.to_string(), Profile::from_records(&span_records));
+        }
         stats.insert(
             sc.name.to_string(),
             ScenarioStats { cells, samples_ms, median_ms, mad_ms, min_ms },
         );
     }
-    Ok(Baseline { env: EnvFingerprint::capture(), config, scenarios: stats })
+    Ok(Baseline { env: EnvFingerprint::capture(), config, scenarios: stats, profiles })
 }
 
 // ---------------------------------------------------------------------
@@ -513,7 +549,25 @@ impl Baseline {
                 if i + 1 < n { "," } else { "" },
             ));
         }
-        out.push_str("  }\n}\n");
+        if self.profiles.is_empty() {
+            out.push_str("  }\n}\n");
+        } else {
+            // Schema-versioned, optional: baselines recorded without
+            // --profile (and every pre-profiling baseline) omit it.
+            out.push_str("  },\n  \"profiles\": {\n");
+            out.push_str(&format!("    \"schema\": \"{}\",\n", json_escape(PROFILE_SCHEMA)));
+            out.push_str("    \"scenarios\": {\n");
+            let n = self.profiles.len();
+            for (i, (name, p)) in self.profiles.iter().enumerate() {
+                out.push_str(&format!(
+                    "      \"{}\": {}{}\n",
+                    json_escape(name),
+                    p.to_json(),
+                    if i + 1 < n { "," } else { "" },
+                ));
+            }
+            out.push_str("    }\n  }\n}\n");
+        }
         out
     }
 
@@ -584,7 +638,29 @@ impl Baseline {
                 },
             );
         }
-        Ok(Baseline { env, config, scenarios })
+        let mut profiles = BTreeMap::new();
+        if let Some(section) = v.get("profiles") {
+            let schema =
+                section.get("schema").and_then(JsonValue::as_str).unwrap_or_default();
+            if schema != PROFILE_SCHEMA {
+                return Err(PerfError::Parse(format!(
+                    "profiles schema `{schema}` (expected `{PROFILE_SCHEMA}`)"
+                )));
+            }
+            let JsonValue::Obj(entries) = section
+                .get("scenarios")
+                .ok_or_else(|| bad("`profiles` missing `scenarios`"))?
+            else {
+                return Err(bad("`profiles.scenarios` must be an object"));
+            };
+            for (name, p) in entries {
+                let profile = Profile::from_json(p).map_err(|e| {
+                    PerfError::Parse(format!("profile for scenario `{name}`: {e}"))
+                })?;
+                profiles.insert(name.clone(), profile);
+            }
+        }
+        Ok(Baseline { env, config, scenarios, profiles })
     }
 }
 
@@ -616,6 +692,32 @@ impl Threshold {
     }
 }
 
+/// How many call paths a regression is attributed to at most.
+pub const BLAME_TOP_K: usize = 5;
+
+/// One call path blamed for a scenario regression: its per-run self
+/// time moved by more than the scenario's own noise threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathBlame {
+    /// The call path in folded spelling (`a;b;c`).
+    pub path: String,
+    /// Base self time per timed run, ms.
+    pub base_self_ms: f64,
+    /// New self time per timed run, ms.
+    pub new_self_ms: f64,
+    /// Call count in the base profile (all repeats).
+    pub base_count: u64,
+    /// Call count in the new profile (all repeats).
+    pub new_count: u64,
+}
+
+impl PathBlame {
+    /// Per-run self-time change, ms (positive = slower).
+    pub fn delta_ms(&self) -> f64 {
+        self.new_self_ms - self.base_self_ms
+    }
+}
+
 /// One scenario's diff between two baselines.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioDelta {
@@ -631,6 +733,12 @@ pub struct ScenarioDelta {
     pub limit_ms: Option<f64>,
     /// Whether this scenario regressed.
     pub regressed: bool,
+    /// Both baselines carried a profile for this scenario.
+    pub has_profiles: bool,
+    /// For a regressed, profiled scenario: the top call paths (at
+    /// most [`BLAME_TOP_K`]) whose per-run self time grew past the
+    /// noise threshold, largest delta first.
+    pub blame: Vec<PathBlame>,
 }
 
 /// Everything `qbss perf compare` / `gate` reports.
@@ -734,6 +842,34 @@ impl CompareReport {
             "limit = base + max({}×mad, {}×base)\n",
             threshold.mad_factor, threshold.min_rel
         ));
+        for d in self.regressions() {
+            if d.base_ms.is_none() || d.new_ms.is_none() {
+                continue; // appeared/disappeared — nothing to attribute
+            }
+            if !d.blame.is_empty() {
+                out.push_str(&format!(
+                    "{}: self-time attribution (per-run, movers past the noise threshold):\n",
+                    d.name
+                ));
+                for b in &d.blame {
+                    out.push_str(&format!(
+                        "  {}  {:+.2} ms self ({:.2} → {:.2})  count {} → {}\n",
+                        b.path, b.delta_ms(), b.base_self_ms, b.new_self_ms,
+                        b.base_count, b.new_count
+                    ));
+                }
+            } else if d.has_profiles {
+                out.push_str(&format!(
+                    "{}: no single call path moved past the noise threshold\n",
+                    d.name
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{}: no profile attribution (record both baselines with --profile)\n",
+                    d.name
+                ));
+            }
+        }
         let regressed = self.regressions().len();
         if regressed == 0 {
             out.push_str("no perf regression\n");
@@ -742,6 +878,49 @@ impl CompareReport {
         }
         out
     }
+}
+
+/// Attributes a regressed scenario to call paths: per-run self-time
+/// deltas larger than the scenario's own noise scale.
+///
+/// Profiles fold *all* timed repeats, so self times are normalized by
+/// each side's `repeats` before comparing. A path is blamed when its
+/// per-run self time grew by more than
+/// `max(mad_factor × base MAD, min_rel × base per-run self)` — the
+/// same slack shape the gate grants the scenario median, applied
+/// per path. Top [`BLAME_TOP_K`] by delta, largest first.
+fn blame_paths(
+    base: &Profile,
+    base_repeats: usize,
+    base_mad_ms: f64,
+    new: &Profile,
+    new_repeats: usize,
+    threshold: Threshold,
+) -> Vec<PathBlame> {
+    let base_runs = base_repeats.max(1) as f64;
+    let new_runs = new_repeats.max(1) as f64;
+    let mut blamed: Vec<PathBlame> = Profile::diff(base, new)
+        .into_iter()
+        .filter_map(|d: PathDelta| {
+            let base_self_ms = d.base_self_us as f64 / 1e3 / base_runs;
+            let new_self_ms = d.new_self_us as f64 / 1e3 / new_runs;
+            let slack_ms =
+                (threshold.mad_factor * base_mad_ms).max(threshold.min_rel * base_self_ms);
+            if new_self_ms - base_self_ms <= slack_ms {
+                return None;
+            }
+            Some(PathBlame {
+                path: d.path_str(),
+                base_self_ms,
+                new_self_ms,
+                base_count: d.base_count,
+                new_count: d.new_count,
+            })
+        })
+        .collect();
+    blamed.sort_by(|a, b| b.delta_ms().total_cmp(&a.delta_ms()));
+    blamed.truncate(BLAME_TOP_K);
+    blamed
 }
 
 /// Diffs `new` against `base` under `threshold`. A scenario present in
@@ -760,16 +939,33 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
         .map(|name| {
             let b = base.scenarios.get(name);
             let n = new.scenarios.get(name);
+            let base_prof = base.profiles.get(name);
+            let new_prof = new.profiles.get(name);
+            let has_profiles = base_prof.is_some() && new_prof.is_some();
             match (b, n) {
                 (Some(b), Some(n)) => {
                     let limit = threshold.limit_ms(b.median_ms, b.mad_ms);
+                    let regressed = n.median_ms > limit;
+                    let blame = match (regressed, base_prof, new_prof) {
+                        (true, Some(bp), Some(np)) => blame_paths(
+                            bp,
+                            base.config.repeats,
+                            b.mad_ms,
+                            np,
+                            new.config.repeats,
+                            threshold,
+                        ),
+                        _ => Vec::new(),
+                    };
                     ScenarioDelta {
                         name: name.clone(),
                         base_ms: Some(b.median_ms),
                         base_mad_ms: Some(b.mad_ms),
                         new_ms: Some(n.median_ms),
                         limit_ms: Some(limit),
-                        regressed: n.median_ms > limit,
+                        regressed,
+                        has_profiles,
+                        blame,
                     }
                 }
                 (Some(b), None) => ScenarioDelta {
@@ -779,6 +975,8 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
                     new_ms: None,
                     limit_ms: None,
                     regressed: true,
+                    has_profiles,
+                    blame: Vec::new(),
                 },
                 (None, n) => ScenarioDelta {
                     name: name.clone(),
@@ -787,6 +985,8 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
                     new_ms: n.map(|n| n.median_ms),
                     limit_ms: None,
                     regressed: false,
+                    has_profiles,
+                    blame: Vec::new(),
                 },
             }
         })
@@ -823,7 +1023,17 @@ mod tests {
                 .iter()
                 .map(|(name, s)| (name.to_string(), stats(s)))
                 .collect(),
+            profiles: BTreeMap::new(),
         }
+    }
+
+    /// Attaches a profile parsed from folded text to one scenario.
+    fn with_profile(mut b: Baseline, name: &str, folded: &str) -> Baseline {
+        b.profiles.insert(
+            name.to_string(),
+            Profile::parse_folded(folded).expect("valid folded text"),
+        );
+        b
     }
 
     #[test]
@@ -908,6 +1118,89 @@ mod tests {
         // The MAD column carries the base MAD: mad([100,102,98]) = 2.
         let a_row = out.lines().find(|l| l.starts_with("a ")).expect("row for a");
         assert!(a_row.contains("2.00"), "{a_row}");
+    }
+
+    #[test]
+    fn profiled_baseline_round_trips_and_plain_format_is_unchanged() {
+        let plain = baseline(&[("a", &[10.0, 11.0])]);
+        assert!(!plain.to_json().contains("profiles"), "no empty section");
+        let profiled = with_profile(plain.clone(), "a", "root 30 1\nroot;x 50 2\n");
+        let json = profiled.to_json();
+        assert!(json.contains("\"profiles\""), "{json}");
+        assert!(json.contains(PROFILE_SCHEMA), "{json}");
+        let back = Baseline::parse(&json).expect("round trip");
+        assert_eq!(back, profiled);
+        assert_eq!(back.to_json(), json, "canonical form is stable");
+        // Pre-profiling baselines still parse (back-compat).
+        assert_eq!(Baseline::parse(&plain.to_json()).expect("old format"), plain);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_profile_schema() {
+        let profiled = with_profile(baseline(&[("a", &[10.0])]), "a", "r 1 1\n");
+        let json = profiled.to_json().replace(PROFILE_SCHEMA, "qbss-prof/999");
+        let err = Baseline::parse(&json).expect_err("wrong profile schema");
+        assert!(err.to_string().contains("profiles schema"), "{err}");
+    }
+
+    #[test]
+    fn gate_blame_names_the_regressed_call_path() {
+        // Scenario regresses 100 → 200 ms; the profile says all of it
+        // is `root;hot` (per-run self 90 → 190 ms), while `root;cold`
+        // stays flat and must not be blamed.
+        // PerfConfig::default() repeats = 5, so self times are ÷5.
+        let base = with_profile(
+            baseline(&[("a", &[100.0, 100.0, 100.0])]),
+            "a",
+            "root 0 5\nroot;hot 450000 50\nroot;cold 50000 50\n",
+        );
+        let new = with_profile(
+            baseline(&[("a", &[200.0, 200.0, 200.0])]),
+            "a",
+            "root 0 5\nroot;hot 950000 50\nroot;cold 50000 50\n",
+        );
+        let t = Threshold::default();
+        let report = compare(&base, &new, t);
+        let d = &report.deltas[0];
+        assert!(d.regressed && d.has_profiles);
+        assert_eq!(d.blame.len(), 1, "{:?}", d.blame);
+        assert_eq!(d.blame[0].path, "root;hot");
+        assert!((d.blame[0].delta_ms() - 100.0).abs() < 1e-9);
+        let out = report.render_explain(t);
+        assert!(out.contains("self-time attribution"), "{out}");
+        assert!(out.contains("root;hot  +100.00 ms self (90.00 → 190.00)  count 50 → 50"), "{out}");
+        assert!(!out.contains("root;cold"), "flat path must not be blamed:\n{out}");
+    }
+
+    #[test]
+    fn gate_blame_notes_missing_profiles() {
+        let base = baseline(&[("a", &[100.0, 100.0])]);
+        let new = baseline(&[("a", &[300.0, 300.0])]);
+        let t = Threshold::default();
+        let out = compare(&base, &new, t).render_explain(t);
+        assert!(out.contains("no profile attribution"), "{out}");
+    }
+
+    #[test]
+    fn gate_blame_respects_the_noise_threshold() {
+        // Regressed scenario, but every path's movement stays inside
+        // max(3×MAD, 25%×self): attribution reports no single culprit.
+        let base = with_profile(
+            baseline(&[("a", &[100.0, 90.0, 110.0])]),  // MAD 10
+            "a",
+            "root;hot 300000 3\n",
+        );
+        let new = with_profile(
+            baseline(&[("a", &[200.0, 190.0, 210.0])]),
+            "a",
+            "root;hot 360000 3\n",  // +20 ms/run < 3×MAD = 30 ms
+        );
+        let t = Threshold::default();
+        let report = compare(&base, &new, t);
+        assert!(report.deltas[0].regressed);
+        assert!(report.deltas[0].blame.is_empty());
+        let out = report.render_explain(t);
+        assert!(out.contains("no single call path moved past the noise threshold"), "{out}");
     }
 
     #[test]

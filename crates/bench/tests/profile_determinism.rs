@@ -1,0 +1,49 @@
+//! The pinned determinism contract of the profiling plane: profiled
+//! runs of the same seeded scenario fold to **byte-identical**
+//! call-path counts, independent of the shard count.
+//!
+//! Wall-clock columns are measurement, not identity — they differ on
+//! every run. What is pinned is the *shape*: the counts-only folded
+//! form (`a;b;c count`) after collapsing `par.shard`, the one frame
+//! whose multiplicity is a scheduling artifact (one span per shard)
+//! rather than seeded work. CI re-checks the same property end to end
+//! by byte-`cmp`ing two `qbss prof record --counts-only --collapse
+//! par.shard` outputs.
+
+use qbss_bench::perf::{self, PerfConfig};
+use qbss_telemetry::{Config, Filter, RingSink, SinkTarget};
+
+/// A single test function: telemetry is process-global, so every run
+/// shares one deliberately-installed pipeline.
+#[test]
+fn folded_counts_are_deterministic_and_shard_independent() {
+    let ring = RingSink::new(1 << 18);
+    qbss_telemetry::init(Config {
+        filter: Filter::off(),
+        sink: SinkTarget::Ring(ring.clone()),
+        spans: true,
+    })
+    .expect("fresh pipeline");
+
+    let fold = |shards: usize| -> String {
+        let config = PerfConfig { warmup: 0, repeats: 1, shards };
+        let mut b = perf::record_profiled(&["ci-small".to_string()], config, Some(&ring))
+            .expect("scenario runs");
+        assert_eq!(ring.dropped(), 0, "the ring must hold a full repeat");
+        let profile = b.profiles.remove("ci-small").expect("profiled");
+        // `par.shard` is the scheduling fan-out layer — the only
+        // shard-count-dependent structure in the span tree. Collapsed,
+        // what remains is the seeded work itself.
+        profile.collapse(&["par.shard"]).fold_counts()
+    };
+
+    let one = fold(1);
+    let again = fold(1);
+    let four = fold(4);
+    assert!(!one.is_empty(), "ci-small produced no call paths");
+    assert!(one.contains("engine.cell"), "expected engine spans in:\n{one}");
+    assert_eq!(one, again, "same seed, same config must fold identically");
+    assert_eq!(one, four, "folded counts must not depend on the shard count");
+
+    qbss_telemetry::shutdown();
+}

@@ -9,8 +9,20 @@
 //! above the real cost. The generous bound keeps the gate meaningful
 //! (a regression to formatting or locking costs microseconds, not
 //! nanoseconds) without flaking on loaded CI machines.
+//!
+//! The profiling plane rides on the same probes (spans into a ring,
+//! folded after the run), so the second gate proves a profiling
+//! session taxes the hot path only while it is live: after `shutdown`
+//! the probe pair must be back inside the same budget as a process
+//! that never profiled.
 
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Telemetry is process-global: the gates serialize on this lock so
+/// one test's live pipeline can never leak probes into the other's
+/// disabled-path measurement.
+static GATE: Mutex<()> = Mutex::new(());
 
 const ITERS: u64 = 1_000_000;
 /// Per-iteration overhead ceiling for two disabled probes (an `event!`
@@ -52,8 +64,10 @@ fn min_secs(f: impl Fn(u64) -> u64) -> f64 {
 
 #[test]
 fn disabled_probes_cost_nanoseconds_not_microseconds() {
-    // This test binary never calls `init`, so telemetry is off — the
-    // exact state every untraced `qbss` run is in.
+    let _serial = GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // No pipeline is live here (the profiling gate shuts its own
+    // down), so telemetry is off — the exact state every untraced
+    // `qbss` run is in.
     assert!(!qbss_telemetry::active());
 
     // Warm both paths once before timing.
@@ -69,5 +83,45 @@ fn disabled_probes_cost_nanoseconds_not_microseconds() {
         "disabled telemetry costs {overhead_ns:.1} ns per probe pair \
          (bound {MAX_OVERHEAD_NS} ns): the disabled path is no longer \
          a single relaxed atomic load"
+    );
+}
+
+#[test]
+fn a_profiling_session_leaves_the_disabled_path_untaxed() {
+    let _serial = GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Bring up the exact pipeline `--profile` installs: spans into a
+    // private ring, leveled events off.
+    let ring = qbss_telemetry::RingSink::new(1 << 16);
+    qbss_telemetry::init(qbss_telemetry::Config {
+        filter: qbss_telemetry::Filter::off(),
+        sink: qbss_telemetry::SinkTarget::Ring(ring.clone()),
+        spans: true,
+    })
+    .expect("fresh pipeline");
+    assert!(qbss_telemetry::spans_enabled());
+
+    // Live, the probe pair really collects: one span record per
+    // iteration lands in the ring (the trace! event stays filtered).
+    std::hint::black_box(probed_loop(1_000));
+    assert!(ring.len() >= 1_000, "profiling captured {} of 1000 spans", ring.len());
+
+    qbss_telemetry::shutdown();
+    assert!(!qbss_telemetry::active());
+
+    // Off again, the same probes must be back inside the same budget
+    // as a process that never profiled — the profiler taxes the hot
+    // path only while a run is being profiled.
+    std::hint::black_box(bare_loop(ITERS / 10));
+    std::hint::black_box(probed_loop(ITERS / 10));
+    let bare = min_secs(bare_loop);
+    let probed = min_secs(probed_loop);
+    let overhead_ns = (probed - bare).max(0.0) * 1e9 / ITERS as f64;
+    eprintln!(
+        "post-profiling probe-pair overhead: {overhead_ns:.2} ns/iter (bound {MAX_OVERHEAD_NS})"
+    );
+    assert!(
+        overhead_ns < MAX_OVERHEAD_NS,
+        "after a profiling session, disabled telemetry costs {overhead_ns:.1} ns per \
+         probe pair (bound {MAX_OVERHEAD_NS} ns): shutdown left residue on the hot path"
     );
 }

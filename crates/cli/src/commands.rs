@@ -23,7 +23,8 @@ use std::path::{Path, PathBuf};
 use qbss_bench::engine::{run_sweep_audited, EngineReport, InstanceSource, SweepSpec};
 use qbss_bench::perf::{self, Baseline, PerfConfig, Threshold};
 use qbss_bench::StreamSession;
-use qbss_telemetry::{Config, Filter, InitError, JsonValue, SinkTarget};
+use qbss_telemetry::profile::Profile;
+use qbss_telemetry::{Config, Filter, InitError, JsonValue, RingSink, SinkTarget};
 use qbss_core::error::{AlgorithmError, QbssError};
 use qbss_core::model::{QJob, QbssInstance};
 use qbss_core::offline::is_power_of_two_deadline;
@@ -67,9 +68,13 @@ USAGE:
   qbss trace    report FILE [--out FILE]
                   (trace FILE may be `-` to read stdin)
   qbss perf     record  [--out FILE] [--scenarios LIST] [--repeats N]
-                        [--warmup N] [--shards S] [--trace FILE]
+                        [--warmup N] [--shards S] [--profile] [--trace FILE]
   qbss perf     compare BASE NEW [--mad-factor X] [--min-rel X]
   qbss perf     gate    --base FILE [--new FILE] [--mad-factor X] [--min-rel X] [--explain]
+  qbss prof     record  (--trace FILE | --scenario NAME [--repeats N] [--warmup N]
+                        [--shards S]) [--collapse LIST] [--counts-only] [--out FILE]
+  qbss prof     diff    BASE NEW [--top K]
+  qbss prof     flame   (--trace FILE | --folded FILE) [--title T] [--out FILE]
   qbss help
 
 OBSERVABILITY:
@@ -197,6 +202,30 @@ fn init_telemetry(flags: &Flags) -> Result<Telemetry, CliError> {
         // In-process callers (tests) may already hold a pipeline; the
         // command then logs into it instead of failing.
         Err(InitError::AlreadyInitialized) => Ok(Telemetry),
+        Err(e @ InitError::Io(_)) => Err(CliError::Io(e.to_string())),
+    }
+}
+
+/// Profile-capture ring capacity: large enough to hold every span of
+/// one timed repeat of the heaviest built-in scenario (the profiler
+/// drains between repeats, so one repeat is the high-water mark).
+const PROFILE_RING_CAPACITY: usize = 1 << 18;
+
+/// Installs the span-capture pipeline for profiled runs: spans into a
+/// fresh private ring, leveled events off. Returns the ring read
+/// handle plus the RAII shutdown guard. A pipeline that is already
+/// live (an in-process caller holding a sink) cannot be rerouted into
+/// the profile ring, so that is bad input rather than silent
+/// mis-capture.
+fn init_profile_ring() -> Result<(RingSink, Telemetry), CliError> {
+    let ring = RingSink::new(PROFILE_RING_CAPACITY);
+    let config =
+        Config { filter: Filter::off(), sink: SinkTarget::Ring(ring.clone()), spans: true };
+    match qbss_telemetry::init(config) {
+        Ok(()) => Ok((ring, Telemetry)),
+        Err(InitError::AlreadyInitialized) => {
+            Err(input("cannot profile: a telemetry pipeline is already active in this process"))
+        }
         Err(e @ InitError::Io(_)) => Err(CliError::Io(e.to_string())),
     }
 }
@@ -1175,7 +1204,7 @@ pub fn trace(args: &[String]) -> Result<(), CliError> {
 // ---------------------------------------------------------------------
 
 const PERF_USAGE: &str = "usage: qbss perf record  [--out FILE] [--scenarios LIST] [--repeats N]\n                         \
-                          [--warmup N] [--shards S] [--trace FILE]\n       \
+                          [--warmup N] [--shards S] [--profile] [--trace FILE]\n       \
                           qbss perf compare BASE NEW [--mad-factor X] [--min-rel X]\n       \
                           qbss perf gate    --base FILE [--new FILE] [--mad-factor X] [--min-rel X]\n                         \
                           [--explain]";
@@ -1205,9 +1234,11 @@ fn threshold_from(flags: &Flags) -> Result<Threshold, CliError> {
 }
 
 fn perf_record(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["out", "scenarios", "repeats", "warmup", "shards", "trace"])?;
-    let _telemetry = init_telemetry(&flags)?;
-    let _span = qbss_telemetry::span!("cli.perf.record");
+    let flags = Flags::parse_with_switches(
+        args,
+        &["out", "scenarios", "repeats", "warmup", "shards", "trace", "profile"],
+        &["profile"],
+    )?;
     let names: Vec<String> = flags.get("scenarios").map_or_else(Vec::new, |s| {
         s.split(',').map(str::trim).filter(|t| !t.is_empty()).map(String::from).collect()
     });
@@ -1220,7 +1251,34 @@ fn perf_record(args: &[String]) -> Result<(), CliError> {
     if config.repeats == 0 {
         return Err(input("--repeats must be at least 1"));
     }
-    let baseline = perf::record(&names, config).map_err(|e| input(e.to_string()))?;
+    let baseline = if flags.switch("profile")? {
+        if flags.get("trace").is_some() {
+            return Err(input(
+                "--profile and --trace are mutually exclusive (the profiler owns the span \
+                 sink; fold an existing trace with `qbss prof record --trace FILE`)",
+            ));
+        }
+        if std::env::var("QBSS_LOG").is_ok() {
+            warn_user("QBSS_LOG is ignored under --profile: spans go to the profile ring");
+        }
+        let (baseline, dropped) = {
+            let (ring, _telemetry) = init_profile_ring()?;
+            let b = perf::record_profiled(&names, config, Some(&ring))
+                .map_err(|e| input(e.to_string()))?;
+            (b, ring.dropped())
+        };
+        if dropped > 0 {
+            warn_user(&format!(
+                "profile ring dropped {dropped} span record(s); the folded profiles are \
+                 truncated"
+            ));
+        }
+        baseline
+    } else {
+        let _telemetry = init_telemetry(&flags)?;
+        let _span = qbss_telemetry::span!("cli.perf.record");
+        perf::record(&names, config).map_err(|e| input(e.to_string()))?
+    };
     let json = baseline.to_json();
     match flags.get("out") {
         Some(path) => {
@@ -1272,7 +1330,26 @@ fn perf_gate(args: &[String]) -> Result<(), CliError> {
                 repeats: flags.usize("repeats", base.config.repeats.max(1))?,
                 shards: flags.usize("shards", base.config.shards)?,
             };
-            perf::record(&names, config).map_err(|e| input(e.to_string()))?
+            if base.profiles.is_empty() {
+                perf::record(&names, config).map_err(|e| input(e.to_string()))?
+            } else {
+                // A profiled base gets a profiled re-measure, so
+                // `--explain` can attribute any regression to the call
+                // paths that moved.
+                match init_profile_ring() {
+                    Ok((ring, _telemetry)) => {
+                        perf::record_profiled(&names, config, Some(&ring))
+                            .map_err(|e| input(e.to_string()))?
+                    }
+                    Err(CliError::Input(_)) => {
+                        warn_user(
+                            "telemetry already active: re-measuring without profile attribution",
+                        );
+                        perf::record(&names, config).map_err(|e| input(e.to_string()))?
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
         }
     };
     let report = perf::compare(&base, &new, threshold);
@@ -1311,6 +1388,175 @@ pub fn perf(args: &[String]) -> Result<(), CliError> {
         "compare" => perf_compare(rest),
         "gate" => perf_gate(rest),
         other => Err(input(format!("unknown perf action `{other}`\n{PERF_USAGE}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// `qbss prof` — folded profiles and flamegraphs from span traces
+// ---------------------------------------------------------------------
+
+const PROF_USAGE: &str = "usage: qbss prof record (--trace FILE | --scenario NAME [--repeats N] [--warmup N]\n                        \
+                          [--shards S]) [--collapse LIST] [--counts-only] [--out FILE]\n       \
+                          qbss prof diff   BASE NEW [--top K]\n       \
+                          qbss prof flame  (--trace FILE | --folded FILE) [--title T] [--out FILE]\n       \
+                          (trace FILE may be `-` to read stdin; folded files hold\n                        \
+                          `path;to;frame self_us count` lines, as written by prof record)";
+
+/// Loads a folded-stack profile file (`a;b;c self_us count` lines): a
+/// missing file is an I/O failure, a malformed line is bad input.
+fn load_folded(path: &str) -> Result<Profile, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    Profile::parse_folded(&text).map_err(|e| input(format!("{path}: {e}")))
+}
+
+/// `--collapse LIST`: comma-separated frame names removed from every
+/// call path, their self time accruing to the surviving parent frame.
+/// The canonical use is `--collapse par.shard`, which removes the
+/// scheduling fan-out layer so folded output is shard-count
+/// independent.
+fn apply_collapse(profile: Profile, flags: &Flags) -> Profile {
+    match flags.get("collapse") {
+        None => profile,
+        Some(list) => {
+            let frames: Vec<&str> =
+                list.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            profile.collapse(&frames)
+        }
+    }
+}
+
+/// Writes `text` to `--out` (with a status note) or stdout.
+fn write_text_out(flags: &Flags, text: &str, what: &str) -> Result<(), CliError> {
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, text)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            status_user(&format!("wrote {what} to {path}"));
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn prof_record(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse_with_switches(
+        args,
+        &["trace", "scenario", "repeats", "warmup", "shards", "collapse", "counts-only", "out"],
+        &["counts-only"],
+    )?;
+    let profile = match (flags.get("trace"), flags.get("scenario")) {
+        (Some(_), Some(_)) => {
+            return Err(input("choose one of --trace FILE or --scenario NAME, not both"));
+        }
+        (Some(file), None) => Profile::from_records(&load_trace(file)?),
+        (None, Some(name)) => {
+            let config = PerfConfig {
+                // One warm-up, one measured pass: a deterministic
+                // single-run profile, not a statistical baseline.
+                warmup: flags.usize("warmup", 1)?,
+                repeats: flags.usize("repeats", 1)?,
+                shards: flags.usize("shards", PerfConfig::default().shards)?,
+            };
+            if config.repeats == 0 {
+                return Err(input("--repeats must be at least 1"));
+            }
+            let name = name.to_string();
+            let (profile, dropped) = {
+                let (ring, _telemetry) = init_profile_ring()?;
+                let mut baseline =
+                    perf::record_profiled(std::slice::from_ref(&name), config, Some(&ring))
+                        .map_err(|e| input(e.to_string()))?;
+                let p = baseline.profiles.remove(&name).ok_or_else(|| {
+                    CliError::Io(format!("scenario {name} produced no profile"))
+                })?;
+                (p, ring.dropped())
+            };
+            if dropped > 0 {
+                warn_user(&format!(
+                    "profile ring dropped {dropped} span record(s); the profile is truncated"
+                ));
+            }
+            profile
+        }
+        (None, None) => {
+            return Err(input(format!(
+                "prof record needs --trace FILE or --scenario NAME\n{PROF_USAGE}"
+            )));
+        }
+    };
+    let profile = apply_collapse(profile, &flags);
+    // `--counts-only` drops the wall-clock column: call-path shape and
+    // counts are deterministic for a seeded scenario, timings are
+    // measurement. CI byte-compares the counts-only form.
+    let folded =
+        if flags.switch("counts-only")? { profile.fold_counts() } else { profile.fold() };
+    write_text_out(&flags, &folded, "folded profile")
+}
+
+fn prof_diff(args: &[String]) -> Result<(), CliError> {
+    let Some((base_path, rest)) = args.split_first() else {
+        return Err(input(format!("prof diff needs BASE and NEW folded files\n{PROF_USAGE}")));
+    };
+    let Some((new_path, flag_args)) = rest.split_first() else {
+        return Err(input(format!("prof diff needs a NEW folded file\n{PROF_USAGE}")));
+    };
+    let flags = Flags::parse(flag_args, &["top"])?;
+    let top = flags.usize("top", 20)?;
+    let base = load_folded(base_path)?;
+    let new = load_folded(new_path)?;
+    let deltas = Profile::diff(&base, &new);
+    if deltas.is_empty() {
+        println!("no call paths in either profile");
+        return Ok(());
+    }
+    println!("{:>12} {:>12} {:>12}  {:>9}  path", "base self", "new self", "delta", "count");
+    for d in deltas.iter().take(top) {
+        println!(
+            "{:>10}us {:>10}us {:>+10}us  {:>4}>{:<4}  {}",
+            d.base_self_us,
+            d.new_self_us,
+            d.delta_us(),
+            d.base_count,
+            d.new_count,
+            d.path_str()
+        );
+    }
+    if deltas.len() > top {
+        println!("... {} more call path(s) (raise --top)", deltas.len() - top);
+    }
+    Ok(())
+}
+
+fn prof_flame(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["trace", "folded", "title", "out"])?;
+    let profile = match (flags.get("trace"), flags.get("folded")) {
+        (Some(_), Some(_)) => {
+            return Err(input("choose one of --trace FILE or --folded FILE, not both"));
+        }
+        (Some(file), None) => Profile::from_records(&load_trace(file)?),
+        (None, Some(path)) => load_folded(path)?,
+        (None, None) => {
+            return Err(input(format!(
+                "prof flame needs --trace FILE or --folded FILE\n{PROF_USAGE}"
+            )));
+        }
+    };
+    let html = profile.render_flamegraph_html(flags.get("title").unwrap_or("qbss profile"));
+    write_text_out(&flags, &html, "flamegraph")
+}
+
+/// `qbss prof` — fold span traces into canonical profiles, diff two
+/// folded profiles, render flamegraphs.
+pub fn prof(args: &[String]) -> Result<(), CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(input(PROF_USAGE));
+    };
+    match action.as_str() {
+        "record" => prof_record(rest),
+        "diff" => prof_diff(rest),
+        "flame" => prof_flame(rest),
+        other => Err(input(format!("unknown prof action `{other}`\n{PROF_USAGE}"))),
     }
 }
 
@@ -1642,6 +1888,7 @@ mod tests {
                 },
             ))
             .collect(),
+            profiles: Default::default(),
         }
     }
 
@@ -1675,6 +1922,82 @@ mod tests {
         assert_eq!(err.exit_code(), 2, "{err}");
         assert_eq!(perf(&args(&["explode"])).unwrap_err().exit_code(), 2);
         assert_eq!(perf(&args(&["record", "--repeats", "0"])).unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
+    fn prof_record_folds_a_trace_file() {
+        let dir = std::env::temp_dir().join("qbss-cli-prof-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("p.jsonl");
+        // Child closes (and is written) before its parent — file order
+        // is close order; the folder rebuilds the tree from ids.
+        std::fs::write(
+            &trace_path,
+            "{\"t\": \"span\", \"id\": 2, \"parent\": 1, \"name\": \"cell\", \
+             \"start_us\": 10, \"dur_us\": 40, \"fields\": {}}\n\
+             {\"t\": \"span\", \"id\": 1, \"parent\": null, \"name\": \"sweep\", \
+             \"start_us\": 0, \"dur_us\": 100, \"fields\": {}}\n",
+        )
+        .unwrap();
+        let t = trace_path.to_str().unwrap();
+        let folded_path = dir.join("p.folded");
+        prof(&args(&["record", "--trace", t, "--out", folded_path.to_str().unwrap()]))
+            .expect("prof record");
+        let folded = std::fs::read_to_string(&folded_path).unwrap();
+        assert_eq!(folded, "sweep 60 1\nsweep;cell 40 1\n");
+        // Collapsing a frame folds its self time into the parent.
+        let collapsed = dir.join("c.folded");
+        prof(&args(&[
+            "record", "--trace", t, "--collapse", "cell", "--counts-only",
+            "--out", collapsed.to_str().unwrap(),
+        ]))
+        .expect("prof record --collapse");
+        assert_eq!(std::fs::read_to_string(&collapsed).unwrap(), "sweep 1\n");
+        // diff of a profile against itself runs clean; flame renders
+        // self-contained HTML from the folded file.
+        prof(&args(&["diff", folded_path.to_str().unwrap(), folded_path.to_str().unwrap()]))
+            .expect("prof diff");
+        let html_path = dir.join("p.html");
+        prof(&args(&[
+            "flame", "--folded", folded_path.to_str().unwrap(),
+            "--out", html_path.to_str().unwrap(),
+        ]))
+        .expect("prof flame");
+        let html = std::fs::read_to_string(&html_path).unwrap();
+        assert!(html.starts_with("<!DOCTYPE html>"), "{}", &html[..60]);
+        assert!(html.contains("sweep"), "{html}");
+        assert!(!html.contains("http://") && !html.contains("https://"), "self-contained");
+    }
+
+    #[test]
+    fn prof_errors_map_onto_the_exit_codes() {
+        let dir = std::env::temp_dir().join("qbss-cli-prof-err-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(prof(&args(&["explode"])).unwrap_err().exit_code(), 2);
+        assert_eq!(prof(&args(&["record"])).unwrap_err().exit_code(), 2);
+        assert_eq!(
+            prof(&args(&["record", "--trace", "a", "--scenario", "b"])).unwrap_err().exit_code(),
+            2
+        );
+        assert_eq!(
+            prof(&args(&["record", "--trace", "/no/such/file"])).unwrap_err().exit_code(),
+            3
+        );
+        assert_eq!(prof(&args(&["diff", "/no/file"])).unwrap_err().exit_code(), 2);
+        assert_eq!(prof(&args(&["diff", "/no/file", "/no/file"])).unwrap_err().exit_code(), 3);
+        let bad = dir.join("bad.folded");
+        std::fs::write(&bad, "just-a-path-no-count\n").unwrap();
+        let b = bad.to_str().unwrap();
+        let err = prof(&args(&["diff", b, b])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert_eq!(prof(&args(&["flame"])).unwrap_err().exit_code(), 2);
+        // perf record refuses the --profile/--trace combination.
+        let err = perf(&args(&[
+            "record", "--profile", "--trace", "/tmp/t.jsonl", "--scenarios", "ci-small",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
     }
 
     #[test]

@@ -25,8 +25,13 @@
 //! * `qbss trace report` — render a trace as a self-contained HTML
 //!   report (phase tree, span waterfall, metrics tables);
 //! * `qbss perf record|compare|gate` — statistical perf baselines
-//!   (median/MAD over warm repeats) and a noise-aware regression gate
-//!   (exit 3 on regression).
+//!   (median/MAD over warm repeats, optionally with `--profile`
+//!   call-path attribution) and a noise-aware regression gate
+//!   (exit 3 on regression);
+//! * `qbss prof record|diff|flame` — fold span traces or live seeded
+//!   scenario runs into canonical call-path profiles
+//!   (`a;b;c self_us count` lines), diff two folded profiles, render
+//!   self-contained flamegraph HTML.
 //!
 //! Observability: `generate`/`run`/`compare`/`sweep` accept
 //! `--trace FILE` (spans + events to a JSONL file) and honour the
@@ -76,6 +81,7 @@ fn main() -> ExitCode {
         "rho" => commands::rho(rest),
         "trace" => commands::trace(rest),
         "perf" => commands::perf(rest),
+        "prof" => commands::prof(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

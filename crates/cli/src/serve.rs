@@ -12,7 +12,8 @@
 //! | `GET /metrics` | process registry in Prometheus text exposition format; read-only, byte-stable across scrapes of an idle registry |
 //! | `GET /healthz` | liveness: uptime, in-flight, served, queue depth, shed totals, admission budget |
 //! | `GET /readyz` | readiness: `200` while accepting, `503` once draining |
-//! | `GET /tracez` | most recent spans/events from the ring sink as HTML (`?format=jsonl` for the raw records) |
+//! | `GET /tracez` | most recent spans/events from the ring sink as HTML (`?format=jsonl` for the raw records; `?target=PREFIX` filters by dot-prefix, `?min_us=N` keeps spans at least that long) |
+//! | `GET /profilez` | ring spans folded into a call-path profile, rendered as a flamegraph (`?format=folded` for raw `path self_us count` text, `?collapse=a,b` removes frames) |
 //! | `POST /evaluate` | instance JSON in, evaluated outcome out (`?alg=`, `?alpha=`, `?m=`) |
 //! | `POST /sweep` | sweep-spec JSON in, deterministic aggregate out |
 //! | `POST /session` | open a streaming session (`?alg=`, `?alpha=`); returns the session id |
@@ -53,11 +54,13 @@
 //! stale results.
 //!
 //! **Probe endpoints never touch the metrics registry** — only the
-//! work endpoints (`/evaluate`, `/sweep`) bump `serve.requests`, the
-//! `serve.request.dur_us` histogram, and the shed/queue series, so two
-//! consecutive `/metrics` scrapes of an otherwise idle server are
-//! byte-identical. Probe traffic is tracked in plain process stats
-//! surfaced by `/healthz`.
+//! work endpoints (`/evaluate`, `/sweep`, `/session*`) bump
+//! `serve.requests`, the `serve.request.dur_us` histogram (plus its
+//! per-endpoint `serve.request.dur_us.{evaluate,sweep,session}`
+//! companions), and the shed/queue series, so two consecutive
+//! `/metrics` scrapes of an otherwise idle server are byte-identical.
+//! Probe traffic is tracked in plain process stats surfaced by
+//! `/healthz`.
 //!
 //! Malformed requests map the typed error taxonomy onto status codes —
 //! syntax errors (bad HTTP, bad JSON) are `400`, a POST without a
@@ -86,8 +89,9 @@ use qbss_bench::StreamSession;
 use qbss_core::model::QJob;
 use qbss_core::pipeline::{run_for_request, Algorithm};
 use qbss_instances::io::{self, IoError};
+use qbss_telemetry::profile::Profile;
 use qbss_telemetry::{
-    expo, json_escape, json_f64, trace, JsonValue, RingSink, DURATION_US_BOUNDS,
+    expo, json_escape, json_f64, target_matches, trace, JsonValue, RingSink, DURATION_US_BOUNDS,
 };
 
 /// Largest accepted request body (instances and sweep specs are small;
@@ -724,7 +728,10 @@ fn index() -> Response {
                GET  /metrics    Prometheus text exposition of the process registry\n\
                GET  /healthz    liveness (uptime, in-flight, served, queue, shed, budget)\n\
                GET  /readyz     readiness (503 once draining)\n\
-               GET  /tracez     recent spans/events as HTML (?format=jsonl for raw)\n\
+               GET  /tracez     recent spans/events as HTML (?format=jsonl for raw;\n                 \
+               ?target=PREFIX and ?min_us=N filter)\n\
+               GET  /profilez   ring spans folded into a flamegraph (?format=folded,\n                 \
+               ?collapse=a,b)\n\
                POST /evaluate   instance JSON -> evaluated outcome (?alg=&alpha=&m=)\n\
                POST /sweep      sweep spec JSON -> deterministic aggregate\n\
                POST /session    open a streaming session (?alg=&alpha=) -> id\n\
@@ -775,24 +782,125 @@ fn readyz(ctx: &ServerCtx<'_>) -> Response {
     Response::json(status, health_body(ctx))
 }
 
+/// Whether one `/tracez` record passes the `?target=` / `?min_us=`
+/// filters. Spans filter on their dot-scoped name (the same
+/// longest-dot-prefix grammar as `QBSS_LOG`) and their duration;
+/// events filter on their target but carry no duration, so a `min_us`
+/// bound drops them; metrics snapshots always pass — they are registry
+/// state, not timed work.
+fn tracez_keep(rec: &trace::TraceRecord, target: Option<&str>, min_us: Option<u64>) -> bool {
+    match rec {
+        trace::TraceRecord::Span(s) => {
+            target.is_none_or(|p| target_matches(&s.name, p))
+                && min_us.is_none_or(|m| s.dur_us >= m)
+        }
+        trace::TraceRecord::Event(e) => {
+            target.is_none_or(|p| target_matches(&e.target, p)) && min_us.is_none()
+        }
+        trace::TraceRecord::Metrics(_) => true,
+    }
+}
+
 fn tracez(query: &str, ring: &RingSink) -> Response {
+    let target = query_get(query, "target");
+    let min_us = match query_get(query, "min_us") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                return Response::error(
+                    400,
+                    "bad_request",
+                    "min_us must be a non-negative integer",
+                );
+            }
+        },
+    };
     let contents = ring.contents();
     if query_get(query, "format") == Some("jsonl") {
+        // Filter line by line but emit the original bytes, so piped
+        // output stays byte-faithful to what the ring holds.
+        let body = if target.is_none() && min_us.is_none() {
+            contents
+        } else {
+            let mut kept = String::new();
+            for line in contents.lines() {
+                match trace::parse_trace(line) {
+                    Ok(records) if records.iter().all(|r| tracez_keep(r, target, min_us)) => {
+                        kept.push_str(line);
+                        kept.push('\n');
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        return Response::error(
+                            500,
+                            "internal",
+                            &format!("ring holds an invalid record: {e}"),
+                        );
+                    }
+                }
+            }
+            kept
+        };
         return Response {
             status: 200,
             content_type: "application/x-ndjson",
-            body: contents,
+            body,
             extra_headers: Vec::new(),
         };
     }
     match trace::parse_trace(&contents) {
-        Ok(records) => Response {
+        Ok(records) => {
+            let kept: Vec<trace::TraceRecord> =
+                records.into_iter().filter(|r| tracez_keep(r, target, min_us)).collect();
+            Response {
+                status: 200,
+                content_type: "text/html; charset=utf-8",
+                body: trace::render_html(&kept),
+                extra_headers: Vec::new(),
+            }
+        }
+        Err(e) => Response::error(500, "internal", &format!("ring holds an invalid record: {e}")),
+    }
+}
+
+/// `GET /profilez`: folds the span records currently in the ring into
+/// a call-path profile rendered as a self-contained flamegraph.
+/// `?format=folded` returns the raw `path self_us count` text instead;
+/// `?collapse=a,b` removes the named frames (their self time accrues
+/// to the surviving parent — `?collapse=par.shard` makes output
+/// shard-count independent). Fed from the [`RingSink`] only, never the
+/// metrics registry, so scraping it leaves `/metrics` byte-stable.
+fn profilez(query: &str, ring: &RingSink) -> Response {
+    let records = match trace::parse_trace(&ring.contents()) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::error(500, "internal", &format!("ring holds an invalid record: {e}"));
+        }
+    };
+    let mut profile = Profile::from_records(&records);
+    if let Some(list) = query_get(query, "collapse") {
+        let frames: Vec<&str> = list.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        profile = profile.collapse(&frames);
+    }
+    match query_get(query, "format") {
+        None => Response {
             status: 200,
             content_type: "text/html; charset=utf-8",
-            body: trace::render_html(&records),
+            body: profile.render_flamegraph_html("qbss /profilez"),
             extra_headers: Vec::new(),
         },
-        Err(e) => Response::error(500, "internal", &format!("ring holds an invalid record: {e}")),
+        Some("folded") => Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: profile.fold(),
+            extra_headers: Vec::new(),
+        },
+        Some(other) => Response::error(
+            400,
+            "bad_request",
+            &format!("unknown format `{other}` (expected folded)"),
+        ),
     }
 }
 
@@ -1087,29 +1195,37 @@ fn route(req: &HttpRequest, request_id: &str, ctx: &ServerCtx<'_>) -> Response {
         ("GET", "/healthz") => healthz(ctx),
         ("GET", "/readyz") => readyz(ctx),
         ("GET", "/tracez") => tracez(&req.query, &ctx.cfg.ring),
+        ("GET", "/profilez") => profilez(&req.query, &ctx.cfg.ring),
         ("POST", p) if p == "/evaluate" || p == "/sweep" || p == "/session" || p.starts_with("/session/") => {
             // Work endpoints are the only registry writers, so idle
             // /metrics scrapes stay byte-stable.
             let started = Instant::now();
-            let resp = if req.path == "/evaluate" {
-                evaluate(req, request_id, ctx)
+            let (endpoint, resp) = if req.path == "/evaluate" {
+                ("evaluate", evaluate(req, request_id, ctx))
             } else if req.path == "/sweep" {
-                sweep(req, ctx)
+                ("sweep", sweep(req, ctx))
             } else {
-                session_endpoint(req, ctx)
+                ("session", session_endpoint(req, ctx))
             };
+            let dur_us = started.elapsed().as_micros() as f64;
             qbss_telemetry::counter!("serve.requests").inc();
-            qbss_telemetry::metrics()
-                .histogram("serve.request.dur_us", &DURATION_US_BOUNDS)
-                .record(started.elapsed().as_micros() as f64);
+            let metrics = qbss_telemetry::metrics();
+            metrics.histogram("serve.request.dur_us", &DURATION_US_BOUNDS).record(dur_us);
+            // The per-endpoint companion lets `/metrics` separate
+            // /evaluate, /sweep and /session/* latency.
+            metrics
+                .histogram(&format!("serve.request.dur_us.{endpoint}"), &DURATION_US_BOUNDS)
+                .record(dur_us);
             qbss_telemetry::gauge!("serve.queue.depth").set(ctx.queue.depth() as f64);
             qbss_telemetry::gauge!("serve.admission.in_flight_cost")
                 .set(ctx.admission.in_flight_cost() as f64);
             resp
         }
-        (_, "/" | "/metrics" | "/healthz" | "/readyz" | "/tracez" | "/evaluate" | "/sweep") => {
-            Response::error(405, "method_not_allowed", "wrong method for this endpoint")
-        }
+        (
+            _,
+            "/" | "/metrics" | "/healthz" | "/readyz" | "/tracez" | "/profilez" | "/evaluate"
+            | "/sweep",
+        ) => Response::error(405, "method_not_allowed", "wrong method for this endpoint"),
         (_, p) if p == "/session" || p.starts_with("/session/") => {
             Response::error(405, "method_not_allowed", "session endpoints are POST-only")
         }
@@ -1340,6 +1456,60 @@ mod tests {
         assert_eq!(query_get("alg=avrq", "m"), None);
         assert_eq!(query_get("", "alg"), None);
         assert_eq!(query_get("a=1&a=2", "a"), Some("1"));
+    }
+
+    #[test]
+    fn tracez_filters_spans_and_events_but_keeps_metrics() {
+        let records = trace::parse_trace(
+            "{\"t\": \"span\", \"id\": 1, \"parent\": null, \"name\": \"engine.cell\", \
+             \"start_us\": 0, \"dur_us\": 500, \"fields\": {}}\n\
+             {\"t\": \"span\", \"id\": 2, \"parent\": null, \"name\": \"serve.request\", \
+             \"start_us\": 0, \"dur_us\": 20, \"fields\": {}}\n\
+             {\"t\": \"event\", \"ts_us\": 5, \"level\": \"warn\", \"target\": \"engine.cell\", \
+             \"span\": null, \"msg\": \"m\", \"fields\": {}}\n\
+             {\"t\": \"metrics\", \"ts_us\": 9, \"scope\": \"proc\", \"counters\": {}, \
+             \"gauges\": {}, \"histograms\": {}}\n",
+        )
+        .expect("valid records");
+        let keep = |target: Option<&str>, min_us: Option<u64>| -> Vec<bool> {
+            records.iter().map(|r| tracez_keep(r, target, min_us)).collect()
+        };
+        // No filters: everything passes.
+        assert_eq!(keep(None, None), vec![true, true, true, true]);
+        // Dot-prefix target matching, same grammar as QBSS_LOG: the
+        // span's name and the event's target both count; metrics always
+        // pass.
+        assert_eq!(keep(Some("engine"), None), vec![true, false, true, true]);
+        assert_eq!(keep(Some("engine.cell"), None), vec![true, false, true, true]);
+        assert_eq!(keep(Some("engin"), None), vec![false, false, false, true]);
+        // min_us keeps slow spans, drops fast ones and (durationless)
+        // events.
+        assert_eq!(keep(None, Some(100)), vec![true, false, false, true]);
+        // Filters compose.
+        assert_eq!(keep(Some("serve"), Some(100)), vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn tracez_rejects_a_malformed_min_us() {
+        let ring = RingSink::default();
+        let resp = tracez("min_us=soon", &ring);
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("min_us"), "{}", resp.body);
+        // Empty ring with valid filters: empty, well-typed responses.
+        assert_eq!(tracez("target=engine&min_us=10", &ring).status, 200);
+        assert_eq!(tracez("format=jsonl&target=engine", &ring).body, "");
+    }
+
+    #[test]
+    fn profilez_renders_even_an_empty_ring() {
+        let ring = RingSink::default();
+        let html = profilez("", &ring);
+        assert_eq!(html.status, 200);
+        assert!(html.body.starts_with("<!DOCTYPE html>"), "{}", &html.body[..40]);
+        let folded = profilez("format=folded&collapse=par.shard", &ring);
+        assert_eq!(folded.status, 200);
+        assert_eq!(folded.body, "");
+        assert_eq!(profilez("format=svg", &ring).status, 400);
     }
 
     #[test]

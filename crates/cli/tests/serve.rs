@@ -224,10 +224,13 @@ fn serve_scrapes_evaluates_and_drains() {
     assert_eq!(status, 422, "{body}");
     assert!(body.contains("\"kind\": \"spec\""), "{body}");
 
-    // The work endpoints (and only they) moved the registry.
+    // The work endpoints (and only they) moved the registry, each
+    // with a per-endpoint latency family next to the aggregate.
     let (_, _, scrape4) = http(&addr, "GET", "/metrics", "");
     assert!(scrape4.contains("serve_requests"), "{scrape4}");
     assert!(scrape4.contains("serve_request_dur_us_bucket"), "{scrape4}");
+    assert!(scrape4.contains("serve_request_dur_us_evaluate_bucket"), "{scrape4}");
+    assert!(scrape4.contains("serve_request_dur_us_sweep_bucket"), "{scrape4}");
     assert_prometheus_parseable(&scrape4);
 
     // The ring kept the request spans: /tracez renders them as HTML.
@@ -238,6 +241,35 @@ fn serve_scrapes_evaluates_and_drains() {
     let (status, _, jsonl) = http(&addr, "GET", "/tracez?format=jsonl", "");
     assert_eq!(status, 200);
     assert!(jsonl.lines().any(|l| l.contains("serve.request")), "{jsonl}");
+
+    // ?target= narrows the stream to a dot-prefix without rewriting
+    // the record bytes; a prefix nothing matches leaves at most the
+    // (untimed, untargeted) metrics snapshots; a bad ?min_us is 400.
+    let (status, _, filtered) =
+        http(&addr, "GET", "/tracez?format=jsonl&target=serve.request", "");
+    assert_eq!(status, 200);
+    assert!(filtered.lines().any(|l| l.contains("serve.request")), "{filtered}");
+    assert!(
+        filtered.lines().all(|l| l.contains("serve.request") || l.contains("\"t\": \"metrics\"")),
+        "{filtered}"
+    );
+    let (status, _, none) = http(&addr, "GET", "/tracez?format=jsonl&target=no.such", "");
+    assert_eq!(status, 200);
+    assert!(none.lines().all(|l| l.contains("\"t\": \"metrics\"")), "{none}");
+    let (status, _, _) = http(&addr, "GET", "/tracez?min_us=soon", "");
+    assert_eq!(status, 400);
+
+    // /profilez folds the ring's spans into a flamegraph — and, being
+    // a probe, leaves /metrics byte-stable.
+    let (status, head, flame) = http(&addr, "GET", "/profilez", "");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/html"), "{head}");
+    assert!(flame.contains("serve.request"), "{flame}");
+    let (status, _, folded) = http(&addr, "GET", "/profilez?format=folded", "");
+    assert_eq!(status, 200);
+    assert!(folded.lines().any(|l| l.starts_with("serve.request ")), "{folded}");
+    let (_, _, scrape5) = http(&addr, "GET", "/metrics", "");
+    assert_eq!(scrape4, scrape5, "/profilez and /tracez must not move the registry");
 
     // SIGTERM drains and exits 0 — the contract scripts rely on.
     sigterm(&child);

@@ -186,6 +186,38 @@ mod tests {
     }
 
     #[test]
+    fn per_endpoint_duration_families_render_next_to_the_aggregate() {
+        // The serve plane records every work request into the aggregate
+        // `serve.request.dur_us` plus a per-endpoint companion; the
+        // encoder must keep the families distinct and canonically
+        // ordered (aggregate first — it sorts before its suffixed kin).
+        let r = Registry::new();
+        r.histogram("serve.request.dur_us", &crate::DURATION_US_BOUNDS).record(10.0);
+        r.histogram("serve.request.dur_us", &crate::DURATION_US_BOUNDS).record(900.0);
+        r.histogram("serve.request.dur_us.evaluate", &crate::DURATION_US_BOUNDS).record(10.0);
+        r.histogram("serve.request.dur_us.sweep", &crate::DURATION_US_BOUNDS).record(900.0);
+        r.histogram("serve.request.dur_us.session", &crate::DURATION_US_BOUNDS).record(5.0);
+        let text = render_prometheus(&r);
+        let families = [
+            "serve_request_dur_us",
+            "serve_request_dur_us_evaluate",
+            "serve_request_dur_us_session",
+            "serve_request_dur_us_sweep",
+        ];
+        let order: Vec<usize> = families
+            .iter()
+            .map(|n| text.find(&format!("# TYPE {n} histogram\n")).expect(n))
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "{text}");
+        // The aggregate saw both work requests, each endpoint only its
+        // own.
+        assert!(text.contains("serve_request_dur_us_count 2\n"), "{text}");
+        assert!(text.contains("serve_request_dur_us_evaluate_count 1\n"), "{text}");
+        assert!(text.contains("serve_request_dur_us_sweep_count 1\n"), "{text}");
+        assert!(text.contains("serve_request_dur_us_session_count 1\n"), "{text}");
+    }
+
+    #[test]
     fn non_finite_gauges_use_prometheus_spellings() {
         let r = Registry::new();
         r.gauge("nan").set(f64::NAN);

@@ -121,6 +121,17 @@ pub struct Filter {
     directives: Vec<(String, Option<Level>)>,
 }
 
+/// The `QBSS_LOG` dot-prefix rule, shared with `/tracez?target=`:
+/// `prefix` matches `target` when equal, or when `target` continues
+/// past it with a `.` (so `engine` matches `engine.cell` but not
+/// `engines`).
+pub fn target_matches(target: &str, prefix: &str) -> bool {
+    target == prefix
+        || (target.len() > prefix.len()
+            && target.starts_with(prefix)
+            && target.as_bytes()[prefix.len()] == b'.')
+}
+
 impl Default for Filter {
     /// The default filter used when `QBSS_LOG` is unset: `info`.
     fn default() -> Self {
@@ -189,11 +200,7 @@ impl Filter {
         let mut best: Option<&(String, Option<Level>)> = None;
         for d in &self.directives {
             let (prefix, _) = d;
-            let matches = target == prefix
-                || (target.len() > prefix.len()
-                    && target.starts_with(prefix.as_str())
-                    && target.as_bytes()[prefix.len()] == b'.');
-            if matches && best.is_none_or(|(b, _)| prefix.len() > b.len()) {
+            if target_matches(target, prefix) && best.is_none_or(|(b, _)| prefix.len() > b.len()) {
                 best = Some(d);
             }
         }
@@ -244,6 +251,16 @@ mod tests {
         assert!(f.enabled(Level::Info, "engine.cell"));
         // `enginex` is not under `engine`.
         assert!(!f.enabled(Level::Error, "enginex"));
+    }
+
+    #[test]
+    fn target_matches_is_the_shared_dot_prefix_rule() {
+        assert!(target_matches("engine", "engine"));
+        assert!(target_matches("engine.cell.oa", "engine"));
+        assert!(target_matches("engine.cell.oa", "engine.cell"));
+        assert!(!target_matches("enginex", "engine"));
+        assert!(!target_matches("engine", "engine.cell"));
+        assert!(!target_matches("serve.request", "engine"));
     }
 
     #[test]

@@ -34,6 +34,30 @@ pub fn json_f64(v: f64) -> String {
     }
 }
 
+/// Serializes a [`JsonValue`] back to canonical JSON: field order
+/// preserved, floats via [`json_f64`], strings via [`json_escape`] —
+/// the one formatter shared by the trace summary, the HTML report and
+/// the profile fold, so every view agrees byte-for-byte on shared
+/// values.
+pub fn render(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(n) => json_f64(*n),
+        JsonValue::Str(s) => format!("\"{}\"", json_escape(s)),
+        JsonValue::Arr(items) => {
+            format!("[{}]", items.iter().map(render).collect::<Vec<_>>().join(", "))
+        }
+        JsonValue::Obj(kvs) => format!(
+            "{{{}}}",
+            kvs.iter()
+                .map(|(k, v)| format!("\"{}\": {}", json_escape(k), render(v)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    }
+}
+
 /// A parsed JSON value (the subset the trace schema uses — which is
 /// all of JSON, numbers as `f64`).
 #[derive(Debug, Clone, PartialEq)]
@@ -278,6 +302,14 @@ mod tests {
         for bad in ["", "{", "{\"a\" 1}", "[1,]", "{\"a\": 1} x", "nul", "1e999"] {
             assert!(parse(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn render_round_trips_canonically() {
+        let doc = "{\"a\": 1, \"b\": [true, null, \"x;y\"], \"c\": {\"n\": 2.5}}";
+        let v = parse(doc).expect("parse");
+        assert_eq!(render(&v), doc);
+        assert_eq!(parse(&render(&v)).expect("re-parse"), v);
     }
 
     #[test]

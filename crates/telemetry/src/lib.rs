@@ -45,6 +45,7 @@ pub mod expo;
 mod filter;
 mod json;
 mod metrics;
+pub mod profile;
 mod sink;
 mod span;
 pub mod trace;
@@ -56,8 +57,8 @@ use std::time::{Duration, Instant};
 
 use sink::Out;
 
-pub use filter::{Filter, FilterError, Level};
-pub use json::{json_escape, json_f64, parse as json_parse, JsonValue};
+pub use filter::{target_matches, Filter, FilterError, Level};
+pub use json::{json_escape, json_f64, parse as json_parse, render as json_render, JsonValue};
 pub use metrics::{estimate_quantile, Counter, Gauge, Histogram, Registry, DURATION_US_BOUNDS};
 pub use sink::{RingSink, SinkTarget, RING_DEFAULT_CAPACITY};
 pub use span::{current_span_id, SpanGuard};

@@ -1,0 +1,737 @@
+//! Span-derived profiles: fold a trace into a canonical call-path tree.
+//!
+//! [`mod@crate::trace`] answers "what happened, in order" — this module
+//! answers "where did the time go". [`Profile::from_records`] folds
+//! completed spans (which carry parent links and cross-thread
+//! stitching) into one [`PathStats`] per *call path* — the
+//! root-to-span sequence of span names, e.g.
+//! `engine.sweep;par.shard;engine.cell;oa.solve` — aggregating call
+//! count, total and self µs, and min/max span duration. Three views
+//! come out of the tree:
+//!
+//! * [`Profile::fold`] — the stable folded-stack text format, one line
+//!   per path: `a;b;c self_us count`, lexicographic path order.
+//! * [`Profile::fold_counts`] — the *deterministic shape*: `a;b;c
+//!   count`. Wall-clock is measurement, not identity; paths and call
+//!   counts of a seeded run are reproducible byte-for-byte, so this is
+//!   the form CI byte-compares and `perf` baselines diff structurally.
+//! * [`Profile::render_flamegraph_html`] — a self-contained icicle
+//!   flamegraph (inline CSS, no external assets, no scripts), the
+//!   sibling of [`crate::trace::render_html`].
+//!
+//! ## Self time and parallel children
+//!
+//! A span's self time is its duration minus the summed durations of
+//! its *direct* children, saturating at zero. Saturation matters: the
+//! sweep engine's shard spans run concurrently under one
+//! `engine.sweep` span, so children may sum past their parent's wall
+//! clock — the parent's self time clamps to 0 rather than going
+//! negative, and flamegraph widths are computed additively from self
+//! times (never from wall totals) so frames always nest.
+//!
+//! ## Shard-count independence
+//!
+//! The one shard-dependent structure a sweep trace has is the
+//! `par.shard` fan-out layer: one span per shard. [`Profile::collapse`]
+//! removes a named component from every path (re-attaching descendants
+//! to the surviving prefix and accruing the collapsed node's self time
+//! to it), so `collapse(&["par.shard"])` + [`Profile::fold_counts`] is
+//! byte-identical at any shard count — pinned by
+//! `crates/bench/tests/profile_determinism.rs`.
+//!
+//! All numbers shared with `trace summarize` (`count`, `total_us`) are
+//! formatted by the same [`crate::json`] helpers, so the JSON summary,
+//! the folded text, and the profile JSON agree byte-for-byte on shared
+//! values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::{json_escape, JsonValue};
+use crate::trace::{SpanRec, TraceRecord};
+
+/// Schema tag for serialized profiles (the `profiles` section of perf
+/// baselines).
+pub const PROFILE_SCHEMA: &str = "qbss-prof/1";
+
+/// Aggregated statistics for one call path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathStats {
+    /// Spans folded into this path.
+    pub count: u64,
+    /// Summed span durations (µs).
+    pub total_us: u64,
+    /// Summed self time (µs): duration minus direct children, per
+    /// span, saturating at zero.
+    pub self_us: u64,
+    /// Shortest single span (µs).
+    pub min_us: u64,
+    /// Longest single span (µs).
+    pub max_us: u64,
+}
+
+/// A canonical profile tree: one [`PathStats`] per call path, in
+/// lexicographic path order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Profile {
+    nodes: BTreeMap<Vec<String>, PathStats>,
+}
+
+/// A malformed folded-stack or profile-JSON input.
+#[derive(Debug)]
+pub struct ProfileError {
+    /// 1-based folded line (0 for JSON-level errors).
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "folded line {}: {}", self.line, self.reason)
+        } else {
+            write!(f, "profile: {}", self.reason)
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Folded-format path components must stay single tokens: `;` joins
+/// components and whitespace separates the numeric fields.
+fn sanitize_component(name: &str) -> String {
+    name.chars().map(|c| if c == ';' || c.is_whitespace() { '_' } else { c }).collect()
+}
+
+impl Profile {
+    /// Folds every span record into the profile tree.
+    ///
+    /// Call paths are rebuilt from explicit parent ids exactly like
+    /// [`crate::trace::summarize`]: spans whose parent never closed
+    /// (truncated trace, or a scenario span still open when the ring
+    /// was drained) are roots.
+    pub fn from_records(records: &[TraceRecord]) -> Profile {
+        let spans: Vec<&SpanRec> = records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        let by_id: BTreeMap<u64, &SpanRec> = spans.iter().map(|s| (s.id, *s)).collect();
+
+        // Direct-children duration per parent id, for self time.
+        let mut child_total: BTreeMap<u64, u64> = BTreeMap::new();
+        for s in &spans {
+            if let Some(p) = s.parent {
+                if by_id.contains_key(&p) {
+                    *child_total.entry(p).or_insert(0) += s.dur_us;
+                }
+            }
+        }
+
+        let path_of = |s: &SpanRec| -> Vec<String> {
+            let mut path = vec![sanitize_component(&s.name)];
+            let mut cur = s.parent;
+            while let Some(pid) = cur {
+                match by_id.get(&pid) {
+                    Some(p) => {
+                        path.push(sanitize_component(&p.name));
+                        cur = p.parent;
+                    }
+                    None => break,
+                }
+            }
+            path.reverse();
+            path
+        };
+
+        let mut nodes: BTreeMap<Vec<String>, PathStats> = BTreeMap::new();
+        for s in &spans {
+            let self_us = s.dur_us.saturating_sub(child_total.get(&s.id).copied().unwrap_or(0));
+            let node = nodes.entry(path_of(s)).or_default();
+            if node.count == 0 {
+                node.min_us = s.dur_us;
+            } else {
+                node.min_us = node.min_us.min(s.dur_us);
+            }
+            node.count += 1;
+            node.total_us += s.dur_us;
+            node.self_us += self_us;
+            node.max_us = node.max_us.max(s.dur_us);
+        }
+        Profile { nodes }
+    }
+
+    /// No spans were folded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Distinct call paths.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The call paths and their stats, lexicographic path order.
+    pub fn nodes(&self) -> impl Iterator<Item = (&Vec<String>, &PathStats)> {
+        self.nodes.iter()
+    }
+
+    /// Stats for one exact path, if present.
+    pub fn get(&self, path: &[&str]) -> Option<&PathStats> {
+        let key: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+        self.nodes.get(&key)
+    }
+
+    /// Removes every component whose name is in `names` from every
+    /// path, merging colliding paths.
+    ///
+    /// The collapsed node's self time accrues to its surviving prefix
+    /// (the fan-out overhead stays attributed to the parent phase);
+    /// its count/total/min/max are dropped — they counted scheduling
+    /// units, not work. Descendants keep their own stats under the
+    /// shortened path. A path that collapses to nothing is dropped.
+    pub fn collapse(&self, names: &[&str]) -> Profile {
+        let collapsed = |c: &str| names.contains(&c);
+        let mut nodes: BTreeMap<Vec<String>, PathStats> = BTreeMap::new();
+        for (path, st) in &self.nodes {
+            let kept: Vec<String> =
+                path.iter().filter(|c| !collapsed(c)).cloned().collect();
+            let last_collapsed = path.last().is_some_and(|c| collapsed(c));
+            if last_collapsed {
+                if !kept.is_empty() {
+                    nodes.entry(kept).or_default().self_us += st.self_us;
+                }
+                continue;
+            }
+            if kept.is_empty() {
+                continue;
+            }
+            let node = nodes.entry(kept).or_default();
+            if node.count == 0 {
+                node.min_us = st.min_us;
+            } else if st.count > 0 {
+                node.min_us = node.min_us.min(st.min_us);
+            }
+            node.count += st.count;
+            node.total_us += st.total_us;
+            node.self_us += st.self_us;
+            node.max_us = node.max_us.max(st.max_us);
+        }
+        Profile { nodes }
+    }
+
+    /// The stable folded-stack format: one `a;b;c self_us count` line
+    /// per path, lexicographic path order, trailing newline per line.
+    pub fn fold(&self) -> String {
+        let mut out = String::new();
+        for (path, st) in &self.nodes {
+            out.push_str(&format!("{} {} {}\n", path.join(";"), st.self_us, st.count));
+        }
+        out
+    }
+
+    /// The deterministic shape fold: `a;b;c count` lines. Same order
+    /// and paths as [`Profile::fold`], wall-clock fields omitted — for
+    /// a seeded scenario this is reproducible byte-for-byte.
+    pub fn fold_counts(&self) -> String {
+        let mut out = String::new();
+        for (path, st) in &self.nodes {
+            out.push_str(&format!("{} {}\n", path.join(";"), st.count));
+        }
+        out
+    }
+
+    /// Parses [`Profile::fold`] or [`Profile::fold_counts`] output.
+    ///
+    /// Two trailing integers mean `self_us count`; one means `count`
+    /// (self 0). `total_us`/`min_us`/`max_us` are not representable in
+    /// folded text and parse as zero — folded profiles support
+    /// [`Profile::diff`] and flamegraphs (whose widths are additive
+    /// self times), not min/max reporting.
+    pub fn parse_folded(text: &str) -> Result<Profile, ProfileError> {
+        let mut nodes: BTreeMap<Vec<String>, PathStats> = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            let err = |reason: &str| ProfileError { line: lineno, reason: reason.to_string() };
+            let (path_tok, self_us, count) = match toks.as_slice() {
+                [p, s, c] => (
+                    *p,
+                    s.parse::<u64>().map_err(|_| err("self_us is not an integer"))?,
+                    c.parse::<u64>().map_err(|_| err("count is not an integer"))?,
+                ),
+                [p, c] => {
+                    (*p, 0, c.parse::<u64>().map_err(|_| err("count is not an integer"))?)
+                }
+                _ => return Err(err("expected `path self_us count` or `path count`")),
+            };
+            let path: Vec<String> = path_tok.split(';').map(str::to_string).collect();
+            if path.iter().any(String::is_empty) {
+                return Err(err("empty path component"));
+            }
+            let node = nodes.entry(path).or_default();
+            node.self_us += self_us;
+            node.count += count;
+        }
+        Ok(Profile { nodes })
+    }
+
+    /// Serializes the profile as one canonical JSON array (fixed key
+    /// order, one object per path) — the per-scenario payload of a
+    /// perf baseline's `profiles` section.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (path, st)) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"path\": \"{}\", \"count\": {}, \"total_us\": {}, \"self_us\": {}, \
+                 \"min_us\": {}, \"max_us\": {}}}",
+                json_escape(&path.join(";")),
+                st.count,
+                st.total_us,
+                st.self_us,
+                st.min_us,
+                st.max_us
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Rebuilds a profile from the [`Profile::to_json`] array.
+    pub fn from_json(v: &JsonValue) -> Result<Profile, ProfileError> {
+        let err = |reason: String| ProfileError { line: 0, reason };
+        let JsonValue::Arr(items) = v else {
+            return Err(err("expected a JSON array of path objects".to_string()));
+        };
+        let mut nodes: BTreeMap<Vec<String>, PathStats> = BTreeMap::new();
+        for item in items {
+            let JsonValue::Obj(_) = item else {
+                return Err(err("profile entry is not an object".to_string()));
+            };
+            let path_str = item
+                .get("path")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| err("profile entry missing `path`".to_string()))?;
+            let field = |k: &str| -> Result<u64, ProfileError> {
+                item.get(k)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| err(format!("profile entry missing integer `{k}`")))
+            };
+            let path: Vec<String> = path_str.split(';').map(str::to_string).collect();
+            nodes.insert(
+                path,
+                PathStats {
+                    count: field("count")?,
+                    total_us: field("total_us")?,
+                    self_us: field("self_us")?,
+                    min_us: field("min_us")?,
+                    max_us: field("max_us")?,
+                },
+            );
+        }
+        Ok(Profile { nodes })
+    }
+
+    /// Per-path deltas between two profiles, sorted by |self-time
+    /// delta| descending (ties: lexicographic path). Paths missing on
+    /// one side count as zero there.
+    pub fn diff(base: &Profile, new: &Profile) -> Vec<PathDelta> {
+        let mut paths: Vec<&Vec<String>> = base.nodes.keys().collect();
+        for p in new.nodes.keys() {
+            if !base.nodes.contains_key(p) {
+                paths.push(p);
+            }
+        }
+        let zero = PathStats::default();
+        let mut deltas: Vec<PathDelta> = paths
+            .into_iter()
+            .map(|p| {
+                let b = base.nodes.get(p).unwrap_or(&zero);
+                let n = new.nodes.get(p).unwrap_or(&zero);
+                PathDelta {
+                    path: p.clone(),
+                    base_self_us: b.self_us,
+                    new_self_us: n.self_us,
+                    base_count: b.count,
+                    new_count: n.count,
+                }
+            })
+            .collect();
+        deltas.sort_by(|a, b| {
+            b.delta_us()
+                .unsigned_abs()
+                .cmp(&a.delta_us().unsigned_abs())
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        deltas
+    }
+
+    /// Renders a self-contained icicle flamegraph: inline CSS, no
+    /// scripts, no external assets. Frame widths are additive self
+    /// times (see the module docs), hover titles carry the full path
+    /// and stats.
+    pub fn render_flamegraph_html(&self, title: &str) -> String {
+        let tree = FlameNode::build(self);
+        let grand_total = tree.children_weight.max(1);
+        let mut out = String::with_capacity(8 * 1024);
+        out.push_str(&format!(
+            "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+             <title>{}</title>\n<style>\n\
+             body{{font:13px/1.4 monospace;margin:1.5em auto;max-width:80em;padding:0 1em;\
+             color:#222;background:#fff}}\n\
+             h1{{font-size:1.2em}}\n\
+             .meta{{color:#666;margin-bottom:1em}}\n\
+             .row{{display:flex;align-items:stretch}}\n\
+             .frame{{box-sizing:border-box;min-width:1px;overflow:hidden}}\n\
+             .bar{{border:1px solid #fff;border-radius:2px;padding:1px 3px;\
+             white-space:nowrap;overflow:hidden;text-overflow:ellipsis}}\n\
+             .self{{box-sizing:border-box}}\n\
+             </style>\n</head>\n<body>\n<h1>{}</h1>\n",
+            html_esc(title),
+            html_esc(title)
+        ));
+        out.push_str(&format!(
+            "<p class=\"meta\">{} call paths · folded weight {} µs (additive self time) · \
+             widths are self+descendants, hover a frame for stats</p>\n",
+            self.len(),
+            grand_total
+        ));
+        out.push_str("<div class=\"flame\">\n");
+        render_row(&mut out, &tree.children, grand_total);
+        out.push_str("</div>\n</body>\n</html>\n");
+        out
+    }
+}
+
+/// One row of [`Profile::diff`]: a path's self time and call count on
+/// both sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathDelta {
+    /// The call path.
+    pub path: Vec<String>,
+    /// Self µs in the base profile (0 when the path is new).
+    pub base_self_us: u64,
+    /// Self µs in the new profile (0 when the path vanished).
+    pub new_self_us: u64,
+    /// Call count in the base profile.
+    pub base_count: u64,
+    /// Call count in the new profile.
+    pub new_count: u64,
+}
+
+impl PathDelta {
+    /// Self-time change, new minus base (µs, signed).
+    pub fn delta_us(&self) -> i64 {
+        self.new_self_us as i64 - self.base_self_us as i64
+    }
+
+    /// The path in folded spelling (`a;b;c`).
+    pub fn path_str(&self) -> String {
+        self.path.join(";")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flamegraph internals
+// ---------------------------------------------------------------------
+
+struct FlameNode {
+    name: String,
+    path: Vec<String>,
+    stats: PathStats,
+    /// Σ child weight; node weight = stats.self_us + children_weight.
+    children_weight: u64,
+    children: Vec<FlameNode>,
+}
+
+impl FlameNode {
+    /// Synthesizes the tree root (depth 0 holds the profile's roots).
+    fn build(profile: &Profile) -> FlameNode {
+        let mut root = FlameNode {
+            name: String::new(),
+            path: Vec::new(),
+            stats: PathStats::default(),
+            children_weight: 0,
+            children: Vec::new(),
+        };
+        for (path, st) in &profile.nodes {
+            root.insert(path, st);
+        }
+        root.finish();
+        root
+    }
+
+    fn insert(&mut self, path: &[String], st: &PathStats) {
+        let Some((head, rest)) = path.split_first() else {
+            self.stats = st.clone();
+            return;
+        };
+        if self.children.last().map(|c| &c.name) != Some(head) {
+            // BTreeMap order means a path's parent arrives before its
+            // children and siblings arrive grouped — append, no search.
+            let mut child_path = self.path.clone();
+            child_path.push(head.clone());
+            self.children.push(FlameNode {
+                name: head.clone(),
+                path: child_path,
+                stats: PathStats::default(),
+                children_weight: 0,
+                children: Vec::new(),
+            });
+        }
+        if let Some(c) = self.children.last_mut() {
+            c.insert(rest, st);
+        }
+    }
+
+    fn finish(&mut self) {
+        self.children_weight = 0;
+        for c in &mut self.children {
+            c.finish();
+            self.children_weight += c.weight();
+        }
+    }
+
+    fn weight(&self) -> u64 {
+        self.stats.self_us + self.children_weight
+    }
+}
+
+/// Deterministic pastel from the frame name (same name, same color in
+/// every rendering).
+fn frame_color(name: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let hue = h % 360;
+    format!("hsl({hue},62%,78%)")
+}
+
+fn html_esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn render_row(out: &mut String, siblings: &[FlameNode], parent_weight: u64) {
+    if siblings.is_empty() {
+        return;
+    }
+    out.push_str("<div class=\"row\">\n");
+    for node in siblings {
+        let weight = node.weight();
+        let pct = 100.0 * weight as f64 / parent_weight.max(1) as f64;
+        let title = format!(
+            "{} — self {} µs, total {} µs, count {}, min {} µs, max {} µs",
+            node.path.join(";"),
+            node.stats.self_us,
+            node.stats.total_us,
+            node.stats.count,
+            node.stats.min_us,
+            node.stats.max_us
+        );
+        out.push_str(&format!(
+            "<div class=\"frame\" style=\"width:{pct:.4}%\">\
+             <div class=\"bar\" style=\"background:{}\" title=\"{}\">{}</div>\n",
+            frame_color(&node.name),
+            html_esc(&title),
+            html_esc(&node.name)
+        ));
+        render_row(out, &node.children, weight);
+        // Self time renders as an empty gap after the children row —
+        // the frame is wider than its children by exactly self/weight.
+        out.push_str("</div>\n");
+    }
+    out.push_str("</div>\n");
+}
+
+// ---------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::parse_trace;
+
+    /// A hand-written trace: root(100µs) → a(60µs) → b(20µs), plus a
+    /// second `a` call (10µs) and an orphan (parent never closed).
+    fn trace() -> Vec<TraceRecord> {
+        let jsonl = concat!(
+            "{\"t\": \"span\", \"id\": 3, \"parent\": 2, \"name\": \"b\", \"start_us\": 10, \"dur_us\": 20, \"fields\": {}}\n",
+            "{\"t\": \"span\", \"id\": 2, \"parent\": 1, \"name\": \"a\", \"start_us\": 5, \"dur_us\": 60, \"fields\": {}}\n",
+            "{\"t\": \"span\", \"id\": 4, \"parent\": 1, \"name\": \"a\", \"start_us\": 70, \"dur_us\": 10, \"fields\": {}}\n",
+            "{\"t\": \"span\", \"id\": 1, \"parent\": null, \"name\": \"root\", \"start_us\": 0, \"dur_us\": 100, \"fields\": {}}\n",
+            "{\"t\": \"span\", \"id\": 9, \"parent\": 77, \"name\": \"orphan\", \"start_us\": 0, \"dur_us\": 7, \"fields\": {}}\n",
+            "{\"t\": \"event\", \"ts_us\": 1, \"level\": \"info\", \"target\": \"x\", \"span\": null, \"msg\": \"m\", \"fields\": {}}\n",
+        );
+        parse_trace(jsonl).expect("valid trace")
+    }
+
+    #[test]
+    fn folds_paths_with_self_total_count_min_max() {
+        let p = Profile::from_records(&trace());
+        assert_eq!(p.len(), 4);
+        let root = p.get(&["root"]).expect("root path");
+        assert_eq!((root.count, root.total_us), (1, 100));
+        // root self = 100 − (60 + 10) children.
+        assert_eq!(root.self_us, 30);
+        let a = p.get(&["root", "a"]).expect("a path");
+        assert_eq!((a.count, a.total_us, a.self_us), (2, 70, 50));
+        assert_eq!((a.min_us, a.max_us), (10, 60));
+        let b = p.get(&["root", "a", "b"]).expect("b path");
+        assert_eq!((b.count, b.self_us), (1, 20));
+        // Orphan whose parent never closed is a root.
+        assert_eq!(p.get(&["orphan"]).expect("orphan").total_us, 7);
+    }
+
+    #[test]
+    fn parallel_children_saturate_self_time_at_zero() {
+        let jsonl = concat!(
+            "{\"t\": \"span\", \"id\": 2, \"parent\": 1, \"name\": \"w\", \"start_us\": 0, \"dur_us\": 80, \"fields\": {}}\n",
+            "{\"t\": \"span\", \"id\": 3, \"parent\": 1, \"name\": \"w\", \"start_us\": 0, \"dur_us\": 90, \"fields\": {}}\n",
+            "{\"t\": \"span\", \"id\": 1, \"parent\": null, \"name\": \"p\", \"start_us\": 0, \"dur_us\": 100, \"fields\": {}}\n",
+        );
+        let p = Profile::from_records(&parse_trace(jsonl).expect("valid"));
+        assert_eq!(p.get(&["p"]).expect("p").self_us, 0);
+        assert_eq!(p.get(&["p", "w"]).expect("w").self_us, 170);
+    }
+
+    #[test]
+    fn fold_is_sorted_and_stable() {
+        let p = Profile::from_records(&trace());
+        assert_eq!(
+            p.fold(),
+            "orphan 7 1\nroot 30 1\nroot;a 50 2\nroot;a;b 20 1\n"
+        );
+        assert_eq!(p.fold_counts(), "orphan 1\nroot 1\nroot;a 2\nroot;a;b 1\n");
+    }
+
+    #[test]
+    fn folded_round_trips_self_and_count() {
+        let p = Profile::from_records(&trace());
+        let parsed = Profile::parse_folded(&p.fold()).expect("parses");
+        for (path, st) in p.nodes() {
+            let r = parsed.nodes.get(path).expect("path survives");
+            assert_eq!((r.self_us, r.count), (st.self_us, st.count), "{path:?}");
+        }
+        let counts = Profile::parse_folded(&p.fold_counts()).expect("parses");
+        assert_eq!(counts.get(&["root", "a"]).expect("a").count, 2);
+        assert_eq!(counts.get(&["root", "a"]).expect("a").self_us, 0);
+    }
+
+    #[test]
+    fn parse_folded_rejects_malformed_lines() {
+        let e = Profile::parse_folded("a;b not_a_number 3\n").expect_err("bad self");
+        assert_eq!(e.line, 1);
+        assert!(Profile::parse_folded("only_path\n").is_err());
+        assert!(Profile::parse_folded("a;;b 1 2\n").is_err());
+        assert!(Profile::parse_folded("\n\n").expect("blank ok").is_empty());
+    }
+
+    #[test]
+    fn json_round_trips_every_field() {
+        let p = Profile::from_records(&trace());
+        let parsed = crate::json::parse(&p.to_json()).expect("valid JSON");
+        let back = Profile::from_json(&parsed).expect("round-trips");
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn collapse_removes_fanout_layer_and_accrues_self_to_parent() {
+        let jsonl = concat!(
+            "{\"t\": \"span\", \"id\": 2, \"parent\": 1, \"name\": \"par.shard\", \"start_us\": 0, \"dur_us\": 50, \"fields\": {}}\n",
+            "{\"t\": \"span\", \"id\": 3, \"parent\": 1, \"name\": \"par.shard\", \"start_us\": 0, \"dur_us\": 40, \"fields\": {}}\n",
+            "{\"t\": \"span\", \"id\": 4, \"parent\": 2, \"name\": \"cell\", \"start_us\": 0, \"dur_us\": 30, \"fields\": {}}\n",
+            "{\"t\": \"span\", \"id\": 5, \"parent\": 3, \"name\": \"cell\", \"start_us\": 0, \"dur_us\": 35, \"fields\": {}}\n",
+            "{\"t\": \"span\", \"id\": 1, \"parent\": null, \"name\": \"sweep\", \"start_us\": 0, \"dur_us\": 100, \"fields\": {}}\n",
+        );
+        let p = Profile::from_records(&parse_trace(jsonl).expect("valid"));
+        let c = p.collapse(&["par.shard"]);
+        assert!(c.get(&["sweep", "par.shard"]).is_none());
+        let cell = c.get(&["sweep", "cell"]).expect("cells merged");
+        assert_eq!((cell.count, cell.total_us), (2, 65));
+        // Shard self (50−30) + (40−35) = 25 accrues to sweep's self
+        // (100 − 90 children = 10).
+        assert_eq!(c.get(&["sweep"]).expect("sweep").self_us, 35);
+        // Shape is now shard-count independent.
+        assert_eq!(c.fold_counts(), "sweep 1\nsweep;cell 2\n");
+    }
+
+    #[test]
+    fn diff_sorts_by_absolute_self_delta() {
+        let base = Profile::parse_folded("a 100 1\na;b 50 2\n").expect("base");
+        let new = Profile::parse_folded("a 110 1\na;b 500 2\na;c 5 1\n").expect("new");
+        let d = Profile::diff(&base, &new);
+        assert_eq!(d[0].path_str(), "a;b");
+        assert_eq!(d[0].delta_us(), 450);
+        assert_eq!(d[1].path_str(), "a");
+        assert_eq!(d[2].path_str(), "a;c");
+        assert_eq!((d[2].base_self_us, d[2].new_self_us), (0, 5));
+    }
+
+    #[test]
+    fn flamegraph_is_self_contained_html() {
+        let p = Profile::from_records(&trace());
+        let html = p.render_flamegraph_html("test flame");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("test flame"));
+        assert!(html.contains("root;a;b"), "full paths in titles");
+        for banned in ["http://", "https://", "src=", "href=", "@import", "url(", "<script"] {
+            assert!(!html.contains(banned), "external/script ref `{banned}` in flamegraph");
+        }
+    }
+
+    #[test]
+    fn flamegraph_widths_are_additive_self_times() {
+        // a;b is 450/500 of a's weight → width 90%.
+        let p = Profile::parse_folded("a 50 1\na;b 450 1\n").expect("parses");
+        let html = p.render_flamegraph_html("w");
+        assert!(html.contains("width:100.0000%"), "{html}");
+        assert!(html.contains("width:90.0000%"), "{html}");
+    }
+
+    #[test]
+    fn component_sanitization_keeps_folded_lines_parseable() {
+        let jsonl = "{\"t\": \"span\", \"id\": 1, \"parent\": null, \"name\": \"odd name;x\", \"start_us\": 0, \"dur_us\": 5, \"fields\": {}}\n";
+        let p = Profile::from_records(&parse_trace(jsonl).expect("valid"));
+        assert_eq!(p.fold(), "odd_name_x 5 1\n");
+        Profile::parse_folded(&p.fold()).expect("sanitized folds parse");
+    }
+
+    /// Satellite: `trace summarize --format json`, the folded text and
+    /// the profile JSON must agree byte-for-byte on shared values
+    /// (counts and total µs) because they go through the same
+    /// formatting helpers in `telemetry::json`.
+    #[test]
+    fn summary_json_and_profile_agree_byte_for_byte_on_shared_values() {
+        let records = trace();
+        let summary_json = crate::trace::summarize(&records).to_json();
+        let p = Profile::from_records(&records);
+        let a = p.get(&["root", "a"]).expect("a");
+        let shared = format!("\"count\": {}, \"total_us\": {}", a.count, a.total_us);
+        assert!(summary_json.contains(&shared), "summary: {summary_json}");
+        assert!(p.to_json().contains(&shared), "profile: {}", p.to_json());
+        assert!(p.fold().contains(&format!(" {}\n", a.count)), "folded count spelling");
+    }
+}

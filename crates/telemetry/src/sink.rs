@@ -93,6 +93,20 @@ impl RingSink {
         self.lock().buf.iter().cloned().collect()
     }
 
+    /// Takes and clears the retained records (same bytes as
+    /// [`RingSink::contents`]); the `dropped` counter is left
+    /// cumulative. The profiler drains between perf repeats so each
+    /// scenario folds exactly its own spans.
+    pub fn drain_contents(&self) -> String {
+        let mut ring = self.lock();
+        let mut s = String::new();
+        for line in ring.buf.drain(..) {
+            s.push_str(&line);
+            s.push('\n');
+        }
+        s
+    }
+
     /// Records currently held.
     pub fn len(&self) -> usize {
         self.lock().buf.len()
@@ -178,6 +192,18 @@ mod tests {
         assert!(ring.is_empty());
         assert_eq!(ring.dropped(), 0);
         assert_eq!(ring.contents(), "");
+    }
+
+    #[test]
+    fn drain_takes_contents_and_clears() {
+        let ring = RingSink::new(8);
+        ring.push("a");
+        ring.push("b");
+        assert_eq!(ring.drain_contents(), "a\nb\n");
+        assert!(ring.is_empty());
+        assert_eq!(ring.drain_contents(), "");
+        ring.push("c");
+        assert_eq!(ring.contents(), "c\n");
     }
 
     #[test]

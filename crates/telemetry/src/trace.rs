@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
-use crate::json::{json_escape, json_f64, parse, JsonValue};
+use crate::json::{json_escape, json_f64, parse, render as render_json_value, JsonValue};
 use crate::metrics::estimate_quantile;
 use crate::{fmt_duration, Level};
 
@@ -548,28 +548,6 @@ impl Summary {
         }
         out.push_str("]}");
         out
-    }
-}
-
-/// Serializes a parsed [`JsonValue`] back to canonical JSON (field
-/// order preserved, floats via [`json_f64`]).
-fn render_json_value(v: &JsonValue) -> String {
-    match v {
-        JsonValue::Null => "null".to_string(),
-        JsonValue::Bool(b) => b.to_string(),
-        JsonValue::Num(n) => json_f64(*n),
-        JsonValue::Str(s) => format!("\"{}\"", json_escape(s)),
-        JsonValue::Arr(items) => format!(
-            "[{}]",
-            items.iter().map(render_json_value).collect::<Vec<_>>().join(", ")
-        ),
-        JsonValue::Obj(kvs) => format!(
-            "{{{}}}",
-            kvs.iter()
-                .map(|(k, v)| format!("\"{}\": {}", json_escape(k), render_json_value(v)))
-                .collect::<Vec<_>>()
-                .join(", ")
-        ),
     }
 }
 
