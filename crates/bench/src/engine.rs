@@ -17,10 +17,13 @@
 //!   [`OptCache`] once, shared by all algorithms and α values of that
 //!   instance; multi-machine OPT lower bounds are memoized per
 //!   `(m, α)` inside the same entry;
-//! * shards feed a lock-free [`StreamAgg`] per *(algorithm, α)* group:
-//!   exact counters (cells, errors, bound violations) and exact maxima
+//! * shards feed a [`StreamAgg`] per *(algorithm, α)* group: exact
+//!   counters (cells, errors, bound violations) and exact maxima
 //!   (`AtomicU64::fetch_max` over IEEE bits — order-independent for
-//!   non-negative floats), updated as cells complete;
+//!   non-negative floats) stay lock-free; the argmax *cell* of the
+//!   energy ratio rides behind a micro-mutex folding an
+//!   order-independent lexicographic max, so every reported worst
+//!   ratio names a reproducible (instance, seed) pair;
 //! * the final [`EngineReport`] combines the streaming counters with a
 //!   canonical-order pass over the per-cell records (means and
 //!   percentiles are computed in cell order), so the aggregate JSON is
@@ -207,15 +210,17 @@ impl InstanceCtx {
 // Streaming aggregation
 // ---------------------------------------------------------------------
 
-/// Lock-free per-group accumulator the shards feed as cells complete.
+/// Per-group accumulator the shards feed as cells complete.
 ///
 /// Everything in here is exact and order-independent: counters are
 /// integer atomics and maxima use `fetch_max` over IEEE-754 bits, whose
-/// ordering coincides with the numeric one for non-negative floats. The
-/// order-*dependent* statistics (mean, percentiles) are deliberately
-/// not accumulated here — [`run_sweep`] derives them from the per-cell
-/// records in canonical cell order, keeping aggregates byte-identical
-/// across shard counts.
+/// ordering coincides with the numeric one for non-negative floats; the
+/// argmax cell of the energy ratio rides behind a micro-mutex but folds
+/// the order-independent lexicographic max of `(ratio, lowest cell id)`,
+/// so it too is deterministic at any shard count. The order-*dependent*
+/// statistics (mean, percentiles) are deliberately not accumulated here
+/// — [`run_sweep`] derives them from the per-cell records in canonical
+/// cell order, keeping aggregates byte-identical across shard counts.
 #[derive(Debug, Default)]
 pub struct StreamAgg {
     /// Successfully evaluated cells.
@@ -230,14 +235,21 @@ pub struct StreamAgg {
     pub energy_violations: AtomicU64,
     /// Cells whose speed ratio exceeded the group's proven bound.
     pub speed_violations: AtomicU64,
+    /// Argmax of the energy ratio: `(canonical cell id, ratio)`, the
+    /// lowest cell id on ties — so every reported worst ratio names a
+    /// reproducible cell.
+    pub max_energy_cell: Mutex<Option<(usize, f64)>>,
 }
 
 impl StreamAgg {
-    /// Feeds one successful cell: bumps `ok`, folds the IEEE-bit maxima,
-    /// and counts bound violations against the group's proven bounds
-    /// (with the engine's relative slack).
+    /// Feeds one successful cell: bumps `ok`, folds the IEEE-bit maxima
+    /// and the argmax cell, and counts bound violations against the
+    /// group's proven bounds (with the engine's relative slack).
+    /// `cell` is the canonical cell id (ties on the ratio keep the
+    /// lowest id, which keeps the fold order-independent).
     pub fn record_ok(
         &self,
+        cell: usize,
         metrics: &CellMetrics,
         energy_bound: Option<f64>,
         speed_bound: Option<f64>,
@@ -246,6 +258,17 @@ impl StreamAgg {
         self.max_energy_ratio_bits
             .fetch_max(metrics.energy_ratio.to_bits(), Ordering::Relaxed);
         self.max_peak_speed_bits.fetch_max(metrics.peak_speed.to_bits(), Ordering::Relaxed);
+        {
+            let mut arg = self
+                .max_energy_cell
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if arg.is_none_or(|(best_cell, best)| {
+                metrics.energy_ratio > best || (metrics.energy_ratio == best && cell < best_cell)
+            }) {
+                *arg = Some((cell, metrics.energy_ratio));
+            }
+        }
         if let Some(b) = energy_bound {
             if metrics.energy_ratio > b * (1.0 + BOUND_SLACK) {
                 self.energy_violations.fetch_add(1, Ordering::Relaxed);
@@ -331,6 +354,19 @@ impl Digest {
     }
 }
 
+/// The reproducible argmax cell of a group's energy ratio: enough to
+/// regenerate the offending instance (`seed` for generated sources,
+/// the index for explicit ones) and re-run the cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorstCell {
+    /// Instance index in the sweep's source.
+    pub instance: usize,
+    /// Generator seed of that instance (`None` for explicit sources).
+    pub seed: Option<u64>,
+    /// The energy ratio measured there.
+    pub energy_ratio: f64,
+}
+
 /// Aggregate of one *(algorithm, α)* group.
 #[derive(Debug, Clone)]
 pub struct GroupAggregate {
@@ -356,6 +392,9 @@ pub struct GroupAggregate {
     pub speed_bound: Option<f64>,
     /// Cells with `speed_ratio` above `speed_bound` (with slack).
     pub speed_violations: u64,
+    /// The argmax cell of `energy_ratio` (`None` when no cell
+    /// succeeded) — the group's worst ratio, reproducibly named.
+    pub worst_cell: Option<WorstCell>,
 }
 
 /// Per-shard execution statistics.
@@ -474,6 +513,21 @@ impl EngineReport {
         out
     }
 
+    /// The sweep-wide argmax cell of the energy ratio: the group whose
+    /// worst cell tops every other group's (first group in spec order
+    /// on ties — deterministic like everything else in the aggregate).
+    pub fn worst_cell(&self) -> Option<(&GroupAggregate, WorstCell)> {
+        let mut best: Option<(&GroupAggregate, WorstCell)> = None;
+        for g in &self.groups {
+            if let Some(w) = g.worst_cell {
+                if best.is_none_or(|(_, b)| w.energy_ratio > b.energy_ratio) {
+                    best = Some((g, w));
+                }
+            }
+        }
+        best
+    }
+
     /// The deterministic aggregate as JSON: byte-identical for the same
     /// spec at any shard count.
     pub fn aggregate_json(&self) -> String {
@@ -496,13 +550,27 @@ impl EngineReport {
                 g.energy_violations
             ));
             s.push_str(&format!(
-                "\"speed_bound\": {}, \"speed_violations\": {}",
+                "\"speed_bound\": {}, \"speed_violations\": {}, ",
                 json_opt(g.speed_bound),
                 g.speed_violations
             ));
+            s.push_str(&format!("\"worst_cell\": {}", json_worst(g.worst_cell)));
             s.push('}');
         }
-        s.push_str("\n  ]\n}\n");
+        s.push_str("\n  ],\n  \"worst_cell\": ");
+        match self.worst_cell() {
+            None => s.push_str("null"),
+            Some((g, w)) => s.push_str(&format!(
+                "{{\"algorithm\": \"{}\", \"alpha\": {}, \"instance\": {}, \"seed\": {}, \
+                 \"energy_ratio\": {}}}",
+                g.algorithm,
+                g.alpha,
+                w.instance,
+                w.seed.map_or_else(|| "null".to_string(), |s| s.to_string()),
+                w.energy_ratio
+            )),
+        }
+        s.push_str("\n}\n");
         s
     }
 
@@ -546,6 +614,19 @@ impl EngineReport {
 /// Shortest-round-trip float or `null`.
 fn json_opt(v: Option<f64>) -> String {
     v.map_or_else(|| "null".to_string(), |x| format!("{x}"))
+}
+
+/// A [`WorstCell`] as a JSON object, or `null`.
+fn json_worst(w: Option<WorstCell>) -> String {
+    match w {
+        None => "null".to_string(),
+        Some(w) => format!(
+            "{{\"instance\": {}, \"seed\": {}, \"energy_ratio\": {}}}",
+            w.instance,
+            w.seed.map_or_else(|| "null".to_string(), |s| s.to_string()),
+            w.energy_ratio
+        ),
+    }
 }
 
 /// A [`Digest`] as a JSON object, or `null`.
@@ -710,7 +791,7 @@ pub fn run_sweep_audited(
         let group = alg_idx * n_alphas + alpha_idx;
         let (energy_bound, speed_bound) = group_bounds[group];
         match &result {
-            Ok(m) => live[group].record_ok(m, energy_bound, speed_bound),
+            Ok(m) => live[group].record_ok(id, m, energy_bound, speed_bound),
             Err(_) => {
                 live[group].errors.fetch_add(1, Ordering::Relaxed);
             }
@@ -736,11 +817,17 @@ pub fn run_sweep_audited(
             let mut energy_ratios = Vec::new();
             let mut peak_speeds = Vec::new();
             let mut speed_ratios = Vec::new();
+            let mut worst: Option<(f64, usize)> = None;
             for rec in records
                 .iter()
                 .filter(|r| r.algorithm == alg_idx && r.alpha == alpha_idx)
             {
                 if let Ok(m) = &rec.result {
+                    // Strict `>` keeps the first (lowest) instance on ties,
+                    // matching the streaming argmax's lowest-cell rule.
+                    if worst.is_none_or(|(best, _)| m.energy_ratio > best) {
+                        worst = Some((m.energy_ratio, rec.instance));
+                    }
                     energy_ratios.push(m.energy_ratio);
                     peak_speeds.push(m.peak_speed);
                     if let Some(s) = m.speed_ratio {
@@ -755,6 +842,22 @@ pub fn run_sweep_audited(
                     .then(|| agg.max_energy_ratio_bits.load(Ordering::Relaxed)),
                 "streaming max must agree with the canonical pass"
             );
+            debug_assert_eq!(
+                agg.max_energy_cell
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map(|(cell, _)| cell / (n_algs * n_alphas)),
+                worst.map(|(_, inst)| inst),
+                "streaming argmax cell must agree with the canonical pass"
+            );
+            let worst_cell = worst.map(|(ratio, instance)| WorstCell {
+                instance,
+                seed: match &spec.source {
+                    InstanceSource::Generated { seeds, .. } => Some(seeds.start + instance as u64),
+                    InstanceSource::Explicit(_) => None,
+                },
+                energy_ratio: ratio,
+            });
             let (energy_bound, speed_bound) = group_bounds[group];
             groups.push(GroupAggregate {
                 algorithm: alg.to_string(),
@@ -768,6 +871,7 @@ pub fn run_sweep_audited(
                 energy_violations: agg.energy_violations.load(Ordering::Relaxed),
                 speed_bound,
                 speed_violations: agg.speed_violations.load(Ordering::Relaxed),
+                worst_cell,
             });
         }
     }

@@ -28,6 +28,7 @@ pub mod engine;
 pub mod ensemble;
 pub mod par;
 pub mod perf;
+pub mod quality;
 pub mod request;
 pub mod search;
 pub mod stream;
@@ -38,7 +39,9 @@ pub use engine::{
     run_sweep, run_sweep_audited, CellMetrics, CellRecord, Digest, EngineError, EngineReport,
     GroupAggregate, InstanceSource, Instrumentation, StreamAgg, SweepSpec,
 };
+pub use engine::WorstCell;
 pub use ensemble::{measure_ensemble, EnsembleReport};
+pub use quality::{BuildInfo, QualityBaseline, QualityCompare, QualityError};
 pub use par::{par_map, par_map_seeds, par_map_stealing};
 pub use request::{RequestError, SweepRequest};
 pub use search::coordinate_ascent;

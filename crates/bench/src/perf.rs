@@ -735,6 +735,10 @@ pub struct ScenarioDelta {
     pub regressed: bool,
     /// Both baselines carried a profile for this scenario.
     pub has_profiles: bool,
+    /// The *base* baseline carried a profile for this scenario —
+    /// distinguishes a pre-profiling committed baseline ("no profile
+    /// data in baseline") from a new run recorded without `--profile`.
+    pub base_has_profile: bool,
     /// For a regressed, profiled scenario: the top call paths (at
     /// most [`BLAME_TOP_K`]) whose per-run self time grew past the
     /// noise threshold, largest delta first.
@@ -863,6 +867,12 @@ impl CompareReport {
                     "{}: no single call path moved past the noise threshold\n",
                     d.name
                 ));
+            } else if !d.base_has_profile {
+                out.push_str(&format!(
+                    "{}: no profile data in baseline (it predates profiling; \
+                     re-record it with --profile to enable blame)\n",
+                    d.name
+                ));
             } else {
                 out.push_str(&format!(
                     "{}: no profile attribution (record both baselines with --profile)\n",
@@ -942,6 +952,7 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
             let base_prof = base.profiles.get(name);
             let new_prof = new.profiles.get(name);
             let has_profiles = base_prof.is_some() && new_prof.is_some();
+            let base_has_profile = base_prof.is_some();
             match (b, n) {
                 (Some(b), Some(n)) => {
                     let limit = threshold.limit_ms(b.median_ms, b.mad_ms);
@@ -965,6 +976,7 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
                         limit_ms: Some(limit),
                         regressed,
                         has_profiles,
+                        base_has_profile,
                         blame,
                     }
                 }
@@ -976,6 +988,7 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
                     limit_ms: None,
                     regressed: true,
                     has_profiles,
+                    base_has_profile,
                     blame: Vec::new(),
                 },
                 (None, n) => ScenarioDelta {
@@ -986,6 +999,7 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
                     limit_ms: None,
                     regressed: false,
                     has_profiles,
+                    base_has_profile,
                     blame: Vec::new(),
                 },
             }
@@ -1174,11 +1188,19 @@ mod tests {
 
     #[test]
     fn gate_blame_notes_missing_profiles() {
+        // The committed baseline predates the profiles section: the
+        // explain output must say so, not just ask for --profile.
         let base = baseline(&[("a", &[100.0, 100.0])]);
         let new = baseline(&[("a", &[300.0, 300.0])]);
         let t = Threshold::default();
         let out = compare(&base, &new, t).render_explain(t);
-        assert!(out.contains("no profile attribution"), "{out}");
+        assert!(out.contains("no profile data in baseline"), "{out}");
+        // The base carries a profile, only the new run lacks one: the
+        // fix lives on the recording side, and the note says which.
+        let base = with_profile(base, "a", "root;hot 300000 3\n");
+        let out = compare(&base, &new, t).render_explain(t);
+        assert!(out.contains("record both baselines with --profile"), "{out}");
+        assert!(!out.contains("no profile data in baseline"), "{out}");
     }
 
     #[test]

@@ -36,10 +36,10 @@ fn ieee_bit_fetch_max_orders_like_the_numbers() {
     let agg = StreamAgg::default();
     std::thread::scope(|s| {
         let agg = &agg;
-        for chunk in values.chunks(3) {
+        for (c, chunk) in values.chunks(3).enumerate() {
             s.spawn(move || {
-                for &v in chunk {
-                    agg.record_ok(&metrics(v, v, None), None, None);
+                for (i, &v) in chunk.iter().enumerate() {
+                    agg.record_ok(c * 3 + i, &metrics(v, v, None), None, None);
                 }
             });
         }
@@ -49,21 +49,39 @@ fn ieee_bit_fetch_max_orders_like_the_numbers() {
     assert_eq!(max, f64::MAX, "interleaving must not lose the true max");
     let max_speed = f64::from_bits(agg.max_peak_speed_bits.load(Ordering::Relaxed));
     assert_eq!(max_speed, f64::MAX);
+    // The argmax cell survives the interleaving too: f64::MAX is the
+    // last value, cell id 8, no matter which thread got there first.
+    let arg = agg.max_energy_cell.lock().unwrap();
+    assert_eq!(*arg, Some((8, f64::MAX)), "argmax must name the winning cell");
+}
+
+#[test]
+fn argmax_breaks_ratio_ties_toward_the_lowest_cell() {
+    // Equal ratios fold to the lowest cell id regardless of arrival
+    // order — the property that makes the fold order-independent.
+    let agg = StreamAgg::default();
+    agg.record_ok(5, &metrics(2.0, 1.0, None), None, None);
+    agg.record_ok(3, &metrics(2.0, 1.0, None), None, None);
+    agg.record_ok(7, &metrics(2.0, 1.0, None), None, None);
+    assert_eq!(*agg.max_energy_cell.lock().unwrap(), Some((3, 2.0)));
+    // A strictly larger ratio still wins over a lower cell id.
+    agg.record_ok(9, &metrics(2.5, 1.0, None), None, None);
+    assert_eq!(*agg.max_energy_cell.lock().unwrap(), Some((9, 2.5)));
 }
 
 #[test]
 fn bound_violations_respect_the_slack() {
     let agg = StreamAgg::default();
     // Exactly at the bound: no violation (slack absorbs it).
-    agg.record_ok(&metrics(2.0, 1.0, Some(2.0)), Some(2.0), Some(2.0));
+    agg.record_ok(0, &metrics(2.0, 1.0, Some(2.0)), Some(2.0), Some(2.0));
     assert_eq!(agg.energy_violations.load(Ordering::Relaxed), 0);
     assert_eq!(agg.speed_violations.load(Ordering::Relaxed), 0);
     // Clearly above: both counted.
-    agg.record_ok(&metrics(3.0, 1.0, Some(3.0)), Some(2.0), Some(2.0));
+    agg.record_ok(1, &metrics(3.0, 1.0, Some(3.0)), Some(2.0), Some(2.0));
     assert_eq!(agg.energy_violations.load(Ordering::Relaxed), 1);
     assert_eq!(agg.speed_violations.load(Ordering::Relaxed), 1);
     // No bound for the group: nothing to violate.
-    agg.record_ok(&metrics(100.0, 100.0, Some(100.0)), None, None);
+    agg.record_ok(2, &metrics(100.0, 100.0, Some(100.0)), None, None);
     assert_eq!(agg.energy_violations.load(Ordering::Relaxed), 1);
 }
 

@@ -22,7 +22,8 @@ use std::path::{Path, PathBuf};
 
 use qbss_bench::engine::{run_sweep_audited, EngineReport, InstanceSource, SweepSpec};
 use qbss_bench::perf::{self, Baseline, PerfConfig, Threshold};
-use qbss_bench::StreamSession;
+use qbss_bench::quality::{self, QualityBaseline};
+use qbss_bench::{BuildInfo, StreamSession};
 use qbss_telemetry::profile::Profile;
 use qbss_telemetry::{Config, Filter, InitError, JsonValue, RingSink, SinkTarget};
 use qbss_core::error::{AlgorithmError, QbssError};
@@ -31,6 +32,7 @@ use qbss_core::offline::is_power_of_two_deadline;
 use qbss_core::pipeline::{run_evaluated, Algorithm, DEFAULT_FW_ITERS, DEFAULT_MACHINES};
 use qbss_instances::gen::{self, Compressibility, GenConfig, QueryModel, TimeModel};
 use qbss_instances::io::{self, IoError};
+use speed_scaling::render::{timeline_html, TimelineBand};
 use speed_scaling::OptCache;
 
 /// Top-level usage text.
@@ -51,6 +53,10 @@ USAGE:
                   (JSONL events from --in FILE or stdin: {\"type\": \"arrive\", ...},
                    {\"type\": \"advance\", \"t\": T}, {\"type\": \"finish\"}; EOF finishes)
   qbss compare  --in FILE [--alpha A] [--format table|json|csv] [--trace FILE]
+  qbss explain  --alg ALG (--in FILE | [--n N] [--seed S] [--family F] [--compress C])
+                [--alpha A] [--format table|json] [--html FILE] [--trace FILE]
+                  (factor the cell's ratio into query × split × sched losses,
+                   print per-job decision rows, render an ALG-vs-OPT timeline)
   qbss sweep    [--count K] [--n N] [--seed S] [--family F] [--compress C]
                 [--alg LIST|all] [--alpha LIST] [--m M] [--fw-iters I]
                 [--shards S] [--opt-fw-iters I] [--format json|csv] [--out FILE]
@@ -71,10 +77,16 @@ USAGE:
                         [--warmup N] [--shards S] [--profile] [--trace FILE]
   qbss perf     compare BASE NEW [--mad-factor X] [--min-rel X]
   qbss perf     gate    --base FILE [--new FILE] [--mad-factor X] [--min-rel X] [--explain]
+  qbss quality  record  [--out FILE] [--scenarios LIST] [--shards S] [--trace FILE]
+  qbss quality  compare BASE NEW
+  qbss quality  gate    --base FILE [--new FILE] [--shards S] [--explain]
+                  (pinned competitive-ratio scenarios; the gate is exact —
+                   any worsened max ratio or bound headroom exits 3)
   qbss prof     record  (--trace FILE | --scenario NAME [--repeats N] [--warmup N]
                         [--shards S]) [--collapse LIST] [--counts-only] [--out FILE]
   qbss prof     diff    BASE NEW [--top K]
   qbss prof     flame   (--trace FILE | --folded FILE) [--title T] [--out FILE]
+  qbss --version
   qbss help
 
 OBSERVABILITY:
@@ -88,7 +100,7 @@ OBSERVABILITY:
 
 EXIT CODES:
   0 success | 1 algorithm failure | 2 bad input
-  3 I/O failure or perf-gate regression
+  3 I/O failure or a perf/quality-gate regression
   (`qbss serve` exits 0 on SIGTERM/ctrl-c after draining in-flight requests)";
 
 /// A subcommand failure, carrying its exit code.
@@ -100,8 +112,9 @@ pub enum CliError {
     Algorithm(QbssError),
     /// The file system failed (exit code 3).
     Io(String),
-    /// `qbss perf gate` found a regression (exit code 3, like a CI
-    /// infrastructure failure: the build is not acceptable as-is).
+    /// `qbss perf gate` or `qbss quality gate` found a regression
+    /// (exit code 3, like a CI infrastructure failure: the build is
+    /// not acceptable as-is).
     Gate(String),
 }
 
@@ -1389,6 +1402,256 @@ pub fn perf(args: &[String]) -> Result<(), CliError> {
         "gate" => perf_gate(rest),
         other => Err(input(format!("unknown perf action `{other}`\n{PERF_USAGE}"))),
     }
+}
+
+// ---------------------------------------------------------------------
+// `qbss quality` — pinned competitive-ratio baselines, exact gate
+// ---------------------------------------------------------------------
+
+const QUALITY_USAGE: &str = "usage: qbss quality record  [--out FILE] [--scenarios LIST] [--shards S] [--trace FILE]\n       \
+                              qbss quality compare BASE NEW\n       \
+                              qbss quality gate    --base FILE [--new FILE] [--shards S] [--explain]";
+
+/// Loads and parses a quality baseline: a missing file is an I/O
+/// failure, a schema violation is bad input.
+fn load_quality_baseline(path: &str) -> Result<QualityBaseline, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    QualityBaseline::parse(&text).map_err(|e| input(format!("{path}: {e}")))
+}
+
+/// `--scenarios a,b,c` (empty = all scenarios).
+fn scenario_names(flags: &Flags) -> Vec<String> {
+    flags.get("scenarios").map_or_else(Vec::new, |s| {
+        s.split(',').map(str::trim).filter(|t| !t.is_empty()).map(String::from).collect()
+    })
+}
+
+fn quality_record(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["out", "scenarios", "shards", "trace"])?;
+    let _telemetry = init_telemetry(&flags)?;
+    let _span = qbss_telemetry::span!("cli.quality.record");
+    let names = scenario_names(&flags);
+    let shards = flags.usize("shards", 0)?;
+    let baseline = quality::record(&names, shards).map_err(|e| input(e.to_string()))?;
+    let json = baseline.to_json();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            status_user(&format!(
+                "wrote quality baseline ({} scenario(s)) to {path}",
+                baseline.scenarios.len()
+            ));
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
+fn quality_compare(args: &[String]) -> Result<(), CliError> {
+    let Some((base_path, rest)) = args.split_first() else {
+        return Err(input(format!("quality compare needs BASE and NEW files\n{QUALITY_USAGE}")));
+    };
+    let Some((new_path, flag_args)) = rest.split_first() else {
+        return Err(input(format!("quality compare needs a NEW file\n{QUALITY_USAGE}")));
+    };
+    Flags::parse(flag_args, &[])?;
+    let base = load_quality_baseline(base_path)?;
+    let new = load_quality_baseline(new_path)?;
+    print!("{}", quality::compare(&base, &new).render());
+    Ok(())
+}
+
+fn quality_gate(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse_with_switches(
+        args,
+        &["base", "new", "shards", "explain", "trace"],
+        &["explain"],
+    )?;
+    let _telemetry = init_telemetry(&flags)?;
+    let _span = qbss_telemetry::span!("cli.quality.gate");
+    let base_path = flags.get("base").ok_or_else(|| input("--base FILE is required"))?;
+    let base = load_quality_baseline(base_path)?;
+    let new = match flags.get("new") {
+        Some(path) => load_quality_baseline(path)?,
+        // No --new: re-evaluate the baseline's own scenarios live. The
+        // seeds are pinned, so a clean gate means byte-equal statistics.
+        None => {
+            let names: Vec<String> = base.scenarios.keys().cloned().collect();
+            quality::record(&names, flags.usize("shards", 0)?)
+                .map_err(|e| input(e.to_string()))?
+        }
+    };
+    let report = quality::compare(&base, &new);
+    // `--explain` names the reproducible worst cell (scenario, seed,
+    // instance) for every regression, so a CI failure can be
+    // regenerated and `qbss explain`-ed offline.
+    if flags.switch("explain")? {
+        print!("{}", report.render_explain());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.is_clean() {
+        return Ok(());
+    }
+    // An intentional ratio change (algorithm fix, new scenario shape)
+    // is accepted by re-recording the baseline, never by loosening the
+    // comparison — the gate is exact.
+    if std::env::var("QBSS_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::write(base_path, new.to_json())
+            .map_err(|e| CliError::Io(format!("cannot write {base_path}: {e}")))?;
+        status_user(&format!("QBSS_BLESS=1: re-blessed {base_path} with the new measurements"));
+        return Ok(());
+    }
+    Err(CliError::Gate(format!(
+        "{} quality regression(s) against {base_path} (rerun with QBSS_BLESS=1 to re-bless)",
+        report.regressions.len()
+    )))
+}
+
+/// `qbss quality` — record pinned competitive-ratio baselines, diff
+/// them, gate CI exactly.
+pub fn quality_cmd(args: &[String]) -> Result<(), CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(input(QUALITY_USAGE));
+    };
+    match action.as_str() {
+        "record" => quality_record(rest),
+        "compare" => quality_compare(rest),
+        "gate" => quality_gate(rest),
+        other => Err(input(format!("unknown quality action `{other}`\n{QUALITY_USAGE}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// `qbss explain` — per-job decision attribution for one cell
+// ---------------------------------------------------------------------
+
+/// `qbss explain` — factors one `(instance, algorithm, α)` cell's
+/// energy ratio into query-decision × splitting-point × scheduling
+/// losses, prints the per-job decision rows with the blame job, and
+/// optionally renders the ALG-vs-OPT speed timeline as self-contained
+/// HTML.
+pub fn explain(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &["alg", "in", "n", "seed", "family", "compress", "alpha", "m", "format", "html", "trace"],
+    )?;
+    let _telemetry = init_telemetry(&flags)?;
+    let mut span = qbss_telemetry::span!("cli.explain");
+    let alpha = flags.alpha()?;
+    let algorithm = flags.algorithm()?;
+    let inst = if flags.get("in").is_some() {
+        for flag in ["n", "seed", "family", "compress"] {
+            if flags.get(flag).is_some() {
+                return Err(input(format!("--in and --{flag} are mutually exclusive")));
+            }
+        }
+        load_instance(&flags)?
+    } else {
+        let n = flags.usize("n", 12)?;
+        if n == 0 {
+            return Err(input("--n must be at least 1"));
+        }
+        let time = time_model_for(flags.get("family").unwrap_or("online"), n)?;
+        let compress = compress_for(flags.get("compress").unwrap_or("uniform"))?;
+        gen::generate(&GenConfig {
+            n,
+            seed: flags.u64("seed", 0)?,
+            time,
+            min_w: 0.5,
+            max_w: 4.0,
+            query: QueryModel::UniformFraction { lo: 0.1, hi: 0.6 },
+            compress,
+        })
+    };
+    span.record("algorithm", algorithm.to_string());
+    span.record("alpha", alpha);
+    span.record("jobs", inst.len());
+    let format = flags.format("table", &["table", "json"])?;
+    let opt = inst.opt_cache();
+    let ev = run_evaluated(&inst, alpha, algorithm)?;
+    let att = qbss_core::attribute_with_opt(&inst, alpha, algorithm, &ev, Some(opt.energy(alpha)))
+        .map_err(|e| input(e.to_string()))?;
+    if let Err(err) = att.check_identity() {
+        warn_user(&format!("attribution identity reconstruction error {err:.3e}"));
+    }
+    match format.as_str() {
+        "json" => println!("{}", att.to_json()),
+        _ => {
+            println!("algorithm:    {} (alpha = {alpha})", att.algorithm);
+            println!(
+                "energy ratio: {:.6} = query {:.6} × split {:.6} × sched {:.6}",
+                att.ratio(),
+                att.query_loss,
+                att.split_loss,
+                att.sched_loss
+            );
+            println!();
+            println!(
+                "{:>4}  {:>7}  {:>8}  {:>8}  {:>8}  {:>8}  {:>11}",
+                "job", "queried", "tau", "p", "p*", "p/p*", "lemma slack"
+            );
+            let opt_num = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.4}"));
+            for r in &att.jobs {
+                let blame = if att.blame == Some(r.job) { "  <- blame" } else { "" };
+                println!(
+                    "{:>4}  {:>7}  {:>8}  {:>8.4}  {:>8.4}  {:>8.4}  {:>11}{blame}",
+                    r.job,
+                    if r.queried { "yes" } else { "no" },
+                    opt_num(r.tau),
+                    r.load,
+                    r.p_star,
+                    r.load_ratio(),
+                    opt_num(r.lemma_slack),
+                );
+            }
+        }
+    }
+    if let Some(path) = flags.get("html") {
+        let alg_profile = ev.outcome.schedule.machine_profile(0);
+        let mut bands = Vec::new();
+        for r in &att.jobs {
+            let Some(j) = inst.job(r.job) else { continue };
+            // A queried job's query window: release up to the splitting
+            // point where the test result lands.
+            if let Some(tau) = r.tau {
+                bands.push(TimelineBand {
+                    label: format!("q{}", r.job),
+                    start: j.release,
+                    end: tau,
+                    highlight: false,
+                });
+            }
+            if att.blame == Some(r.job) {
+                bands.push(TimelineBand {
+                    label: format!("blame job {}", r.job),
+                    start: j.release,
+                    end: j.deadline,
+                    highlight: true,
+                });
+            }
+        }
+        let title = format!(
+            "qbss explain — {} @ alpha = {} (ratio {:.4})",
+            att.algorithm,
+            alpha,
+            att.ratio()
+        );
+        let html = timeline_html(&title, &[("ALG", &alg_profile), ("OPT", opt.profile())], &bands);
+        std::fs::write(path, &html)
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        status_user(&format!("wrote schedule timeline to {path}"));
+    }
+    Ok(())
+}
+
+/// `qbss --version` — crate version plus the git state of the build
+/// tree, for pinning baselines and reports to a build.
+pub fn version() -> Result<(), CliError> {
+    println!("{}", BuildInfo::capture().render());
+    Ok(())
 }
 
 // ---------------------------------------------------------------------

@@ -410,8 +410,12 @@ fn report_json(
     let sent = samples.len() as u64;
     let shed_rate = if sent == 0 { 0.0 } else { shed as f64 / sent as f64 };
     let q = |p: f64| latency.quantile(p) / 1e3;
+    // The build fingerprint pins blessed reports to the binary that
+    // produced them (informational: comparisons ignore it).
+    let build = qbss_bench::BuildInfo::capture();
     format!(
-        "{{\"schema\": \"qbss-loadgen-report/1\", {}, \
+        "{{\"schema\": \"qbss-loadgen-report/1\", \
+         \"build\": {{\"version\": \"{}\", \"git\": \"{}\"}}, {}, \
          \"schedule\": {{\"requests\": {}, \"hash\": \"{:016x}\"}}, \
          \"results\": {{\"sent\": {sent}, \"completed\": {completed}, \
          \"transport_errors\": {transport_errors}, \"wall_s\": {}, \
@@ -420,6 +424,8 @@ fn report_json(
          \"retry_after_on_429\": {}, \
          \"latency_ms\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {}, \"max\": {}}}, \
          \"max_start_slip_ms\": {}}}}}",
+        qbss_telemetry::json_escape(&build.version),
+        qbss_telemetry::json_escape(&build.git),
         config_json_fields(cfg),
         schedule.len(),
         schedule_hash(schedule),

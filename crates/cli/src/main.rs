@@ -28,6 +28,13 @@
 //!   (median/MAD over warm repeats, optionally with `--profile`
 //!   call-path attribution) and a noise-aware regression gate
 //!   (exit 3 on regression);
+//! * `qbss quality record|compare|gate` — pinned competitive-ratio
+//!   scenarios digested into per-group max/mean/p95 and bound headroom;
+//!   the gate is exact (seeds pinned, aggregates byte-deterministic) and
+//!   exits 3 on any worsened max ratio or headroom;
+//! * `qbss explain` — factor one cell's energy ratio into
+//!   query × split × sched losses, print per-job decision rows with the
+//!   blame job, optionally render an ALG-vs-OPT HTML timeline;
 //! * `qbss prof record|diff|flame` — fold span traces or live seeded
 //!   scenario runs into canonical call-path profiles
 //!   (`a;b;c self_us count` lines), diff two folded profiles, render
@@ -81,7 +88,10 @@ fn main() -> ExitCode {
         "rho" => commands::rho(rest),
         "trace" => commands::trace(rest),
         "perf" => commands::perf(rest),
+        "quality" => commands::quality_cmd(rest),
+        "explain" => commands::explain(rest),
         "prof" => commands::prof(rest),
+        "version" | "--version" | "-V" => commands::version(),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -10,11 +10,11 @@
 //! | endpoint | contract |
 //! |----------|----------|
 //! | `GET /metrics` | process registry in Prometheus text exposition format; read-only, byte-stable across scrapes of an idle registry |
-//! | `GET /healthz` | liveness: uptime, in-flight, served, queue depth, shed totals, admission budget |
+//! | `GET /healthz` | liveness: build fingerprint (version + git describe), uptime, in-flight, served, queue depth, shed totals, admission budget |
 //! | `GET /readyz` | readiness: `200` while accepting, `503` once draining |
 //! | `GET /tracez` | most recent spans/events from the ring sink as HTML (`?format=jsonl` for the raw records; `?target=PREFIX` filters by dot-prefix, `?min_us=N` keeps spans at least that long) |
 //! | `GET /profilez` | ring spans folded into a call-path profile, rendered as a flamegraph (`?format=folded` for raw `path self_us count` text, `?collapse=a,b` removes frames) |
-//! | `POST /evaluate` | instance JSON in, evaluated outcome out (`?alg=`, `?alpha=`, `?m=`) |
+//! | `POST /evaluate` | instance JSON in, evaluated outcome out (`?alg=`, `?alpha=`, `?m=`; `?explain=1` adds per-job decision attribution at 3× the admission cost) |
 //! | `POST /sweep` | sweep-spec JSON in, deterministic aggregate out |
 //! | `POST /session` | open a streaming session (`?alg=`, `?alpha=`); returns the session id |
 //! | `POST /session/{id}/arrive` | one job object in, the arrival's speed delta out |
@@ -85,7 +85,7 @@ use std::time::{Duration, Instant};
 
 use qbss_bench::engine::run_sweep;
 use qbss_bench::request::{RequestError, SweepRequest, EVALUATE_COST};
-use qbss_bench::StreamSession;
+use qbss_bench::{BuildInfo, StreamSession};
 use qbss_core::model::QJob;
 use qbss_core::pipeline::{run_for_request, Algorithm};
 use qbss_instances::io::{self, IoError};
@@ -726,13 +726,14 @@ fn index() -> Response {
         content_type: "text/plain; charset=utf-8",
         body: "qbss serve\n\n\
                GET  /metrics    Prometheus text exposition of the process registry\n\
-               GET  /healthz    liveness (uptime, in-flight, served, queue, shed, budget)\n\
+               GET  /healthz    liveness (build, uptime, in-flight, served, queue, shed, budget)\n\
                GET  /readyz     readiness (503 once draining)\n\
                GET  /tracez     recent spans/events as HTML (?format=jsonl for raw;\n                 \
                ?target=PREFIX and ?min_us=N filter)\n\
                GET  /profilez   ring spans folded into a flamegraph (?format=folded,\n                 \
                ?collapse=a,b)\n\
-               POST /evaluate   instance JSON -> evaluated outcome (?alg=&alpha=&m=)\n\
+               POST /evaluate   instance JSON -> evaluated outcome (?alg=&alpha=&m=;\n                 \
+               ?explain=1 adds per-job decision attribution)\n\
                POST /sweep      sweep spec JSON -> deterministic aggregate\n\
                POST /session    open a streaming session (?alg=&alpha=) -> id\n\
                POST /session/{id}/arrive   job JSON -> the arrival's speed delta\n\
@@ -752,14 +753,26 @@ fn metrics_endpoint() -> Response {
     }
 }
 
+/// The build fingerprint, captured once per process (the `git
+/// describe` subprocess must not run per probe).
+fn build_info() -> &'static BuildInfo {
+    static BUILD: std::sync::OnceLock<BuildInfo> = std::sync::OnceLock::new();
+    BUILD.get_or_init(BuildInfo::capture)
+}
+
 fn health_body(ctx: &ServerCtx<'_>) -> String {
     let stats = ctx.stats;
+    let build = build_info();
     format!(
-        "{{\"status\": \"{}\", \"uptime_s\": {}, \"in_flight\": {}, \"served\": {}, \
+        "{{\"status\": \"{}\", \
+         \"build\": {{\"version\": \"{}\", \"git\": \"{}\"}}, \
+         \"uptime_s\": {}, \"in_flight\": {}, \"served\": {}, \
          \"queue_depth\": {}, \"shed\": {}, \"reaped\": {}, \
          \"sessions\": {{\"open\": {}, \"reaped\": {}}}, \
          \"budget\": {{\"capacity\": {}, \"in_flight_cost\": {}}}}}",
         if stats.draining.load(Ordering::Relaxed) { "draining" } else { "ok" },
+        json_escape(&build.version),
+        json_escape(&build.git),
         json_f64(stats.started.elapsed().as_secs_f64()),
         stats.in_flight.load(Ordering::Relaxed),
         stats.served.load(Ordering::Relaxed),
@@ -924,6 +937,29 @@ fn evaluate(req: &HttpRequest, request_id: &str, ctx: &ServerCtx<'_>) -> Respons
             Err(_) => return Response::error(400, "bad_request", "alpha: not a number"),
         },
     };
+    // `?explain=1` adds per-job decision attribution to the response.
+    // Attribution needs the single-machine YDS ladder, so the
+    // combination with a multi-machine `alg` is rejected up front —
+    // before admission, like every other flag error.
+    let explain = match query_get(&req.query, "explain") {
+        None | Some("0") => false,
+        Some("1") => true,
+        Some(other) => {
+            return Response::error(
+                400,
+                "bad_request",
+                &format!("explain must be 0 or 1, got `{other}`"),
+            );
+        }
+    };
+    if explain && alg.machines() > 1 {
+        return Response::error(
+            400,
+            "bad_request",
+            "explain requires a single-machine algorithm (multi-machine baselines are lower \
+             bounds, not optima)",
+        );
+    }
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "bad_request", "body is not UTF-8");
     };
@@ -939,24 +975,38 @@ fn evaluate(req: &HttpRequest, request_id: &str, ctx: &ServerCtx<'_>) -> Respons
         Err(e) => return Response::error(400, "syntax", &e.to_string()),
     };
     // One instance, one cell: O(1) admission cost regardless of body
-    // size (the size caps bound the parse itself).
-    let Some(_permit) = ctx.admission.try_admit(EVALUATE_COST) else {
-        return shed_response(ctx, EVALUATE_COST);
+    // size (the size caps bound the parse itself). Attribution runs two
+    // extra YDS optimizations (realized + oracle-split twins), so an
+    // explained evaluate costs three cells against the same budget.
+    let cost = if explain { 3 * EVALUATE_COST } else { EVALUATE_COST };
+    let Some(_permit) = ctx.admission.try_admit(cost) else {
+        return shed_response(ctx, cost);
     };
     match run_for_request(request_id, qbss_telemetry::current_span_id(), &inst, alpha, alg) {
-        Ok(ev) => Response::json(
-            200,
-            format!(
-                "{{\"request_id\": \"{}\", \"algorithm\": \"{}\", \"alpha\": {}, \
-                 \"energy\": {}, \"max_speed\": {}, \"outcome\": {}}}",
-                json_escape(request_id),
-                alg,
-                json_f64(alpha),
-                json_f64(ev.energy),
-                json_f64(ev.max_speed),
-                io::outcome_to_json(&ev.outcome)
-            ),
-        ),
+        Ok(ev) => {
+            let attribution = if explain {
+                match qbss_core::attribute(&inst, alpha, alg, &ev) {
+                    Ok(att) => att.to_json(),
+                    Err(e) => return Response::error(422, "attribution", &e.to_string()),
+                }
+            } else {
+                "null".to_string()
+            };
+            Response::json(
+                200,
+                format!(
+                    "{{\"request_id\": \"{}\", \"algorithm\": \"{}\", \"alpha\": {}, \
+                     \"energy\": {}, \"max_speed\": {}, \"attribution\": {attribution}, \
+                     \"outcome\": {}}}",
+                    json_escape(request_id),
+                    alg,
+                    json_f64(alpha),
+                    json_f64(ev.energy),
+                    json_f64(ev.max_speed),
+                    io::outcome_to_json(&ev.outcome)
+                ),
+            )
+        }
         Err(e) => Response::error(422, "algorithm", &e.to_string()),
     }
 }

@@ -302,6 +302,115 @@ fn perf_record_compare_and_gate_end_to_end() {
 }
 
 #[test]
+fn quality_record_gate_and_bless_end_to_end() {
+    let base = tmp("quality_base.json");
+    // Record the smallest pinned scenario; the gate is exact, so the
+    // same binary re-measured must be byte-equal per scenario.
+    let out = run_ok(
+        qbss(&["quality", "record", "--scenarios", "multi-machine", "--out"]).arg(&base),
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("wrote quality baseline"));
+    let text = std::fs::read_to_string(&base).expect("baseline written");
+    let recorded = qbss_bench::quality::QualityBaseline::parse(&text).expect("schema-valid");
+    assert!(recorded.scenarios.contains_key("multi-machine"));
+
+    // Gate against a live re-measure: pinned seeds, clean gate.
+    let out = run_ok(qbss(&["quality", "gate", "--base"]).arg(&base));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no quality regression"));
+
+    // Doctor the committed base to claim a *better* max than measured:
+    // the re-measure is now worse than the baseline, the gate exits 3,
+    // and --explain names the offending scenario and worst cell.
+    let mut doctored = recorded.clone();
+    for s in doctored.scenarios.values_mut() {
+        for g in &mut s.groups {
+            g.max *= 0.5;
+            if let Some(h) = g.headroom.as_mut() {
+                *h *= 0.5;
+            }
+        }
+    }
+    let doctored_path = tmp("quality_doctored.json");
+    std::fs::write(&doctored_path, doctored.to_json()).expect("write doctored baseline");
+    let gate = qbss(&["quality", "gate", "--explain", "--base"])
+        .arg(&doctored_path)
+        .output()
+        .expect("runs");
+    assert_eq!(gate.status.code(), Some(3), "exact gate must fail on any increase");
+    let stdout = String::from_utf8_lossy(&gate.stdout);
+    assert!(stdout.contains("scenario `multi-machine`"), "{stdout}");
+    assert!(stdout.contains("worst cell: seed"), "{stdout}");
+    assert!(String::from_utf8_lossy(&gate.stderr).contains("quality regression"));
+
+    // QBSS_BLESS=1 re-records the baseline instead of failing.
+    run_ok(
+        qbss(&["quality", "gate", "--base"]).arg(&doctored_path).env("QBSS_BLESS", "1"),
+    );
+    let blessed = std::fs::read_to_string(&doctored_path).expect("re-blessed");
+    let blessed = qbss_bench::quality::QualityBaseline::parse(&blessed).expect("valid");
+    assert_eq!(
+        blessed.scenarios, recorded.scenarios,
+        "bless restores the measured statistics (build info may differ)"
+    );
+
+    // compare is non-fatal; unknown scenarios are bad input.
+    let out = run_ok(qbss(&["quality", "compare"]).arg(&base).arg(&doctored_path));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no quality regression"));
+    let bad = qbss(&["quality", "record", "--scenarios", "bogus"]).output().expect("runs");
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn explain_factors_the_ratio_and_writes_the_timeline() {
+    // JSON mode: the factors multiply back to the ratio within 1e-9.
+    let out = run_ok(&mut qbss(&[
+        "explain", "--alg", "avrq", "--n", "8", "--seed", "5", "--alpha", "2", "--format",
+        "json",
+    ]));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let v = qbss_telemetry::json_parse(stdout.trim()).expect("valid JSON");
+    let num = |k: &str| v.get(k).and_then(qbss_telemetry::JsonValue::as_f64).expect("number");
+    let product = num("query_loss") * num("split_loss") * num("sched_loss");
+    let ratio = num("ratio");
+    assert!((product - ratio).abs() <= 1e-9 * ratio.max(1.0), "{product} vs {ratio}");
+    assert!(v.get("blame_job").is_some() && v.get("jobs").is_some(), "{stdout}");
+
+    // Table mode names the blame job; --html writes a self-contained
+    // timeline with both profiles and no scripts.
+    let html_path = tmp("explain_timeline.html");
+    let out = run_ok(
+        qbss(&["explain", "--alg", "bkpq", "--n", "6", "--seed", "1", "--html"]).arg(&html_path),
+    );
+    let table = String::from_utf8(out.stdout).expect("utf8");
+    assert!(table.contains("<- blame"), "{table}");
+    assert!(table.contains("energy ratio:"), "{table}");
+    let html = std::fs::read_to_string(&html_path).expect("timeline written");
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.contains("ALG") && html.contains("OPT"), "legend carries both series");
+    assert!(!html.contains("<script"), "no-scripts discipline");
+
+    // A multi-machine algorithm has no YDS ladder to attribute against:
+    // typed bad input, not a panic.
+    let out = qbss(&["explain", "--alg", "avrq-m:2", "--n", "4"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("single-machine"));
+
+    // --in with generator flags is contradictory input.
+    let out = qbss(&["explain", "--alg", "avrq", "--in", "x.json", "--n", "4"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn version_reports_the_build_fingerprint() {
+    let out = run_ok(&mut qbss(&["--version"]));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.starts_with("qbss "), "{stdout}");
+    assert!(stdout.contains('(') && stdout.contains(')'), "git state present: {stdout}");
+}
+
+#[test]
 fn audited_sweep_is_clean_for_every_algorithm() {
     let out = run_ok(&mut qbss(&[
         "sweep", "--count", "2", "--n", "6", "--alg", "all", "--alpha", "2", "--shards", "2",

@@ -182,6 +182,12 @@ fn serve_scrapes_evaluates_and_drains() {
     let (status, _, health) = http(&addr, "GET", "/healthz", "");
     assert_eq!(status, 200);
     assert!(health.contains("\"status\": \"ok\""), "{health}");
+    // The build fingerprint pins the probe to the binary: version from
+    // the crate, git state best-effort (may be "unknown" off-repo).
+    assert!(
+        health.contains("\"build\": {\"version\": \"") && health.contains("\"git\": \""),
+        "{health}"
+    );
     let (_, _, scrape3) = http(&addr, "GET", "/metrics", "");
     assert_eq!(scrape1, scrape3, "probes must leave /metrics byte-stable");
 
@@ -191,6 +197,26 @@ fn serve_scrapes_evaluates_and_drains() {
     for field in ["request_id", "algorithm", "energy", "max_speed", "outcome"] {
         assert!(body.contains(field), "missing `{field}` in {body}");
     }
+
+    // `?explain=1` adds per-job decision attribution to the response;
+    // the factors are present and the blame job named.
+    let (status, _, body) =
+        http(&addr, "POST", "/evaluate?alg=avrq&alpha=3&explain=1", &valid_instance_json());
+    assert_eq!(status, 200, "{body}");
+    for field in ["query_loss", "split_loss", "sched_loss", "blame_job", "\"jobs\""] {
+        assert!(body.contains(field), "missing `{field}` in {body}");
+    }
+    // Without the flag the attribution slot is explicit null (stable
+    // response shape), and a multi-machine explain is rejected up
+    // front — attribution has no single-machine optimum to factor
+    // against.
+    let (status, _, body) = http(&addr, "POST", "/evaluate?alg=avrq", &valid_instance_json());
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"attribution\": null"), "{body}");
+    let (status, _, body) =
+        http(&addr, "POST", "/evaluate?alg=avrq-m:2&explain=1", &valid_instance_json());
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("single-machine"), "{body}");
 
     // A corrupted instance from the fault catalog maps onto the typed
     // 4xx taxonomy instead of panicking the worker.

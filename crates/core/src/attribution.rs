@@ -1,0 +1,415 @@
+//! Per-job decision attribution: *why* is a cell's ratio what it is?
+//!
+//! A QBSS run loses energy against the clairvoyant optimum in exactly
+//! three places, and this module factors the measured ratio
+//! `E_ALG / E_OPT` into one multiplicative term per place:
+//!
+//! * **query-decision loss** — the algorithm queried the wrong jobs.
+//!   Measured as `E_YDS(oracle-split derived) / E_OPT`: even with the
+//!   paper's optimal splitting point `x = c/(c+w*)` (S11) applied to
+//!   the *algorithm's* query set, the derived instance is more
+//!   constrained than the clairvoyant `p*` instance, so this factor is
+//!   ≥ 1 and grows with every job queried (or skipped) against
+//!   `p*_j = min{w_j, c_j + w*_j}`.
+//! * **splitting-point loss** — the algorithm split queried jobs at
+//!   `τ_j` instead of the oracle split. Measured as
+//!   `E_YDS(realized derived) / E_YDS(oracle-split derived)`.
+//! * **scheduling loss** — the residual: the online schedule against
+//!   YDS on the realized derived instance,
+//!   `E_ALG / E_YDS(realized derived)`. YDS is optimal for that
+//!   instance, so this factor is ≥ 1 for any valid outcome.
+//!
+//! The three energies telescope, so the factors multiply back to
+//! `E_ALG / E_OPT` up to floating-point rounding — [`IDENTITY_TOL`]
+//! bounds the reconstruction error the identity test accepts. The
+//! query and scheduling factors are ≥ 1 up to [`FACTOR_TOL`], and so
+//! is the product `query × split` (any realized derived instance is
+//! more constrained than the clairvoyant `p*` instance). The splitting
+//! factor *alone* carries no such bound: the per-job oracle split
+//! `x = c/(c+w*)` is optimal for a job in isolation, not for the joint
+//! YDS schedule, so a realized split can genuinely beat it (observed
+//! down to ≈ 0.57 on arbitrary-window instances). A split factor under
+//! 1 reads as "the τ choices were better than the per-job oracle for
+//! this instance", with the deficit charged to the query factor by the
+//! product bound.
+//!
+//! Alongside the factors, [`attribute`] records one [`JobRow`] per job
+//! — `(queried, τ_j, p_j, p*_j, Lemma-3.1 slack)` — and names the
+//! *blame job*: the argmax of the per-job load ratio `p_j / p*_j`,
+//! i.e. the job whose decision inflated the executed load the most.
+
+use speed_scaling::job::JobId;
+use speed_scaling::yds::optimal_energy;
+
+use crate::audit::family_rule;
+use crate::decision::{try_derived_instance, Decision};
+use crate::error::ValidationError;
+use crate::model::QbssInstance;
+use crate::pipeline::{Algorithm, Evaluated};
+use crate::policy::oracle_fraction;
+
+/// Tolerance for the multiplicative identity
+/// `query × split × sched = E_ALG / E_OPT` (relative).
+pub const IDENTITY_TOL: f64 = 1e-9;
+
+/// How far below 1 a provably-≥ 1 quantity may sit before it stops
+/// being numerics: the query and scheduling factors, and the product
+/// `query_loss × split_loss`. The splitting factor alone is *not*
+/// bounded below by 1 (see module docs); everything else past this
+/// tolerance is a bug.
+pub const FACTOR_TOL: f64 = 1e-6;
+
+/// One job's decision record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRow {
+    /// Job id.
+    pub job: JobId,
+    /// Whether the algorithm queried.
+    pub queried: bool,
+    /// Splitting point `τ_j` (`None` iff not queried).
+    pub tau: Option<f64>,
+    /// Realized load `p_j` (`c_j + w*_j` if queried, else `w_j`).
+    pub load: f64,
+    /// Clairvoyant load `p*_j = min{w_j, c_j + w*_j}`.
+    pub p_star: f64,
+    /// Lemma 3.1 slack `factor·p*_j − p_j` for the family's proven
+    /// per-job factor (φ for golden-rule families, 2 for always-query);
+    /// ≥ 0 on a conforming run. `None` when the family proves no
+    /// per-job factor.
+    pub lemma_slack: Option<f64>,
+}
+
+impl JobRow {
+    /// The per-job load inflation `p_j / p*_j` the blame ranking uses.
+    pub fn load_ratio(&self) -> f64 {
+        if self.p_star <= 0.0 {
+            return 1.0;
+        }
+        self.load / self.p_star
+    }
+}
+
+/// The factored ratio of one `(instance, algorithm, α)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    /// Canonical algorithm string.
+    pub algorithm: String,
+    /// Power exponent.
+    pub alpha: f64,
+    /// Measured schedule energy `E_ALG`.
+    pub energy: f64,
+    /// Clairvoyant optimal energy `E_OPT`.
+    pub opt_energy: f64,
+    /// YDS optimum on the realized derived instance.
+    pub realized_yds: f64,
+    /// YDS optimum on the oracle-split derived instance.
+    pub oracle_yds: f64,
+    /// `E_YDS(oracle) / E_OPT` — loss from the query decisions.
+    pub query_loss: f64,
+    /// `E_YDS(realized) / E_YDS(oracle)` — loss from the chosen τ.
+    pub split_loss: f64,
+    /// `E_ALG / E_YDS(realized)` — loss from online scheduling.
+    pub sched_loss: f64,
+    /// Per-job rows, in decision order.
+    pub jobs: Vec<JobRow>,
+    /// The job with the largest `p_j / p*_j` (first in decision order
+    /// on ties) — the decision that inflated the executed load most.
+    pub blame: Option<JobId>,
+}
+
+impl Attribution {
+    /// The measured ratio `E_ALG / E_OPT` the factors decompose.
+    pub fn ratio(&self) -> f64 {
+        if self.opt_energy <= 0.0 {
+            return 1.0;
+        }
+        self.energy / self.opt_energy
+    }
+
+    /// The factor product — equals [`Attribution::ratio`] within
+    /// [`IDENTITY_TOL`] (relative) by construction.
+    pub fn product(&self) -> f64 {
+        self.query_loss * self.split_loss * self.sched_loss
+    }
+
+    /// Checks the multiplicative identity; `Err` carries the absolute
+    /// reconstruction error on failure.
+    pub fn check_identity(&self) -> Result<(), f64> {
+        let err = (self.product() - self.ratio()).abs();
+        if err <= IDENTITY_TOL * self.ratio().max(1.0) {
+            Ok(())
+        } else {
+            Err(err)
+        }
+    }
+
+    /// The blame job's row, if any.
+    pub fn blame_row(&self) -> Option<&JobRow> {
+        let id = self.blame?;
+        self.jobs.iter().find(|r| r.job == id)
+    }
+
+    /// Canonical JSON (shortest-round-trip floats, `null` for absent
+    /// optionals) — the body serve mode and `qbss explain --format
+    /// json` emit.
+    pub fn to_json(&self) -> String {
+        use qbss_telemetry::{json_escape, json_f64};
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".to_string(), json_f64);
+        let mut s = String::with_capacity(512 + 128 * self.jobs.len());
+        s.push('{');
+        s.push_str(&format!("\"algorithm\": \"{}\", ", json_escape(&self.algorithm)));
+        s.push_str(&format!("\"alpha\": {}, ", json_f64(self.alpha)));
+        s.push_str(&format!("\"energy\": {}, ", json_f64(self.energy)));
+        s.push_str(&format!("\"opt_energy\": {}, ", json_f64(self.opt_energy)));
+        s.push_str(&format!("\"ratio\": {}, ", json_f64(self.ratio())));
+        s.push_str(&format!("\"query_loss\": {}, ", json_f64(self.query_loss)));
+        s.push_str(&format!("\"split_loss\": {}, ", json_f64(self.split_loss)));
+        s.push_str(&format!("\"sched_loss\": {}, ", json_f64(self.sched_loss)));
+        s.push_str(&format!(
+            "\"blame_job\": {}, ",
+            self.blame.map_or_else(|| "null".to_string(), |id| id.to_string())
+        ));
+        s.push_str("\"jobs\": [");
+        for (i, r) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"job\": {}, \"queried\": {}, \"tau\": {}, \"load\": {}, \
+                 \"p_star\": {}, \"lemma_slack\": {}}}",
+                r.job,
+                r.queried,
+                opt(r.tau),
+                json_f64(r.load),
+                json_f64(r.p_star),
+                opt(r.lemma_slack),
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Why a cell cannot be attributed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributionError {
+    /// Multi-machine configurations have no single-machine YDS ladder
+    /// to climb — their baseline is a lower bound, not an optimum.
+    MultiMachine {
+        /// The configuration's machine count.
+        machines: usize,
+    },
+    /// The outcome's decisions don't form a valid derived instance.
+    Decisions(ValidationError),
+}
+
+impl std::fmt::Display for AttributionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttributionError::MultiMachine { machines } => write!(
+                f,
+                "attribution requires a single-machine configuration (got m = {machines})"
+            ),
+            AttributionError::Decisions(e) => write!(f, "invalid decisions: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttributionError {}
+
+impl From<ValidationError> for AttributionError {
+    fn from(e: ValidationError) -> Self {
+        AttributionError::Decisions(e)
+    }
+}
+
+/// The oracle-split twin of `decisions`: the same query set, every
+/// split moved to `τ = r + x·(d − r)` with `x = c/(c+w*)` (S11).
+fn oracle_decisions(
+    inst: &QbssInstance,
+    decisions: &[Decision],
+) -> Result<Vec<Decision>, ValidationError> {
+    decisions
+        .iter()
+        .map(|d| {
+            if !d.queried {
+                return Ok(*d);
+            }
+            let j = inst.job(d.job).ok_or(ValidationError::UnknownJob { job: d.job })?;
+            let x = oracle_fraction(j.query_load, j.reveal_exact());
+            Ok(Decision::query(j.id, j.release + x * (j.deadline - j.release)))
+        })
+        .collect()
+}
+
+/// Attributes an evaluated cell (see module docs), reusing an
+/// already-computed `E_OPT` when the caller has one memoized.
+///
+/// `opt_energy = None` recomputes the clairvoyant optimum from the
+/// instance; pass `Some` from engine/serve paths that hold an
+/// [`speed_scaling::cache::OptCache`] — the value must be the cache's
+/// own `energy(alpha)` (bit-identical to the cold path by its
+/// determinism contract).
+pub fn attribute_with_opt(
+    inst: &QbssInstance,
+    alpha: f64,
+    algorithm: Algorithm,
+    ev: &Evaluated,
+    opt_energy: Option<f64>,
+) -> Result<Attribution, AttributionError> {
+    if algorithm.machines() > 1 {
+        return Err(AttributionError::MultiMachine { machines: algorithm.machines() });
+    }
+    let realized = try_derived_instance(inst, &ev.outcome.decisions)?;
+    let oracle = try_derived_instance(inst, &oracle_decisions(inst, &ev.outcome.decisions)?)?;
+    let realized_yds = optimal_energy(&realized, alpha);
+    let oracle_yds = optimal_energy(&oracle, alpha);
+    let opt_energy = opt_energy.unwrap_or_else(|| inst.opt_energy(alpha));
+    let div = |num: f64, den: f64| if den <= 0.0 { 1.0 } else { num / den };
+    let lemma_factor = family_rule(algorithm).map(|(_, factor)| factor);
+    let mut jobs = Vec::with_capacity(ev.outcome.decisions.len());
+    let mut blame: Option<(f64, JobId)> = None;
+    for d in &ev.outcome.decisions {
+        let j = inst.job(d.job).ok_or(ValidationError::UnknownJob { job: d.job })?;
+        let load = if d.queried { j.query_load + j.reveal_exact() } else { j.upper_bound };
+        let row = JobRow {
+            job: j.id,
+            queried: d.queried,
+            tau: d.split,
+            load,
+            p_star: j.p_star(),
+            lemma_slack: lemma_factor.map(|f| f * j.p_star() - load),
+        };
+        if blame.is_none_or(|(best, _)| row.load_ratio() > best) {
+            blame = Some((row.load_ratio(), row.job));
+        }
+        jobs.push(row);
+    }
+    Ok(Attribution {
+        algorithm: algorithm.to_string(),
+        alpha,
+        energy: ev.energy,
+        opt_energy,
+        realized_yds,
+        oracle_yds,
+        query_loss: div(oracle_yds, opt_energy),
+        split_loss: div(realized_yds, oracle_yds),
+        sched_loss: div(ev.energy, realized_yds),
+        jobs,
+        blame: blame.map(|(_, id)| id),
+    })
+}
+
+/// [`attribute_with_opt`] computing `E_OPT` from the instance.
+pub fn attribute(
+    inst: &QbssInstance,
+    alpha: f64,
+    algorithm: Algorithm,
+    ev: &Evaluated,
+) -> Result<Attribution, AttributionError> {
+    attribute_with_opt(inst, alpha, algorithm, ev, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QJob;
+    use crate::pipeline::run_evaluated;
+
+    fn online_instance() -> QbssInstance {
+        QbssInstance::new(vec![
+            QJob::new(0, 0.0, 4.0, 0.5, 2.0, 0.4), // compressible → queried
+            QJob::new(1, 1.0, 3.0, 0.9, 1.0, 0.9), // query barely pays
+            QJob::new(2, 0.5, 5.0, 0.2, 3.0, 0.0), // fully compressible
+        ])
+    }
+
+    #[test]
+    fn factors_multiply_back_to_the_ratio() {
+        let inst = online_instance();
+        for alg in [Algorithm::Avrq, Algorithm::Bkpq, Algorithm::Oaq] {
+            for alpha in [2.0, 3.0] {
+                let ev = run_evaluated(&inst, alpha, alg).expect("valid");
+                let a = attribute(&inst, alpha, alg, &ev).expect("single machine");
+                a.check_identity().unwrap_or_else(|err| {
+                    panic!("{alg:?} α={alpha}: identity error {err}")
+                });
+                assert!(a.sched_loss >= 1.0 - FACTOR_TOL, "{alg:?}: {}", a.sched_loss);
+                assert!(a.query_loss >= 1.0 - FACTOR_TOL, "{alg:?}: {}", a.query_loss);
+                assert!(a.ratio() >= 1.0 - FACTOR_TOL);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_carry_the_lemma_slack_and_blame_is_the_worst_ratio() {
+        let inst = online_instance();
+        let ev = run_evaluated(&inst, 3.0, Algorithm::Avrq).expect("valid");
+        let a = attribute(&inst, 3.0, Algorithm::Avrq, &ev).expect("single machine");
+        assert_eq!(a.jobs.len(), 3);
+        for r in &a.jobs {
+            // AVRQ always queries; its Lemma 3.1 factor is 2.
+            assert!(r.queried);
+            assert!(r.tau.is_some());
+            let slack = r.lemma_slack.expect("avrq proves a factor");
+            assert!(slack >= -1e-9, "job {}: negative slack {slack}", r.job);
+            assert!((r.load - (2.0 * r.p_star - slack)).abs() < 1e-12);
+        }
+        let blame = a.blame_row().expect("non-empty instance");
+        let max = a.jobs.iter().map(JobRow::load_ratio).fold(0.0, f64::max);
+        assert_eq!(blame.load_ratio().to_bits(), max.to_bits());
+    }
+
+    #[test]
+    fn multi_machine_is_a_typed_error() {
+        let inst = online_instance();
+        let alg = Algorithm::AvrqM { m: 2 };
+        let ev = run_evaluated(&inst, 3.0, alg).expect("valid");
+        let err = attribute(&inst, 3.0, alg, &ev).expect_err("no YDS ladder");
+        assert!(matches!(err, AttributionError::MultiMachine { machines: 2 }));
+        assert!(err.to_string().contains("single-machine"));
+    }
+
+    #[test]
+    fn memoized_opt_matches_the_cold_path() {
+        let inst = online_instance();
+        let ev = run_evaluated(&inst, 2.0, Algorithm::Bkpq).expect("valid");
+        let cache = inst.opt_cache();
+        let warm =
+            attribute_with_opt(&inst, 2.0, Algorithm::Bkpq, &ev, Some(cache.energy(2.0)))
+                .expect("ok");
+        let cold = attribute(&inst, 2.0, Algorithm::Bkpq, &ev).expect("ok");
+        assert_eq!(warm, cold, "OptCache energies are bit-identical to cold YDS");
+    }
+
+    #[test]
+    fn perfect_play_attributes_to_one() {
+        // A single job where querying at the oracle split and running
+        // flat is exactly clairvoyant: every factor is 1.
+        let inst = QbssInstance::new(vec![QJob::new(0, 0.0, 2.0, 1.0, 3.0, 1.0)]);
+        let ev = run_evaluated(&inst, 3.0, Algorithm::Avrq).expect("valid");
+        let a = attribute(&inst, 3.0, Algorithm::Avrq, &ev).expect("ok");
+        assert!((a.ratio() - 1.0).abs() < 1e-9, "ratio {}", a.ratio());
+        for (name, f) in
+            [("query", a.query_loss), ("split", a.split_loss), ("sched", a.sched_loss)]
+        {
+            assert!((f - 1.0).abs() < 1e-9, "{name} loss {f}");
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let inst = online_instance();
+        let ev = run_evaluated(&inst, 3.0, Algorithm::Bkpq).expect("valid");
+        let a = attribute(&inst, 3.0, Algorithm::Bkpq, &ev).expect("ok");
+        let json = a.to_json();
+        let v = qbss_telemetry::json_parse(&json).expect("valid JSON");
+        for key in
+            ["algorithm", "ratio", "query_loss", "split_loss", "sched_loss", "blame_job", "jobs"]
+        {
+            assert!(v.get(key).is_some(), "missing `{key}` in {json}");
+        }
+        let ratio = v.get("ratio").and_then(qbss_telemetry::JsonValue::as_f64).expect("num");
+        assert_eq!(ratio.to_bits(), a.ratio().to_bits(), "shortest-round-trip floats");
+    }
+}

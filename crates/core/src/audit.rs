@@ -58,8 +58,10 @@ pub const AUDIT_SLACK: f64 = 1e-6;
 /// and the per-job load factor it guarantees (`p_j ≤ factor · p*_j`).
 ///
 /// `None` for rules the auditor cannot re-derive (none today — every
-/// family in [`Algorithm::all`] uses a deterministic rule).
-fn family_rule(algorithm: Algorithm) -> Option<(QueryRule, f64)> {
+/// family in [`Algorithm::all`] uses a deterministic rule). Shared
+/// with [`crate::attribution`], which reuses the factor for per-job
+/// Lemma 3.1 slack rows.
+pub(crate) fn family_rule(algorithm: Algorithm) -> Option<(QueryRule, f64)> {
     match algorithm {
         Algorithm::Avrq | Algorithm::AvrqM { .. } | Algorithm::AvrqMNonmig { .. } => {
             // Always-query: p_j = c_j + w*_j ≤ w_j + w*_j ≤ 2·p*_j.

@@ -51,6 +51,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod attribution;
 pub mod audit;
 pub mod decision;
 pub mod error;
@@ -64,6 +65,7 @@ pub mod policy;
 pub mod sim;
 pub mod stream;
 
+pub use attribution::{attribute, attribute_with_opt, Attribution, AttributionError, JobRow};
 pub use audit::{AuditReport, AuditViolation, Auditor, AUDIT_SLACK};
 pub use decision::Decision;
 pub use error::{AlgorithmError, ModelError, ModelErrorKind, QbssError, ValidationError};

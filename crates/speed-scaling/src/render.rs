@@ -1,9 +1,11 @@
-//! ASCII rendering of schedules and speed profiles.
+//! ASCII and SVG rendering of schedules and speed profiles.
 //!
 //! Small, dependency-free visual output for the CLI and the examples: a
-//! per-machine Gantt chart (which job runs when) and a speed sparkline
-//! (how fast the machine runs). Pure functions over the data model, so
-//! the renders are unit-testable.
+//! per-machine Gantt chart (which job runs when), a speed sparkline
+//! (how fast the machine runs), and a self-contained HTML timeline
+//! overlaying several speed profiles as step lines with shaded time
+//! bands. Pure functions over the data model, so the renders are
+//! unit-testable.
 
 use crate::profile::SpeedProfile;
 use crate::schedule::Schedule;
@@ -107,6 +109,176 @@ pub fn schedule_report(schedule: &Schedule) -> String {
     out
 }
 
+/// A shaded time band on the [`timeline_html`] canvas — a query window,
+/// a job's active interval, or any other annotated span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineBand {
+    /// Label drawn inside the band (escaped).
+    pub label: String,
+    /// Band start time.
+    pub start: f64,
+    /// Band end time.
+    pub end: f64,
+    /// Highlighted bands get a saturated fill and a border — used for
+    /// the blame job in `qbss explain`.
+    pub highlight: bool,
+}
+
+/// Escapes `&`, `<`, `>`, `"` and `'` for embedding in HTML/SVG text.
+fn html_esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Fixed line palette for timeline series, cycling past the end.
+const SERIES_COLORS: [&str; 4] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd"];
+
+/// Renders overlaid speed profiles as a self-contained HTML document:
+/// one step polyline per `(label, profile)` series, shaded rectangles
+/// for `bands` (highlighted bands drawn saturated, with a border), a
+/// legend and a time axis. No scripts, no external references — the
+/// file opens offline and survives strict CSPs.
+pub fn timeline_html(
+    title: &str,
+    series: &[(&str, &SpeedProfile)],
+    bands: &[TimelineBand],
+) -> String {
+    const W: f64 = 960.0;
+    const H: f64 = 340.0;
+    const ML: f64 = 56.0; // left margin (y labels)
+    const MR: f64 = 16.0;
+    const MT: f64 = 12.0;
+    const MB: f64 = 36.0; // bottom margin (t labels)
+
+    let mut t0 = f64::INFINITY;
+    let mut t1 = f64::NEG_INFINITY;
+    let mut vmax: f64 = 0.0;
+    for (_, p) in series {
+        t0 = t0.min(p.start());
+        t1 = t1.max(p.end());
+        vmax = vmax.max(p.max_speed());
+    }
+    for b in bands {
+        t0 = t0.min(b.start);
+        t1 = t1.max(b.end);
+    }
+    if !(t1 - t0).is_finite() || t1 <= t0 {
+        t0 = 0.0;
+        t1 = 1.0;
+    }
+    if vmax <= 0.0 {
+        vmax = 1.0;
+    }
+    let x = |t: f64| ML + (t - t0) / (t1 - t0) * (W - ML - MR);
+    let y = |v: f64| H - MB - (v / vmax) * (H - MT - MB);
+
+    let mut svg = String::with_capacity(4096);
+    svg.push_str(&format!(
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\n"
+    ));
+    // Plot frame.
+    svg.push_str(&format!(
+        "<rect x=\"{ML}\" y=\"{MT}\" width=\"{}\" height=\"{}\" class=\"frame\"/>\n",
+        W - ML - MR,
+        H - MT - MB
+    ));
+    // Bands under the lines.
+    for b in bands {
+        let (xa, xb) = (x(b.start.max(t0)), x(b.end.min(t1)));
+        if xb <= xa {
+            continue;
+        }
+        let class = if b.highlight { "band hot" } else { "band" };
+        svg.push_str(&format!(
+            "<rect x=\"{xa:.2}\" y=\"{MT}\" width=\"{:.2}\" height=\"{:.2}\" class=\"{class}\"/>\n",
+            xb - xa,
+            H - MT - MB
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{:.2}\" y=\"{:.2}\" class=\"bandlabel\">{}</text>\n",
+            xa + 3.0,
+            MT + 14.0,
+            html_esc(&b.label)
+        ));
+    }
+    // Step polylines.
+    for (i, (_, p)) in series.iter().enumerate() {
+        let color = SERIES_COLORS[i % SERIES_COLORS.len()];
+        let mut d = String::new();
+        for (k, (iv, v)) in p.segments().enumerate() {
+            let (xa, xb, yy) = (x(iv.start), x(iv.end), y(v));
+            if k == 0 {
+                d.push_str(&format!("M {xa:.2} {:.2} L {xa:.2} {yy:.2} ", y(0.0)));
+            }
+            d.push_str(&format!("L {xa:.2} {yy:.2} L {xb:.2} {yy:.2} "));
+        }
+        if let Some((iv, _)) = p.segments().last() {
+            d.push_str(&format!("L {:.2} {:.2}", x(iv.end), y(0.0)));
+        }
+        svg.push_str(&format!("<path d=\"{}\" class=\"line\" stroke=\"{color}\"/>\n", d.trim_end()));
+    }
+    // Axes: y max label, t range labels.
+    svg.push_str(&format!(
+        "<text x=\"{:.2}\" y=\"{:.2}\" class=\"axis\" text-anchor=\"end\">{vmax:.3}</text>\n",
+        ML - 6.0,
+        y(vmax) + 4.0
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{:.2}\" y=\"{:.2}\" class=\"axis\" text-anchor=\"end\">0</text>\n",
+        ML - 6.0,
+        y(0.0) + 4.0
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{ML}\" y=\"{:.2}\" class=\"axis\">t = {t0:.3}</text>\n",
+        H - MB + 18.0
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{:.2}\" y=\"{:.2}\" class=\"axis\" text-anchor=\"end\">t = {t1:.3}</text>\n",
+        W - MR,
+        H - MB + 18.0
+    ));
+    svg.push_str("</svg>\n");
+
+    let mut legend = String::new();
+    for (i, (label, p)) in series.iter().enumerate() {
+        let color = SERIES_COLORS[i % SERIES_COLORS.len()];
+        legend.push_str(&format!(
+            "<span class=\"key\"><span class=\"swatch\" style=\"background:{color}\"></span>\
+             {} (peak {:.3})</span>\n",
+            html_esc(label),
+            p.max_speed()
+        ));
+    }
+
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>{title}</title>\n<style>\n\
+         body {{ font: 13px/1.4 monospace; margin: 16px; color: #222; }}\n\
+         h1 {{ font-size: 15px; margin: 0 0 8px 0; }}\n\
+         .frame {{ fill: #fafafa; stroke: #999; }}\n\
+         .band {{ fill: #f2d99a; fill-opacity: 0.35; }}\n\
+         .band.hot {{ fill: #e4572e; fill-opacity: 0.35; stroke: #e4572e; }}\n\
+         .bandlabel {{ font: 11px monospace; fill: #555; }}\n\
+         .line {{ fill: none; stroke-width: 1.8; }}\n\
+         .axis {{ font: 11px monospace; fill: #555; }}\n\
+         .key {{ margin-right: 16px; }}\n\
+         .swatch {{ display: inline-block; width: 10px; height: 10px; margin-right: 4px; }}\n\
+         </style>\n</head>\n<body>\n<h1>{title}</h1>\n<p>{legend}</p>\n{svg}</body>\n</html>\n",
+        title = html_esc(title),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +347,43 @@ mod tests {
     #[test]
     fn report_empty_schedule() {
         assert_eq!(schedule_report(&Schedule::empty(2)), "(empty schedule)\n");
+    }
+
+    #[test]
+    fn timeline_is_self_contained_and_escaped() {
+        let alg = SpeedProfile::new(vec![0.0, 1.0, 2.0], vec![1.0, 2.0]);
+        let opt = SpeedProfile::new(vec![0.0, 2.0], vec![1.5]);
+        let bands = vec![
+            TimelineBand { label: "job <3> & co".into(), start: 0.2, end: 0.8, highlight: false },
+            TimelineBand { label: "blame".into(), start: 1.0, end: 1.5, highlight: true },
+        ];
+        let html = timeline_html("run \"x\" <demo>", &[("ALG", &alg), ("OPT", &opt)], &bands);
+        // Self-contained, no-scripts discipline.
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        for banned in ["<script", "http-equiv", "src=", "href="] {
+            assert!(!html.contains(banned), "must not contain {banned}: {html}");
+        }
+        // Every user string is escaped.
+        assert!(html.contains("run &quot;x&quot; &lt;demo&gt;"));
+        assert!(html.contains("job &lt;3&gt; &amp; co"));
+        // Two step lines, one plain band, one highlighted band.
+        assert_eq!(html.matches("class=\"line\"").count(), 2);
+        assert_eq!(html.matches("class=\"band\"").count(), 1);
+        assert_eq!(html.matches("class=\"band hot\"").count(), 1);
+        // Legend carries both labels and peaks.
+        assert!(html.contains("ALG (peak 2.000)") && html.contains("OPT (peak 1.500)"));
+    }
+
+    #[test]
+    fn timeline_step_geometry_spans_the_time_range() {
+        // A profile with a step at t=1 must produce a path that visits
+        // two distinct y levels; the axis labels carry the full range.
+        let p = SpeedProfile::new(vec![0.0, 1.0, 3.0], vec![2.0, 1.0]);
+        let html = timeline_html("t", &[("p", &p)], &[]);
+        assert!(html.contains("t = 0.000") && html.contains("t = 3.000"));
+        assert!(html.contains(">2.000</text>"), "y-max label: {html}");
+        // Degenerate inputs still render (no NaN coordinates).
+        let empty = timeline_html("empty", &[], &[]);
+        assert!(!empty.contains("NaN") && empty.contains("</svg>"));
     }
 }

@@ -417,6 +417,73 @@ fn domination_laws() {
     });
 }
 
+/// Decision attribution as a property: over **every** generator family
+/// × compressibility model × streamable algorithm, the three loss
+/// factors multiply back to the measured `E_ALG / E_OPT` within the
+/// attribution layer's identity tolerance, and every provably-≥ 1
+/// quantity respects `1 − FACTOR_TOL`: the query factor, the
+/// scheduling factor, and the product `query × split` (the split
+/// factor alone may dip below 1 — the per-job oracle split is not the
+/// joint optimum).
+#[test]
+fn attribution_identity_property() {
+    use qbss_core::attribution::FACTOR_TOL;
+    use qbss_core::pipeline::{run_evaluated, Algorithm};
+    use qbss_instances::gen::{self, Compressibility, GenConfig, QueryModel, TimeModel};
+
+    let streamable = [Algorithm::Avrq, Algorithm::Bkpq, Algorithm::Oaq];
+    for family in TimeModel::NAMES {
+        for compress in Compressibility::NAMES {
+            for seed in 0..3u64 {
+                let n = 4 + seed as usize;
+                let cfg = GenConfig {
+                    n,
+                    seed: 0xA11C ^ (seed * 131),
+                    time: TimeModel::from_name(family, n).expect("family table"),
+                    min_w: 0.5,
+                    max_w: 4.0,
+                    query: QueryModel::UniformFraction { lo: 0.1, hi: 0.6 },
+                    compress: Compressibility::from_name(compress).expect("compress table"),
+                };
+                let inst = gen::generate(&cfg);
+                for alg in streamable {
+                    for alpha in [2.0, 3.0] {
+                        let cell = format!("{family}/{compress} seed {seed} {alg:?} α={alpha}");
+                        let ev = run_evaluated(&inst, alpha, alg)
+                            .unwrap_or_else(|e| panic!("{cell}: run failed: {e}"));
+                        let a = qbss_core::attribute(&inst, alpha, alg, &ev)
+                            .unwrap_or_else(|e| panic!("{cell}: attribution failed: {e}"));
+                        a.check_identity().unwrap_or_else(|err| {
+                            panic!("{cell}: identity off by {err:.3e}")
+                        });
+                        for (name, f) in [
+                            ("query", a.query_loss),
+                            ("sched", a.sched_loss),
+                            ("query × split", a.query_loss * a.split_loss),
+                        ] {
+                            assert!(
+                                f >= 1.0 - FACTOR_TOL,
+                                "{cell}: {name} loss {f} below 1 - tol"
+                            );
+                        }
+                        assert!(
+                            a.split_loss.is_finite() && a.split_loss > 0.0,
+                            "{cell}: split loss {} degenerate",
+                            a.split_loss
+                        );
+                        // The blame job exists and tops the load ratios.
+                        let blame = a.blame_row().unwrap_or_else(|| panic!("{cell}: no blame"));
+                        assert!(a
+                            .jobs
+                            .iter()
+                            .all(|r| r.load_ratio() <= blame.load_ratio() + 1e-12));
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// A deterministic regression net: the exact YDS energies of a fixed
 /// instance at several α (guards against silent algorithmic drift).
 #[test]
