@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod complexity;
 pub mod engine;
 pub mod ensemble;
 pub mod par;
@@ -40,6 +41,7 @@ pub use engine::{
     GroupAggregate, InstanceSource, Instrumentation, StreamAgg, SweepSpec,
 };
 pub use engine::WorstCell;
+pub use complexity::{ComplexityBaseline, ComplexityCompare, ComplexityError};
 pub use ensemble::{measure_ensemble, EnsembleReport};
 pub use quality::{BuildInfo, QualityBaseline, QualityCompare, QualityError};
 pub use par::{par_map, par_map_seeds, par_map_stealing};

@@ -365,7 +365,17 @@ pub struct Baseline {
     /// --profile`); the schema-versioned `profiles` section of the
     /// JSON. Gate attribution needs both sides to carry one.
     pub profiles: BTreeMap<String, Profile>,
+    /// Per-scenario deterministic work-counter snapshot — one run's
+    /// exact op counts (see [`qbss_core::work::WORK_COUNTERS`]),
+    /// captured beside the timings. The gate cross-references them:
+    /// a wall-clock regression with byte-identical counters is timer
+    /// noise, one with moved counters is real extra work. Optional
+    /// schema-versioned section; pre-observatory baselines omit it.
+    pub work_counters: BTreeMap<String, BTreeMap<String, u64>>,
 }
+
+/// Schema tag of the optional `work_counters` baseline section.
+pub const WORK_SCHEMA: &str = "qbss-perf-work/1";
 
 /// Failures of the perf layer.
 #[derive(Debug)]
@@ -458,6 +468,7 @@ pub fn record_profiled(
     };
     let mut stats = BTreeMap::new();
     let mut profiles = BTreeMap::new();
+    let mut work_counters = BTreeMap::new();
     for sc in picked {
         let prepared = sc.prepare();
         let cells = prepared.cells();
@@ -475,10 +486,28 @@ pub fn record_profiled(
         }
         let mut samples_ms = Vec::with_capacity(config.repeats);
         let mut span_records = Vec::new();
-        for _ in 0..config.repeats.max(1) {
+        for rep in 0..config.repeats.max(1) {
+            // Work counters are deterministic per run, so bracketing
+            // the first timed repeat captures the scenario's exact
+            // per-run op counts with no extra execution.
+            let counters_before =
+                (rep == 0).then(|| qbss_telemetry::metrics().counter_values());
             let t0 = Instant::now();
             prepared.run_once(config.shards)?;
             samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            if let Some(before) = counters_before {
+                let after = qbss_telemetry::metrics().counter_values();
+                let delta: BTreeMap<String, u64> = after
+                    .into_iter()
+                    .filter(|(name, _)| qbss_core::work::is_work_counter(name))
+                    .map(|(name, v)| {
+                        let d = v - before.get(&name).copied().unwrap_or(0);
+                        (name, d)
+                    })
+                    .filter(|&(_, d)| d > 0)
+                    .collect();
+                work_counters.insert(sc.name.to_string(), delta);
+            }
             if let Some(ring) = profile_ring {
                 let jsonl = ring.drain_contents();
                 let records = qbss_telemetry::trace::parse_trace(&jsonl)
@@ -504,7 +533,13 @@ pub fn record_profiled(
             ScenarioStats { cells, samples_ms, median_ms, mad_ms, min_ms },
         );
     }
-    Ok(Baseline { env: EnvFingerprint::capture(), config, scenarios: stats, profiles })
+    Ok(Baseline {
+        env: EnvFingerprint::capture(),
+        config,
+        scenarios: stats,
+        profiles,
+        work_counters,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -549,12 +584,11 @@ impl Baseline {
                 if i + 1 < n { "," } else { "" },
             ));
         }
-        if self.profiles.is_empty() {
-            out.push_str("  }\n}\n");
-        } else {
+        out.push_str("  }");
+        if !self.profiles.is_empty() {
             // Schema-versioned, optional: baselines recorded without
             // --profile (and every pre-profiling baseline) omit it.
-            out.push_str("  },\n  \"profiles\": {\n");
+            out.push_str(",\n  \"profiles\": {\n");
             out.push_str(&format!("    \"schema\": \"{}\",\n", json_escape(PROFILE_SCHEMA)));
             out.push_str("    \"scenarios\": {\n");
             let n = self.profiles.len();
@@ -566,8 +600,30 @@ impl Baseline {
                     if i + 1 < n { "," } else { "" },
                 ));
             }
-            out.push_str("    }\n  }\n}\n");
+            out.push_str("    }\n  }");
         }
+        if !self.work_counters.is_empty() {
+            // Same optional-section shape as `profiles`: pre-observatory
+            // baselines omit it and still parse.
+            out.push_str(",\n  \"work_counters\": {\n");
+            out.push_str(&format!("    \"schema\": \"{}\",\n", json_escape(WORK_SCHEMA)));
+            out.push_str("    \"scenarios\": {\n");
+            let n = self.work_counters.len();
+            for (i, (name, counters)) in self.work_counters.iter().enumerate() {
+                let body: Vec<String> = counters
+                    .iter()
+                    .map(|(c, v)| format!("\"{}\": {v}", json_escape(c)))
+                    .collect();
+                out.push_str(&format!(
+                    "      \"{}\": {{{}}}{}\n",
+                    json_escape(name),
+                    body.join(", "),
+                    if i + 1 < n { "," } else { "" },
+                ));
+            }
+            out.push_str("    }\n  }");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -660,7 +716,40 @@ impl Baseline {
                 profiles.insert(name.clone(), profile);
             }
         }
-        Ok(Baseline { env, config, scenarios, profiles })
+        let mut work_counters = BTreeMap::new();
+        if let Some(section) = v.get("work_counters") {
+            let schema =
+                section.get("schema").and_then(JsonValue::as_str).unwrap_or_default();
+            if schema != WORK_SCHEMA {
+                return Err(PerfError::Parse(format!(
+                    "work_counters schema `{schema}` (expected `{WORK_SCHEMA}`)"
+                )));
+            }
+            let JsonValue::Obj(entries) = section
+                .get("scenarios")
+                .ok_or_else(|| bad("`work_counters` missing `scenarios`"))?
+            else {
+                return Err(bad("`work_counters.scenarios` must be an object"));
+            };
+            for (name, c) in entries {
+                let JsonValue::Obj(counters) = c else {
+                    return Err(PerfError::Parse(format!(
+                        "work counters for scenario `{name}` must be an object"
+                    )));
+                };
+                let mut map = BTreeMap::new();
+                for (counter, value) in counters {
+                    let v = value.as_u64().ok_or_else(|| {
+                        PerfError::Parse(format!(
+                            "scenario `{name}` counter `{counter}`: non-integer count"
+                        ))
+                    })?;
+                    map.insert(counter.clone(), v);
+                }
+                work_counters.insert(name.clone(), map);
+            }
+        }
+        Ok(Baseline { env, config, scenarios, profiles, work_counters })
     }
 }
 
@@ -743,6 +832,49 @@ pub struct ScenarioDelta {
     /// most [`BLAME_TOP_K`]) whose per-run self time grew past the
     /// noise threshold, largest delta first.
     pub blame: Vec<PathBlame>,
+    /// Work-counter cross-reference, for a regressed scenario where
+    /// both baselines carry a counter snapshot: the counters whose
+    /// per-run op counts differ. `Some(vec![])` means every counter is
+    /// byte-identical — the wall-clock regression is timer noise, not
+    /// extra work. `None` when either side lacks a snapshot.
+    pub counter_moves: Option<Vec<CounterMove>>,
+}
+
+/// One work counter whose per-run count changed between two baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterMove {
+    /// Catalogued counter name.
+    pub counter: String,
+    /// Count in the base snapshot (0 when absent).
+    pub base: u64,
+    /// Count in the new snapshot (0 when absent).
+    pub new: u64,
+}
+
+impl CounterMove {
+    /// Relative change in percent, when the base count is positive.
+    pub fn percent(&self) -> Option<f64> {
+        (self.base > 0)
+            .then(|| (self.new as f64 - self.base as f64) / self.base as f64 * 100.0)
+    }
+}
+
+/// The counters whose counts differ between two snapshots, name order.
+fn counter_moves(
+    base: &BTreeMap<String, u64>,
+    new: &BTreeMap<String, u64>,
+) -> Vec<CounterMove> {
+    let mut names: Vec<&String> = base.keys().collect();
+    names.extend(new.keys().filter(|k| !base.contains_key(*k)));
+    names.sort();
+    names
+        .into_iter()
+        .filter_map(|name| {
+            let b = base.get(name).copied().unwrap_or(0);
+            let n = new.get(name).copied().unwrap_or(0);
+            (b != n).then(|| CounterMove { counter: name.clone(), base: b, new: n })
+        })
+        .collect()
 }
 
 /// Everything `qbss perf compare` / `gate` reports.
@@ -879,6 +1011,29 @@ impl CompareReport {
                     d.name
                 ));
             }
+            // The deterministic cross-check: op counts either moved
+            // (real extra work) or didn't (timer noise).
+            match &d.counter_moves {
+                Some(moves) if moves.is_empty() => {
+                    out.push_str(&format!(
+                        "{}: work counters unchanged — likely timer noise, not extra work\n",
+                        d.name
+                    ));
+                }
+                Some(moves) => {
+                    out.push_str(&format!("{}: real work change — op counts moved:\n", d.name));
+                    for m in moves {
+                        let rel = m
+                            .percent()
+                            .map_or_else(String::new, |p| format!(" ({p:+.0}%)"));
+                        out.push_str(&format!(
+                            "  {}  {} → {}{rel}\n",
+                            m.counter, m.base, m.new
+                        ));
+                    }
+                }
+                None => {} // no snapshots on one side; nothing to say
+            }
         }
         let regressed = self.regressions().len();
         if regressed == 0 {
@@ -968,6 +1123,16 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
                         ),
                         _ => Vec::new(),
                     };
+                    // Counter cross-reference: only meaningful for a
+                    // regression, and only when both sides snapshot.
+                    let moves = match (
+                        regressed,
+                        base.work_counters.get(name),
+                        new.work_counters.get(name),
+                    ) {
+                        (true, Some(bc), Some(nc)) => Some(counter_moves(bc, nc)),
+                        _ => None,
+                    };
                     ScenarioDelta {
                         name: name.clone(),
                         base_ms: Some(b.median_ms),
@@ -978,6 +1143,7 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
                         has_profiles,
                         base_has_profile,
                         blame,
+                        counter_moves: moves,
                     }
                 }
                 (Some(b), None) => ScenarioDelta {
@@ -990,6 +1156,7 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
                     has_profiles,
                     base_has_profile,
                     blame: Vec::new(),
+                    counter_moves: None,
                 },
                 (None, n) => ScenarioDelta {
                     name: name.clone(),
@@ -1001,6 +1168,7 @@ pub fn compare(base: &Baseline, new: &Baseline, threshold: Threshold) -> Compare
                     has_profiles,
                     base_has_profile,
                     blame: Vec::new(),
+                    counter_moves: None,
                 },
             }
         })
@@ -1038,7 +1206,17 @@ mod tests {
                 .map(|(name, s)| (name.to_string(), stats(s)))
                 .collect(),
             profiles: BTreeMap::new(),
+            work_counters: BTreeMap::new(),
         }
+    }
+
+    /// Attaches a work-counter snapshot to one scenario.
+    fn with_counters(mut b: Baseline, name: &str, counters: &[(&str, u64)]) -> Baseline {
+        b.work_counters.insert(
+            name.to_string(),
+            counters.iter().map(|&(c, v)| (c.to_string(), v)).collect(),
+        );
+        b
     }
 
     /// Attaches a profile parsed from folded text to one scenario.
@@ -1147,6 +1325,96 @@ mod tests {
         assert_eq!(back.to_json(), json, "canonical form is stable");
         // Pre-profiling baselines still parse (back-compat).
         assert_eq!(Baseline::parse(&plain.to_json()).expect("old format"), plain);
+    }
+
+    #[test]
+    fn work_counter_baseline_round_trips_and_plain_format_is_unchanged() {
+        let plain = baseline(&[("a", &[10.0, 11.0])]);
+        assert!(!plain.to_json().contains("work_counters"), "no empty section");
+        let counted = with_counters(
+            plain.clone(),
+            "a",
+            &[("yds.intervals_scanned", 1234), ("oa.hull_updates", 56)],
+        );
+        let json = counted.to_json();
+        assert!(json.contains("\"work_counters\""), "{json}");
+        assert!(json.contains(WORK_SCHEMA), "{json}");
+        let back = Baseline::parse(&json).expect("round trip");
+        assert_eq!(back, counted);
+        assert_eq!(back.to_json(), json, "canonical form is stable");
+        // Pre-observatory baselines still parse (back-compat), and the
+        // sections compose: profiles + work_counters together.
+        assert_eq!(Baseline::parse(&plain.to_json()).expect("old format"), plain);
+        let both = with_profile(counted, "a", "root 30 1\n");
+        let json = both.to_json();
+        assert_eq!(Baseline::parse(&json).expect("both sections"), both);
+        let err = Baseline::parse(&json.replace(WORK_SCHEMA, "qbss-perf-work/999"))
+            .expect_err("wrong work schema");
+        assert!(err.to_string().contains("work_counters schema"), "{err}");
+    }
+
+    #[test]
+    fn gate_cross_references_work_counters() {
+        // A 3× wall regression with byte-identical counters: explain
+        // must call it timer noise.
+        let base = with_counters(
+            baseline(&[("a", &[100.0, 100.0])]),
+            "a",
+            &[("yds.intervals_scanned", 1000)],
+        );
+        let noisy = with_counters(
+            baseline(&[("a", &[300.0, 300.0])]),
+            "a",
+            &[("yds.intervals_scanned", 1000)],
+        );
+        let t = Threshold::default();
+        let report = compare(&base, &noisy, t);
+        assert_eq!(report.deltas[0].counter_moves, Some(vec![]));
+        let out = report.render_explain(t);
+        assert!(out.contains("work counters unchanged — likely timer noise"), "{out}");
+        // Same regression with moved counts: explain must name the
+        // counter with old → new and the relative change.
+        let real = with_counters(
+            baseline(&[("a", &[300.0, 300.0])]),
+            "a",
+            &[("yds.intervals_scanned", 1380)],
+        );
+        let report = compare(&base, &real, t);
+        let moves = report.deltas[0].counter_moves.as_ref().expect("both sides snapshot");
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].counter, "yds.intervals_scanned");
+        let out = report.render_explain(t);
+        assert!(out.contains("real work change"), "{out}");
+        assert!(out.contains("yds.intervals_scanned  1000 → 1380 (+38%)"), "{out}");
+        // No snapshot on one side: neither note appears.
+        let bare = baseline(&[("a", &[300.0, 300.0])]);
+        let out = compare(&base, &bare, t).render_explain(t);
+        assert!(!out.contains("timer noise") && !out.contains("real work change"), "{out}");
+        // Non-regressed scenarios never carry the cross-reference.
+        let fine = with_counters(
+            baseline(&[("a", &[101.0, 101.0])]),
+            "a",
+            &[("yds.intervals_scanned", 1380)],
+        );
+        assert_eq!(compare(&base, &fine, t).deltas[0].counter_moves, None);
+    }
+
+    #[test]
+    fn record_snapshots_work_counters_beside_timings() {
+        let cfg = PerfConfig { warmup: 0, repeats: 2, shards: 1 };
+        let b = record(&["ci-small".to_string()], cfg).expect("scenario runs");
+        let counters = b.work_counters.get("ci-small").expect("snapshot captured");
+        assert!(
+            counters.keys().all(|k| qbss_core::work::is_work_counter(k)),
+            "only catalogued work counters belong in the snapshot: {counters:?}"
+        );
+        assert!(
+            counters.values().all(|&v| v > 0),
+            "zero-delta counters are omitted: {counters:?}"
+        );
+        // ci-small runs YDS (via the OPT cache) on common-deadline
+        // instances, so the YDS scan counters must be present.
+        assert!(counters.contains_key("yds.intervals_scanned"), "{counters:?}");
     }
 
     #[test]

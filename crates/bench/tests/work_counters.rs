@@ -1,0 +1,163 @@
+//! The determinism contract of the work-counter observatory: op counts
+//! are a pure function of the code under test. Same workload → same
+//! counts, whatever the shard layout, log level, or batch/streaming
+//! entry point. The CI `complexity-gate` job proves the byte-level
+//! version of the same contract across two *cold* processes with
+//! `cmp`; these tests pin the in-process invariants the gate's
+//! exactness rests on.
+//!
+//! All tests share the process-global counter registry, so they
+//! serialize on one lock and compare snapshot *deltas*, never absolute
+//! counts.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use qbss_bench::complexity;
+use qbss_bench::engine::{run_sweep, InstanceSource, SweepSpec};
+use qbss_core::pipeline::Algorithm;
+use qbss_core::work::is_work_counter;
+use qbss_instances::gen::{generate, GenConfig};
+use qbss_telemetry::{Filter, RingSink, SinkTarget};
+use speed_scaling::job::{Instance, Job};
+use speed_scaling::oa::oa_profile;
+use speed_scaling::stream::{release_ordered, OaStream};
+
+/// Serializes the tests in this binary: counter deltas are only
+/// meaningful when no other workload moves the global registry.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `f` and returns the positive work-counter deltas it caused.
+fn work_delta<F: FnOnce()>(f: F) -> BTreeMap<String, u64> {
+    let before = qbss_telemetry::metrics().counter_values();
+    f();
+    qbss_telemetry::metrics()
+        .counter_values()
+        .into_iter()
+        .filter(|(name, _)| is_work_counter(name))
+        .map(|(name, v)| {
+            let b = before.get(&name).copied().unwrap_or(0);
+            (name, v - b)
+        })
+        .filter(|&(_, d)| d > 0)
+        .collect()
+}
+
+/// The classical view of the pinned online family — the same mapping
+/// `complexity::record`'s scenarios use.
+fn online_instance(n: usize, seed: u64) -> Instance {
+    let q = generate(&GenConfig::online_default(n, seed));
+    Instance::new(
+        q.jobs
+            .iter()
+            .map(|j| Job::new(j.id, j.release, j.deadline, j.upper_bound))
+            .collect(),
+    )
+}
+
+#[test]
+fn complexity_record_is_byte_identical_across_runs() {
+    let _guard = lock();
+    let names = vec!["avr-stream".to_string(), "oa-stream".to_string()];
+    let first = complexity::record(&names).expect("first record");
+    let second = complexity::record(&names).expect("second record");
+    // Counters are cumulative process globals, but the record brackets
+    // every cell with snapshots and stores deltas — so a re-record in
+    // the same (now warm) process must still serialize byte-for-byte.
+    assert_eq!(first.to_json(), second.to_json(), "records must be byte-identical");
+}
+
+#[test]
+fn sweep_counter_totals_are_shard_independent() {
+    let _guard = lock();
+    let spec = || SweepSpec {
+        source: InstanceSource::Generated {
+            base: GenConfig::online_default(60, 0),
+            seeds: 0..4,
+        },
+        algorithms: vec![Algorithm::Avrq, Algorithm::Oaq],
+        alphas: vec![3.0],
+        opt_fw_iters: 0,
+    };
+    let one = work_delta(|| {
+        run_sweep(&spec(), 1).expect("sweep shards=1");
+    });
+    let two = work_delta(|| {
+        run_sweep(&spec(), 2).expect("sweep shards=2");
+    });
+    let four = work_delta(|| {
+        run_sweep(&spec(), 4).expect("sweep shards=4");
+    });
+    assert!(!one.is_empty(), "the sweep must move work counters");
+    assert_eq!(one, two, "shards=2 must do identical work");
+    assert_eq!(one, four, "shards=4 must do identical work");
+}
+
+#[test]
+fn log_level_does_not_change_op_counts() {
+    let _guard = lock();
+    let workload = || {
+        let inst = online_instance(250, 0);
+        let mut s = OaStream::new();
+        for job in release_ordered(&inst) {
+            s.on_arrival(job);
+        }
+        let _ = s.finish();
+        run_sweep(
+            &SweepSpec {
+                source: InstanceSource::Generated {
+                    base: GenConfig::online_default(40, 0),
+                    seeds: 0..2,
+                },
+                algorithms: vec![Algorithm::Avrq],
+                alphas: vec![3.0],
+                opt_fw_iters: 0,
+            },
+            1,
+        )
+        .expect("sweep");
+    };
+    // Telemetry disabled (the default test state) …
+    qbss_telemetry::shutdown();
+    let silent = work_delta(workload);
+    // … versus a verbose `QBSS_LOG=debug`-equivalent pipeline with
+    // spans on: counters count algorithmic progress, not log traffic.
+    let ring = RingSink::default();
+    qbss_telemetry::init(qbss_telemetry::Config {
+        filter: Filter::parse("debug").expect("valid filter"),
+        sink: SinkTarget::Ring(ring),
+        spans: true,
+    })
+    .expect("fresh init");
+    let verbose = work_delta(workload);
+    qbss_telemetry::shutdown();
+    assert!(!silent.is_empty(), "the workload must move work counters");
+    assert_eq!(silent, verbose, "log level must not change op counts");
+}
+
+#[test]
+fn streaming_and_batch_oa_do_identical_hull_work() {
+    let _guard = lock();
+    let inst = online_instance(300, 0);
+    let batch = work_delta(|| {
+        let _ = oa_profile(&inst);
+    });
+    let streamed = work_delta(|| {
+        let mut s = OaStream::new();
+        for job in release_ordered(&inst) {
+            s.on_arrival(job);
+        }
+        let _ = s.finish();
+    });
+    for counter in ["oa.hull_updates", "oa.hull_pops"] {
+        assert_eq!(
+            batch.get(counter),
+            streamed.get(counter),
+            "`{counter}` must be identical batch vs streamed"
+        );
+    }
+    assert!(batch.get("oa.hull_updates").copied().unwrap_or(0) > 0, "hull must move: {batch:?}");
+}

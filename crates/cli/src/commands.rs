@@ -22,6 +22,7 @@ use std::path::{Path, PathBuf};
 
 use qbss_bench::engine::{run_sweep_audited, EngineReport, InstanceSource, SweepSpec};
 use qbss_bench::perf::{self, Baseline, PerfConfig, Threshold};
+use qbss_bench::complexity::{self, ComplexityBaseline};
 use qbss_bench::quality::{self, QualityBaseline};
 use qbss_bench::{BuildInfo, StreamSession};
 use qbss_telemetry::profile::Profile;
@@ -82,6 +83,13 @@ USAGE:
   qbss quality  gate    --base FILE [--new FILE] [--shards S] [--explain]
                   (pinned competitive-ratio scenarios; the gate is exact —
                    any worsened max ratio or bound headroom exits 3)
+  qbss complexity record  [--out FILE] [--scenarios LIST] [--format json|csv]
+                          [--trace FILE]
+  qbss complexity compare BASE NEW
+  qbss complexity gate    --base FILE [--new FILE] [--explain]
+                  (deterministic op counters swept over n-grids; the gate
+                   is exact — any increased count at any grid point or a
+                   fitted-exponent increase beyond +0.05 exits 3)
   qbss prof     record  (--trace FILE | --scenario NAME [--repeats N] [--warmup N]
                         [--shards S]) [--collapse LIST] [--counts-only] [--out FILE]
   qbss prof     diff    BASE NEW [--top K]
@@ -100,7 +108,7 @@ OBSERVABILITY:
 
 EXIT CODES:
   0 success | 1 algorithm failure | 2 bad input
-  3 I/O failure or a perf/quality-gate regression
+  3 I/O failure or a perf/quality/complexity-gate regression
   (`qbss serve` exits 0 on SIGTERM/ctrl-c after draining in-flight requests)";
 
 /// A subcommand failure, carrying its exit code.
@@ -112,9 +120,9 @@ pub enum CliError {
     Algorithm(QbssError),
     /// The file system failed (exit code 3).
     Io(String),
-    /// `qbss perf gate` or `qbss quality gate` found a regression
-    /// (exit code 3, like a CI infrastructure failure: the build is
-    /// not acceptable as-is).
+    /// `qbss perf gate`, `qbss quality gate`, or `qbss complexity
+    /// gate` found a regression (exit code 3, like a CI infrastructure
+    /// failure: the build is not acceptable as-is).
     Gate(String),
 }
 
@@ -1525,6 +1533,120 @@ pub fn quality_cmd(args: &[String]) -> Result<(), CliError> {
 }
 
 // ---------------------------------------------------------------------
+// `qbss complexity` — deterministic op counters, exact asymptotic gate
+// ---------------------------------------------------------------------
+
+const COMPLEXITY_USAGE: &str = "usage: qbss complexity record  [--out FILE] [--scenarios LIST] [--format json|csv] [--trace FILE]\n       \
+                                 qbss complexity compare BASE NEW\n       \
+                                 qbss complexity gate    --base FILE [--new FILE] [--explain]";
+
+/// Loads and parses a complexity baseline: a missing file is an I/O
+/// failure, a schema violation is bad input.
+fn load_complexity_baseline(path: &str) -> Result<ComplexityBaseline, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    ComplexityBaseline::parse(&text).map_err(|e| input(format!("{path}: {e}")))
+}
+
+fn complexity_record(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["out", "scenarios", "format", "trace"])?;
+    let _telemetry = init_telemetry(&flags)?;
+    let _span = qbss_telemetry::span!("cli.complexity.record");
+    let names = scenario_names(&flags);
+    let baseline = complexity::record(&names).map_err(|e| input(e.to_string()))?;
+    let body = match flags.get("format").unwrap_or("json") {
+        "json" => baseline.to_json(),
+        "csv" => baseline.to_csv(),
+        other => return Err(input(format!("unknown format `{other}` (expected json|csv)"))),
+    };
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            status_user(&format!(
+                "wrote complexity baseline ({} scenario(s)) to {path}",
+                baseline.scenarios.len()
+            ));
+        }
+        None => print!("{body}"),
+    }
+    Ok(())
+}
+
+fn complexity_compare(args: &[String]) -> Result<(), CliError> {
+    let Some((base_path, rest)) = args.split_first() else {
+        return Err(input(format!(
+            "complexity compare needs BASE and NEW files\n{COMPLEXITY_USAGE}"
+        )));
+    };
+    let Some((new_path, flag_args)) = rest.split_first() else {
+        return Err(input(format!("complexity compare needs a NEW file\n{COMPLEXITY_USAGE}")));
+    };
+    Flags::parse(flag_args, &[])?;
+    let base = load_complexity_baseline(base_path)?;
+    let new = load_complexity_baseline(new_path)?;
+    print!("{}", complexity::compare(&base, &new).render());
+    Ok(())
+}
+
+fn complexity_gate(args: &[String]) -> Result<(), CliError> {
+    let flags =
+        Flags::parse_with_switches(args, &["base", "new", "explain", "trace"], &["explain"])?;
+    let _telemetry = init_telemetry(&flags)?;
+    let _span = qbss_telemetry::span!("cli.complexity.gate");
+    let base_path = flags.get("base").ok_or_else(|| input("--base FILE is required"))?;
+    let base = load_complexity_baseline(base_path)?;
+    let new = match flags.get("new") {
+        Some(path) => load_complexity_baseline(path)?,
+        // No --new: re-count the baseline's own scenarios live. The
+        // counters are deterministic, so a clean gate means byte-equal
+        // counts at every grid point.
+        None => {
+            let names: Vec<String> = base.scenarios.keys().cloned().collect();
+            complexity::record(&names).map_err(|e| input(e.to_string()))?
+        }
+    };
+    let report = complexity::compare(&base, &new);
+    // `--explain` names the counter, grid point, and old → new counts
+    // for every regression.
+    if flags.switch("explain")? {
+        print!("{}", report.render_explain());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.is_clean() {
+        return Ok(());
+    }
+    // An intentional work change (algorithm rewrite, new scenario
+    // shape) is accepted by re-recording the baseline, never by
+    // loosening the comparison — the gate is exact.
+    if std::env::var("QBSS_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::write(base_path, new.to_json())
+            .map_err(|e| CliError::Io(format!("cannot write {base_path}: {e}")))?;
+        status_user(&format!("QBSS_BLESS=1: re-blessed {base_path} with the new counts"));
+        return Ok(());
+    }
+    Err(CliError::Gate(format!(
+        "{} complexity regression(s) against {base_path} (rerun with QBSS_BLESS=1 to re-bless)",
+        report.regressions.len()
+    )))
+}
+
+/// `qbss complexity` — record deterministic op-count curves, diff them,
+/// gate CI exactly on any extra work.
+pub fn complexity_cmd(args: &[String]) -> Result<(), CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(input(COMPLEXITY_USAGE));
+    };
+    match action.as_str() {
+        "record" => complexity_record(rest),
+        "compare" => complexity_compare(rest),
+        "gate" => complexity_gate(rest),
+        other => Err(input(format!("unknown complexity action `{other}`\n{COMPLEXITY_USAGE}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
 // `qbss explain` — per-job decision attribution for one cell
 // ---------------------------------------------------------------------
 
@@ -2152,6 +2274,7 @@ mod tests {
             ))
             .collect(),
             profiles: Default::default(),
+            work_counters: Default::default(),
         }
     }
 

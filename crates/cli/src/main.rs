@@ -32,6 +32,10 @@
 //!   scenarios digested into per-group max/mean/p95 and bound headroom;
 //!   the gate is exact (seeds pinned, aggregates byte-deterministic) and
 //!   exits 3 on any worsened max ratio or headroom;
+//! * `qbss complexity record|compare|gate` — deterministic op-count
+//!   curves: pinned scaling scenarios swept over n-grids, per-counter
+//!   log-log exponent fits, and an exact gate that exits 3 on any
+//!   increased count at any grid point;
 //! * `qbss explain` — factor one cell's energy ratio into
 //!   query × split × sched losses, print per-job decision rows with the
 //!   blame job, optionally render an ALG-vs-OPT HTML timeline;
@@ -89,6 +93,7 @@ fn main() -> ExitCode {
         "trace" => commands::trace(rest),
         "perf" => commands::perf(rest),
         "quality" => commands::quality_cmd(rest),
+        "complexity" => commands::complexity_cmd(rest),
         "explain" => commands::explain(rest),
         "prof" => commands::prof(rest),
         "version" | "--version" | "-V" => commands::version(),

@@ -195,6 +195,7 @@ fn perf_gate_explain_prints_the_full_breakdown() {
             .map(|(name, s)| (name.to_string(), stats(s)))
             .collect::<BTreeMap<String, ScenarioStats>>(),
         profiles: BTreeMap::new(),
+        work_counters: BTreeMap::new(),
     };
 
     let base_path = tmp("explain_base.json");

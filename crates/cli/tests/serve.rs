@@ -302,6 +302,71 @@ fn serve_scrapes_evaluates_and_drains() {
     assert_eq!(wait_exit(child), Some(0), "signalled drain must exit 0");
 }
 
+/// Every counter in the canonical [`qbss_core::WORK_COUNTERS`] catalog
+/// must surface in the `/metrics` exposition once its code path has
+/// run — the catalog is the source of truth, so a counter added to a
+/// solver without a catalog entry (or vice versa) fails here.
+#[test]
+fn work_counters_surface_in_the_metrics_exposition() {
+    let (child, addr) = start_server(&[]);
+    wait_ready(&addr);
+
+    // One evaluate per solver family: AVR/BKP/OA cover their stream
+    // counters, any single-machine ratio computes OPT (YDS + cache),
+    // and the multi-machine OAQ(m) plan runs Frank–Wolfe.
+    for alg in ["avrq", "bkpq", "oaq", "oaq-m:2:4"] {
+        let (status, _, body) =
+            http(&addr, "POST", &format!("/evaluate?alg={alg}&alpha=3"), &valid_instance_json());
+        assert_eq!(status, 200, "evaluate {alg}: {body}");
+    }
+
+    // A sweep with two algorithms on the same instances: the second
+    // cell answers its OPT lookups from the shared cache
+    // (`cache.opt_energy.hits`).
+    let (status, _, body) = http(
+        &addr,
+        "POST",
+        "/sweep",
+        r#"{"count": 1, "n": 5, "alg": ["avrq", "oaq"], "alpha": 3}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+
+    // A streaming session drives the incremental engine (`solver.*`).
+    let (status, _, body) = http(&addr, "POST", "/session?alg=avrq&alpha=3", "");
+    assert_eq!(status, 200, "{body}");
+    let id: u64 = body
+        .split("\"session\": ")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no session id in {body}"));
+    let job = "{\"id\": 0, \"release\": 0.0, \"deadline\": 2.0, \"query_load\": 0.2, \
+               \"upper_bound\": 2.0, \"exact\": 0.3}";
+    let (status, _, body) = http(&addr, "POST", &format!("/session/{id}/arrive"), job);
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = http(&addr, "POST", &format!("/session/{id}/advance?t=1.0"), "");
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = http(&addr, "POST", &format!("/session/{id}/finish"), "");
+    assert_eq!(status, 200, "{body}");
+
+    // The scrape lists every catalogued work counter with a positive
+    // count — enumerated from the catalog, not a hand-rolled list.
+    let (status, _, scrape) = http(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for (name, _) in qbss_core::WORK_COUNTERS {
+        let pname = qbss_telemetry::expo::sanitize_name(name);
+        let value: u64 = scrape
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{pname} ")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("work counter `{name}` missing from /metrics:\n{scrape}"));
+        assert!(value > 0, "work counter `{name}` never fired ({pname} = 0)");
+    }
+
+    sigterm(&child);
+    assert_eq!(wait_exit(child), Some(0));
+}
+
 /// Sends raw bytes (not necessarily valid HTTP) and returns whatever
 /// came back — empty on a clean server-side close.
 fn raw(addr: &str, bytes: &[u8]) -> String {

@@ -64,6 +64,7 @@ pub mod pipeline;
 pub mod policy;
 pub mod sim;
 pub mod stream;
+pub mod work;
 
 pub use attribution::{attribute, attribute_with_opt, Attribution, AttributionError, JobRow};
 pub use audit::{AuditReport, AuditViolation, Auditor, AUDIT_SLACK};
@@ -79,3 +80,4 @@ pub use policy::{QueryRule, SplitRule, Strategy, INV_PHI, PHI};
 pub use stream::{
     arrival_ordered, solver_for, OnlineSolver, SpeedDelta, StreamError, StreamingSolver,
 };
+pub use work::{is_work_counter, work_counter_names, WorkCounter, WORK_COUNTERS};

@@ -223,6 +223,9 @@ pub fn multi_opt_frank_wolfe(
     let mut energy = total_energy(&x);
     let mut gap = f64::INFINITY;
     let mut done = 0usize;
+    // Work counters accumulate in locals and land with one `add` per
+    // solve, keeping the iteration loop free of atomic traffic.
+    let mut fw_gradient_evals = 0_u64;
     for it in 0..iters {
         // Gradients per interval.
         let grads: Vec<Vec<f64>> = intervals
@@ -230,6 +233,7 @@ pub fn multi_opt_frank_wolfe(
             .enumerate()
             .map(|(k, &(a, b))| inner_gradient(&x[k], b - a, m, alpha))
             .collect();
+        fw_gradient_evals += nk as u64;
         // LMO: each job moves its full mass to its cheapest interval.
         let mut s = vec![vec![0.0f64; nj]; nk];
         let mut fw_gap = 0.0;
@@ -270,6 +274,8 @@ pub fn multi_opt_frank_wolfe(
         }
         energy = val;
     }
+    qbss_telemetry::counter!("fw.iterations").add(done as u64);
+    qbss_telemetry::counter!("fw.gradient_evals").add(fw_gradient_evals);
 
     FwSolution { energy, gap, iterations: done, intervals, placement: x }
 }

@@ -96,6 +96,7 @@ impl AvrStream {
         let delta = job.density();
         self.deltas.push((job.release, delta));
         self.deltas.push((job.deadline, -delta));
+        qbss_telemetry::counter!("avr.delta_events").add(2);
         self.jobs.push(job);
     }
 
@@ -128,6 +129,7 @@ impl AvrStream {
             }
             values.push(level.max(0.0));
         }
+        qbss_telemetry::counter!("avr.grid_segments").add(values.len() as u64);
         SpeedProfile::new(grid, values)
     }
 }
@@ -152,11 +154,15 @@ pub fn intensity_over(arrived: &[Job], t: f64) -> f64 {
     let mut by_deadline: Vec<&Job> = arrived.iter().collect();
     by_deadline.sort_by(|a, b| a.deadline.partial_cmp(&b.deadline).expect("finite deadline"));
 
+    // One window slide = one (t1, t2) candidate step of the sweep;
+    // accumulated locally, landed with a single `add` per query.
+    let mut window_slides = 0_u64;
     let mut best = 0.0_f64;
     for t1 in arrived.iter().map(|j| j.release).filter(|&r| r < t && r.is_finite()) {
         let mut acc = 0.0_f64;
         let mut p = 0usize;
         for cand in by_deadline.iter().map(|j| j.deadline).filter(|&d| d + EPS >= t) {
+            window_slides += 1;
             while p < by_deadline.len() && by_deadline[p].deadline <= cand + EPS {
                 if by_deadline[p].release + EPS >= t1 {
                     acc += by_deadline[p].work;
@@ -168,6 +174,8 @@ pub fn intensity_over(arrived: &[Job], t: f64) -> f64 {
             }
         }
     }
+    qbss_telemetry::counter!("bkp.intensity_queries").inc();
+    qbss_telemetry::counter!("bkp.window_slides").add(window_slides);
     best
 }
 
@@ -414,6 +422,10 @@ impl OaStream {
         self.hull_w.clear();
         self.hull_x.push(0.0);
         self.hull_w.push(0.0);
+        // Hull work accumulates locally; one `add` per replan keeps the
+        // monotone-stack loop free of atomic traffic.
+        let mut hull_updates = 0_u64;
+        let mut hull_pops = 0_u64;
         let mut cum = 0.0_f64;
         let mut i = 0usize;
         while i < self.active.len() {
@@ -432,13 +444,17 @@ impl OaStream {
                 if s_prev <= s_new {
                     self.hull_x.pop();
                     self.hull_w.pop();
+                    hull_pops += 1;
                 } else {
                     break;
                 }
             }
             self.hull_x.push(x);
             self.hull_w.push(cum);
+            hull_updates += 1;
         }
+        qbss_telemetry::counter!("oa.hull_updates").add(hull_updates);
+        qbss_telemetry::counter!("oa.hull_pops").add(hull_pops);
         for k in 1..self.hull_x.len() {
             let speed = (self.hull_w[k] - self.hull_w[k - 1])
                 / (self.hull_x[k] - self.hull_x[k - 1]);

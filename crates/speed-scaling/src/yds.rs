@@ -228,10 +228,15 @@ fn critical_interval(jobs: &[WorkItem]) -> Option<(f64, f64, f64)> {
     let mut by_deadline: Vec<&WorkItem> = jobs.iter().collect();
     by_deadline.sort_by(|x, y| x.deadline.partial_cmp(&y.deadline).expect("finite"));
 
+    // Work accumulates in locals and lands with one `add` per call so
+    // the O(k²) scan stays free of atomic traffic.
+    let mut intervals_scanned = 0_u64;
+    let mut density_evals = 0_u64;
     let mut best: Option<(f64, f64, f64)> = None;
     for &t1 in &releases {
         let mut acc = 0.0;
         for j in &by_deadline {
+            intervals_scanned += 1;
             if j.release + EPS < t1 {
                 continue;
             }
@@ -244,12 +249,15 @@ fn critical_interval(jobs: &[WorkItem]) -> Option<(f64, f64, f64)> {
             // sharing this deadline appear consecutively; evaluating at
             // each of them is harmless (earlier ones see a partial sum
             // that is dominated by the final one).
+            density_evals += 1;
             let g = acc / (t2 - t1);
             if best.is_none_or(|(_, _, gb)| g > gb) {
                 best = Some((t1, t2, g));
             }
         }
     }
+    qbss_telemetry::counter!("yds.intervals_scanned").add(intervals_scanned);
+    qbss_telemetry::counter!("yds.density_evals").add(density_evals);
     best
 }
 

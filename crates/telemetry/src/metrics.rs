@@ -346,6 +346,20 @@ impl Registry {
         }
     }
 
+    /// Every registered counter's current value, by name in canonical
+    /// order. This is the capture primitive behind the complexity
+    /// runner's per-cell work deltas: two snapshots bracket a unit of
+    /// work and their difference is the exact operation count.
+    pub fn counter_values(&self) -> BTreeMap<String, u64> {
+        let map = self.lock();
+        map.iter()
+            .filter_map(|((_, name), metric)| match metric {
+                Metric::Counter(c) => Some((name.clone(), c.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// The snapshot as a single JSON object with `counters`, `gauges`
     /// and `histograms` sub-objects, each in canonical (sorted-name)
     /// order. Two registries that saw the same updates produce
@@ -448,6 +462,20 @@ mod tests {
         assert_eq!(
             Registry::new().snapshot_json(),
             "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}"
+        );
+    }
+
+    #[test]
+    fn counter_values_lists_only_counters_in_order() {
+        let r = Registry::new();
+        r.counter("b.ops").add(4);
+        r.counter("a.ops").inc();
+        r.gauge("depth").set(1.0);
+        r.histogram("dur", &[1.0]).record(0.5);
+        let values = r.counter_values();
+        assert_eq!(
+            values.into_iter().collect::<Vec<_>>(),
+            vec![("a.ops".to_string(), 1), ("b.ops".to_string(), 4)]
         );
     }
 

@@ -262,6 +262,19 @@ pub struct HistogramRow {
     pub max: f64,
 }
 
+/// One counter from the latest metrics snapshot of its scope —
+/// deterministic work counts (`yds.intervals_scanned`, …) as well as
+/// any other counters the writer emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterRow {
+    /// Registry scope the snapshot came from (e.g. `engine`).
+    pub scope: String,
+    /// Counter name within that scope.
+    pub name: String,
+    /// Cumulative count at the last snapshot.
+    pub value: u64,
+}
+
 /// The digest behind `qbss trace summarize`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
@@ -284,6 +297,10 @@ pub struct Summary {
     /// histogram the *last* metrics record wins (snapshots are
     /// cumulative).
     pub histograms: Vec<HistogramRow>,
+    /// Counter rows, in `(scope, name)` order; like [`Summary::histograms`],
+    /// the *last* metrics record per scope wins because snapshots are
+    /// cumulative.
+    pub counters: Vec<CounterRow>,
 }
 
 /// Lower/upper bucket pairs from a snapshot's `"buckets"` array, in the
@@ -335,6 +352,29 @@ fn histogram_rows(records: &[TraceRecord]) -> Vec<HistogramRow> {
         }
     }
     rows.into_values().collect()
+}
+
+/// Collects one [`CounterRow`] per `(scope, name)` from the *last*
+/// metrics record of each scope — the same last-snapshot-wins rule the
+/// HTML report's metrics tables use, since snapshots are cumulative.
+fn counter_rows(records: &[TraceRecord]) -> Vec<CounterRow> {
+    let mut last_by_scope: BTreeMap<&str, &MetricsRec> = BTreeMap::new();
+    for r in records {
+        if let TraceRecord::Metrics(m) = r {
+            last_by_scope.insert(m.scope.as_str(), m);
+        }
+    }
+    let mut rows = Vec::new();
+    for (scope, m) in &last_by_scope {
+        for (name, value) in &m.counters {
+            rows.push(CounterRow {
+                scope: (*scope).to_string(),
+                name: name.clone(),
+                value: *value,
+            });
+        }
+    }
+    rows
 }
 
 /// Builds the per-phase timing digest from parsed records.
@@ -426,6 +466,7 @@ pub fn summarize(records: &[TraceRecord]) -> Summary {
         tree: nodes.into_values().collect(),
         slowest,
         histograms: histogram_rows(records),
+        counters: counter_rows(records),
     }
 }
 
@@ -483,6 +524,12 @@ impl Summary {
                     json_f64(h.p99),
                     json_f64(h.max),
                 ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\nwork counters (scope/name  count, last snapshot per scope):\n");
+            for c in &self.counters {
+                out.push_str(&format!("  {}/{}  {}\n", c.scope, c.name, c.value));
             }
         }
         out
@@ -544,6 +591,18 @@ impl Summary {
                 json_f64(h.p95),
                 json_f64(h.p99),
                 json_f64(h.max),
+            ));
+        }
+        out.push_str("], \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"scope\": \"{}\", \"name\": \"{}\", \"value\": {}}}",
+                json_escape(&c.scope),
+                json_escape(&c.name),
+                c.value,
             ));
         }
         out.push_str("]}");
@@ -935,6 +994,56 @@ mod tests {
         assert_eq!(h.p50, estimate_quantile(&buckets, 10.0, 20.0, 0.50));
         assert_eq!(h.p95, estimate_quantile(&buckets, 10.0, 20.0, 0.95));
         assert!(h.p50 > 10.0 && h.p50 <= h.p95 && h.p95 <= 20.0, "{h:?}");
+    }
+
+    #[test]
+    fn summary_lists_counters_from_the_last_snapshot_per_scope() {
+        // Two snapshots for the same scope: the later one wins, because
+        // snapshots are cumulative. A second scope contributes its own
+        // rows alongside.
+        let trace = [
+            "{\"t\": \"metrics\", \"ts_us\": 10, \"scope\": \"engine\", \
+             \"counters\": {\"yds.intervals_scanned\": 5}, \"gauges\": {}, \"histograms\": {}}"
+                .to_string(),
+            "{\"t\": \"metrics\", \"ts_us\": 90, \"scope\": \"engine\", \
+             \"counters\": {\"yds.intervals_scanned\": 42, \"oa.hull_updates\": 7}, \
+             \"gauges\": {}, \"histograms\": {}}"
+                .to_string(),
+            "{\"t\": \"metrics\", \"ts_us\": 50, \"scope\": \"serve\", \
+             \"counters\": {\"serve.requests\": 3}, \"gauges\": {}, \"histograms\": {}}"
+                .to_string(),
+        ]
+        .join("\n");
+        let s = summarize(&parse_trace(&trace).expect("valid"));
+        let rows: Vec<(&str, &str, u64)> = s
+            .counters
+            .iter()
+            .map(|c| (c.scope.as_str(), c.name.as_str(), c.value))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("engine", "oa.hull_updates", 7),
+                ("engine", "yds.intervals_scanned", 42),
+                ("serve", "serve.requests", 3),
+            ]
+        );
+        let text = s.render(0);
+        assert!(text.contains("work counters"), "{text}");
+        assert!(text.contains("engine/yds.intervals_scanned  42"), "{text}");
+        assert!(text.contains("serve/serve.requests  3"), "{text}");
+        // The JSON twin carries the same rows.
+        let v = parse(&s.to_json()).expect("summary JSON parses");
+        let counters = match v.get("counters") {
+            Some(JsonValue::Arr(items)) => items,
+            other => panic!("counters must be an array: {other:?}"),
+        };
+        assert_eq!(counters.len(), 3);
+        assert_eq!(
+            counters[1].get("name"),
+            Some(&JsonValue::Str("yds.intervals_scanned".to_string()))
+        );
+        assert_eq!(counters[1].get("value").and_then(JsonValue::as_u64), Some(42));
     }
 
     #[test]
